@@ -1,0 +1,272 @@
+//! The Table II qualitative comparison model.
+//!
+//! The paper compares TACTIC against ten prior ICN access-control
+//! mechanisms along six axes (communication overhead, computation burden
+//! on provider/network/client, extra infrastructure, revocation style, and
+//! enforcement point). This module encodes that comparison as data so the
+//! `table2` experiment can regenerate the table, and so library users can
+//! query the design space programmatically.
+
+/// Qualitative magnitude used across Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Burden {
+    /// Not applicable / none.
+    None,
+    /// Low.
+    Low,
+    /// Moderate.
+    Moderate,
+    /// High.
+    High,
+    /// Extreme.
+    Extreme,
+}
+
+impl std::fmt::Display for Burden {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Burden::None => "-",
+            Burden::Low => "Low",
+            Burden::Moderate => "Moderate",
+            Burden::High => "High",
+            Burden::Extreme => "Extreme",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where access control is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Enforcement {
+    /// In-network (routers) — TACTIC's point.
+    Network,
+    /// At the provider (implies an always-online server).
+    Provider,
+    /// At the client (decryption-based; bandwidth-wasteful).
+    Client,
+}
+
+impl std::fmt::Display for Enforcement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Enforcement::Network => "Network",
+            Enforcement::Provider => "Provider",
+            Enforcement::Client => "Client",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MechanismProfile {
+    /// Mechanism name as the paper cites it.
+    pub name: &'static str,
+    /// Communication overhead.
+    pub communication: Burden,
+    /// Computation burden at the provider.
+    pub provider_burden: Burden,
+    /// Computation burden in the network.
+    pub network_burden: Burden,
+    /// Computation burden at the client.
+    pub client_burden: Burden,
+    /// Whether additional infrastructure is required.
+    pub extra_infrastructure: bool,
+    /// The revocation mechanism.
+    pub revocation: &'static str,
+    /// The enforcement point.
+    pub enforcement: Enforcement,
+}
+
+/// The full Table II, TACTIC first.
+pub const TABLE_II: [MechanismProfile; 11] = [
+    MechanismProfile {
+        name: "TACTIC",
+        communication: Burden::Low,
+        provider_burden: Burden::None,
+        network_burden: Burden::Low,
+        client_burden: Burden::None,
+        extra_infrastructure: false,
+        revocation: "Tunable Time-based",
+        enforcement: Enforcement::Network,
+    },
+    MechanismProfile {
+        name: "Misra et al. [3], [7]",
+        communication: Burden::Moderate,
+        provider_burden: Burden::None,
+        network_burden: Burden::None,
+        client_burden: Burden::Moderate,
+        extra_infrastructure: false,
+        revocation: "Threshold Based",
+        enforcement: Enforcement::Client,
+    },
+    MechanismProfile {
+        name: "Chen et al. [8]",
+        communication: Burden::Low,
+        provider_burden: Burden::High,
+        network_burden: Burden::Low,
+        client_burden: Burden::None,
+        extra_infrastructure: false,
+        revocation: "Daily Re-encryption",
+        enforcement: Enforcement::Provider,
+    },
+    MechanismProfile {
+        name: "Kurihara et al. [9]",
+        communication: Burden::High,
+        provider_burden: Burden::High,
+        network_burden: Burden::Moderate,
+        client_burden: Burden::None,
+        extra_infrastructure: true,
+        revocation: "Lazy Revocation",
+        enforcement: Enforcement::Provider,
+    },
+    MechanismProfile {
+        name: "Da Silva et al. [10]",
+        communication: Burden::Low,
+        provider_burden: Burden::None,
+        network_burden: Burden::High,
+        client_burden: Burden::None,
+        extra_infrastructure: true,
+        revocation: "Key Update per Revoc.",
+        enforcement: Enforcement::Network,
+    },
+    MechanismProfile {
+        name: "Hamdane et al. [11]",
+        communication: Burden::Low,
+        provider_burden: Burden::High,
+        network_burden: Burden::None,
+        client_burden: Burden::Moderate,
+        extra_infrastructure: false,
+        revocation: "System Re-key",
+        enforcement: Enforcement::Provider,
+    },
+    MechanismProfile {
+        name: "Li et al. [4], [12]",
+        communication: Burden::Moderate,
+        provider_burden: Burden::Moderate,
+        network_burden: Burden::None,
+        client_burden: Burden::Moderate,
+        extra_infrastructure: true,
+        revocation: "N/A",
+        enforcement: Enforcement::Client,
+    },
+    MechanismProfile {
+        name: "Wood et al. [14]",
+        communication: Burden::Low,
+        provider_burden: Burden::High,
+        network_burden: Burden::None,
+        client_burden: Burden::None,
+        extra_infrastructure: false,
+        revocation: "N/A",
+        enforcement: Enforcement::Provider,
+    },
+    MechanismProfile {
+        name: "Mangili et al. [5]",
+        communication: Burden::Low,
+        provider_burden: Burden::High,
+        network_burden: Burden::None,
+        client_burden: Burden::Moderate,
+        extra_infrastructure: false,
+        revocation: "Partial Re-encryption",
+        enforcement: Enforcement::Client,
+    },
+    MechanismProfile {
+        name: "Tan et al. [15]",
+        communication: Burden::High,
+        provider_burden: Burden::Extreme,
+        network_burden: Burden::None,
+        client_burden: Burden::None,
+        extra_infrastructure: false,
+        revocation: "Provider Authentication",
+        enforcement: Enforcement::Provider,
+    },
+    MechanismProfile {
+        name: "Li et al. [16]",
+        communication: Burden::Low,
+        provider_burden: Burden::Moderate,
+        network_burden: Burden::Low,
+        client_burden: Burden::None,
+        extra_infrastructure: false,
+        revocation: "N/A",
+        enforcement: Enforcement::Provider,
+    },
+];
+
+/// Renders Table II as an aligned text table (one string per line).
+pub fn render_table_ii() -> Vec<String> {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "{:<22} {:<14} {:<10} {:<10} {:<10} {:<8} {:<24} {}",
+        "Mechanism", "Comm. Ovhd", "Prov.", "Network", "Client", "Infra", "Client Revocation", "Enforcement"
+    ));
+    for m in &TABLE_II {
+        lines.push(format!(
+            "{:<22} {:<14} {:<10} {:<10} {:<10} {:<8} {:<24} {}",
+            m.name,
+            m.communication.to_string(),
+            m.provider_burden.to_string(),
+            m.network_burden.to_string(),
+            m.client_burden.to_string(),
+            if m.extra_infrastructure { "Required" } else { "N/A" },
+            m.revocation,
+            m.enforcement
+        ));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tactic_leads_and_matches_paper_row() {
+        let t = &TABLE_II[0];
+        assert_eq!(t.name, "TACTIC");
+        assert_eq!(t.communication, Burden::Low);
+        assert_eq!(t.network_burden, Burden::Low);
+        assert_eq!(t.provider_burden, Burden::None);
+        assert!(!t.extra_infrastructure);
+        assert_eq!(t.enforcement, Enforcement::Network);
+    }
+
+    #[test]
+    fn eleven_mechanisms_as_in_the_paper() {
+        assert_eq!(TABLE_II.len(), 11);
+        // Exactly TACTIC and Da Silva enforce in-network.
+        let network: Vec<&str> = TABLE_II
+            .iter()
+            .filter(|m| m.enforcement == Enforcement::Network)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(network, ["TACTIC", "Da Silva et al. [10]"]);
+    }
+
+    #[test]
+    fn only_tactic_has_network_enforcement_without_extra_infrastructure() {
+        let winners: Vec<&str> = TABLE_II
+            .iter()
+            .filter(|m| m.enforcement == Enforcement::Network && !m.extra_infrastructure)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(winners, ["TACTIC"]);
+    }
+
+    #[test]
+    fn render_has_header_plus_rows() {
+        let lines = render_table_ii();
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].contains("Mechanism"));
+        assert!(lines[1].starts_with("TACTIC"));
+        assert!(lines.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn burden_ordering() {
+        assert!(Burden::None < Burden::Low);
+        assert!(Burden::Low < Burden::Moderate);
+        assert!(Burden::Moderate < Burden::High);
+        assert!(Burden::High < Burden::Extreme);
+        assert_eq!(Burden::None.to_string(), "-");
+    }
+}

@@ -1,0 +1,212 @@
+//! Benchmarks of the Protocol 2/3/4 handler paths on a single router:
+//! what one Interest or Data costs a TACTIC router in each situation the
+//! paper's Fig. 2 distinguishes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tactic::access::AccessLevel;
+use tactic::access_path::AccessPath;
+use tactic::ext;
+use tactic::router::{RouterConfig, RouterRole, TacticRouter};
+use tactic::tag::{SignedTag, Tag};
+use tactic_crypto::cert::{CertStore, Certificate};
+use tactic_crypto::schnorr::KeyPair;
+use tactic_ndn::face::FaceId;
+use tactic_ndn::packet::{Data, Interest, Payload};
+use tactic_sim::cost::CostModel;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::SimTime;
+
+const UP: FaceId = FaceId::new(0);
+const CLIENT: FaceId = FaceId::new(1);
+
+struct Setup {
+    provider: KeyPair,
+    certs: CertStore,
+}
+
+fn setup() -> Setup {
+    let anchor = KeyPair::derive(b"anchor", 0);
+    let provider = KeyPair::derive(b"/prov", 0);
+    let mut certs = CertStore::new();
+    certs.add_anchor(anchor.public());
+    certs.register(Certificate::issue("/prov", provider.public(), &anchor)).unwrap();
+    Setup { provider, certs }
+}
+
+fn make_router(s: &Setup, role: RouterRole) -> TacticRouter {
+    let mut r = TacticRouter::new(RouterConfig::paper(role), s.certs.clone());
+    r.add_route("/prov".parse().unwrap(), UP, 1);
+    r.mark_downstream(CLIENT);
+    r
+}
+
+fn make_tag(s: &Setup) -> SignedTag {
+    Tag {
+        provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+        access_level: AccessLevel::Level(2),
+        client_key_locator: "/prov/users/u1/KEY".parse().unwrap(),
+        access_path: AccessPath::EMPTY,
+        expiry: SimTime::from_secs(100),
+    }
+    .sign(&s.provider)
+}
+
+fn content() -> Data {
+    let mut d = Data::new("/prov/obj0/c0".parse().unwrap(), Payload::Synthetic(8192));
+    ext::set_data_access_level(&mut d, AccessLevel::Level(1));
+    ext::set_data_key_locator(&mut d, &"/prov/KEY/1".parse().unwrap());
+    d
+}
+
+fn tagged_interest(tag: &SignedTag, nonce: u64) -> Interest {
+    let mut i = Interest::new("/prov/obj0/c0".parse().unwrap(), nonce);
+    ext::set_interest_tag(&mut i, tag);
+    i
+}
+
+fn bench_edge_interest(c: &mut Criterion) {
+    let s = setup();
+    let tag = make_tag(&s);
+    let cost = CostModel::free();
+    let mut g = c.benchmark_group("protocol2_edge_interest");
+    let mut nonce = 0u64;
+    g.bench_function("valid_tag_bf_miss_forward", |b| {
+        b.iter_batched(
+            || (make_router(&s, RouterRole::Edge), Rng::seed_from_u64(1)),
+            |(mut r, mut rng)| {
+                nonce += 1;
+                let out =
+                    r.handle_interest(tagged_interest(&tag, nonce), CLIENT, SimTime::ZERO, &mut rng, &cost);
+                black_box(out.sends.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("expired_tag_precheck_drop", |b| {
+        let mut r = make_router(&s, RouterRole::Edge);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut expired = make_tag(&s);
+        expired.tag.expiry = SimTime::from_nanos(1);
+        b.iter(|| {
+            nonce += 1;
+            let out = r.handle_interest(
+                tagged_interest(&expired, nonce),
+                CLIENT,
+                SimTime::from_secs(5),
+                &mut rng,
+                &cost,
+            );
+            black_box(out.sends.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_content_router(c: &mut Criterion) {
+    let s = setup();
+    let tag = make_tag(&s);
+    let cost = CostModel::free();
+    let mut g = c.benchmark_group("protocol3_content_router");
+    let mut nonce = 0u64;
+    g.bench_function("serve_bf_hit", |b| {
+        // Warm router: content cached, tag already validated once.
+        let mut r = make_router(&s, RouterRole::Core);
+        let mut rng = Rng::seed_from_u64(1);
+        let d = content();
+        let _ = r.handle_interest(tagged_interest(&tag, 1), UP, SimTime::ZERO, &mut rng, &cost);
+        let _ = r.handle_data(
+            {
+                let mut dd = d.clone();
+                ext::set_data_tag(&mut dd, &tag);
+                dd
+            },
+            UP,
+            SimTime::ZERO,
+            &mut rng,
+            &cost,
+        );
+        b.iter(|| {
+            nonce += 1;
+            let out =
+                r.handle_interest(tagged_interest(&tag, nonce), UP, SimTime::ZERO, &mut rng, &cost);
+            black_box(out.sends.len())
+        })
+    });
+    g.bench_function("serve_with_signature_verification", |b| {
+        b.iter_batched(
+            || {
+                let mut r = make_router(&s, RouterRole::Core);
+                let mut rng = Rng::seed_from_u64(1);
+                // Prime the cache only (fresh BF: forces a verification).
+                let _ = r.handle_interest(tagged_interest(&tag, 1), UP, SimTime::ZERO, &mut rng, &cost);
+                let mut dd = content();
+                ext::set_data_tag(&mut dd, &tag);
+                let _ = r.handle_data(dd, UP, SimTime::ZERO, &mut rng, &cost);
+                // A different client's tag, unknown to the BF:
+                let other = Tag {
+                    provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+                    access_level: AccessLevel::Level(2),
+                    client_key_locator: "/prov/users/u2/KEY".parse().unwrap(),
+                    access_path: AccessPath::EMPTY,
+                    expiry: SimTime::from_secs(100),
+                }
+                .sign(&s.provider);
+                (r, rng, other)
+            },
+            |(mut r, mut rng, other)| {
+                nonce += 1;
+                let out =
+                    r.handle_interest(tagged_interest(&other, nonce), UP, SimTime::ZERO, &mut rng, &cost);
+                black_box(out.sends.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_intermediate(c: &mut Criterion) {
+    let s = setup();
+    let tag = make_tag(&s);
+    let cost = CostModel::free();
+    let mut g = c.benchmark_group("protocol4_intermediate");
+    g.bench_function("aggregate_and_fanout", |b| {
+        let tag2 = Tag {
+            provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+            access_level: AccessLevel::Level(2),
+            client_key_locator: "/prov/users/u2/KEY".parse().unwrap(),
+            access_path: AccessPath::EMPTY,
+            expiry: SimTime::from_secs(100),
+        }
+        .sign(&s.provider);
+        b.iter_batched(
+            || (make_router(&s, RouterRole::Core), Rng::seed_from_u64(1)),
+            |(mut r, mut rng)| {
+                let _ = r.handle_interest(tagged_interest(&tag, 1), FaceId::new(5), SimTime::ZERO, &mut rng, &cost);
+                let _ = r.handle_interest(tagged_interest(&tag2, 2), FaceId::new(6), SimTime::ZERO, &mut rng, &cost);
+                let mut d = content();
+                ext::set_data_tag(&mut d, &tag);
+                let out = r.handle_data(d, UP, SimTime::ZERO, &mut rng, &cost);
+                black_box(out.sends.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1_000))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_edge_interest, bench_content_router, bench_intermediate
+}
+criterion_main!(benches);

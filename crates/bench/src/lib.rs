@@ -1,0 +1,38 @@
+//! # tactic-bench
+//!
+//! Criterion benchmarks for the TACTIC reproduction:
+//!
+//! * `micro_ops` — the §8.A cost table's operations measured on *our*
+//!   implementations (Bloom lookup/insert, Schnorr sign/verify, the tag
+//!   pre-check, tag codec, name/wire parsing, PIT/FIB/CS primitives);
+//! * `protocols` — Protocol 2/3/4 handler paths on a single router;
+//! * `end_to_end` — scaled-down whole-network runs parameterised by each
+//!   table/figure's knob (BF size for Fig. 5/Table V, tag expiry for
+//!   Fig. 6/Fig. 8, threshold FPP for Fig. 8, the paper attacker mix for
+//!   Table IV, and the baseline mechanisms).
+//!
+//! Run with `cargo bench -p tactic-bench`. These complement (not replace)
+//! the row/series regeneration in `tactic-experiments`.
+
+#![forbid(unsafe_code)]
+
+use tactic::scenario::Scenario;
+use tactic_sim::time::SimDuration;
+use tactic_topology::roles::TopologySpec;
+
+/// A tiny scenario sized for benchmarking (a few wall-clock hundred ms per
+/// run in release mode).
+pub fn bench_scenario(sim_secs: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.topology = tactic::scenario::TopologyChoice::Custom(TopologySpec {
+        core_routers: 10,
+        edge_routers: 3,
+        providers: 2,
+        clients: 5,
+        attackers: 2,
+    });
+    s.duration = SimDuration::from_secs(sim_secs);
+    s.objects_per_provider = 10;
+    s.chunks_per_object = 10;
+    s
+}

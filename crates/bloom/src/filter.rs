@@ -1,0 +1,322 @@
+//! The Bloom filter proper, with the saturation/reset policy TACTIC's
+//! routers rely on (§5, §8).
+
+use tactic_crypto::hash::Hasher64;
+
+use crate::params::BloomParams;
+
+/// A Bloom filter over byte-slice keys with Kirsch–Mitzenmacher double
+/// hashing, fill-based FPP estimation, and reset accounting.
+///
+/// TACTIC routers insert *validated tags* and consult the filter instead of
+/// re-verifying signatures; when the estimated FPP reaches
+/// [`BloomParams::max_fpp`] the filter is saturated and the router resets
+/// it (the paper counts these resets in Fig. 8 / Table V).
+///
+/// # Examples
+///
+/// ```
+/// use tactic_bloom::{BloomFilter, BloomParams};
+///
+/// let mut bf = BloomFilter::new(BloomParams::paper(500));
+/// bf.insert(b"tag-1");
+/// assert!(bf.contains(b"tag-1"));
+/// assert!(!bf.contains(b"tag-2"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    params: BloomParams,
+    blocks: Vec<u64>,
+    set_bits: usize,
+    inserted_since_reset: u64,
+    lifetime_insertions: u64,
+    resets: u64,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> Self {
+        BloomFilter {
+            blocks: vec![0u64; params.bits.div_ceil(64)],
+            params,
+            set_bits: 0,
+            inserted_since_reset: 0,
+            lifetime_insertions: 0,
+            resets: 0,
+        }
+    }
+
+    /// The filter's parameters.
+    pub fn params(&self) -> &BloomParams {
+        &self.params
+    }
+
+    #[inline]
+    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+        let mut h1 = Hasher64::with_seed(0xB100_F117_E500_0001);
+        h1.update(key);
+        let mut h2 = Hasher64::with_seed(0xB100_F117_E500_0002);
+        h2.update(key);
+        // h2 must be odd so the probe sequence spans the table.
+        (h1.finish(), h2.finish() | 1)
+    }
+
+    #[inline]
+    fn bit_index(&self, h1: u64, h2: u64, i: u32) -> usize {
+        let combined = h1.wrapping_add((i as u64).wrapping_mul(h2));
+        (combined % self.params.bits as u64) as usize
+    }
+
+    /// Inserts a key. Returns `true` if at least one bit was newly set
+    /// (i.e. the key was definitely not present before).
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        let mut fresh = false;
+        for i in 0..self.params.hashes {
+            let idx = self.bit_index(h1, h2, i);
+            let (block, bit) = (idx / 64, idx % 64);
+            let mask = 1u64 << bit;
+            if self.blocks[block] & mask == 0 {
+                self.blocks[block] |= mask;
+                self.set_bits += 1;
+                fresh = true;
+            }
+        }
+        self.inserted_since_reset += 1;
+        self.lifetime_insertions += 1;
+        fresh
+    }
+
+    /// Membership test (may yield false positives, never false negatives).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        (0..self.params.hashes).all(|i| {
+            let idx = self.bit_index(h1, h2, i);
+            self.blocks[idx / 64] & (1 << (idx % 64)) != 0
+        })
+    }
+
+    /// Fraction of set bits.
+    pub fn fill_ratio(&self) -> f64 {
+        self.set_bits as f64 / self.params.bits as f64
+    }
+
+    /// The current false-positive probability, estimated from the actual
+    /// fill ratio: `fill^k`. This is the value TACTIC edge routers copy
+    /// into the flag `F` of forwarded Interests.
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.params.hashes as i32)
+    }
+
+    /// True once the estimated FPP has reached the configured maximum; the
+    /// owning router should [`reset`](Self::reset) the filter.
+    pub fn is_saturated(&self) -> bool {
+        self.estimated_fpp() >= self.params.max_fpp
+    }
+
+    /// Clears all bits and bumps the reset counter.
+    pub fn reset(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+        self.set_bits = 0;
+        self.inserted_since_reset = 0;
+        self.resets += 1;
+    }
+
+    /// Inserts and resets first if the filter is saturated. Returns `true`
+    /// if a reset occurred.
+    pub fn insert_with_reset(&mut self, key: &[u8]) -> bool {
+        let reset = self.is_saturated();
+        if reset {
+            self.reset();
+        }
+        self.insert(key);
+        reset
+    }
+
+    /// Keys inserted since the last reset.
+    pub fn inserted_since_reset(&self) -> u64 {
+        self.inserted_since_reset
+    }
+
+    /// Keys inserted over the filter's lifetime.
+    pub fn lifetime_insertions(&self) -> u64 {
+        self.lifetime_insertions
+    }
+
+    /// Number of resets performed.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+/// A counting Bloom filter supporting deletion (4-bit saturating counters).
+///
+/// Not used by the paper's protocols, but offered for the revocation
+/// extension discussed in §9 (future work): routers could expunge expired
+/// tags instead of resetting the whole filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountingBloomFilter {
+    params: BloomParams,
+    counters: Vec<u8>,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty counting filter.
+    pub fn new(params: BloomParams) -> Self {
+        CountingBloomFilter { counters: vec![0; params.bits], params }
+    }
+
+    fn hashes(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let mut h1 = Hasher64::with_seed(0xB100_F117_E500_0001);
+        h1.update(key);
+        let mut h2 = Hasher64::with_seed(0xB100_F117_E500_0002);
+        h2.update(key);
+        let (a, b) = (h1.finish(), h2.finish() | 1);
+        let bits = self.params.bits as u64;
+        (0..self.params.hashes).map(move |i| (a.wrapping_add((i as u64).wrapping_mul(b)) % bits) as usize)
+    }
+
+    /// Inserts a key (counters saturate at 15 and then never decrement, to
+    /// preserve the no-false-negative property).
+    pub fn insert(&mut self, key: &[u8]) {
+        let idxs: Vec<usize> = self.hashes(key).collect();
+        for idx in idxs {
+            if self.counters[idx] < 15 {
+                self.counters[idx] += 1;
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.hashes(key).all(|idx| self.counters[idx] > 0)
+    }
+
+    /// Removes a key previously inserted. Deleting a key that was never
+    /// inserted can introduce false negatives, as with any counting filter.
+    pub fn remove(&mut self, key: &[u8]) {
+        let idxs: Vec<usize> = self.hashes(key).collect();
+        for idx in idxs {
+            if self.counters[idx] > 0 && self.counters[idx] < 15 {
+                self.counters[idx] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("tag-{i}").into_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        for i in 0..500 {
+            bf.insert(&key(i));
+        }
+        for i in 0..500 {
+            assert!(bf.contains(&key(i)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn empirical_fpp_matches_design() {
+        let mut bf = BloomFilter::new(BloomParams::for_capacity(1000, 0.01));
+        for i in 0..1000 {
+            bf.insert(&key(i));
+        }
+        let fp = (1000..101_000).filter(|&i| bf.contains(&key(i))).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.02, "observed fpp {rate}");
+        assert!(rate > 0.001, "suspiciously low fpp {rate} (hashing broken?)");
+        // The fill-based estimate should be in the same ballpark.
+        let est = bf.estimated_fpp();
+        assert!((est / rate < 3.0) && (rate / est < 3.0), "estimate {est} vs observed {rate}");
+    }
+
+    #[test]
+    fn saturation_triggers_near_capacity() {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        let mut i = 0u64;
+        while !bf.is_saturated() {
+            bf.insert(&key(i));
+            i += 1;
+            assert!(i < 2_000, "filter never saturated");
+        }
+        // Saturation should happen in the vicinity of the design capacity.
+        assert!(
+            (250..1_000).contains(&i),
+            "saturated after {i} insertions (capacity 500)"
+        );
+    }
+
+    #[test]
+    fn reset_clears_and_counts() {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        bf.insert(b"a");
+        assert!(bf.contains(b"a"));
+        bf.reset();
+        assert!(!bf.contains(b"a"));
+        assert_eq!(bf.resets(), 1);
+        assert_eq!(bf.inserted_since_reset(), 0);
+        assert_eq!(bf.lifetime_insertions(), 1);
+        assert_eq!(bf.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn insert_with_reset_cycles() {
+        let mut bf = BloomFilter::new(BloomParams::paper(100));
+        let mut resets = 0;
+        for i in 0..1_000 {
+            if bf.insert_with_reset(&key(i)) {
+                resets += 1;
+            }
+        }
+        assert_eq!(bf.resets(), resets);
+        assert!(resets >= 5, "expected several resets, got {resets}");
+        assert_eq!(bf.lifetime_insertions(), 1_000);
+    }
+
+    #[test]
+    fn insert_reports_freshness() {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        assert!(bf.insert(b"x"));
+        assert!(!bf.insert(b"x"), "re-inserting must set no new bits");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::new(BloomParams::paper(500));
+        assert_eq!(bf.estimated_fpp(), 0.0);
+        assert!(!bf.is_saturated());
+        for i in 0..100 {
+            assert!(!bf.contains(&key(i)));
+        }
+    }
+
+    #[test]
+    fn counting_filter_supports_removal() {
+        let mut cbf = CountingBloomFilter::new(BloomParams::paper(500));
+        cbf.insert(b"a");
+        cbf.insert(b"b");
+        assert!(cbf.contains(b"a"));
+        cbf.remove(b"a");
+        assert!(!cbf.contains(b"a"));
+        assert!(cbf.contains(b"b"), "removal must not disturb other keys sharing no bits");
+    }
+
+    #[test]
+    fn counting_filter_double_insert_single_remove() {
+        let mut cbf = CountingBloomFilter::new(BloomParams::paper(500));
+        cbf.insert(b"a");
+        cbf.insert(b"a");
+        cbf.remove(b"a");
+        assert!(cbf.contains(b"a"));
+        cbf.remove(b"a");
+        assert!(!cbf.contains(b"a"));
+    }
+}

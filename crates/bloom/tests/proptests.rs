@@ -1,0 +1,102 @@
+//! Property-based tests for the Bloom filters: the no-false-negative
+//! invariant above all.
+
+use proptest::prelude::*;
+
+use tactic_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
+
+proptest! {
+    #[test]
+    fn no_false_negatives_ever(keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..200)) {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        for k in &keys {
+            bf.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(bf.contains(k), "false negative");
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_members(keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..100)) {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        for k in &keys {
+            bf.insert(k);
+        }
+        bf.reset();
+        prop_assert_eq!(bf.fill_ratio(), 0.0);
+        prop_assert_eq!(bf.inserted_since_reset(), 0);
+        // After a reset only hash-collision "ghosts" could remain — there
+        // are none because all bits are zero.
+        for k in &keys {
+            prop_assert!(!bf.contains(k));
+        }
+    }
+
+    #[test]
+    fn fill_ratio_monotone_under_insertion(count in 1usize..300) {
+        let mut bf = BloomFilter::new(BloomParams::paper(500));
+        let mut last = 0.0;
+        for i in 0..count {
+            bf.insert(&(i as u64).to_le_bytes());
+            let fill = bf.fill_ratio();
+            prop_assert!(fill >= last);
+            last = fill;
+        }
+        prop_assert!(last <= 1.0);
+    }
+
+    #[test]
+    fn estimated_fpp_bounded(count in 0usize..2000) {
+        let mut bf = BloomFilter::new(BloomParams::paper(100));
+        for i in 0..count {
+            bf.insert(&(i as u64).to_le_bytes());
+        }
+        let fpp = bf.estimated_fpp();
+        prop_assert!((0.0..=1.0).contains(&fpp));
+    }
+
+    #[test]
+    fn sizing_formulas_agree_with_fpp_prediction(capacity in 16usize..5_000, exp in 2u32..6) {
+        let target = 10f64.powi(-(exp as i32));
+        let p = BloomParams::with_fixed_hashes(capacity, 5, target);
+        let predicted = p.fpp_after(capacity);
+        // Sizing solves for exactly the target at design capacity.
+        prop_assert!(predicted <= target * 1.05, "predicted {predicted} > target {target}");
+        prop_assert!(predicted >= target * 0.5, "sized too generously: {predicted} vs {target}");
+    }
+
+    #[test]
+    fn insert_with_reset_never_loses_the_latest_key(count in 1usize..2_000) {
+        let mut bf = BloomFilter::new(BloomParams::paper(50));
+        for i in 0..count {
+            let key = (i as u64).to_le_bytes();
+            bf.insert_with_reset(&key);
+            prop_assert!(bf.contains(&key), "key inserted this round must be present");
+        }
+        prop_assert_eq!(bf.lifetime_insertions(), count as u64);
+    }
+
+    #[test]
+    fn counting_filter_remove_restores_absence(keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..50)) {
+        let mut unique = keys.clone();
+        unique.sort();
+        unique.dedup();
+        let mut cbf = CountingBloomFilter::new(BloomParams::paper(500));
+        for k in &unique {
+            cbf.insert(k);
+        }
+        for k in &unique {
+            prop_assert!(cbf.contains(k));
+        }
+        for k in &unique {
+            cbf.remove(k);
+        }
+        // With all insertions removed, every counter that was touched is
+        // back to its pre-insert value (saturation needs 15 overlaps,
+        // which tiny key sets cannot produce).
+        for k in &unique {
+            prop_assert!(!cbf.contains(k));
+        }
+    }
+}

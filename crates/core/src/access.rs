@@ -1,0 +1,131 @@
+//! Hierarchical access levels.
+//!
+//! A provider assigns each content object an access level `AL_D`, embedded
+//! (and signed) in the content packets; each tag carries the client's
+//! granted level `AL_u`. The paper's model is hierarchical: "tags with
+//! higher access levels can retrieve content with lower access levels
+//! (`AL_D ≤ AL_u`)" (§5), and "we set the `AL_D` of a publicly available
+//! data to NULL, which allows [a content router] to return the requested
+//! content without tag verification".
+
+/// An access level: `Public` (the paper's NULL) or a rank in a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessLevel {
+    /// Publicly available content; no tag required.
+    #[default]
+    Public,
+    /// A ranked level; higher grants subsume lower requirements.
+    Level(u8),
+}
+
+impl AccessLevel {
+    /// True if a tag granted `self` satisfies content requiring `required`
+    /// (`AL_D ≤ AL_u` with `Public` as the bottom).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tactic::access::AccessLevel;
+    ///
+    /// assert!(AccessLevel::Level(3).satisfies(AccessLevel::Level(1)));
+    /// assert!(!AccessLevel::Level(1).satisfies(AccessLevel::Level(3)));
+    /// assert!(AccessLevel::Public.satisfies(AccessLevel::Public));
+    /// ```
+    pub fn satisfies(self, required: AccessLevel) -> bool {
+        self.rank() >= required.rank()
+    }
+
+    /// True for public (NULL) content.
+    pub fn is_public(self) -> bool {
+        matches!(self, AccessLevel::Public)
+    }
+
+    /// Numeric rank with `Public` at the bottom.
+    fn rank(self) -> u16 {
+        match self {
+            AccessLevel::Public => 0,
+            AccessLevel::Level(l) => 1 + l as u16,
+        }
+    }
+
+    /// Single-byte wire encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            AccessLevel::Public => 0,
+            AccessLevel::Level(l) => l.saturating_add(1).max(1),
+        }
+    }
+
+    /// Decodes the single-byte form.
+    pub fn from_byte(b: u8) -> Self {
+        if b == 0 {
+            AccessLevel::Public
+        } else {
+            AccessLevel::Level(b - 1)
+        }
+    }
+}
+
+impl PartialOrd for AccessLevel {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AccessLevel {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl std::fmt::Display for AccessLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessLevel::Public => write!(f, "NULL"),
+            AccessLevel::Level(l) => write!(f, "AL{l}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_is_respected() {
+        assert!(AccessLevel::Level(5).satisfies(AccessLevel::Level(5)));
+        assert!(AccessLevel::Level(5).satisfies(AccessLevel::Level(0)));
+        assert!(!AccessLevel::Level(0).satisfies(AccessLevel::Level(5)));
+    }
+
+    #[test]
+    fn public_is_bottom() {
+        assert!(AccessLevel::Level(0).satisfies(AccessLevel::Public));
+        assert!(AccessLevel::Public.satisfies(AccessLevel::Public));
+        assert!(!AccessLevel::Public.satisfies(AccessLevel::Level(0)));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for al in [AccessLevel::Public, AccessLevel::Level(0), AccessLevel::Level(7), AccessLevel::Level(254)] {
+            assert_eq!(AccessLevel::from_byte(al.to_byte()), al);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_satisfies() {
+        let mut levels =
+            vec![AccessLevel::Level(3), AccessLevel::Public, AccessLevel::Level(1)];
+        levels.sort();
+        assert_eq!(
+            levels,
+            vec![AccessLevel::Public, AccessLevel::Level(1), AccessLevel::Level(3)]
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_terms() {
+        assert_eq!(AccessLevel::Public.to_string(), "NULL");
+        assert_eq!(AccessLevel::Level(2).to_string(), "AL2");
+    }
+}

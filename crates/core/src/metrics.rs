@@ -1,0 +1,190 @@
+//! Run-level measurement aggregation — the quantities behind every figure
+//! and table in the paper's §8.
+
+use tactic_sim::stats::TimeSeries;
+use tactic_sim::time::{SimDuration, SimTime};
+
+use crate::consumer::{ConsumerKind, ConsumerStats};
+use crate::provider::ProviderCounters;
+use crate::router::OpCounters;
+
+/// Requested/received chunk totals split by principal class (Table IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Chunks requested by legitimate clients.
+    pub client_requested: u64,
+    /// Chunks received by legitimate clients.
+    pub client_received: u64,
+    /// Chunks requested by attackers.
+    pub attacker_requested: u64,
+    /// Chunks received by attackers.
+    pub attacker_received: u64,
+}
+
+impl DeliveryStats {
+    /// Clients' successful delivery ratio.
+    pub fn client_ratio(&self) -> f64 {
+        ratio(self.client_received, self.client_requested)
+    }
+
+    /// Attackers' successful delivery ratio.
+    pub fn attacker_ratio(&self) -> f64 {
+        ratio(self.attacker_received, self.attacker_requested)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Table IV's delivery totals.
+    pub delivery: DeliveryStats,
+    /// Clients' per-chunk retrieval latency over time (Fig. 5).
+    pub latency: TimeSeries,
+    /// Clients' tag-request instants (Fig. 6's `Q`).
+    pub tag_requests: Vec<SimTime>,
+    /// Clients' tag-receipt instants (Fig. 6's `R`).
+    pub tags_received: Vec<SimTime>,
+    /// Summed operation counters over edge routers (Fig. 7a).
+    pub edge_ops: OpCounters,
+    /// Summed operation counters over core routers (Fig. 7b).
+    pub core_ops: OpCounters,
+    /// Requests absorbed between BF resets, edge routers (Fig. 8a).
+    pub edge_reset_requests: Vec<u64>,
+    /// Requests absorbed between BF resets, core routers (Fig. 8b).
+    pub core_reset_requests: Vec<u64>,
+    /// Summed provider counters.
+    pub providers: ProviderCounters,
+    /// Per-consumer records for drill-down.
+    pub consumers: Vec<(ConsumerKind, ConsumerStats)>,
+    /// Edge-router tag sightings, in collection order (only populated when
+    /// the scenario enables `record_sightings`). Sort by time before
+    /// feeding a `crate::traitor::TraitorTracer`.
+    pub sightings: Vec<crate::traitor::Sighting>,
+    /// Handovers performed by mobile clients (mobility extension).
+    pub moves: u64,
+}
+
+impl RunReport {
+    /// Folds one consumer's stats into the run totals.
+    pub fn absorb_consumer(&mut self, kind: ConsumerKind, stats: ConsumerStats) {
+        if kind.is_client() {
+            self.delivery.client_requested += stats.requested_chunks;
+            self.delivery.client_received += stats.received_chunks;
+            for &(at, lat) in &stats.latencies {
+                self.latency.record(at, lat);
+            }
+            self.tag_requests.extend_from_slice(&stats.tag_requests);
+            self.tags_received.extend_from_slice(&stats.tags_received);
+        } else {
+            self.delivery.attacker_requested += stats.requested_chunks;
+            self.delivery.attacker_received += stats.received_chunks;
+        }
+        self.consumers.push((kind, stats));
+    }
+
+    /// Mean client retrieval latency over the whole run (seconds).
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.overall_mean()
+    }
+
+    /// Per-second tag-request rate averaged over the run (Fig. 6's `Q`).
+    pub fn tag_request_rate(&self) -> f64 {
+        rate_per_second(&self.tag_requests, self.duration)
+    }
+
+    /// Per-second tag-receive rate averaged over the run (Fig. 6's `R`).
+    pub fn tag_receive_rate(&self) -> f64 {
+        rate_per_second(&self.tags_received, self.duration)
+    }
+
+    /// Mean requests absorbed per BF reset at edge routers (Fig. 8a).
+    pub fn edge_requests_per_reset(&self) -> f64 {
+        mean_u64(&self.edge_reset_requests)
+    }
+
+    /// Mean requests absorbed per BF reset at core routers (Fig. 8b).
+    pub fn core_requests_per_reset(&self) -> f64 {
+        mean_u64(&self.core_reset_requests)
+    }
+}
+
+fn rate_per_second(events: &[SimTime], duration: SimDuration) -> f64 {
+    let secs = duration.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        events.len() as f64 / secs
+    }
+}
+
+fn mean_u64(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let d = DeliveryStats {
+            client_requested: 1000,
+            client_received: 999,
+            attacker_requested: 200,
+            attacker_received: 1,
+        };
+        assert!((d.client_ratio() - 0.999).abs() < 1e-12);
+        assert!((d.attacker_ratio() - 0.005).abs() < 1e-12);
+        assert_eq!(DeliveryStats::default().client_ratio(), 0.0);
+    }
+
+    #[test]
+    fn absorb_consumer_splits_by_kind() {
+        let mut r = RunReport { duration: SimDuration::from_secs(10), ..Default::default() };
+        let cs = ConsumerStats {
+            requested_chunks: 10,
+            received_chunks: 9,
+            latencies: vec![(SimTime::from_secs(1), 0.05)],
+            tag_requests: vec![SimTime::from_secs(1)],
+            ..Default::default()
+        };
+        r.absorb_consumer(ConsumerKind::Client, cs.clone());
+        let att = ConsumerStats { requested_chunks: 5, ..Default::default() };
+        r.absorb_consumer(
+            ConsumerKind::Attacker(crate::consumer::AttackerStrategy::NoTag),
+            att,
+        );
+        assert_eq!(r.delivery.client_requested, 10);
+        assert_eq!(r.delivery.attacker_requested, 5);
+        assert_eq!(r.latency.len(), 1);
+        assert_eq!(r.tag_requests.len(), 1);
+        assert!((r.tag_request_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(r.consumers.len(), 2);
+    }
+
+    #[test]
+    fn reset_means() {
+        let r = RunReport {
+            edge_reset_requests: vec![10, 20, 30],
+            ..Default::default()
+        };
+        assert_eq!(r.edge_requests_per_reset(), 20.0);
+        assert_eq!(r.core_requests_per_reset(), 0.0);
+    }
+}

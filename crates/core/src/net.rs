@@ -1,0 +1,711 @@
+//! The event-driven network: topology + routers + providers + consumers
+//! wired into the discrete-event engine.
+//!
+//! This is the reproduction's equivalent of the paper's ndnSIM scenario:
+//! store-and-forward links with per-link FIFO serialisation (500 Mbps/1 ms
+//! core, 10 Mbps/2 ms edge), access points that accumulate the access
+//! path, routers running Protocols 1–4, providers issuing tags, and
+//! Zipf-window consumers.
+
+use std::collections::HashMap;
+
+use tactic_crypto::cert::{CertStore, Certificate};
+use tactic_crypto::schnorr::KeyPair;
+use tactic_ndn::face::FaceId;
+use tactic_ndn::name::Name;
+use tactic_ndn::packet::Packet;
+use tactic_ndn::wire::wire_size;
+use tactic_sim::cost::CostModel;
+use tactic_sim::engine::Engine;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::{LinkSpec, NodeId, Role};
+use tactic_topology::roles::{build_topology, Topology};
+use tactic_topology::routing::routes_toward;
+
+use crate::access::AccessLevel;
+use crate::access_path::AccessPath;
+use crate::consumer::{AttackerStrategy, CatalogEntry, Consumer, ConsumerConfig, ConsumerKind};
+use crate::ext;
+use crate::metrics::RunReport;
+use crate::provider::{Provider, ProviderConfig};
+use crate::router::{RouterConfig, RouterRole, TacticRouter};
+use crate::scenario::{Scenario, TopologyChoice};
+
+/// Events flowing through the engine.
+#[derive(Debug)]
+enum NetEvent {
+    /// A packet finishes arriving at `node` on `face`.
+    Deliver { node: NodeId, face: FaceId, packet: Packet },
+    /// A consumer begins its request loop.
+    ConsumerStart { node: NodeId },
+    /// A consumer's outstanding request may have expired.
+    Timeout { node: NodeId, name: Name, sent: SimTime },
+    /// Periodic PIT / relay-state expiry sweep.
+    Purge,
+    /// A mobile client hands over to a new access point.
+    Move { node: NodeId },
+}
+
+/// An access point: a transparent relay that accumulates the access path
+/// on Interests and demultiplexes returning Data/NACKs to its users.
+///
+/// Demultiplexing is per *requester*, not per name: the edge router sends
+/// one (tag-echoed) copy per authorised downstream record, and the AP
+/// delivers each copy only to the association whose tag identity matches
+/// — a layer-2 unicast, like a real wireless AP delivering to one station.
+/// Without this, an attacker sharing the AP with a legitimate client would
+/// overhear the client's copy of a chunk it also requested.
+#[derive(Debug)]
+struct ApRelay {
+    id: NodeId,
+    upstream: FaceId,
+    /// name → [(user face, sent time, requester identity)]
+    pending: HashMap<Name, Vec<(FaceId, SimTime, Option<u64>)>>,
+}
+
+impl ApRelay {
+    fn purge(&mut self, now: SimTime, horizon: SimDuration) {
+        self.pending.retain(|_, faces| {
+            faces.retain(|&(_, t, _)| now.saturating_since(t) < horizon);
+            !faces.is_empty()
+        });
+    }
+
+    /// Removes and returns the pending faces a reply identified by
+    /// `identity` should go to. `None` (no tag echo: public content,
+    /// registration responses, standalone NACKs) delivers to everyone
+    /// pending on the name.
+    fn claim(&mut self, name: &Name, identity: Option<u64>) -> Vec<FaceId> {
+        match identity {
+            None => self
+                .pending
+                .remove(name)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(f, _, _)| f)
+                .collect(),
+            Some(id) => {
+                let Some(entries) = self.pending.get_mut(name) else {
+                    return Vec::new();
+                };
+                let mut claimed = Vec::new();
+                entries.retain(|&(f, _, eid)| {
+                    if eid == Some(id) {
+                        claimed.push(f);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if entries.is_empty() {
+                    self.pending.remove(name);
+                }
+                claimed
+            }
+        }
+    }
+}
+
+/// The requester identity carried in a tag (see
+/// [`crate::tag::SignedTag::client_identity`]).
+fn tag_identity(tag: &crate::tag::SignedTag) -> u64 {
+    tag.client_identity()
+}
+
+enum NodeState {
+    Router(Box<TacticRouter>),
+    Provider(Box<Provider>),
+    Consumer(Box<Consumer>),
+    Ap(ApRelay),
+}
+
+/// The assembled simulation.
+pub struct Network {
+    engine: Engine<NetEvent>,
+    nodes: Vec<NodeState>,
+    /// Per node, per face index: (neighbor, link spec).
+    neighbors: Vec<Vec<(NodeId, LinkSpec)>>,
+    /// Per node: neighbor → local face.
+    face_index: Vec<HashMap<NodeId, FaceId>>,
+    /// Per directed link: when the transmitter is free again.
+    link_busy: HashMap<(usize, usize), SimTime>,
+    rng: Rng,
+    cost: CostModel,
+    duration: SimDuration,
+    edge_router_set: Vec<bool>,
+    access_points: Vec<NodeId>,
+    mobility: Option<crate::scenario::MobilityConfig>,
+    moves: u64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("duration", &self.duration)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds the network for `scenario` with the given seed.
+    pub fn build(scenario: &Scenario, seed: u64) -> Network {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
+        let topo: Topology = match scenario.topology {
+            TopologyChoice::Paper(p) => p.build(seed),
+            TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
+        };
+        let n = topo.graph.node_count();
+
+        // Face tables from adjacency order.
+        let mut neighbors: Vec<Vec<(NodeId, LinkSpec)>> = vec![Vec::new(); n];
+        let mut face_index: Vec<HashMap<NodeId, FaceId>> = vec![HashMap::new(); n];
+        for node in topo.graph.nodes() {
+            for (peer, link_id) in topo.graph.incident(node) {
+                let spec = topo.graph.link(link_id).spec;
+                let face = FaceId::new(neighbors[node.0].len() as u32);
+                neighbors[node.0].push((peer, spec));
+                face_index[node.0].insert(peer, face);
+            }
+        }
+
+        // PKI: one ISP trust anchor; every provider certified.
+        let anchor = KeyPair::derive(b"isp-trust-anchor", seed);
+        let mut certs = CertStore::new();
+        certs.add_anchor(anchor.public());
+
+        // Providers.
+        let mut providers: HashMap<usize, Provider> = HashMap::new();
+        let mut catalog: Vec<CatalogEntry> = Vec::new();
+        for (i, &pnode) in topo.providers.iter().enumerate() {
+            let prefix: Name = format!("/prov{i}").parse().expect("static prefix");
+            let config = ProviderConfig {
+                prefix: prefix.clone(),
+                objects: scenario.objects_per_provider,
+                chunks_per_object: scenario.chunks_per_object,
+                chunk_size: scenario.chunk_size,
+                tag_validity: scenario.tag_validity,
+                access_levels: scenario.content_levels.clone(),
+            };
+            let provider = Provider::new(config);
+            certs
+                .register(Certificate::issue(prefix.to_string(), provider.keypair().public(), &anchor))
+                .expect("anchor-signed cert");
+            catalog.push(CatalogEntry {
+                prefix,
+                objects: scenario.objects_per_provider,
+                chunks: scenario.chunks_per_object,
+            });
+            providers.insert(pnode.0, provider);
+        }
+
+        // Routers.
+        let mut edge_router_set = vec![false; n];
+        for &e in &topo.edge_routers {
+            edge_router_set[e.0] = true;
+        }
+        let mut routers: HashMap<usize, TacticRouter> = HashMap::new();
+        for rnode in topo.routers() {
+            let role = if edge_router_set[rnode.0] { RouterRole::Edge } else { RouterRole::Core };
+            let config = RouterConfig {
+                role,
+                bf_params: scenario.bf_params(),
+                cs_capacity: scenario.cs_capacity,
+                access_path_enabled: scenario.access_path_enabled,
+                flag_f_enabled: scenario.flag_f_enabled,
+                content_nack_enabled: scenario.content_nack_enabled,
+                record_sightings: scenario.record_sightings,
+            };
+            let mut router = TacticRouter::new(config, certs.clone());
+            for (face_idx, &(peer, _)) in neighbors[rnode.0].iter().enumerate() {
+                if topo.graph.role(peer) == Role::AccessPoint {
+                    router.mark_downstream(FaceId::new(face_idx as u32));
+                }
+            }
+            routers.insert(rnode.0, router);
+        }
+
+        // Routing: one Dijkstra per provider, FIB entries at every router.
+        for (i, &pnode) in topo.providers.iter().enumerate() {
+            let prefix: Name = format!("/prov{i}").parse().expect("static prefix");
+            let routes = routes_toward(&topo.graph, pnode);
+            for rnode in topo.routers() {
+                if let Some(entry) = routes[rnode.0] {
+                    let face = face_index[rnode.0][&entry.next_hop];
+                    let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
+                    routers.get_mut(&rnode.0).expect("router").add_route(prefix.clone(), face, cost_us);
+                }
+            }
+        }
+
+        // Consumers.
+        let mut consumers: HashMap<usize, Consumer> = HashMap::new();
+        let user_list: Vec<(NodeId, ConsumerKind)> = topo
+            .clients
+            .iter()
+            .map(|&c| (c, ConsumerKind::Client))
+            .chain(topo.attackers.iter().enumerate().map(|(i, &a)| {
+                let strat = scenario.attacker_mix[i % scenario.attacker_mix.len()];
+                (a, ConsumerKind::Attacker(strat))
+            }))
+            .collect();
+        for &(unode, kind) in &user_list {
+            let principal = unode.0 as u64;
+            let config = ConsumerConfig {
+                principal,
+                kind,
+                window: scenario.window,
+                request_timeout: scenario.request_timeout,
+                zipf_alpha: scenario.zipf_alpha,
+                refresh_margin: scenario.tag_refresh_margin,
+            };
+            let mut consumer = Consumer::new(config, catalog.clone(), rng.fork(0x100 + principal));
+            let own_ap = topo.access_point_of(unode);
+            let own_path = AccessPath::of([own_ap.0 as u64]);
+            match kind {
+                ConsumerKind::Client => {
+                    for p in providers.values_mut() {
+                        p.grant(principal, scenario.client_level);
+                    }
+                }
+                ConsumerKind::Attacker(AttackerStrategy::InsufficientLevel) => {
+                    // A "freemium" principal: registered, bottom level.
+                    for p in providers.values_mut() {
+                        p.grant(principal, AccessLevel::Public);
+                    }
+                }
+                ConsumerKind::Attacker(AttackerStrategy::ExpiredTag) => {
+                    // A revoked client clinging to a once-genuine tag.
+                    for (idx, &pnode) in topo.providers.iter().enumerate() {
+                        let p = providers.get_mut(&pnode.0).expect("provider");
+                        let tag = p.issue_tag(
+                            principal,
+                            scenario.client_level,
+                            if scenario.access_path_enabled { own_path } else { AccessPath::EMPTY },
+                            SimTime::from_nanos(1),
+                        );
+                        consumer.preset_tag(idx, tag);
+                    }
+                }
+                ConsumerKind::Attacker(AttackerStrategy::SharedTag) => {
+                    // A tag genuinely issued to a VICTIM client behind a
+                    // different access point, shared with this attacker
+                    // (§3.C threat (e)). Valid for the whole run so the
+                    // access path / traitor tracing are the only defences.
+                    // The victim keeps using her own identity too, which is
+                    // what traitor tracing latches onto.
+                    let victim = topo
+                        .clients
+                        .iter()
+                        .copied()
+                        .find(|&c| topo.access_point_of(c) != own_ap)
+                        .or_else(|| topo.clients.first().copied());
+                    let (victim_principal, victim_path) = match victim {
+                        Some(v) => {
+                            let vap = topo.access_point_of(v);
+                            (v.0 as u64, AccessPath::of([vap.0 as u64]))
+                        }
+                        // Degenerate topology without clients: fall back to
+                        // a fabricated absent principal.
+                        None => (principal ^ 0xDEAD, AccessPath::EMPTY),
+                    };
+                    for (idx, &pnode) in topo.providers.iter().enumerate() {
+                        let p = providers.get_mut(&pnode.0).expect("provider");
+                        let tag = p.issue_tag(
+                            victim_principal,
+                            scenario.client_level,
+                            victim_path,
+                            SimTime::ZERO + scenario.duration,
+                        );
+                        consumer.preset_tag(idx, tag);
+                    }
+                }
+                ConsumerKind::Attacker(_) => {}
+            }
+            consumers.insert(unode.0, consumer);
+        }
+
+        // Assemble node states.
+        let mut nodes: Vec<NodeState> = Vec::with_capacity(n);
+        for node in topo.graph.nodes() {
+            let state = match topo.graph.role(node) {
+                Role::CoreRouter | Role::EdgeRouter => {
+                    NodeState::Router(Box::new(routers.remove(&node.0).expect("router built")))
+                }
+                Role::Provider => {
+                    NodeState::Provider(Box::new(providers.remove(&node.0).expect("provider built")))
+                }
+                Role::Client | Role::Attacker => {
+                    NodeState::Consumer(Box::new(consumers.remove(&node.0).expect("consumer built")))
+                }
+                Role::AccessPoint => {
+                    let upstream = neighbors[node.0]
+                        .iter()
+                        .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
+                        .map(|i| FaceId::new(i as u32))
+                        .expect("AP wired to an edge router");
+                    NodeState::Ap(ApRelay { id: node, upstream, pending: HashMap::new() })
+                }
+            };
+            nodes.push(state);
+        }
+
+        // Schedule consumer starts (staggered over the first second) and
+        // the periodic purge sweep.
+        let mut engine = Engine::with_horizon(SimTime::ZERO + scenario.duration);
+        for &(unode, _) in &user_list {
+            let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
+            engine.schedule(SimTime::ZERO + offset, NetEvent::ConsumerStart { node: unode });
+        }
+        engine.schedule(SimTime::from_secs(1), NetEvent::Purge);
+
+        // Mobility: schedule the first handover for each mobile client.
+        if let Some(m) = scenario.mobility {
+            assert!(
+                (0.0..=1.0).contains(&m.mobile_fraction),
+                "mobile_fraction must be within [0, 1]"
+            );
+            let dwell = tactic_sim::dist::Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
+            let mobile_count = (topo.clients.len() as f64 * m.mobile_fraction).round() as usize;
+            for &c in topo.clients.iter().take(mobile_count) {
+                let at = SimTime::from_secs_f64(dwell.sample(&mut rng));
+                engine.schedule(at, NetEvent::Move { node: c });
+            }
+        }
+
+        Network {
+            engine,
+            nodes,
+            neighbors,
+            face_index,
+            link_busy: HashMap::new(),
+            rng,
+            cost: scenario.cost_model.clone(),
+            duration: scenario.duration,
+            edge_router_set,
+            access_points: topo.access_points.clone(),
+            mobility: scenario.mobility,
+            moves: 0,
+        }
+    }
+
+    /// Runs to the horizon and aggregates the [`RunReport`].
+    pub fn run(mut self) -> RunReport {
+        while let Some(ev) = self.engine.pop() {
+            self.dispatch(ev);
+        }
+        let mut report = RunReport {
+            duration: self.duration,
+            events: self.engine.processed(),
+            moves: self.moves,
+            ..Default::default()
+        };
+        for (idx, state) in self.nodes.into_iter().enumerate() {
+            match state {
+                NodeState::Router(r) => {
+                    for &(identity, observed_path, at) in r.sightings() {
+                        report.sightings.push(crate::traitor::Sighting {
+                            identity,
+                            observed_path,
+                            edge_router: idx as u64,
+                            at,
+                        });
+                    }
+                    if self.edge_router_set[idx] {
+                        report.edge_ops.merge(r.counters());
+                        report.edge_reset_requests.extend_from_slice(r.reset_request_counts());
+                    } else {
+                        report.core_ops.merge(r.counters());
+                        report.core_reset_requests.extend_from_slice(r.reset_request_counts());
+                    }
+                }
+                NodeState::Provider(p) => {
+                    let c = p.counters();
+                    report.providers.tags_issued += c.tags_issued;
+                    report.providers.registrations_denied += c.registrations_denied;
+                    report.providers.chunks_served += c.chunks_served;
+                    report.providers.nacks += c.nacks;
+                }
+                NodeState::Consumer(c) => {
+                    report.absorb_consumer(c.kind(), c.stats().clone());
+                }
+                NodeState::Ap(_) => {}
+            }
+        }
+        report
+    }
+
+    fn dispatch(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::Deliver { node, face, packet } => self.on_deliver(node, face, packet),
+            NetEvent::ConsumerStart { node } => {
+                let now = self.engine.now();
+                let NodeState::Consumer(c) = &mut self.nodes[node.0] else { return };
+                let sends = c.fill(now);
+                let timeout = c.request_timeout();
+                self.consumer_send(node, sends, timeout);
+            }
+            NetEvent::Timeout { node, name, sent } => {
+                let now = self.engine.now();
+                let NodeState::Consumer(c) = &mut self.nodes[node.0] else { return };
+                let sends = c.on_timeout(&name, sent, now);
+                let timeout = c.request_timeout();
+                self.consumer_send(node, sends, timeout);
+            }
+            NetEvent::Move { node } => {
+                self.perform_handover(node);
+                if let Some(m) = self.mobility {
+                    let dwell = tactic_sim::dist::Exponential::from_mean(
+                        m.mean_dwell.as_secs_f64().max(1e-3),
+                    );
+                    let delay = SimDuration::from_secs_f64(dwell.sample(&mut self.rng));
+                    self.engine.schedule_after(delay, NetEvent::Move { node });
+                }
+            }
+            NetEvent::Purge => {
+                let now = self.engine.now();
+                for state in &mut self.nodes {
+                    match state {
+                        NodeState::Router(r) => {
+                            r.purge_pit(now);
+                        }
+                        NodeState::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
+                        _ => {}
+                    }
+                }
+                self.engine.schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, node: NodeId, face: FaceId, packet: Packet) {
+        let now = self.engine.now();
+        match &mut self.nodes[node.0] {
+            NodeState::Router(r) => {
+                let out = match packet {
+                    Packet::Interest(i) => r.handle_interest(i, face, now, &mut self.rng, &self.cost),
+                    Packet::Data(d) => r.handle_data(d, face, now, &mut self.rng, &self.cost),
+                    // Standalone NACKs travel downstream: relay toward the
+                    // pending requesters, consuming the PIT state.
+                    Packet::Nack(n) => r.handle_nack(&n),
+                };
+                for (out_face, pkt) in out.sends {
+                    self.transmit(node, out_face, pkt, out.compute);
+                }
+            }
+            NodeState::Provider(p) => {
+                let (replies, compute) = match &packet {
+                    Packet::Interest(i) => p.handle_interest(i, now, &mut self.rng, &self.cost),
+                    _ => (Vec::new(), SimDuration::ZERO),
+                };
+                for pkt in replies {
+                    self.transmit(node, face, pkt, compute);
+                }
+            }
+            NodeState::Consumer(c) => {
+                let sends = match &packet {
+                    Packet::Data(d) => c.on_data(d, now),
+                    Packet::Nack(n) => c.on_nack(n, now),
+                    Packet::Interest(_) => Vec::new(),
+                };
+                let timeout = c.request_timeout();
+                self.consumer_send(node, sends, timeout);
+            }
+            NodeState::Ap(ap) => {
+                match packet {
+                    Packet::Interest(mut i) => {
+                        if face == ap.upstream {
+                            return; // Interests never flow AP-ward.
+                        }
+                        // Accumulate the access path with the AP's identity.
+                        let path = ext::interest_access_path(&i).extended(ap.id.0 as u64);
+                        ext::set_interest_access_path(&mut i, path);
+                        let identity = ext::interest_tag(&i).as_ref().map(tag_identity);
+                        ap.pending.entry(i.name().clone()).or_default().push((face, now, identity));
+                        let up = ap.upstream;
+                        self.transmit(node, up, Packet::Interest(i), SimDuration::ZERO);
+                    }
+                    Packet::Data(d) => {
+                        let identity = ext::data_tag(&d).as_ref().map(tag_identity);
+                        let faces = ap.claim(d.name(), identity);
+                        for f in faces {
+                            self.transmit(node, f, Packet::Data(d.clone()), SimDuration::ZERO);
+                        }
+                    }
+                    Packet::Nack(nk) => {
+                        let identity = ext::interest_tag(nk.interest()).as_ref().map(tag_identity);
+                        let faces = ap.claim(nk.interest().name(), identity);
+                        for f in faces {
+                            self.transmit(node, f, Packet::Nack(nk.clone()), SimDuration::ZERO);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-attaches a mobile client to a uniformly random *other* access
+    /// point: the client's single face now leads to the new AP (same
+    /// 10 Mbps/2 ms wireless spec), the new AP gains a face back, and the
+    /// consumer drops its tags so the next request re-registers from the
+    /// new location.
+    fn perform_handover(&mut self, node: NodeId) {
+        if self.access_points.len() < 2 {
+            return;
+        }
+        let Some(&(current_ap, spec)) = self.neighbors[node.0].first() else { return };
+        let new_ap = loop {
+            let candidate = *self.rng.choose(&self.access_points);
+            if candidate != current_ap {
+                break candidate;
+            }
+        };
+        // Client side: face 0 now points at the new AP.
+        self.neighbors[node.0][0] = (new_ap, spec);
+        self.face_index[node.0].clear();
+        self.face_index[node.0].insert(new_ap, FaceId::new(0));
+        // AP side: ensure the new AP has a face toward this client.
+        if !self.face_index[new_ap.0].contains_key(&node) {
+            let face = FaceId::new(self.neighbors[new_ap.0].len() as u32);
+            self.neighbors[new_ap.0].push((node, spec));
+            self.face_index[new_ap.0].insert(node, face);
+        }
+        self.moves += 1;
+        let now = self.engine.now();
+        if let NodeState::Consumer(c) = &mut self.nodes[node.0] {
+            c.on_move(now);
+            let sends = c.fill(now);
+            let timeout = c.request_timeout();
+            self.consumer_send(node, sends, timeout);
+        }
+    }
+
+    fn consumer_send(&mut self, node: NodeId, sends: Vec<tactic_ndn::packet::Interest>, timeout: SimDuration) {
+        let now = self.engine.now();
+        for i in sends {
+            self.engine.schedule(
+                now + timeout,
+                NetEvent::Timeout { node, name: i.name().clone(), sent: now },
+            );
+            self.transmit(node, FaceId::new(0), Packet::Interest(i), SimDuration::ZERO);
+        }
+    }
+
+    /// Transmits on a link: FIFO serialisation + propagation delay, after
+    /// the sender's computation time.
+    fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
+        let Some(&(to, spec)) = self.neighbors[from.0].get(out_face.index() as usize) else {
+            return; // Dangling face: drop.
+        };
+        let now = self.engine.now();
+        let size = wire_size(&packet);
+        let ready = now + compute;
+        let key = (from.0, to.0);
+        let busy = self.link_busy.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let depart = ready.max(busy);
+        let serialize = spec.serialization_delay(size);
+        self.link_busy.insert(key, depart + serialize);
+        let arrival = depart + serialize + spec.latency;
+        // A handover may have torn down the reverse mapping (the receiver
+        // moved away): the in-flight packet is lost with the radio link.
+        let Some(&in_face) = self.face_index[to.0].get(&from) else {
+            return;
+        };
+        self.engine.schedule(arrival, NetEvent::Deliver { node: to, face: in_face, packet });
+    }
+}
+
+/// Convenience: build and run a scenario with one seed.
+pub fn run_scenario(scenario: &Scenario, seed: u64) -> RunReport {
+    Network::build(scenario, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(seed: u64) -> RunReport {
+        let mut s = Scenario::small();
+        s.duration = SimDuration::from_secs(15);
+        run_scenario(&s, seed)
+    }
+
+    #[test]
+    fn clients_retrieve_attackers_do_not() {
+        let r = small_run(1);
+        assert!(r.delivery.client_requested > 100, "clients requested {}", r.delivery.client_requested);
+        assert!(
+            r.delivery.client_ratio() > 0.95,
+            "client delivery ratio {} (req {}, recv {})",
+            r.delivery.client_ratio(),
+            r.delivery.client_requested,
+            r.delivery.client_received
+        );
+        assert!(r.delivery.attacker_requested > 10);
+        assert!(
+            r.delivery.attacker_ratio() < 0.01,
+            "attacker delivery ratio {}",
+            r.delivery.attacker_ratio()
+        );
+    }
+
+    #[test]
+    fn tags_cycle_with_expiry() {
+        let r = small_run(2);
+        // 15 s run, 10 s tags: every client re-registers at least once per
+        // provider it talks to.
+        assert!(!r.tag_requests.is_empty());
+        assert!(!r.tags_received.is_empty());
+        assert!(r.tags_received.len() <= r.tag_requests.len());
+        // Substantially all client registrations are answered.
+        assert!(
+            r.tags_received.len() as f64 >= 0.8 * r.tag_requests.len() as f64,
+            "Q {} vs R {}",
+            r.tag_requests.len(),
+            r.tags_received.len()
+        );
+    }
+
+    #[test]
+    fn routers_do_work_and_lookups_dominate_verifications() {
+        let r = small_run(3);
+        assert!(r.edge_ops.bf_lookups > 0);
+        assert!(r.edge_ops.interests > 0);
+        assert!(r.core_ops.interests > 0);
+        // Fig. 7's headline: BF lookups far outnumber signature
+        // verifications at the edge.
+        assert!(
+            r.edge_ops.bf_lookups > r.edge_ops.sig_verifications,
+            "edge L {} vs V {}",
+            r.edge_ops.bf_lookups,
+            r.edge_ops.sig_verifications
+        );
+    }
+
+    #[test]
+    fn latencies_are_recorded_and_plausible() {
+        let r = small_run(4);
+        assert!(r.latency.len() > 100);
+        let mean = r.mean_latency();
+        assert!(mean > 0.001 && mean < 1.0, "mean latency {mean}s");
+        let series = r.latency.per_second_means();
+        assert!(series.len() > 5, "per-second series has {} points", series.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_run(7);
+        let b = small_run(7);
+        assert_eq!(a.delivery, b.delivery);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.edge_ops, b.edge_ops);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_run(8);
+        let b = small_run(9);
+        assert_ne!(a.events, b.events);
+    }
+}

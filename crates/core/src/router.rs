@@ -1,0 +1,1121 @@
+//! The TACTIC router: Protocols 2 (edge), 3 (content), and 4
+//! (intermediate) over the NDN tables.
+//!
+//! One [`TacticRouter`] type covers all three roles because the roles are
+//! situational: a router is a *content* router for names it has cached, an
+//! *intermediate* router otherwise, and an *edge* router additionally runs
+//! Protocol 2 on Interests arriving from its client-side (downstream)
+//! faces. Routers are pure state machines — handlers return the packets to
+//! emit plus the sampled computation delay — so the protocols are testable
+//! without the event engine.
+
+use std::collections::HashSet;
+
+use tactic_bloom::{BloomFilter, BloomParams};
+use tactic_crypto::cert::CertStore;
+use tactic_ndn::face::FaceId;
+use tactic_ndn::forwarder::Tables;
+use tactic_ndn::packet::{Data, Interest, Nack, NackReason, Packet};
+use tactic_ndn::pit::PitInsert;
+use tactic_sim::cost::{CostModel, Op};
+use tactic_sim::rng::Rng;
+use tactic_sim::time::{SimDuration, SimTime};
+
+use crate::ext;
+use crate::precheck::{content_precheck, edge_precheck};
+use crate::tag::SignedTag;
+
+/// Whether a router is a designated edge router (`R_E`) or a core router
+/// (`R_C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterRole {
+    /// Designated edge router: runs Protocol 2 on downstream Interests.
+    Edge,
+    /// Core router: Protocol 3 when it has the content, Protocol 4
+    /// otherwise.
+    Core,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Edge or core.
+    pub role: RouterRole,
+    /// Bloom-filter sizing (the paper's default: 500-tag capacity, k = 5,
+    /// max FPP 1e-4).
+    pub bf_params: BloomParams,
+    /// Content-store capacity in packets.
+    pub cs_capacity: usize,
+    /// Enforce access-path authentication at edge routers (§4.A; the
+    /// paper's own simulation ran with this off).
+    pub access_path_enabled: bool,
+    /// Honour the cooperation flag `F` (ablation: when off, content
+    /// routers treat every request as unvalidated, i.e. `F = 0`).
+    pub flag_f_enabled: bool,
+    /// Return content *with* a NACK marker on invalid tags so downstream
+    /// aggregated valid requests are still satisfied (§5.B). Ablation:
+    /// when off, invalid requests are simply dropped and co-aggregated
+    /// valid requesters must re-request after a timeout.
+    pub content_nack_enabled: bool,
+    /// Record `(identity, observed path, time)` sightings of tagged
+    /// requests at edge routers, feeding the traitor-tracing extension
+    /// (`crate::traitor`). Off by default.
+    pub record_sightings: bool,
+}
+
+impl RouterConfig {
+    /// The paper's configuration for the given role.
+    pub fn paper(role: RouterRole) -> Self {
+        RouterConfig {
+            role,
+            bf_params: BloomParams::paper(500),
+            cs_capacity: 1_000,
+            access_path_enabled: false,
+            flag_f_enabled: true,
+            content_nack_enabled: true,
+            record_sightings: false,
+        }
+    }
+}
+
+/// Operation counters — the quantities plotted in Fig. 7 / Fig. 8 /
+/// Table V.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Bloom-filter lookups (`L`).
+    pub bf_lookups: u64,
+    /// Bloom-filter insertions (`I`).
+    pub bf_insertions: u64,
+    /// Signature verifications (`V`).
+    pub sig_verifications: u64,
+    /// Bloom-filter resets.
+    pub bf_resets: u64,
+    /// Interests processed.
+    pub interests: u64,
+    /// Data packets processed.
+    pub data: u64,
+    /// Requests rejected by the Protocol 1 pre-check.
+    pub precheck_rejections: u64,
+    /// Requests rejected by access-path authentication.
+    pub ap_rejections: u64,
+    /// NACKs emitted (standalone or content-attached).
+    pub nacks: u64,
+    /// Content-store hits.
+    pub cache_hits: u64,
+}
+
+impl OpCounters {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.bf_lookups += other.bf_lookups;
+        self.bf_insertions += other.bf_insertions;
+        self.sig_verifications += other.sig_verifications;
+        self.bf_resets += other.bf_resets;
+        self.interests += other.interests;
+        self.data += other.data;
+        self.precheck_rejections += other.precheck_rejections;
+        self.ap_rejections += other.ap_rejections;
+        self.nacks += other.nacks;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// What a handler wants transmitted, plus the computation time it charged.
+#[derive(Debug, Clone, Default)]
+pub struct RouterOutput {
+    /// `(out_face, packet)` pairs to transmit.
+    pub sends: Vec<(FaceId, Packet)>,
+    /// Total sampled computation delay for this packet's processing.
+    pub compute: SimDuration,
+}
+
+/// A TACTIC router.
+pub struct TacticRouter {
+    config: RouterConfig,
+    tables: Tables,
+    bf: BloomFilter,
+    certs: CertStore,
+    counters: OpCounters,
+    downstream: HashSet<FaceId>,
+    requests_since_reset: u64,
+    reset_request_counts: Vec<u64>,
+    sightings: Vec<(u64, crate::access_path::AccessPath, SimTime)>,
+}
+
+impl std::fmt::Debug for TacticRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TacticRouter")
+            .field("role", &self.config.role)
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+/// The PIT note: `(flag F, optional tag)` serialized.
+fn encode_note(f: f64, tag: Option<&SignedTag>) -> Vec<u8> {
+    let mut out = f.to_bits().to_le_bytes().to_vec();
+    if let Some(t) = tag {
+        out.extend_from_slice(&t.encode());
+    }
+    out
+}
+
+fn decode_note(note: &[u8]) -> (f64, Option<SignedTag>) {
+    if note.len() < 8 {
+        return (0.0, None);
+    }
+    let f = f64::from_bits(u64::from_le_bytes(note[..8].try_into().expect("8 bytes")));
+    let tag = if note.len() > 8 { SignedTag::decode(&note[8..]).ok() } else { None };
+    (f, tag)
+}
+
+/// Outcome of the Protocol 3 content-serving decision.
+#[derive(Debug)]
+enum ServeDecision {
+    /// Deliver the content (annotated clone).
+    Serve(Data),
+    /// The tag is invalid: routers downstream get content + NACK so their
+    /// aggregated valid requests are still satisfied; *clients* get
+    /// nothing (or a bare NACK).
+    Invalid(Data, NackReason),
+}
+
+impl TacticRouter {
+    /// Creates a router with the given configuration and provider-key
+    /// registry.
+    pub fn new(config: RouterConfig, certs: CertStore) -> Self {
+        TacticRouter {
+            bf: BloomFilter::new(config.bf_params),
+            tables: Tables::new(config.cs_capacity),
+            config,
+            certs,
+            counters: OpCounters::default(),
+            downstream: HashSet::new(),
+            requests_since_reset: 0,
+            reset_request_counts: Vec::new(),
+            sightings: Vec::new(),
+        }
+    }
+
+    /// The router's role.
+    pub fn role(&self) -> RouterRole {
+        self.config.role
+    }
+
+    /// Marks a face as downstream (client-side); edge routers run
+    /// Protocol 2 on Interests arriving there.
+    pub fn mark_downstream(&mut self, face: FaceId) {
+        self.downstream.insert(face);
+    }
+
+    /// Installs a FIB route.
+    pub fn add_route(&mut self, prefix: tactic_ndn::name::Name, face: FaceId, cost: u32) {
+        self.tables.fib.add_route(prefix, face, cost);
+    }
+
+    /// The operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Requests absorbed between consecutive BF resets (Fig. 8's metric);
+    /// one entry per completed reset.
+    pub fn reset_request_counts(&self) -> &[u64] {
+        &self.reset_request_counts
+    }
+
+    /// Recorded `(identity, observed path, time)` sightings (empty unless
+    /// [`RouterConfig::record_sightings`] is set).
+    pub fn sightings(&self) -> &[(u64, crate::access_path::AccessPath, SimTime)] {
+        &self.sightings
+    }
+
+    /// The Bloom filter (inspection / tests).
+    pub fn bloom_filter(&self) -> &BloomFilter {
+        &self.bf
+    }
+
+    /// The NDN tables (inspection / tests).
+    pub fn tables(&self) -> &Tables {
+        &self.tables
+    }
+
+    /// Expires stale PIT records; call periodically.
+    pub fn purge_pit(&mut self, now: SimTime) -> usize {
+        self.tables.pit.purge_expired(now)
+    }
+
+    /// Relays a standalone NACK downstream to every pending requester,
+    /// consuming the PIT entry.
+    pub fn handle_nack(&mut self, nack: &Nack) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        if let Some(entry) = self.tables.pit.take(nack.interest().name()) {
+            for rec in entry.into_records() {
+                out.sends.push((rec.face, Packet::Nack(nack.clone())));
+            }
+        }
+        out
+    }
+
+    fn is_downstream(&self, face: FaceId) -> bool {
+        self.downstream.contains(&face)
+    }
+
+    /// BF lookup with cost charging and counting.
+    fn bf_contains(&mut self, key: &[u8], rng: &mut Rng, cost: &CostModel, charge: &mut SimDuration) -> bool {
+        self.counters.bf_lookups += 1;
+        *charge += cost.sample(Op::BfLookup, rng);
+        self.bf.contains(key)
+    }
+
+    /// BF insert with saturation-reset accounting, cost charging, counting.
+    fn bf_insert(&mut self, key: &[u8], rng: &mut Rng, cost: &CostModel, charge: &mut SimDuration) {
+        if self.bf.is_saturated() {
+            self.bf.reset();
+            self.counters.bf_resets += 1;
+            self.reset_request_counts.push(self.requests_since_reset);
+            self.requests_since_reset = 0;
+        }
+        self.counters.bf_insertions += 1;
+        *charge += cost.sample(Op::BfInsert, rng);
+        self.bf.insert(key);
+    }
+
+    /// Full tag validation: BF short-circuit, then signature verification
+    /// against the registered provider key, inserting on success.
+    fn validate_tag(
+        &mut self,
+        tag: &SignedTag,
+        rng: &mut Rng,
+        cost: &CostModel,
+        charge: &mut SimDuration,
+    ) -> bool {
+        let key = tag.bloom_key();
+        if self.bf_contains(&key, rng, cost, charge) {
+            return true;
+        }
+        self.counters.sig_verifications += 1;
+        *charge += cost.sample(Op::SigVerify, rng);
+        let provider = self.certs.key_for(&tag.tag.provider_prefix().to_string());
+        let valid = provider.is_some_and(|pk| tag.verify(&pk));
+        if valid {
+            self.bf_insert(&key, rng, cost, charge);
+        }
+        valid
+    }
+
+    /// Handles an incoming Interest (Protocols 1, 2, and the Interest
+    /// halves of 3 and 4).
+    pub fn handle_interest(
+        &mut self,
+        mut interest: Interest,
+        in_face: FaceId,
+        now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+    ) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        self.counters.interests += 1;
+        self.requests_since_reset += 1;
+
+        let from_client = self.config.role == RouterRole::Edge && self.is_downstream(in_face);
+        let registration = ext::is_registration(&interest);
+        let tag = if registration { None } else { ext::interest_tag(&interest) };
+
+        // ── Protocol 2, Interest side (edge routers, client-side faces) ──
+        if from_client && !registration {
+            if let Some(st) = &tag {
+                if self.config.record_sightings {
+                    self.sightings.push((
+                        st.client_identity(),
+                        ext::interest_access_path(&interest),
+                        now,
+                    ));
+                }
+                if self.config.access_path_enabled {
+                    out.compute += cost.sample(Op::AccessPathCheck, rng);
+                    let observed = ext::interest_access_path(&interest);
+                    if observed != st.tag.access_path {
+                        // Lines 1-2: drop and NACK the client.
+                        self.counters.ap_rejections += 1;
+                        self.counters.nacks += 1;
+                        out.sends.push((
+                            in_face,
+                            Packet::Nack(Nack::new(interest, NackReason::AccessPathMismatch)),
+                        ));
+                        return out;
+                    }
+                }
+                // Protocol 1, edge half. Failures are dropped *silently*
+                // (no NACK): the requester's window slot frees only via
+                // its 1 s request expiry, which is the paper's
+                // "request-based DoS prevention" (§8.B).
+                out.compute += cost.sample(Op::PreCheck, rng);
+                if edge_precheck(&st.tag, interest.name(), now).is_err() {
+                    self.counters.precheck_rejections += 1;
+                    return out;
+                }
+                // Lines 4-8: set F from the BF.
+                let key = st.bloom_key();
+                let f = if self.bf_contains(&key, rng, cost, &mut out.compute) {
+                    // A hit with a pristine filter still means "validated":
+                    // floor the flag so it stays distinguishable from 0.
+                    self.bf.estimated_fpp().max(1e-9)
+                } else {
+                    0.0
+                };
+                ext::set_interest_flag_f(&mut interest, f);
+            } else {
+                ext::set_interest_flag_f(&mut interest, 0.0);
+            }
+        }
+
+        let flag_f = if self.config.flag_f_enabled { ext::interest_flag_f(&interest) } else { 0.0 };
+
+        // ── Content store: Protocol 3 if we hold the content ──
+        if !registration {
+            if let Some(cached) = self.tables.cs.get(interest.name()) {
+                let cached = cached.clone();
+                self.counters.cache_hits += 1;
+                let decision =
+                    self.serve_content(&cached, tag.as_ref(), flag_f, now, rng, cost, &mut out.compute);
+                match decision {
+                    ServeDecision::Serve(d) => out.sends.push((in_face, Packet::Data(d))),
+                    ServeDecision::Invalid(d, _reason) => {
+                        if from_client {
+                            // Never hand unauthorized content to a client;
+                            // drop silently so the attacker is throttled by
+                            // its own request expiry.
+                        } else if self.config.content_nack_enabled {
+                            self.counters.nacks += 1;
+                            out.sends.push((in_face, Packet::Data(d)));
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+
+        // ── Protocol 4, Interest side: PIT aggregation, FIB forward ──
+        let note = encode_note(flag_f, tag.as_ref());
+        let expiry = now + SimDuration::from_millis(interest.lifetime_ms() as u64);
+        match self.tables.pit.on_interest(interest.name(), in_face, interest.nonce(), expiry, note) {
+            PitInsert::DuplicateNonce => {}
+            PitInsert::Aggregated => {}
+            PitInsert::New => match self.tables.fib.next_hop(interest.name()) {
+                Some(next) => out.sends.push((next, Packet::Interest(interest))),
+                None => {
+                    self.tables.pit.take(interest.name());
+                    self.counters.nacks += 1;
+                    out.sends.push((in_face, Packet::Nack(Nack::new(interest, NackReason::NoRoute))));
+                }
+            },
+        }
+        out
+    }
+
+    /// Protocol 3: decide how to answer a request for cached content.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_content(
+        &mut self,
+        cached: &Data,
+        tag: Option<&SignedTag>,
+        flag_f: f64,
+        _now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+        charge: &mut SimDuration,
+    ) -> ServeDecision {
+        let al = ext::data_access_level(cached);
+        // Public (NULL) content needs no tag verification at all.
+        if al.is_public() {
+            return ServeDecision::Serve(cached.clone());
+        }
+        let Some(st) = tag else {
+            // Protected content, no tag: content-NACK so downstream
+            // aggregated (valid) requests are still satisfiable.
+            let mut d = cached.clone();
+            ext::set_data_nack(&mut d, NackReason::InvalidTag);
+            return ServeDecision::Invalid(d, NackReason::InvalidTag);
+        };
+        // Protocol 1, content half.
+        *charge += cost.sample(Op::PreCheck, rng);
+        let key_loc = ext::data_key_locator(cached).unwrap_or_default();
+        if content_precheck(&st.tag, al, &key_loc).is_err() {
+            self.counters.precheck_rejections += 1;
+            let mut d = cached.clone();
+            ext::set_data_tag(&mut d, st);
+            ext::set_data_nack(&mut d, NackReason::InvalidTag);
+            return ServeDecision::Invalid(d, NackReason::InvalidTag);
+        }
+        let valid = if flag_f == 0.0 {
+            // Lines 1-10: BF lookup; verify + insert on miss.
+            self.validate_tag(st, rng, cost, charge)
+        } else if rng.chance(flag_f) {
+            // Lines 11-12: probabilistic re-validation guards against the
+            // edge filter's false positives.
+            self.counters.sig_verifications += 1;
+            *charge += cost.sample(Op::SigVerify, rng);
+            let provider = self.certs.key_for(&st.tag.provider_prefix().to_string());
+            provider.is_some_and(|pk| st.verify(&pk))
+        } else {
+            true // Trust the edge router's validation.
+        };
+        let mut d = cached.clone();
+        ext::set_data_tag(&mut d, st);
+        // Mirror the request's F into D (lines 2, 8, 13) so the edge
+        // router knows whether to insert the tag into its own filter.
+        ext::set_data_flag_f(&mut d, flag_f);
+        if valid {
+            ServeDecision::Serve(d)
+        } else {
+            ext::set_data_nack(&mut d, NackReason::InvalidTag);
+            ServeDecision::Invalid(d, NackReason::InvalidTag)
+        }
+    }
+
+    /// Handles an incoming Data packet (Protocol 2's content side and
+    /// Protocol 4's content side).
+    pub fn handle_data(
+        &mut self,
+        data: Data,
+        _in_face: FaceId,
+        now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+    ) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        self.counters.data += 1;
+
+        // Registration responses: edge inserts the fresh tag (Protocol 2
+        // lines 11-12) and everyone forwards without caching.
+        if let Some(new_tag) = ext::data_new_tag(&data) {
+            let Some(entry) = self.tables.pit.take(data.name()) else {
+                return out;
+            };
+            for rec in entry.records() {
+                if self.config.role == RouterRole::Edge && self.is_downstream(rec.face) {
+                    self.bf_insert(&new_tag.bloom_key(), rng, cost, &mut out.compute);
+                }
+                out.sends.push((rec.face, Packet::Data(data.clone())));
+            }
+            return out;
+        }
+
+        let echoed = ext::data_tag(&data);
+        let nack = ext::data_nack(&data);
+        let f_in_d = ext::data_flag_f(&data);
+        let al = ext::data_access_level(&data);
+
+        let Some(entry) = self.tables.pit.take(data.name()) else {
+            return out; // Unsolicited: drop, don't cache (NFD policy).
+        };
+
+        // Cache the canonical content (annotations stripped); the content
+        // itself is genuine even when a NACK rides along.
+        let mut canonical = data.clone();
+        ext::strip_delivery_annotations(&mut canonical);
+        self.tables.cs.insert_at(canonical.clone(), now);
+
+        let echoed_key = echoed.as_ref().map(SignedTag::bloom_key);
+        for rec in entry.into_records() {
+            let (rec_f, rec_tag) = decode_note(&rec.note);
+            let to_client = self.is_downstream(rec.face);
+            let is_echo = match (&rec_tag, &echoed_key) {
+                (Some(rt), Some(ek)) => &rt.bloom_key() == ek,
+                (None, None) => true,
+                _ => false,
+            };
+
+            if is_echo {
+                // Protocol 2 lines 11-21 / Protocol 4 lines 6-10.
+                match nack {
+                    Some(reason) => {
+                        if to_client {
+                            // Edge: drop the nacked request (lines 19-20);
+                            // the client's window frees via timeout.
+                            let _ = reason;
+                        } else {
+                            out.sends.push((rec.face, Packet::Data(data.clone())));
+                        }
+                    }
+                    None => {
+                        if to_client && f_in_d == 0.0 {
+                            // Lines 14-15: upstream vouched; insert.
+                            if let Some(rt) = &rec_tag {
+                                self.bf_insert(&rt.bloom_key(), rng, cost, &mut out.compute);
+                            }
+                        }
+                        out.sends.push((rec.face, Packet::Data(data.clone())));
+                    }
+                }
+                continue;
+            }
+
+            // Aggregated requesters: Protocol 4 lines 11-25 / Protocol 2
+            // lines 22-23.
+            let Some(rt) = rec_tag else {
+                // Untagged aggregated request: only public content flows.
+                if al.is_public() {
+                    out.sends.push((rec.face, Packet::Data(data.clone())));
+                } else if !to_client && self.config.content_nack_enabled {
+                    let mut d = data.clone();
+                    ext::set_data_nack(&mut d, NackReason::InvalidTag);
+                    self.counters.nacks += 1;
+                    out.sends.push((rec.face, Packet::Data(d)));
+                }
+                continue;
+            };
+            let flag_f = if self.config.flag_f_enabled { rec_f } else { 0.0 };
+            if flag_f != 0.0 && !rng.chance(flag_f) {
+                // Trust the edge router's prior validation.
+                let mut d = data.clone();
+                ext::set_data_tag(&mut d, &rt);
+                ext::set_data_flag_f(&mut d, flag_f);
+                out.sends.push((rec.face, Packet::Data(d)));
+                continue;
+            }
+            // Validate: pre-check (both halves apply here — the tag may
+            // have expired while pending), then BF/signature.
+            out.compute += cost.sample(Op::PreCheck, rng);
+            let key_loc = ext::data_key_locator(&data).unwrap_or_default();
+            let pre_ok = edge_precheck(&rt.tag, data.name(), now).is_ok()
+                && content_precheck(&rt.tag, al, &key_loc).is_ok();
+            let valid = pre_ok && self.validate_tag(&rt, rng, cost, &mut out.compute);
+            if valid {
+                let mut d = data.clone();
+                ext::set_data_tag(&mut d, &rt);
+                ext::set_data_flag_f(&mut d, 0.0);
+                out.sends.push((rec.face, Packet::Data(d)));
+            } else if to_client {
+                // Edge: "forward D to w if valid and drop otherwise".
+                if !pre_ok {
+                    self.counters.precheck_rejections += 1;
+                }
+            } else if self.config.content_nack_enabled {
+                let mut d = data.clone();
+                ext::set_data_tag(&mut d, &rt);
+                ext::set_data_nack(&mut d, NackReason::InvalidTag);
+                self.counters.nacks += 1;
+                out.sends.push((rec.face, Packet::Data(d)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessLevel;
+    use crate::access_path::AccessPath;
+    use crate::tag::Tag;
+    use tactic_crypto::cert::Certificate;
+    use tactic_crypto::schnorr::{KeyPair, Signature};
+    use tactic_ndn::name::Name;
+    use tactic_ndn::packet::Payload;
+
+    const UP: FaceId = FaceId::new(0);
+    const CLIENT: FaceId = FaceId::new(1);
+    const CLIENT2: FaceId = FaceId::new(2);
+
+    struct Fixture {
+        router: TacticRouter,
+        provider: KeyPair,
+        rng: Rng,
+        cost: CostModel,
+    }
+
+    fn fixture(role: RouterRole) -> Fixture {
+        let anchor = KeyPair::derive(b"anchor", 0);
+        let provider = KeyPair::derive(b"/prov", 0);
+        let mut certs = CertStore::new();
+        certs.add_anchor(anchor.public());
+        certs.register(Certificate::issue("/prov", provider.public(), &anchor)).unwrap();
+        let mut config = RouterConfig::paper(role);
+        config.cs_capacity = 100;
+        let mut router = TacticRouter::new(config, certs);
+        router.add_route("/prov".parse().unwrap(), UP, 1);
+        router.mark_downstream(CLIENT);
+        router.mark_downstream(CLIENT2);
+        Fixture { router, provider, rng: Rng::seed_from_u64(1), cost: CostModel::free() }
+    }
+
+    fn make_tag(f: &Fixture, expiry_secs: u64) -> SignedTag {
+        Tag {
+            provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+            access_level: AccessLevel::Level(2),
+            client_key_locator: "/prov/users/u/KEY".parse().unwrap(),
+            access_path: AccessPath::EMPTY,
+            expiry: SimTime::from_secs(expiry_secs),
+        }
+        .sign(&f.provider)
+    }
+
+    fn content(name: &str, al: AccessLevel) -> Data {
+        let mut d = Data::new(name.parse().unwrap(), Payload::Synthetic(1024));
+        ext::set_data_access_level(&mut d, al);
+        ext::set_data_key_locator(&mut d, &"/prov/KEY/1".parse().unwrap());
+        d
+    }
+
+    fn tagged_interest(name: &str, nonce: u64, tag: &SignedTag) -> Interest {
+        let mut i = Interest::new(name.parse().unwrap(), nonce);
+        ext::set_interest_tag(&mut i, tag);
+        i
+    }
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn edge_forwards_valid_tag_with_f_zero_on_bf_miss() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        let i = tagged_interest("/prov/obj/0", 1, &tag);
+        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(out.sends.len(), 1);
+        let (face, pkt) = &out.sends[0];
+        assert_eq!(*face, UP);
+        let Packet::Interest(fw) = pkt else { panic!("expected Interest") };
+        assert_eq!(ext::interest_flag_f(fw), 0.0);
+        assert_eq!(f.router.counters().bf_lookups, 1);
+    }
+
+    #[test]
+    fn edge_sets_nonzero_f_after_tag_known() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        // Seed the BF as if the tag had been validated before.
+        let mut charge = SimDuration::ZERO;
+        f.router.bf_insert(&tag.bloom_key(), &mut f.rng.clone(), &f.cost, &mut charge);
+        let i = tagged_interest("/prov/obj/0", 1, &tag);
+        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Interest(fw) = &out.sends[0].1 else { panic!("expected Interest") };
+        assert!(ext::interest_flag_f(fw) > 0.0, "F must be the BF's FPP, nonzero");
+    }
+
+    #[test]
+    fn edge_drops_expired_tag_silently() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 5);
+        let i = tagged_interest("/prov/obj/0", 1, &tag);
+        let out = f.router.handle_interest(i, CLIENT, SimTime::from_secs(6), &mut f.rng, &f.cost);
+        // Protocol 1 at the edge DROPS: no NACK, so the requester's window
+        // slot frees only via request expiry (the DoS throttle of §8.B).
+        assert!(out.sends.is_empty());
+        assert_eq!(f.router.counters().precheck_rejections, 1);
+        assert_eq!(f.router.counters().bf_lookups, 0, "pre-check precedes BF lookup");
+    }
+
+    #[test]
+    fn edge_drops_cross_provider_tag() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        let i = tagged_interest("/other/obj/0", 1, &tag);
+        let mut router = f.router;
+        router.add_route(name("/other"), UP, 1);
+        let out = router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(out.sends.is_empty());
+        assert_eq!(router.counters().precheck_rejections, 1);
+    }
+
+    #[test]
+    fn access_path_mismatch_nacked_when_enabled() {
+        let mut f = fixture(RouterRole::Edge);
+        let mut cfg = RouterConfig::paper(RouterRole::Edge);
+        cfg.access_path_enabled = true;
+        let certs = {
+            let anchor = KeyPair::derive(b"anchor", 0);
+            let mut c = CertStore::new();
+            c.add_anchor(anchor.public());
+            c.register(Certificate::issue("/prov", f.provider.public(), &anchor)).unwrap();
+            c
+        };
+        let mut router = TacticRouter::new(cfg, certs);
+        router.mark_downstream(CLIENT);
+        router.add_route(name("/prov"), UP, 1);
+        // Tag frozen with AP {7}; request arrives with AP {8}.
+        let tag = Tag {
+            provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+            access_level: AccessLevel::Level(2),
+            client_key_locator: "/prov/users/u/KEY".parse().unwrap(),
+            access_path: AccessPath::of([7]),
+            expiry: SimTime::from_secs(100),
+        }
+        .sign(&f.provider);
+        let mut i = tagged_interest("/prov/obj/0", 1, &tag);
+        ext::set_interest_access_path(&mut i, AccessPath::of([8]));
+        let out = router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(
+            matches!(&out.sends[0].1, Packet::Nack(n) if n.reason() == NackReason::AccessPathMismatch)
+        );
+        assert_eq!(router.counters().ap_rejections, 1);
+    }
+
+    #[test]
+    fn content_router_serves_valid_tag_after_signature_verification() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        let i = tagged_interest("/prov/obj/0", 1, &tag);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        assert!(ext::data_nack(d).is_none());
+        assert_eq!(ext::data_tag(d), Some(tag));
+        assert_eq!(ext::data_flag_f(d), 0.0);
+        assert_eq!(f.router.counters().sig_verifications, 1);
+        assert_eq!(f.router.counters().bf_insertions, 1);
+        assert_eq!(f.router.counters().cache_hits, 1);
+    }
+
+    #[test]
+    fn content_router_skips_verification_on_bf_hit() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        // First request verifies + inserts; second only looks up.
+        let _ = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag),
+            UP,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let out = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &tag),
+            UP,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert!(matches!(&out.sends[0].1, Packet::Data(_)));
+        assert_eq!(f.router.counters().sig_verifications, 1, "no re-verification");
+        assert_eq!(f.router.counters().bf_lookups, 2);
+    }
+
+    #[test]
+    fn content_router_nacks_forged_tag_with_content_attached() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let mut forged = make_tag(&f, 100);
+        forged.signature = Signature::forged(9);
+        let i = tagged_interest("/prov/obj/0", 1, &forged);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data+NACK") };
+        assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
+    }
+
+    #[test]
+    fn edge_cache_hit_with_invalid_tag_drops_silently() {
+        let mut f = fixture(RouterRole::Edge);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let mut forged = make_tag(&f, 100);
+        forged.signature = Signature::forged(5);
+        let i = tagged_interest("/prov/obj/0", 1, &forged);
+        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        // Content must NOT reach the client; the attacker waits out its
+        // request expiry.
+        assert!(out.sends.is_empty(), "client must not get content");
+        assert_eq!(f.router.counters().sig_verifications, 1, "the forged tag was checked");
+    }
+
+    #[test]
+    fn public_content_served_without_tag() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Public));
+        let i = Interest::new(name("/prov/obj/0"), 1);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        assert!(ext::data_nack(d).is_none());
+        assert_eq!(f.router.counters().sig_verifications, 0);
+        assert_eq!(f.router.counters().bf_lookups, 0);
+    }
+
+    #[test]
+    fn protected_content_without_tag_gets_content_nack_for_routers() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let i = Interest::new(name("/prov/obj/0"), 1);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
+    }
+
+    #[test]
+    fn insufficient_access_level_rejected_at_content_router() {
+        let mut f = fixture(RouterRole::Core);
+        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(5)));
+        let tag = make_tag(&f, 100); // grants Level(2)
+        let i = tagged_interest("/prov/obj/0", 1, &tag);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
+        assert_eq!(f.router.counters().precheck_rejections, 1);
+    }
+
+    #[test]
+    fn interest_aggregation_and_data_fanout() {
+        let mut f = fixture(RouterRole::Core);
+        let tag1 = make_tag(&f, 100);
+        let tag2 = Tag {
+            provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+            access_level: AccessLevel::Level(2),
+            client_key_locator: "/prov/users/w/KEY".parse().unwrap(),
+            access_path: AccessPath::EMPTY,
+            expiry: SimTime::from_secs(100),
+        }
+        .sign(&f.provider);
+        let out1 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag1),
+            FaceId::new(5),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert_eq!(out1.sends.len(), 1, "first forwards");
+        let out2 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &tag2),
+            FaceId::new(6),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert!(out2.sends.is_empty(), "second aggregates");
+        // Content returns echoing tag1.
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &tag1);
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(out.sends.len(), 2, "both downstreams served");
+        let faces: Vec<FaceId> = out.sends.iter().map(|(fc, _)| *fc).collect();
+        assert!(faces.contains(&FaceId::new(5)) && faces.contains(&FaceId::new(6)));
+        // The aggregated tag (tag2) was validated: one verification.
+        assert_eq!(f.router.counters().sig_verifications, 1);
+        // Content is now cached.
+        assert!(f.router.tables().cs.peek(&name("/prov/obj/0")).is_some());
+    }
+
+    #[test]
+    fn aggregated_invalid_tag_gets_content_nack_downstream() {
+        let mut f = fixture(RouterRole::Core);
+        let good = make_tag(&f, 100);
+        let mut bad = make_tag(&f, 100);
+        bad.tag.client_key_locator = "/prov/users/evil/KEY".parse().unwrap();
+        bad.signature = Signature::forged(3);
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &good),
+            FaceId::new(5),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &bad),
+            FaceId::new(6),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &good);
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let to6: Vec<_> = out.sends.iter().filter(|(fc, _)| *fc == FaceId::new(6)).collect();
+        assert_eq!(to6.len(), 1);
+        let Packet::Data(dd) = &to6[0].1 else { panic!("expected data") };
+        assert_eq!(ext::data_nack(dd), Some(NackReason::InvalidTag));
+    }
+
+    #[test]
+    fn edge_drops_invalid_aggregated_requests_to_clients() {
+        let mut f = fixture(RouterRole::Edge);
+        let good = make_tag(&f, 100);
+        let mut bad = make_tag(&f, 100);
+        bad.signature = Signature::forged(4);
+        // Two clients request the same chunk; the bad one is nonzero-F-free.
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &good),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &bad),
+            CLIENT2,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &good);
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        // Only the good client receives data; the bad aggregated one is
+        // dropped (no content, no NACK at the edge).
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, CLIENT);
+    }
+
+    #[test]
+    fn edge_inserts_echo_tag_when_data_f_is_zero() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &tag);
+        ext::set_data_flag_f(&mut d, 0.0);
+        let inserts_before = f.router.counters().bf_insertions;
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(f.router.counters().bf_insertions, inserts_before + 1);
+        assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
+    }
+
+    #[test]
+    fn edge_skips_insert_when_data_f_nonzero() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        // Pre-insert so the edge sets F != 0 on the interest.
+        let mut charge = SimDuration::ZERO;
+        let mut rng2 = f.rng.clone();
+        f.router.bf_insert(&tag.bloom_key(), &mut rng2, &f.cost, &mut charge);
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &tag);
+        ext::set_data_flag_f(&mut d, 1e-4);
+        let inserts_before = f.router.counters().bf_insertions;
+        f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(f.router.counters().bf_insertions, inserts_before, "no redundant insert");
+    }
+
+    #[test]
+    fn edge_drops_nacked_request_without_forwarding_content() {
+        let mut f = fixture(RouterRole::Edge);
+        let mut forged = make_tag(&f, 100);
+        forged.signature = Signature::forged(7);
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &forged),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &forged);
+        ext::set_data_nack(&mut d, NackReason::InvalidTag);
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(out.sends.is_empty(), "nacked content must not reach the client");
+        // But it IS cached for future valid requests.
+        assert!(f.router.tables().cs.peek(&name("/prov/obj/0")).is_some());
+    }
+
+    #[test]
+    fn core_forwards_nacked_content_downstream() {
+        let mut f = fixture(RouterRole::Core);
+        let mut forged = make_tag(&f, 100);
+        forged.signature = Signature::forged(8);
+        f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &forged),
+            FaceId::new(5),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let mut d = content("/prov/obj/0", AccessLevel::Level(1));
+        ext::set_data_tag(&mut d, &forged);
+        ext::set_data_nack(&mut d, NackReason::InvalidTag);
+        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(out.sends.len(), 1);
+        let Packet::Data(dd) = &out.sends[0].1 else { panic!("data expected") };
+        assert_eq!(ext::data_nack(dd), Some(NackReason::InvalidTag));
+    }
+
+    #[test]
+    fn registration_response_inserted_at_edge_and_forwarded() {
+        let mut f = fixture(RouterRole::Edge);
+        let mut reg = Interest::new(name("/prov/register/u/1"), 1);
+        reg.set_extension(ext::EXT_REGISTRATION, vec![1]);
+        let out = f.router.handle_interest(reg, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(matches!(&out.sends[0].1, Packet::Interest(_)));
+        let tag = make_tag(&f, 100);
+        let mut resp = Data::new(name("/prov/register/u/1"), Payload::Synthetic(200));
+        ext::set_data_new_tag(&mut resp, &tag);
+        let out = f.router.handle_data(resp, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, CLIENT);
+        assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
+        // Registration responses are never cached.
+        assert!(f.router.tables().cs.is_empty());
+    }
+
+    #[test]
+    fn no_route_nacks() {
+        let mut f = fixture(RouterRole::Core);
+        let i = Interest::new(name("/unknown/x"), 1);
+        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(matches!(&out.sends[0].1, Packet::Nack(n) if n.reason() == NackReason::NoRoute));
+    }
+
+    #[test]
+    fn bf_reset_accounting_tracks_request_counts() {
+        let mut f = fixture(RouterRole::Core);
+        let mut cfg = RouterConfig::paper(RouterRole::Core);
+        cfg.bf_params = BloomParams::paper(20); // tiny: saturates fast
+        let mut router = TacticRouter::new(cfg, CertStore::new());
+        let mut charge = SimDuration::ZERO;
+        for i in 0..500u64 {
+            router.requests_since_reset += 1; // simulate request arrivals
+            router.bf_insert(&i.to_le_bytes(), &mut f.rng, &f.cost, &mut charge);
+        }
+        assert!(router.counters().bf_resets >= 5);
+        assert_eq!(router.reset_request_counts().len(), router.counters().bf_resets as usize);
+        assert!(router.reset_request_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn flag_f_disabled_forces_validation() {
+        let mut f = fixture(RouterRole::Core);
+        let mut cfg = RouterConfig::paper(RouterRole::Core);
+        cfg.flag_f_enabled = false;
+        cfg.cs_capacity = 10;
+        let certs = {
+            let anchor = KeyPair::derive(b"anchor", 0);
+            let mut c = CertStore::new();
+            c.add_anchor(anchor.public());
+            c.register(Certificate::issue("/prov", f.provider.public(), &anchor)).unwrap();
+            c
+        };
+        let mut router = TacticRouter::new(cfg, certs);
+        router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        let mut i = tagged_interest("/prov/obj/0", 1, &tag);
+        ext::set_interest_flag_f(&mut i, 0.5); // would normally mostly skip
+        let _ = router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        // With flag F ignored, the router takes the F == 0 path: BF lookup
+        // then signature verification.
+        assert_eq!(router.counters().bf_lookups, 1);
+        assert_eq!(router.counters().sig_verifications, 1);
+    }
+
+    #[test]
+    fn duplicate_nonce_is_dropped_silently() {
+        let mut f = fixture(RouterRole::Core);
+        let tag = make_tag(&f, 100);
+        let i = tagged_interest("/prov/obj/0", 7, &tag);
+        f.router.handle_interest(i.clone(), FaceId::new(5), SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f.router.handle_interest(i, FaceId::new(6), SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(out.sends.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Scenario configuration: everything §8.A fixes about a simulation run.
+
+use tactic_sim::cost::CostModel;
+use tactic_sim::time::SimDuration;
+use tactic_topology::paper::PaperTopology;
+use tactic_topology::roles::TopologySpec;
+
+use crate::access::AccessLevel;
+use crate::consumer::AttackerStrategy;
+
+/// Client-mobility model (the paper's §9 future work: "test our mechanism
+/// ... under nodes mobility"). Mobile clients hand over to a uniformly
+/// random other access point after exponentially-distributed dwell times,
+/// dropping their tags and re-registering from the new location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityConfig {
+    /// Mean dwell time at one access point.
+    pub mean_dwell: SimDuration,
+    /// Fraction of clients that are mobile (0.0–1.0).
+    pub mobile_fraction: f64,
+}
+
+/// Which network to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyChoice {
+    /// One of the paper's Table III topologies.
+    Paper(PaperTopology),
+    /// An arbitrary spec (tests, examples, sweeps).
+    Custom(TopologySpec),
+}
+
+impl TopologyChoice {
+    /// The entity counts.
+    pub fn spec(&self) -> TopologySpec {
+        match self {
+            TopologyChoice::Paper(p) => p.spec(),
+            TopologyChoice::Custom(s) => *s,
+        }
+    }
+}
+
+/// A complete experiment configuration.
+///
+/// Defaults ([`Scenario::paper`]) follow §8.A: Zipf(0.7) popularity,
+/// window 5, 1 s request expiry, 10 s tag validity, 10 providers × 50
+/// objects × 50 chunks, BF of 500 tags / 5 hashes / max FPP 1e-4, and the
+/// benchmarked computation-cost injection.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network.
+    pub topology: TopologyChoice,
+    /// Simulated duration (paper: 2000 s; reduced-scale runs use less).
+    pub duration: SimDuration,
+    /// Bloom-filter design capacity in tags (sizes the bit array together
+    /// with [`bf_design_fpp`](Self::bf_design_fpp)).
+    pub bf_capacity: usize,
+    /// Bloom-filter hash count.
+    pub bf_hashes: u32,
+    /// The FPP the bit array is *sized* for at design capacity.
+    pub bf_design_fpp: f64,
+    /// The saturation threshold that triggers a reset (Fig. 8 sweeps this
+    /// independently of the array size).
+    pub bf_max_fpp: f64,
+    /// Tag validity period.
+    pub tag_validity: SimDuration,
+    /// Objects per provider.
+    pub objects_per_provider: usize,
+    /// Chunks per object.
+    pub chunks_per_object: usize,
+    /// Chunk payload bytes. The paper does not state its payload size; we
+    /// default to 8 KiB, which reproduces the paper's observed per-client
+    /// throughput regime (~tens of chunks/s) on 10 Mbps edge links.
+    pub chunk_size: usize,
+    /// Access levels cycled over each provider's objects.
+    pub content_levels: Vec<AccessLevel>,
+    /// The level granted to legitimate clients.
+    pub client_level: AccessLevel,
+    /// Zipf exponent for content popularity.
+    pub zipf_alpha: f64,
+    /// Outstanding-request window per consumer.
+    pub window: usize,
+    /// Request expiry at consumers.
+    pub request_timeout: SimDuration,
+    /// Clients treat tags within this margin of expiry as stale and
+    /// refresh proactively (keeps in-flight requests from crossing the
+    /// expiry; set to zero for the paper's bare client model).
+    pub tag_refresh_margin: SimDuration,
+    /// Content-store capacity per router, in packets.
+    pub cs_capacity: usize,
+    /// Enforce access-path authentication (paper's sim: off).
+    pub access_path_enabled: bool,
+    /// Honour the cooperation flag `F` (ablation switch).
+    pub flag_f_enabled: bool,
+    /// Content routers answer invalid tags with content + NACK (§5.B);
+    /// ablation: off means plain drops.
+    pub content_nack_enabled: bool,
+    /// Edge routers record tag sightings for traitor tracing (§9's future
+    /// work, implemented in `tactic::traitor`).
+    pub record_sightings: bool,
+    /// Client mobility (None = the paper's static evaluation).
+    pub mobility: Option<MobilityConfig>,
+    /// Attacker strategies, assigned round-robin.
+    pub attacker_mix: Vec<AttackerStrategy>,
+    /// Computation-cost injection model.
+    pub cost_model: CostModel,
+}
+
+impl Scenario {
+    /// The paper-replica configuration on the given topology.
+    pub fn paper(topology: PaperTopology) -> Self {
+        Scenario {
+            topology: TopologyChoice::Paper(topology),
+            duration: SimDuration::from_secs(2_000),
+            bf_capacity: 500,
+            bf_hashes: 5,
+            bf_design_fpp: 1e-4,
+            bf_max_fpp: 1e-4,
+            tag_validity: SimDuration::from_secs(10),
+            objects_per_provider: 50,
+            chunks_per_object: 50,
+            chunk_size: 8 * 1024,
+            content_levels: vec![AccessLevel::Level(1)],
+            client_level: AccessLevel::Level(1),
+            zipf_alpha: 0.7,
+            window: 5,
+            request_timeout: SimDuration::from_secs(1),
+            tag_refresh_margin: SimDuration::from_millis(250),
+            cs_capacity: 300,
+            access_path_enabled: false,
+            flag_f_enabled: true,
+            content_nack_enabled: true,
+            record_sightings: false,
+            mobility: None,
+            attacker_mix: AttackerStrategy::PAPER_MIX.to_vec(),
+            cost_model: CostModel::paper(),
+        }
+    }
+
+    /// A small, fast configuration for tests and examples: a custom
+    /// topology and a short horizon.
+    pub fn small() -> Self {
+        let mut s = Scenario::paper(PaperTopology::Topo1);
+        s.topology = TopologyChoice::Custom(TopologySpec {
+            core_routers: 12,
+            edge_routers: 4,
+            providers: 2,
+            clients: 6,
+            attackers: 3,
+        });
+        s.duration = SimDuration::from_secs(30);
+        s.objects_per_provider = 10;
+        s.chunks_per_object = 10;
+        s
+    }
+
+    /// The Bloom-filter parameters for this scenario: the bit array is
+    /// sized for `bf_capacity` tags at `bf_design_fpp` under `bf_hashes`
+    /// hash functions, while `bf_max_fpp` acts only as the reset
+    /// threshold.
+    pub fn bf_params(&self) -> tactic_bloom::BloomParams {
+        let mut p = tactic_bloom::BloomParams::with_fixed_hashes(
+            self.bf_capacity,
+            self.bf_hashes,
+            self.bf_design_fpp,
+        );
+        p.max_fpp = self.bf_max_fpp;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_8a() {
+        let s = Scenario::paper(PaperTopology::Topo2);
+        assert_eq!(s.duration, SimDuration::from_secs(2000));
+        assert_eq!(s.bf_capacity, 500);
+        assert_eq!(s.bf_hashes, 5);
+        assert_eq!(s.bf_max_fpp, 1e-4);
+        assert_eq!(s.tag_validity, SimDuration::from_secs(10));
+        assert_eq!(s.objects_per_provider, 50);
+        assert_eq!(s.chunks_per_object, 50);
+        assert_eq!(s.zipf_alpha, 0.7);
+        assert_eq!(s.window, 5);
+        assert!(!s.access_path_enabled, "the paper's sim left AP to future work");
+        assert_eq!(s.topology.spec().providers, 10);
+    }
+
+    #[test]
+    fn bf_params_derive_from_scenario() {
+        let s = Scenario::paper(PaperTopology::Topo1);
+        let p = s.bf_params();
+        assert_eq!(p.hashes, 5);
+        assert_eq!(p.capacity, 500);
+        assert_eq!(p.max_fpp, 1e-4);
+    }
+
+    #[test]
+    fn small_scenario_is_small() {
+        let s = Scenario::small();
+        let spec = s.topology.spec();
+        assert!(spec.routers() < 20);
+        assert!(s.duration < SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for TACTIC's data model and protocol invariants.
+
+use proptest::prelude::*;
+
+use tactic::access::AccessLevel;
+use tactic::access_path::AccessPath;
+use tactic::ext;
+use tactic::precheck::{content_precheck, edge_precheck};
+use tactic::tag::{SignedTag, Tag};
+use tactic_crypto::schnorr::KeyPair;
+use tactic_ndn::name::{Component, Name};
+use tactic_ndn::packet::{Data, Interest, Payload};
+use tactic_sim::time::SimTime;
+
+fn arb_level() -> impl Strategy<Value = AccessLevel> {
+    prop_oneof![Just(AccessLevel::Public), (0u8..=254).prop_map(AccessLevel::Level)]
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..10), 1..4)
+        .prop_map(|comps| Name::from_components(comps.into_iter().map(Component::new).collect()))
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (arb_name(), arb_level(), arb_name(), any::<u64>(), any::<u64>()).prop_map(
+        |(pk, al, ck, ap, exp)| Tag {
+            provider_key_locator: pk,
+            access_level: al,
+            client_key_locator: ck,
+            access_path: AccessPath::from_u64(ap),
+            expiry: SimTime::from_nanos(exp),
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn access_level_satisfies_is_a_total_preorder(a in arb_level(), b in arb_level(), c in arb_level()) {
+        // Reflexive.
+        prop_assert!(a.satisfies(a));
+        // Total: a satisfies b or b satisfies a.
+        prop_assert!(a.satisfies(b) || b.satisfies(a));
+        // Transitive.
+        if a.satisfies(b) && b.satisfies(c) {
+            prop_assert!(a.satisfies(c));
+        }
+        // Consistent with Ord.
+        prop_assert_eq!(a.satisfies(b), a >= b);
+    }
+
+    #[test]
+    fn access_level_byte_roundtrip(a in arb_level()) {
+        prop_assert_eq!(AccessLevel::from_byte(a.to_byte()), a);
+    }
+
+    #[test]
+    fn access_path_is_commutative_and_self_inverse(ids in proptest::collection::vec(any::<u64>(), 0..10), extra in any::<u64>()) {
+        let forward = AccessPath::of(ids.clone());
+        let mut reversed = ids.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, AccessPath::of(reversed));
+        // Adding then removing an entity is the identity.
+        prop_assert_eq!(forward.extended(extra).extended(extra), forward);
+    }
+
+    #[test]
+    fn tag_encode_decode_roundtrip(tag in arb_tag(), nonce in 0u64..1000) {
+        let kp = KeyPair::derive(b"any-provider", nonce);
+        let st = tag.sign(&kp);
+        let back = SignedTag::decode(&st.encode()).unwrap();
+        prop_assert_eq!(&back, &st);
+        prop_assert!(back.verify(&kp.public()));
+    }
+
+    #[test]
+    fn tag_truncation_never_panics(tag in arb_tag(), cut_frac in 0.0f64..1.0) {
+        let kp = KeyPair::derive(b"p", 0);
+        let bytes = tag.sign(&kp).encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = SignedTag::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn edge_precheck_accepts_iff_prefix_and_freshness(tag in arb_tag(), now_ns in any::<u64>()) {
+        let now = SimTime::from_nanos(now_ns);
+        let content = tag.provider_prefix().child("obj").child("c0");
+        let verdict = edge_precheck(&tag, &content, now);
+        prop_assert_eq!(verdict.is_ok(), !tag.is_expired(now));
+    }
+
+    #[test]
+    fn edge_precheck_rejects_foreign_prefixes(tag in arb_tag(), other in arb_name()) {
+        prop_assume!(other.prefix(1) != tag.provider_prefix());
+        let verdict = edge_precheck(&tag, &other, SimTime::ZERO);
+        prop_assert!(verdict.is_err());
+    }
+
+    #[test]
+    fn content_precheck_mirrors_satisfies(tag in arb_tag(), content_level in arb_level()) {
+        let verdict = content_precheck(&tag, content_level, &tag.provider_key_locator);
+        prop_assert_eq!(verdict.is_ok(), tag.access_level.satisfies(content_level));
+    }
+
+    #[test]
+    fn interest_tag_extension_roundtrip(tag in arb_tag(), name in arb_name(), nonce in any::<u64>()) {
+        let kp = KeyPair::derive(b"p", 0);
+        let st = tag.sign(&kp);
+        let mut i = Interest::new(name, nonce);
+        ext::set_interest_tag(&mut i, &st);
+        prop_assert_eq!(ext::interest_tag(&i), Some(st));
+    }
+
+    #[test]
+    fn data_annotations_roundtrip_and_strip(tag in arb_tag(), f in 0.0f64..1.0, level in arb_level()) {
+        let kp = KeyPair::derive(b"p", 0);
+        let st = tag.sign(&kp);
+        let mut d = Data::new("/x/y".parse().unwrap(), Payload::Synthetic(10));
+        ext::set_data_access_level(&mut d, level);
+        ext::set_data_tag(&mut d, &st);
+        ext::set_data_flag_f(&mut d, f);
+        prop_assert_eq!(ext::data_tag(&d), Some(st));
+        prop_assert_eq!(ext::data_flag_f(&d), f);
+        ext::strip_delivery_annotations(&mut d);
+        prop_assert_eq!(ext::data_tag(&d), None);
+        prop_assert_eq!(ext::data_flag_f(&d), 0.0);
+        prop_assert_eq!(ext::data_access_level(&d), level, "signed fields survive stripping");
+    }
+
+    #[test]
+    fn garbage_extension_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut i = Interest::new("/x".parse().unwrap(), 1);
+        i.set_extension(ext::EXT_TAG, bytes.clone());
+        let _ = ext::interest_tag(&i);
+        let mut d = Data::new("/x".parse().unwrap(), Payload::Synthetic(1));
+        d.set_extension(ext::EXT_TAG, bytes.clone());
+        d.set_extension(ext::EXT_FLAG_F, bytes.clone());
+        d.set_extension(ext::EXT_NACK, bytes);
+        let _ = ext::data_tag(&d);
+        let _ = ext::data_flag_f(&d);
+        let _ = ext::data_nack(&d);
+    }
+}

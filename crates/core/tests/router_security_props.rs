@@ -1,0 +1,183 @@
+//! Adversarial property tests on the router: for *arbitrary* hostile
+//! inputs, protected content must never flow to a client-side face
+//! without a genuinely valid tag.
+
+use proptest::prelude::*;
+
+use tactic::access::AccessLevel;
+use tactic::access_path::AccessPath;
+use tactic::ext;
+use tactic::router::{RouterConfig, RouterRole, TacticRouter};
+use tactic::tag::{SignedTag, Tag};
+use tactic_crypto::cert::{CertStore, Certificate};
+use tactic_crypto::schnorr::{KeyPair, Signature};
+use tactic_ndn::face::FaceId;
+use tactic_ndn::packet::{Data, Interest, Packet, Payload};
+use tactic_sim::cost::CostModel;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::SimTime;
+
+const UP: FaceId = FaceId::new(0);
+const CLIENT: FaceId = FaceId::new(1);
+
+fn provider() -> KeyPair {
+    KeyPair::derive(b"/prov", 0)
+}
+
+fn edge_router_with_cache(cache_level: AccessLevel) -> TacticRouter {
+    let anchor = KeyPair::derive(b"anchor", 0);
+    let mut certs = CertStore::new();
+    certs.add_anchor(anchor.public());
+    certs.register(Certificate::issue("/prov", provider().public(), &anchor)).unwrap();
+    let mut config = RouterConfig::paper(RouterRole::Edge);
+    config.access_path_enabled = true;
+    let mut r = TacticRouter::new(config, certs);
+    r.mark_downstream(CLIENT);
+    r.add_route("/prov".parse().unwrap(), UP, 1);
+    // Pre-cache protected content so every hostile Interest faces the full
+    // Protocol 3 decision.
+    let mut d = Data::new("/prov/obj0/c0".parse().unwrap(), Payload::Synthetic(1024));
+    ext::set_data_access_level(&mut d, cache_level);
+    ext::set_data_key_locator(&mut d, &"/prov/KEY/1".parse().unwrap());
+    let mut rng = Rng::seed_from_u64(0);
+    let cost = CostModel::free();
+    // Sneak it into the CS via the data path (PIT entry first).
+    let mut i = Interest::new("/prov/obj0/c0".parse().unwrap(), u64::MAX);
+    ext::set_interest_tag(&mut i, &genuine_tag(AccessLevel::Level(5), 1_000));
+    r.handle_interest(i, UP, SimTime::ZERO, &mut rng, &cost);
+    let mut echo = d.clone();
+    ext::set_data_tag(&mut echo, &genuine_tag(AccessLevel::Level(5), 1_000));
+    r.handle_data(echo, UP, SimTime::ZERO, &mut rng, &cost);
+    r
+}
+
+fn genuine_tag(level: AccessLevel, expiry_secs: u64) -> SignedTag {
+    Tag {
+        provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+        access_level: level,
+        client_key_locator: "/prov/users/honest/KEY".parse().unwrap(),
+        access_path: AccessPath::EMPTY,
+        expiry: SimTime::from_secs(expiry_secs),
+    }
+    .sign(&provider())
+}
+
+/// A hostile tag: arbitrary fields, arbitrary (usually bogus) signature.
+fn arb_hostile_tag() -> impl Strategy<Value = SignedTag> {
+    (
+        any::<u8>(),          // access level byte
+        any::<u64>(),         // access path
+        0u64..2_000,          // expiry seconds
+        any::<u64>(),         // forged signature seed
+        proptest::bool::ANY,  // correct provider locator or not
+    )
+        .prop_map(|(al, ap, exp, sig_seed, right_provider)| {
+            let locator = if right_provider { "/prov/KEY/1" } else { "/mallory/KEY/1" };
+            SignedTag {
+                tag: Tag {
+                    provider_key_locator: locator.parse().unwrap(),
+                    access_level: AccessLevel::from_byte(al),
+                    client_key_locator: "/prov/users/evil/KEY".parse().unwrap(),
+                    access_path: AccessPath::from_u64(ap),
+                    expiry: SimTime::from_secs(exp),
+                },
+                signature: Signature::forged(sig_seed),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No forged tag — whatever its fields claim — ever pulls protected
+    /// cached content out of a client-side face.
+    #[test]
+    fn forged_tags_never_receive_content(tag in arb_hostile_tag(), now_secs in 0u64..1_000, seed in any::<u64>()) {
+        let mut r = edge_router_with_cache(AccessLevel::Level(1));
+        let mut rng = Rng::seed_from_u64(seed);
+        let cost = CostModel::free();
+        let mut i = Interest::new("/prov/obj0/c0".parse().unwrap(), 7);
+        ext::set_interest_tag(&mut i, &tag);
+        ext::set_interest_access_path(&mut i, tag.tag.access_path); // even a matching path
+        let out = r.handle_interest(i, CLIENT, SimTime::from_secs(now_secs), &mut rng, &cost);
+        for (face, pkt) in &out.sends {
+            if *face == CLIENT {
+                prop_assert!(
+                    !matches!(pkt, Packet::Data(_)),
+                    "forged tag pulled content to the client face"
+                );
+            }
+        }
+    }
+
+    /// Interests without any tag never pull protected cached content.
+    #[test]
+    fn untagged_interests_never_receive_protected_content(nonce in any::<u64>(), now_secs in 0u64..1_000) {
+        let mut r = edge_router_with_cache(AccessLevel::Level(1));
+        let mut rng = Rng::seed_from_u64(1);
+        let cost = CostModel::free();
+        let i = Interest::new("/prov/obj0/c0".parse().unwrap(), nonce);
+        let out = r.handle_interest(i, CLIENT, SimTime::from_secs(now_secs), &mut rng, &cost);
+        for (face, pkt) in &out.sends {
+            prop_assert!(!(*face == CLIENT && matches!(pkt, Packet::Data(_))));
+        }
+    }
+
+    /// A GENUINE tag is honoured exactly when it should be: unexpired,
+    /// matching path, sufficient level.
+    #[test]
+    fn genuine_tags_follow_the_rules(level_byte in 0u8..6, expiry in 1u64..200, now in 0u64..200, path_seed in any::<u64>()) {
+        let level = AccessLevel::from_byte(level_byte);
+        let tag = Tag {
+            provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+            access_level: level,
+            client_key_locator: "/prov/users/honest/KEY".parse().unwrap(),
+            access_path: AccessPath::from_u64(path_seed),
+            expiry: SimTime::from_secs(expiry),
+        }
+        .sign(&provider());
+        let mut r = edge_router_with_cache(AccessLevel::Level(1));
+        let mut rng = Rng::seed_from_u64(2);
+        let cost = CostModel::free();
+        let mut i = Interest::new("/prov/obj0/c0".parse().unwrap(), 9);
+        ext::set_interest_tag(&mut i, &tag);
+        ext::set_interest_access_path(&mut i, tag.tag.access_path);
+        let out = r.handle_interest(i, CLIENT, SimTime::from_secs(now), &mut rng, &cost);
+        let served = out
+            .sends
+            .iter()
+            .any(|(f, p)| *f == CLIENT && matches!(p, Packet::Data(d) if ext::data_nack(d).is_none()));
+        let should_serve = expiry > now && level.satisfies(AccessLevel::Level(1));
+        prop_assert_eq!(served, should_serve, "expiry {} now {} level {}", expiry, now, level);
+    }
+
+    /// Data carrying a NACK marker never reaches a client-side face.
+    #[test]
+    fn nacked_content_never_reaches_clients(sig_seed in any::<u64>(), f_flag in 0.0f64..1.0) {
+        let mut r = edge_router_with_cache(AccessLevel::Level(1));
+        let mut rng = Rng::seed_from_u64(3);
+        let cost = CostModel::free();
+        // A pending hostile request...
+        let mut hostile = genuine_tag(AccessLevel::Level(3), 1_000);
+        hostile.signature = Signature::forged(sig_seed);
+        let mut i = Interest::new("/prov/obj1/c0".parse().unwrap(), 11);
+        ext::set_interest_tag(&mut i, &hostile);
+        ext::set_interest_access_path(&mut i, hostile.tag.access_path);
+        r.handle_interest(i, CLIENT, SimTime::ZERO, &mut rng, &cost);
+        // ...answered upstream with content + NACK.
+        let mut d = Data::new("/prov/obj1/c0".parse().unwrap(), Payload::Synthetic(512));
+        ext::set_data_access_level(&mut d, AccessLevel::Level(1));
+        ext::set_data_key_locator(&mut d, &"/prov/KEY/1".parse().unwrap());
+        ext::set_data_tag(&mut d, &hostile);
+        ext::set_data_flag_f(&mut d, f_flag);
+        ext::set_data_nack(&mut d, tactic_ndn::packet::NackReason::InvalidTag);
+        let out = r.handle_data(d, UP, SimTime::ZERO, &mut rng, &cost);
+        for (face, pkt) in &out.sends {
+            if *face == CLIENT {
+                if let Packet::Data(dd) = pkt {
+                    prop_assert!(ext::data_nack(dd).is_none(), "NACKed content leaked to client");
+                }
+            }
+        }
+    }
+}

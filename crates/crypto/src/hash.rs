@@ -1,0 +1,235 @@
+//! Self-contained non-cryptographic hashes.
+//!
+//! The simulator needs fast, deterministic, well-mixed hashes for Bloom
+//! filters, access paths, key fingerprints, and the Schnorr challenge. We
+//! use FNV-1a as the absorbing core and a SplitMix64-style finalizer for
+//! avalanche. **Not collision-resistant against adversaries** — adequate
+//! only inside a simulation, which is documented in DESIGN.md.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// One-shot FNV-1a over a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_crypto::hash::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xCBF29CE484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64-style finalizer: full-avalanche mixing of a 64-bit word.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An incremental 64-bit hasher (FNV-1a core + finalizer).
+///
+/// # Examples
+///
+/// ```
+/// use tactic_crypto::hash::Hasher64;
+///
+/// let mut h = Hasher64::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// let joint = h.finish();
+///
+/// let mut h2 = Hasher64::new();
+/// h2.update(b"hello world");
+/// assert_eq!(joint, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher64 {
+    /// Creates a hasher with the standard FNV offset.
+    pub fn new() -> Self {
+        Hasher64 { state: FNV_OFFSET }
+    }
+
+    /// Creates a seeded hasher (distinct hash families per seed).
+    pub fn with_seed(seed: u64) -> Self {
+        Hasher64 { state: FNV_OFFSET ^ mix64(seed) }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian u64.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Finalizes into a well-mixed 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+/// A 256-bit digest, exposed as four 64-bit lanes.
+///
+/// Built from four independently-seeded [`Hasher64`] passes; used as the
+/// message digest inside simulated signatures so that any single-byte
+/// change flips the digest with overwhelming probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Digest256(pub [u64; 4]);
+
+impl Digest256 {
+    /// Hashes a byte slice into a 256-bit digest.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tactic_crypto::hash::Digest256;
+    ///
+    /// let a = Digest256::of(b"content");
+    /// let b = Digest256::of(b"content");
+    /// let c = Digest256::of(b"Content");
+    /// assert_eq!(a, b);
+    /// assert_ne!(a, c);
+    /// ```
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let mut h = Hasher64::with_seed(0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+            h.update(bytes);
+            *lane = h.finish();
+        }
+        Digest256(lanes)
+    }
+
+    /// Hashes the concatenation of several byte slices (length-prefixed, so
+    /// `["ab","c"]` and `["a","bc"]` differ).
+    pub fn of_parts(parts: &[&[u8]]) -> Self {
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let mut h = Hasher64::with_seed(0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+            for p in parts {
+                h.update_u64(p.len() as u64);
+                h.update(p);
+            }
+            *lane = h.finish();
+        }
+        Digest256(lanes)
+    }
+
+    /// Folds the digest into a single 64-bit word.
+    pub fn fold64(&self) -> u64 {
+        mix64(self.0[0] ^ self.0[1].rotate_left(16) ^ self.0[2].rotate_left(32) ^ self.0[3].rotate_left(48))
+    }
+
+    /// The digest as raw bytes (little-endian lanes).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, lane) in self.0.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Digest256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}{:016x}{:016x}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn seeded_hashers_form_distinct_families() {
+        let mut a = Hasher64::with_seed(1);
+        let mut b = Hasher64::with_seed(2);
+        a.update(b"same input");
+        b.update(b"same input");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Hasher64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), mix64(fnv1a64(b"foobar")));
+    }
+
+    #[test]
+    fn digest_parts_are_length_prefixed() {
+        let a = Digest256::of_parts(&[b"ab", b"c"]);
+        let b = Digest256::of_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digest_avalanche() {
+        let a = Digest256::of(b"tag-0001");
+        let b = Digest256::of(b"tag-0002");
+        let differing = a
+            .0
+            .iter()
+            .zip(b.0.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum::<u32>();
+        // ~128 of 256 bits should flip; accept a broad band.
+        assert!((64..192).contains(&differing), "only {differing} bits differ");
+    }
+
+    #[test]
+    fn digest_bytes_roundtrip_lanes() {
+        let d = Digest256::of(b"x");
+        let bytes = d.to_bytes();
+        assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), d.0[0]);
+        assert_eq!(u64::from_le_bytes(bytes[24..32].try_into().unwrap()), d.0[3]);
+    }
+
+    #[test]
+    fn mix64_changes_zero() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn fold64_is_stable() {
+        let d = Digest256::of(b"stable");
+        assert_eq!(d.fold64(), Digest256::of(b"stable").fold64());
+    }
+}

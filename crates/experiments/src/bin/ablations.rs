@@ -1,0 +1,4 @@
+//! Design-choice ablations (flag F, access path, content-NACK).
+fn main() {
+    tactic_experiments::binary_main("ablations", tactic_experiments::extras::ablations);
+}

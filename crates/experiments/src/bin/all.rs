@@ -1,0 +1,38 @@
+//! Runs every experiment in sequence (the full reproduction sweep).
+fn main() {
+    use tactic_experiments::{extras, figures, tables, RunOpts};
+    let opts = match RunOpts::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("all: {msg}");
+            std::process::exit(2);
+        }
+    };
+    type Experiment = fn(&RunOpts) -> std::io::Result<String>;
+    let experiments: Vec<(&str, Experiment)> = vec![
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("fig5", figures::fig5),
+        ("fig6", figures::fig6),
+        ("fig7", figures::fig7),
+        ("fig8", figures::fig8),
+        ("table5", tables::table5),
+        ("ablations", extras::ablations),
+        ("baselines", extras::baselines),
+    ];
+    for (name, f) in experiments {
+        let started = std::time::Instant::now();
+        match f(&opts) {
+            Ok(report) => {
+                println!("================ {name} ================");
+                println!("{report}");
+                eprintln!("[{name}] {:.1?}", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

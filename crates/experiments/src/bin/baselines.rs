@@ -1,0 +1,4 @@
+//! TACTIC vs the baseline access-control mechanisms.
+fn main() {
+    tactic_experiments::binary_main("baselines", tactic_experiments::extras::baselines);
+}

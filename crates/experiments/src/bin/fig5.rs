@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 5 (see `tactic_experiments::figures`).
+fn main() {
+    tactic_experiments::binary_main("fig5", tactic_experiments::figures::fig5);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 6 (see `tactic_experiments::figures`).
+fn main() {
+    tactic_experiments::binary_main("fig6", tactic_experiments::figures::fig6);
+}

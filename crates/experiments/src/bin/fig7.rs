@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 7 (see `tactic_experiments::figures`).
+fn main() {
+    tactic_experiments::binary_main("fig7", tactic_experiments::figures::fig7);
+}

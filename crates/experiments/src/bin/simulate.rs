@@ -1,0 +1,81 @@
+//! General-purpose TACTIC simulation driver: every scenario knob as a
+//! flag, full report as output. `simulate --help` for the surface.
+
+use tactic::net::run_scenario;
+use tactic_experiments::scenario_args::parse_simulate_args;
+
+fn main() {
+    let args = match parse_simulate_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("usage") { 0 } else { 2 });
+        }
+    };
+    let spec = args.scenario.topology.spec();
+    println!(
+        "TACTIC simulation: {} core + {} edge routers, {} providers, {} clients, {} attackers, {}",
+        spec.core_routers, spec.edge_routers, spec.providers, spec.clients, spec.attackers,
+        args.scenario.duration
+    );
+    let started = std::time::Instant::now();
+    let r = run_scenario(&args.scenario, args.seed);
+    eprintln!("[simulate] {} events in {:.1?}", r.events, started.elapsed());
+
+    println!("\n-- delivery --");
+    println!(
+        "clients   : {:>9} requested  {:>9} received  ratio {:.4}",
+        r.delivery.client_requested,
+        r.delivery.client_received,
+        r.delivery.client_ratio()
+    );
+    println!(
+        "attackers : {:>9} requested  {:>9} received  ratio {:.4}",
+        r.delivery.attacker_requested,
+        r.delivery.attacker_received,
+        r.delivery.attacker_ratio()
+    );
+    println!("\n-- latency --");
+    println!("mean client retrieval latency: {:.2} ms", r.mean_latency() * 1e3);
+    println!("\n-- tags --");
+    println!(
+        "Q = {:.2}/s ({} requests), R = {:.2}/s ({} received)",
+        r.tag_request_rate(),
+        r.tag_requests.len(),
+        r.tag_receive_rate(),
+        r.tags_received.len()
+    );
+    println!("\n-- router operations --");
+    for (tier, ops, resets) in [
+        ("edge", r.edge_ops, r.edge_requests_per_reset()),
+        ("core", r.core_ops, r.core_requests_per_reset()),
+    ] {
+        println!(
+            "{tier}: L={} I={} V={} resets={} (req/reset {:.0}) precheck-drops={} ap-drops={} nacks={}",
+            ops.bf_lookups,
+            ops.bf_insertions,
+            ops.sig_verifications,
+            ops.bf_resets,
+            resets,
+            ops.precheck_rejections,
+            ops.ap_rejections,
+            ops.nacks
+        );
+    }
+    println!("\n-- providers --");
+    println!(
+        "tags issued {} | registrations denied {} | chunks served {} | nacks {}",
+        r.providers.tags_issued,
+        r.providers.registrations_denied,
+        r.providers.chunks_served,
+        r.providers.nacks
+    );
+    if r.moves > 0 {
+        println!("\n-- mobility --");
+        println!("handovers: {}", r.moves);
+    }
+    if !r.sightings.is_empty() {
+        println!("\n-- sightings --");
+        println!("{} recorded (feed to tactic::traitor::TraitorTracer)", r.sightings.len());
+    }
+}

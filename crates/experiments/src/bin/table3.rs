@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (see `tactic_experiments::tables`).
+fn main() {
+    tactic_experiments::binary_main("table3", tactic_experiments::tables::table3);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5 (see `tactic_experiments::tables`).
+fn main() {
+    tactic_experiments::binary_main("table5", tactic_experiments::tables::table5);
+}

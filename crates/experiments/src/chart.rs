@@ -1,0 +1,140 @@
+//! Terminal charts: render `(x, y)` series as ASCII line/scatter plots so
+//! the figure binaries can show their shapes without a plotting stack.
+
+/// Renders one or more `(x, y)` series as an ASCII chart.
+///
+/// Each series gets a glyph (`*`, `o`, `+`, `x`, …); points landing on the
+/// same cell show the *first* series' glyph. Axes are annotated with the
+/// data ranges.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_experiments::chart::ascii_chart;
+///
+/// let s = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)];
+/// let plot = ascii_chart(&[("quadratic", s)], 40, 10);
+/// assert!(plot.contains('*'));
+/// assert!(plot.contains("quadratic"));
+/// ```
+pub fn ascii_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(8);
+    let height = height.max(3);
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, s)| s.iter().copied()).filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    if points.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>10.4} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.4} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!("           └{}\n", "─".repeat(width)));
+    out.push_str(&format!("            {:<.4}{:>pad$.4}\n", x_min, x_max, pad = width.saturating_sub(6)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    out.push_str(&format!("            legend: {}\n", legend.join("   ")));
+    out
+}
+
+/// Convenience: plots `(second, value)` series (e.g. from
+/// `TimeSeries::per_second_means`).
+pub fn ascii_chart_u64(series: &[(&str, &[(u64, f64)])], width: usize, height: usize) -> String {
+    let converted: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(name, s)| (*name, s.iter().map(|&(x, y)| (x as f64, y)).collect()))
+        .collect();
+    ascii_chart(&converted, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let s1 = vec![(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)];
+        let s2 = vec![(0.0, 3.0), (5.0, 2.5), (10.0, 1.0)];
+        let plot = ascii_chart(&[("up", s1), ("down", s2)], 30, 8);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("legend: * up   o down"));
+        assert!(plot.contains("3.0000"));
+        assert!(plot.contains("1.0000"));
+    }
+
+    #[test]
+    fn empty_series_say_so() {
+        assert_eq!(ascii_chart(&[("nothing", vec![])], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_do_not_divide_by_zero() {
+        let s = vec![(1.0, 5.0), (2.0, 5.0)];
+        let plot = ascii_chart(&[("flat", s)], 20, 5);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let s = vec![(0.0, 1.0), (f64::NAN, 2.0), (1.0, f64::INFINITY), (2.0, 2.0)];
+        let plot = ascii_chart(&[("dirty", s)], 20, 5);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn u64_wrapper_matches() {
+        let s: Vec<(u64, f64)> = vec![(0, 1.0), (10, 2.0)];
+        let plot = ascii_chart_u64(&[("series", &s)], 20, 5);
+        assert!(plot.contains("series"));
+    }
+
+    #[test]
+    fn dimensions_are_clamped_to_sane_minimums() {
+        let s = vec![(0.0, 1.0), (1.0, 2.0)];
+        let plot = ascii_chart(&[("tiny", s)], 1, 1);
+        assert!(plot.lines().count() >= 5);
+    }
+}

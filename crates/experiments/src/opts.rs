@@ -1,0 +1,161 @@
+//! Command-line options shared by all experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--paper` — full paper scale (2000 s, 5 seeds, paper BF sizes);
+//! * `--duration <secs>` — override the simulated duration;
+//! * `--seeds <n>` — seeds to average over;
+//! * `--topo <list>` — comma-separated topology indices (e.g. `1,2`);
+//! * `--out <dir>` — output directory for CSV files (default `results/`).
+
+use std::path::PathBuf;
+
+use tactic_topology::paper::PaperTopology;
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Full paper scale.
+    pub paper: bool,
+    /// Simulated seconds (None = experiment default).
+    pub duration_secs: Option<u64>,
+    /// Seeds to average over (None = experiment default).
+    pub seeds: Option<usize>,
+    /// Topologies to run.
+    pub topologies: Vec<PaperTopology>,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            paper: false,
+            duration_secs: None,
+            seeds: None,
+            topologies: PaperTopology::ALL.to_vec(),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses options from an argument iterator (excluding `argv[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunOpts, String> {
+        let mut opts = RunOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper" => opts.paper = true,
+                "--duration" => {
+                    let v = it.next().ok_or("--duration needs a value")?;
+                    opts.duration_secs =
+                        Some(v.parse().map_err(|_| format!("bad duration `{v}`"))?);
+                }
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds needs a value")?;
+                    opts.seeds = Some(v.parse().map_err(|_| format!("bad seed count `{v}`"))?);
+                }
+                "--topo" => {
+                    let v = it.next().ok_or("--topo needs a value")?;
+                    let mut topos = Vec::new();
+                    for part in v.split(',') {
+                        let idx: usize =
+                            part.trim().parse().map_err(|_| format!("bad topology `{part}`"))?;
+                        let topo = PaperTopology::ALL
+                            .get(idx.wrapping_sub(1))
+                            .ok_or(format!("topology index {idx} out of range 1-4"))?;
+                        topos.push(*topo);
+                    }
+                    if topos.is_empty() {
+                        return Err("--topo needs at least one index".into());
+                    }
+                    opts.topologies = topos;
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Result<RunOpts, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The simulated duration: explicit override, else paper/reduced default.
+    pub fn duration(&self, reduced_default: u64) -> u64 {
+        self.duration_secs.unwrap_or(if self.paper { 2_000 } else { reduced_default })
+    }
+
+    /// The seed count: explicit override, else paper (5) / reduced default.
+    pub fn seed_count(&self, reduced_default: usize) -> usize {
+        self.seeds.unwrap_or(if self.paper { 5 } else { reduced_default })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOpts, String> {
+        RunOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.paper);
+        assert_eq!(o.topologies.len(), 4);
+        assert_eq!(o.duration(60), 60);
+        assert_eq!(o.seed_count(2), 2);
+    }
+
+    #[test]
+    fn paper_flag_switches_defaults() {
+        let o = parse(&["--paper"]).unwrap();
+        assert_eq!(o.duration(60), 2_000);
+        assert_eq!(o.seed_count(2), 5);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let o = parse(&["--paper", "--duration", "300", "--seeds", "3"]).unwrap();
+        assert_eq!(o.duration(60), 300);
+        assert_eq!(o.seed_count(2), 3);
+    }
+
+    #[test]
+    fn topo_filter() {
+        let o = parse(&["--topo", "1,3"]).unwrap();
+        assert_eq!(o.topologies, vec![PaperTopology::Topo1, PaperTopology::Topo3]);
+        assert!(parse(&["--topo", "5"]).is_err());
+        assert!(parse(&["--topo", "x"]).is_err());
+    }
+
+    #[test]
+    fn bad_args_error() {
+        assert!(parse(&["--duration"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn out_dir() {
+        let o = parse(&["--out", "/tmp/x"]).unwrap();
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+}

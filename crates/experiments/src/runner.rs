@@ -1,0 +1,73 @@
+//! Shared run helpers: seed averaging and scenario shaping.
+
+use tactic::metrics::RunReport;
+use tactic::net::run_scenario;
+use tactic::scenario::Scenario;
+use tactic_sim::time::SimDuration;
+use tactic_topology::paper::PaperTopology;
+
+use crate::opts::RunOpts;
+
+/// Base seed so experiment runs are reproducible but distinct per seed
+/// index.
+pub const BASE_SEED: u64 = 0x7A_C71C;
+
+/// Runs `scenario` over `seeds` seeds, returning every report.
+pub fn run_seeds(scenario: &Scenario, seeds: usize) -> Vec<RunReport> {
+    (0..seeds).map(|i| run_scenario(scenario, BASE_SEED + i as u64)).collect()
+}
+
+/// The paper-replica scenario for `topo`, shaped by the options (duration
+/// override; everything else stays at §8.A defaults).
+pub fn shaped_scenario(topo: PaperTopology, opts: &RunOpts, reduced_duration: u64) -> Scenario {
+    let mut s = Scenario::paper(topo);
+    s.duration = SimDuration::from_secs(opts.duration(reduced_duration));
+    s
+}
+
+/// Mean over reports of a projection.
+pub fn mean_of<F: Fn(&RunReport) -> f64>(reports: &[RunReport], f: F) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+/// Sum over reports of a projection (u64).
+pub fn sum_of<F: Fn(&RunReport) -> u64>(reports: &[RunReport], f: F) -> u64 {
+    reports.iter().map(f).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_seeds_is_reproducible() {
+        let mut s = Scenario::small();
+        s.duration = SimDuration::from_secs(5);
+        let a = run_seeds(&s, 2);
+        let b = run_seeds(&s, 2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].events, b[0].events);
+        assert_ne!(a[0].events, a[1].events, "seeds differ");
+    }
+
+    #[test]
+    fn shaped_scenario_respects_duration() {
+        let opts = RunOpts::default();
+        let s = shaped_scenario(PaperTopology::Topo1, &opts, 45);
+        assert_eq!(s.duration, SimDuration::from_secs(45));
+    }
+
+    #[test]
+    fn aggregations() {
+        let mut s = Scenario::small();
+        s.duration = SimDuration::from_secs(5);
+        let reports = run_seeds(&s, 2);
+        let m = mean_of(&reports, |r| r.delivery.client_ratio());
+        assert!(m > 0.5);
+        let total = sum_of(&reports, |r| r.delivery.client_requested);
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Faces: a node's interfaces.
+//!
+//! A face is the NDN abstraction over "where packets come from / go to" —
+//! a link to a neighbour node or a local application. This crate only
+//! needs the identifier; the simulation's network layer owns the mapping
+//! from faces to links and applications.
+
+use std::fmt;
+
+/// A face identifier, unique per node.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_ndn::face::FaceId;
+///
+/// let f = FaceId::new(3);
+/// assert_eq!(f.index(), 3);
+/// assert_eq!(f.to_string(), "face3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FaceId(u32);
+
+impl FaceId {
+    /// Creates a face id.
+    pub const fn new(index: u32) -> Self {
+        FaceId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "face{}", self.0)
+    }
+}
+
+impl From<u32> for FaceId {
+    fn from(v: u32) -> Self {
+        FaceId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let f: FaceId = 7u32.into();
+        assert_eq!(f, FaceId::new(7));
+        assert_eq!(f.index(), 7);
+        assert_eq!(f.to_string(), "face7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(FaceId::new(1) < FaceId::new(2));
+    }
+}

@@ -1,0 +1,166 @@
+//! The Forwarding Information Base.
+//!
+//! Maps name prefixes to next-hop faces with longest-prefix-match lookup.
+//! Implemented as a hash map keyed by exact prefix, probed from the longest
+//! prefix of the lookup name downwards — names in our scenarios have at
+//! most a handful of components, so lookup is a few hash probes (this is
+//! also how NFD's name tree behaves asymptotically).
+
+use std::collections::HashMap;
+
+use crate::face::FaceId;
+use crate::name::Name;
+
+/// One candidate next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// The outgoing face.
+    pub face: FaceId,
+    /// Routing cost (lower is preferred).
+    pub cost: u32,
+}
+
+/// The FIB: prefix → ranked next hops.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_ndn::face::FaceId;
+/// use tactic_ndn::fib::Fib;
+///
+/// let mut fib = Fib::new();
+/// fib.add_route("/prov".parse()?, FaceId::new(1), 10);
+/// fib.add_route("/prov/special".parse()?, FaceId::new(2), 10);
+///
+/// let name = "/prov/special/obj".parse()?;
+/// assert_eq!(fib.next_hop(&name), Some(FaceId::new(2)));
+/// # Ok::<(), tactic_ndn::name::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fib {
+    entries: HashMap<Name, Vec<NextHop>>,
+}
+
+impl Fib {
+    /// Creates an empty FIB.
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Adds (or updates) a route. Next hops for a prefix stay sorted by
+    /// cost; re-adding an existing face updates its cost.
+    pub fn add_route(&mut self, prefix: Name, face: FaceId, cost: u32) {
+        let hops = self.entries.entry(prefix).or_default();
+        match hops.iter_mut().find(|h| h.face == face) {
+            Some(h) => h.cost = cost,
+            None => hops.push(NextHop { face, cost }),
+        }
+        hops.sort_by_key(|h| (h.cost, h.face));
+    }
+
+    /// Removes the route for `prefix` via `face`; returns whether it
+    /// existed.
+    pub fn remove_route(&mut self, prefix: &Name, face: FaceId) -> bool {
+        if let Some(hops) = self.entries.get_mut(prefix) {
+            let before = hops.len();
+            hops.retain(|h| h.face != face);
+            let removed = hops.len() != before;
+            if hops.is_empty() {
+                self.entries.remove(prefix);
+            }
+            return removed;
+        }
+        false
+    }
+
+    /// Longest-prefix-match: all next hops of the most specific matching
+    /// prefix.
+    pub fn lookup(&self, name: &Name) -> Option<&[NextHop]> {
+        for take in (0..=name.len()).rev() {
+            if let Some(hops) = self.entries.get(&name.prefix(take)) {
+                if !hops.is_empty() {
+                    return Some(hops);
+                }
+            }
+        }
+        None
+    }
+
+    /// The single best next hop under longest-prefix match.
+    pub fn next_hop(&self, name: &Name) -> Option<FaceId> {
+        self.lookup(name).map(|hops| hops[0].face)
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the FIB has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a"), FaceId::new(1), 1);
+        fib.add_route(name("/a/b"), FaceId::new(2), 1);
+        assert_eq!(fib.next_hop(&name("/a/b/c")), Some(FaceId::new(2)));
+        assert_eq!(fib.next_hop(&name("/a/x")), Some(FaceId::new(1)));
+        assert_eq!(fib.next_hop(&name("/z")), None);
+    }
+
+    #[test]
+    fn root_prefix_is_default_route() {
+        let mut fib = Fib::new();
+        fib.add_route(Name::root(), FaceId::new(9), 1);
+        assert_eq!(fib.next_hop(&name("/anything/at/all")), Some(FaceId::new(9)));
+    }
+
+    #[test]
+    fn lowest_cost_hop_preferred() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a"), FaceId::new(1), 20);
+        fib.add_route(name("/a"), FaceId::new(2), 10);
+        assert_eq!(fib.next_hop(&name("/a/x")), Some(FaceId::new(2)));
+        // Updating cost re-ranks.
+        fib.add_route(name("/a"), FaceId::new(2), 30);
+        assert_eq!(fib.next_hop(&name("/a/x")), Some(FaceId::new(1)));
+    }
+
+    #[test]
+    fn cost_tie_breaks_by_face_for_determinism() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a"), FaceId::new(5), 10);
+        fib.add_route(name("/a"), FaceId::new(3), 10);
+        assert_eq!(fib.next_hop(&name("/a")), Some(FaceId::new(3)));
+    }
+
+    #[test]
+    fn remove_route_cleans_up() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a"), FaceId::new(1), 1);
+        assert!(fib.remove_route(&name("/a"), FaceId::new(1)));
+        assert!(!fib.remove_route(&name("/a"), FaceId::new(1)));
+        assert!(fib.is_empty());
+        assert_eq!(fib.next_hop(&name("/a")), None);
+    }
+
+    #[test]
+    fn exact_match_entry_applies_to_itself() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a/b"), FaceId::new(1), 1);
+        assert_eq!(fib.next_hop(&name("/a/b")), Some(FaceId::new(1)));
+        assert_eq!(fib.next_hop(&name("/a")), None);
+    }
+}

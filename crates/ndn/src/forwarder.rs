@@ -1,0 +1,201 @@
+//! The vanilla NDN forwarding pipeline.
+//!
+//! [`Tables`] bundles a node's CS/PIT/FIB; [`process_interest`] and
+//! [`process_data`] implement the textbook CCN/NDN pipeline the paper
+//! recaps in §2: CS lookup → PIT lookup/aggregation → FIB forward, and
+//! reverse-path Data delivery with caching.
+//!
+//! TACTIC routers (in the `tactic` crate) reuse these tables but interpose
+//! their own authorisation steps; baseline mechanisms use this pipeline
+//! as-is.
+
+use tactic_sim::time::SimTime;
+
+use crate::cs::ContentStore;
+use crate::face::FaceId;
+use crate::fib::Fib;
+use crate::packet::{Data, Interest};
+use crate::pit::{InRecord, Pit, PitInsert};
+
+/// A node's three NDN tables.
+#[derive(Debug, Clone)]
+pub struct Tables {
+    /// The content store (cache).
+    pub cs: ContentStore,
+    /// The pending-Interest table.
+    pub pit: Pit,
+    /// The forwarding information base.
+    pub fib: Fib,
+}
+
+impl Tables {
+    /// Creates tables with the given cache capacity.
+    pub fn new(cs_capacity: usize) -> Self {
+        Tables { cs: ContentStore::new(cs_capacity), pit: Pit::new(), fib: Fib::new() }
+    }
+}
+
+/// What the node should do with an incoming Interest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterestAction {
+    /// Reply with this cached Data on the arrival face.
+    ReplyFromCache(Data),
+    /// The Interest was aggregated into an existing PIT entry; do nothing.
+    Aggregate,
+    /// Forward the Interest on this face.
+    Forward(FaceId),
+    /// No route; the caller may Nack.
+    NoRoute,
+    /// Looped nonce; drop.
+    DuplicateNonce,
+}
+
+/// Runs the vanilla Interest pipeline against `tables`.
+///
+/// `note` is the opaque annotation stored in the PIT in-record (TACTIC puts
+/// its `<tag, F>` there; vanilla callers pass an empty vec).
+pub fn process_interest(
+    tables: &mut Tables,
+    interest: &Interest,
+    in_face: FaceId,
+    now: SimTime,
+    note: Vec<u8>,
+) -> InterestAction {
+    // 1. Content store.
+    if let Some(data) = tables.cs.get(interest.name()) {
+        return InterestAction::ReplyFromCache(data.clone());
+    }
+    // 2. PIT.
+    let expiry = now + tactic_sim::time::SimDuration::from_millis(interest.lifetime_ms() as u64);
+    match tables.pit.on_interest(interest.name(), in_face, interest.nonce(), expiry, note) {
+        PitInsert::DuplicateNonce => InterestAction::DuplicateNonce,
+        PitInsert::Aggregated => InterestAction::Aggregate,
+        PitInsert::New => {
+            // 3. FIB.
+            match tables.fib.next_hop(interest.name()) {
+                Some(face) => InterestAction::Forward(face),
+                None => {
+                    // Clean up the dangling entry so a retry can re-resolve.
+                    tables.pit.take(interest.name());
+                    InterestAction::NoRoute
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of the vanilla Data pipeline: the consumed downstream records
+/// (empty if the Data was unsolicited) and whether it was cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataAction {
+    /// Downstream in-records the Data should be sent to.
+    pub downstream: Vec<InRecord>,
+    /// Whether the Data entered the content store.
+    pub cached: bool,
+}
+
+/// Runs the vanilla Data pipeline: consume the PIT entry and cache.
+///
+/// Unsolicited Data (no PIT entry) is dropped without caching, matching
+/// NFD's default policy.
+pub fn process_data(tables: &mut Tables, data: &Data) -> DataAction {
+    match tables.pit.take(data.name()) {
+        None => DataAction { downstream: Vec::new(), cached: false },
+        Some(entry) => {
+            tables.cs.insert(data.clone());
+            DataAction { downstream: entry.into_records(), cached: true }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Name;
+    use crate::packet::Payload;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn setup() -> Tables {
+        let mut t = Tables::new(10);
+        t.fib.add_route(name("/prov"), FaceId::new(9), 1);
+        t
+    }
+
+    #[test]
+    fn miss_forwards_via_fib() {
+        let mut t = setup();
+        let i = Interest::new(name("/prov/obj/0"), 1);
+        let action = process_interest(&mut t, &i, FaceId::new(1), SimTime::ZERO, vec![]);
+        assert_eq!(action, InterestAction::Forward(FaceId::new(9)));
+        assert_eq!(t.pit.len(), 1);
+    }
+
+    #[test]
+    fn second_request_aggregates() {
+        let mut t = setup();
+        let i1 = Interest::new(name("/prov/obj/0"), 1);
+        let i2 = Interest::new(name("/prov/obj/0"), 2);
+        process_interest(&mut t, &i1, FaceId::new(1), SimTime::ZERO, vec![]);
+        let action = process_interest(&mut t, &i2, FaceId::new(2), SimTime::ZERO, vec![]);
+        assert_eq!(action, InterestAction::Aggregate);
+        assert_eq!(t.pit.get(&name("/prov/obj/0")).unwrap().records().len(), 2);
+    }
+
+    #[test]
+    fn cache_hit_replies_immediately() {
+        let mut t = setup();
+        t.cs.insert(Data::new(name("/prov/obj/0"), Payload::Synthetic(10)));
+        let i = Interest::new(name("/prov/obj/0"), 1);
+        match process_interest(&mut t, &i, FaceId::new(1), SimTime::ZERO, vec![]) {
+            InterestAction::ReplyFromCache(d) => assert_eq!(d.name(), &name("/prov/obj/0")),
+            other => panic!("expected cache hit, got {other:?}"),
+        }
+        assert!(t.pit.is_empty(), "cache hits must not create PIT state");
+    }
+
+    #[test]
+    fn no_route_reported_and_pit_cleaned() {
+        let mut t = setup();
+        let i = Interest::new(name("/other/x"), 1);
+        let action = process_interest(&mut t, &i, FaceId::new(1), SimTime::ZERO, vec![]);
+        assert_eq!(action, InterestAction::NoRoute);
+        assert!(t.pit.is_empty());
+    }
+
+    #[test]
+    fn duplicate_nonce_dropped() {
+        let mut t = setup();
+        let i = Interest::new(name("/prov/obj/0"), 7);
+        process_interest(&mut t, &i, FaceId::new(1), SimTime::ZERO, vec![]);
+        let action = process_interest(&mut t, &i, FaceId::new(2), SimTime::ZERO, vec![]);
+        assert_eq!(action, InterestAction::DuplicateNonce);
+    }
+
+    #[test]
+    fn data_satisfies_all_downstreams_and_caches() {
+        let mut t = setup();
+        let n = name("/prov/obj/0");
+        process_interest(&mut t, &Interest::new(n.clone(), 1), FaceId::new(1), SimTime::ZERO, vec![11]);
+        process_interest(&mut t, &Interest::new(n.clone(), 2), FaceId::new(2), SimTime::ZERO, vec![22]);
+        let d = Data::new(n.clone(), Payload::Synthetic(10));
+        let action = process_data(&mut t, &d);
+        assert!(action.cached);
+        assert_eq!(action.downstream.len(), 2);
+        assert_eq!(action.downstream[0].note, vec![11]);
+        assert!(t.pit.is_empty());
+        assert!(t.cs.peek(&n).is_some());
+    }
+
+    #[test]
+    fn unsolicited_data_dropped() {
+        let mut t = setup();
+        let d = Data::new(name("/prov/obj/9"), Payload::Synthetic(10));
+        let action = process_data(&mut t, &d);
+        assert!(!action.cached);
+        assert!(action.downstream.is_empty());
+        assert!(t.cs.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Hierarchical NDN names.
+//!
+//! An NDN name is an ordered list of opaque byte components, written
+//! URI-style: `/provider0/obj12/chunk3`. Names identify content objects,
+//! prefixes identify namespaces (FIB entries, provider prefixes, key
+//! locators). TACTIC's Protocol 1 compares the provider prefix extracted
+//! from a tag's key locator — `N(Pub_p)` — against the requested content
+//! prefix `N(D)`.
+
+use std::fmt;
+
+/// One name component (opaque bytes; printable ASCII in our scenarios).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Component(Vec<u8>);
+
+impl Component {
+    /// Creates a component from raw bytes.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Component(bytes.into())
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty component.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for Component {
+    fn from(s: &str) -> Self {
+        Component(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Component {
+    fn from(s: String) -> Self {
+        Component(s.into_bytes())
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "%{:02X}", b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A hierarchical name: an ordered list of [`Component`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_ndn::name::Name;
+///
+/// let name: Name = "/provider0/obj12/chunk3".parse()?;
+/// assert_eq!(name.len(), 3);
+/// assert!(name.prefix(1).is_prefix_of(&name));
+/// assert_eq!(name.to_string(), "/provider0/obj12/chunk3");
+/// # Ok::<(), tactic_ndn::name::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Name {
+    components: Vec<Component>,
+}
+
+/// Error parsing a name from its URI form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The URI did not start with `/`.
+    MissingLeadingSlash,
+    /// A `%`-escape was malformed.
+    BadEscape(String),
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::MissingLeadingSlash => write!(f, "name must start with '/'"),
+            ParseNameError::BadEscape(s) => write!(f, "bad percent escape in `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl Name {
+    /// The root (empty) name, printed as `/`.
+    pub fn root() -> Self {
+        Name::default()
+    }
+
+    /// Builds a name from components.
+    pub fn from_components(components: Vec<Component>) -> Self {
+        Name { components }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the root name.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&Component> {
+        self.components.get(index)
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Returns a new name with `component` appended.
+    pub fn child(&self, component: impl Into<Component>) -> Name {
+        let mut components = self.components.clone();
+        components.push(component.into());
+        Name { components }
+    }
+
+    /// Appends a component in place.
+    pub fn push(&mut self, component: impl Into<Component>) {
+        self.components.push(component.into());
+    }
+
+    /// The first `n` components as a new name (clamped to the full name).
+    pub fn prefix(&self, n: usize) -> Name {
+        Name { components: self.components[..n.min(self.components.len())].to_vec() }
+    }
+
+    /// The name without its last component; the root maps to itself.
+    pub fn parent(&self) -> Name {
+        if self.components.is_empty() {
+            Name::root()
+        } else {
+            self.prefix(self.components.len() - 1)
+        }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Name) -> bool {
+        self.components.len() <= other.components.len()
+            && self.components.iter().zip(&other.components).all(|(a, b)| a == b)
+    }
+
+    /// Flat byte serialisation (length-prefixed components), for hashing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for c in &self.components {
+            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            out.extend_from_slice(c.as_bytes());
+        }
+        out
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = ParseNameError;
+
+    fn from_str(uri: &str) -> Result<Self, Self::Err> {
+        if uri == "/" {
+            return Ok(Name::root());
+        }
+        let rest = uri.strip_prefix('/').ok_or(ParseNameError::MissingLeadingSlash)?;
+        let mut components = Vec::new();
+        for piece in rest.split('/') {
+            if piece.is_empty() {
+                continue; // Collapse duplicate slashes.
+            }
+            components.push(Component::new(unescape(piece)?));
+        }
+        Ok(Name { components })
+    }
+}
+
+fn unescape(piece: &str) -> Result<Vec<u8>, ParseNameError> {
+    let bytes = piece.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| ParseNameError::BadEscape(piece.to_owned()))?;
+            let s = std::str::from_utf8(hex).map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
+            let v = u8::from_str_radix(s, 16).map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let n: Name = "/a/b/c".parse().unwrap();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.to_string(), "/a/b/c");
+    }
+
+    #[test]
+    fn root_name() {
+        let n: Name = "/".parse().unwrap();
+        assert!(n.is_empty());
+        assert_eq!(n.to_string(), "/");
+        assert_eq!(n.parent(), n);
+    }
+
+    #[test]
+    fn missing_slash_is_error() {
+        assert_eq!("abc".parse::<Name>(), Err(ParseNameError::MissingLeadingSlash));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let n = Name::root().child(Component::new(vec![0x00, 0xFF, b'a']));
+        let uri = n.to_string();
+        assert_eq!(uri, "/%00%FFa");
+        let back: Name = uri.parse().unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn bad_escape_is_error() {
+        assert!(matches!("/a%g1".parse::<Name>(), Err(ParseNameError::BadEscape(_))));
+        assert!(matches!("/a%0".parse::<Name>(), Err(ParseNameError::BadEscape(_))));
+    }
+
+    #[test]
+    fn duplicate_slashes_collapse() {
+        let n: Name = "/a//b".parse().unwrap();
+        assert_eq!(n.to_string(), "/a/b");
+    }
+
+    #[test]
+    fn prefix_relationships() {
+        let n: Name = "/p/o/c".parse().unwrap();
+        let p1 = n.prefix(1);
+        assert_eq!(p1.to_string(), "/p");
+        assert!(p1.is_prefix_of(&n));
+        assert!(n.is_prefix_of(&n));
+        assert!(!n.is_prefix_of(&p1));
+        assert!(Name::root().is_prefix_of(&n));
+        let other: Name = "/q/o/c".parse().unwrap();
+        assert!(!p1.is_prefix_of(&other));
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let n: Name = "/a/b".parse().unwrap();
+        assert_eq!(n.prefix(10), n);
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let n: Name = "/a".parse().unwrap();
+        let c = n.child("b");
+        assert_eq!(c.to_string(), "/a/b");
+        assert_eq!(c.parent(), n);
+    }
+
+    #[test]
+    fn to_bytes_distinguishes_component_boundaries() {
+        let ab_c: Name = "/ab/c".parse().unwrap();
+        let a_bc: Name = "/a/bc".parse().unwrap();
+        assert_ne!(ab_c.to_bytes(), a_bc.to_bytes());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_component() {
+        let a: Name = "/a".parse().unwrap();
+        let ab: Name = "/a/b".parse().unwrap();
+        let b: Name = "/b".parse().unwrap();
+        assert!(a < ab);
+        assert!(ab < b);
+    }
+}

@@ -1,0 +1,284 @@
+//! The Pending Interest Table.
+//!
+//! The PIT aggregates in-flight Interests for the same name and routes
+//! returning Data along the reverse paths. TACTIC extends each in-record
+//! with an opaque `note` — the `<tag, F>` pair of Protocol 4 — which the
+//! aggregating router replays when the content arrives, validating each
+//! aggregated tag individually. The paper observes this "adds an overhead
+//! to the PIT entry but it is of the order of a couple hundred bytes".
+
+use std::collections::HashMap;
+
+use tactic_sim::time::SimTime;
+
+use crate::face::FaceId;
+use crate::name::Name;
+
+/// One downstream requester recorded in a PIT entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InRecord {
+    /// The face the Interest arrived on.
+    pub face: FaceId,
+    /// The Interest's nonce (loop detection).
+    pub nonce: u64,
+    /// When this record expires.
+    pub expiry: SimTime,
+    /// Opaque application annotation (TACTIC: the serialized `<tag, F>`).
+    pub note: Vec<u8>,
+}
+
+/// A pending-Interest entry: one name, many downstream records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PitEntry {
+    name: Name,
+    records: Vec<InRecord>,
+    forwarded: bool,
+}
+
+impl PitEntry {
+    /// The pending name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// The downstream records, oldest first.
+    pub fn records(&self) -> &[InRecord] {
+        &self.records
+    }
+
+    /// Whether the Interest has been forwarded upstream.
+    pub fn forwarded(&self) -> bool {
+        self.forwarded
+    }
+
+    /// Consumes the entry into its records.
+    pub fn into_records(self) -> Vec<InRecord> {
+        self.records
+    }
+}
+
+/// Outcome of recording an incoming Interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PitInsert {
+    /// First request for this name: the caller should forward upstream.
+    New,
+    /// Joined an existing entry: the caller must *not* forward.
+    Aggregated,
+    /// Same nonce seen before for this name: a loop; drop the Interest.
+    DuplicateNonce,
+}
+
+/// The PIT.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_ndn::face::FaceId;
+/// use tactic_ndn::pit::{Pit, PitInsert};
+/// use tactic_sim::time::SimTime;
+///
+/// let mut pit = Pit::new();
+/// let name = "/prov/obj/0".parse()?;
+/// let t = SimTime::from_secs(4);
+/// assert_eq!(pit.on_interest(&name, FaceId::new(1), 11, t, vec![]), PitInsert::New);
+/// assert_eq!(pit.on_interest(&name, FaceId::new(2), 22, t, vec![]), PitInsert::Aggregated);
+///
+/// let entry = pit.take(&name).expect("pending");
+/// assert_eq!(entry.records().len(), 2);
+/// # Ok::<(), tactic_ndn::name::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pit {
+    entries: HashMap<Name, PitEntry>,
+}
+
+impl Pit {
+    /// Creates an empty PIT.
+    pub fn new() -> Self {
+        Pit::default()
+    }
+
+    /// Records an incoming Interest.
+    ///
+    /// Returns whether the Interest opened a new entry (forward it), was
+    /// aggregated (drop it), or is a duplicate nonce (loop; drop it).
+    pub fn on_interest(
+        &mut self,
+        name: &Name,
+        face: FaceId,
+        nonce: u64,
+        expiry: SimTime,
+        note: Vec<u8>,
+    ) -> PitInsert {
+        match self.entries.get_mut(name) {
+            None => {
+                self.entries.insert(
+                    name.clone(),
+                    PitEntry {
+                        name: name.clone(),
+                        records: vec![InRecord { face, nonce, expiry, note }],
+                        forwarded: true,
+                    },
+                );
+                PitInsert::New
+            }
+            Some(entry) => {
+                if entry.records.iter().any(|r| r.nonce == nonce) {
+                    return PitInsert::DuplicateNonce;
+                }
+                entry.records.push(InRecord { face, nonce, expiry, note });
+                PitInsert::Aggregated
+            }
+        }
+    }
+
+    /// Looks at the pending entry for `name` without consuming it.
+    pub fn get(&self, name: &Name) -> Option<&PitEntry> {
+        self.entries.get(name)
+    }
+
+    /// Consumes and returns the entry for `name` (Data arrival).
+    pub fn take(&mut self, name: &Name) -> Option<PitEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Removes the downstream records matching `predicate` from the entry
+    /// for `name`, dropping the entry if it empties. Returns the removed
+    /// records. (TACTIC edge routers use this to drop a nacked tag's
+    /// request while keeping other aggregated requesters pending.)
+    pub fn remove_records<F>(&mut self, name: &Name, mut predicate: F) -> Vec<InRecord>
+    where
+        F: FnMut(&InRecord) -> bool,
+    {
+        let Some(entry) = self.entries.get_mut(name) else {
+            return Vec::new();
+        };
+        let mut removed = Vec::new();
+        entry.records.retain(|r| {
+            if predicate(r) {
+                removed.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if entry.records.is_empty() {
+            self.entries.remove(name);
+        }
+        removed
+    }
+
+    /// Drops expired records and empty entries; returns how many records
+    /// were purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let mut purged = 0;
+        self.entries.retain(|_, entry| {
+            let before = entry.records.len();
+            entry.records.retain(|r| r.expiry > now);
+            purged += before - entry.records.len();
+            !entry.records.is_empty()
+        });
+        purged
+    }
+
+    /// Number of pending names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total downstream records across all entries.
+    pub fn total_records(&self) -> usize {
+        self.entries.values().map(|e| e.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_interest_is_new_then_aggregates() {
+        let mut pit = Pit::new();
+        let n = name("/a/b");
+        assert_eq!(pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![1]), PitInsert::New);
+        assert_eq!(pit.on_interest(&n, FaceId::new(2), 2, t(5), vec![2]), PitInsert::Aggregated);
+        assert_eq!(pit.on_interest(&n, FaceId::new(3), 3, t(5), vec![3]), PitInsert::Aggregated);
+        let entry = pit.take(&n).unwrap();
+        assert_eq!(entry.records().len(), 3);
+        assert!(entry.forwarded());
+        assert_eq!(entry.records()[1].note, vec![2]);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn duplicate_nonce_detected() {
+        let mut pit = Pit::new();
+        let n = name("/a");
+        pit.on_interest(&n, FaceId::new(1), 42, t(5), vec![]);
+        assert_eq!(
+            pit.on_interest(&n, FaceId::new(2), 42, t(5), vec![]),
+            PitInsert::DuplicateNonce
+        );
+        assert_eq!(pit.get(&n).unwrap().records().len(), 1);
+    }
+
+    #[test]
+    fn take_consumes() {
+        let mut pit = Pit::new();
+        let n = name("/a");
+        pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![]);
+        assert!(pit.take(&n).is_some());
+        assert!(pit.take(&n).is_none());
+    }
+
+    #[test]
+    fn remove_records_by_predicate() {
+        let mut pit = Pit::new();
+        let n = name("/a");
+        pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![10]);
+        pit.on_interest(&n, FaceId::new(2), 2, t(5), vec![20]);
+        let removed = pit.remove_records(&n, |r| r.note == vec![10]);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].face, FaceId::new(1));
+        assert_eq!(pit.get(&n).unwrap().records().len(), 1);
+        // Removing the last record drops the entry.
+        let removed = pit.remove_records(&n, |_| true);
+        assert_eq!(removed.len(), 1);
+        assert!(pit.is_empty());
+    }
+
+    #[test]
+    fn purge_expired_removes_stale_records() {
+        let mut pit = Pit::new();
+        let n = name("/a");
+        pit.on_interest(&n, FaceId::new(1), 1, t(1), vec![]);
+        pit.on_interest(&n, FaceId::new(2), 2, t(10), vec![]);
+        let m = name("/b");
+        pit.on_interest(&m, FaceId::new(3), 3, t(1), vec![]);
+        assert_eq!(pit.purge_expired(t(5)), 2);
+        assert_eq!(pit.len(), 1);
+        assert_eq!(pit.total_records(), 1);
+        assert!(pit.get(&m).is_none());
+    }
+
+    #[test]
+    fn distinct_names_do_not_aggregate() {
+        let mut pit = Pit::new();
+        assert_eq!(pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]), PitInsert::New);
+        assert_eq!(pit.on_interest(&name("/b"), FaceId::new(1), 2, t(5), vec![]), PitInsert::New);
+        assert_eq!(pit.len(), 2);
+    }
+}

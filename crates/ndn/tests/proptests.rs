@@ -1,0 +1,137 @@
+//! Property-based tests for the NDN substrate: codec round-trips and
+//! table invariants.
+
+use proptest::prelude::*;
+
+use tactic_ndn::cs::ContentStore;
+use tactic_ndn::face::FaceId;
+use tactic_ndn::fib::Fib;
+use tactic_ndn::name::{Component, Name};
+use tactic_ndn::packet::{Data, Interest, Nack, NackReason, Packet, Payload};
+use tactic_ndn::pit::Pit;
+use tactic_ndn::wire;
+use tactic_sim::time::SimTime;
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 0..5)
+        .prop_map(|comps| Name::from_components(comps.into_iter().map(Component::new).collect()))
+}
+
+fn arb_interest() -> impl Strategy<Value = Interest> {
+    (arb_name(), any::<u64>(), 1u32..100_000, proptest::collection::vec((0x8000u16..0x9000, proptest::collection::vec(any::<u8>(), 0..64)), 0..4))
+        .prop_map(|(name, nonce, lifetime, exts)| {
+            let mut i = Interest::new(name, nonce);
+            i.set_lifetime_ms(lifetime);
+            for (t, v) in exts {
+                i.set_extension(t, v);
+            }
+            i
+        })
+}
+
+fn arb_data() -> impl Strategy<Value = Data> {
+    (
+        arb_name(),
+        prop_oneof![
+            (0usize..100_000).prop_map(Payload::Synthetic),
+            proptest::collection::vec(any::<u8>(), 0..256).prop_map(Payload::Bytes),
+        ],
+        any::<u32>(),
+        proptest::collection::vec((0x8000u16..0x9000, proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+    )
+        .prop_map(|(name, payload, freshness, exts)| {
+            let mut d = Data::new(name, payload);
+            d.set_freshness_ms(freshness);
+            for (t, v) in exts {
+                d.set_extension(t, v);
+            }
+            d
+        })
+}
+
+proptest! {
+    #[test]
+    fn name_uri_roundtrip(name in arb_name()) {
+        let uri = name.to_string();
+        let back: Name = uri.parse().unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn name_prefix_relation_is_reflexive_and_monotone(name in arb_name(), take in 0usize..6) {
+        prop_assert!(name.is_prefix_of(&name));
+        let p = name.prefix(take);
+        prop_assert!(p.is_prefix_of(&name));
+        prop_assert!(p.len() <= name.len());
+    }
+
+    #[test]
+    fn interest_wire_roundtrip(interest in arb_interest()) {
+        let pkt = Packet::from(interest);
+        let encoded = wire::encode(&pkt);
+        prop_assert_eq!(wire::wire_size(&pkt), encoded.len());
+        prop_assert_eq!(wire::decode(&encoded).unwrap(), pkt);
+    }
+
+    #[test]
+    fn data_wire_roundtrip(data in arb_data()) {
+        let pkt = Packet::from(data);
+        let encoded = wire::encode(&pkt);
+        prop_assert_eq!(wire::decode(&encoded).unwrap(), pkt);
+    }
+
+    #[test]
+    fn nack_wire_roundtrip(interest in arb_interest()) {
+        let pkt = Packet::from(Nack::new(interest, NackReason::InvalidTag));
+        let encoded = wire::encode(&pkt);
+        prop_assert_eq!(wire::wire_size(&pkt), encoded.len());
+        prop_assert_eq!(wire::decode(&encoded).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncated_wire_never_panics(data in arb_data(), cut_frac in 0.0f64..1.0) {
+        let encoded = wire::encode(&Packet::from(data));
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        // Must error or produce a packet, never panic.
+        let _ = wire::decode(&encoded[..cut]);
+    }
+
+    #[test]
+    fn fib_lpm_returns_a_registered_prefix(prefixes in proptest::collection::vec(arb_name(), 1..10), lookup in arb_name()) {
+        let mut fib = Fib::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            fib.add_route(p.clone(), FaceId::new(i as u32), 1);
+        }
+        if let Some(hops) = fib.lookup(&lookup) {
+            prop_assert!(!hops.is_empty());
+            // The matched prefix must actually prefix the lookup name.
+            let matched = &prefixes[hops[0].face.index() as usize];
+            prop_assert!(matched.is_prefix_of(&lookup) || prefixes.iter().any(|p| p.is_prefix_of(&lookup)));
+        } else {
+            prop_assert!(prefixes.iter().all(|p| !p.is_prefix_of(&lookup)));
+        }
+    }
+
+    #[test]
+    fn cs_never_exceeds_capacity(cap in 1usize..50, names in proptest::collection::vec(arb_name(), 0..100)) {
+        let mut cs = ContentStore::new(cap);
+        for n in &names {
+            cs.insert(Data::new(n.clone(), Payload::Synthetic(1)));
+            prop_assert!(cs.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn pit_aggregation_preserves_all_records(name in arb_name(), faces in proptest::collection::vec(0u32..100, 1..20)) {
+        let mut pit = Pit::new();
+        let mut expected = 0;
+        for (i, &f) in faces.iter().enumerate() {
+            let r = pit.on_interest(&name, FaceId::new(f), i as u64, SimTime::from_secs(10), vec![i as u8]);
+            if r != tactic_ndn::pit::PitInsert::DuplicateNonce {
+                expected += 1;
+            }
+        }
+        let entry = pit.take(&name).unwrap();
+        prop_assert_eq!(entry.records().len(), expected);
+    }
+}

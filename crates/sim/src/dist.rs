@@ -1,0 +1,320 @@
+//! Probability distributions used by the simulator.
+//!
+//! All samplers draw from [`crate::rng::Rng`] and are implemented from
+//! scratch: normal (Box–Muller), truncated normal, exponential, and the
+//! bounded Zipf law the paper uses for content popularity (α = 0.7,
+//! following Breslau et al.).
+
+use crate::rng::Rng;
+
+/// A normal distribution `N(mean, std_dev²)` sampled via Box–Muller.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::{dist::Normal, rng::Rng};
+///
+/// let n = Normal::new(10.0, 2.0);
+/// let mut rng = Rng::seed_from_u64(1);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be finite and >= 0");
+        Normal { mean, std_dev }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // Box–Muller transform; the spare variate is discarded so the
+        // sampler stays stateless (samplers are shared across entities).
+        let u1 = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// A normal distribution truncated below at `min` (resampled, with a clamp
+/// fallback to keep sampling O(1) in pathological parameterisations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    min: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a normal truncated below at `min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or negative `std_dev`.
+    pub fn new(mean: f64, std_dev: f64, min: f64) -> Self {
+        assert!(min.is_finite(), "min must be finite");
+        TruncatedNormal { inner: Normal::new(mean, std_dev), min }
+    }
+
+    /// Draws one sample `>= min`.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        for _ in 0..16 {
+            let x = self.inner.sample(rng);
+            if x >= self.min {
+                return x;
+            }
+        }
+        // The acceptance region is tiny; fall back to the clamp.
+        self.min.max(self.inner.mean())
+    }
+
+    /// The untruncated mean.
+    pub fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+}
+
+/// An exponential distribution with the given rate λ (mean 1/λ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be > 0");
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be > 0");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / self.rate
+    }
+}
+
+/// A bounded Zipf distribution over ranks `0..n` with exponent α.
+///
+/// Rank 0 is the most popular item: `P(rank = i) ∝ 1 / (i + 1)^α`. Sampling
+/// uses binary search over the precomputed CDF, so draws are `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::{dist::Zipf, rng::Rng};
+///
+/// let z = Zipf::new(500, 0.7);
+/// let mut rng = Rng::seed_from_u64(7);
+/// assert!(z.sample(&mut rng) < 500);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift: the last entry must close the CDF.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, alpha }
+    }
+
+    /// The number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose CDF value reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = Normal::new(5.0, 2.0);
+        let mut rng = Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = mean_and_var(&samples);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn degenerate_normal_is_constant() {
+        let d = Normal::new(3.0, 0.0);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_floor() {
+        let d = TruncatedNormal::new(1e-6, 1e-3, 0.0);
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(0.25);
+        let mut rng = Rng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, _) = mean_and_var(&samples);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(100, 0.7);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12, "pmf not monotone at {i}");
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = Zipf::new(50, 0.7);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut counts = [0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for rank in [0usize, 1, 5, 20, 49] {
+            let emp = counts[rank] as f64 / n as f64;
+            let exp = z.pmf(rank);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {rank}: empirical {emp} vs pmf {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 0.7);
+        let mut rng = Rng::seed_from_u64(6);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        Zipf::new(0, 0.7);
+    }
+}

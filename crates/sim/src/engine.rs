@@ -1,0 +1,244 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a classic calendar-queue simulator: events carry an
+//! application-defined payload `E`, are scheduled at absolute [`SimTime`]s,
+//! and are delivered in time order (FIFO among equal timestamps, enforced by
+//! a monotone sequence number so runs are fully deterministic).
+//!
+//! The engine is deliberately payload-agnostic: the TACTIC network layer
+//! defines its own event enum and drives the loop with a handler closure
+//! that owns the world state.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::engine::Engine;
+/// use tactic_sim::time::{SimDuration, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_after(SimDuration::from_secs(2), "second");
+/// engine.schedule_after(SimDuration::from_secs(1), "first");
+///
+/// let mut order = Vec::new();
+/// while let Some(ev) = engine.pop() {
+///     order.push(ev);
+/// }
+/// assert_eq!(order, ["first", "second"]);
+/// assert_eq!(engine.now(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    horizon: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine at time zero with an unbounded horizon.
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Creates an engine that stops delivering events past `horizon`.
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        let mut e = Self::new();
+        e.horizon = horizon;
+        e
+    }
+
+    /// The current simulation time (time of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The stop horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Sets the stop horizon.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Events scheduled in the past are delivered "now" (the clock never
+    /// moves backwards); this matches zero-latency local deliveries.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Delivers the next event, advancing the clock. Returns `None` when the
+    /// queue is empty or the next event lies past the horizon (the event is
+    /// left queued in that case).
+    pub fn pop(&mut self) -> Option<E> {
+        match self.queue.peek() {
+            Some(head) if head.at <= self.horizon => {}
+            _ => return None,
+        }
+        let head = self.queue.pop().expect("peeked above");
+        self.now = head.at;
+        self.processed += 1;
+        Some(head.payload)
+    }
+
+    /// Runs the event loop until the queue drains or the horizon is reached,
+    /// calling `handler` for each event. The handler may schedule new events
+    /// through the engine reference it receives.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        while let Some(ev) = self.pop() {
+            handler(self, ev);
+        }
+    }
+
+    /// Drops all pending events without delivering them.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(3), 3);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(2), 2);
+        let got: Vec<u32> = std::iter::from_fn(|| e.pop()).collect();
+        assert_eq!(got, [1, 2, 3]);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule(SimTime::from_secs(5), i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| e.pop()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_delivery_but_keeps_events() {
+        let mut e: Engine<&str> = Engine::with_horizon(SimTime::from_secs(10));
+        e.schedule(SimTime::from_secs(5), "in");
+        e.schedule(SimTime::from_secs(15), "out");
+        assert_eq!(e.pop(), Some("in"));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.pending(), 1);
+        e.set_horizon(SimTime::MAX);
+        assert_eq!(e.pop(), Some("out"));
+    }
+
+    #[test]
+    fn past_events_are_delivered_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(SimTime::from_secs(5), "first");
+        assert_eq!(e.pop(), Some("first"));
+        e.schedule(SimTime::from_secs(1), "late");
+        assert_eq!(e.pop(), Some("late"));
+        assert_eq!(e.now(), SimTime::from_secs(5), "clock must not move backwards");
+    }
+
+    #[test]
+    fn run_loop_handles_cascading_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(1), 0);
+        let mut seen = Vec::new();
+        e.run(|engine, ev| {
+            seen.push(ev);
+            if ev < 4 {
+                engine.schedule_after(SimDuration::from_secs(1), ev + 1);
+            }
+        });
+        assert_eq!(seen, [0, 1, 2, 3, 4]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_secs(1), 1);
+        e.clear();
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.pending(), 0);
+    }
+}

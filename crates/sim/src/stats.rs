@@ -1,0 +1,402 @@
+//! Measurement primitives: running means, sample sets, and the per-second
+//! time series the paper's figures are built from.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A numerically-stable running mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.record(x);
+/// }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Running {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6}",
+            self.count,
+            self.mean(),
+            self.std_dev()
+        )
+    }
+}
+
+/// A complete sample set kept in memory for exact quantiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Exact quantile by nearest-rank (`q` in `[0, 1]`); `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.values[idx])
+    }
+
+    /// A read-only view of the raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Per-second bucketed mean time series, as plotted in the paper's Fig. 5
+/// ("averaged per second").
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::stats::TimeSeries;
+/// use tactic_sim::time::SimTime;
+///
+/// let mut ts = TimeSeries::new();
+/// ts.record(SimTime::from_secs_f64(0.2), 10.0);
+/// ts.record(SimTime::from_secs_f64(0.8), 20.0);
+/// ts.record(SimTime::from_secs_f64(1.5), 5.0);
+/// let pts = ts.per_second_means();
+/// assert_eq!(pts, vec![(0, 15.0), (1, 5.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Records an observation at a simulation time.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// Number of raw points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw points in recording order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Collapses the series into `(second, mean)` pairs for every second
+    /// that has at least one observation, in ascending order.
+    pub fn per_second_means(&self) -> Vec<(u64, f64)> {
+        self.bucket_means(1)
+    }
+
+    /// Collapses into `(bucket_start_second, mean)` pairs with a bucket
+    /// width of `width_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_secs == 0`.
+    pub fn bucket_means(&self, width_secs: u64) -> Vec<(u64, f64)> {
+        assert!(width_secs > 0, "bucket width must be positive");
+        let mut buckets: std::collections::BTreeMap<u64, Running> = std::collections::BTreeMap::new();
+        for &(at, v) in &self.points {
+            let b = at.as_secs() / width_secs * width_secs;
+            buckets.entry(b).or_default().record(v);
+        }
+        buckets.into_iter().map(|(s, r)| (s, r.mean())).collect()
+    }
+
+    /// Collapses into `(bucket_start_second, count)` pairs — event *rates*
+    /// rather than value means (the paper's Fig. 6 tag-request/receive
+    /// rates are per-second counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_secs == 0`.
+    pub fn bucket_counts(&self, width_secs: u64) -> Vec<(u64, u64)> {
+        assert!(width_secs > 0, "bucket width must be positive");
+        let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for &(at, _) in &self.points {
+            let b = at.as_secs() / width_secs * width_secs;
+            *buckets.entry(b).or_insert(0) += 1;
+        }
+        buckets.into_iter().collect()
+    }
+
+    /// Mean of all observations regardless of time.
+    pub fn overall_mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// Element-wise average of several aligned `(x, y)` series (the paper's
+/// five-seed averaging). Buckets present in only some series are averaged
+/// over the series that contain them.
+pub fn average_series(series: &[Vec<(u64, f64)>]) -> Vec<(u64, f64)> {
+    let mut acc: std::collections::BTreeMap<u64, Running> = std::collections::BTreeMap::new();
+    for s in series {
+        for &(x, y) in s {
+            acc.entry(x).or_default().record(y);
+        }
+    }
+    acc.into_iter().map(|(x, r)| (x, r.mean())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_moments() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.record(x);
+        }
+        assert_eq!(r.mean(), 5.0);
+        assert_eq!(r.variance(), 4.0);
+        assert_eq!(r.std_dev(), 2.0);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_merge_equals_pooled() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut pooled = Running::new();
+        for &x in &data {
+            pooled.record(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert!((a.mean() - pooled.mean()).abs() < 1e-12);
+        assert!((a.variance() - pooled.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_running_is_sane() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // Regression: `Default` must start min/max at ±infinity like
+        // `new()`, or the first recorded value loses to a phantom 0.0.
+        let mut r = Running::default();
+        r.record(5.0);
+        assert_eq!(r.min(), Some(5.0));
+        assert_eq!(r.max(), Some(5.0));
+        let mut neg = Running::default();
+        neg.record(-5.0);
+        assert_eq!(neg.max(), Some(-5.0));
+    }
+
+    #[test]
+    fn samples_quantiles() {
+        let mut s = Samples::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_samples_quantile_is_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn time_series_bucketing() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs_f64(0.1), 1.0);
+        ts.record(SimTime::from_secs_f64(0.9), 3.0);
+        ts.record(SimTime::from_secs_f64(2.5), 10.0);
+        assert_eq!(ts.per_second_means(), vec![(0, 2.0), (2, 10.0)]);
+        assert_eq!(ts.bucket_means(2), vec![(0, 2.0), (2, 10.0)]);
+        assert_eq!(ts.overall_mean(), 14.0 / 3.0);
+    }
+
+    #[test]
+    fn bucket_counts_are_event_rates() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs_f64(0.1), 99.0);
+        ts.record(SimTime::from_secs_f64(0.2), 99.0);
+        ts.record(SimTime::from_secs_f64(3.0), 99.0);
+        assert_eq!(ts.bucket_counts(1), vec![(0, 2), (3, 1)]);
+        assert_eq!(ts.bucket_counts(2), vec![(0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn series_averaging_handles_missing_buckets() {
+        let a = vec![(0, 1.0), (1, 3.0)];
+        let b = vec![(0, 3.0)];
+        assert_eq!(average_series(&[a, b]), vec![(0, 2.0), (1, 3.0)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shortest-path routing and FIB population.
+//!
+//! The simulation precomputes routes the way ndnSIM's `GlobalRoutingHelper`
+//! does: Dijkstra from every provider's attachment point over link latency,
+//! then install the provider's name prefix in every node's FIB pointing at
+//! the next hop toward the provider.
+
+use tactic_sim::time::SimDuration;
+
+use crate::graph::{Graph, NodeId};
+
+/// Per-node Dijkstra result relative to one destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// The neighbour to forward to in order to reach the destination.
+    pub next_hop: NodeId,
+    /// Total path latency.
+    pub cost: SimDuration,
+}
+
+/// Computes, for every node, the next hop and cost toward `target`
+/// (`None` for unreachable nodes and for `target` itself).
+///
+/// Edge weight is the link's propagation latency; ties resolve toward the
+/// lower node id, so routing is deterministic.
+pub fn routes_toward(graph: &Graph, target: NodeId) -> Vec<Option<RouteEntry>> {
+    let n = graph.node_count();
+    let mut dist: Vec<Option<SimDuration>> = vec![None; n];
+    let mut next: Vec<Option<NodeId>> = vec![None; n];
+    // Dijkstra from the target; `next[v]` is v's neighbour on the shortest
+    // path toward the target (the node we relaxed v from).
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[target.0] = Some(SimDuration::ZERO);
+    heap.push(std::cmp::Reverse((SimDuration::ZERO, target)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if dist[u.0] != Some(d) {
+            continue; // Stale entry.
+        }
+        for (v, link_id) in graph.incident(u) {
+            let w = graph.link(link_id).spec.latency;
+            let cand = d + w;
+            let better = match dist[v.0] {
+                None => true,
+                Some(cur) => cand < cur || (cand == cur && Some(u) < next[v.0]),
+            };
+            if better {
+                dist[v.0] = Some(cand);
+                next[v.0] = Some(u);
+                heap.push(std::cmp::Reverse((cand, v)));
+            }
+        }
+    }
+    (0..n)
+        .map(|i| {
+            if i == target.0 {
+                None
+            } else {
+                match (next[i], dist[i]) {
+                    (Some(hop), Some(cost)) => Some(RouteEntry { next_hop: hop, cost }),
+                    _ => None,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkSpec, Role};
+
+    /// a --1ms-- b --1ms-- c
+    ///  \________2ms_______/   (direct a-c link, higher latency than a-b-c? no: 2ms = 1+1)
+    fn line_graph() -> (Graph, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node(Role::CoreRouter);
+        let b = g.add_node(Role::CoreRouter);
+        let c = g.add_node(Role::CoreRouter);
+        g.add_link(a, b, LinkSpec::core());
+        g.add_link(b, c, LinkSpec::core());
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn line_routes() {
+        let (g, [a, b, c]) = line_graph();
+        let routes = routes_toward(&g, c);
+        assert_eq!(routes[a.0].unwrap().next_hop, b);
+        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
+        assert_eq!(routes[b.0].unwrap().next_hop, c);
+        assert!(routes[c.0].is_none(), "target has no route to itself");
+    }
+
+    #[test]
+    fn prefers_lower_latency_path() {
+        let mut g = Graph::new();
+        let a = g.add_node(Role::CoreRouter);
+        let b = g.add_node(Role::CoreRouter);
+        let c = g.add_node(Role::CoreRouter);
+        // a-c direct over a slow edge link (2 ms), a-b-c over core links (1+1 ms).
+        g.add_link(a, c, LinkSpec { bandwidth_bps: 10_000_000, latency: SimDuration::from_millis(5) });
+        g.add_link(a, b, LinkSpec::core());
+        g.add_link(b, c, LinkSpec::core());
+        let routes = routes_toward(&g, c);
+        assert_eq!(routes[a.0].unwrap().next_hop, b, "must avoid the 5 ms link");
+        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_route() {
+        let mut g = Graph::new();
+        let a = g.add_node(Role::CoreRouter);
+        let b = g.add_node(Role::CoreRouter);
+        let island = g.add_node(Role::CoreRouter);
+        g.add_link(a, b, LinkSpec::core());
+        let routes = routes_toward(&g, a);
+        assert!(routes[b.0].is_some());
+        assert!(routes[island.0].is_none());
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        // Diamond: a -> {b, c} -> d with equal latencies. a must always pick
+        // the same branch.
+        let mut g = Graph::new();
+        let a = g.add_node(Role::CoreRouter);
+        let b = g.add_node(Role::CoreRouter);
+        let c = g.add_node(Role::CoreRouter);
+        let d = g.add_node(Role::CoreRouter);
+        g.add_link(a, b, LinkSpec::core());
+        g.add_link(a, c, LinkSpec::core());
+        g.add_link(b, d, LinkSpec::core());
+        g.add_link(c, d, LinkSpec::core());
+        for _ in 0..5 {
+            let routes = routes_toward(&g, d);
+            assert_eq!(routes[a.0].unwrap().next_hop, b, "lowest-id branch wins ties");
+        }
+    }
+
+    #[test]
+    fn routes_form_a_tree_toward_target() {
+        let (g, [a, _, c]) = line_graph();
+        let routes = routes_toward(&g, c);
+        // Following next hops from any node must terminate at the target.
+        let mut cur = a;
+        let mut hops = 0;
+        while let Some(entry) = routes[cur.0] {
+            cur = entry.next_hop;
+            hops += 1;
+            assert!(hops < 10, "routing loop");
+        }
+        assert_eq!(cur, c);
+    }
+}

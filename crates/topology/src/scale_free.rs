@@ -1,0 +1,129 @@
+//! Barabási–Albert scale-free graph generation.
+//!
+//! The paper runs "four different scale free network topologies" (§8.A).
+//! The exact generator is unspecified; Barabási–Albert preferential
+//! attachment is the standard choice and reproduces the heavy-tailed
+//! degree distribution that makes a few core routers natural aggregation
+//! points.
+
+use tactic_sim::rng::Rng;
+
+use crate::graph::{Graph, LinkSpec, NodeId, Role};
+
+/// Parameters for the BA generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaParams {
+    /// Total number of router nodes to generate.
+    pub nodes: usize,
+    /// Edges attached from each new node (`m`).
+    pub edges_per_node: usize,
+}
+
+impl BaParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `edges_per_node == 0`.
+    pub fn new(nodes: usize, edges_per_node: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(edges_per_node >= 1, "need at least one edge per node");
+        BaParams { nodes, edges_per_node }
+    }
+}
+
+/// Generates a connected BA scale-free router graph. All nodes start as
+/// [`Role::CoreRouter`]; role refinement (edge routers etc.) happens in
+/// [`crate::roles`].
+///
+/// Preferential attachment is implemented with the classic "repeated
+/// endpoints" trick: each link contributes both endpoints to a pool, and
+/// new nodes sample attachment targets uniformly from the pool, giving
+/// selection probability proportional to degree.
+pub fn generate_ba(params: BaParams, rng: &mut Rng) -> Graph {
+    let m = params.edges_per_node;
+    let mut graph = Graph::new();
+    // Seed clique of m0 = m + 1 nodes, fully connected: gives every seed
+    // node nonzero degree so the pool is well-defined.
+    let m0 = (m + 1).min(params.nodes);
+    let seeds: Vec<NodeId> = (0..m0).map(|_| graph.add_node(Role::CoreRouter)).collect();
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..seeds.len() {
+        for j in (i + 1)..seeds.len() {
+            graph.add_link(seeds[i], seeds[j], LinkSpec::core());
+            pool.push(seeds[i]);
+            pool.push(seeds[j]);
+        }
+    }
+    // Preferential attachment for the rest.
+    while graph.node_count() < params.nodes {
+        let new = graph.add_node(Role::CoreRouter);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 10_000 {
+            let candidate = *rng.choose(&pool);
+            if candidate != new && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+            guard += 1;
+        }
+        for t in targets {
+            graph.add_link(new, t, LinkSpec::core());
+            pool.push(new);
+            pool.push(t);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_and_connectivity() {
+        let mut rng = Rng::seed_from_u64(1);
+        let g = generate_ba(BaParams::new(100, 2), &mut rng);
+        assert_eq!(g.node_count(), 100);
+        assert!(g.is_connected());
+        // m0 clique (3 choose 2 = 3 links) + 97 * 2.
+        assert_eq!(g.link_count(), 3 + 97 * 2);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = Rng::seed_from_u64(2);
+        let g = generate_ba(BaParams::new(500, 2), &mut rng);
+        let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        // A scale-free graph has hubs far above the median degree.
+        assert!(max >= median * 5, "max {max} median {median}");
+        assert!(median <= 4, "median {median}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_ba(BaParams::new(50, 2), &mut Rng::seed_from_u64(7));
+        let b = generate_ba(BaParams::new(50, 2), &mut Rng::seed_from_u64(7));
+        assert_eq!(a.link_count(), b.link_count());
+        let da: Vec<usize> = a.nodes().map(|n| a.degree(n)).collect();
+        let db: Vec<usize> = b.nodes().map(|n| b.degree(n)).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn tiny_graph_supported() {
+        let mut rng = Rng::seed_from_u64(3);
+        let g = generate_ba(BaParams::new(2, 1), &mut rng);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn too_small_rejected() {
+        BaParams::new(1, 1);
+    }
+}

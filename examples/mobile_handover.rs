@@ -1,0 +1,53 @@
+//! Mobility at the wireless edge — the paper's §9 future work, runnable.
+//!
+//! Every client roams between access points (exponential dwell times).
+//! Each handover drops the client's tags, forcing a re-registration from
+//! the new location (§4.A), so tag traffic rises with mobility while
+//! delivery stays intact — even with access-path enforcement switched on.
+//!
+//! ```sh
+//! cargo run --release --example mobile_handover
+//! ```
+
+use tactic::net::run_scenario;
+use tactic::scenario::{MobilityConfig, Scenario};
+use tactic_sim::time::SimDuration;
+
+fn run(dwell_secs: u64, ap_checks: bool) -> tactic::metrics::RunReport {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(30);
+    s.access_path_enabled = ap_checks;
+    if dwell_secs > 0 {
+        s.mobility = Some(MobilityConfig {
+            mean_dwell: SimDuration::from_secs(dwell_secs),
+            mobile_fraction: 1.0,
+        });
+    }
+    run_scenario(&s, 21)
+}
+
+fn main() {
+    println!("{:<28} {:>7} {:>12} {:>12} {:>14}", "scenario", "moves", "client ratio", "tag reqs", "mean lat (ms)");
+    println!("{}", "-".repeat(78));
+    for (label, dwell, ap) in [
+        ("static", 0, false),
+        ("roaming (dwell 10s)", 10, false),
+        ("roaming (dwell 4s)", 4, false),
+        ("roaming 4s + AP checks", 4, true),
+    ] {
+        let r = run(dwell, ap);
+        println!(
+            "{:<28} {:>7} {:>12.4} {:>12} {:>14.1}",
+            label,
+            r.moves,
+            r.delivery.client_ratio(),
+            r.tag_requests.len(),
+            r.mean_latency() * 1e3
+        );
+        assert!(r.delivery.attacker_ratio() < 0.01);
+    }
+    println!();
+    println!("Faster roaming => more handovers => more tag requests (each move");
+    println!("re-registers, as §4.A prescribes), while delivery stays high even");
+    println!("with access-path enforcement on: the fresh tag carries the new path.");
+}

@@ -1,0 +1,14 @@
+//! Workspace root crate for the TACTIC reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. It re-exports the member crates
+//! so examples and tests can reach the whole stack through one dependency.
+
+pub use tactic;
+pub use tactic_baselines as baselines;
+pub use tactic_bloom as bloom;
+pub use tactic_crypto as crypto;
+pub use tactic_experiments as experiments;
+pub use tactic_ndn as ndn;
+pub use tactic_sim as sim;
+pub use tactic_topology as topology;

@@ -1,0 +1,159 @@
+//! Qualitative-shape tests: the relationships the paper's evaluation
+//! reports must hold in the reproduction (who wins, in which direction,
+//! roughly by how much) — independent of absolute numbers.
+
+use tactic::consumer::AttackerStrategy;
+use tactic::net::run_scenario;
+use tactic::scenario::Scenario;
+use tactic_baselines::mechanism::Mechanism;
+use tactic_baselines::net::run_baseline;
+use tactic_sim::time::SimDuration;
+
+fn base(secs: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(secs);
+    s
+}
+
+/// Fig. 5's driver: a saturating Bloom filter forces resets and
+/// re-validation; a bigger filter absorbs more before resetting.
+#[test]
+fn fig8_shape_bigger_filters_reset_less() {
+    let mut tiny = base(30);
+    tiny.bf_capacity = 10;
+    tiny.tag_validity = SimDuration::from_secs(1);
+    let mut large = tiny.clone();
+    large.bf_capacity = 500;
+    let r_tiny = run_scenario(&tiny, 1);
+    let r_large = run_scenario(&large, 1);
+    assert!(
+        r_tiny.edge_ops.bf_resets > r_large.edge_ops.bf_resets,
+        "25-tag filter resets {} vs 500-tag {}",
+        r_tiny.edge_ops.bf_resets,
+        r_large.edge_ops.bf_resets
+    );
+    assert!(r_tiny.edge_ops.bf_resets >= 3, "the tiny filter must actually cycle");
+}
+
+/// Fig. 8's FPP sweep: a looser reset threshold absorbs more requests per
+/// reset.
+#[test]
+fn fig8_shape_looser_threshold_absorbs_more() {
+    let mut strict = base(30);
+    strict.bf_capacity = 10;
+    strict.tag_validity = SimDuration::from_secs(1);
+    strict.bf_max_fpp = 1e-4;
+    let mut loose = strict.clone();
+    loose.bf_max_fpp = 1e-2;
+    let r_strict = run_scenario(&strict, 2);
+    let r_loose = run_scenario(&loose, 2);
+    assert!(
+        r_loose.edge_ops.bf_resets < r_strict.edge_ops.bf_resets,
+        "loose threshold: {} resets vs strict {}",
+        r_loose.edge_ops.bf_resets,
+        r_strict.edge_ops.bf_resets
+    );
+}
+
+/// Fig. 6's inset: 10 s → 100 s tag validity cuts the tag-request rate to
+/// roughly a quarter (the paper reports ~4x on Topology 1).
+#[test]
+fn fig6_shape_tag_rates_scale_with_validity() {
+    let mut short = base(20);
+    short.tag_validity = SimDuration::from_secs(5);
+    let mut long = short.clone();
+    long.tag_validity = SimDuration::from_secs(50);
+    let rs = run_scenario(&short, 3);
+    let rl = run_scenario(&long, 3);
+    let ratio = rs.tag_request_rate() / rl.tag_request_rate().max(1e-9);
+    assert!(ratio > 2.0, "short-validity Q rate should be several times higher, got {ratio:.2}x");
+}
+
+/// Fig. 7's headline: cheap lookups dominate; expensive verifications are
+/// orders of magnitude rarer at the edge.
+#[test]
+fn fig7_shape_lookups_dominate_verifications() {
+    let r = run_scenario(&base(15), 4);
+    assert!(r.edge_ops.bf_lookups as f64 > 20.0 * r.edge_ops.sig_verifications as f64);
+    // Core routers do less total work than edges (aggregation + flag F).
+    assert!(r.core_ops.bf_lookups + r.core_ops.sig_verifications
+        < r.edge_ops.bf_lookups + r.edge_ops.sig_verifications);
+}
+
+/// The flag-F cooperation is what keeps content-router verification rare:
+/// disabling it must increase verification work without changing outcomes.
+#[test]
+fn ablation_flag_f_reduces_verifications() {
+    let on = base(15);
+    let mut off = base(15);
+    off.flag_f_enabled = false;
+    let r_on = run_scenario(&on, 5);
+    let r_off = run_scenario(&off, 5);
+    let v_on = r_on.edge_ops.sig_verifications + r_on.core_ops.sig_verifications;
+    let v_off = r_off.edge_ops.sig_verifications + r_off.core_ops.sig_verifications;
+    assert!(v_off > v_on, "flag F off: {v_off} verifications vs on: {v_on}");
+    assert!(r_off.delivery.client_ratio() > 0.95, "delivery unharmed either way");
+}
+
+/// §1's motivation, quantified: client-side AC wastes bandwidth on
+/// unauthorized users; TACTIC does not.
+#[test]
+fn baseline_shape_client_side_ac_leaks_tactic_does_not() {
+    let s = base(12);
+    let tactic_run = run_scenario(&s, 6);
+    let leaky = run_baseline(&s, Mechanism::ClientSideAc, 6);
+    assert_eq!(tactic_run.delivery.attacker_received, 0);
+    assert!(leaky.attacker_received > 100, "client-side AC delivers to attackers");
+    assert!(leaky.attacker_bytes > 500_000);
+}
+
+/// §1's other motivation: an always-online provider forfeits caching.
+#[test]
+fn baseline_shape_provider_auth_forfeits_caching() {
+    let s = base(12);
+    let tactic_run = run_scenario(&s, 7);
+    let always_on = run_baseline(&s, Mechanism::ProviderAuthAc, 7);
+    assert_eq!(always_on.cache_hits, 0);
+    assert!(
+        always_on.provider_handled > 2 * tactic_run.providers.chunks_served,
+        "origin load: always-online {} vs TACTIC {}",
+        always_on.provider_handled,
+        tactic_run.providers.chunks_served
+    );
+}
+
+/// Table IV's contrast holds under every attacker strategy the paper's
+/// simulation implements.
+#[test]
+fn table4_shape_holds_per_strategy() {
+    for (i, strat) in AttackerStrategy::PAPER_MIX.iter().enumerate() {
+        let mut s = base(10);
+        s.attacker_mix = vec![*strat];
+        let r = run_scenario(&s, 10 + i as u64);
+        assert!(
+            r.delivery.attacker_ratio() < 0.01,
+            "{strat:?}: ratio {}",
+            r.delivery.attacker_ratio()
+        );
+        assert!(r.delivery.client_ratio() > 0.95, "{strat:?} harmed clients");
+    }
+}
+
+/// Latency ordering: computation-cost injection slows retrieval, but only
+/// modestly (the paper's injected costs are micro-scale vs millisecond
+/// links).
+#[test]
+fn cost_injection_has_bounded_latency_impact() {
+    let with_costs = base(12);
+    let mut free = base(12);
+    free.cost_model = tactic_sim::cost::CostModel::free();
+    let r_with = run_scenario(&with_costs, 8);
+    let r_free = run_scenario(&free, 8);
+    assert!(r_with.mean_latency() >= r_free.mean_latency() * 0.8);
+    assert!(
+        r_with.mean_latency() < r_free.mean_latency() * 2.0 + 0.01,
+        "cost injection should not dominate link latency: {} vs {}",
+        r_with.mean_latency(),
+        r_free.mean_latency()
+    );
+}

@@ -1,0 +1,83 @@
+//! End-to-end traitor tracing (the paper's §9 future work): even with
+//! access-path *enforcement* off — the paper's own simulation config —
+//! edge-router sightings alone convict a client who shared her tag.
+
+use tactic::consumer::AttackerStrategy;
+use tactic::net::run_scenario;
+use tactic::scenario::Scenario;
+use tactic::traitor::TraitorTracer;
+use tactic_sim::time::SimDuration;
+
+fn sighting_run(mix: Vec<AttackerStrategy>, seed: u64) -> tactic::metrics::RunReport {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(12);
+    s.attacker_mix = mix;
+    s.access_path_enabled = false; // enforcement OFF: detection only
+    s.record_sightings = true;
+    run_scenario(&s, seed)
+}
+
+fn trace(report: &tactic::metrics::RunReport) -> TraitorTracer {
+    let mut sightings = report.sightings.clone();
+    sightings.sort_by_key(|s| s.at);
+    let mut tracer = TraitorTracer::new(SimDuration::from_secs(10));
+    tracer.observe_all(sightings);
+    tracer
+}
+
+#[test]
+fn shared_tags_are_detected_even_without_enforcement() {
+    let report = sighting_run(vec![AttackerStrategy::SharedTag], 1);
+    // Enforcement is off, so the sharing "succeeds" on the wire...
+    assert!(report.delivery.attacker_ratio() > 0.5);
+    // ...but tracing convicts the shared identities.
+    let tracer = trace(&report);
+    let flagged: Vec<u64> = tracer.flagged().map(|(id, _)| id).collect();
+    assert!(
+        !flagged.is_empty(),
+        "the victim identities used from two locations must be flagged"
+    );
+    // Repeated concurrent use keeps producing evidence.
+    assert!(tracer.alerts().len() >= 5, "alerts: {}", tracer.alerts().len());
+}
+
+#[test]
+fn honest_fleet_raises_no_alerts() {
+    // No shared-tag attackers: every identity is used from exactly one
+    // location, so the tracer must stay silent (no false accusations).
+    let report = sighting_run(AttackerStrategy::PAPER_MIX.to_vec(), 2);
+    assert!(!report.sightings.is_empty(), "sightings must be recorded");
+    let tracer = trace(&report);
+    assert_eq!(
+        tracer.alerts().len(),
+        0,
+        "stationary clients must never be flagged: {:?}",
+        tracer.alerts().first()
+    );
+}
+
+#[test]
+fn alerts_identify_real_victims_only() {
+    let report = sighting_run(vec![AttackerStrategy::SharedTag], 3);
+    let tracer = trace(&report);
+    // Count distinct client identities observed at ALL; flagged ones must
+    // be a strict subset (the sharing victims, not the whole fleet).
+    let all_ids: std::collections::HashSet<u64> =
+        report.sightings.iter().map(|s| s.identity).collect();
+    let flagged: std::collections::HashSet<u64> = tracer.flagged().map(|(id, _)| id).collect();
+    assert!(flagged.is_subset(&all_ids));
+    assert!(
+        flagged.len() < all_ids.len(),
+        "only the shared identities ({}) of {} observed may be flagged",
+        flagged.len(),
+        all_ids.len()
+    );
+}
+
+#[test]
+fn sightings_are_off_by_default() {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(6);
+    let report = run_scenario(&s, 4);
+    assert!(report.sightings.is_empty());
+}
