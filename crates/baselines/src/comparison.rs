@@ -197,7 +197,14 @@ pub fn render_table_ii() -> Vec<String> {
     let mut lines = Vec::new();
     lines.push(format!(
         "{:<22} {:<14} {:<10} {:<10} {:<10} {:<8} {:<24} {}",
-        "Mechanism", "Comm. Ovhd", "Prov.", "Network", "Client", "Infra", "Client Revocation", "Enforcement"
+        "Mechanism",
+        "Comm. Ovhd",
+        "Prov.",
+        "Network",
+        "Client",
+        "Infra",
+        "Client Revocation",
+        "Enforcement"
     ));
     for m in &TABLE_II {
         lines.push(format!(
@@ -207,7 +214,11 @@ pub fn render_table_ii() -> Vec<String> {
             m.provider_burden.to_string(),
             m.network_burden.to_string(),
             m.client_burden.to_string(),
-            if m.extra_infrastructure { "Required" } else { "N/A" },
+            if m.extra_infrastructure {
+                "Required"
+            } else {
+                "N/A"
+            },
             m.revocation,
             m.enforcement
         ));

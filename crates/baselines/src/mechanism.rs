@@ -21,8 +21,11 @@ pub enum Mechanism {
 
 impl Mechanism {
     /// All baselines, in comparison order.
-    pub const ALL: [Mechanism; 3] =
-        [Mechanism::NoAccessControl, Mechanism::ClientSideAc, Mechanism::ProviderAuthAc];
+    pub const ALL: [Mechanism; 3] = [
+        Mechanism::NoAccessControl,
+        Mechanism::ClientSideAc,
+        Mechanism::ProviderAuthAc,
+    ];
 
     /// Whether caches may serve protected content under this mechanism.
     pub fn caches_protected_content(self) -> bool {

@@ -88,9 +88,19 @@ fn ratio(n: u64, d: u64) -> f64 {
 
 #[derive(Debug)]
 enum Ev {
-    Deliver { node: NodeId, face: FaceId, packet: Packet },
-    Start { node: NodeId },
-    Timeout { node: NodeId, name: Name, sent: SimTime },
+    Deliver {
+        node: NodeId,
+        face: FaceId,
+        packet: Packet,
+    },
+    Start {
+        node: NodeId,
+    },
+    Timeout {
+        node: NodeId,
+        name: Name,
+        sent: SimTime,
+    },
     Purge,
 }
 
@@ -115,7 +125,10 @@ struct Requester {
 
 impl Requester {
     fn chunk_name(&self, prov: usize, obj: usize, chunk: usize) -> Name {
-        let base = self.catalog[prov].0.child(format!("obj{obj}")).child(format!("c{chunk}"));
+        let base = self.catalog[prov]
+            .0
+            .child(format!("obj{obj}"))
+            .child(format!("c{chunk}"));
         if self.per_session_names {
             base.child(format!("u{}", self.principal))
         } else {
@@ -170,7 +183,8 @@ impl Requester {
         if let Some(sent) = self.in_flight.remove(d.name()) {
             self.received += 1;
             self.received_bytes += d.payload().len() as u64;
-            self.latencies.push((now, now.saturating_since(sent).as_secs_f64()));
+            self.latencies
+                .push((now, now.saturating_since(sent).as_secs_f64()));
         }
         self.fill(now)
     }
@@ -260,7 +274,10 @@ enum Node {
     Router(Tables),
     Provider(BaselineProvider),
     Requester(Box<Requester>),
-    Ap { upstream: FaceId, pending: HashMap<Name, Vec<(FaceId, SimTime)>> },
+    Ap {
+        upstream: FaceId,
+        pending: HashMap<Name, Vec<(FaceId, SimTime)>>,
+    },
 }
 
 /// The assembled baseline simulation.
@@ -312,8 +329,11 @@ impl BaselineNetwork {
 
         // Routers: disable caching entirely for provider-auth (protected
         // content must reach the provider).
-        let cs_capacity =
-            if mechanism.caches_protected_content() { scenario.cs_capacity } else { 0 };
+        let cs_capacity = if mechanism.caches_protected_content() {
+            scenario.cs_capacity
+        } else {
+            0
+        };
 
         let mut tables_map: HashMap<usize, Tables> = HashMap::new();
         for r in topo.routers() {
@@ -379,7 +399,10 @@ impl BaselineNetwork {
                         .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
                         .map(|i| FaceId::new(i as u32))
                         .expect("AP wired to edge router");
-                    Node::Ap { upstream, pending: HashMap::new() }
+                    Node::Ap {
+                        upstream,
+                        pending: HashMap::new(),
+                    }
                 }
             };
             nodes.push(state);
@@ -448,12 +471,16 @@ impl BaselineNetwork {
         let now = self.engine.now();
         match ev {
             Ev::Start { node } => {
-                let Node::Requester(r) = &mut self.nodes[node.0] else { return };
+                let Node::Requester(r) = &mut self.nodes[node.0] else {
+                    return;
+                };
                 let sends = r.fill(now);
                 self.requester_send(node, sends);
             }
             Ev::Timeout { node, name, sent } => {
-                let Node::Requester(r) = &mut self.nodes[node.0] else { return };
+                let Node::Requester(r) = &mut self.nodes[node.0] else {
+                    return;
+                };
                 let sends = r.on_timeout(&name, sent, now);
                 self.requester_send(node, sends);
             }
@@ -465,14 +492,17 @@ impl BaselineNetwork {
                         }
                         Node::Ap { pending, .. } => {
                             pending.retain(|_, v| {
-                                v.retain(|&(_, t)| now.saturating_since(t) < SimDuration::from_secs(4));
+                                v.retain(|&(_, t)| {
+                                    now.saturating_since(t) < SimDuration::from_secs(4)
+                                });
                                 !v.is_empty()
                             });
                         }
                         _ => {}
                     }
                 }
-                self.engine.schedule_after(SimDuration::from_secs(1), Ev::Purge);
+                self.engine
+                    .schedule_after(SimDuration::from_secs(1), Ev::Purge);
             }
             Ev::Deliver { node, face, packet } => match &mut self.nodes[node.0] {
                 Node::Router(tables) => {
@@ -518,7 +548,10 @@ impl BaselineNetwork {
                         if face == *upstream {
                             return;
                         }
-                        pending.entry(i.name().clone()).or_default().push((face, now));
+                        pending
+                            .entry(i.name().clone())
+                            .or_default()
+                            .push((face, now));
                         let up = *upstream;
                         self.transmit(node, up, Packet::Interest(i), SimDuration::ZERO);
                     }
@@ -539,7 +572,11 @@ impl BaselineNetwork {
         for i in sends {
             self.engine.schedule(
                 now + self.request_timeout,
-                Ev::Timeout { node, name: i.name().clone(), sent: now },
+                Ev::Timeout {
+                    node,
+                    name: i.name().clone(),
+                    sent: now,
+                },
             );
             self.transmit(node, FaceId::new(0), Packet::Interest(i), SimDuration::ZERO);
         }
@@ -552,13 +589,24 @@ impl BaselineNetwork {
         let now = self.engine.now();
         let size = wire_size(&packet);
         let ready = now + compute;
-        let busy = self.link_busy.get(&(from.0, to.0)).copied().unwrap_or(SimTime::ZERO);
+        let busy = self
+            .link_busy
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let depart = ready.max(busy);
         let serialize = spec.serialization_delay(size);
         self.link_busy.insert((from.0, to.0), depart + serialize);
         let arrival = depart + serialize + spec.latency;
         let in_face = self.face_index[to.0][&from];
-        self.engine.schedule(arrival, Ev::Deliver { node: to, face: in_face, packet });
+        self.engine.schedule(
+            arrival,
+            Ev::Deliver {
+                node: to,
+                face: in_face,
+                packet,
+            },
+        );
     }
 }
 
@@ -586,7 +634,11 @@ mod tests {
             "attackers must receive encrypted content (ratio {})",
             r.attacker_ratio()
         );
-        assert!(r.attacker_bytes > 100_000, "wasted bytes {}", r.attacker_bytes);
+        assert!(
+            r.attacker_bytes > 100_000,
+            "wasted bytes {}",
+            r.attacker_bytes
+        );
         assert!(r.cache_hits > 0, "caches must be used");
     }
 
@@ -607,8 +659,7 @@ mod tests {
         let always_on = run_baseline(&scenario(), Mechanism::ProviderAuthAc, 2);
         // With caching, the provider sees only misses; without, everything.
         let cached_frac = cached.provider_handled as f64 / cached.client_received.max(1) as f64;
-        let auth_frac =
-            always_on.provider_handled as f64 / always_on.client_received.max(1) as f64;
+        let auth_frac = always_on.provider_handled as f64 / always_on.client_received.max(1) as f64;
         assert!(
             auth_frac > cached_frac,
             "provider load: cached {cached_frac:.3} vs always-online {auth_frac:.3}"

@@ -61,7 +61,9 @@ fn bench_bloom(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    g.bench_function("estimated_fpp", |b| b.iter(|| black_box(bf.estimated_fpp())));
+    g.bench_function("estimated_fpp", |b| {
+        b.iter(|| black_box(bf.estimated_fpp()))
+    });
     g.finish();
 }
 
@@ -85,13 +87,27 @@ fn bench_tag(c: &mut Criterion) {
     let name: Name = "/prov0/obj3/c7".parse().unwrap();
     let locator: Name = "/prov0/KEY/1".parse().unwrap();
     g.bench_function("encode", |b| b.iter(|| black_box(tag.encode())));
-    g.bench_function("decode", |b| b.iter(|| black_box(SignedTag::decode(black_box(&encoded)))));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(SignedTag::decode(black_box(&encoded))))
+    });
     g.bench_function("verify", |b| b.iter(|| black_box(tag.verify(&kp.public()))));
     g.bench_function("precheck_edge", |b| {
-        b.iter(|| black_box(edge_precheck(&tag.tag, black_box(&name), SimTime::from_secs(1))))
+        b.iter(|| {
+            black_box(edge_precheck(
+                &tag.tag,
+                black_box(&name),
+                SimTime::from_secs(1),
+            ))
+        })
     });
     g.bench_function("precheck_content", |b| {
-        b.iter(|| black_box(content_precheck(&tag.tag, AccessLevel::Level(1), black_box(&locator))))
+        b.iter(|| {
+            black_box(content_precheck(
+                &tag.tag,
+                AccessLevel::Level(1),
+                black_box(&locator),
+            ))
+        })
     });
     g.bench_function("bloom_key", |b| b.iter(|| black_box(tag.bloom_key())));
     g.finish();
@@ -107,12 +123,17 @@ fn bench_ndn(c: &mut Criterion) {
     tactic::ext::set_interest_tag(&mut interest, &sample_tag(&kp));
     let pkt = Packet::from(interest);
     let encoded = wire::encode(&pkt);
-    g.bench_function("wire_encode_interest", |b| b.iter(|| black_box(wire::encode(&pkt))));
+    g.bench_function("wire_encode_interest", |b| {
+        b.iter(|| black_box(wire::encode(&pkt)))
+    });
     g.bench_function("wire_decode_interest", |b| {
         b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()))
     });
     g.bench_function("wire_size_data_8k", |b| {
-        let d = Packet::from(Data::new("/prov0/obj3/c7".parse().unwrap(), Payload::Synthetic(8192)));
+        let d = Packet::from(Data::new(
+            "/prov0/obj3/c7".parse().unwrap(),
+            Payload::Synthetic(8192),
+        ));
         b.iter(|| black_box(wire::wire_size(&d)))
     });
 
@@ -121,7 +142,9 @@ fn bench_ndn(c: &mut Criterion) {
         fib.add_route(format!("/prov{i}").parse().unwrap(), FaceId::new(i), 1);
     }
     let lookup_name: Name = "/prov7/obj3/c7".parse().unwrap();
-    g.bench_function("fib_lpm", |b| b.iter(|| black_box(fib.next_hop(&lookup_name))));
+    g.bench_function("fib_lpm", |b| {
+        b.iter(|| black_box(fib.next_hop(&lookup_name)))
+    });
 
     g.bench_function("pit_aggregate_cycle", |b| {
         let name: Name = "/prov0/obj3/c7".parse().unwrap();

@@ -31,7 +31,9 @@ fn setup() -> Setup {
     let provider = KeyPair::derive(b"/prov", 0);
     let mut certs = CertStore::new();
     certs.add_anchor(anchor.public());
-    certs.register(Certificate::issue("/prov", provider.public(), &anchor)).unwrap();
+    certs
+        .register(Certificate::issue("/prov", provider.public(), &anchor))
+        .unwrap();
     Setup { provider, certs }
 }
 
@@ -77,8 +79,13 @@ fn bench_edge_interest(c: &mut Criterion) {
             || (make_router(&s, RouterRole::Edge), Rng::seed_from_u64(1)),
             |(mut r, mut rng)| {
                 nonce += 1;
-                let out =
-                    r.handle_interest(tagged_interest(&tag, nonce), CLIENT, SimTime::ZERO, &mut rng, &cost);
+                let out = r.handle_interest(
+                    tagged_interest(&tag, nonce),
+                    CLIENT,
+                    SimTime::ZERO,
+                    &mut rng,
+                    &cost,
+                );
                 black_box(out.sends.len())
             },
             BatchSize::SmallInput,
@@ -129,8 +136,13 @@ fn bench_content_router(c: &mut Criterion) {
         );
         b.iter(|| {
             nonce += 1;
-            let out =
-                r.handle_interest(tagged_interest(&tag, nonce), UP, SimTime::ZERO, &mut rng, &cost);
+            let out = r.handle_interest(
+                tagged_interest(&tag, nonce),
+                UP,
+                SimTime::ZERO,
+                &mut rng,
+                &cost,
+            );
             black_box(out.sends.len())
         })
     });
@@ -140,7 +152,8 @@ fn bench_content_router(c: &mut Criterion) {
                 let mut r = make_router(&s, RouterRole::Core);
                 let mut rng = Rng::seed_from_u64(1);
                 // Prime the cache only (fresh BF: forces a verification).
-                let _ = r.handle_interest(tagged_interest(&tag, 1), UP, SimTime::ZERO, &mut rng, &cost);
+                let _ =
+                    r.handle_interest(tagged_interest(&tag, 1), UP, SimTime::ZERO, &mut rng, &cost);
                 let mut dd = content();
                 ext::set_data_tag(&mut dd, &tag);
                 let _ = r.handle_data(dd, UP, SimTime::ZERO, &mut rng, &cost);
@@ -157,8 +170,13 @@ fn bench_content_router(c: &mut Criterion) {
             },
             |(mut r, mut rng, other)| {
                 nonce += 1;
-                let out =
-                    r.handle_interest(tagged_interest(&other, nonce), UP, SimTime::ZERO, &mut rng, &cost);
+                let out = r.handle_interest(
+                    tagged_interest(&other, nonce),
+                    UP,
+                    SimTime::ZERO,
+                    &mut rng,
+                    &cost,
+                );
                 black_box(out.sends.len())
             },
             BatchSize::SmallInput,
@@ -184,8 +202,20 @@ fn bench_intermediate(c: &mut Criterion) {
         b.iter_batched(
             || (make_router(&s, RouterRole::Core), Rng::seed_from_u64(1)),
             |(mut r, mut rng)| {
-                let _ = r.handle_interest(tagged_interest(&tag, 1), FaceId::new(5), SimTime::ZERO, &mut rng, &cost);
-                let _ = r.handle_interest(tagged_interest(&tag2, 2), FaceId::new(6), SimTime::ZERO, &mut rng, &cost);
+                let _ = r.handle_interest(
+                    tagged_interest(&tag, 1),
+                    FaceId::new(5),
+                    SimTime::ZERO,
+                    &mut rng,
+                    &cost,
+                );
+                let _ = r.handle_interest(
+                    tagged_interest(&tag2, 2),
+                    FaceId::new(6),
+                    SimTime::ZERO,
+                    &mut rng,
+                    &cost,
+                );
                 let mut d = content();
                 ext::set_data_tag(&mut d, &tag);
                 let out = r.handle_data(d, UP, SimTime::ZERO, &mut rng, &cost);

@@ -1,0 +1,54 @@
+//! Sweep bench: the deterministic grid runner end to end, serial vs the
+//! machine's full worker pool. Compares wall-clock only — the grid's
+//! results are byte-identical for any thread count by construction (each
+//! run's RNG stream is derived from its grid coordinates, and reports are
+//! collected in job order).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tactic_bench::bench_scenario;
+use tactic_experiments::runner::{run_grid, scenario_id, GridJob};
+
+const SIM_SECS: u64 = 2;
+const GRID_RUNS: u64 = 8;
+
+fn grid_jobs(scenario: &tactic::scenario::Scenario) -> Vec<GridJob<'_>> {
+    (0..GRID_RUNS)
+        .map(|i| GridJob {
+            label: format!("bench run {i}"),
+            topology: 1,
+            scenario_id: scenario_id("bench_sweep", &[]),
+            run_idx: i,
+            scenario,
+        })
+        .collect()
+}
+
+/// The same 8-run grid at 1 worker thread and at every available core.
+/// On an N-core machine the parallel case should approach N× the serial
+/// throughput (capped by the grid size).
+fn bench_sweep_threads(c: &mut Criterion) {
+    let scenario = bench_scenario(SIM_SECS);
+    let jobs = grid_jobs(&scenario);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut g = c.benchmark_group("sweep_grid_threads");
+    g.sample_size(10);
+    for threads in [1, cores] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || (),
+                    |()| black_box(run_grid(&jobs, threads).len()),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads);
+criterion_main!(benches);

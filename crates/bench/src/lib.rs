@@ -9,7 +9,10 @@
 //! * `end_to_end` — scaled-down whole-network runs parameterised by each
 //!   table/figure's knob (BF size for Fig. 5/Table V, tag expiry for
 //!   Fig. 6/Fig. 8, threshold FPP for Fig. 8, the paper attacker mix for
-//!   Table IV, and the baseline mechanisms).
+//!   Table IV, and the baseline mechanisms);
+//! * `sweep` — the deterministic grid runner end to end, serial vs the
+//!   machine's full worker pool (results are identical either way; only
+//!   wall-clock changes).
 //!
 //! Run with `cargo bench -p tactic-bench`. These complement (not replace)
 //! the row/series regeneration in `tactic-experiments`.

@@ -163,7 +163,10 @@ pub struct CountingBloomFilter {
 impl CountingBloomFilter {
     /// Creates an empty counting filter.
     pub fn new(params: BloomParams) -> Self {
-        CountingBloomFilter { counters: vec![0; params.bits], params }
+        CountingBloomFilter {
+            counters: vec![0; params.bits],
+            params,
+        }
     }
 
     fn hashes(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
@@ -173,7 +176,8 @@ impl CountingBloomFilter {
         h2.update(key);
         let (a, b) = (h1.finish(), h2.finish() | 1);
         let bits = self.params.bits as u64;
-        (0..self.params.hashes).map(move |i| (a.wrapping_add((i as u64).wrapping_mul(b)) % bits) as usize)
+        (0..self.params.hashes)
+            .map(move |i| (a.wrapping_add((i as u64).wrapping_mul(b)) % bits) as usize)
     }
 
     /// Inserts a key (counters saturate at 15 and then never decrement, to
@@ -232,10 +236,16 @@ mod tests {
         let fp = (1000..101_000).filter(|&i| bf.contains(&key(i))).count();
         let rate = fp as f64 / 100_000.0;
         assert!(rate < 0.02, "observed fpp {rate}");
-        assert!(rate > 0.001, "suspiciously low fpp {rate} (hashing broken?)");
+        assert!(
+            rate > 0.001,
+            "suspiciously low fpp {rate} (hashing broken?)"
+        );
         // The fill-based estimate should be in the same ballpark.
         let est = bf.estimated_fpp();
-        assert!((est / rate < 3.0) && (rate / est < 3.0), "estimate {est} vs observed {rate}");
+        assert!(
+            (est / rate < 3.0) && (rate / est < 3.0),
+            "estimate {est} vs observed {rate}"
+        );
     }
 
     #[test]
@@ -306,7 +316,10 @@ mod tests {
         assert!(cbf.contains(b"a"));
         cbf.remove(b"a");
         assert!(!cbf.contains(b"a"));
-        assert!(cbf.contains(b"b"), "removal must not disturb other keys sharing no bits");
+        assert!(
+            cbf.contains(b"b"),
+            "removal must not disturb other keys sharing no bits"
+        );
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl BloomParams {
         let ln2 = std::f64::consts::LN_2;
         let m = (-(capacity as f64) * target_fpp.ln() / (ln2 * ln2)).ceil() as usize;
         let k = ((m as f64 / capacity as f64) * ln2).round().max(1.0) as u32;
-        BloomParams { bits: m.max(8), hashes: k, capacity, max_fpp: target_fpp }
+        BloomParams {
+            bits: m.max(8),
+            hashes: k,
+            capacity,
+            max_fpp: target_fpp,
+        }
     }
 
     /// The paper's configuration: `k = 5` hash functions, maximum FPP
@@ -74,7 +79,12 @@ impl BloomParams {
         let k = hashes as f64;
         let n = capacity as f64;
         let m = (-k * n / (1.0 - max_fpp.powf(1.0 / k)).ln()).ceil() as usize;
-        BloomParams { bits: m.max(8), hashes, capacity, max_fpp }
+        BloomParams {
+            bits: m.max(8),
+            hashes,
+            capacity,
+            max_fpp,
+        }
     }
 
     /// Theoretical FPP after `inserted` elements: `(1 - e^(-k·i/m))^k`.
@@ -115,7 +125,12 @@ mod tests {
     fn fixed_hash_sizing_monotone_in_capacity() {
         let small = BloomParams::with_fixed_hashes(500, 5, 1e-4);
         let large = BloomParams::with_fixed_hashes(5000, 5, 1e-4);
-        assert!(large.bits > small.bits * 9, "{} vs {}", large.bits, small.bits);
+        assert!(
+            large.bits > small.bits * 9,
+            "{} vs {}",
+            large.bits,
+            small.bits
+        );
     }
 
     #[test]
@@ -139,7 +154,12 @@ mod tests {
 
     #[test]
     fn bytes_rounds_up() {
-        let p = BloomParams { bits: 9, hashes: 1, capacity: 1, max_fpp: 0.5 };
+        let p = BloomParams {
+            bits: 9,
+            hashes: 1,
+            capacity: 1,
+            max_fpp: 0.5,
+        };
         assert_eq!(p.bytes(), 2);
     }
 

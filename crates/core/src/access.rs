@@ -107,19 +107,31 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        for al in [AccessLevel::Public, AccessLevel::Level(0), AccessLevel::Level(7), AccessLevel::Level(254)] {
+        for al in [
+            AccessLevel::Public,
+            AccessLevel::Level(0),
+            AccessLevel::Level(7),
+            AccessLevel::Level(254),
+        ] {
             assert_eq!(AccessLevel::from_byte(al.to_byte()), al);
         }
     }
 
     #[test]
     fn ordering_matches_satisfies() {
-        let mut levels =
-            vec![AccessLevel::Level(3), AccessLevel::Public, AccessLevel::Level(1)];
+        let mut levels = vec![
+            AccessLevel::Level(3),
+            AccessLevel::Public,
+            AccessLevel::Level(1),
+        ];
         levels.sort();
         assert_eq!(
             levels,
-            vec![AccessLevel::Public, AccessLevel::Level(1), AccessLevel::Level(3)]
+            vec![
+                AccessLevel::Public,
+                AccessLevel::Level(1),
+                AccessLevel::Level(3)
+            ]
         );
     }
 

@@ -48,7 +48,9 @@ impl AccessPath {
 
     /// Accumulates a whole path of entity identities.
     pub fn of(entities: impl IntoIterator<Item = u64>) -> AccessPath {
-        entities.into_iter().fold(AccessPath::EMPTY, AccessPath::extended)
+        entities
+            .into_iter()
+            .fold(AccessPath::EMPTY, AccessPath::extended)
     }
 
     /// The raw accumulator value (for wire encoding).

@@ -105,8 +105,14 @@ pub struct ConsumerStats {
 
 #[derive(Debug, Clone)]
 enum PendingWork {
-    Chunk { prov: usize, obj: usize, chunk: usize },
-    Registration { prov: usize },
+    Chunk {
+        prov: usize,
+        obj: usize,
+        chunk: usize,
+    },
+    Registration {
+        prov: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -322,7 +328,10 @@ impl Consumer {
                     self.stats.tag_requests.push(now);
                     self.in_flight.insert(
                         i.name().clone(),
-                        Pending { sent: now, work: PendingWork::Registration { prov } },
+                        Pending {
+                            sent: now,
+                            work: PendingWork::Registration { prov },
+                        },
                     );
                     out.push(i);
                     break; // Window blocked until the tag arrives.
@@ -344,7 +353,10 @@ impl Consumer {
                     self.stats.requested_chunks += 1;
                     self.in_flight.insert(
                         name,
-                        Pending { sent: now, work: PendingWork::Chunk { prov, obj, chunk } },
+                        Pending {
+                            sent: now,
+                            work: PendingWork::Chunk { prov, obj, chunk },
+                        },
                     );
                     out.push(i);
                 }
@@ -451,8 +463,16 @@ mod tests {
 
     fn catalog() -> Vec<CatalogEntry> {
         vec![
-            CatalogEntry { prefix: "/prov0".parse().unwrap(), objects: 5, chunks: 3 },
-            CatalogEntry { prefix: "/prov1".parse().unwrap(), objects: 5, chunks: 3 },
+            CatalogEntry {
+                prefix: "/prov0".parse().unwrap(),
+                objects: 5,
+                chunks: 3,
+            },
+            CatalogEntry {
+                prefix: "/prov1".parse().unwrap(),
+                objects: 5,
+                chunks: 3,
+            },
         ]
     }
 
@@ -661,6 +681,9 @@ mod tests {
         }
         // Rank-0 of 10 objects under Zipf(0.7) has pmf ~0.23; uniform
         // would be 0.1.
-        assert!(first_obj > 55, "only {first_obj}/400 hits on the most popular object");
+        assert!(
+            first_obj > 55,
+            "only {first_obj}/400 hits on the most popular object"
+        );
     }
 }

@@ -44,6 +44,9 @@ pub fn set_interest_tag(i: &mut Interest, tag: &SignedTag) {
 }
 
 /// The flag `F` on an Interest (absent ⇒ treat as 0).
+///
+/// The value comes off the wire, so it is sanitized: anything non-finite
+/// or outside `[0, 1)` reads as 0, which forces full validation.
 pub fn interest_flag_f(i: &Interest) -> f64 {
     i.extension(EXT_FLAG_F).map_or(0.0, decode_f64)
 }
@@ -83,7 +86,8 @@ pub fn set_data_tag(d: &mut Data, tag: &SignedTag) {
     d.set_extension(EXT_TAG, tag.encode());
 }
 
-/// The flag `F` on a Data packet (absent ⇒ 0).
+/// The flag `F` on a Data packet (absent ⇒ 0; sanitized like
+/// [`interest_flag_f`]).
 pub fn data_flag_f(d: &Data) -> f64 {
     d.extension(EXT_FLAG_F).map_or(0.0, decode_f64)
 }
@@ -117,7 +121,8 @@ pub fn set_data_nack(d: &mut Data, reason: NackReason) {
 
 /// A freshly issued tag on a registration response.
 pub fn data_new_tag(d: &Data) -> Option<SignedTag> {
-    d.extension(EXT_NEW_TAG).and_then(|b| SignedTag::decode(b).ok())
+    d.extension(EXT_NEW_TAG)
+        .and_then(|b| SignedTag::decode(b).ok())
 }
 
 /// Attaches a freshly issued tag to a registration response.
@@ -158,8 +163,26 @@ pub fn strip_delivery_annotations(d: &mut Data) {
     d.remove_extension(EXT_NEW_TAG);
 }
 
+/// Clamps a wire-supplied cooperation flag to its valid domain.
+///
+/// `F` is a false-positive probability, so the only meaningful values are
+/// finite and in `[0, 1)`. Anything else (`NaN`, `±inf`, negatives, or a
+/// forged `F ≥ 1.0` that would let `rng.chance(F)` — or its complement —
+/// skip validation deterministically) collapses to 0: full validation.
+pub fn sanitize_flag_f(f: f64) -> f64 {
+    if f.is_finite() && (0.0..1.0).contains(&f) {
+        f
+    } else {
+        0.0
+    }
+}
+
 fn decode_f64(b: &[u8]) -> f64 {
-    b.try_into().map(|arr| f64::from_bits(u64::from_le_bytes(arr))).unwrap_or(0.0)
+    sanitize_flag_f(
+        b.try_into()
+            .map(|arr| f64::from_bits(u64::from_le_bytes(arr)))
+            .unwrap_or(0.0),
+    )
 }
 
 #[cfg(test)]

@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn absorb_consumer_splits_by_kind() {
-        let mut r = RunReport { duration: SimDuration::from_secs(10), ..Default::default() };
+        let mut r = RunReport {
+            duration: SimDuration::from_secs(10),
+            ..Default::default()
+        };
         let cs = ConsumerStats {
             requested_chunks: 10,
             received_chunks: 9,
@@ -165,7 +168,10 @@ mod tests {
             ..Default::default()
         };
         r.absorb_consumer(ConsumerKind::Client, cs.clone());
-        let att = ConsumerStats { requested_chunks: 5, ..Default::default() };
+        let att = ConsumerStats {
+            requested_chunks: 5,
+            ..Default::default()
+        };
         r.absorb_consumer(
             ConsumerKind::Attacker(crate::consumer::AttackerStrategy::NoTag),
             att,

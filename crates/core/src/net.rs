@@ -36,11 +36,19 @@ use crate::scenario::{Scenario, TopologyChoice};
 #[derive(Debug)]
 enum NetEvent {
     /// A packet finishes arriving at `node` on `face`.
-    Deliver { node: NodeId, face: FaceId, packet: Packet },
+    Deliver {
+        node: NodeId,
+        face: FaceId,
+        packet: Packet,
+    },
     /// A consumer begins its request loop.
     ConsumerStart { node: NodeId },
     /// A consumer's outstanding request may have expired.
-    Timeout { node: NodeId, name: Name, sent: SimTime },
+    Timeout {
+        node: NodeId,
+        name: Name,
+        sent: SimTime,
+    },
     /// Periodic PIT / relay-state expiry sweep.
     Purge,
     /// A mobile client hands over to a new access point.
@@ -190,7 +198,11 @@ impl Network {
             };
             let provider = Provider::new(config);
             certs
-                .register(Certificate::issue(prefix.to_string(), provider.keypair().public(), &anchor))
+                .register(Certificate::issue(
+                    prefix.to_string(),
+                    provider.keypair().public(),
+                    &anchor,
+                ))
                 .expect("anchor-signed cert");
             catalog.push(CatalogEntry {
                 prefix,
@@ -207,7 +219,11 @@ impl Network {
         }
         let mut routers: HashMap<usize, TacticRouter> = HashMap::new();
         for rnode in topo.routers() {
-            let role = if edge_router_set[rnode.0] { RouterRole::Edge } else { RouterRole::Core };
+            let role = if edge_router_set[rnode.0] {
+                RouterRole::Edge
+            } else {
+                RouterRole::Core
+            };
             let config = RouterConfig {
                 role,
                 bf_params: scenario.bf_params(),
@@ -234,7 +250,11 @@ impl Network {
                 if let Some(entry) = routes[rnode.0] {
                     let face = face_index[rnode.0][&entry.next_hop];
                     let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
-                    routers.get_mut(&rnode.0).expect("router").add_route(prefix.clone(), face, cost_us);
+                    routers.get_mut(&rnode.0).expect("router").add_route(
+                        prefix.clone(),
+                        face,
+                        cost_us,
+                    );
                 }
             }
         }
@@ -282,7 +302,11 @@ impl Network {
                         let tag = p.issue_tag(
                             principal,
                             scenario.client_level,
-                            if scenario.access_path_enabled { own_path } else { AccessPath::EMPTY },
+                            if scenario.access_path_enabled {
+                                own_path
+                            } else {
+                                AccessPath::EMPTY
+                            },
                             SimTime::from_nanos(1),
                         );
                         consumer.preset_tag(idx, tag);
@@ -333,19 +357,23 @@ impl Network {
                 Role::CoreRouter | Role::EdgeRouter => {
                     NodeState::Router(Box::new(routers.remove(&node.0).expect("router built")))
                 }
-                Role::Provider => {
-                    NodeState::Provider(Box::new(providers.remove(&node.0).expect("provider built")))
-                }
-                Role::Client | Role::Attacker => {
-                    NodeState::Consumer(Box::new(consumers.remove(&node.0).expect("consumer built")))
-                }
+                Role::Provider => NodeState::Provider(Box::new(
+                    providers.remove(&node.0).expect("provider built"),
+                )),
+                Role::Client | Role::Attacker => NodeState::Consumer(Box::new(
+                    consumers.remove(&node.0).expect("consumer built"),
+                )),
                 Role::AccessPoint => {
                     let upstream = neighbors[node.0]
                         .iter()
                         .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
                         .map(|i| FaceId::new(i as u32))
                         .expect("AP wired to an edge router");
-                    NodeState::Ap(ApRelay { id: node, upstream, pending: HashMap::new() })
+                    NodeState::Ap(ApRelay {
+                        id: node,
+                        upstream,
+                        pending: HashMap::new(),
+                    })
                 }
             };
             nodes.push(state);
@@ -356,7 +384,10 @@ impl Network {
         let mut engine = Engine::with_horizon(SimTime::ZERO + scenario.duration);
         for &(unode, _) in &user_list {
             let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
-            engine.schedule(SimTime::ZERO + offset, NetEvent::ConsumerStart { node: unode });
+            engine.schedule(
+                SimTime::ZERO + offset,
+                NetEvent::ConsumerStart { node: unode },
+            );
         }
         engine.schedule(SimTime::from_secs(1), NetEvent::Purge);
 
@@ -366,7 +397,8 @@ impl Network {
                 (0.0..=1.0).contains(&m.mobile_fraction),
                 "mobile_fraction must be within [0, 1]"
             );
-            let dwell = tactic_sim::dist::Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
+            let dwell =
+                tactic_sim::dist::Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
             let mobile_count = (topo.clients.len() as f64 * m.mobile_fraction).round() as usize;
             for &c in topo.clients.iter().take(mobile_count) {
                 let at = SimTime::from_secs_f64(dwell.sample(&mut rng));
@@ -414,10 +446,14 @@ impl Network {
                     }
                     if self.edge_router_set[idx] {
                         report.edge_ops.merge(r.counters());
-                        report.edge_reset_requests.extend_from_slice(r.reset_request_counts());
+                        report
+                            .edge_reset_requests
+                            .extend_from_slice(r.reset_request_counts());
                     } else {
                         report.core_ops.merge(r.counters());
-                        report.core_reset_requests.extend_from_slice(r.reset_request_counts());
+                        report
+                            .core_reset_requests
+                            .extend_from_slice(r.reset_request_counts());
                     }
                 }
                 NodeState::Provider(p) => {
@@ -441,14 +477,18 @@ impl Network {
             NetEvent::Deliver { node, face, packet } => self.on_deliver(node, face, packet),
             NetEvent::ConsumerStart { node } => {
                 let now = self.engine.now();
-                let NodeState::Consumer(c) = &mut self.nodes[node.0] else { return };
+                let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+                    return;
+                };
                 let sends = c.fill(now);
                 let timeout = c.request_timeout();
                 self.consumer_send(node, sends, timeout);
             }
             NetEvent::Timeout { node, name, sent } => {
                 let now = self.engine.now();
-                let NodeState::Consumer(c) = &mut self.nodes[node.0] else { return };
+                let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+                    return;
+                };
                 let sends = c.on_timeout(&name, sent, now);
                 let timeout = c.request_timeout();
                 self.consumer_send(node, sends, timeout);
@@ -474,7 +514,8 @@ impl Network {
                         _ => {}
                     }
                 }
-                self.engine.schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
+                self.engine
+                    .schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
             }
         }
     }
@@ -484,7 +525,9 @@ impl Network {
         match &mut self.nodes[node.0] {
             NodeState::Router(r) => {
                 let out = match packet {
-                    Packet::Interest(i) => r.handle_interest(i, face, now, &mut self.rng, &self.cost),
+                    Packet::Interest(i) => {
+                        r.handle_interest(i, face, now, &mut self.rng, &self.cost)
+                    }
                     Packet::Data(d) => r.handle_data(d, face, now, &mut self.rng, &self.cost),
                     // Standalone NACKs travel downstream: relay toward the
                     // pending requesters, consuming the PIT state.
@@ -522,7 +565,10 @@ impl Network {
                         let path = ext::interest_access_path(&i).extended(ap.id.0 as u64);
                         ext::set_interest_access_path(&mut i, path);
                         let identity = ext::interest_tag(&i).as_ref().map(tag_identity);
-                        ap.pending.entry(i.name().clone()).or_default().push((face, now, identity));
+                        ap.pending
+                            .entry(i.name().clone())
+                            .or_default()
+                            .push((face, now, identity));
                         let up = ap.upstream;
                         self.transmit(node, up, Packet::Interest(i), SimDuration::ZERO);
                     }
@@ -554,7 +600,9 @@ impl Network {
         if self.access_points.len() < 2 {
             return;
         }
-        let Some(&(current_ap, spec)) = self.neighbors[node.0].first() else { return };
+        let Some(&(current_ap, spec)) = self.neighbors[node.0].first() else {
+            return;
+        };
         let new_ap = loop {
             let candidate = *self.rng.choose(&self.access_points);
             if candidate != current_ap {
@@ -581,12 +629,21 @@ impl Network {
         }
     }
 
-    fn consumer_send(&mut self, node: NodeId, sends: Vec<tactic_ndn::packet::Interest>, timeout: SimDuration) {
+    fn consumer_send(
+        &mut self,
+        node: NodeId,
+        sends: Vec<tactic_ndn::packet::Interest>,
+        timeout: SimDuration,
+    ) {
         let now = self.engine.now();
         for i in sends {
             self.engine.schedule(
                 now + timeout,
-                NetEvent::Timeout { node, name: i.name().clone(), sent: now },
+                NetEvent::Timeout {
+                    node,
+                    name: i.name().clone(),
+                    sent: now,
+                },
             );
             self.transmit(node, FaceId::new(0), Packet::Interest(i), SimDuration::ZERO);
         }
@@ -612,7 +669,14 @@ impl Network {
         let Some(&in_face) = self.face_index[to.0].get(&from) else {
             return;
         };
-        self.engine.schedule(arrival, NetEvent::Deliver { node: to, face: in_face, packet });
+        self.engine.schedule(
+            arrival,
+            NetEvent::Deliver {
+                node: to,
+                face: in_face,
+                packet,
+            },
+        );
     }
 }
 
@@ -634,7 +698,11 @@ mod tests {
     #[test]
     fn clients_retrieve_attackers_do_not() {
         let r = small_run(1);
-        assert!(r.delivery.client_requested > 100, "clients requested {}", r.delivery.client_requested);
+        assert!(
+            r.delivery.client_requested > 100,
+            "clients requested {}",
+            r.delivery.client_requested
+        );
         assert!(
             r.delivery.client_ratio() > 0.95,
             "client delivery ratio {} (req {}, recv {})",
@@ -690,7 +758,11 @@ mod tests {
         let mean = r.mean_latency();
         assert!(mean > 0.001 && mean < 1.0, "mean latency {mean}s");
         let series = r.latency.per_second_means();
-        assert!(series.len() > 5, "per-second series has {} points", series.len());
+        assert!(
+            series.len() > 5,
+            "per-second series has {} points",
+            series.len()
+        );
     }
 
     #[test]

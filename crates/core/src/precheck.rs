@@ -46,8 +46,14 @@ pub enum PreCheckError {
 impl std::fmt::Display for PreCheckError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PreCheckError::PrefixMismatch { tag_prefix, content_prefix } => {
-                write!(f, "tag prefix {tag_prefix} does not match content prefix {content_prefix}")
+            PreCheckError::PrefixMismatch {
+                tag_prefix,
+                content_prefix,
+            } => {
+                write!(
+                    f,
+                    "tag prefix {tag_prefix} does not match content prefix {content_prefix}"
+                )
             }
             PreCheckError::Expired { expiry, now } => {
                 write!(f, "tag expired at {expiry} (now {now})")
@@ -71,10 +77,16 @@ pub fn edge_precheck(tag: &Tag, content_name: &Name, now: SimTime) -> Result<(),
     let tag_prefix = tag.provider_prefix();
     let content_prefix = content_name.prefix(1);
     if tag_prefix != content_prefix {
-        return Err(PreCheckError::PrefixMismatch { tag_prefix, content_prefix });
+        return Err(PreCheckError::PrefixMismatch {
+            tag_prefix,
+            content_prefix,
+        });
     }
     if tag.is_expired(now) {
-        return Err(PreCheckError::Expired { expiry: tag.expiry, now });
+        return Err(PreCheckError::Expired {
+            expiry: tag.expiry,
+            now,
+        });
     }
     Ok(())
 }
@@ -178,8 +190,13 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = PreCheckError::Expired { expiry: SimTime::from_secs(1), now: SimTime::from_secs(2) };
+        let e = PreCheckError::Expired {
+            expiry: SimTime::from_secs(1),
+            now: SimTime::from_secs(2),
+        };
         assert!(e.to_string().contains("expired"));
-        assert!(PreCheckError::ProviderKeyMismatch.to_string().contains("mismatch"));
+        assert!(PreCheckError::ProviderKeyMismatch
+            .to_string()
+            .contains("mismatch"));
     }
 }

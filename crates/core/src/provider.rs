@@ -105,7 +105,13 @@ impl Provider {
     pub fn new(config: ProviderConfig) -> Self {
         let keypair = KeyPair::derive(config.prefix.to_string().as_bytes(), 0);
         let key_locator = config.prefix.child("KEY").child("1");
-        Provider { config, keypair, key_locator, registry: HashMap::new(), counters: ProviderCounters::default() }
+        Provider {
+            config,
+            keypair,
+            key_locator,
+            registry: HashMap::new(),
+            counters: ProviderCounters::default(),
+        }
     }
 
     /// The provider's configuration.
@@ -130,7 +136,13 @@ impl Provider {
 
     /// Registers (or updates) a principal's entitlement.
     pub fn grant(&mut self, principal: u64, level: AccessLevel) {
-        self.registry.insert(principal, Grant { level, revoked: false });
+        self.registry.insert(
+            principal,
+            Grant {
+                level,
+                revoked: false,
+            },
+        );
     }
 
     /// Revokes a principal: no fresh tags; outstanding tags die at expiry.
@@ -151,8 +163,14 @@ impl Provider {
     ///
     /// Panics if the indices are outside the catalog.
     pub fn content_name(&self, obj: usize, chunk: usize) -> Name {
-        assert!(obj < self.config.objects && chunk < self.config.chunks_per_object, "outside catalog");
-        self.config.prefix.child(format!("obj{obj}")).child(format!("c{chunk}"))
+        assert!(
+            obj < self.config.objects && chunk < self.config.chunks_per_object,
+            "outside catalog"
+        );
+        self.config
+            .prefix
+            .child(format!("obj{obj}"))
+            .child(format!("c{chunk}"))
     }
 
     /// The access level assigned to an object.
@@ -163,14 +181,21 @@ impl Provider {
     /// The registration Interest name a principal should use (unique per
     /// sequence number so responses are never served from caches).
     pub fn registration_name(&self, principal: u64, seq: u64) -> Name {
-        self.config.prefix.child("register").child(format!("u{principal}")).child(format!("{seq}"))
+        self.config
+            .prefix
+            .child("register")
+            .child(format!("u{principal}"))
+            .child(format!("{seq}"))
     }
 
     /// Builds and signs the Data packet for a chunk. Content signatures
     /// are produced offline in deployment, so no per-request cost is
     /// charged.
     pub fn build_chunk(&self, obj: usize, chunk: usize) -> Data {
-        let mut d = Data::new(self.content_name(obj, chunk), Payload::Synthetic(self.config.chunk_size));
+        let mut d = Data::new(
+            self.content_name(obj, chunk),
+            Payload::Synthetic(self.config.chunk_size),
+        );
         ext::set_data_access_level(&mut d, self.object_level(obj));
         ext::set_data_key_locator(&mut d, &self.key_locator);
         let sig = self.keypair.sign(&d.signable_bytes());
@@ -276,8 +301,16 @@ impl Provider {
             Some(grant) if !grant.revoked => {
                 let observed_ap = ext::interest_access_path(interest);
                 charge += cost.sample(Op::SigSign, rng);
-                let tag = self.issue_tag(principal, grant.level, observed_ap, now + self.config.tag_validity);
-                let mut resp = Data::new(interest.name().clone(), Payload::Synthetic(tag.encode().len()));
+                let tag = self.issue_tag(
+                    principal,
+                    grant.level,
+                    observed_ap,
+                    now + self.config.tag_validity,
+                );
+                let mut resp = Data::new(
+                    interest.name().clone(),
+                    Payload::Synthetic(tag.encode().len()),
+                );
                 ext::set_data_new_tag(&mut resp, &tag);
                 (vec![Packet::Data(resp)], charge)
             }
@@ -296,10 +329,16 @@ impl Provider {
         }
         let obj_c = name.get(self.config.prefix.len())?;
         let chunk_c = name.get(self.config.prefix.len() + 1)?;
-        let obj: usize =
-            std::str::from_utf8(obj_c.as_bytes()).ok()?.strip_prefix("obj")?.parse().ok()?;
-        let chunk: usize =
-            std::str::from_utf8(chunk_c.as_bytes()).ok()?.strip_prefix('c')?.parse().ok()?;
+        let obj: usize = std::str::from_utf8(obj_c.as_bytes())
+            .ok()?
+            .strip_prefix("obj")?
+            .parse()
+            .ok()?;
+        let chunk: usize = std::str::from_utf8(chunk_c.as_bytes())
+            .ok()?
+            .strip_prefix('c')?
+            .parse()
+            .ok()?;
         (obj < self.config.objects && chunk < self.config.chunks_per_object).then_some((obj, chunk))
     }
 }
@@ -313,8 +352,16 @@ pub fn registration_principal(interest: &Interest) -> Option<u64> {
 }
 
 /// Builds a registration Interest for `principal` with sequence `seq`.
-pub fn registration_interest(provider_prefix: &Name, principal: u64, seq: u64, nonce: u64) -> Interest {
-    let name = provider_prefix.child("register").child(format!("u{principal}")).child(format!("{seq}"));
+pub fn registration_interest(
+    provider_prefix: &Name,
+    principal: u64,
+    seq: u64,
+    nonce: u64,
+) -> Interest {
+    let name = provider_prefix
+        .child("register")
+        .child(format!("u{principal}"))
+        .child(format!("{seq}"));
     let mut i = Interest::new(name, nonce);
     i.set_extension(ext::EXT_REGISTRATION, principal.to_le_bytes().to_vec());
     i
@@ -341,7 +388,9 @@ mod tests {
         let i = registration_interest(&"/prov0".parse().unwrap(), 7, 0, 1);
         let (reply, _) = p.handle_interest(&i, SimTime::ZERO, &mut rng, &cost);
         assert_eq!(reply.len(), 1);
-        let Packet::Data(d) = &reply[0] else { panic!("expected Data") };
+        let Packet::Data(d) = &reply[0] else {
+            panic!("expected Data")
+        };
         let tag = ext::data_new_tag(d).expect("tag attached");
         assert!(tag.verify(&p.keypair().public()));
         assert_eq!(tag.tag.access_level, AccessLevel::Level(2));
@@ -373,11 +422,18 @@ mod tests {
     fn content_served_with_valid_tag() {
         let mut p = provider();
         let (mut rng, cost) = free();
-        let tag = p.issue_tag(7, AccessLevel::Level(2), AccessPath::EMPTY, SimTime::from_secs(10));
+        let tag = p.issue_tag(
+            7,
+            AccessLevel::Level(2),
+            AccessPath::EMPTY,
+            SimTime::from_secs(10),
+        );
         let mut i = Interest::new(p.content_name(3, 4), 5);
         ext::set_interest_tag(&mut i, &tag);
         let (reply, _) = p.handle_interest(&i, SimTime::ZERO, &mut rng, &cost);
-        let Packet::Data(d) = &reply[0] else { panic!("expected Data") };
+        let Packet::Data(d) = &reply[0] else {
+            panic!("expected Data")
+        };
         assert!(ext::data_nack(d).is_none());
         assert_eq!(d.payload().len(), 1024);
         assert_eq!(ext::data_access_level(d), AccessLevel::Level(1));
@@ -390,7 +446,9 @@ mod tests {
         let (mut rng, cost) = free();
         let i = Interest::new(p.content_name(0, 0), 1);
         let (reply, _) = p.handle_interest(&i, SimTime::ZERO, &mut rng, &cost);
-        let Packet::Data(d) = &reply[0] else { panic!("expected Data") };
+        let Packet::Data(d) = &reply[0] else {
+            panic!("expected Data")
+        };
         assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
         assert_eq!(p.counters().nacks, 1);
         assert_eq!(p.counters().chunks_served, 0);
@@ -400,11 +458,18 @@ mod tests {
     fn expired_tag_nacked_at_origin() {
         let mut p = provider();
         let (mut rng, cost) = free();
-        let tag = p.issue_tag(7, AccessLevel::Level(2), AccessPath::EMPTY, SimTime::from_secs(1));
+        let tag = p.issue_tag(
+            7,
+            AccessLevel::Level(2),
+            AccessPath::EMPTY,
+            SimTime::from_secs(1),
+        );
         let mut i = Interest::new(p.content_name(0, 0), 1);
         ext::set_interest_tag(&mut i, &tag);
         let (reply, _) = p.handle_interest(&i, SimTime::from_secs(5), &mut rng, &cost);
-        let Packet::Data(d) = &reply[0] else { panic!("expected Data") };
+        let Packet::Data(d) = &reply[0] else {
+            panic!("expected Data")
+        };
         assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
     }
 
@@ -416,7 +481,9 @@ mod tests {
         let (mut rng, cost) = free();
         let i = Interest::new(p.content_name(0, 0), 1);
         let (reply, _) = p.handle_interest(&i, SimTime::ZERO, &mut rng, &cost);
-        let Packet::Data(d) = &reply[0] else { panic!("expected Data") };
+        let Packet::Data(d) = &reply[0] else {
+            panic!("expected Data")
+        };
         assert!(ext::data_nack(d).is_none());
     }
 
@@ -424,7 +491,10 @@ mod tests {
     fn chunk_signature_verifies() {
         let p = provider();
         let d = p.build_chunk(1, 2);
-        assert!(p.keypair().public().verify(&d.signable_bytes(), d.signature().unwrap()));
+        assert!(p
+            .keypair()
+            .public()
+            .verify(&d.signable_bytes(), d.signature().unwrap()));
     }
 
     #[test]
@@ -433,9 +503,18 @@ mod tests {
         let n = p.content_name(12, 34);
         assert_eq!(n.to_string(), "/prov0/obj12/c34");
         assert_eq!(p.parse_content_name(&n), Some((12, 34)));
-        assert_eq!(p.parse_content_name(&"/prov0/obj99/c0".parse().unwrap()), None);
-        assert_eq!(p.parse_content_name(&"/other/obj1/c1".parse().unwrap()), None);
-        assert_eq!(p.parse_content_name(&"/prov0/register/u7/0".parse().unwrap()), None);
+        assert_eq!(
+            p.parse_content_name(&"/prov0/obj99/c0".parse().unwrap()),
+            None
+        );
+        assert_eq!(
+            p.parse_content_name(&"/other/obj1/c1".parse().unwrap()),
+            None
+        );
+        assert_eq!(
+            p.parse_content_name(&"/prov0/register/u7/0".parse().unwrap()),
+            None
+        );
     }
 
     #[test]
@@ -451,7 +530,13 @@ mod tests {
     #[test]
     fn object_and_grant_introspection() {
         let p = provider();
-        assert_eq!(p.grant_of(7), Some(Grant { level: AccessLevel::Level(2), revoked: false }));
+        assert_eq!(
+            p.grant_of(7),
+            Some(Grant {
+                level: AccessLevel::Level(2),
+                revoked: false
+            })
+        );
         assert_eq!(p.grant_of(8), None);
     }
 }

@@ -164,8 +164,16 @@ fn decode_note(note: &[u8]) -> (f64, Option<SignedTag>) {
     if note.len() < 8 {
         return (0.0, None);
     }
-    let f = f64::from_bits(u64::from_le_bytes(note[..8].try_into().expect("8 bytes")));
-    let tag = if note.len() > 8 { SignedTag::decode(&note[8..]).ok() } else { None };
+    // The note round-trips through opaque bytes, so re-sanitize on the way
+    // out: a non-finite or out-of-range F must never reach a trust decision.
+    let f = ext::sanitize_flag_f(f64::from_bits(u64::from_le_bytes(
+        note[..8].try_into().expect("8 bytes"),
+    )));
+    let tag = if note.len() > 8 {
+        SignedTag::decode(&note[8..]).ok()
+    } else {
+        None
+    };
     (f, tag)
 }
 
@@ -251,6 +259,7 @@ impl TacticRouter {
         let mut out = RouterOutput::default();
         if let Some(entry) = self.tables.pit.take(nack.interest().name()) {
             for rec in entry.into_records() {
+                self.counters.nacks += 1;
                 out.sends.push((rec.face, Packet::Nack(nack.clone())));
             }
         }
@@ -262,23 +271,29 @@ impl TacticRouter {
     }
 
     /// BF lookup with cost charging and counting.
-    fn bf_contains(&mut self, key: &[u8], rng: &mut Rng, cost: &CostModel, charge: &mut SimDuration) -> bool {
+    fn bf_contains(
+        &mut self,
+        key: &[u8],
+        rng: &mut Rng,
+        cost: &CostModel,
+        charge: &mut SimDuration,
+    ) -> bool {
         self.counters.bf_lookups += 1;
         *charge += cost.sample(Op::BfLookup, rng);
         self.bf.contains(key)
     }
 
     /// BF insert with saturation-reset accounting, cost charging, counting.
+    /// The reset decision itself lives in [`BloomFilter::insert_with_reset`]
+    /// so `counters.bf_resets` stays in lockstep with `BloomFilter::resets()`.
     fn bf_insert(&mut self, key: &[u8], rng: &mut Rng, cost: &CostModel, charge: &mut SimDuration) {
-        if self.bf.is_saturated() {
-            self.bf.reset();
+        self.counters.bf_insertions += 1;
+        *charge += cost.sample(Op::BfInsert, rng);
+        if self.bf.insert_with_reset(key) {
             self.counters.bf_resets += 1;
             self.reset_request_counts.push(self.requests_since_reset);
             self.requests_since_reset = 0;
         }
-        self.counters.bf_insertions += 1;
-        *charge += cost.sample(Op::BfInsert, rng);
-        self.bf.insert(key);
     }
 
     /// Full tag validation: BF short-circuit, then signature verification
@@ -320,7 +335,19 @@ impl TacticRouter {
 
         let from_client = self.config.role == RouterRole::Edge && self.is_downstream(in_face);
         let registration = ext::is_registration(&interest);
-        let tag = if registration { None } else { ext::interest_tag(&interest) };
+        let tag = if registration {
+            None
+        } else {
+            ext::interest_tag(&interest)
+        };
+
+        // Only Protocol 2 (the edge, below) may write F. Whatever a client
+        // put on the wire — including a forged F that would skip content-
+        // router validation — is discarded on every downstream face,
+        // regardless of this router's role.
+        if self.is_downstream(in_face) {
+            ext::set_interest_flag_f(&mut interest, 0.0);
+        }
 
         // ── Protocol 2, Interest side (edge routers, client-side faces) ──
         if from_client && !registration {
@@ -370,15 +397,26 @@ impl TacticRouter {
             }
         }
 
-        let flag_f = if self.config.flag_f_enabled { ext::interest_flag_f(&interest) } else { 0.0 };
+        let flag_f = if self.config.flag_f_enabled {
+            ext::interest_flag_f(&interest)
+        } else {
+            0.0
+        };
 
         // ── Content store: Protocol 3 if we hold the content ──
         if !registration {
             if let Some(cached) = self.tables.cs.get(interest.name()) {
                 let cached = cached.clone();
                 self.counters.cache_hits += 1;
-                let decision =
-                    self.serve_content(&cached, tag.as_ref(), flag_f, now, rng, cost, &mut out.compute);
+                let decision = self.serve_content(
+                    &cached,
+                    tag.as_ref(),
+                    flag_f,
+                    now,
+                    rng,
+                    cost,
+                    &mut out.compute,
+                );
                 match decision {
                     ServeDecision::Serve(d) => out.sends.push((in_face, Packet::Data(d))),
                     ServeDecision::Invalid(d, _reason) => {
@@ -399,7 +437,11 @@ impl TacticRouter {
         // ── Protocol 4, Interest side: PIT aggregation, FIB forward ──
         let note = encode_note(flag_f, tag.as_ref());
         let expiry = now + SimDuration::from_millis(interest.lifetime_ms() as u64);
-        match self.tables.pit.on_interest(interest.name(), in_face, interest.nonce(), expiry, note) {
+        match self
+            .tables
+            .pit
+            .on_interest(interest.name(), in_face, interest.nonce(), expiry, note)
+        {
             PitInsert::DuplicateNonce => {}
             PitInsert::Aggregated => {}
             PitInsert::New => match self.tables.fib.next_hop(interest.name()) {
@@ -407,7 +449,10 @@ impl TacticRouter {
                 None => {
                     self.tables.pit.take(interest.name());
                     self.counters.nacks += 1;
-                    out.sends.push((in_face, Packet::Nack(Nack::new(interest, NackReason::NoRoute))));
+                    out.sends.push((
+                        in_face,
+                        Packet::Nack(Nack::new(interest, NackReason::NoRoute)),
+                    ));
                 }
             },
         }
@@ -566,7 +611,11 @@ impl TacticRouter {
                 }
                 continue;
             };
-            let flag_f = if self.config.flag_f_enabled { rec_f } else { 0.0 };
+            let flag_f = if self.config.flag_f_enabled {
+                rec_f
+            } else {
+                0.0
+            };
             if flag_f != 0.0 && !rng.chance(flag_f) {
                 // Trust the edge router's prior validation.
                 let mut d = data.clone();
@@ -631,14 +680,21 @@ mod tests {
         let provider = KeyPair::derive(b"/prov", 0);
         let mut certs = CertStore::new();
         certs.add_anchor(anchor.public());
-        certs.register(Certificate::issue("/prov", provider.public(), &anchor)).unwrap();
+        certs
+            .register(Certificate::issue("/prov", provider.public(), &anchor))
+            .unwrap();
         let mut config = RouterConfig::paper(role);
         config.cs_capacity = 100;
         let mut router = TacticRouter::new(config, certs);
         router.add_route("/prov".parse().unwrap(), UP, 1);
         router.mark_downstream(CLIENT);
         router.mark_downstream(CLIENT2);
-        Fixture { router, provider, rng: Rng::seed_from_u64(1), cost: CostModel::free() }
+        Fixture {
+            router,
+            provider,
+            rng: Rng::seed_from_u64(1),
+            cost: CostModel::free(),
+        }
     }
 
     fn make_tag(f: &Fixture, expiry_secs: u64) -> SignedTag {
@@ -674,11 +730,15 @@ mod tests {
         let mut f = fixture(RouterRole::Edge);
         let tag = make_tag(&f, 100);
         let i = tagged_interest("/prov/obj/0", 1, &tag);
-        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
         let (face, pkt) = &out.sends[0];
         assert_eq!(*face, UP);
-        let Packet::Interest(fw) = pkt else { panic!("expected Interest") };
+        let Packet::Interest(fw) = pkt else {
+            panic!("expected Interest")
+        };
         assert_eq!(ext::interest_flag_f(fw), 0.0);
         assert_eq!(f.router.counters().bf_lookups, 1);
     }
@@ -689,11 +749,19 @@ mod tests {
         let tag = make_tag(&f, 100);
         // Seed the BF as if the tag had been validated before.
         let mut charge = SimDuration::ZERO;
-        f.router.bf_insert(&tag.bloom_key(), &mut f.rng.clone(), &f.cost, &mut charge);
+        f.router
+            .bf_insert(&tag.bloom_key(), &mut f.rng.clone(), &f.cost, &mut charge);
         let i = tagged_interest("/prov/obj/0", 1, &tag);
-        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Interest(fw) = &out.sends[0].1 else { panic!("expected Interest") };
-        assert!(ext::interest_flag_f(fw) > 0.0, "F must be the BF's FPP, nonzero");
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Interest(fw) = &out.sends[0].1 else {
+            panic!("expected Interest")
+        };
+        assert!(
+            ext::interest_flag_f(fw) > 0.0,
+            "F must be the BF's FPP, nonzero"
+        );
     }
 
     #[test]
@@ -701,12 +769,18 @@ mod tests {
         let mut f = fixture(RouterRole::Edge);
         let tag = make_tag(&f, 5);
         let i = tagged_interest("/prov/obj/0", 1, &tag);
-        let out = f.router.handle_interest(i, CLIENT, SimTime::from_secs(6), &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::from_secs(6), &mut f.rng, &f.cost);
         // Protocol 1 at the edge DROPS: no NACK, so the requester's window
         // slot frees only via request expiry (the DoS throttle of §8.B).
         assert!(out.sends.is_empty());
         assert_eq!(f.router.counters().precheck_rejections, 1);
-        assert_eq!(f.router.counters().bf_lookups, 0, "pre-check precedes BF lookup");
+        assert_eq!(
+            f.router.counters().bf_lookups,
+            0,
+            "pre-check precedes BF lookup"
+        );
     }
 
     #[test]
@@ -730,7 +804,8 @@ mod tests {
             let anchor = KeyPair::derive(b"anchor", 0);
             let mut c = CertStore::new();
             c.add_anchor(anchor.public());
-            c.register(Certificate::issue("/prov", f.provider.public(), &anchor)).unwrap();
+            c.register(Certificate::issue("/prov", f.provider.public(), &anchor))
+                .unwrap();
             c
         };
         let mut router = TacticRouter::new(cfg, certs);
@@ -757,11 +832,18 @@ mod tests {
     #[test]
     fn content_router_serves_valid_tag_after_signature_verification() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let tag = make_tag(&f, 100);
         let i = tagged_interest("/prov/obj/0", 1, &tag);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
         assert!(ext::data_nack(d).is_none());
         assert_eq!(ext::data_tag(d), Some(tag));
         assert_eq!(ext::data_flag_f(d), 0.0);
@@ -773,7 +855,10 @@ mod tests {
     #[test]
     fn content_router_skips_verification_on_bf_hit() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let tag = make_tag(&f, 100);
         // First request verifies + inserts; second only looks up.
         let _ = f.router.handle_interest(
@@ -791,43 +876,70 @@ mod tests {
             &f.cost,
         );
         assert!(matches!(&out.sends[0].1, Packet::Data(_)));
-        assert_eq!(f.router.counters().sig_verifications, 1, "no re-verification");
+        assert_eq!(
+            f.router.counters().sig_verifications,
+            1,
+            "no re-verification"
+        );
         assert_eq!(f.router.counters().bf_lookups, 2);
     }
 
     #[test]
     fn content_router_nacks_forged_tag_with_content_attached() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let mut forged = make_tag(&f, 100);
         forged.signature = Signature::forged(9);
         let i = tagged_interest("/prov/obj/0", 1, &forged);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data+NACK") };
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data+NACK")
+        };
         assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
     }
 
     #[test]
     fn edge_cache_hit_with_invalid_tag_drops_silently() {
         let mut f = fixture(RouterRole::Edge);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let mut forged = make_tag(&f, 100);
         forged.signature = Signature::forged(5);
         let i = tagged_interest("/prov/obj/0", 1, &forged);
-        let out = f.router.handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
         // Content must NOT reach the client; the attacker waits out its
         // request expiry.
         assert!(out.sends.is_empty(), "client must not get content");
-        assert_eq!(f.router.counters().sig_verifications, 1, "the forged tag was checked");
+        assert_eq!(
+            f.router.counters().sig_verifications,
+            1,
+            "the forged tag was checked"
+        );
     }
 
     #[test]
     fn public_content_served_without_tag() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Public));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Public));
         let i = Interest::new(name("/prov/obj/0"), 1);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
         assert!(ext::data_nack(d).is_none());
         assert_eq!(f.router.counters().sig_verifications, 0);
         assert_eq!(f.router.counters().bf_lookups, 0);
@@ -836,21 +948,35 @@ mod tests {
     #[test]
     fn protected_content_without_tag_gets_content_nack_for_routers() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let i = Interest::new(name("/prov/obj/0"), 1);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
         assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
     }
 
     #[test]
     fn insufficient_access_level_rejected_at_content_router() {
         let mut f = fixture(RouterRole::Core);
-        f.router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(5)));
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(5)));
         let tag = make_tag(&f, 100); // grants Level(2)
         let i = tagged_interest("/prov/obj/0", 1, &tag);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let Packet::Data(d) = &out.sends[0].1 else { panic!("expected Data") };
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
         assert_eq!(ext::data_nack(d), Some(NackReason::InvalidTag));
         assert_eq!(f.router.counters().precheck_rejections, 1);
     }
@@ -886,7 +1012,9 @@ mod tests {
         // Content returns echoing tag1.
         let mut d = content("/prov/obj/0", AccessLevel::Level(1));
         ext::set_data_tag(&mut d, &tag1);
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 2, "both downstreams served");
         let faces: Vec<FaceId> = out.sends.iter().map(|(fc, _)| *fc).collect();
         assert!(faces.contains(&FaceId::new(5)) && faces.contains(&FaceId::new(6)));
@@ -919,10 +1047,18 @@ mod tests {
         );
         let mut d = content("/prov/obj/0", AccessLevel::Level(1));
         ext::set_data_tag(&mut d, &good);
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        let to6: Vec<_> = out.sends.iter().filter(|(fc, _)| *fc == FaceId::new(6)).collect();
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let to6: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(fc, _)| *fc == FaceId::new(6))
+            .collect();
         assert_eq!(to6.len(), 1);
-        let Packet::Data(dd) = &to6[0].1 else { panic!("expected data") };
+        let Packet::Data(dd) = &to6[0].1 else {
+            panic!("expected data")
+        };
         assert_eq!(ext::data_nack(dd), Some(NackReason::InvalidTag));
     }
 
@@ -949,7 +1085,9 @@ mod tests {
         );
         let mut d = content("/prov/obj/0", AccessLevel::Level(1));
         ext::set_data_tag(&mut d, &good);
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         // Only the good client receives data; the bad aggregated one is
         // dropped (no content, no NACK at the edge).
         assert_eq!(out.sends.len(), 1);
@@ -971,7 +1109,9 @@ mod tests {
         ext::set_data_tag(&mut d, &tag);
         ext::set_data_flag_f(&mut d, 0.0);
         let inserts_before = f.router.counters().bf_insertions;
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
         assert_eq!(f.router.counters().bf_insertions, inserts_before + 1);
         assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
@@ -984,7 +1124,8 @@ mod tests {
         // Pre-insert so the edge sets F != 0 on the interest.
         let mut charge = SimDuration::ZERO;
         let mut rng2 = f.rng.clone();
-        f.router.bf_insert(&tag.bloom_key(), &mut rng2, &f.cost, &mut charge);
+        f.router
+            .bf_insert(&tag.bloom_key(), &mut rng2, &f.cost, &mut charge);
         f.router.handle_interest(
             tagged_interest("/prov/obj/0", 1, &tag),
             CLIENT,
@@ -996,8 +1137,13 @@ mod tests {
         ext::set_data_tag(&mut d, &tag);
         ext::set_data_flag_f(&mut d, 1e-4);
         let inserts_before = f.router.counters().bf_insertions;
-        f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        assert_eq!(f.router.counters().bf_insertions, inserts_before, "no redundant insert");
+        f.router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(
+            f.router.counters().bf_insertions,
+            inserts_before,
+            "no redundant insert"
+        );
     }
 
     #[test]
@@ -1015,8 +1161,13 @@ mod tests {
         let mut d = content("/prov/obj/0", AccessLevel::Level(1));
         ext::set_data_tag(&mut d, &forged);
         ext::set_data_nack(&mut d, NackReason::InvalidTag);
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
-        assert!(out.sends.is_empty(), "nacked content must not reach the client");
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert!(
+            out.sends.is_empty(),
+            "nacked content must not reach the client"
+        );
         // But it IS cached for future valid requests.
         assert!(f.router.tables().cs.peek(&name("/prov/obj/0")).is_some());
     }
@@ -1036,9 +1187,13 @@ mod tests {
         let mut d = content("/prov/obj/0", AccessLevel::Level(1));
         ext::set_data_tag(&mut d, &forged);
         ext::set_data_nack(&mut d, NackReason::InvalidTag);
-        let out = f.router.handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
-        let Packet::Data(dd) = &out.sends[0].1 else { panic!("data expected") };
+        let Packet::Data(dd) = &out.sends[0].1 else {
+            panic!("data expected")
+        };
         assert_eq!(ext::data_nack(dd), Some(NackReason::InvalidTag));
     }
 
@@ -1047,12 +1202,16 @@ mod tests {
         let mut f = fixture(RouterRole::Edge);
         let mut reg = Interest::new(name("/prov/register/u/1"), 1);
         reg.set_extension(ext::EXT_REGISTRATION, vec![1]);
-        let out = f.router.handle_interest(reg, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_interest(reg, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
         assert!(matches!(&out.sends[0].1, Packet::Interest(_)));
         let tag = make_tag(&f, 100);
         let mut resp = Data::new(name("/prov/register/u/1"), Payload::Synthetic(200));
         ext::set_data_new_tag(&mut resp, &tag);
-        let out = f.router.handle_data(resp, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_data(resp, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.sends[0].0, CLIENT);
         assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
@@ -1064,7 +1223,9 @@ mod tests {
     fn no_route_nacks() {
         let mut f = fixture(RouterRole::Core);
         let i = Interest::new(name("/unknown/x"), 1);
-        let out = f.router.handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        let out = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert!(matches!(&out.sends[0].1, Packet::Nack(n) if n.reason() == NackReason::NoRoute));
     }
 
@@ -1080,7 +1241,10 @@ mod tests {
             router.bf_insert(&i.to_le_bytes(), &mut f.rng, &f.cost, &mut charge);
         }
         assert!(router.counters().bf_resets >= 5);
-        assert_eq!(router.reset_request_counts().len(), router.counters().bf_resets as usize);
+        assert_eq!(
+            router.reset_request_counts().len(),
+            router.counters().bf_resets as usize
+        );
         assert!(router.reset_request_counts().iter().all(|&c| c > 0));
     }
 
@@ -1094,11 +1258,15 @@ mod tests {
             let anchor = KeyPair::derive(b"anchor", 0);
             let mut c = CertStore::new();
             c.add_anchor(anchor.public());
-            c.register(Certificate::issue("/prov", f.provider.public(), &anchor)).unwrap();
+            c.register(Certificate::issue("/prov", f.provider.public(), &anchor))
+                .unwrap();
             c
         };
         let mut router = TacticRouter::new(cfg, certs);
-        router.tables.cs.insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
         let tag = make_tag(&f, 100);
         let mut i = tagged_interest("/prov/obj/0", 1, &tag);
         ext::set_interest_flag_f(&mut i, 0.5); // would normally mostly skip
@@ -1114,8 +1282,141 @@ mod tests {
         let mut f = fixture(RouterRole::Core);
         let tag = make_tag(&f, 100);
         let i = tagged_interest("/prov/obj/0", 7, &tag);
-        f.router.handle_interest(i.clone(), FaceId::new(5), SimTime::ZERO, &mut f.rng, &f.cost);
-        let out = f.router.handle_interest(i, FaceId::new(6), SimTime::ZERO, &mut f.rng, &f.cost);
+        f.router.handle_interest(
+            i.clone(),
+            FaceId::new(5),
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        let out = f
+            .router
+            .handle_interest(i, FaceId::new(6), SimTime::ZERO, &mut f.rng, &f.cost);
         assert!(out.sends.is_empty());
+    }
+
+    /// Regression: a client forging F = 1.0 on its own Interest must not
+    /// be able to steer the content router off the full-validation path —
+    /// F is discarded on every downstream face.
+    #[test]
+    fn forged_flag_f_one_from_downstream_still_verifies() {
+        let mut f = fixture(RouterRole::Core);
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        let mut i = tagged_interest("/prov/obj/0", 1, &tag);
+        ext::set_interest_flag_f(&mut i, 1.0);
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
+        assert!(ext::data_nack(d).is_none());
+        assert_eq!(
+            ext::data_flag_f(d),
+            0.0,
+            "forged F must not be mirrored into D"
+        );
+        assert_eq!(
+            f.router.counters().sig_verifications,
+            1,
+            "full validation must run"
+        );
+        assert_eq!(
+            f.router.counters().bf_lookups,
+            1,
+            "F = 0 path: BF lookup first"
+        );
+    }
+
+    /// Regression: F = NaN made `rng.chance(F)` false, so the pre-fix
+    /// router fell into the "trust the edge" branch and served protected
+    /// content with zero verifications. NaN (or any out-of-range F) must
+    /// now be discarded like every other downstream F.
+    #[test]
+    fn forged_flag_f_nan_from_downstream_still_verifies() {
+        let mut f = fixture(RouterRole::Core);
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        let mut i = tagged_interest("/prov/obj/0", 1, &tag);
+        ext::set_interest_flag_f(&mut i, f64::NAN);
+        let out = f
+            .router
+            .handle_interest(i, CLIENT, SimTime::ZERO, &mut f.rng, &f.cost);
+        let Packet::Data(d) = &out.sends[0].1 else {
+            panic!("expected Data")
+        };
+        assert!(ext::data_nack(d).is_none());
+        assert_eq!(
+            f.router.counters().sig_verifications,
+            1,
+            "NaN F must not skip validation"
+        );
+    }
+
+    /// Even on a non-downstream face, a NaN F on the wire decodes as 0
+    /// (sanitized at the codec), forcing the full-validation path rather
+    /// than the trust branch.
+    #[test]
+    fn nan_flag_f_from_upstream_decodes_as_zero() {
+        let mut f = fixture(RouterRole::Core);
+        f.router
+            .tables
+            .cs
+            .insert(content("/prov/obj/0", AccessLevel::Level(1)));
+        let tag = make_tag(&f, 100);
+        let mut i = tagged_interest("/prov/obj/0", 1, &tag);
+        ext::set_interest_flag_f(&mut i, f64::NAN);
+        assert_eq!(
+            ext::interest_flag_f(&i),
+            0.0,
+            "decode sanitizes non-finite F"
+        );
+        let _ = f
+            .router
+            .handle_interest(i, UP, SimTime::ZERO, &mut f.rng, &f.cost);
+        assert_eq!(f.router.counters().sig_verifications, 1);
+    }
+
+    #[test]
+    fn nack_relay_counts_every_notified_requester() {
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        // Two clients aggregate on the same name in the PIT.
+        let out1 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert_eq!(out1.sends.len(), 1, "first request forwards upstream");
+        let out2 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &tag),
+            CLIENT2,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert!(out2.sends.is_empty(), "second request aggregates");
+        let before = f.router.counters().nacks;
+        let nack = Nack::new(Interest::new(name("/prov/obj/0"), 3), NackReason::NoRoute);
+        let out = f.router.handle_nack(&nack);
+        assert_eq!(out.sends.len(), 2, "both requesters get the NACK");
+        assert_eq!(
+            f.router.counters().nacks - before,
+            2,
+            "one count per relayed NACK"
+        );
+        // The PIT entry is consumed: a repeat NACK relays (and counts) nothing.
+        let again = f.router.handle_nack(&nack);
+        assert!(again.sends.is_empty());
+        assert_eq!(f.router.counters().nacks - before, 2);
     }
 }

@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(s.chunks_per_object, 50);
         assert_eq!(s.zipf_alpha, 0.7);
         assert_eq!(s.window, 5);
-        assert!(!s.access_path_enabled, "the paper's sim left AP to future work");
+        assert!(
+            !s.access_path_enabled,
+            "the paper's sim left AP to future work"
+        );
         assert_eq!(s.topology.spec().providers, 10);
     }
 

@@ -62,7 +62,10 @@ impl Tag {
     /// Signs the tag, producing a [`SignedTag`].
     pub fn sign(self, provider: &KeyPair) -> SignedTag {
         let signature = provider.sign(&self.to_bytes());
-        SignedTag { tag: self, signature }
+        SignedTag {
+            tag: self,
+            signature,
+        }
     }
 }
 
@@ -123,8 +126,12 @@ impl SignedTag {
         let clen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         let cbytes = take(&mut pos, clen)?.to_vec();
         let client_key_locator = name_from_bytes(&cbytes)?;
-        let ap = AccessPath::from_u64(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")));
-        let expiry = SimTime::from_nanos(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")));
+        let ap = AccessPath::from_u64(u64::from_le_bytes(
+            take(&mut pos, 8)?.try_into().expect("8"),
+        ));
+        let expiry = SimTime::from_nanos(u64::from_le_bytes(
+            take(&mut pos, 8)?.try_into().expect("8"),
+        ));
         let sig = Signature::from_bytes(take(&mut pos, 16)?.try_into().expect("16"));
         if pos != bytes.len() {
             return Err(TagDecodeError);
@@ -159,9 +166,13 @@ fn name_from_bytes(bytes: &[u8]) -> Result<Name, TagDecodeError> {
     let mut comps = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
-        let len =
-            u32::from_le_bytes(bytes.get(pos..pos + 4).ok_or(TagDecodeError)?.try_into().expect("4"))
-                as usize;
+        let len = u32::from_le_bytes(
+            bytes
+                .get(pos..pos + 4)
+                .ok_or(TagDecodeError)?
+                .try_into()
+                .expect("4"),
+        ) as usize;
         pos += 4;
         let c = bytes.get(pos..pos + len).ok_or(TagDecodeError)?;
         pos += len;
@@ -240,7 +251,10 @@ mod tests {
     fn bloom_key_distinguishes_signatures_on_same_body() {
         let kp = KeyPair::derive(b"/prov3", 0);
         let genuine = sample_tag().sign(&kp);
-        let forged = SignedTag { tag: sample_tag(), signature: Signature::forged(1) };
+        let forged = SignedTag {
+            tag: sample_tag(),
+            signature: Signature::forged(1),
+        };
         assert_ne!(genuine.bloom_key(), forged.bloom_key());
     }
 

@@ -91,7 +91,10 @@ impl TraitorTracer {
     /// them re-register at the new location, changing the tag's frozen
     /// path but not its identity).
     pub fn new(window: SimDuration) -> Self {
-        TraitorTracer { window, ..Default::default() }
+        TraitorTracer {
+            window,
+            ..Default::default()
+        }
     }
 
     /// Ingests one sighting; returns an alert if it conflicts with a
@@ -100,9 +103,14 @@ impl TraitorTracer {
         let previous = self.last_seen.insert(s.identity, s);
         let prev = previous?;
         let recent = s.at.saturating_since(prev.at) <= self.window;
-        let conflicting = prev.observed_path != s.observed_path || prev.edge_router != s.edge_router;
+        let conflicting =
+            prev.observed_path != s.observed_path || prev.edge_router != s.edge_router;
         if recent && conflicting {
-            let alert = TraitorAlert { identity: s.identity, first: prev, conflict: s };
+            let alert = TraitorAlert {
+                identity: s.identity,
+                first: prev,
+                conflict: s,
+            };
             *self.flagged.entry(s.identity).or_insert(0) += 1;
             self.alerts.push(alert.clone());
             return Some(alert);
@@ -112,8 +120,14 @@ impl TraitorTracer {
 
     /// Ingests a batch, returning all alerts raised. Sightings should be
     /// fed in (roughly) chronological order.
-    pub fn observe_all<I: IntoIterator<Item = Sighting>>(&mut self, sightings: I) -> Vec<TraitorAlert> {
-        sightings.into_iter().filter_map(|s| self.observe(s)).collect()
+    pub fn observe_all<I: IntoIterator<Item = Sighting>>(
+        &mut self,
+        sightings: I,
+    ) -> Vec<TraitorAlert> {
+        sightings
+            .into_iter()
+            .filter_map(|s| self.observe(s))
+            .collect()
     }
 
     /// Every alert raised so far.
@@ -135,7 +149,8 @@ impl TraitorTracer {
     /// long-running deployments).
     pub fn prune(&mut self, now: SimTime) {
         let window = self.window;
-        self.last_seen.retain(|_, s| now.saturating_since(s.at) <= window);
+        self.last_seen
+            .retain(|_, s| now.saturating_since(s.at) <= window);
     }
 
     /// Number of identities currently tracked.
@@ -183,7 +198,12 @@ mod tests {
         // location conflict (distinct APs can collide in XOR space).
         let mut t = TraitorTracer::new(SimDuration::from_secs(10));
         t.observe(sight(7, 100, 1, 1));
-        assert!(t.observe(Sighting { edge_router: 2, ..sight(7, 100, 1, 2) }).is_some());
+        assert!(t
+            .observe(Sighting {
+                edge_router: 2,
+                ..sight(7, 100, 1, 2)
+            })
+            .is_some());
     }
 
     #[test]
@@ -207,7 +227,10 @@ mod tests {
                 alerts += 1;
             }
         }
-        assert!(alerts >= 8, "ping-ponging identity must keep alerting ({alerts})");
+        assert!(
+            alerts >= 8,
+            "ping-ponging identity must keep alerting ({alerts})"
+        );
         let (id, n) = t.flagged().next().unwrap();
         assert_eq!(id, 7);
         assert_eq!(n, alerts);

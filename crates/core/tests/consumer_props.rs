@@ -45,7 +45,11 @@ fn consumer(kind: ConsumerKind, window: usize) -> Consumer {
             zipf_alpha: 0.7,
             refresh_margin: SimDuration::ZERO,
         },
-        vec![CatalogEntry { prefix: "/prov0".parse().unwrap(), objects: 6, chunks: 4 }],
+        vec![CatalogEntry {
+            prefix: "/prov0".parse().unwrap(),
+            objects: 6,
+            chunks: 4,
+        }],
         tactic_sim::rng::Rng::seed_from_u64(1),
     )
 }
@@ -72,12 +76,15 @@ struct Harness {
     consumer: Consumer,
     outstanding: Vec<(Name, SimTime, bool)>, // (name, sent, is_registration)
     now: SimTime,
-    window: usize,
 }
 
 impl Harness {
     fn new(kind: ConsumerKind, window: usize) -> Self {
-        let mut h = Harness { consumer: consumer(kind, window), outstanding: Vec::new(), now: SimTime::ZERO, window };
+        let mut h = Harness {
+            consumer: consumer(kind, window),
+            outstanding: Vec::new(),
+            now: SimTime::ZERO,
+        };
         let sends = h.consumer.fill(h.now);
         h.track(sends);
         h

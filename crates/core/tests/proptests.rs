@@ -13,7 +13,10 @@ use tactic_ndn::packet::{Data, Interest, Payload};
 use tactic_sim::time::SimTime;
 
 fn arb_level() -> impl Strategy<Value = AccessLevel> {
-    prop_oneof![Just(AccessLevel::Public), (0u8..=254).prop_map(AccessLevel::Level)]
+    prop_oneof![
+        Just(AccessLevel::Public),
+        (0u8..=254).prop_map(AccessLevel::Level)
+    ]
 }
 
 fn arb_name() -> impl Strategy<Value = Name> {
@@ -22,15 +25,20 @@ fn arb_name() -> impl Strategy<Value = Name> {
 }
 
 fn arb_tag() -> impl Strategy<Value = Tag> {
-    (arb_name(), arb_level(), arb_name(), any::<u64>(), any::<u64>()).prop_map(
-        |(pk, al, ck, ap, exp)| Tag {
+    (
+        arb_name(),
+        arb_level(),
+        arb_name(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(pk, al, ck, ap, exp)| Tag {
             provider_key_locator: pk,
             access_level: al,
             client_key_locator: ck,
             access_path: AccessPath::from_u64(ap),
             expiry: SimTime::from_nanos(exp),
-        },
-    )
+        })
 }
 
 proptest! {

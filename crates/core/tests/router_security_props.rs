@@ -28,7 +28,9 @@ fn edge_router_with_cache(cache_level: AccessLevel) -> TacticRouter {
     let anchor = KeyPair::derive(b"anchor", 0);
     let mut certs = CertStore::new();
     certs.add_anchor(anchor.public());
-    certs.register(Certificate::issue("/prov", provider().public(), &anchor)).unwrap();
+    certs
+        .register(Certificate::issue("/prov", provider().public(), &anchor))
+        .unwrap();
     let mut config = RouterConfig::paper(RouterRole::Edge);
     config.access_path_enabled = true;
     let mut r = TacticRouter::new(config, certs);
@@ -65,14 +67,18 @@ fn genuine_tag(level: AccessLevel, expiry_secs: u64) -> SignedTag {
 /// A hostile tag: arbitrary fields, arbitrary (usually bogus) signature.
 fn arb_hostile_tag() -> impl Strategy<Value = SignedTag> {
     (
-        any::<u8>(),          // access level byte
-        any::<u64>(),         // access path
-        0u64..2_000,          // expiry seconds
-        any::<u64>(),         // forged signature seed
-        proptest::bool::ANY,  // correct provider locator or not
+        any::<u8>(),         // access level byte
+        any::<u64>(),        // access path
+        0u64..2_000,         // expiry seconds
+        any::<u64>(),        // forged signature seed
+        proptest::bool::ANY, // correct provider locator or not
     )
         .prop_map(|(al, ap, exp, sig_seed, right_provider)| {
-            let locator = if right_provider { "/prov/KEY/1" } else { "/mallory/KEY/1" };
+            let locator = if right_provider {
+                "/prov/KEY/1"
+            } else {
+                "/mallory/KEY/1"
+            };
             SignedTag {
                 tag: Tag {
                     provider_key_locator: locator.parse().unwrap(),

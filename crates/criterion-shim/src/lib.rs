@@ -1,0 +1,347 @@
+//! An offline, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the real `criterion` cannot be vendored. This crate implements the
+//! API subset the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::default().sample_size(..)
+//! .warm_up_time(..).measurement_time(..)`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId::from_parameter`, and `BatchSize` — with
+//! plain wall-clock timing and mean/min/max reporting instead of
+//! criterion's statistical machinery.
+//!
+//! Under `cargo bench` (cargo passes `--bench` to the binary) every
+//! benchmark is warmed up and measured for the configured durations.
+//! Under `cargo test` (no `--bench` flag) each benchmark body runs once,
+//! as a smoke test, so the suite stays fast.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `Bencher::iter_batched` amortises setup cost. The stand-in runs
+/// setup before every routine invocation regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(size)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level benchmark configuration and driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            quick: true,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Applies cargo's CLI contract: `--bench` selects full measurement,
+    /// anything else (e.g. `cargo test`) selects one-shot smoke mode; a
+    /// bare argument is a substring filter on benchmark names. An explicit
+    /// `--test` wins over `--bench` wherever it appears (cargo appends
+    /// `--bench` after user-supplied arguments).
+    pub fn configure_from_args(&mut self) {
+        let mut bench = false;
+        let mut test = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench = true,
+                "--test" => test = true,
+                a if !a.starts_with('-') => self.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        self.quick = !bench || test;
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// A stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: String, sample_override: Option<usize>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            quick: self.quick,
+            sample_size: sample_override.unwrap_or(self.sample_size),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion
+            .run_one(format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration for each recorded sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // Warm up while calibrating how many iterations one sample needs
+        // for the measurement window to cover `sample_size` samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter) as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (warm_spent.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter) as u64).clamp(1, 1 << 20);
+
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            self.samples
+                .push(spent.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.quick {
+            println!("{id}: ok (smoke)");
+            return;
+        }
+        let n = self.samples.len().max(1) as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<56} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark targets sharing one configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

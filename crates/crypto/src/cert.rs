@@ -26,7 +26,12 @@ impl Certificate {
     pub fn issue(subject: impl Into<String>, key: PublicKey, issuer: &KeyPair) -> Self {
         let subject = subject.into();
         let signature = issuer.sign(&Self::tbs(&subject, &key));
-        Certificate { subject, key, issuer: issuer.public().key_id(), signature }
+        Certificate {
+            subject,
+            key,
+            issuer: issuer.public().key_id(),
+            signature,
+        }
     }
 
     fn tbs(subject: &str, key: &PublicKey) -> Vec<u8> {
@@ -131,7 +136,9 @@ impl CertStore {
             .get(&cert.issuer())
             .ok_or(CertError::UnknownIssuer(cert.issuer()))?;
         if !cert.verify(issuer) {
-            return Err(CertError::BadSignature { subject: cert.subject().to_owned() });
+            return Err(CertError::BadSignature {
+                subject: cert.subject().to_owned(),
+            });
         }
         self.by_key_id.insert(cert.key().key_id(), cert.key());
         self.by_subject.insert(cert.subject().to_owned(), cert);
@@ -190,7 +197,10 @@ mod tests {
         store.add_anchor(anchor.public());
         store.register(cert).unwrap();
         assert_eq!(store.key_for("/cnn"), Some(provider.public()));
-        assert_eq!(store.key_by_id(provider.public().key_id()), Some(provider.public()));
+        assert_eq!(
+            store.key_by_id(provider.public().key_id()),
+            Some(provider.public())
+        );
         assert_eq!(store.len(), 1);
     }
 
@@ -227,7 +237,9 @@ mod tests {
         let (_, _, cert) = setup();
         let e = CertError::UnknownIssuer(cert.issuer());
         assert!(e.to_string().contains("unknown issuer"));
-        let e2 = CertError::BadSignature { subject: "/x".into() };
+        let e2 = CertError::BadSignature {
+            subject: "/x".into(),
+        };
         assert!(e2.to_string().contains("/x"));
     }
 }

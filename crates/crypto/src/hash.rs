@@ -74,7 +74,9 @@ impl Hasher64 {
 
     /// Creates a seeded hasher (distinct hash families per seed).
     pub fn with_seed(seed: u64) -> Self {
-        Hasher64 { state: FNV_OFFSET ^ mix64(seed) }
+        Hasher64 {
+            state: FNV_OFFSET ^ mix64(seed),
+        }
     }
 
     /// Absorbs bytes.
@@ -121,7 +123,9 @@ impl Digest256 {
     pub fn of(bytes: &[u8]) -> Self {
         let mut lanes = [0u64; 4];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            let mut h = Hasher64::with_seed(0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+            let mut h = Hasher64::with_seed(
+                0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B),
+            );
             h.update(bytes);
             *lane = h.finish();
         }
@@ -133,7 +137,9 @@ impl Digest256 {
     pub fn of_parts(parts: &[&[u8]]) -> Self {
         let mut lanes = [0u64; 4];
         for (i, lane) in lanes.iter_mut().enumerate() {
-            let mut h = Hasher64::with_seed(0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+            let mut h = Hasher64::with_seed(
+                0xD1B5_4A32_D192_ED03 ^ (i as u64).wrapping_mul(0xABCD_EF12_3456_789B),
+            );
             for p in parts {
                 h.update_u64(p.len() as u64);
                 h.update(p);
@@ -145,7 +151,12 @@ impl Digest256 {
 
     /// Folds the digest into a single 64-bit word.
     pub fn fold64(&self) -> u64 {
-        mix64(self.0[0] ^ self.0[1].rotate_left(16) ^ self.0[2].rotate_left(32) ^ self.0[3].rotate_left(48))
+        mix64(
+            self.0[0]
+                ^ self.0[1].rotate_left(16)
+                ^ self.0[2].rotate_left(32)
+                ^ self.0[3].rotate_left(48),
+        )
     }
 
     /// The digest as raw bytes (little-endian lanes).
@@ -160,7 +171,11 @@ impl Digest256 {
 
 impl std::fmt::Display for Digest256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:016x}{:016x}{:016x}{:016x}", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -203,14 +218,16 @@ mod tests {
     fn digest_avalanche() {
         let a = Digest256::of(b"tag-0001");
         let b = Digest256::of(b"tag-0002");
-        let differing = a
-            .0
-            .iter()
-            .zip(b.0.iter())
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum::<u32>();
+        let differing =
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>();
         // ~128 of 256 bits should flip; accept a broad band.
-        assert!((64..192).contains(&differing), "only {differing} bits differ");
+        assert!(
+            (64..192).contains(&differing),
+            "only {differing} bits differ"
+        );
     }
 
     #[test]
@@ -218,7 +235,10 @@ mod tests {
         let d = Digest256::of(b"x");
         let bytes = d.to_bytes();
         assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), d.0[0]);
-        assert_eq!(u64::from_le_bytes(bytes[24..32].try_into().unwrap()), d.0[3]);
+        assert_eq!(
+            u64::from_le_bytes(bytes[24..32].try_into().unwrap()),
+            d.0[3]
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub struct PrivateKey {
 impl std::fmt::Debug for PrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print the secret scalar.
-        f.debug_struct("PrivateKey").field("x", &"<redacted>").finish()
+        f.debug_struct("PrivateKey")
+            .field("x", &"<redacted>")
+            .finish()
     }
 }
 
@@ -134,7 +136,10 @@ impl KeyPair {
     pub fn from_secret(x: u64) -> Self {
         assert!((1..Q).contains(&x), "secret exponent out of range");
         let y = powmod(G, x, P);
-        KeyPair { private: PrivateKey { x }, public: PublicKey { y } }
+        KeyPair {
+            private: PrivateKey { x },
+            public: PublicKey { y },
+        }
     }
 
     /// The public half.
@@ -209,7 +214,10 @@ impl Signature {
         let s = h.finish() % Q;
         h.update_u64(s);
         let e = h.finish() % Q;
-        Signature { s, e: if e == 0 { 1 } else { e } }
+        Signature {
+            s,
+            e: if e == 0 { 1 } else { e },
+        }
     }
 }
 

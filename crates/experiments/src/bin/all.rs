@@ -1,6 +1,6 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
-    use tactic_experiments::{extras, figures, tables, RunOpts};
+    use tactic_experiments::{extras, figures, sweep, tables, RunOpts};
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
         Err(msg) => {
@@ -18,6 +18,7 @@ fn main() {
         ("fig7", figures::fig7),
         ("fig8", figures::fig8),
         ("table5", tables::table5),
+        ("sweep", sweep::sweep),
         ("ablations", extras::ablations),
         ("baselines", extras::baselines),
     ];

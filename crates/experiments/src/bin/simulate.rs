@@ -15,12 +15,20 @@ fn main() {
     let spec = args.scenario.topology.spec();
     println!(
         "TACTIC simulation: {} core + {} edge routers, {} providers, {} clients, {} attackers, {}",
-        spec.core_routers, spec.edge_routers, spec.providers, spec.clients, spec.attackers,
+        spec.core_routers,
+        spec.edge_routers,
+        spec.providers,
+        spec.clients,
+        spec.attackers,
         args.scenario.duration
     );
     let started = std::time::Instant::now();
     let r = run_scenario(&args.scenario, args.seed);
-    eprintln!("[simulate] {} events in {:.1?}", r.events, started.elapsed());
+    eprintln!(
+        "[simulate] {} events in {:.1?}",
+        r.events,
+        started.elapsed()
+    );
 
     println!("\n-- delivery --");
     println!(
@@ -36,7 +44,10 @@ fn main() {
         r.delivery.attacker_ratio()
     );
     println!("\n-- latency --");
-    println!("mean client retrieval latency: {:.2} ms", r.mean_latency() * 1e3);
+    println!(
+        "mean client retrieval latency: {:.2} ms",
+        r.mean_latency() * 1e3
+    );
     println!("\n-- tags --");
     println!(
         "Q = {:.2}/s ({} requests), R = {:.2}/s ({} received)",
@@ -76,6 +87,9 @@ fn main() {
     }
     if !r.sightings.is_empty() {
         println!("\n-- sightings --");
-        println!("{} recorded (feed to tactic::traitor::TraitorTracer)", r.sightings.len());
+        println!(
+            "{} recorded (feed to tactic::traitor::TraitorTracer)",
+            r.sightings.len()
+        );
     }
 }

@@ -1,0 +1,5 @@
+//! Runs the full (topology × seed) grid in one parallel batch (see
+//! `tactic_experiments::sweep`).
+fn main() {
+    tactic_experiments::binary_main("sweep", tactic_experiments::sweep::sweep);
+}

@@ -21,8 +21,11 @@ pub fn ascii_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usi
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let width = width.max(8);
     let height = height.max(3);
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, s)| s.iter().copied()).filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
     if points.is_empty() {
         return "(no data)\n".to_string();
     }
@@ -69,7 +72,12 @@ pub fn ascii_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usi
     out.push_str(&grid[height - 1].iter().collect::<String>());
     out.push('\n');
     out.push_str(&format!("           └{}\n", "─".repeat(width)));
-    out.push_str(&format!("            {:<.4}{:>pad$.4}\n", x_min, x_max, pad = width.saturating_sub(6)));
+    out.push_str(&format!(
+        "            {:<.4}{:>pad$.4}\n",
+        x_min,
+        x_max,
+        pad = width.saturating_sub(6)
+    ));
     let legend: Vec<String> = series
         .iter()
         .enumerate()
@@ -119,7 +127,12 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_skipped() {
-        let s = vec![(0.0, 1.0), (f64::NAN, 2.0), (1.0, f64::INFINITY), (2.0, 2.0)];
+        let s = vec![
+            (0.0, 1.0),
+            (f64::NAN, 2.0),
+            (1.0, f64::INFINITY),
+            (2.0, 2.0),
+        ];
         let plot = ascii_chart(&[("dirty", s)], 20, 5);
         assert!(plot.contains('*'));
     }

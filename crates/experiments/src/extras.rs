@@ -8,7 +8,7 @@ use tactic_baselines::net::run_baseline;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, TextTable};
-use crate::runner::{mean_of, run_seeds, shaped_scenario, sum_of, BASE_SEED};
+use crate::runner::{mean_of, merged_ops, run_replicas, scenario_id, shaped_scenario, BASE_SEED};
 
 /// Ablations of TACTIC's design choices (first selected topology):
 ///
@@ -34,25 +34,38 @@ pub fn ablations(opts: &RunOpts) -> std::io::Result<String> {
         "edge verifications",
     ]);
     let mut csv = TextTable::new(vec![
-        "variant", "client_ratio", "attacker_ratio", "mean_latency_s", "core_verifications", "edge_verifications",
+        "variant",
+        "client_ratio",
+        "attacker_ratio",
+        "mean_latency_s",
+        "core_verifications",
+        "edge_verifications",
     ]);
 
     let run_variant = |name: &str,
-                           table: &mut TextTable,
-                           csv: &mut TextTable,
-                           mutate: &dyn Fn(&mut tactic::scenario::Scenario)|
+                       table: &mut TextTable,
+                       csv: &mut TextTable,
+                       mutate: &dyn Fn(&mut tactic::scenario::Scenario)|
      -> std::io::Result<()> {
         let mut scenario = shaped_scenario(topo, opts, 60);
         mutate(&mut scenario);
-        let reports = run_seeds(&scenario, seeds);
+        let reports = run_replicas(
+            &format!("ablation '{name}'"),
+            topo,
+            scenario_id(name, &[]),
+            &scenario,
+            seeds,
+            opts.thread_count(),
+        );
         let n = reports.len() as u64;
+        let (edge, core) = merged_ops(&reports);
         let row = vec![
             name.to_string(),
             fmt_f(mean_of(&reports, |r| r.delivery.client_ratio())),
             fmt_f(mean_of(&reports, |r| r.delivery.attacker_ratio())),
             fmt_f(mean_of(&reports, |r| r.mean_latency())),
-            (sum_of(&reports, |r| r.core_ops.sig_verifications) / n).to_string(),
-            (sum_of(&reports, |r| r.edge_ops.sig_verifications) / n).to_string(),
+            (core.sig_verifications / n).to_string(),
+            (edge.sig_verifications / n).to_string(),
         ];
         table.row(row.clone());
         csv.row(row);
@@ -60,17 +73,29 @@ pub fn ablations(opts: &RunOpts) -> std::io::Result<String> {
     };
 
     run_variant("baseline (paper config)", &mut table, &mut csv, &|_| {})?;
-    run_variant("flag F disabled", &mut table, &mut csv, &|s| s.flag_f_enabled = false)?;
+    run_variant("flag F disabled", &mut table, &mut csv, &|s| {
+        s.flag_f_enabled = false
+    })?;
     run_variant("content-NACK disabled", &mut table, &mut csv, &|s| {
         s.content_nack_enabled = false;
     })?;
-    run_variant("shared-tag attackers, AP check OFF", &mut table, &mut csv, &|s| {
-        s.attacker_mix = vec![AttackerStrategy::SharedTag];
-    })?;
-    run_variant("shared-tag attackers, AP check ON", &mut table, &mut csv, &|s| {
-        s.attacker_mix = vec![AttackerStrategy::SharedTag];
-        s.access_path_enabled = true;
-    })?;
+    run_variant(
+        "shared-tag attackers, AP check OFF",
+        &mut table,
+        &mut csv,
+        &|s| {
+            s.attacker_mix = vec![AttackerStrategy::SharedTag];
+        },
+    )?;
+    run_variant(
+        "shared-tag attackers, AP check ON",
+        &mut table,
+        &mut csv,
+        &|s| {
+            s.attacker_mix = vec![AttackerStrategy::SharedTag];
+            s.access_path_enabled = true;
+        },
+    )?;
 
     write_file(&opts.out_dir, "ablations.csv", &csv.to_csv())?;
     report.push_str(&table.render());
@@ -96,14 +121,20 @@ pub fn baselines(opts: &RunOpts) -> std::io::Result<String> {
         "cache hit ratio",
     ]);
     let mut csv = TextTable::new(vec![
-        "mechanism", "client_ratio", "attacker_deliveries", "wasted_mb", "provider_handled",
-        "mean_latency_s", "cache_hit_ratio",
+        "mechanism",
+        "client_ratio",
+        "attacker_deliveries",
+        "wasted_mb",
+        "provider_handled",
+        "mean_latency_s",
+        "cache_hit_ratio",
     ]);
 
     // TACTIC itself.
     {
-        let reports: Vec<_> =
-            (0..seeds).map(|i| run_scenario(&scenario, BASE_SEED + i as u64)).collect();
+        let reports: Vec<_> = (0..seeds)
+            .map(|i| run_scenario(&scenario, BASE_SEED + i as u64))
+            .collect();
         let n = reports.len() as u64;
         let wasted_mb = reports
             .iter()
@@ -112,10 +143,26 @@ pub fn baselines(opts: &RunOpts) -> std::io::Result<String> {
             / n as f64;
         let row = vec![
             "TACTIC".to_string(),
-            fmt_f(reports.iter().map(|r| r.delivery.client_ratio()).sum::<f64>() / n as f64),
-            (reports.iter().map(|r| r.delivery.attacker_received).sum::<u64>() / n).to_string(),
+            fmt_f(
+                reports
+                    .iter()
+                    .map(|r| r.delivery.client_ratio())
+                    .sum::<f64>()
+                    / n as f64,
+            ),
+            (reports
+                .iter()
+                .map(|r| r.delivery.attacker_received)
+                .sum::<u64>()
+                / n)
+                .to_string(),
             fmt_f(wasted_mb),
-            (reports.iter().map(|r| r.providers.chunks_served).sum::<u64>() / n).to_string(),
+            (reports
+                .iter()
+                .map(|r| r.providers.chunks_served)
+                .sum::<u64>()
+                / n)
+                .to_string(),
             fmt_f(reports.iter().map(|r| r.mean_latency()).sum::<f64>() / n as f64),
             "(with caching)".to_string(),
         ];
@@ -124,14 +171,21 @@ pub fn baselines(opts: &RunOpts) -> std::io::Result<String> {
     }
 
     for mech in Mechanism::ALL {
-        let reports: Vec<_> =
-            (0..seeds).map(|i| run_baseline(&scenario, mech, BASE_SEED + i as u64)).collect();
+        let reports: Vec<_> = (0..seeds)
+            .map(|i| run_baseline(&scenario, mech, BASE_SEED + i as u64))
+            .collect();
         let n = reports.len() as u64;
         let row = vec![
             mech.to_string(),
             fmt_f(reports.iter().map(|r| r.client_ratio()).sum::<f64>() / n as f64),
             (reports.iter().map(|r| r.attacker_received).sum::<u64>() / n).to_string(),
-            fmt_f(reports.iter().map(|r| r.attacker_bytes as f64 / 1e6).sum::<f64>() / n as f64),
+            fmt_f(
+                reports
+                    .iter()
+                    .map(|r| r.attacker_bytes as f64 / 1e6)
+                    .sum::<f64>()
+                    / n as f64,
+            ),
             (reports.iter().map(|r| r.provider_handled).sum::<u64>() / n).to_string(),
             fmt_f(reports.iter().map(|r| r.mean_latency()).sum::<f64>() / n as f64),
             fmt_f(reports.iter().map(|r| r.cache_hit_ratio()).sum::<f64>() / n as f64),
@@ -159,6 +213,7 @@ mod tests {
             seeds: Some(1),
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-extras"),
+            threads: Some(2),
         };
         let r = ablations(&opts).unwrap();
         assert!(r.contains("flag F disabled"));

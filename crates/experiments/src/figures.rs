@@ -6,7 +6,7 @@ use tactic_sim::time::SimDuration;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, TextTable};
-use crate::runner::{mean_of, run_seeds, shaped_scenario, sum_of};
+use crate::runner::{mean_of, merged_ops, run_replicas, scenario_id, shaped_scenario};
 
 /// Fig. 5 — per-second average content-retrieval latency for BF capacities
 /// 500 / 2500 / 10000 items, per topology.
@@ -16,16 +16,31 @@ use crate::runner::{mean_of, run_seeds, shaped_scenario, sum_of};
 pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
     let sizes = [500usize, 2_500, 10_000];
     let seeds = opts.seed_count(2);
-    let mut report = String::from("Fig. 5 — client content-retrieval latency (per-second mean)\n\n");
-    let mut summary = TextTable::new(vec!["Topology", "BF items", "mean latency (s)", "p95-ish max (s)"]);
+    let mut report =
+        String::from("Fig. 5 — client content-retrieval latency (per-second mean)\n\n");
+    let mut summary = TextTable::new(vec![
+        "Topology",
+        "BF items",
+        "mean latency (s)",
+        "p95-ish max (s)",
+    ]);
     for &topo in &opts.topologies {
         let mut columns: Vec<(usize, Vec<(u64, f64)>)> = Vec::new();
         for &size in &sizes {
             let mut scenario = shaped_scenario(topo, opts, 60);
             scenario.bf_capacity = size;
-            let reports = run_seeds(&scenario, seeds);
-            let series: Vec<Vec<(u64, f64)>> =
-                reports.iter().map(|r| r.latency.per_second_means()).collect();
+            let reports = run_replicas(
+                &format!("fig5 {topo} bf{size}"),
+                topo,
+                scenario_id("fig5", &[size as u64]),
+                &scenario,
+                seeds,
+                opts.thread_count(),
+            );
+            let series: Vec<Vec<(u64, f64)>> = reports
+                .iter()
+                .map(|r| r.latency.per_second_means())
+                .collect();
             let avg = average_series(&series);
             let mean = mean_of(&reports, |r| r.mean_latency());
             let max = avg.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
@@ -44,20 +59,37 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
             format!("latency_bf{}", sizes[1]),
             format!("latency_bf{}", sizes[2]),
         ]);
-        let seconds: std::collections::BTreeSet<u64> =
-            columns.iter().flat_map(|(_, s)| s.iter().map(|&(t, _)| t)).collect();
+        let seconds: std::collections::BTreeSet<u64> = columns
+            .iter()
+            .flat_map(|(_, s)| s.iter().map(|&(t, _)| t))
+            .collect();
         for t in seconds {
             let cell = |col: &Vec<(u64, f64)>| {
-                col.iter().find(|&&(x, _)| x == t).map_or(String::new(), |&(_, v)| fmt_f(v))
+                col.iter()
+                    .find(|&&(x, _)| x == t)
+                    .map_or(String::new(), |&(_, v)| fmt_f(v))
             };
-            csv.row(vec![t.to_string(), cell(&columns[0].1), cell(&columns[1].1), cell(&columns[2].1)]);
+            csv.row(vec![
+                t.to_string(),
+                cell(&columns[0].1),
+                cell(&columns[1].1),
+                cell(&columns[2].1),
+            ]);
         }
-        write_file(&opts.out_dir, &format!("fig5_topo{}.csv", topo.index()), &csv.to_csv())?;
+        write_file(
+            &opts.out_dir,
+            &format!("fig5_topo{}.csv", topo.index()),
+            &csv.to_csv(),
+        )?;
         if topo == opts.topologies[0] {
-            let labeled: Vec<(String, &Vec<(u64, f64)>)> =
-                columns.iter().map(|(size, s)| (format!("BF {size}"), s)).collect();
-            let series: Vec<(&str, &[(u64, f64)])> =
-                labeled.iter().map(|(n, s)| (n.as_str(), s.as_slice())).collect();
+            let labeled: Vec<(String, &Vec<(u64, f64)>)> = columns
+                .iter()
+                .map(|(size, s)| (format!("BF {size}"), s))
+                .collect();
+            let series: Vec<(&str, &[(u64, f64)])> = labeled
+                .iter()
+                .map(|(n, s)| (n.as_str(), s.as_slice()))
+                .collect();
             report.push_str(&format!("{topo} latency over time (s):\n"));
             report.push_str(&crate::chart::ascii_chart_u64(&series, 64, 12));
             report.push('\n');
@@ -76,22 +108,38 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
     // Reduced scale shrinks the filters and the tag validity so resets
     // actually occur within the horizon.
     report.push_str("\nPart B — printed-σ cost model (resolves the paper's Fig. 5 separation)\n\n");
-    let (b_sizes, b_te): ([usize; 3], u64) =
-        if opts.paper { ([500, 2_500, 10_000], 10) } else { ([25, 100, 2_500], 2) };
+    let (b_sizes, b_te): ([usize; 3], u64) = if opts.paper {
+        ([500, 2_500, 10_000], 10)
+    } else {
+        ([25, 100, 2_500], 2)
+    };
     let topo = opts.topologies[0];
-    let mut part_b = TextTable::new(vec!["BF items", "mean latency (s)", "edge resets", "edge verifications"]);
+    let mut part_b = TextTable::new(vec![
+        "BF items",
+        "mean latency (s)",
+        "edge resets",
+        "edge verifications",
+    ]);
     for &size in &b_sizes {
         let mut scenario = shaped_scenario(topo, opts, 60);
         scenario.bf_capacity = size;
         scenario.tag_validity = SimDuration::from_secs(b_te);
         scenario.cost_model = tactic_sim::cost::CostModel::paper_printed();
-        let reports = run_seeds(&scenario, seeds);
+        let reports = run_replicas(
+            &format!("fig5b {topo} bf{size}"),
+            topo,
+            scenario_id("fig5b", &[size as u64, b_te]),
+            &scenario,
+            seeds,
+            opts.thread_count(),
+        );
         let n = reports.len() as u64;
+        let (edge, _core) = merged_ops(&reports);
         part_b.row(vec![
             size.to_string(),
             fmt_f(mean_of(&reports, |r| r.mean_latency())),
-            (sum_of(&reports, |r| r.edge_ops.bf_resets) / n).to_string(),
-            (sum_of(&reports, |r| r.edge_ops.sig_verifications) / n).to_string(),
+            (edge.bf_resets / n).to_string(),
+            (edge.sig_verifications / n).to_string(),
         ]);
     }
     report.push_str(&part_b.render());
@@ -111,21 +159,50 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
     let mut csv = TextTable::new(vec!["topology", "expiry_s", "q_rate", "r_rate"]);
     for &topo in &opts.topologies {
         let scenario = shaped_scenario(topo, opts, 60);
-        let reports = run_seeds(&scenario, seeds);
+        let reports = run_replicas(
+            &format!("fig6 {topo}"),
+            topo,
+            scenario_id("fig6", &[10]),
+            &scenario,
+            seeds,
+            opts.thread_count(),
+        );
         let q = mean_of(&reports, |r| r.tag_request_rate());
         let r = mean_of(&reports, |r| r.tag_receive_rate());
         table.row(vec![topo.to_string(), "10".into(), fmt_f(q), fmt_f(r)]);
-        csv.row(vec![topo.index().to_string(), "10".into(), fmt_f(q), fmt_f(r)]);
+        csv.row(vec![
+            topo.index().to_string(),
+            "10".into(),
+            fmt_f(q),
+            fmt_f(r),
+        ]);
     }
     // Inset: longer tag validity on the first selected topology.
     let topo = opts.topologies[0];
     let mut scenario = shaped_scenario(topo, opts, 60);
     scenario.tag_validity = SimDuration::from_secs(100);
-    let reports = run_seeds(&scenario, seeds);
+    let reports = run_replicas(
+        &format!("fig6-inset {topo}"),
+        topo,
+        scenario_id("fig6", &[100]),
+        &scenario,
+        seeds,
+        opts.thread_count(),
+    );
     let q = mean_of(&reports, |r| r.tag_request_rate());
     let r = mean_of(&reports, |r| r.tag_receive_rate());
-    table.row(vec![format!("{topo} (inset)"), "100".into(), fmt_f(q), fmt_f(r)]);
-    csv.row(vec![topo.index().to_string(), "100".into(), fmt_f(q), fmt_f(r)]);
+    table.row(vec![
+        format!("{topo} (inset)"),
+        "100".into(),
+        fmt_f(q),
+        fmt_f(r),
+    ]);
+    csv.row(vec![
+        topo.index().to_string(),
+        "100".into(),
+        fmt_f(q),
+        fmt_f(r),
+    ]);
     write_file(&opts.out_dir, "fig6_tag_rates.csv", &csv.to_csv())?;
     report.push_str(&table.render());
     report.push_str("\nWritten to fig6_tag_rates.csv\n");
@@ -142,21 +219,35 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
     let seeds = opts.seed_count(2);
     let mut report = String::from("Fig. 7 — router computation operations\n\n");
     let mut table = TextTable::new(vec![
-        "Topology", "tier", "L (lookups)", "I (insertions)", "V (verifications)",
+        "Topology",
+        "tier",
+        "L (lookups)",
+        "I (insertions)",
+        "V (verifications)",
     ]);
-    let mut csv = TextTable::new(vec!["topology", "tier", "lookups", "insertions", "verifications"]);
+    let mut csv = TextTable::new(vec![
+        "topology",
+        "tier",
+        "lookups",
+        "insertions",
+        "verifications",
+    ]);
     for &topo in &opts.topologies {
         let scenario = shaped_scenario(topo, opts, 60);
-        let reports = run_seeds(&scenario, seeds);
+        let reports = run_replicas(
+            &format!("fig7 {topo}"),
+            topo,
+            scenario_id("fig7", &[]),
+            &scenario,
+            seeds,
+            opts.thread_count(),
+        );
         let n = reports.len() as u64;
-        for (tier, get) in [
-            ("edge", Box::new(|r: &tactic::metrics::RunReport| r.edge_ops)
-                as Box<dyn Fn(&tactic::metrics::RunReport) -> tactic::router::OpCounters>),
-            ("core", Box::new(|r: &tactic::metrics::RunReport| r.core_ops)),
-        ] {
-            let l = sum_of(&reports, |r| get(r).bf_lookups) / n;
-            let i = sum_of(&reports, |r| get(r).bf_insertions) / n;
-            let v = sum_of(&reports, |r| get(r).sig_verifications) / n;
+        let (edge, core) = merged_ops(&reports);
+        for (tier, ops) in [("edge", edge), ("core", core)] {
+            let l = ops.bf_lookups / n;
+            let i = ops.bf_insertions / n;
+            let v = ops.sig_verifications / n;
             table.row(vec![
                 topo.to_string(),
                 tier.into(),
@@ -192,17 +283,28 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
 pub fn fig8(opts: &RunOpts) -> std::io::Result<String> {
     let seeds = opts.seed_count(2);
     let topo = opts.topologies[0];
-    let (capacity, expiries): (usize, Vec<u64>) =
-        if opts.paper { (500, vec![10, 100, 1_000]) } else { (50, vec![2, 5, 10]) };
+    let (capacity, expiries): (usize, Vec<u64>) = if opts.paper {
+        (500, vec![10, 100, 1_000])
+    } else {
+        (50, vec![2, 5, 10])
+    };
     let fpps = [1e-4, 1e-2];
-    let mut report = format!(
-        "Fig. 8 — requests per BF reset ({topo}, BF capacity {capacity})\n\n"
-    );
+    let mut report = format!("Fig. 8 — requests per BF reset ({topo}, BF capacity {capacity})\n\n");
     let mut table = TextTable::new(vec![
-        "expiry (s)", "threshold FPP", "edge req/reset", "edge resets", "core req/reset", "core resets",
+        "expiry (s)",
+        "threshold FPP",
+        "edge req/reset",
+        "edge resets",
+        "core req/reset",
+        "core resets",
     ]);
     let mut csv = TextTable::new(vec![
-        "expiry_s", "fpp", "edge_requests_per_reset", "edge_resets", "core_requests_per_reset", "core_resets",
+        "expiry_s",
+        "fpp",
+        "edge_requests_per_reset",
+        "edge_resets",
+        "core_requests_per_reset",
+        "core_resets",
     ]);
     for &te in &expiries {
         for &fpp in &fpps {
@@ -210,11 +312,19 @@ pub fn fig8(opts: &RunOpts) -> std::io::Result<String> {
             scenario.bf_capacity = capacity;
             scenario.bf_max_fpp = fpp;
             scenario.tag_validity = SimDuration::from_secs(te);
-            let reports = run_seeds(&scenario, seeds);
+            let reports = run_replicas(
+                &format!("fig8 {topo} te{te} fpp{fpp:.0e}"),
+                topo,
+                scenario_id("fig8", &[te, fpp.to_bits()]),
+                &scenario,
+                seeds,
+                opts.thread_count(),
+            );
             let edge_rpr = mean_of(&reports, |r| r.edge_requests_per_reset());
             let core_rpr = mean_of(&reports, |r| r.core_requests_per_reset());
-            let edge_resets = sum_of(&reports, |r| r.edge_ops.bf_resets) / reports.len() as u64;
-            let core_resets = sum_of(&reports, |r| r.core_ops.bf_resets) / reports.len() as u64;
+            let (edge, core) = merged_ops(&reports);
+            let edge_resets = edge.bf_resets / reports.len() as u64;
+            let core_resets = core.bf_resets / reports.len() as u64;
             table.row(vec![
                 te.to_string(),
                 format!("{fpp:.0e}"),
@@ -251,6 +361,7 @@ mod tests {
             seeds: Some(1),
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test"),
+            threads: Some(2),
         }
     }
 

@@ -17,6 +17,7 @@
 //! | `fig7`     | Fig. 7 (router L/I/V ops) |
 //! | `fig8`     | Fig. 8 (requests per BF reset) |
 //! | `table5`   | Table V (resets vs size/FPP) |
+//! | `sweep`    | full (topology × seed) grid in one parallel batch |
 //! | `ablations`| flag-F / access-path / content-NACK ablations |
 //! | `baselines`| TACTIC vs no-AC / client-side / provider-auth |
 //! | `all`      | everything above in sequence |
@@ -35,6 +36,7 @@ pub mod opts;
 pub mod output;
 pub mod runner;
 pub mod scenario_args;
+pub mod sweep;
 pub mod tables;
 
 pub use opts::RunOpts;

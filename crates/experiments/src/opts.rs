@@ -6,7 +6,9 @@
 //! * `--duration <secs>` — override the simulated duration;
 //! * `--seeds <n>` — seeds to average over;
 //! * `--topo <list>` — comma-separated topology indices (e.g. `1,2`);
-//! * `--out <dir>` — output directory for CSV files (default `results/`).
+//! * `--out <dir>` — output directory for CSV files (default `results/`);
+//! * `--threads <n>` — worker threads for the run grid (default: all
+//!   available cores). Results are byte-identical for any value.
 
 use std::path::PathBuf;
 
@@ -25,6 +27,8 @@ pub struct RunOpts {
     pub topologies: Vec<PaperTopology>,
     /// CSV output directory.
     pub out_dir: PathBuf,
+    /// Worker threads for the run grid (None = all available cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -35,6 +39,7 @@ impl Default for RunOpts {
             seeds: None,
             topologies: PaperTopology::ALL.to_vec(),
             out_dir: PathBuf::from("results"),
+            threads: None,
         }
     }
 }
@@ -79,9 +84,17 @@ impl RunOpts {
                 "--out" => {
                     opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR]"
+                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N]"
                             .into(),
                     )
                 }
@@ -98,12 +111,22 @@ impl RunOpts {
 
     /// The simulated duration: explicit override, else paper/reduced default.
     pub fn duration(&self, reduced_default: u64) -> u64 {
-        self.duration_secs.unwrap_or(if self.paper { 2_000 } else { reduced_default })
+        self.duration_secs
+            .unwrap_or(if self.paper { 2_000 } else { reduced_default })
     }
 
     /// The seed count: explicit override, else paper (5) / reduced default.
     pub fn seed_count(&self, reduced_default: usize) -> usize {
-        self.seeds.unwrap_or(if self.paper { 5 } else { reduced_default })
+        self.seeds
+            .unwrap_or(if self.paper { 5 } else { reduced_default })
+    }
+
+    /// Worker threads for the run grid: explicit override, else every
+    /// available core. The thread count never changes results, only
+    /// wall-clock time.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 }
 
@@ -141,7 +164,10 @@ mod tests {
     #[test]
     fn topo_filter() {
         let o = parse(&["--topo", "1,3"]).unwrap();
-        assert_eq!(o.topologies, vec![PaperTopology::Topo1, PaperTopology::Topo3]);
+        assert_eq!(
+            o.topologies,
+            vec![PaperTopology::Topo1, PaperTopology::Topo3]
+        );
         assert!(parse(&["--topo", "5"]).is_err());
         assert!(parse(&["--topo", "x"]).is_err());
     }
@@ -157,5 +183,16 @@ mod tests {
     fn out_dir() {
         let o = parse(&["--out", "/tmp/x"]).unwrap();
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn threads_flag() {
+        let o = parse(&["--threads", "3"]).unwrap();
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.thread_count(), 3);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&[]).unwrap().thread_count() >= 1);
     }
 }

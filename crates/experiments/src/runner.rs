@@ -1,20 +1,132 @@
-//! Shared run helpers: seed averaging and scenario shaping.
+//! Shared run helpers: the parallel deterministic grid runner, per-run
+//! seed derivation, scenario shaping, and aggregation.
+//!
+//! Every experiment fans its (topology × scenario × seed) grid out over
+//! worker threads via [`run_grid`]. Each run's RNG stream is derived by
+//! [`tactic_sim::rng::derive_seed`] from the run's grid coordinates alone
+//! — never from thread count or scheduling — and results are collected
+//! and aggregated in job order, so the produced tables and CSV files are
+//! byte-identical for any `--threads` value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use tactic::metrics::RunReport;
 use tactic::net::run_scenario;
+use tactic::router::OpCounters;
 use tactic::scenario::Scenario;
+use tactic_sim::rng::{derive_seed, splitmix64};
 use tactic_sim::time::SimDuration;
 use tactic_topology::paper::PaperTopology;
 
 use crate::opts::RunOpts;
 
-/// Base seed so experiment runs are reproducible but distinct per seed
-/// index.
+/// Base seed so experiment runs are reproducible but distinct per grid
+/// cell.
 pub const BASE_SEED: u64 = 0x7A_C71C;
 
-/// Runs `scenario` over `seeds` seeds, returning every report.
-pub fn run_seeds(scenario: &Scenario, seeds: usize) -> Vec<RunReport> {
-    (0..seeds).map(|i| run_scenario(scenario, BASE_SEED + i as u64)).collect()
+/// One cell of the (topology × scenario × seed) grid.
+pub struct GridJob<'a> {
+    /// Shown in stderr progress lines (never in the output tables).
+    pub label: String,
+    /// Topology coordinate for seed derivation.
+    pub topology: u32,
+    /// Scenario coordinate for seed derivation; use [`scenario_id`] to
+    /// build one from an experiment tag and its knob values.
+    pub scenario_id: u64,
+    /// Seed index within the (topology, scenario) cell.
+    pub run_idx: u64,
+    /// The scenario to simulate.
+    pub scenario: &'a Scenario,
+}
+
+impl GridJob<'_> {
+    /// The derived RNG seed for this cell.
+    pub fn seed(&self) -> u64 {
+        derive_seed(BASE_SEED, self.topology, self.scenario_id, self.run_idx)
+    }
+}
+
+/// A stable scenario coordinate for seed derivation, hashed from an
+/// experiment tag and its knob values (pass `f64` knobs as `to_bits()`).
+/// FNV-1a over the tag, then a SplitMix64 chain over the knobs: stable
+/// across runs, platforms, and thread counts.
+pub fn scenario_id(tag: &str, knobs: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in tag.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &k in knobs {
+        let mut s = h ^ k;
+        h = splitmix64(&mut s);
+    }
+    h
+}
+
+/// Runs every job in the grid, fanned out over `threads` worker threads.
+///
+/// Workers claim jobs from a shared counter and write each report into
+/// the slot of the job that produced it, so the returned reports are in
+/// job order regardless of which worker finished when. Per-run progress
+/// and timing lines go to stderr only; stdout and files stay
+/// byte-identical across thread counts.
+pub fn run_grid(jobs: &[GridJob<'_>], threads: usize) -> Vec<RunReport> {
+    let workers = threads.max(1).min(jobs.len().max(1));
+    let results: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let started = Instant::now();
+                let report = run_scenario(job.scenario, job.seed());
+                *results[i].lock().expect("result slot") = Some(report);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{finished}/{total}] {label} run {run} (seed {seed:#018x}) in {t:.1?}",
+                    total = jobs.len(),
+                    label = job.label,
+                    run = job.run_idx,
+                    seed = job.seed(),
+                    t = started.elapsed(),
+                );
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every claimed job produced a report")
+        })
+        .collect()
+}
+
+/// Runs `seeds` independent replicas of one scenario in parallel — the
+/// common case of a figure/table averaging one knob setting over seeds.
+pub fn run_replicas(
+    label: &str,
+    topo: PaperTopology,
+    scenario_id: u64,
+    scenario: &Scenario,
+    seeds: usize,
+    threads: usize,
+) -> Vec<RunReport> {
+    let jobs: Vec<GridJob<'_>> = (0..seeds)
+        .map(|i| GridJob {
+            label: label.to_string(),
+            topology: topo.index() as u32,
+            scenario_id,
+            run_idx: i as u64,
+            scenario,
+        })
+        .collect();
+    run_grid(&jobs, threads)
 }
 
 /// The paper-replica scenario for `topo`, shaped by the options (duration
@@ -23,6 +135,18 @@ pub fn shaped_scenario(topo: PaperTopology, opts: &RunOpts, reduced_duration: u6
     let mut s = Scenario::paper(topo);
     s.duration = SimDuration::from_secs(opts.duration(reduced_duration));
     s
+}
+
+/// Merged per-tier operation counters across runs, through the
+/// [`OpCounters::merge`] aggregation path. Returns `(edge, core)`.
+pub fn merged_ops(reports: &[RunReport]) -> (OpCounters, OpCounters) {
+    let mut edge = OpCounters::default();
+    let mut core = OpCounters::default();
+    for r in reports {
+        edge.merge(&r.edge_ops);
+        core.merge(&r.core_ops);
+    }
+    (edge, core)
 }
 
 /// Mean over reports of a projection.
@@ -42,15 +166,51 @@ pub fn sum_of<F: Fn(&RunReport) -> u64>(reports: &[RunReport], f: F) -> u64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn run_seeds_is_reproducible() {
+    fn small(secs: u64) -> Scenario {
         let mut s = Scenario::small();
-        s.duration = SimDuration::from_secs(5);
-        let a = run_seeds(&s, 2);
-        let b = run_seeds(&s, 2);
+        s.duration = SimDuration::from_secs(secs);
+        s
+    }
+
+    #[test]
+    fn replicas_are_reproducible_and_distinct() {
+        let s = small(5);
+        let a = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1);
+        let b = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1);
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].events, b[0].events);
-        assert_ne!(a[0].events, a[1].events, "seeds differ");
+        assert_ne!(
+            a[0].events, a[1].events,
+            "run indices give distinct streams"
+        );
+    }
+
+    #[test]
+    fn grid_order_is_job_order_regardless_of_threads() {
+        let s = small(5);
+        let jobs: Vec<GridJob<'_>> = (0..4)
+            .map(|i| GridJob {
+                label: format!("job{i}"),
+                topology: 1,
+                scenario_id: 7,
+                run_idx: i,
+                scenario: &s,
+            })
+            .collect();
+        let serial = run_grid(&jobs, 1);
+        let parallel = run_grid(&jobs, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.edge_ops, b.edge_ops);
+            assert_eq!(a.core_ops, b.core_ops);
+        }
+    }
+
+    #[test]
+    fn scenario_ids_separate_experiments() {
+        assert_ne!(scenario_id("fig5", &[500]), scenario_id("fig5", &[2500]));
+        assert_ne!(scenario_id("fig5", &[500]), scenario_id("fig8", &[500]));
+        assert_eq!(scenario_id("fig5", &[500]), scenario_id("fig5", &[500]));
     }
 
     #[test]
@@ -62,12 +222,14 @@ mod tests {
 
     #[test]
     fn aggregations() {
-        let mut s = Scenario::small();
-        s.duration = SimDuration::from_secs(5);
-        let reports = run_seeds(&s, 2);
+        let s = small(5);
+        let reports = run_replicas("agg", PaperTopology::Topo1, 2, &s, 2, 2);
         let m = mean_of(&reports, |r| r.delivery.client_ratio());
         assert!(m > 0.5);
         let total = sum_of(&reports, |r| r.delivery.client_requested);
         assert!(total > 0);
+        let (edge, core) = merged_ops(&reports);
+        assert_eq!(edge.bf_lookups, sum_of(&reports, |r| r.edge_ops.bf_lookups));
+        assert_eq!(core.interests, sum_of(&reports, |r| r.core_ops.interests));
     }
 }

@@ -51,7 +51,9 @@ pub struct SimulateArgs {
 /// # Errors
 ///
 /// Returns a message (or the usage text for `--help`) on malformed input.
-pub fn parse_simulate_args<I: IntoIterator<Item = String>>(args: I) -> Result<SimulateArgs, String> {
+pub fn parse_simulate_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<SimulateArgs, String> {
     let mut scenario = Scenario::paper(PaperTopology::Topo1);
     scenario.duration = SimDuration::from_secs(60);
     let mut seed = 1u64;
@@ -106,8 +108,10 @@ pub fn parse_simulate_args<I: IntoIterator<Item = String>>(args: I) -> Result<Si
                 scenario.bf_max_fpp = num(&value(&mut it, "--bf-max-fpp")?, "--bf-max-fpp")?;
             }
             "--tag-validity" => {
-                scenario.tag_validity =
-                    SimDuration::from_secs(num(&value(&mut it, "--tag-validity")?, "--tag-validity")?);
+                scenario.tag_validity = SimDuration::from_secs(num(
+                    &value(&mut it, "--tag-validity")?,
+                    "--tag-validity",
+                )?);
             }
             "--objects" => {
                 scenario.objects_per_provider = num(&value(&mut it, "--objects")?, "--objects")?;
@@ -121,8 +125,10 @@ pub fn parse_simulate_args<I: IntoIterator<Item = String>>(args: I) -> Result<Si
             "--zipf" => scenario.zipf_alpha = num(&value(&mut it, "--zipf")?, "--zipf")?,
             "--window" => scenario.window = num(&value(&mut it, "--window")?, "--window")?,
             "--timeout-ms" => {
-                scenario.request_timeout =
-                    SimDuration::from_millis(num(&value(&mut it, "--timeout-ms")?, "--timeout-ms")?);
+                scenario.request_timeout = SimDuration::from_millis(num(
+                    &value(&mut it, "--timeout-ms")?,
+                    "--timeout-ms",
+                )?);
             }
             "--cs-capacity" => {
                 scenario.cs_capacity = num(&value(&mut it, "--cs-capacity")?, "--cs-capacity")?;
@@ -132,7 +138,11 @@ pub fn parse_simulate_args<I: IntoIterator<Item = String>>(args: I) -> Result<Si
                 let mut levels = Vec::new();
                 for p in v.split(',') {
                     let n: u8 = num(p.trim(), "--levels")?;
-                    levels.push(if n == 0 { AccessLevel::Public } else { AccessLevel::Level(n - 1) });
+                    levels.push(if n == 0 {
+                        AccessLevel::Public
+                    } else {
+                        AccessLevel::Level(n - 1)
+                    });
                 }
                 if levels.is_empty() {
                     return Err("--levels needs at least one level".into());
@@ -196,34 +206,55 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.scenario.duration, SimDuration::from_secs(60));
         assert_eq!(a.seed, 1);
-        assert!(matches!(a.scenario.topology, TopologyChoice::Paper(PaperTopology::Topo1)));
+        assert!(matches!(
+            a.scenario.topology,
+            TopologyChoice::Paper(PaperTopology::Topo1)
+        ));
     }
 
     #[test]
     fn full_flag_surface_parses() {
         let a = parse(&[
-            "--custom", "10,3,2,6,3",
-            "--duration", "30",
-            "--seed", "9",
-            "--bf-capacity", "100",
-            "--bf-hashes", "7",
-            "--bf-max-fpp", "0.01",
-            "--tag-validity", "5",
-            "--objects", "20",
-            "--chunks", "8",
-            "--chunk-size", "4096",
-            "--zipf", "1.1",
-            "--window", "3",
-            "--timeout-ms", "500",
-            "--cs-capacity", "50",
-            "--levels", "0,2",
-            "--attackers", "fake,shared",
+            "--custom",
+            "10,3,2,6,3",
+            "--duration",
+            "30",
+            "--seed",
+            "9",
+            "--bf-capacity",
+            "100",
+            "--bf-hashes",
+            "7",
+            "--bf-max-fpp",
+            "0.01",
+            "--tag-validity",
+            "5",
+            "--objects",
+            "20",
+            "--chunks",
+            "8",
+            "--chunk-size",
+            "4096",
+            "--zipf",
+            "1.1",
+            "--window",
+            "3",
+            "--timeout-ms",
+            "500",
+            "--cs-capacity",
+            "50",
+            "--levels",
+            "0,2",
+            "--attackers",
+            "fake,shared",
             "--access-path",
             "--no-flag-f",
             "--no-content-nack",
             "--sightings",
-            "--mobility", "7,0.5",
-            "--cost", "printed",
+            "--mobility",
+            "7,0.5",
+            "--cost",
+            "printed",
         ])
         .unwrap();
         let s = &a.scenario;
@@ -240,8 +271,14 @@ mod tests {
         assert_eq!(s.window, 3);
         assert_eq!(s.request_timeout, SimDuration::from_millis(500));
         assert_eq!(s.cs_capacity, 50);
-        assert_eq!(s.content_levels, vec![AccessLevel::Public, AccessLevel::Level(1)]);
-        assert_eq!(s.attacker_mix, vec![AttackerStrategy::FakeTag, AttackerStrategy::SharedTag]);
+        assert_eq!(
+            s.content_levels,
+            vec![AccessLevel::Public, AccessLevel::Level(1)]
+        );
+        assert_eq!(
+            s.attacker_mix,
+            vec![AttackerStrategy::FakeTag, AttackerStrategy::SharedTag]
+        );
         assert!(s.access_path_enabled);
         assert!(!s.flag_f_enabled);
         assert!(!s.content_nack_enabled);
@@ -249,14 +286,22 @@ mod tests {
         let m = s.mobility.unwrap();
         assert_eq!(m.mean_dwell, SimDuration::from_secs(7));
         assert_eq!(m.mobile_fraction, 0.5);
-        assert!(!s.cost_model.is_enabled() || s.cost_model.mean(tactic_sim::cost::Op::SigVerify) > 0.0);
+        assert!(
+            !s.cost_model.is_enabled() || s.cost_model.mean(tactic_sim::cost::Op::SigVerify) > 0.0
+        );
     }
 
     #[test]
     fn errors_are_helpful() {
-        assert!(parse(&["--topo", "9"]).unwrap_err().contains("out of range"));
-        assert!(parse(&["--custom", "1,2,3"]).unwrap_err().contains("exactly 5"));
-        assert!(parse(&["--attackers", "ninja"]).unwrap_err().contains("ninja"));
+        assert!(parse(&["--topo", "9"])
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse(&["--custom", "1,2,3"])
+            .unwrap_err()
+            .contains("exactly 5"));
+        assert!(parse(&["--attackers", "ninja"])
+            .unwrap_err()
+            .contains("ninja"));
         assert!(parse(&["--mobility", "5"]).unwrap_err().contains("DWELL"));
         assert!(parse(&["--cost", "wrong"]).unwrap_err().contains("wrong"));
         assert!(parse(&["--bogus"]).unwrap_err().contains("--help"));
@@ -265,8 +310,17 @@ mod tests {
 
     #[test]
     fn parsed_scenario_actually_runs() {
-        let a = parse(&["--custom", "8,2,1,3,1", "--duration", "5", "--objects", "5", "--chunks", "4"])
-            .unwrap();
+        let a = parse(&[
+            "--custom",
+            "8,2,1,3,1",
+            "--duration",
+            "5",
+            "--objects",
+            "5",
+            "--chunks",
+            "4",
+        ])
+        .unwrap();
         let report = tactic::net::run_scenario(&a.scenario, a.seed);
         assert!(report.delivery.client_requested > 0);
     }

@@ -7,7 +7,7 @@ use tactic_topology::graph::Role;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, TextTable};
-use crate::runner::{run_seeds, shaped_scenario, sum_of, BASE_SEED};
+use crate::runner::{merged_ops, run_replicas, scenario_id, shaped_scenario, sum_of, BASE_SEED};
 
 /// Table II — qualitative comparison with the state of the art (encoded
 /// from the paper; see `tactic_baselines::comparison`).
@@ -37,13 +37,24 @@ pub fn table3(opts: &RunOpts) -> std::io::Result<String> {
         "Connected",
     ]);
     let mut csv = TextTable::new(vec![
-        "topology", "core_routers", "edge_routers", "providers", "clients", "attackers", "links", "max_degree",
+        "topology",
+        "core_routers",
+        "edge_routers",
+        "providers",
+        "clients",
+        "attackers",
+        "links",
+        "max_degree",
     ]);
     for &topo in &opts.topologies {
         let spec = topo.spec();
         let built = topo.build(BASE_SEED);
-        let max_degree =
-            built.graph.nodes().map(|n| built.graph.degree(n)).max().unwrap_or(0);
+        let max_degree = built
+            .graph
+            .nodes()
+            .map(|n| built.graph.degree(n))
+            .max()
+            .unwrap_or(0);
         // Count only the router-to-router fabric for the degree stat story.
         let router_links = (0..built.graph.link_count())
             .filter(|&i| {
@@ -97,18 +108,38 @@ pub fn table4(opts: &RunOpts) -> std::io::Result<String> {
         "Attacker ratio",
     ]);
     let mut csv = TextTable::new(vec![
-        "topology", "client_requested", "client_received", "client_ratio",
-        "attacker_requested", "attacker_received", "attacker_ratio",
+        "topology",
+        "client_requested",
+        "client_received",
+        "client_ratio",
+        "attacker_requested",
+        "attacker_received",
+        "attacker_ratio",
     ]);
     for &topo in &opts.topologies {
         let scenario = shaped_scenario(topo, opts, 60);
-        let reports = run_seeds(&scenario, seeds);
+        let reports = run_replicas(
+            &format!("table4 {topo}"),
+            topo,
+            scenario_id("table4", &[]),
+            &scenario,
+            seeds,
+            opts.thread_count(),
+        );
         let c_req = sum_of(&reports, |r| r.delivery.client_requested);
         let c_rcv = sum_of(&reports, |r| r.delivery.client_received);
         let a_req = sum_of(&reports, |r| r.delivery.attacker_requested);
         let a_rcv = sum_of(&reports, |r| r.delivery.attacker_received);
-        let c_ratio = if c_req == 0 { 0.0 } else { c_rcv as f64 / c_req as f64 };
-        let a_ratio = if a_req == 0 { 0.0 } else { a_rcv as f64 / a_req as f64 };
+        let c_ratio = if c_req == 0 {
+            0.0
+        } else {
+            c_rcv as f64 / c_req as f64
+        };
+        let a_ratio = if a_req == 0 {
+            0.0
+        } else {
+            a_rcv as f64 / a_req as f64
+        };
         table.row(vec![
             topo.to_string(),
             c_req.to_string(),
@@ -143,17 +174,30 @@ pub fn table4(opts: &RunOpts) -> std::io::Result<String> {
 pub fn table5(opts: &RunOpts) -> std::io::Result<String> {
     let seeds = opts.seed_count(2);
     let topo = opts.topologies[0];
-    let (sizes, te) = if opts.paper { ([500usize, 5_000], 10u64) } else { ([50usize, 500], 2u64) };
+    let (sizes, te) = if opts.paper {
+        ([500usize, 5_000], 10u64)
+    } else {
+        ([50usize, 500], 2u64)
+    };
     let fpps = [1e-4, 1e-2];
     let mut report = format!(
         "Table V — BF resets for sizes {}/{} items at {te} s tag expiry ({topo})\n\n",
         sizes[0], sizes[1]
     );
     let mut table = TextTable::new(vec![
-        "tier", "FPP", &format!("resets @{}", sizes[0]), &format!("resets @{}", sizes[1]), "improvement",
+        "tier",
+        "FPP",
+        &format!("resets @{}", sizes[0]),
+        &format!("resets @{}", sizes[1]),
+        "improvement",
     ]);
-    let mut csv =
-        TextTable::new(vec!["tier", "fpp", "resets_small", "resets_large", "improvement_pct"]);
+    let mut csv = TextTable::new(vec![
+        "tier",
+        "fpp",
+        "resets_small",
+        "resets_large",
+        "improvement_pct",
+    ]);
     let mut measured: Vec<(f64, u64, u64, u64, u64)> = Vec::new(); // fpp, e_small, e_large, c_small, c_large
     for &fpp in &fpps {
         let mut per_size = Vec::new();
@@ -162,14 +206,25 @@ pub fn table5(opts: &RunOpts) -> std::io::Result<String> {
             scenario.bf_capacity = size;
             scenario.bf_max_fpp = fpp;
             scenario.tag_validity = SimDuration::from_secs(te);
-            let reports = run_seeds(&scenario, seeds);
+            let reports = run_replicas(
+                &format!("table5 {topo} bf{size} fpp{fpp:.0e}"),
+                topo,
+                scenario_id("table5", &[size as u64, fpp.to_bits()]),
+                &scenario,
+                seeds,
+                opts.thread_count(),
+            );
             let n = reports.len() as u64;
-            per_size.push((
-                sum_of(&reports, |r| r.edge_ops.bf_resets) / n,
-                sum_of(&reports, |r| r.core_ops.bf_resets) / n,
-            ));
+            let (edge, core) = merged_ops(&reports);
+            per_size.push((edge.bf_resets / n, core.bf_resets / n));
         }
-        measured.push((fpp, per_size[0].0, per_size[1].0, per_size[0].1, per_size[1].1));
+        measured.push((
+            fpp,
+            per_size[0].0,
+            per_size[1].0,
+            per_size[0].1,
+            per_size[1].1,
+        ));
     }
     for (tier, idx) in [("edge", 0usize), ("core", 1usize)] {
         for &(fpp, es, el, cs, cl) in &measured {
@@ -213,6 +268,7 @@ mod tests {
             seeds: Some(1),
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-tables"),
+            threads: Some(2),
         }
     }
 

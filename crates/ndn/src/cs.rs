@@ -82,7 +82,11 @@ impl ContentStore {
         }
         let name = data.name().clone();
         let stamp = self.next_stamp();
-        let entry = Entry { data, stamp, inserted: now };
+        let entry = Entry {
+            data,
+            stamp,
+            inserted: now,
+        };
         if let Some(old) = self.entries.insert(name.clone(), entry) {
             self.order.remove(&old.stamp);
         }
@@ -272,9 +276,13 @@ mod tests {
         d.set_freshness_ms(1_000);
         cs.insert_at(d, SimTime::from_secs(10));
         // Within the freshness period: a hit.
-        assert!(cs.get_fresh(&name("/fresh"), SimTime::from_secs_f64(10.5)).is_some());
+        assert!(cs
+            .get_fresh(&name("/fresh"), SimTime::from_secs_f64(10.5))
+            .is_some());
         // Past it: a miss, and the stale entry is evicted.
-        assert!(cs.get_fresh(&name("/fresh"), SimTime::from_secs(12)).is_none());
+        assert!(cs
+            .get_fresh(&name("/fresh"), SimTime::from_secs(12))
+            .is_none());
         assert!(cs.peek(&name("/fresh")).is_none(), "stale entry evicted");
     }
 
@@ -282,7 +290,9 @@ mod tests {
     fn zero_freshness_means_always_fresh() {
         let mut cs = ContentStore::new(4);
         cs.insert_at(data("/eternal"), SimTime::ZERO);
-        assert!(cs.get_fresh(&name("/eternal"), SimTime::from_secs(1_000_000)).is_some());
+        assert!(cs
+            .get_fresh(&name("/eternal"), SimTime::from_secs(1_000_000))
+            .is_some());
     }
 
     #[test]
@@ -291,7 +301,10 @@ mod tests {
         let mut d = data("/stale-ok");
         d.set_freshness_ms(1);
         cs.insert_at(d, SimTime::ZERO);
-        assert!(cs.get(&name("/stale-ok")).is_some(), "get is freshness-agnostic");
+        assert!(
+            cs.get(&name("/stale-ok")).is_some(),
+            "get is freshness-agnostic"
+        );
     }
 
     #[test]
@@ -303,7 +316,10 @@ mod tests {
         }
         // The newest 50 must all be present.
         for i in 950..1_000 {
-            assert!(cs.peek(&name(&format!("/obj/{i}"))).is_some(), "missing /obj/{i}");
+            assert!(
+                cs.peek(&name(&format!("/obj/{i}"))).is_some(),
+                "missing /obj/{i}"
+            );
         }
     }
 }

@@ -124,7 +124,10 @@ mod tests {
     fn root_prefix_is_default_route() {
         let mut fib = Fib::new();
         fib.add_route(Name::root(), FaceId::new(9), 1);
-        assert_eq!(fib.next_hop(&name("/anything/at/all")), Some(FaceId::new(9)));
+        assert_eq!(
+            fib.next_hop(&name("/anything/at/all")),
+            Some(FaceId::new(9))
+        );
     }
 
     #[test]

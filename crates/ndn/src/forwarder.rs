@@ -31,7 +31,11 @@ pub struct Tables {
 impl Tables {
     /// Creates tables with the given cache capacity.
     pub fn new(cs_capacity: usize) -> Self {
-        Tables { cs: ContentStore::new(cs_capacity), pit: Pit::new(), fib: Fib::new() }
+        Tables {
+            cs: ContentStore::new(cs_capacity),
+            pit: Pit::new(),
+            fib: Fib::new(),
+        }
     }
 }
 
@@ -67,7 +71,10 @@ pub fn process_interest(
     }
     // 2. PIT.
     let expiry = now + tactic_sim::time::SimDuration::from_millis(interest.lifetime_ms() as u64);
-    match tables.pit.on_interest(interest.name(), in_face, interest.nonce(), expiry, note) {
+    match tables
+        .pit
+        .on_interest(interest.name(), in_face, interest.nonce(), expiry, note)
+    {
         PitInsert::DuplicateNonce => InterestAction::DuplicateNonce,
         PitInsert::Aggregated => InterestAction::Aggregate,
         PitInsert::New => {
@@ -100,10 +107,16 @@ pub struct DataAction {
 /// NFD's default policy.
 pub fn process_data(tables: &mut Tables, data: &Data) -> DataAction {
     match tables.pit.take(data.name()) {
-        None => DataAction { downstream: Vec::new(), cached: false },
+        None => DataAction {
+            downstream: Vec::new(),
+            cached: false,
+        },
         Some(entry) => {
             tables.cs.insert(data.clone());
-            DataAction { downstream: entry.into_records(), cached: true }
+            DataAction {
+                downstream: entry.into_records(),
+                cached: true,
+            }
         }
     }
 }
@@ -178,8 +191,20 @@ mod tests {
     fn data_satisfies_all_downstreams_and_caches() {
         let mut t = setup();
         let n = name("/prov/obj/0");
-        process_interest(&mut t, &Interest::new(n.clone(), 1), FaceId::new(1), SimTime::ZERO, vec![11]);
-        process_interest(&mut t, &Interest::new(n.clone(), 2), FaceId::new(2), SimTime::ZERO, vec![22]);
+        process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 1),
+            FaceId::new(1),
+            SimTime::ZERO,
+            vec![11],
+        );
+        process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 2),
+            FaceId::new(2),
+            SimTime::ZERO,
+            vec![22],
+        );
         let d = Data::new(n.clone(), Payload::Synthetic(10));
         let action = process_data(&mut t, &d);
         assert!(action.cached);

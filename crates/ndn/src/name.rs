@@ -143,7 +143,9 @@ impl Name {
 
     /// The first `n` components as a new name (clamped to the full name).
     pub fn prefix(&self, n: usize) -> Name {
-        Name { components: self.components[..n.min(self.components.len())].to_vec() }
+        Name {
+            components: self.components[..n.min(self.components.len())].to_vec(),
+        }
     }
 
     /// The name without its last component; the root maps to itself.
@@ -158,7 +160,11 @@ impl Name {
     /// True if `self` is a (non-strict) prefix of `other`.
     pub fn is_prefix_of(&self, other: &Name) -> bool {
         self.components.len() <= other.components.len()
-            && self.components.iter().zip(&other.components).all(|(a, b)| a == b)
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a == b)
     }
 
     /// Flat byte serialisation (length-prefixed components), for hashing.
@@ -179,7 +185,9 @@ impl std::str::FromStr for Name {
         if uri == "/" {
             return Ok(Name::root());
         }
-        let rest = uri.strip_prefix('/').ok_or(ParseNameError::MissingLeadingSlash)?;
+        let rest = uri
+            .strip_prefix('/')
+            .ok_or(ParseNameError::MissingLeadingSlash)?;
         let mut components = Vec::new();
         for piece in rest.split('/') {
             if piece.is_empty() {
@@ -200,8 +208,10 @@ fn unescape(piece: &str) -> Result<Vec<u8>, ParseNameError> {
             let hex = bytes
                 .get(i + 1..i + 3)
                 .ok_or_else(|| ParseNameError::BadEscape(piece.to_owned()))?;
-            let s = std::str::from_utf8(hex).map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
-            let v = u8::from_str_radix(s, 16).map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
+            let s = std::str::from_utf8(hex)
+                .map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
+            let v = u8::from_str_radix(s, 16)
+                .map_err(|_| ParseNameError::BadEscape(piece.to_owned()))?;
             out.push(v);
             i += 3;
         } else {
@@ -245,7 +255,10 @@ mod tests {
 
     #[test]
     fn missing_slash_is_error() {
-        assert_eq!("abc".parse::<Name>(), Err(ParseNameError::MissingLeadingSlash));
+        assert_eq!(
+            "abc".parse::<Name>(),
+            Err(ParseNameError::MissingLeadingSlash)
+        );
     }
 
     #[test]
@@ -259,8 +272,14 @@ mod tests {
 
     #[test]
     fn bad_escape_is_error() {
-        assert!(matches!("/a%g1".parse::<Name>(), Err(ParseNameError::BadEscape(_))));
-        assert!(matches!("/a%0".parse::<Name>(), Err(ParseNameError::BadEscape(_))));
+        assert!(matches!(
+            "/a%g1".parse::<Name>(),
+            Err(ParseNameError::BadEscape(_))
+        ));
+        assert!(matches!(
+            "/a%0".parse::<Name>(),
+            Err(ParseNameError::BadEscape(_))
+        ));
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub type Extension = (u16, Vec<u8>);
 
 /// Looks up the first extension with the given type.
 fn find_ext(exts: &[Extension], ty: u16) -> Option<&[u8]> {
-    exts.iter().find(|(t, _)| *t == ty).map(|(_, v)| v.as_slice())
+    exts.iter()
+        .find(|(t, _)| *t == ty)
+        .map(|(_, v)| v.as_slice())
 }
 
 /// Replaces (or inserts) the extension with the given type.
@@ -55,7 +57,12 @@ impl Interest {
 
     /// Creates an Interest for `name` with a caller-supplied nonce.
     pub fn new(name: Name, nonce: u64) -> Self {
-        Interest { name, nonce, lifetime_ms: Self::DEFAULT_LIFETIME_MS, extensions: Vec::new() }
+        Interest {
+            name,
+            nonce,
+            lifetime_ms: Self::DEFAULT_LIFETIME_MS,
+            extensions: Vec::new(),
+        }
     }
 
     /// The requested name.
@@ -148,7 +155,13 @@ pub struct Data {
 impl Data {
     /// Creates a Data packet.
     pub fn new(name: Name, payload: Payload) -> Self {
-        Data { name, payload, signature: None, freshness_ms: 0, extensions: Vec::new() }
+        Data {
+            name,
+            payload,
+            signature: None,
+            freshness_ms: 0,
+            extensions: Vec::new(),
+        }
     }
 
     /// The content name.
@@ -345,7 +358,9 @@ mod tests {
         d.set_extension(0x8002, vec![9]);
         let sig = kp.sign(&d.signable_bytes());
         d.set_signature(sig);
-        assert!(kp.public().verify(&d.signable_bytes(), d.signature().unwrap()));
+        assert!(kp
+            .public()
+            .verify(&d.signable_bytes(), d.signature().unwrap()));
     }
 
     #[test]
@@ -376,6 +391,9 @@ mod tests {
     #[test]
     fn nack_reason_display() {
         assert_eq!(NackReason::InvalidTag.to_string(), "invalid tag");
-        assert_eq!(NackReason::AccessPathMismatch.to_string(), "access path mismatch");
+        assert_eq!(
+            NackReason::AccessPathMismatch.to_string(),
+            "access path mismatch"
+        );
     }
 }

@@ -116,7 +116,12 @@ impl Pit {
                     name.clone(),
                     PitEntry {
                         name: name.clone(),
-                        records: vec![InRecord { face, nonce, expiry, note }],
+                        records: vec![InRecord {
+                            face,
+                            nonce,
+                            expiry,
+                            note,
+                        }],
                         forwarded: true,
                     },
                 );
@@ -126,7 +131,12 @@ impl Pit {
                 if entry.records.iter().any(|r| r.nonce == nonce) {
                     return PitInsert::DuplicateNonce;
                 }
-                entry.records.push(InRecord { face, nonce, expiry, note });
+                entry.records.push(InRecord {
+                    face,
+                    nonce,
+                    expiry,
+                    note,
+                });
                 PitInsert::Aggregated
             }
         }
@@ -213,9 +223,18 @@ mod tests {
     fn first_interest_is_new_then_aggregates() {
         let mut pit = Pit::new();
         let n = name("/a/b");
-        assert_eq!(pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![1]), PitInsert::New);
-        assert_eq!(pit.on_interest(&n, FaceId::new(2), 2, t(5), vec![2]), PitInsert::Aggregated);
-        assert_eq!(pit.on_interest(&n, FaceId::new(3), 3, t(5), vec![3]), PitInsert::Aggregated);
+        assert_eq!(
+            pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![1]),
+            PitInsert::New
+        );
+        assert_eq!(
+            pit.on_interest(&n, FaceId::new(2), 2, t(5), vec![2]),
+            PitInsert::Aggregated
+        );
+        assert_eq!(
+            pit.on_interest(&n, FaceId::new(3), 3, t(5), vec![3]),
+            PitInsert::Aggregated
+        );
         let entry = pit.take(&n).unwrap();
         assert_eq!(entry.records().len(), 3);
         assert!(entry.forwarded());
@@ -277,8 +296,14 @@ mod tests {
     #[test]
     fn distinct_names_do_not_aggregate() {
         let mut pit = Pit::new();
-        assert_eq!(pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]), PitInsert::New);
-        assert_eq!(pit.on_interest(&name("/b"), FaceId::new(1), 2, t(5), vec![]), PitInsert::New);
+        assert_eq!(
+            pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]),
+            PitInsert::New
+        );
+        assert_eq!(
+            pit.on_interest(&name("/b"), FaceId::new(1), 2, t(5), vec![]),
+            PitInsert::New
+        );
         assert_eq!(pit.len(), 2);
     }
 }

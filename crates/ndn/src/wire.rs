@@ -62,12 +62,15 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Writer { buf: Vec::with_capacity(128) }
+        Writer {
+            buf: Vec::with_capacity(128),
+        }
     }
 
     fn tlv(&mut self, ty: u16, value: &[u8]) {
         self.buf.extend_from_slice(&ty.to_le_bytes());
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(value);
     }
 
@@ -100,16 +103,25 @@ impl<'a> Reader<'a> {
     }
 
     fn peek_type(&self) -> Result<u16, WireError> {
-        let b = self.buf.get(self.pos..self.pos + 2).ok_or(WireError::Truncated)?;
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 2)
+            .ok_or(WireError::Truncated)?;
         Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
     }
 
     fn read(&mut self) -> Result<(u16, &'a [u8]), WireError> {
         let ty = self.peek_type()?;
-        let lenb = self.buf.get(self.pos + 2..self.pos + 6).ok_or(WireError::Truncated)?;
+        let lenb = self
+            .buf
+            .get(self.pos + 2..self.pos + 6)
+            .ok_or(WireError::Truncated)?;
         let len = u32::from_le_bytes(lenb.try_into().expect("4 bytes")) as usize;
         let start = self.pos + HEADER_LEN;
-        let value = self.buf.get(start..start + len).ok_or(WireError::Truncated)?;
+        let value = self
+            .buf
+            .get(start..start + len)
+            .ok_or(WireError::Truncated)?;
         self.pos = start + len;
         Ok((ty, value))
     }
@@ -141,11 +153,15 @@ fn decode_name(bytes: &[u8]) -> Result<Name, WireError> {
 }
 
 fn u64_field(value: &[u8]) -> Result<u64, WireError> {
-    Ok(u64::from_le_bytes(value.try_into().map_err(|_| WireError::Malformed("u64"))?))
+    Ok(u64::from_le_bytes(
+        value.try_into().map_err(|_| WireError::Malformed("u64"))?,
+    ))
 }
 
 fn u32_field(value: &[u8]) -> Result<u32, WireError> {
-    Ok(u32::from_le_bytes(value.try_into().map_err(|_| WireError::Malformed("u32"))?))
+    Ok(u32::from_le_bytes(
+        value.try_into().map_err(|_| WireError::Malformed("u32"))?,
+    ))
 }
 
 /// Encodes any packet to its wire form.
@@ -229,7 +245,12 @@ pub fn wire_size(packet: &Packet) -> usize {
 }
 
 fn name_size(name: &Name) -> usize {
-    HEADER_LEN + name.components().iter().map(|c| HEADER_LEN + c.len()).sum::<usize>()
+    HEADER_LEN
+        + name
+            .components()
+            .iter()
+            .map(|c| HEADER_LEN + c.len())
+            .sum::<usize>()
 }
 
 fn interest_size(i: &Interest) -> usize {
@@ -237,7 +258,10 @@ fn interest_size(i: &Interest) -> usize {
         + name_size(i.name())
         + (HEADER_LEN + 8)
         + (HEADER_LEN + 4)
-        + i.extensions().iter().map(|(_, v)| HEADER_LEN + v.len()).sum::<usize>()
+        + i.extensions()
+            .iter()
+            .map(|(_, v)| HEADER_LEN + v.len())
+            .sum::<usize>()
 }
 
 fn data_size(d: &Data) -> usize {
@@ -250,8 +274,12 @@ fn data_size(d: &Data) -> usize {
         + name_size(d.name())
         + payload
         + (HEADER_LEN + 4)
-        + d.signature().map_or(0, |_| HEADER_LEN + Signature::WIRE_LEN)
-        + d.extensions().iter().map(|(_, v)| HEADER_LEN + v.len()).sum::<usize>()
+        + d.signature()
+            .map_or(0, |_| HEADER_LEN + Signature::WIRE_LEN)
+        + d.extensions()
+            .iter()
+            .map(|(_, v)| HEADER_LEN + v.len())
+            .sum::<usize>()
 }
 
 /// Decodes a packet from its wire form.
@@ -269,7 +297,10 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
         TLV_NACK => {
             let mut inner = Reader::new(value);
             let reason = nack_reason_from(
-                *inner.expect(TLV_NACK_REASON)?.first().ok_or(WireError::Malformed("nack reason"))?,
+                *inner
+                    .expect(TLV_NACK_REASON)?
+                    .first()
+                    .ok_or(WireError::Malformed("nack reason"))?,
             )?;
             let interest = decode_interest(inner.expect(TLV_INTEREST)?)?;
             Ok(Packet::Nack(Nack::new(interest, reason)))
@@ -306,7 +337,9 @@ fn decode_data(bytes: &[u8]) -> Result<Data, WireError> {
     while !r.done() {
         let (ty, v) = r.read()?;
         if ty == TLV_SIGNATURE {
-            let arr: [u8; 16] = v.try_into().map_err(|_| WireError::Malformed("signature"))?;
+            let arr: [u8; 16] = v
+                .try_into()
+                .map_err(|_| WireError::Malformed("signature"))?;
             data.set_signature(Signature::from_bytes(arr));
         } else {
             data.set_extension(ty, v.to_vec());
@@ -392,13 +425,18 @@ mod tests {
     fn unknown_frame_type_errors() {
         let mut w = Writer::new();
         w.tlv(0x99, b"junk");
-        assert_eq!(decode(&w.buf), Err(WireError::UnexpectedType { found: 0x99 }));
+        assert_eq!(
+            decode(&w.buf),
+            Err(WireError::UnexpectedType { found: 0x99 })
+        );
     }
 
     #[test]
     fn wire_error_display() {
         assert_eq!(WireError::Truncated.to_string(), "truncated packet");
-        assert!(WireError::UnexpectedType { found: 0x99 }.to_string().contains("0x0099"));
+        assert!(WireError::UnexpectedType { found: 0x99 }
+            .to_string()
+            .contains("0x0099"));
     }
 
     #[test]

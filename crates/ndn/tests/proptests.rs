@@ -18,7 +18,18 @@ fn arb_name() -> impl Strategy<Value = Name> {
 }
 
 fn arb_interest() -> impl Strategy<Value = Interest> {
-    (arb_name(), any::<u64>(), 1u32..100_000, proptest::collection::vec((0x8000u16..0x9000, proptest::collection::vec(any::<u8>(), 0..64)), 0..4))
+    (
+        arb_name(),
+        any::<u64>(),
+        1u32..100_000,
+        proptest::collection::vec(
+            (
+                0x8000u16..0x9000,
+                proptest::collection::vec(any::<u8>(), 0..64),
+            ),
+            0..4,
+        ),
+    )
         .prop_map(|(name, nonce, lifetime, exts)| {
             let mut i = Interest::new(name, nonce);
             i.set_lifetime_ms(lifetime);
@@ -37,7 +48,13 @@ fn arb_data() -> impl Strategy<Value = Data> {
             proptest::collection::vec(any::<u8>(), 0..256).prop_map(Payload::Bytes),
         ],
         any::<u32>(),
-        proptest::collection::vec((0x8000u16..0x9000, proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+        proptest::collection::vec(
+            (
+                0x8000u16..0x9000,
+                proptest::collection::vec(any::<u8>(), 0..64),
+            ),
+            0..4,
+        ),
     )
         .prop_map(|(name, payload, freshness, exts)| {
             let mut d = Data::new(name, payload);

@@ -1,0 +1,19 @@
+//! `proptest::bool::ANY` — the full-domain boolean strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+/// A fair coin.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

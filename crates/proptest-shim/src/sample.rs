@@ -1,0 +1,28 @@
+//! `prop::sample::Index` — a length-agnostic index drawn up front and
+//! projected onto a concrete collection later.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An abstract index: stores a raw draw and maps it onto any non-empty
+/// length via `index(len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_with(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,64 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! A `&'static str` literal used as a strategy (`subject in "[a-z/]{1,24}"`)
+//! is interpreted as a single character class followed by a `{min,max}`
+//! repetition — the only pattern shape this workspace uses. Classes may mix
+//! ranges (`a-z`) and literal characters (`/`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+fn parse_class(class: &str) -> Vec<char> {
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next(); // the '-'
+            if let Some(hi) = ahead.next() {
+                // A range like `a-z`.
+                chars = ahead;
+                alphabet.extend((c..=hi).filter(char::is_ascii));
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    assert!(!alphabet.is_empty(), "empty character class [{class}]");
+    alphabet
+}
+
+fn bad_pattern(pattern: &str) -> ! {
+    panic!(
+        "unsupported string pattern {pattern:?}: the offline proptest \
+         stand-in only understands \"[class]{{min,max}}\""
+    )
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let (class, rest) = rest.split_once(']').unwrap_or_else(|| bad_pattern(pattern));
+    let reps = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let (min, max) = reps.split_once(',').unwrap_or((reps, reps));
+    let min: usize = min.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    let max: usize = max.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    assert!(min <= max, "bad repetition in pattern {pattern:?}");
+    (parse_class(class), min, max)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}

@@ -1,0 +1,125 @@
+//! Case generation and execution: a deterministic SplitMix64 stream per
+//! (test name, case index), a rejection budget, and panic-on-failure.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result a generated case body produces.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (only the fields the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the suite fast on the
+        // small CI machines this workspace targets while still exploring
+        // a meaningful sample. Override per-block with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream for one case of one named test.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift; the bias is irrelevant for test-case generation.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `case` until `config.cases` successful executions, panicking on the
+/// first failure with enough context to reproduce it.
+pub fn run(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut executed = 0u32;
+    let mut rejected = 0u64;
+    let mut case_idx = 0u64;
+    while executed < config.cases {
+        let mut rng = TestRng::for_case(name, case_idx);
+        match case(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 1_024 + 16 * config.cases as u64,
+                    "`{name}`: too many rejected cases (last: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("`{name}` failed at deterministic case #{case_idx}: {msg}")
+            }
+        }
+        case_idx += 1;
+    }
+}

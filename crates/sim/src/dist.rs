@@ -33,7 +33,10 @@ impl Normal {
     /// Panics if `std_dev` is negative or either parameter is not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
         assert!(mean.is_finite(), "mean must be finite");
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be finite and >= 0");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and >= 0"
+        );
         Normal { mean, std_dev }
     }
 
@@ -79,7 +82,10 @@ impl TruncatedNormal {
     /// Panics on non-finite parameters or negative `std_dev`.
     pub fn new(mean: f64, std_dev: f64, min: f64) -> Self {
         assert!(min.is_finite(), "min must be finite");
-        TruncatedNormal { inner: Normal::new(mean, std_dev), min }
+        TruncatedNormal {
+            inner: Normal::new(mean, std_dev),
+            min,
+        }
     }
 
     /// Draws one sample `>= min`.
@@ -167,7 +173,10 @@ impl Zipf {
     /// Panics if `n == 0` or `alpha` is negative/not finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {

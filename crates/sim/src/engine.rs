@@ -215,7 +215,11 @@ mod tests {
         assert_eq!(e.pop(), Some("first"));
         e.schedule(SimTime::from_secs(1), "late");
         assert_eq!(e.pop(), Some("late"));
-        assert_eq!(e.now(), SimTime::from_secs(5), "clock must not move backwards");
+        assert_eq!(
+            e.now(),
+            SimTime::from_secs(5),
+            "clock must not move backwards"
+        );
     }
 
     #[test]

@@ -37,7 +37,13 @@ impl Default for Running {
 impl Running {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Running { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -245,7 +251,8 @@ impl TimeSeries {
     /// Panics if `width_secs == 0`.
     pub fn bucket_means(&self, width_secs: u64) -> Vec<(u64, f64)> {
         assert!(width_secs > 0, "bucket width must be positive");
-        let mut buckets: std::collections::BTreeMap<u64, Running> = std::collections::BTreeMap::new();
+        let mut buckets: std::collections::BTreeMap<u64, Running> =
+            std::collections::BTreeMap::new();
         for &(at, v) in &self.points {
             let b = at.as_secs() / width_secs * width_secs;
             buckets.entry(b).or_default().record(v);

@@ -60,12 +60,18 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// The paper's core-link spec: 500 Mbps, 1 ms.
     pub fn core() -> Self {
-        LinkSpec { bandwidth_bps: 500_000_000, latency: SimDuration::from_millis(1) }
+        LinkSpec {
+            bandwidth_bps: 500_000_000,
+            latency: SimDuration::from_millis(1),
+        }
     }
 
     /// The paper's edge-link spec: 10 Mbps, 2 ms.
     pub fn edge() -> Self {
-        LinkSpec { bandwidth_bps: 10_000_000, latency: SimDuration::from_millis(2) }
+        LinkSpec {
+            bandwidth_bps: 10_000_000,
+            latency: SimDuration::from_millis(2),
+        }
     }
 
     /// Time to push `bytes` onto the wire (serialisation only).
@@ -144,7 +150,10 @@ impl Graph {
     /// Panics if either endpoint is out of range or the endpoints are
     /// equal (self-loops are meaningless here).
     pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
-        assert!(a.0 < self.roles.len() && b.0 < self.roles.len(), "endpoint out of range");
+        assert!(
+            a.0 < self.roles.len() && b.0 < self.roles.len(),
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loop");
         let id = LinkId(self.links.len());
         self.links.push(Link { a, b, spec });

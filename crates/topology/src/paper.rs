@@ -30,8 +30,12 @@ pub enum PaperTopology {
 
 impl PaperTopology {
     /// All four, in order.
-    pub const ALL: [PaperTopology; 4] =
-        [PaperTopology::Topo1, PaperTopology::Topo2, PaperTopology::Topo3, PaperTopology::Topo4];
+    pub const ALL: [PaperTopology; 4] = [
+        PaperTopology::Topo1,
+        PaperTopology::Topo2,
+        PaperTopology::Topo3,
+        PaperTopology::Topo4,
+    ];
 
     /// The Table III entity counts.
     pub fn spec(self) -> TopologySpec {
@@ -97,9 +101,27 @@ mod tests {
     #[test]
     fn table_iii_counts() {
         let t1 = PaperTopology::Topo1.spec();
-        assert_eq!((t1.core_routers, t1.edge_routers, t1.providers, t1.clients, t1.attackers), (80, 20, 10, 35, 15));
+        assert_eq!(
+            (
+                t1.core_routers,
+                t1.edge_routers,
+                t1.providers,
+                t1.clients,
+                t1.attackers
+            ),
+            (80, 20, 10, 35, 15)
+        );
         let t4 = PaperTopology::Topo4.spec();
-        assert_eq!((t4.core_routers, t4.edge_routers, t4.providers, t4.clients, t4.attackers), (560, 40, 10, 213, 87));
+        assert_eq!(
+            (
+                t4.core_routers,
+                t4.edge_routers,
+                t4.providers,
+                t4.clients,
+                t4.attackers
+            ),
+            (560, 40, 10, 213, 87)
+        );
     }
 
     #[test]
@@ -107,7 +129,10 @@ mod tests {
         for topo in PaperTopology::ALL {
             let s = topo.spec();
             let frac = s.attackers as f64 / s.users() as f64;
-            assert!((0.28..=0.34).contains(&frac), "{topo}: attacker fraction {frac}");
+            assert!(
+                (0.28..=0.34).contains(&frac),
+                "{topo}: attacker fraction {frac}"
+            );
         }
     }
 

@@ -70,7 +70,10 @@ impl Topology {
     ///
     /// Panics if `user` is not a leaf user node.
     pub fn access_point_of(&self, user: NodeId) -> NodeId {
-        debug_assert!(matches!(self.graph.role(user), Role::Client | Role::Attacker));
+        debug_assert!(matches!(
+            self.graph.role(user),
+            Role::Client | Role::Attacker
+        ));
         self.graph
             .neighbors(user)
             .next()
@@ -97,7 +100,10 @@ impl Topology {
     /// Panics if `provider` has no neighbour.
     pub fn gateway_of(&self, provider: NodeId) -> NodeId {
         debug_assert_eq!(self.graph.role(provider), Role::Provider);
-        self.graph.neighbors(provider).next().expect("provider must be attached")
+        self.graph
+            .neighbors(provider)
+            .next()
+            .expect("provider must be attached")
     }
 }
 
@@ -152,7 +158,11 @@ pub fn build_topology(spec: &TopologySpec, rng: &mut Rng) -> Topology {
     let mut attackers = Vec::with_capacity(spec.attackers);
     for i in 0..spec.users() {
         let ap = access_points[(offset + i) % access_points.len()];
-        let role = if i < spec.clients { Role::Client } else { Role::Attacker };
+        let role = if i < spec.clients {
+            Role::Client
+        } else {
+            Role::Attacker
+        };
         let u = graph.add_node(role);
         graph.add_link(u, ap, LinkSpec::edge());
         if role == Role::Client {
@@ -162,7 +172,15 @@ pub fn build_topology(spec: &TopologySpec, rng: &mut Rng) -> Topology {
         }
     }
 
-    Topology { graph, core_routers, edge_routers, access_points, providers, clients, attackers }
+    Topology {
+        graph,
+        core_routers,
+        edge_routers,
+        access_points,
+        providers,
+        clients,
+        attackers,
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +188,13 @@ mod tests {
     use super::*;
 
     fn spec() -> TopologySpec {
-        TopologySpec { core_routers: 30, edge_routers: 5, providers: 3, clients: 12, attackers: 6 }
+        TopologySpec {
+            core_routers: 30,
+            edge_routers: 5,
+            providers: 3,
+            clients: 12,
+            attackers: 6,
+        }
     }
 
     #[test]
@@ -232,7 +256,12 @@ mod tests {
         let max_edge = t
             .edge_routers
             .iter()
-            .map(|&e| t.graph.neighbors(e).filter(|&n| matches!(t.graph.role(n), Role::CoreRouter | Role::EdgeRouter)).count())
+            .map(|&e| {
+                t.graph
+                    .neighbors(e)
+                    .filter(|&n| matches!(t.graph.role(n), Role::CoreRouter | Role::EdgeRouter))
+                    .count()
+            })
             .max()
             .unwrap();
         let max_core = t

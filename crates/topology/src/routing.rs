@@ -56,7 +56,10 @@ pub fn routes_toward(graph: &Graph, target: NodeId) -> Vec<Option<RouteEntry>> {
                 None
             } else {
                 match (next[i], dist[i]) {
-                    (Some(hop), Some(cost)) => Some(RouteEntry { next_hop: hop, cost }),
+                    (Some(hop), Some(cost)) => Some(RouteEntry {
+                        next_hop: hop,
+                        cost,
+                    }),
                     _ => None,
                 }
             }
@@ -98,7 +101,14 @@ mod tests {
         let b = g.add_node(Role::CoreRouter);
         let c = g.add_node(Role::CoreRouter);
         // a-c direct over a slow edge link (2 ms), a-b-c over core links (1+1 ms).
-        g.add_link(a, c, LinkSpec { bandwidth_bps: 10_000_000, latency: SimDuration::from_millis(5) });
+        g.add_link(
+            a,
+            c,
+            LinkSpec {
+                bandwidth_bps: 10_000_000,
+                latency: SimDuration::from_millis(5),
+            },
+        );
         g.add_link(a, b, LinkSpec::core());
         g.add_link(b, c, LinkSpec::core());
         let routes = routes_toward(&g, c);
@@ -133,7 +143,11 @@ mod tests {
         g.add_link(c, d, LinkSpec::core());
         for _ in 0..5 {
             let routes = routes_toward(&g, d);
-            assert_eq!(routes[a.0].unwrap().next_hop, b, "lowest-id branch wins ties");
+            assert_eq!(
+                routes[a.0].unwrap().next_hop,
+                b,
+                "lowest-id branch wins ties"
+            );
         }
     }
 

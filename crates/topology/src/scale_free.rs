@@ -28,7 +28,10 @@ impl BaParams {
     pub fn new(nodes: usize, edges_per_node: usize) -> Self {
         assert!(nodes >= 2, "need at least two nodes");
         assert!(edges_per_node >= 1, "need at least one edge per node");
-        BaParams { nodes, edges_per_node }
+        BaParams {
+            nodes,
+            edges_per_node,
+        }
     }
 }
 

@@ -27,7 +27,10 @@ fn run(dwell_secs: u64, ap_checks: bool) -> tactic::metrics::RunReport {
 }
 
 fn main() {
-    println!("{:<28} {:>7} {:>12} {:>12} {:>14}", "scenario", "moves", "client ratio", "tag reqs", "mean lat (ms)");
+    println!(
+        "{:<28} {:>7} {:>12} {:>12} {:>14}",
+        "scenario", "moves", "client ratio", "tag reqs", "mean lat (ms)"
+    );
     println!("{}", "-".repeat(78));
     for (label, dwell, ap) in [
         ("static", 0, false),

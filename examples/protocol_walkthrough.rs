@@ -34,9 +34,16 @@ fn main() {
     // ── A provider with a 50x50 catalog (§8.A) ──
     let mut provider = Provider::new(ProviderConfig::paper("/films".parse().unwrap()));
     certs
-        .register(Certificate::issue("/films", provider.keypair().public(), &anchor))
+        .register(Certificate::issue(
+            "/films",
+            provider.keypair().public(),
+            &anchor,
+        ))
         .expect("anchor-signed certificate");
-    println!("provider /films certified; routers hold {} provider key(s)", certs.len());
+    println!(
+        "provider /films certified; routers hold {} provider key(s)",
+        certs.len()
+    );
 
     // ── An edge router and a core (content) router ──
     let mut edge = TacticRouter::new(RouterConfig::paper(RouterRole::Edge), certs.clone());
@@ -49,7 +56,9 @@ fn main() {
     provider.grant(7, AccessLevel::Level(2));
     let reg = registration_interest(&"/films".parse().unwrap(), 7, 1, 1001);
     let (replies, _) = provider.handle_interest(&reg, SimTime::ZERO, &mut rng, &cost);
-    let Packet::Data(reg_resp) = &replies[0] else { panic!("registration answered") };
+    let Packet::Data(reg_resp) = &replies[0] else {
+        panic!("registration answered")
+    };
     let tag = ext::data_new_tag(reg_resp).expect("fresh tag");
     println!(
         "client 7 registered: tag grants {} until {}, signed by /films",
@@ -80,8 +89,16 @@ fn main() {
     ext::set_data_tag(&mut echo, &tag);
     core.handle_data(echo, UPSTREAM, SimTime::from_secs(1), &mut rng, &cost);
 
-    let out = core.handle_interest(forwarded.clone(), UPSTREAM, SimTime::from_secs(1), &mut rng, &cost);
-    let Packet::Data(served) = &out.sends[0].1 else { panic!("content served") };
+    let out = core.handle_interest(
+        forwarded.clone(),
+        UPSTREAM,
+        SimTime::from_secs(1),
+        &mut rng,
+        &cost,
+    );
+    let Packet::Data(served) = &out.sends[0].1 else {
+        panic!("content served")
+    };
     assert!(ext::data_nack(served).is_none());
     println!(
         "content router: cache hit, tag verified ({} verification(s)), chunk served with F echoed",
@@ -105,7 +122,9 @@ fn main() {
     let mut evil = Interest::new("/films/obj3/c0".parse().unwrap(), 3001);
     ext::set_interest_tag(&mut evil, &forged);
     let out = core.handle_interest(evil, UPSTREAM, SimTime::from_secs(2), &mut rng, &cost);
-    let Packet::Data(nacked) = &out.sends[0].1 else { panic!("content+NACK for routers") };
+    let Packet::Data(nacked) = &out.sends[0].1 else {
+        panic!("content+NACK for routers")
+    };
     assert!(ext::data_nack(nacked).is_some());
     println!(
         "forgery: bogus signature -> content-tag-NACK tuple toward routers (edges drop it before clients)"

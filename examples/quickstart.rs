@@ -48,16 +48,29 @@ fn main() {
     println!("-- Router work (Fig. 7 view) --");
     println!(
         "edge routers: {} BF lookups, {} insertions, {} signature verifications",
-        report.edge_ops.bf_lookups, report.edge_ops.bf_insertions, report.edge_ops.sig_verifications
+        report.edge_ops.bf_lookups,
+        report.edge_ops.bf_insertions,
+        report.edge_ops.sig_verifications
     );
     println!(
         "core routers: {} BF lookups, {} insertions, {} signature verifications",
-        report.core_ops.bf_lookups, report.core_ops.bf_insertions, report.core_ops.sig_verifications
+        report.core_ops.bf_lookups,
+        report.core_ops.bf_insertions,
+        report.core_ops.sig_verifications
     );
     println!();
-    println!("mean retrieval latency  : {:.1} ms", report.mean_latency() * 1e3);
+    println!(
+        "mean retrieval latency  : {:.1} ms",
+        report.mean_latency() * 1e3
+    );
 
-    assert!(report.delivery.client_ratio() > 0.9, "clients should be served");
-    assert!(report.delivery.attacker_ratio() < 0.05, "attackers should be blocked");
+    assert!(
+        report.delivery.client_ratio() > 0.9,
+        "clients should be served"
+    );
+    assert!(
+        report.delivery.attacker_ratio() < 0.05,
+        "attackers should be blocked"
+    );
     println!("\nOK: legitimate clients served, attackers blocked.");
 }

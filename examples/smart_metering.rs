@@ -72,11 +72,12 @@ fn main() {
     );
 
     // Show the per-consumer split for one attacker.
-    if let Some((kind, stats)) = report
-        .consumers
-        .iter()
-        .find(|(k, _)| matches!(k, ConsumerKind::Attacker(AttackerStrategy::InsufficientLevel)))
-    {
+    if let Some((kind, stats)) = report.consumers.iter().find(|(k, _)| {
+        matches!(
+            k,
+            ConsumerKind::Attacker(AttackerStrategy::InsufficientLevel)
+        )
+    }) {
         println!();
         println!(
             "sample box ({kind:?}): {} requested, {} received, {} timeouts",

@@ -33,7 +33,10 @@ fn main() {
         report.delivery.attacker_requested,
         100.0 * report.delivery.attacker_ratio()
     );
-    println!("edge routers recorded {} tag sightings", report.sightings.len());
+    println!(
+        "edge routers recorded {} tag sightings",
+        report.sightings.len()
+    );
 
     // Feed the sightings (chronologically) to the tracer.
     let mut sightings = report.sightings.clone();
@@ -68,7 +71,10 @@ fn main() {
         flagged.len(),
         observed.len()
     );
-    assert!(!flagged.is_empty(), "the shared identities must be convicted");
+    assert!(
+        !flagged.is_empty(),
+        "the shared identities must be convicted"
+    );
     assert!(flagged.len() < observed.len(), "no blanket accusations");
     println!("Next step for a provider: revoke(identity) — expiry does the rest.");
 }

@@ -51,8 +51,14 @@ fn main() {
         auth.client_ratio(),
         auth.mean_latency() * 1e3
     );
-    println!("  origin load: {} chunks served by providers (cache hits: {})", auth.provider_handled, auth.cache_hits);
-    println!("  per-request authentications at origin: {}", auth.provider_auth_ops);
+    println!(
+        "  origin load: {} chunks served by providers (cache hits: {})",
+        auth.provider_handled, auth.cache_hits
+    );
+    println!(
+        "  per-request authentications at origin: {}",
+        auth.provider_auth_ops
+    );
 
     // Client-side AC: everyone can pull the encrypted bits.
     let client_side = run_baseline(&scenario, Mechanism::ClientSideAc, 11);
@@ -80,7 +86,10 @@ fn main() {
     );
 
     assert!(tactic_report.delivery.attacker_ratio() < 0.05);
-    assert!(client_side.attacker_ratio() > 0.5, "client-side AC must leak encrypted content");
+    assert!(
+        client_side.attacker_ratio() > 0.5,
+        "client-side AC must leak encrypted content"
+    );
     assert!(auth.provider_handled > tactic_report.providers.chunks_served);
     println!("\nOK: TACTIC keeps cache benefits without the leakage or the origin load.");
 }

@@ -15,8 +15,16 @@ fn quick(mut s: Scenario, secs: u64, seed: u64) -> tactic::metrics::RunReport {
 fn clients_are_served_attackers_are_not() {
     let r = quick(Scenario::small(), 12, 1);
     assert!(r.delivery.client_requested > 100);
-    assert!(r.delivery.client_ratio() > 0.95, "client ratio {}", r.delivery.client_ratio());
-    assert!(r.delivery.attacker_ratio() < 0.01, "attacker ratio {}", r.delivery.attacker_ratio());
+    assert!(
+        r.delivery.client_ratio() > 0.95,
+        "client ratio {}",
+        r.delivery.client_ratio()
+    );
+    assert!(
+        r.delivery.attacker_ratio() < 0.01,
+        "attacker ratio {}",
+        r.delivery.attacker_ratio()
+    );
     // Attackers are throttled by request expiry, so they request far less
     // than clients (the paper's Table IV shape).
     assert!(r.delivery.attacker_requested < r.delivery.client_requested / 2);
@@ -40,7 +48,10 @@ fn registration_cycle_follows_tag_expiry() {
     let r = quick(s, 16, 2);
     // 16 s with 5 s tags: active clients re-register at least twice.
     let per_client_q = r.tag_requests.len() as f64 / 6.0;
-    assert!(per_client_q >= 2.0, "per-client registrations {per_client_q}");
+    assert!(
+        per_client_q >= 2.0,
+        "per-client registrations {per_client_q}"
+    );
     // Essentially all registrations are answered.
     assert!(r.tags_received.len() * 10 >= r.tag_requests.len() * 8);
 }
@@ -64,7 +75,10 @@ fn longer_tags_mean_fewer_registrations() {
 #[test]
 fn caches_offload_the_providers() {
     let r = quick(Scenario::small(), 12, 4);
-    let served_by_network = r.delivery.client_received.saturating_sub(r.providers.chunks_served);
+    let served_by_network = r
+        .delivery
+        .client_received
+        .saturating_sub(r.providers.chunks_served);
     assert!(
         served_by_network > r.delivery.client_received / 4,
         "cache hits should serve a sizeable share: origin {} of {}",
@@ -94,7 +108,11 @@ fn public_catalog_needs_no_tags_at_all() {
     // Most attackers succeed too — the content is public. (Expired-tag
     // attackers are still dropped: Protocol 1 rejects a stale tag at the
     // edge before anyone knows the content is public.)
-    assert!(r.delivery.attacker_ratio() > 0.5, "attacker ratio {}", r.delivery.attacker_ratio());
+    assert!(
+        r.delivery.attacker_ratio() > 0.5,
+        "attacker ratio {}",
+        r.delivery.attacker_ratio()
+    );
     assert!(
         r.edge_ops.precheck_rejections > 0,
         "expired tags are rejected regardless of content level"

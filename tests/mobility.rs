@@ -20,7 +20,11 @@ fn mobile_scenario(mean_dwell_secs: u64, fraction: f64) -> Scenario {
 #[test]
 fn handovers_happen_and_clients_stay_served() {
     let r = run_scenario(&mobile_scenario(4, 1.0), 1);
-    assert!(r.moves >= 10, "expected plenty of handovers, got {}", r.moves);
+    assert!(
+        r.moves >= 10,
+        "expected plenty of handovers, got {}",
+        r.moves
+    );
     assert!(
         r.delivery.client_ratio() > 0.85,
         "mobile clients must keep retrieving (ratio {})",
@@ -53,10 +57,16 @@ fn mobility_increases_tag_traffic() {
 fn per_consumer_move_counts_are_reported() {
     let r = run_scenario(&mobile_scenario(4, 0.5), 3);
     let total_consumer_moves: u64 = r.consumers.iter().map(|(_, s)| s.moves).sum();
-    assert_eq!(total_consumer_moves, r.moves, "network and consumer move counts agree");
+    assert_eq!(
+        total_consumer_moves, r.moves,
+        "network and consumer move counts agree"
+    );
     // Only the mobile fraction moves.
     let movers = r.consumers.iter().filter(|(_, s)| s.moves > 0).count();
-    assert!((1..=3).contains(&movers), "roughly half of 6 clients move, got {movers}");
+    assert!(
+        (1..=3).contains(&movers),
+        "roughly half of 6 clients move, got {movers}"
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn fig8_shape_bigger_filters_reset_less() {
         r_tiny.edge_ops.bf_resets,
         r_large.edge_ops.bf_resets
     );
-    assert!(r_tiny.edge_ops.bf_resets >= 3, "the tiny filter must actually cycle");
+    assert!(
+        r_tiny.edge_ops.bf_resets >= 3,
+        "the tiny filter must actually cycle"
+    );
 }
 
 /// Fig. 8's FPP sweep: a looser reset threshold absorbs more requests per
@@ -66,7 +69,10 @@ fn fig6_shape_tag_rates_scale_with_validity() {
     let rs = run_scenario(&short, 3);
     let rl = run_scenario(&long, 3);
     let ratio = rs.tag_request_rate() / rl.tag_request_rate().max(1e-9);
-    assert!(ratio > 2.0, "short-validity Q rate should be several times higher, got {ratio:.2}x");
+    assert!(
+        ratio > 2.0,
+        "short-validity Q rate should be several times higher, got {ratio:.2}x"
+    );
 }
 
 /// Fig. 7's headline: cheap lookups dominate; expensive verifications are
@@ -76,8 +82,10 @@ fn fig7_shape_lookups_dominate_verifications() {
     let r = run_scenario(&base(15), 4);
     assert!(r.edge_ops.bf_lookups as f64 > 20.0 * r.edge_ops.sig_verifications as f64);
     // Core routers do less total work than edges (aggregation + flag F).
-    assert!(r.core_ops.bf_lookups + r.core_ops.sig_verifications
-        < r.edge_ops.bf_lookups + r.edge_ops.sig_verifications);
+    assert!(
+        r.core_ops.bf_lookups + r.core_ops.sig_verifications
+            < r.edge_ops.bf_lookups + r.edge_ops.sig_verifications
+    );
 }
 
 /// The flag-F cooperation is what keeps content-router verification rare:
@@ -91,8 +99,14 @@ fn ablation_flag_f_reduces_verifications() {
     let r_off = run_scenario(&off, 5);
     let v_on = r_on.edge_ops.sig_verifications + r_on.core_ops.sig_verifications;
     let v_off = r_off.edge_ops.sig_verifications + r_off.core_ops.sig_verifications;
-    assert!(v_off > v_on, "flag F off: {v_off} verifications vs on: {v_on}");
-    assert!(r_off.delivery.client_ratio() > 0.95, "delivery unharmed either way");
+    assert!(
+        v_off > v_on,
+        "flag F off: {v_off} verifications vs on: {v_on}"
+    );
+    assert!(
+        r_off.delivery.client_ratio() > 0.95,
+        "delivery unharmed either way"
+    );
 }
 
 /// §1's motivation, quantified: client-side AC wastes bandwidth on
@@ -103,7 +117,10 @@ fn baseline_shape_client_side_ac_leaks_tactic_does_not() {
     let tactic_run = run_scenario(&s, 6);
     let leaky = run_baseline(&s, Mechanism::ClientSideAc, 6);
     assert_eq!(tactic_run.delivery.attacker_received, 0);
-    assert!(leaky.attacker_received > 100, "client-side AC delivers to attackers");
+    assert!(
+        leaky.attacker_received > 100,
+        "client-side AC delivers to attackers"
+    );
     assert!(leaky.attacker_bytes > 500_000);
 }
 

@@ -6,7 +6,11 @@ use tactic::net::run_scenario;
 use tactic::scenario::Scenario;
 use tactic_sim::time::SimDuration;
 
-fn run_with_mix(mix: Vec<AttackerStrategy>, ap_enabled: bool, seed: u64) -> tactic::metrics::RunReport {
+fn run_with_mix(
+    mix: Vec<AttackerStrategy>,
+    ap_enabled: bool,
+    seed: u64,
+) -> tactic::metrics::RunReport {
     let mut s = Scenario::small();
     s.duration = SimDuration::from_secs(12);
     s.attacker_mix = mix;
@@ -18,7 +22,10 @@ fn run_with_mix(mix: Vec<AttackerStrategy>, ap_enabled: bool, seed: u64) -> tact
 fn threat_a_no_tag_is_blocked() {
     let r = run_with_mix(vec![AttackerStrategy::NoTag], false, 1);
     assert!(r.delivery.attacker_requested > 20);
-    assert_eq!(r.delivery.attacker_received, 0, "untagged requests must never retrieve protected content");
+    assert_eq!(
+        r.delivery.attacker_received, 0,
+        "untagged requests must never retrieve protected content"
+    );
 }
 
 #[test]
@@ -83,7 +90,11 @@ fn threat_e_shared_tag_blocked_by_access_paths() {
         r.delivery.attacker_received, 0,
         "with AP checks the shared tag's frozen path mismatches"
     );
-    assert!(r.edge_ops.ap_rejections > 20, "AP rejections: {}", r.edge_ops.ap_rejections);
+    assert!(
+        r.edge_ops.ap_rejections > 20,
+        "AP rejections: {}",
+        r.edge_ops.ap_rejections
+    );
 }
 
 #[test]
@@ -104,12 +115,15 @@ fn revocation_takes_effect_within_one_validity_period() {
     // from the very start of the run (their preset tag is already stale).
     let r = run_with_mix(vec![AttackerStrategy::ExpiredTag], false, 7);
     assert_eq!(r.delivery.attacker_received, 0);
-    assert_eq!(r.providers.tags_issued as usize, r.tags_received.len() + {
-        // Setup-time issuance for the preset tags (2 providers × attackers).
-        let attackers = 3;
-        let providers = 2;
-        attackers * providers
-    });
+    assert_eq!(
+        r.providers.tags_issued as usize,
+        r.tags_received.len() + {
+            // Setup-time issuance for the preset tags (2 providers × attackers).
+            let attackers = 3;
+            let providers = 2;
+            attackers * providers
+        }
+    );
 }
 
 #[test]

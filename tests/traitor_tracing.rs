@@ -38,7 +38,11 @@ fn shared_tags_are_detected_even_without_enforcement() {
         "the victim identities used from two locations must be flagged"
     );
     // Repeated concurrent use keeps producing evidence.
-    assert!(tracer.alerts().len() >= 5, "alerts: {}", tracer.alerts().len());
+    assert!(
+        tracer.alerts().len() >= 5,
+        "alerts: {}",
+        tracer.alerts().len()
+    );
 }
 
 #[test]
