@@ -25,7 +25,9 @@
 pub mod comparison;
 pub mod mechanism;
 pub mod net;
+pub mod provider;
 
 pub use comparison::{render_table_ii, Burden, Enforcement, MechanismProfile, TABLE_II};
 pub use mechanism::Mechanism;
 pub use net::{run_baseline, BaselineNetwork, BaselineReport};
+pub use provider::BaselineProvider;

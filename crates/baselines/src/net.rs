@@ -1,30 +1,32 @@
-//! A baseline-mechanism network simulation.
+//! The baseline node plane: vanilla NDN routers plus one of the
+//! [`Mechanism`] baselines, driven by the *same* shared [`tactic_net`]
+//! transport as the TACTIC simulation.
 //!
-//! Runs the same topologies, link models, and Zipf-window workload as the
-//! TACTIC simulation, but with vanilla NDN routers and one of the
-//! [`Mechanism`] baselines, to quantify the paper's motivation (§1): how
-//! much bandwidth client-side AC wastes on unauthorized users, and how
-//! much load/latency an always-online provider-auth scheme costs.
+//! Because both planes run on one event loop, "same topologies, link
+//! models, and Zipf-window workload" is structural: the comparison in the
+//! paper's motivation (§1) — how much bandwidth client-side AC wastes on
+//! unauthorized users, how much load/latency always-online provider auth
+//! costs — differs only in node logic.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use tactic::scenario::{Scenario, TopologyChoice};
 use tactic_ndn::face::FaceId;
 use tactic_ndn::forwarder::{process_data, process_interest, InterestAction, Tables};
 use tactic_ndn::name::Name;
-use tactic_ndn::packet::{Data, Interest, Packet, Payload};
-use tactic_ndn::wire::wire_size;
-use tactic_sim::cost::{CostModel, Op};
-use tactic_sim::dist::Zipf;
-use tactic_sim::engine::Engine;
+use tactic_ndn::packet::{Interest, Packet};
+use tactic_net::{
+    populate_fib, provider_prefix, ApRelay, Catalog, Emit, Links, Net, NetConfig, NetObserver,
+    NodePlane, NoopObserver, PlaneCtx, RequesterConfig, TransportReport, ZipfRequester,
+};
 use tactic_sim::rng::Rng;
-use tactic_sim::stats::TimeSeries;
+use tactic_sim::stats::{ratio, TimeSeries};
 use tactic_sim::time::{SimDuration, SimTime};
-use tactic_topology::graph::{LinkSpec, NodeId, Role};
+use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
-use tactic_topology::routing::routes_toward;
 
 use crate::mechanism::Mechanism;
+use crate::provider::BaselineProvider;
 
 /// What one baseline run measured.
 #[derive(Debug, Clone, Default)]
@@ -78,364 +80,39 @@ impl BaselineReport {
     }
 }
 
-fn ratio(n: u64, d: u64) -> f64 {
-    if d == 0 {
-        0.0
-    } else {
-        n as f64 / d as f64
-    }
-}
-
-#[derive(Debug)]
-enum Ev {
-    Deliver {
-        node: NodeId,
-        face: FaceId,
-        packet: Packet,
-    },
-    Start {
-        node: NodeId,
-    },
-    Timeout {
-        node: NodeId,
-        name: Name,
-        sent: SimTime,
-    },
-    Purge,
-}
-
-struct Requester {
-    principal: u64,
-    is_client: bool,
-    window: usize,
-    timeout: SimDuration,
-    zipf: Zipf,
-    rng: Rng,
-    catalog: Vec<(Name, usize, usize)>, // (prefix, objects, chunks)
-    per_session_names: bool,
-    current: Option<(usize, usize, usize)>,
-    retry: VecDeque<(usize, usize, usize)>,
-    in_flight: HashMap<Name, SimTime>,
-    nonce: u64,
-    requested: u64,
-    received: u64,
-    received_bytes: u64,
-    latencies: Vec<(SimTime, f64)>,
-}
-
-impl Requester {
-    fn chunk_name(&self, prov: usize, obj: usize, chunk: usize) -> Name {
-        let base = self.catalog[prov]
-            .0
-            .child(format!("obj{obj}"))
-            .child(format!("c{chunk}"));
-        if self.per_session_names {
-            base.child(format!("u{}", self.principal))
-        } else {
-            base
-        }
-    }
-
-    fn next_work(&mut self) -> (usize, usize, usize) {
-        if let Some(w) = self.retry.pop_front() {
-            return w;
-        }
-        match self.current {
-            Some((p, o, c)) if c < self.catalog[p].2 => {
-                self.current = Some((p, o, c + 1));
-                (p, o, c)
-            }
-            _ => {
-                let mut rank = self.zipf.sample(&mut self.rng);
-                let mut prov = 0;
-                for (i, c) in self.catalog.iter().enumerate() {
-                    if rank < c.1 {
-                        prov = i;
-                        break;
-                    }
-                    rank -= c.1;
-                }
-                self.current = Some((prov, rank, 1));
-                (prov, rank, 0)
-            }
-        }
-    }
-
-    fn fill(&mut self, now: SimTime) -> Vec<Interest> {
-        let mut out = Vec::new();
-        while self.in_flight.len() < self.window {
-            let (p, o, c) = self.next_work();
-            let name = self.chunk_name(p, o, c);
-            if self.in_flight.contains_key(&name) {
-                continue;
-            }
-            self.nonce += 1;
-            let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
-            i.set_lifetime_ms((self.timeout.as_nanos() / 1_000_000) as u32);
-            self.requested += 1;
-            self.in_flight.insert(name, now);
-            out.push(i);
-        }
-        out
-    }
-
-    fn on_data(&mut self, d: &Data, now: SimTime) -> Vec<Interest> {
-        if let Some(sent) = self.in_flight.remove(d.name()) {
-            self.received += 1;
-            self.received_bytes += d.payload().len() as u64;
-            self.latencies
-                .push((now, now.saturating_since(sent).as_secs_f64()));
-        }
-        self.fill(now)
-    }
-
-    fn on_timeout(&mut self, name: &Name, sent: SimTime, now: SimTime) -> Vec<Interest> {
-        if self.in_flight.get(name) != Some(&sent) {
-            return Vec::new();
-        }
-        self.in_flight.remove(name);
-        // Re-derive the work from the name is unnecessary: just refill; the
-        // Zipf walk continues (lost chunks are abandoned, matching an
-        // attacker hammering or a client moving on after expiry).
-        self.fill(now)
-    }
-}
-
-struct BaselineProvider {
-    prefix: Name,
-    objects: usize,
-    chunks: usize,
-    chunk_size: usize,
-    authorized: std::collections::HashSet<u64>,
-    handled: u64,
-    auth_ops: u64,
-}
-
-impl BaselineProvider {
-    /// Parses `/<prefix>/objI/cJ[/uN]`.
-    fn parse(&self, name: &Name) -> Option<(usize, usize, Option<u64>)> {
-        if !self.prefix.is_prefix_of(name) {
-            return None;
-        }
-        let rest = name.len() - self.prefix.len();
-        if !(2..=3).contains(&rest) {
-            return None;
-        }
-        let obj: usize = std::str::from_utf8(name.get(self.prefix.len())?.as_bytes())
-            .ok()?
-            .strip_prefix("obj")?
-            .parse()
-            .ok()?;
-        let chunk: usize = std::str::from_utf8(name.get(self.prefix.len() + 1)?.as_bytes())
-            .ok()?
-            .strip_prefix('c')?
-            .parse()
-            .ok()?;
-        let principal = if rest == 3 {
-            Some(
-                std::str::from_utf8(name.get(self.prefix.len() + 2)?.as_bytes())
-                    .ok()?
-                    .strip_prefix('u')?
-                    .parse()
-                    .ok()?,
-            )
-        } else {
-            None
-        };
-        (obj < self.objects && chunk < self.chunks).then_some((obj, chunk, principal))
-    }
-
-    fn handle(
-        &mut self,
-        interest: &Interest,
-        mechanism: Mechanism,
-        rng: &mut Rng,
-        cost: &CostModel,
-    ) -> (Option<Data>, SimDuration) {
-        let mut charge = SimDuration::ZERO;
-        let Some((_, _, principal)) = self.parse(interest.name()) else {
-            return (None, charge);
-        };
-        self.handled += 1;
-        if mechanism.per_request_provider_auth() {
-            self.auth_ops += 1;
-            charge += cost.sample(Op::SigVerify, rng);
-            match principal {
-                Some(p) if self.authorized.contains(&p) => {}
-                _ => return (None, charge), // Unauthorized: drop.
-            }
-        }
-        let d = Data::new(interest.name().clone(), Payload::Synthetic(self.chunk_size));
-        (Some(d), charge)
-    }
-}
-
 enum Node {
     Router(Tables),
     Provider(BaselineProvider),
-    Requester(Box<Requester>),
-    Ap {
-        upstream: FaceId,
-        pending: HashMap<Name, Vec<(FaceId, SimTime)>>,
-    },
+    Requester(Box<ZipfRequester>),
+    Ap(ApRelay),
 }
 
-/// The assembled baseline simulation.
-pub struct BaselineNetwork {
+/// A baseline mechanism as a pluggable [`NodePlane`].
+pub struct BaselinePlane {
     mechanism: Mechanism,
-    engine: Engine<Ev>,
     nodes: Vec<Node>,
-    neighbors: Vec<Vec<(NodeId, LinkSpec)>>,
-    face_index: Vec<HashMap<NodeId, FaceId>>,
-    link_busy: HashMap<(usize, usize), SimTime>,
-    rng: Rng,
-    cost: CostModel,
     request_timeout: SimDuration,
 }
 
-impl BaselineNetwork {
-    /// Builds a baseline run from the same [`Scenario`] shape the TACTIC
-    /// simulation uses (tag-related fields are ignored).
-    pub fn build(scenario: &Scenario, mechanism: Mechanism, seed: u64) -> Self {
-        let mut rng = Rng::seed_from_u64(seed ^ 0xBA5E_11E5);
-        let topo: Topology = match scenario.topology {
-            TopologyChoice::Paper(p) => p.build(seed),
-            TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
-        };
-        let n = topo.graph.node_count();
-        let mut neighbors: Vec<Vec<(NodeId, LinkSpec)>> = vec![Vec::new(); n];
-        let mut face_index: Vec<HashMap<NodeId, FaceId>> = vec![HashMap::new(); n];
-        for node in topo.graph.nodes() {
-            for (peer, link_id) in topo.graph.incident(node) {
-                let spec = topo.graph.link(link_id).spec;
-                let face = FaceId::new(neighbors[node.0].len() as u32);
-                neighbors[node.0].push((peer, spec));
-                face_index[node.0].insert(peer, face);
-            }
-        }
-
-        let catalog: Vec<(Name, usize, usize)> = (0..topo.providers.len())
-            .map(|i| {
-                (
-                    format!("/prov{i}").parse().expect("static"),
-                    scenario.objects_per_provider,
-                    scenario.chunks_per_object,
-                )
-            })
-            .collect();
-
-        let clients: std::collections::HashSet<u64> =
-            topo.clients.iter().map(|c| c.0 as u64).collect();
-
-        // Routers: disable caching entirely for provider-auth (protected
-        // content must reach the provider).
-        let cs_capacity = if mechanism.caches_protected_content() {
-            scenario.cs_capacity
-        } else {
-            0
-        };
-
-        let mut tables_map: HashMap<usize, Tables> = HashMap::new();
-        for r in topo.routers() {
-            tables_map.insert(r.0, Tables::new(cs_capacity));
-        }
-        for (i, &pnode) in topo.providers.iter().enumerate() {
-            let prefix: Name = format!("/prov{i}").parse().expect("static");
-            let routes = routes_toward(&topo.graph, pnode);
-            for r in topo.routers() {
-                if let Some(entry) = routes[r.0] {
-                    let face = face_index[r.0][&entry.next_hop];
-                    tables_map.get_mut(&r.0).expect("router").fib.add_route(
-                        prefix.clone(),
-                        face,
-                        (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32,
-                    );
-                }
-            }
-        }
-
-        let total_objects = catalog.iter().map(|c| c.1).sum::<usize>();
-        let mut nodes = Vec::with_capacity(n);
-        let mut provider_idx = 0usize;
-        for node in topo.graph.nodes() {
-            let state = match topo.graph.role(node) {
-                Role::CoreRouter | Role::EdgeRouter => {
-                    Node::Router(tables_map.remove(&node.0).expect("router"))
-                }
-                Role::Provider => {
-                    let (prefix, objects, chunks) = catalog[provider_idx].clone();
-                    provider_idx += 1;
-                    Node::Provider(BaselineProvider {
-                        prefix,
-                        objects,
-                        chunks,
-                        chunk_size: scenario.chunk_size,
-                        authorized: clients.clone(),
-                        handled: 0,
-                        auth_ops: 0,
-                    })
-                }
-                Role::Client | Role::Attacker => Node::Requester(Box::new(Requester {
-                    principal: node.0 as u64,
-                    is_client: topo.graph.role(node) == Role::Client,
-                    window: scenario.window,
-                    timeout: scenario.request_timeout,
-                    zipf: Zipf::new(total_objects, scenario.zipf_alpha),
-                    rng: rng.fork(0x200 + node.0 as u64),
-                    catalog: catalog.clone(),
-                    per_session_names: mechanism.per_request_provider_auth(),
-                    current: None,
-                    retry: VecDeque::new(),
-                    in_flight: HashMap::new(),
-                    nonce: 0,
-                    requested: 0,
-                    received: 0,
-                    received_bytes: 0,
-                    latencies: Vec::new(),
-                })),
-                Role::AccessPoint => {
-                    let upstream = neighbors[node.0]
-                        .iter()
-                        .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
-                        .map(|i| FaceId::new(i as u32))
-                        .expect("AP wired to edge router");
-                    Node::Ap {
-                        upstream,
-                        pending: HashMap::new(),
-                    }
-                }
-            };
-            nodes.push(state);
-        }
-
-        let mut engine = Engine::with_horizon(SimTime::ZERO + scenario.duration);
-        for u in topo.users() {
-            let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
-            engine.schedule(SimTime::ZERO + offset, Ev::Start { node: u });
-        }
-        engine.schedule(SimTime::from_secs(1), Ev::Purge);
-
-        BaselineNetwork {
-            mechanism,
-            engine,
-            nodes,
-            neighbors,
-            face_index,
-            link_busy: HashMap::new(),
-            rng,
-            cost: scenario.cost_model.clone(),
-            request_timeout: scenario.request_timeout,
+impl BaselinePlane {
+    fn push_requester_sends(&self, out: &mut Vec<Emit>, sends: Vec<Interest>) {
+        for i in sends {
+            out.push(Emit::Timeout {
+                name: i.name().clone(),
+                delay: self.request_timeout,
+            });
+            out.push(Emit::Send {
+                face: FaceId::new(0),
+                packet: Packet::Interest(i),
+                compute: SimDuration::ZERO,
+            });
         }
     }
 
-    /// Runs to the horizon and reports.
-    pub fn run(mut self) -> BaselineReport {
-        while let Some(ev) = self.engine.pop() {
-            self.dispatch(ev);
-        }
+    fn into_report(self, transport: TransportReport) -> BaselineReport {
         let mut report = BaselineReport {
             mechanism_name: self.mechanism.to_string(),
-            events: self.engine.processed(),
+            events: transport.events,
             ..Default::default()
         };
         for node in self.nodes {
@@ -461,216 +138,267 @@ impl BaselineNetwork {
                         report.attacker_bytes += r.received_bytes;
                     }
                 }
-                Node::Ap { .. } => {}
+                Node::Ap(_) => {}
             }
         }
         report
     }
+}
 
-    fn dispatch(&mut self, ev: Ev) {
-        let now = self.engine.now();
-        match ev {
-            Ev::Start { node } => {
-                let Node::Requester(r) = &mut self.nodes[node.0] else {
-                    return;
-                };
-                let sends = r.fill(now);
-                self.requester_send(node, sends);
-            }
-            Ev::Timeout { node, name, sent } => {
-                let Node::Requester(r) = &mut self.nodes[node.0] else {
-                    return;
-                };
-                let sends = r.on_timeout(&name, sent, now);
-                self.requester_send(node, sends);
-            }
-            Ev::Purge => {
-                for node in &mut self.nodes {
-                    match node {
-                        Node::Router(t) => {
-                            t.pit.purge_expired(now);
-                        }
-                        Node::Ap { pending, .. } => {
-                            pending.retain(|_, v| {
-                                v.retain(|&(_, t)| {
-                                    now.saturating_since(t) < SimDuration::from_secs(4)
-                                });
-                                !v.is_empty()
-                            });
-                        }
-                        _ => {}
-                    }
-                }
-                self.engine
-                    .schedule_after(SimDuration::from_secs(1), Ev::Purge);
-            }
-            Ev::Deliver { node, face, packet } => match &mut self.nodes[node.0] {
-                Node::Router(tables) => {
-                    let sends: Vec<(FaceId, Packet)> = match &packet {
-                        Packet::Interest(i) => {
-                            match process_interest(tables, i, face, now, Vec::new()) {
-                                InterestAction::ReplyFromCache(d) => vec![(face, Packet::Data(d))],
-                                InterestAction::Forward(f) => vec![(f, packet.clone())],
-                                _ => Vec::new(),
-                            }
-                        }
-                        Packet::Data(d) => {
-                            let action = process_data(tables, d);
-                            action
-                                .downstream
-                                .into_iter()
-                                .map(|rec| (rec.face, Packet::Data(d.clone())))
-                                .collect()
-                        }
-                        Packet::Nack(_) => Vec::new(),
-                    };
-                    for (f, pkt) in sends {
-                        self.transmit(node, f, pkt, SimDuration::ZERO);
-                    }
-                }
-                Node::Provider(p) => {
-                    if let Packet::Interest(i) = &packet {
-                        let (reply, charge) =
-                            p.handle(i, self.mechanism, &mut self.rng, &self.cost);
-                        if let Some(d) = reply {
-                            self.transmit(node, face, Packet::Data(d), charge);
-                        }
-                    }
-                }
-                Node::Requester(r) => {
-                    if let Packet::Data(d) = &packet {
-                        let sends = r.on_data(d, now);
-                        self.requester_send(node, sends);
-                    }
-                }
-                Node::Ap { upstream, pending } => match packet {
+impl NodePlane for BaselinePlane {
+    fn on_packet(
+        &mut self,
+        node: NodeId,
+        face: FaceId,
+        packet: Packet,
+        ctx: &mut PlaneCtx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let now = ctx.now;
+        match &mut self.nodes[node.0] {
+            Node::Router(tables) => {
+                let sends: Vec<(FaceId, Packet)> = match &packet {
                     Packet::Interest(i) => {
-                        if face == *upstream {
-                            return;
+                        match process_interest(tables, i, face, now, Vec::new()) {
+                            InterestAction::ReplyFromCache(d) => vec![(face, Packet::Data(d))],
+                            InterestAction::Forward(f) => vec![(f, packet.clone())],
+                            _ => Vec::new(),
                         }
-                        pending
-                            .entry(i.name().clone())
-                            .or_default()
-                            .push((face, now));
-                        let up = *upstream;
-                        self.transmit(node, up, Packet::Interest(i), SimDuration::ZERO);
                     }
                     Packet::Data(d) => {
-                        let faces = pending.remove(d.name()).unwrap_or_default();
-                        for (f, _) in faces {
-                            self.transmit(node, f, Packet::Data(d.clone()), SimDuration::ZERO);
-                        }
+                        let action = process_data(tables, d);
+                        action
+                            .downstream
+                            .into_iter()
+                            .map(|rec| (rec.face, Packet::Data(d.clone())))
+                            .collect()
                     }
-                    Packet::Nack(_) => {}
-                },
+                    Packet::Nack(_) => Vec::new(),
+                };
+                for (f, pkt) in sends {
+                    out.push(Emit::Send {
+                        face: f,
+                        packet: pkt,
+                        compute: SimDuration::ZERO,
+                    });
+                }
+            }
+            Node::Provider(p) => {
+                if let Packet::Interest(i) = &packet {
+                    let (reply, charge) = p.handle(i, self.mechanism, ctx.rng, ctx.cost);
+                    if let Some(d) = reply {
+                        out.push(Emit::Send {
+                            face,
+                            packet: Packet::Data(d),
+                            compute: charge,
+                        });
+                    }
+                }
+            }
+            Node::Requester(r) => {
+                if let Packet::Data(d) = &packet {
+                    let sends = r.on_data(d, now);
+                    self.push_requester_sends(out, sends);
+                }
+            }
+            Node::Ap(ap) => match packet {
+                Packet::Interest(i) => {
+                    if face == ap.upstream {
+                        return; // Interests never flow AP-ward.
+                    }
+                    // No tag, no identity: baseline replies are broadcast
+                    // to everyone pending on the name.
+                    ap.note(i.name().clone(), face, now, None);
+                    out.push(Emit::Send {
+                        face: ap.upstream,
+                        packet: Packet::Interest(i),
+                        compute: SimDuration::ZERO,
+                    });
+                }
+                Packet::Data(d) => {
+                    for f in ap.claim(d.name(), None) {
+                        out.push(Emit::Send {
+                            face: f,
+                            packet: Packet::Data(d.clone()),
+                            compute: SimDuration::ZERO,
+                        });
+                    }
+                }
+                Packet::Nack(_) => {}
             },
         }
     }
 
-    fn requester_send(&mut self, node: NodeId, sends: Vec<Interest>) {
-        let now = self.engine.now();
-        for i in sends {
-            self.engine.schedule(
-                now + self.request_timeout,
-                Ev::Timeout {
-                    node,
-                    name: i.name().clone(),
-                    sent: now,
-                },
-            );
-            self.transmit(node, FaceId::new(0), Packet::Interest(i), SimDuration::ZERO);
-        }
-    }
-
-    fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
-        let Some(&(to, spec)) = self.neighbors[from.0].get(out_face.index() as usize) else {
+    fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        let Node::Requester(r) = &mut self.nodes[node.0] else {
             return;
         };
-        let now = self.engine.now();
-        let size = wire_size(&packet);
-        let ready = now + compute;
-        let busy = self
-            .link_busy
-            .get(&(from.0, to.0))
-            .copied()
-            .unwrap_or(SimTime::ZERO);
-        let depart = ready.max(busy);
-        let serialize = spec.serialization_delay(size);
-        self.link_busy.insert((from.0, to.0), depart + serialize);
-        let arrival = depart + serialize + spec.latency;
-        let in_face = self.face_index[to.0][&from];
-        self.engine.schedule(
-            arrival,
-            Ev::Deliver {
-                node: to,
-                face: in_face,
-                packet,
-            },
-        );
+        let sends = r.fill(ctx.now);
+        self.push_requester_sends(out, sends);
+    }
+
+    fn on_timeout(
+        &mut self,
+        node: NodeId,
+        name: Name,
+        sent: SimTime,
+        ctx: &mut PlaneCtx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let Node::Requester(r) = &mut self.nodes[node.0] else {
+            return;
+        };
+        let sends = r.on_timeout(&name, sent, ctx.now);
+        self.push_requester_sends(out, sends);
+    }
+
+    fn on_purge(&mut self, now: SimTime) {
+        for node in &mut self.nodes {
+            match node {
+                Node::Router(t) => {
+                    t.pit.purge_expired(now);
+                }
+                Node::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        let Node::Requester(r) = &mut self.nodes[node.0] else {
+            return;
+        };
+        let sends = r.on_move(ctx.now);
+        self.push_requester_sends(out, sends);
+    }
+}
+
+/// The assembled baseline simulation on the shared transport.
+pub struct BaselineNetwork<O = NoopObserver> {
+    net: Net<BaselinePlane, O>,
+}
+
+impl BaselineNetwork {
+    /// Builds a baseline run from the same [`Scenario`] shape the TACTIC
+    /// simulation uses (tag-related fields are ignored; mobility is
+    /// honoured through the shared transport).
+    pub fn build(scenario: &Scenario, mechanism: Mechanism, seed: u64) -> Self {
+        Self::build_observed(scenario, mechanism, seed, NoopObserver)
+    }
+
+    /// Runs to the horizon and reports.
+    pub fn run(self) -> BaselineReport {
+        self.run_observed().0
+    }
+}
+
+impl<O: NetObserver> BaselineNetwork<O> {
+    /// Builds a baseline run with an explicit transport observer.
+    pub fn build_observed(
+        scenario: &Scenario,
+        mechanism: Mechanism,
+        seed: u64,
+        observer: O,
+    ) -> Self {
+        let rng = Rng::seed_from_u64(seed ^ 0xBA5E_11E5);
+        let topo: Topology = match scenario.topology {
+            TopologyChoice::Paper(p) => p.build(seed),
+            TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
+        };
+        let n = topo.graph.node_count();
+        let links = Links::build(&topo);
+
+        let catalog: Catalog = (0..topo.providers.len())
+            .map(|i| {
+                (
+                    provider_prefix(i),
+                    scenario.objects_per_provider,
+                    scenario.chunks_per_object,
+                )
+            })
+            .collect();
+
+        let clients: std::collections::HashSet<u64> =
+            topo.clients.iter().map(|c| c.0 as u64).collect();
+
+        // Routers: disable caching entirely for provider-auth (protected
+        // content must reach the provider).
+        let cs_capacity = if mechanism.caches_protected_content() {
+            scenario.cs_capacity
+        } else {
+            0
+        };
+
+        let mut tables_map: HashMap<usize, Tables> = HashMap::new();
+        for r in topo.routers() {
+            tables_map.insert(r.0, Tables::new(cs_capacity));
+        }
+        populate_fib(&topo, &links, |rnode, _i, prefix, face, cost_us| {
+            tables_map
+                .get_mut(&rnode.0)
+                .expect("router")
+                .fib
+                .add_route(prefix, face, cost_us);
+        });
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut provider_idx = 0usize;
+        for node in topo.graph.nodes() {
+            let state = match topo.graph.role(node) {
+                Role::CoreRouter | Role::EdgeRouter => {
+                    Node::Router(tables_map.remove(&node.0).expect("router"))
+                }
+                Role::Provider => {
+                    let (prefix, objects, chunks) = catalog[provider_idx].clone();
+                    provider_idx += 1;
+                    Node::Provider(BaselineProvider::new(
+                        prefix,
+                        objects,
+                        chunks,
+                        scenario.chunk_size,
+                        clients.clone(),
+                    ))
+                }
+                Role::Client | Role::Attacker => Node::Requester(Box::new(ZipfRequester::new(
+                    RequesterConfig {
+                        principal: node.0 as u64,
+                        is_client: topo.graph.role(node) == Role::Client,
+                        window: scenario.window,
+                        timeout: scenario.request_timeout,
+                        zipf_alpha: scenario.zipf_alpha,
+                        per_session_names: mechanism.per_request_provider_auth(),
+                    },
+                    catalog.clone(),
+                    rng.fork(0x200 + node.0 as u64),
+                ))),
+                Role::AccessPoint => Node::Ap(ApRelay::new(&topo, &links, node)),
+            };
+            nodes.push(state);
+        }
+
+        let plane = BaselinePlane {
+            mechanism,
+            nodes,
+            request_timeout: scenario.request_timeout,
+        };
+        let config = NetConfig {
+            duration: scenario.duration,
+            mobility: scenario.mobility,
+            cost: scenario.cost_model.clone(),
+        };
+        BaselineNetwork {
+            net: Net::assemble_observed(&topo, links, plane, rng, config, observer),
+        }
+    }
+
+    /// Runs to the horizon; returns the report and the observer.
+    pub fn run_observed(self) -> (BaselineReport, O) {
+        let (plane, observer, transport) = self.net.run();
+        (plane.into_report(transport), observer)
     }
 }
 
 /// Builds and runs one baseline.
 pub fn run_baseline(scenario: &Scenario, mechanism: Mechanism, seed: u64) -> BaselineReport {
     BaselineNetwork::build(scenario, mechanism, seed).run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scenario() -> Scenario {
-        let mut s = Scenario::small();
-        s.duration = SimDuration::from_secs(10);
-        s
-    }
-
-    #[test]
-    fn client_side_ac_leaks_encrypted_content_to_attackers() {
-        let r = run_baseline(&scenario(), Mechanism::ClientSideAc, 1);
-        assert!(r.client_ratio() > 0.9, "client ratio {}", r.client_ratio());
-        assert!(
-            r.attacker_ratio() > 0.9,
-            "attackers must receive encrypted content (ratio {})",
-            r.attacker_ratio()
-        );
-        assert!(
-            r.attacker_bytes > 100_000,
-            "wasted bytes {}",
-            r.attacker_bytes
-        );
-        assert!(r.cache_hits > 0, "caches must be used");
-    }
-
-    #[test]
-    fn provider_auth_blocks_attackers_but_loads_provider() {
-        let r = run_baseline(&scenario(), Mechanism::ProviderAuthAc, 1);
-        assert!(r.client_ratio() > 0.9, "client ratio {}", r.client_ratio());
-        assert_eq!(r.attacker_received, 0, "provider auth must block attackers");
-        assert_eq!(r.cache_hits, 0, "no cache reuse under provider auth");
-        assert!(r.provider_auth_ops > 0);
-        // Every answered chunk hit the provider.
-        assert!(r.provider_handled >= r.client_received);
-    }
-
-    #[test]
-    fn provider_auth_handles_more_requests_than_cached_baseline() {
-        let cached = run_baseline(&scenario(), Mechanism::NoAccessControl, 2);
-        let always_on = run_baseline(&scenario(), Mechanism::ProviderAuthAc, 2);
-        // With caching, the provider sees only misses; without, everything.
-        let cached_frac = cached.provider_handled as f64 / cached.client_received.max(1) as f64;
-        let auth_frac = always_on.provider_handled as f64 / always_on.client_received.max(1) as f64;
-        assert!(
-            auth_frac > cached_frac,
-            "provider load: cached {cached_frac:.3} vs always-online {auth_frac:.3}"
-        );
-    }
-
-    #[test]
-    fn deterministic_per_seed() {
-        let a = run_baseline(&scenario(), Mechanism::ClientSideAc, 5);
-        let b = run_baseline(&scenario(), Mechanism::ClientSideAc, 5);
-        assert_eq!(a.client_received, b.client_received);
-        assert_eq!(a.events, b.events);
-    }
 }

@@ -1,0 +1,101 @@
+//! End-to-end behaviour of the baseline mechanisms on the shared
+//! transport: leakage/blocking profiles, provider load, determinism, and
+//! survival under the mobility model.
+
+use tactic::scenario::Scenario;
+use tactic_baselines::net::run_baseline;
+use tactic_baselines::Mechanism;
+use tactic_net::MobilityConfig;
+use tactic_sim::time::SimDuration;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(10);
+    s
+}
+
+#[test]
+fn client_side_ac_leaks_encrypted_content_to_attackers() {
+    let r = run_baseline(&scenario(), Mechanism::ClientSideAc, 1);
+    assert!(r.client_ratio() > 0.9, "client ratio {}", r.client_ratio());
+    assert!(
+        r.attacker_ratio() > 0.9,
+        "attackers must receive encrypted content (ratio {})",
+        r.attacker_ratio()
+    );
+    assert!(
+        r.attacker_bytes > 100_000,
+        "wasted bytes {}",
+        r.attacker_bytes
+    );
+    assert!(r.cache_hits > 0, "caches must be used");
+}
+
+#[test]
+fn provider_auth_blocks_attackers_but_loads_provider() {
+    let r = run_baseline(&scenario(), Mechanism::ProviderAuthAc, 1);
+    assert!(r.client_ratio() > 0.9, "client ratio {}", r.client_ratio());
+    assert_eq!(r.attacker_received, 0, "provider auth must block attackers");
+    assert_eq!(r.cache_hits, 0, "no cache reuse under provider auth");
+    assert!(r.provider_auth_ops > 0);
+    // Every answered chunk hit the provider.
+    assert!(r.provider_handled >= r.client_received);
+}
+
+#[test]
+fn provider_auth_handles_more_requests_than_cached_baseline() {
+    let cached = run_baseline(&scenario(), Mechanism::NoAccessControl, 2);
+    let always_on = run_baseline(&scenario(), Mechanism::ProviderAuthAc, 2);
+    // With caching, the provider sees only misses; without, everything.
+    let cached_frac = cached.provider_handled as f64 / cached.client_received.max(1) as f64;
+    let auth_frac = always_on.provider_handled as f64 / always_on.client_received.max(1) as f64;
+    assert!(
+        auth_frac > cached_frac,
+        "provider load: cached {cached_frac:.3} vs always-online {auth_frac:.3}"
+    );
+}
+
+#[test]
+fn deterministic_per_seed() {
+    let a = run_baseline(&scenario(), Mechanism::ClientSideAc, 5);
+    let b = run_baseline(&scenario(), Mechanism::ClientSideAc, 5);
+    assert_eq!(a.client_received, b.client_received);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn baselines_run_under_mobility() {
+    // Before the shared transport, the baseline `transmit` panicked on
+    // the first handover (unchecked reverse-face lookup). Now every
+    // mechanism must ride the same mobility model the TACTIC plane uses.
+    let mut s = scenario();
+    s.mobility = Some(MobilityConfig {
+        mean_dwell: SimDuration::from_secs(2),
+        mobile_fraction: 1.0,
+    });
+    for mechanism in [
+        Mechanism::NoAccessControl,
+        Mechanism::ClientSideAc,
+        Mechanism::ProviderAuthAc,
+    ] {
+        let r = run_baseline(&s, mechanism, 3);
+        assert!(
+            r.client_ratio() > 0.5,
+            "{mechanism}: mobile client ratio {}",
+            r.client_ratio()
+        );
+    }
+}
+
+#[test]
+fn mobility_off_matches_legacy_schedule() {
+    // `mobility: None` must be byte-for-byte the pre-mobility schedule:
+    // no extra engine events, no extra RNG draws.
+    let mut with_field = scenario();
+    with_field.mobility = None;
+    let a = run_baseline(&with_field, Mechanism::ClientSideAc, 9);
+    let b = run_baseline(&with_field, Mechanism::ClientSideAc, 9);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.client_received, b.client_received);
+    assert_eq!(a.attacker_received, b.attacker_received);
+}

@@ -1,7 +1,7 @@
 //! Run-level measurement aggregation — the quantities behind every figure
 //! and table in the paper's §8.
 
-use tactic_sim::stats::TimeSeries;
+use tactic_sim::stats::{mean_u64, rate_per_second, ratio, TimeSeries};
 use tactic_sim::time::{SimDuration, SimTime};
 
 use crate::consumer::{ConsumerKind, ConsumerStats};
@@ -30,14 +30,6 @@ impl DeliveryStats {
     /// Attackers' successful delivery ratio.
     pub fn attacker_ratio(&self) -> f64 {
         ratio(self.attacker_received, self.attacker_requested)
-    }
-}
-
-fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64
     }
 }
 
@@ -101,12 +93,12 @@ impl RunReport {
 
     /// Per-second tag-request rate averaged over the run (Fig. 6's `Q`).
     pub fn tag_request_rate(&self) -> f64 {
-        rate_per_second(&self.tag_requests, self.duration)
+        rate_per_second(self.tag_requests.len(), self.duration)
     }
 
     /// Per-second tag-receive rate averaged over the run (Fig. 6's `R`).
     pub fn tag_receive_rate(&self) -> f64 {
-        rate_per_second(&self.tags_received, self.duration)
+        rate_per_second(self.tags_received.len(), self.duration)
     }
 
     /// Mean requests absorbed per BF reset at edge routers (Fig. 8a).
@@ -117,23 +109,6 @@ impl RunReport {
     /// Mean requests absorbed per BF reset at core routers (Fig. 8b).
     pub fn core_requests_per_reset(&self) -> f64 {
         mean_u64(&self.core_reset_requests)
-    }
-}
-
-fn rate_per_second(events: &[SimTime], duration: SimDuration) -> f64 {
-    let secs = duration.as_secs_f64();
-    if secs == 0.0 {
-        0.0
-    } else {
-        events.len() as f64 / secs
-    }
-}
-
-fn mean_u64(xs: &[u64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<u64>() as f64 / xs.len() as f64
     }
 }
 

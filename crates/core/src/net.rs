@@ -1,11 +1,12 @@
-//! The event-driven network: topology + routers + providers + consumers
-//! wired into the discrete-event engine.
+//! The TACTIC node plane: routers running Protocols 1–4, providers issuing
+//! tags, access points accumulating the access path, and Zipf-window
+//! consumers — all driven by the shared [`tactic_net`] transport.
 //!
 //! This is the reproduction's equivalent of the paper's ndnSIM scenario:
-//! store-and-forward links with per-link FIFO serialisation (500 Mbps/1 ms
-//! core, 10 Mbps/2 ms edge), access points that accumulate the access
-//! path, routers running Protocols 1–4, providers issuing tags, and
-//! Zipf-window consumers.
+//! the transport supplies store-and-forward links with per-link FIFO
+//! serialisation (500 Mbps/1 ms core, 10 Mbps/2 ms edge) and the
+//! mobility/handover model; this module supplies only what is
+//! TACTIC-specific.
 
 use std::collections::HashMap;
 
@@ -14,14 +15,14 @@ use tactic_crypto::schnorr::KeyPair;
 use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::Packet;
-use tactic_ndn::wire::wire_size;
-use tactic_sim::cost::CostModel;
-use tactic_sim::engine::Engine;
+use tactic_net::{
+    populate_fib, provider_prefix, ApRelay, Emit, Links, Net, NetConfig, NetObserver, NodePlane,
+    NoopObserver, PlaneCtx, TransportReport,
+};
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
-use tactic_topology::graph::{LinkSpec, NodeId, Role};
+use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
-use tactic_topology::routing::routes_toward;
 
 use crate::access::AccessLevel;
 use crate::access_path::AccessPath;
@@ -31,89 +32,6 @@ use crate::metrics::RunReport;
 use crate::provider::{Provider, ProviderConfig};
 use crate::router::{RouterConfig, RouterRole, TacticRouter};
 use crate::scenario::{Scenario, TopologyChoice};
-
-/// Events flowing through the engine.
-#[derive(Debug)]
-enum NetEvent {
-    /// A packet finishes arriving at `node` on `face`.
-    Deliver {
-        node: NodeId,
-        face: FaceId,
-        packet: Packet,
-    },
-    /// A consumer begins its request loop.
-    ConsumerStart { node: NodeId },
-    /// A consumer's outstanding request may have expired.
-    Timeout {
-        node: NodeId,
-        name: Name,
-        sent: SimTime,
-    },
-    /// Periodic PIT / relay-state expiry sweep.
-    Purge,
-    /// A mobile client hands over to a new access point.
-    Move { node: NodeId },
-}
-
-/// An access point: a transparent relay that accumulates the access path
-/// on Interests and demultiplexes returning Data/NACKs to its users.
-///
-/// Demultiplexing is per *requester*, not per name: the edge router sends
-/// one (tag-echoed) copy per authorised downstream record, and the AP
-/// delivers each copy only to the association whose tag identity matches
-/// — a layer-2 unicast, like a real wireless AP delivering to one station.
-/// Without this, an attacker sharing the AP with a legitimate client would
-/// overhear the client's copy of a chunk it also requested.
-#[derive(Debug)]
-struct ApRelay {
-    id: NodeId,
-    upstream: FaceId,
-    /// name → [(user face, sent time, requester identity)]
-    pending: HashMap<Name, Vec<(FaceId, SimTime, Option<u64>)>>,
-}
-
-impl ApRelay {
-    fn purge(&mut self, now: SimTime, horizon: SimDuration) {
-        self.pending.retain(|_, faces| {
-            faces.retain(|&(_, t, _)| now.saturating_since(t) < horizon);
-            !faces.is_empty()
-        });
-    }
-
-    /// Removes and returns the pending faces a reply identified by
-    /// `identity` should go to. `None` (no tag echo: public content,
-    /// registration responses, standalone NACKs) delivers to everyone
-    /// pending on the name.
-    fn claim(&mut self, name: &Name, identity: Option<u64>) -> Vec<FaceId> {
-        match identity {
-            None => self
-                .pending
-                .remove(name)
-                .unwrap_or_default()
-                .into_iter()
-                .map(|(f, _, _)| f)
-                .collect(),
-            Some(id) => {
-                let Some(entries) = self.pending.get_mut(name) else {
-                    return Vec::new();
-                };
-                let mut claimed = Vec::new();
-                entries.retain(|&(f, _, eid)| {
-                    if eid == Some(id) {
-                        claimed.push(f);
-                        false
-                    } else {
-                        true
-                    }
-                });
-                if entries.is_empty() {
-                    self.pending.remove(name);
-                }
-                claimed
-            }
-        }
-    }
-}
 
 /// The requester identity carried in a tag (see
 /// [`crate::tag::SignedTag::client_identity`]).
@@ -128,29 +46,232 @@ enum NodeState {
     Ap(ApRelay),
 }
 
-/// The assembled simulation.
-pub struct Network {
-    engine: Engine<NetEvent>,
+/// The TACTIC mechanism as a pluggable [`NodePlane`]: owns every node's
+/// state and reacts to transport callbacks.
+pub struct TacticPlane {
     nodes: Vec<NodeState>,
-    /// Per node, per face index: (neighbor, link spec).
-    neighbors: Vec<Vec<(NodeId, LinkSpec)>>,
-    /// Per node: neighbor → local face.
-    face_index: Vec<HashMap<NodeId, FaceId>>,
-    /// Per directed link: when the transmitter is free again.
-    link_busy: HashMap<(usize, usize), SimTime>,
-    rng: Rng,
-    cost: CostModel,
-    duration: SimDuration,
     edge_router_set: Vec<bool>,
-    access_points: Vec<NodeId>,
-    mobility: Option<crate::scenario::MobilityConfig>,
-    moves: u64,
 }
 
-impl std::fmt::Debug for Network {
+impl TacticPlane {
+    /// Per-interest consumer emit pattern: each request schedules its
+    /// expiry check *before* it is transmitted (the historical FIFO
+    /// tie-break order).
+    fn push_consumer_sends(
+        out: &mut Vec<Emit>,
+        sends: Vec<tactic_ndn::packet::Interest>,
+        timeout: SimDuration,
+    ) {
+        for i in sends {
+            out.push(Emit::Timeout {
+                name: i.name().clone(),
+                delay: timeout,
+            });
+            out.push(Emit::Send {
+                face: FaceId::new(0),
+                packet: Packet::Interest(i),
+                compute: SimDuration::ZERO,
+            });
+        }
+    }
+
+    /// Consumes the plane into the aggregated [`RunReport`].
+    fn into_report(self, duration: SimDuration, transport: TransportReport) -> RunReport {
+        let mut report = RunReport {
+            duration,
+            events: transport.events,
+            moves: transport.moves,
+            ..Default::default()
+        };
+        for (idx, state) in self.nodes.into_iter().enumerate() {
+            match state {
+                NodeState::Router(r) => {
+                    for &(identity, observed_path, at) in r.sightings() {
+                        report.sightings.push(crate::traitor::Sighting {
+                            identity,
+                            observed_path,
+                            edge_router: idx as u64,
+                            at,
+                        });
+                    }
+                    if self.edge_router_set[idx] {
+                        report.edge_ops.merge(r.counters());
+                        report
+                            .edge_reset_requests
+                            .extend_from_slice(r.reset_request_counts());
+                    } else {
+                        report.core_ops.merge(r.counters());
+                        report
+                            .core_reset_requests
+                            .extend_from_slice(r.reset_request_counts());
+                    }
+                }
+                NodeState::Provider(p) => {
+                    let c = p.counters();
+                    report.providers.tags_issued += c.tags_issued;
+                    report.providers.registrations_denied += c.registrations_denied;
+                    report.providers.chunks_served += c.chunks_served;
+                    report.providers.nacks += c.nacks;
+                }
+                NodeState::Consumer(c) => {
+                    report.absorb_consumer(c.kind(), c.stats().clone());
+                }
+                NodeState::Ap(_) => {}
+            }
+        }
+        report
+    }
+}
+
+impl NodePlane for TacticPlane {
+    fn on_packet(
+        &mut self,
+        node: NodeId,
+        face: FaceId,
+        packet: Packet,
+        ctx: &mut PlaneCtx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let now = ctx.now;
+        match &mut self.nodes[node.0] {
+            NodeState::Router(r) => {
+                let res = match packet {
+                    Packet::Interest(i) => r.handle_interest(i, face, now, ctx.rng, ctx.cost),
+                    Packet::Data(d) => r.handle_data(d, face, now, ctx.rng, ctx.cost),
+                    // Standalone NACKs travel downstream: relay toward the
+                    // pending requesters, consuming the PIT state.
+                    Packet::Nack(n) => r.handle_nack(&n),
+                };
+                for (out_face, pkt) in res.sends {
+                    out.push(Emit::Send {
+                        face: out_face,
+                        packet: pkt,
+                        compute: res.compute,
+                    });
+                }
+            }
+            NodeState::Provider(p) => {
+                let (replies, compute) = match &packet {
+                    Packet::Interest(i) => p.handle_interest(i, now, ctx.rng, ctx.cost),
+                    _ => (Vec::new(), SimDuration::ZERO),
+                };
+                for pkt in replies {
+                    out.push(Emit::Send {
+                        face,
+                        packet: pkt,
+                        compute,
+                    });
+                }
+            }
+            NodeState::Consumer(c) => {
+                let sends = match &packet {
+                    Packet::Data(d) => c.on_data(d, now),
+                    Packet::Nack(n) => c.on_nack(n, now),
+                    Packet::Interest(_) => Vec::new(),
+                };
+                let timeout = c.request_timeout();
+                Self::push_consumer_sends(out, sends, timeout);
+            }
+            NodeState::Ap(ap) => match packet {
+                Packet::Interest(mut i) => {
+                    if face == ap.upstream {
+                        return; // Interests never flow AP-ward.
+                    }
+                    // Accumulate the access path with the AP's identity.
+                    let path = ext::interest_access_path(&i).extended(ap.id.0 as u64);
+                    ext::set_interest_access_path(&mut i, path);
+                    let identity = ext::interest_tag(&i).as_ref().map(tag_identity);
+                    ap.note(i.name().clone(), face, now, identity);
+                    out.push(Emit::Send {
+                        face: ap.upstream,
+                        packet: Packet::Interest(i),
+                        compute: SimDuration::ZERO,
+                    });
+                }
+                Packet::Data(d) => {
+                    let identity = ext::data_tag(&d).as_ref().map(tag_identity);
+                    for f in ap.claim(d.name(), identity) {
+                        out.push(Emit::Send {
+                            face: f,
+                            packet: Packet::Data(d.clone()),
+                            compute: SimDuration::ZERO,
+                        });
+                    }
+                }
+                Packet::Nack(nk) => {
+                    let identity = ext::interest_tag(nk.interest()).as_ref().map(tag_identity);
+                    for f in ap.claim(nk.interest().name(), identity) {
+                        out.push(Emit::Send {
+                            face: f,
+                            packet: Packet::Nack(nk.clone()),
+                            compute: SimDuration::ZERO,
+                        });
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+            return;
+        };
+        let sends = c.fill(ctx.now);
+        let timeout = c.request_timeout();
+        Self::push_consumer_sends(out, sends, timeout);
+    }
+
+    fn on_timeout(
+        &mut self,
+        node: NodeId,
+        name: Name,
+        sent: SimTime,
+        ctx: &mut PlaneCtx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+            return;
+        };
+        let sends = c.on_timeout(&name, sent, ctx.now);
+        let timeout = c.request_timeout();
+        Self::push_consumer_sends(out, sends, timeout);
+    }
+
+    fn on_purge(&mut self, now: SimTime) {
+        for state in &mut self.nodes {
+            match state {
+                NodeState::Router(r) => {
+                    r.purge_pit(now);
+                }
+                NodeState::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        // The consumer drops its tags so the next request re-registers
+        // from the new location, then refills its window immediately.
+        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+            return;
+        };
+        c.on_move(ctx.now);
+        let sends = c.fill(ctx.now);
+        let timeout = c.request_timeout();
+        Self::push_consumer_sends(out, sends, timeout);
+    }
+}
+
+/// The assembled simulation: the TACTIC plane on the shared transport,
+/// optionally instrumented with a [`NetObserver`].
+pub struct Network<O = NoopObserver> {
+    net: Net<TacticPlane, O>,
+    duration: SimDuration,
+}
+
+impl<O> std::fmt::Debug for Network<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("nodes", &self.nodes.len())
             .field("duration", &self.duration)
             .finish()
     }
@@ -159,24 +280,27 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Builds the network for `scenario` with the given seed.
     pub fn build(scenario: &Scenario, seed: u64) -> Network {
-        let mut rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
+        Self::build_observed(scenario, seed, NoopObserver)
+    }
+
+    /// Runs to the horizon and aggregates the [`RunReport`].
+    pub fn run(self) -> RunReport {
+        self.run_observed().0
+    }
+}
+
+impl<O: NetObserver> Network<O> {
+    /// Builds the network with an explicit transport observer (tracing,
+    /// link-utilisation counters, drop accounting — see
+    /// [`tactic_net::observer`]).
+    pub fn build_observed(scenario: &Scenario, seed: u64, observer: O) -> Network<O> {
+        let rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
         let topo: Topology = match scenario.topology {
             TopologyChoice::Paper(p) => p.build(seed),
             TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
         };
         let n = topo.graph.node_count();
-
-        // Face tables from adjacency order.
-        let mut neighbors: Vec<Vec<(NodeId, LinkSpec)>> = vec![Vec::new(); n];
-        let mut face_index: Vec<HashMap<NodeId, FaceId>> = vec![HashMap::new(); n];
-        for node in topo.graph.nodes() {
-            for (peer, link_id) in topo.graph.incident(node) {
-                let spec = topo.graph.link(link_id).spec;
-                let face = FaceId::new(neighbors[node.0].len() as u32);
-                neighbors[node.0].push((peer, spec));
-                face_index[node.0].insert(peer, face);
-            }
-        }
+        let links = Links::build(&topo);
 
         // PKI: one ISP trust anchor; every provider certified.
         let anchor = KeyPair::derive(b"isp-trust-anchor", seed);
@@ -187,7 +311,7 @@ impl Network {
         let mut providers: HashMap<usize, Provider> = HashMap::new();
         let mut catalog: Vec<CatalogEntry> = Vec::new();
         for (i, &pnode) in topo.providers.iter().enumerate() {
-            let prefix: Name = format!("/prov{i}").parse().expect("static prefix");
+            let prefix = provider_prefix(i);
             let config = ProviderConfig {
                 prefix: prefix.clone(),
                 objects: scenario.objects_per_provider,
@@ -234,7 +358,7 @@ impl Network {
                 record_sightings: scenario.record_sightings,
             };
             let mut router = TacticRouter::new(config, certs.clone());
-            for (face_idx, &(peer, _)) in neighbors[rnode.0].iter().enumerate() {
+            for (face_idx, &(peer, _)) in links.neighbors[rnode.0].iter().enumerate() {
                 if topo.graph.role(peer) == Role::AccessPoint {
                     router.mark_downstream(FaceId::new(face_idx as u32));
                 }
@@ -243,21 +367,12 @@ impl Network {
         }
 
         // Routing: one Dijkstra per provider, FIB entries at every router.
-        for (i, &pnode) in topo.providers.iter().enumerate() {
-            let prefix: Name = format!("/prov{i}").parse().expect("static prefix");
-            let routes = routes_toward(&topo.graph, pnode);
-            for rnode in topo.routers() {
-                if let Some(entry) = routes[rnode.0] {
-                    let face = face_index[rnode.0][&entry.next_hop];
-                    let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
-                    routers.get_mut(&rnode.0).expect("router").add_route(
-                        prefix.clone(),
-                        face,
-                        cost_us,
-                    );
-                }
-            }
-        }
+        populate_fib(&topo, &links, |rnode, _i, prefix, face, cost_us| {
+            routers
+                .get_mut(&rnode.0)
+                .expect("router")
+                .add_route(prefix, face, cost_us);
+        });
 
         // Consumers.
         let mut consumers: HashMap<usize, Consumer> = HashMap::new();
@@ -363,421 +478,36 @@ impl Network {
                 Role::Client | Role::Attacker => NodeState::Consumer(Box::new(
                     consumers.remove(&node.0).expect("consumer built"),
                 )),
-                Role::AccessPoint => {
-                    let upstream = neighbors[node.0]
-                        .iter()
-                        .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
-                        .map(|i| FaceId::new(i as u32))
-                        .expect("AP wired to an edge router");
-                    NodeState::Ap(ApRelay {
-                        id: node,
-                        upstream,
-                        pending: HashMap::new(),
-                    })
-                }
+                Role::AccessPoint => NodeState::Ap(ApRelay::new(&topo, &links, node)),
             };
             nodes.push(state);
         }
 
-        // Schedule consumer starts (staggered over the first second) and
-        // the periodic purge sweep.
-        let mut engine = Engine::with_horizon(SimTime::ZERO + scenario.duration);
-        for &(unode, _) in &user_list {
-            let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
-            engine.schedule(
-                SimTime::ZERO + offset,
-                NetEvent::ConsumerStart { node: unode },
-            );
-        }
-        engine.schedule(SimTime::from_secs(1), NetEvent::Purge);
-
-        // Mobility: schedule the first handover for each mobile client.
-        if let Some(m) = scenario.mobility {
-            assert!(
-                (0.0..=1.0).contains(&m.mobile_fraction),
-                "mobile_fraction must be within [0, 1]"
-            );
-            let dwell =
-                tactic_sim::dist::Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
-            let mobile_count = (topo.clients.len() as f64 * m.mobile_fraction).round() as usize;
-            for &c in topo.clients.iter().take(mobile_count) {
-                let at = SimTime::from_secs_f64(dwell.sample(&mut rng));
-                engine.schedule(at, NetEvent::Move { node: c });
-            }
-        }
-
-        Network {
-            engine,
+        let plane = TacticPlane {
             nodes,
-            neighbors,
-            face_index,
-            link_busy: HashMap::new(),
-            rng,
-            cost: scenario.cost_model.clone(),
-            duration: scenario.duration,
             edge_router_set,
-            access_points: topo.access_points.clone(),
+        };
+        let config = NetConfig {
+            duration: scenario.duration,
             mobility: scenario.mobility,
-            moves: 0,
-        }
-    }
-
-    /// Runs to the horizon and aggregates the [`RunReport`].
-    pub fn run(mut self) -> RunReport {
-        while let Some(ev) = self.engine.pop() {
-            self.dispatch(ev);
-        }
-        let mut report = RunReport {
-            duration: self.duration,
-            events: self.engine.processed(),
-            moves: self.moves,
-            ..Default::default()
+            cost: scenario.cost_model.clone(),
         };
-        for (idx, state) in self.nodes.into_iter().enumerate() {
-            match state {
-                NodeState::Router(r) => {
-                    for &(identity, observed_path, at) in r.sightings() {
-                        report.sightings.push(crate::traitor::Sighting {
-                            identity,
-                            observed_path,
-                            edge_router: idx as u64,
-                            at,
-                        });
-                    }
-                    if self.edge_router_set[idx] {
-                        report.edge_ops.merge(r.counters());
-                        report
-                            .edge_reset_requests
-                            .extend_from_slice(r.reset_request_counts());
-                    } else {
-                        report.core_ops.merge(r.counters());
-                        report
-                            .core_reset_requests
-                            .extend_from_slice(r.reset_request_counts());
-                    }
-                }
-                NodeState::Provider(p) => {
-                    let c = p.counters();
-                    report.providers.tags_issued += c.tags_issued;
-                    report.providers.registrations_denied += c.registrations_denied;
-                    report.providers.chunks_served += c.chunks_served;
-                    report.providers.nacks += c.nacks;
-                }
-                NodeState::Consumer(c) => {
-                    report.absorb_consumer(c.kind(), c.stats().clone());
-                }
-                NodeState::Ap(_) => {}
-            }
-        }
-        report
-    }
-
-    fn dispatch(&mut self, ev: NetEvent) {
-        match ev {
-            NetEvent::Deliver { node, face, packet } => self.on_deliver(node, face, packet),
-            NetEvent::ConsumerStart { node } => {
-                let now = self.engine.now();
-                let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
-                    return;
-                };
-                let sends = c.fill(now);
-                let timeout = c.request_timeout();
-                self.consumer_send(node, sends, timeout);
-            }
-            NetEvent::Timeout { node, name, sent } => {
-                let now = self.engine.now();
-                let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
-                    return;
-                };
-                let sends = c.on_timeout(&name, sent, now);
-                let timeout = c.request_timeout();
-                self.consumer_send(node, sends, timeout);
-            }
-            NetEvent::Move { node } => {
-                self.perform_handover(node);
-                if let Some(m) = self.mobility {
-                    let dwell = tactic_sim::dist::Exponential::from_mean(
-                        m.mean_dwell.as_secs_f64().max(1e-3),
-                    );
-                    let delay = SimDuration::from_secs_f64(dwell.sample(&mut self.rng));
-                    self.engine.schedule_after(delay, NetEvent::Move { node });
-                }
-            }
-            NetEvent::Purge => {
-                let now = self.engine.now();
-                for state in &mut self.nodes {
-                    match state {
-                        NodeState::Router(r) => {
-                            r.purge_pit(now);
-                        }
-                        NodeState::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
-                        _ => {}
-                    }
-                }
-                self.engine
-                    .schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
-            }
+        Network {
+            net: Net::assemble_observed(&topo, links, plane, rng, config, observer),
+            duration: scenario.duration,
         }
     }
 
-    fn on_deliver(&mut self, node: NodeId, face: FaceId, packet: Packet) {
-        let now = self.engine.now();
-        match &mut self.nodes[node.0] {
-            NodeState::Router(r) => {
-                let out = match packet {
-                    Packet::Interest(i) => {
-                        r.handle_interest(i, face, now, &mut self.rng, &self.cost)
-                    }
-                    Packet::Data(d) => r.handle_data(d, face, now, &mut self.rng, &self.cost),
-                    // Standalone NACKs travel downstream: relay toward the
-                    // pending requesters, consuming the PIT state.
-                    Packet::Nack(n) => r.handle_nack(&n),
-                };
-                for (out_face, pkt) in out.sends {
-                    self.transmit(node, out_face, pkt, out.compute);
-                }
-            }
-            NodeState::Provider(p) => {
-                let (replies, compute) = match &packet {
-                    Packet::Interest(i) => p.handle_interest(i, now, &mut self.rng, &self.cost),
-                    _ => (Vec::new(), SimDuration::ZERO),
-                };
-                for pkt in replies {
-                    self.transmit(node, face, pkt, compute);
-                }
-            }
-            NodeState::Consumer(c) => {
-                let sends = match &packet {
-                    Packet::Data(d) => c.on_data(d, now),
-                    Packet::Nack(n) => c.on_nack(n, now),
-                    Packet::Interest(_) => Vec::new(),
-                };
-                let timeout = c.request_timeout();
-                self.consumer_send(node, sends, timeout);
-            }
-            NodeState::Ap(ap) => {
-                match packet {
-                    Packet::Interest(mut i) => {
-                        if face == ap.upstream {
-                            return; // Interests never flow AP-ward.
-                        }
-                        // Accumulate the access path with the AP's identity.
-                        let path = ext::interest_access_path(&i).extended(ap.id.0 as u64);
-                        ext::set_interest_access_path(&mut i, path);
-                        let identity = ext::interest_tag(&i).as_ref().map(tag_identity);
-                        ap.pending
-                            .entry(i.name().clone())
-                            .or_default()
-                            .push((face, now, identity));
-                        let up = ap.upstream;
-                        self.transmit(node, up, Packet::Interest(i), SimDuration::ZERO);
-                    }
-                    Packet::Data(d) => {
-                        let identity = ext::data_tag(&d).as_ref().map(tag_identity);
-                        let faces = ap.claim(d.name(), identity);
-                        for f in faces {
-                            self.transmit(node, f, Packet::Data(d.clone()), SimDuration::ZERO);
-                        }
-                    }
-                    Packet::Nack(nk) => {
-                        let identity = ext::interest_tag(nk.interest()).as_ref().map(tag_identity);
-                        let faces = ap.claim(nk.interest().name(), identity);
-                        for f in faces {
-                            self.transmit(node, f, Packet::Nack(nk.clone()), SimDuration::ZERO);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Re-attaches a mobile client to a uniformly random *other* access
-    /// point: the client's single face now leads to the new AP (same
-    /// 10 Mbps/2 ms wireless spec), the new AP gains a face back, and the
-    /// consumer drops its tags so the next request re-registers from the
-    /// new location.
-    fn perform_handover(&mut self, node: NodeId) {
-        if self.access_points.len() < 2 {
-            return;
-        }
-        let Some(&(current_ap, spec)) = self.neighbors[node.0].first() else {
-            return;
-        };
-        let new_ap = loop {
-            let candidate = *self.rng.choose(&self.access_points);
-            if candidate != current_ap {
-                break candidate;
-            }
-        };
-        // Client side: face 0 now points at the new AP.
-        self.neighbors[node.0][0] = (new_ap, spec);
-        self.face_index[node.0].clear();
-        self.face_index[node.0].insert(new_ap, FaceId::new(0));
-        // AP side: ensure the new AP has a face toward this client.
-        if !self.face_index[new_ap.0].contains_key(&node) {
-            let face = FaceId::new(self.neighbors[new_ap.0].len() as u32);
-            self.neighbors[new_ap.0].push((node, spec));
-            self.face_index[new_ap.0].insert(node, face);
-        }
-        self.moves += 1;
-        let now = self.engine.now();
-        if let NodeState::Consumer(c) = &mut self.nodes[node.0] {
-            c.on_move(now);
-            let sends = c.fill(now);
-            let timeout = c.request_timeout();
-            self.consumer_send(node, sends, timeout);
-        }
-    }
-
-    fn consumer_send(
-        &mut self,
-        node: NodeId,
-        sends: Vec<tactic_ndn::packet::Interest>,
-        timeout: SimDuration,
-    ) {
-        let now = self.engine.now();
-        for i in sends {
-            self.engine.schedule(
-                now + timeout,
-                NetEvent::Timeout {
-                    node,
-                    name: i.name().clone(),
-                    sent: now,
-                },
-            );
-            self.transmit(node, FaceId::new(0), Packet::Interest(i), SimDuration::ZERO);
-        }
-    }
-
-    /// Transmits on a link: FIFO serialisation + propagation delay, after
-    /// the sender's computation time.
-    fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
-        let Some(&(to, spec)) = self.neighbors[from.0].get(out_face.index() as usize) else {
-            return; // Dangling face: drop.
-        };
-        let now = self.engine.now();
-        let size = wire_size(&packet);
-        let ready = now + compute;
-        let key = (from.0, to.0);
-        let busy = self.link_busy.get(&key).copied().unwrap_or(SimTime::ZERO);
-        let depart = ready.max(busy);
-        let serialize = spec.serialization_delay(size);
-        self.link_busy.insert(key, depart + serialize);
-        let arrival = depart + serialize + spec.latency;
-        // A handover may have torn down the reverse mapping (the receiver
-        // moved away): the in-flight packet is lost with the radio link.
-        let Some(&in_face) = self.face_index[to.0].get(&from) else {
-            return;
-        };
-        self.engine.schedule(
-            arrival,
-            NetEvent::Deliver {
-                node: to,
-                face: in_face,
-                packet,
-            },
-        );
+    /// Runs to the horizon; returns the aggregated [`RunReport`] and the
+    /// observer with whatever it recorded.
+    pub fn run_observed(self) -> (RunReport, O) {
+        let duration = self.duration;
+        let (plane, observer, transport) = self.net.run();
+        (plane.into_report(duration, transport), observer)
     }
 }
 
 /// Convenience: build and run a scenario with one seed.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> RunReport {
     Network::build(scenario, seed).run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn small_run(seed: u64) -> RunReport {
-        let mut s = Scenario::small();
-        s.duration = SimDuration::from_secs(15);
-        run_scenario(&s, seed)
-    }
-
-    #[test]
-    fn clients_retrieve_attackers_do_not() {
-        let r = small_run(1);
-        assert!(
-            r.delivery.client_requested > 100,
-            "clients requested {}",
-            r.delivery.client_requested
-        );
-        assert!(
-            r.delivery.client_ratio() > 0.95,
-            "client delivery ratio {} (req {}, recv {})",
-            r.delivery.client_ratio(),
-            r.delivery.client_requested,
-            r.delivery.client_received
-        );
-        assert!(r.delivery.attacker_requested > 10);
-        assert!(
-            r.delivery.attacker_ratio() < 0.01,
-            "attacker delivery ratio {}",
-            r.delivery.attacker_ratio()
-        );
-    }
-
-    #[test]
-    fn tags_cycle_with_expiry() {
-        let r = small_run(2);
-        // 15 s run, 10 s tags: every client re-registers at least once per
-        // provider it talks to.
-        assert!(!r.tag_requests.is_empty());
-        assert!(!r.tags_received.is_empty());
-        assert!(r.tags_received.len() <= r.tag_requests.len());
-        // Substantially all client registrations are answered.
-        assert!(
-            r.tags_received.len() as f64 >= 0.8 * r.tag_requests.len() as f64,
-            "Q {} vs R {}",
-            r.tag_requests.len(),
-            r.tags_received.len()
-        );
-    }
-
-    #[test]
-    fn routers_do_work_and_lookups_dominate_verifications() {
-        let r = small_run(3);
-        assert!(r.edge_ops.bf_lookups > 0);
-        assert!(r.edge_ops.interests > 0);
-        assert!(r.core_ops.interests > 0);
-        // Fig. 7's headline: BF lookups far outnumber signature
-        // verifications at the edge.
-        assert!(
-            r.edge_ops.bf_lookups > r.edge_ops.sig_verifications,
-            "edge L {} vs V {}",
-            r.edge_ops.bf_lookups,
-            r.edge_ops.sig_verifications
-        );
-    }
-
-    #[test]
-    fn latencies_are_recorded_and_plausible() {
-        let r = small_run(4);
-        assert!(r.latency.len() > 100);
-        let mean = r.mean_latency();
-        assert!(mean > 0.001 && mean < 1.0, "mean latency {mean}s");
-        let series = r.latency.per_second_means();
-        assert!(
-            series.len() > 5,
-            "per-second series has {} points",
-            series.len()
-        );
-    }
-
-    #[test]
-    fn deterministic_per_seed() {
-        let a = small_run(7);
-        let b = small_run(7);
-        assert_eq!(a.delivery, b.delivery);
-        assert_eq!(a.events, b.events);
-        assert_eq!(a.edge_ops, b.edge_ops);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = small_run(8);
-        let b = small_run(9);
-        assert_ne!(a.events, b.events);
-    }
 }

@@ -8,17 +8,9 @@ use tactic_topology::roles::TopologySpec;
 use crate::access::AccessLevel;
 use crate::consumer::AttackerStrategy;
 
-/// Client-mobility model (the paper's §9 future work: "test our mechanism
-/// ... under nodes mobility"). Mobile clients hand over to a uniformly
-/// random other access point after exponentially-distributed dwell times,
-/// dropping their tags and re-registering from the new location.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MobilityConfig {
-    /// Mean dwell time at one access point.
-    pub mean_dwell: SimDuration,
-    /// Fraction of clients that are mobile (0.0–1.0).
-    pub mobile_fraction: f64,
-}
+// Mobility lives in the shared transport plane now; re-exported here so
+// scenario construction keeps reading naturally.
+pub use tactic_net::MobilityConfig;
 
 /// Which network to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

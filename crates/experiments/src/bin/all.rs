@@ -1,6 +1,6 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
-    use tactic_experiments::{extras, figures, sweep, tables, RunOpts};
+    use tactic_experiments::{extras, figures, sweep, tables, transport, RunOpts};
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
         Err(msg) => {
@@ -21,6 +21,7 @@ fn main() {
         ("sweep", sweep::sweep),
         ("ablations", extras::ablations),
         ("baselines", extras::baselines),
+        ("transport", transport::transport),
     ];
     for (name, f) in experiments {
         let started = std::time::Instant::now();

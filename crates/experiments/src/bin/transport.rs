@@ -1,0 +1,4 @@
+//! Transport-plane link utilisation and drop accounting, per plane.
+fn main() {
+    tactic_experiments::binary_main("transport", tactic_experiments::transport::transport);
+}

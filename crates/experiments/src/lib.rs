@@ -20,6 +20,7 @@
 //! | `sweep`    | full (topology × seed) grid in one parallel batch |
 //! | `ablations`| flag-F / access-path / content-NACK ablations |
 //! | `baselines`| TACTIC vs no-AC / client-side / provider-auth |
+//! | `transport`| link load + drop accounting from the transport observer |
 //! | `all`      | everything above in sequence |
 //!
 //! All binaries run at a reduced scale by default (60–120 simulated
@@ -38,6 +39,7 @@ pub mod runner;
 pub mod scenario_args;
 pub mod sweep;
 pub mod tables;
+pub mod transport;
 
 pub use opts::RunOpts;
 

@@ -1,0 +1,142 @@
+//! Face tables and FIB population — the wiring every simulation plane
+//! derives from a [`Topology`] in exactly the same way.
+
+use std::collections::HashMap;
+
+use tactic_ndn::face::FaceId;
+use tactic_ndn::name::Name;
+use tactic_topology::graph::{LinkSpec, NodeId};
+use tactic_topology::roles::Topology;
+use tactic_topology::routing::routes_toward;
+
+/// Per-node face tables derived from a topology's adjacency order.
+///
+/// Node `n`'s `k`-th incident link becomes its face `k`; the reverse map
+/// (`face_index`) answers "which local face leads to peer `p`?". The
+/// transport mutates these tables during handovers, so a face that existed
+/// at build time may later dangle (its reverse mapping removed) — exactly
+/// how a radio link disappears under a mobile client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Links {
+    /// Per node, per face index: `(neighbour, link spec)`.
+    pub neighbors: Vec<Vec<(NodeId, LinkSpec)>>,
+    /// Per node: neighbour → local face.
+    pub face_index: Vec<HashMap<NodeId, FaceId>>,
+}
+
+impl Links {
+    /// Builds the face tables from `topo`'s adjacency order.
+    pub fn build(topo: &Topology) -> Links {
+        let n = topo.graph.node_count();
+        let mut neighbors: Vec<Vec<(NodeId, LinkSpec)>> = vec![Vec::new(); n];
+        let mut face_index: Vec<HashMap<NodeId, FaceId>> = vec![HashMap::new(); n];
+        for node in topo.graph.nodes() {
+            for (peer, link_id) in topo.graph.incident(node) {
+                let spec = topo.graph.link(link_id).spec;
+                let face = FaceId::new(neighbors[node.0].len() as u32);
+                neighbors[node.0].push((peer, spec));
+                face_index[node.0].insert(peer, face);
+            }
+        }
+        Links {
+            neighbors,
+            face_index,
+        }
+    }
+
+    /// The local face of `node` that currently leads to `peer`.
+    pub fn face_toward(&self, node: NodeId, peer: NodeId) -> Option<FaceId> {
+        self.face_index[node.0].get(&peer).copied()
+    }
+
+    /// The `(neighbour, link spec)` a face of `node` points at, if wired.
+    pub fn peer_of(&self, node: NodeId, face: FaceId) -> Option<(NodeId, LinkSpec)> {
+        self.neighbors[node.0].get(face.index() as usize).copied()
+    }
+}
+
+/// The shared content-prefix convention: provider `i` serves `/prov{i}`.
+pub fn provider_prefix(i: usize) -> Name {
+    format!("/prov{i}").parse().expect("static prefix")
+}
+
+/// Computes every router's FIB entry toward every provider — one Dijkstra
+/// per provider over the link-latency metric — and feeds each entry to
+/// `add` as `(router, provider index, prefix, out face, path cost in µs)`.
+///
+/// Iteration order is providers-outer, routers-inner (core routers before
+/// edge routers), which callers may rely on for determinism.
+pub fn populate_fib<F>(topo: &Topology, links: &Links, mut add: F)
+where
+    F: FnMut(NodeId, usize, Name, FaceId, u32),
+{
+    for (i, &pnode) in topo.providers.iter().enumerate() {
+        let prefix = provider_prefix(i);
+        let routes = routes_toward(&topo.graph, pnode);
+        for rnode in topo.routers() {
+            if let Some(entry) = routes[rnode.0] {
+                let face = links.face_index[rnode.0][&entry.next_hop];
+                let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
+                add(rnode, i, prefix.clone(), face, cost_us);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tactic_sim::rng::Rng;
+    use tactic_topology::roles::{build_topology, TopologySpec};
+
+    fn topo() -> Topology {
+        build_topology(
+            &TopologySpec {
+                core_routers: 10,
+                edge_routers: 3,
+                providers: 2,
+                clients: 4,
+                attackers: 2,
+            },
+            &mut Rng::seed_from_u64(9),
+        )
+    }
+
+    #[test]
+    fn faces_follow_adjacency_order() {
+        let t = topo();
+        let links = Links::build(&t);
+        for node in t.graph.nodes() {
+            assert_eq!(links.neighbors[node.0].len(), t.graph.degree(node));
+            for (idx, &(peer, _)) in links.neighbors[node.0].iter().enumerate() {
+                assert_eq!(
+                    links.face_toward(node, peer),
+                    Some(FaceId::new(idx as u32)),
+                    "face index must invert the adjacency order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fib_covers_every_router_provider_pair() {
+        let t = topo();
+        let links = Links::build(&t);
+        let mut entries = 0usize;
+        populate_fib(&t, &links, |rnode, i, prefix, face, cost_us| {
+            assert!(i < 2);
+            assert_eq!(prefix, provider_prefix(i));
+            assert!(links.peer_of(rnode, face).is_some());
+            assert!(cost_us > 0, "a multi-hop path has positive latency cost");
+            entries += 1;
+        });
+        // The graph is connected: every router routes toward every provider.
+        assert_eq!(entries, 13 * 2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let t = topo();
+        assert_eq!(Links::build(&t), Links::build(&t));
+    }
+}

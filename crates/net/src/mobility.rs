@@ -1,0 +1,17 @@
+//! Client-mobility configuration (the paper's §9 future work: "test our
+//! mechanism ... under nodes mobility").
+
+use tactic_sim::time::SimDuration;
+
+/// Client-mobility model. Mobile clients hand over to a uniformly random
+/// *other* access point after exponentially-distributed dwell times; the
+/// transport re-wires their radio link (in-flight packets on the old link
+/// are lost) and notifies the plane, which decides what the node does —
+/// TACTIC consumers drop their tags and re-register from the new location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityConfig {
+    /// Mean dwell time at one access point.
+    pub mean_dwell: SimDuration,
+    /// Fraction of clients that are mobile (0.0–1.0).
+    pub mobile_fraction: f64,
+}

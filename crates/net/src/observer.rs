@@ -1,0 +1,260 @@
+//! The observer layer: per-event tracing, link-utilisation counters, and
+//! drop-reason accounting, implemented once over the shared transport and
+//! available to every experiment on every plane.
+//!
+//! Observers are compile-time plugins (a generic parameter on
+//! [`Net`](crate::transport::Net)), so the default [`NoopObserver`]
+//! monomorphises to nothing — an observed run with the no-op observer is
+//! byte-identical to an observer-free build, and a run with a recording
+//! observer never perturbs the simulation itself (observers get `&`/`&mut
+//! self` and packet *references*; they cannot reschedule or mutate state).
+
+use std::collections::HashMap;
+
+use tactic_ndn::face::FaceId;
+use tactic_ndn::packet::Packet;
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::NodeId;
+
+/// Why the transport dropped a packet instead of scheduling its arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The sender emitted on a face with no wired neighbour.
+    DanglingFace,
+    /// The receiver no longer has a face back to the sender — a handover
+    /// tore down the radio link while the packet was in flight.
+    ReverseFaceGone,
+}
+
+/// Hooks the shared transport calls at every transport-level event.
+///
+/// All hooks default to no-ops; implement only what you need. Hooks fire
+/// *after* the transport has committed the corresponding state change
+/// (link reserved, handover re-wired), and exactly once per event.
+#[allow(unused_variables)]
+pub trait NetObserver {
+    /// A packet was accepted onto the `from → to` link: it departs (starts
+    /// serialising) at `depart`, occupies the link for `serialize`, and
+    /// arrives at `arrival`.
+    fn on_schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        depart: SimTime,
+        serialize: SimDuration,
+        arrival: SimTime,
+    ) {
+    }
+
+    /// A scheduled delivery is being handled at `node` on `face`.
+    fn on_deliver(&mut self, node: NodeId, face: FaceId, packet: &Packet, now: SimTime) {}
+
+    /// The transport dropped a packet emitted by `node`.
+    fn on_drop(&mut self, node: NodeId, face: FaceId, reason: DropReason, now: SimTime) {}
+
+    /// A mobile node re-attached from `from_ap` to `to_ap`.
+    fn on_handover(&mut self, node: NodeId, from_ap: NodeId, to_ap: NodeId, now: SimTime) {}
+}
+
+/// The zero-cost default observer: every hook is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl NetObserver for NoopObserver {}
+
+/// Aggregate per-link load measured by [`NetCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Packets scheduled onto the directed link.
+    pub packets: u64,
+    /// Wire bytes scheduled onto the directed link.
+    pub bytes: u64,
+    /// Total serialisation time the link spent busy.
+    pub busy: SimDuration,
+}
+
+/// Cheap aggregate accounting: event totals, drop reasons, handovers, and
+/// per-directed-link utilisation.
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Deliveries scheduled onto links.
+    pub scheduled: u64,
+    /// Deliveries handled (≤ `scheduled`: the horizon cuts the tail).
+    pub delivered: u64,
+    /// Packets dropped because the out face had no wired neighbour.
+    pub dropped_dangling_face: u64,
+    /// Packets lost to a handover tearing down the reverse mapping.
+    pub dropped_reverse_face: u64,
+    /// Handovers performed.
+    pub handovers: u64,
+    /// Total wire bytes scheduled.
+    pub bytes_on_wire: u64,
+    /// Per directed link `(from, to)`: packets, bytes, busy time.
+    pub link_load: HashMap<(usize, usize), LinkLoad>,
+}
+
+impl NetCounters {
+    /// Total drops across all reasons.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_dangling_face + self.dropped_reverse_face
+    }
+
+    /// The `n` busiest directed links by serialisation time, descending
+    /// (ties broken by link id for determinism).
+    pub fn busiest_links(&self, n: usize) -> Vec<((usize, usize), LinkLoad)> {
+        let mut all: Vec<_> = self.link_load.iter().map(|(&k, &v)| (k, v)).collect();
+        all.sort_by_key(|&((from, to), load)| (std::cmp::Reverse(load.busy), from, to));
+        all.truncate(n);
+        all
+    }
+}
+
+impl NetObserver for NetCounters {
+    fn on_schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        _depart: SimTime,
+        serialize: SimDuration,
+        _arrival: SimTime,
+    ) {
+        self.scheduled += 1;
+        self.bytes_on_wire += bytes as u64;
+        let load = self.link_load.entry((from.0, to.0)).or_default();
+        load.packets += 1;
+        load.bytes += bytes as u64;
+        load.busy += serialize;
+    }
+
+    fn on_deliver(&mut self, _node: NodeId, _face: FaceId, _packet: &Packet, _now: SimTime) {
+        self.delivered += 1;
+    }
+
+    fn on_drop(&mut self, _node: NodeId, _face: FaceId, reason: DropReason, _now: SimTime) {
+        match reason {
+            DropReason::DanglingFace => self.dropped_dangling_face += 1,
+            DropReason::ReverseFaceGone => self.dropped_reverse_face += 1,
+        }
+    }
+
+    fn on_handover(&mut self, _node: NodeId, _from_ap: NodeId, _to_ap: NodeId, _now: SimTime) {
+        self.handovers += 1;
+    }
+}
+
+/// One record in an [`EventTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was accepted onto a link.
+    Scheduled {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Wire bytes.
+        bytes: usize,
+        /// Arrival time of the delivery this schedules.
+        arrival: SimTime,
+    },
+    /// A delivery was handled.
+    Delivered {
+        /// Handling node.
+        node: NodeId,
+        /// Arrival face.
+        face: FaceId,
+        /// Handling time.
+        at: SimTime,
+    },
+    /// A packet was dropped.
+    Dropped {
+        /// Emitting node.
+        node: NodeId,
+        /// Why.
+        reason: DropReason,
+        /// Drop time.
+        at: SimTime,
+    },
+    /// A handover re-wired a mobile node.
+    Handover {
+        /// The mobile node.
+        node: NodeId,
+        /// Old access point.
+        from_ap: NodeId,
+        /// New access point.
+        to_ap: NodeId,
+        /// Handover time.
+        at: SimTime,
+    },
+}
+
+/// A full per-event trace. Unbounded — meant for tests and small audit
+/// runs, not paper-scale sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    /// Records in transport order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventTrace {
+    /// Number of [`TraceEvent::Delivered`] records.
+    pub fn delivered(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .count()
+    }
+
+    /// Number of [`TraceEvent::Scheduled`] records.
+    pub fn scheduled(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Scheduled { .. }))
+            .count()
+    }
+}
+
+impl NetObserver for EventTrace {
+    fn on_schedule(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        _depart: SimTime,
+        _serialize: SimDuration,
+        arrival: SimTime,
+    ) {
+        self.events.push(TraceEvent::Scheduled {
+            from,
+            to,
+            bytes,
+            arrival,
+        });
+    }
+
+    fn on_deliver(&mut self, node: NodeId, face: FaceId, _packet: &Packet, now: SimTime) {
+        self.events.push(TraceEvent::Delivered {
+            node,
+            face,
+            at: now,
+        });
+    }
+
+    fn on_drop(&mut self, node: NodeId, _face: FaceId, reason: DropReason, now: SimTime) {
+        self.events.push(TraceEvent::Dropped {
+            node,
+            reason,
+            at: now,
+        });
+    }
+
+    fn on_handover(&mut self, node: NodeId, from_ap: NodeId, to_ap: NodeId, now: SimTime) {
+        self.events.push(TraceEvent::Handover {
+            node,
+            from_ap,
+            to_ap,
+            at: now,
+        });
+    }
+}

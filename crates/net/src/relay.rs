@@ -1,0 +1,150 @@
+//! The access-point relay: transparent pending-Interest bookkeeping shared
+//! by every plane's AP nodes.
+//!
+//! An AP forwards user Interests to its one upstream edge router and
+//! demultiplexes returning Data/NACKs back to the pending user faces.
+//! Demultiplexing is per *requester identity* when the mechanism supplies
+//! one (TACTIC's tag echo) — a layer-2 unicast, like a real wireless AP
+//! delivering to one station — and falls back to everyone pending on the
+//! name when it doesn't (`None`: public content, registration responses,
+//! identity-less baselines).
+
+use std::collections::HashMap;
+
+use tactic_ndn::face::FaceId;
+use tactic_ndn::name::Name;
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::{NodeId, Role};
+use tactic_topology::roles::Topology;
+
+use crate::links::Links;
+
+/// Pending-Interest state for one access point.
+#[derive(Debug)]
+pub struct ApRelay {
+    /// The AP's own node id (planes stamp it into access paths).
+    pub id: NodeId,
+    /// The face toward the AP's edge router.
+    pub upstream: FaceId,
+    /// name → [(user face, sent time, requester identity)]
+    pending: HashMap<Name, Vec<(FaceId, SimTime, Option<u64>)>>,
+}
+
+impl ApRelay {
+    /// Creates the relay for access point `node`, wired via `links`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no edge-router neighbour.
+    pub fn new(topo: &Topology, links: &Links, node: NodeId) -> Self {
+        let upstream = links.neighbors[node.0]
+            .iter()
+            .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
+            .map(|i| FaceId::new(i as u32))
+            .expect("AP wired to an edge router");
+        ApRelay {
+            id: node,
+            upstream,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Records a user Interest awaiting a reply: `face` asked for `name`
+    /// at `now`, as `identity` (if the mechanism carries one).
+    pub fn note(&mut self, name: Name, face: FaceId, now: SimTime, identity: Option<u64>) {
+        self.pending
+            .entry(name)
+            .or_default()
+            .push((face, now, identity));
+    }
+
+    /// Drops pending entries older than `horizon`.
+    pub fn purge(&mut self, now: SimTime, horizon: SimDuration) {
+        self.pending.retain(|_, faces| {
+            faces.retain(|&(_, t, _)| now.saturating_since(t) < horizon);
+            !faces.is_empty()
+        });
+    }
+
+    /// Removes and returns the pending faces a reply identified by
+    /// `identity` should go to. `None` delivers to everyone pending on
+    /// the name.
+    pub fn claim(&mut self, name: &Name, identity: Option<u64>) -> Vec<FaceId> {
+        match identity {
+            None => self
+                .pending
+                .remove(name)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(f, _, _)| f)
+                .collect(),
+            Some(id) => {
+                let Some(entries) = self.pending.get_mut(name) else {
+                    return Vec::new();
+                };
+                let mut claimed = Vec::new();
+                entries.retain(|&(f, _, eid)| {
+                    if eid == Some(id) {
+                        claimed.push(f);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if entries.is_empty() {
+                    self.pending.remove(name);
+                }
+                claimed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn relay() -> ApRelay {
+        ApRelay {
+            id: NodeId(3),
+            upstream: FaceId::new(0),
+            pending: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn identity_claims_are_unicast() {
+        let mut ap = relay();
+        ap.note(name("/a/b"), FaceId::new(1), SimTime::ZERO, Some(10));
+        ap.note(name("/a/b"), FaceId::new(2), SimTime::ZERO, Some(20));
+        assert_eq!(ap.claim(&name("/a/b"), Some(20)), vec![FaceId::new(2)]);
+        // The other association is untouched until its own copy arrives.
+        assert_eq!(ap.claim(&name("/a/b"), Some(10)), vec![FaceId::new(1)]);
+        assert!(ap.claim(&name("/a/b"), Some(10)).is_empty());
+    }
+
+    #[test]
+    fn anonymous_claims_are_broadcast() {
+        let mut ap = relay();
+        ap.note(name("/a/b"), FaceId::new(1), SimTime::ZERO, None);
+        ap.note(name("/a/b"), FaceId::new(2), SimTime::ZERO, Some(20));
+        assert_eq!(
+            ap.claim(&name("/a/b"), None),
+            vec![FaceId::new(1), FaceId::new(2)]
+        );
+    }
+
+    #[test]
+    fn purge_drops_stale_entries() {
+        let mut ap = relay();
+        ap.note(name("/a/b"), FaceId::new(1), SimTime::ZERO, None);
+        ap.note(name("/a/c"), FaceId::new(2), SimTime::from_secs(5), None);
+        ap.purge(SimTime::from_secs(6), SimDuration::from_secs(4));
+        assert!(ap.claim(&name("/a/b"), None).is_empty(), "stale: purged");
+        assert_eq!(ap.claim(&name("/a/c"), None), vec![FaceId::new(2)]);
+    }
+}

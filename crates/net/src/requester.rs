@@ -1,0 +1,249 @@
+//! The shared Zipf-window workload driver.
+//!
+//! Every mechanism is evaluated under the same consumer behaviour: walk a
+//! Zipf-ranked object catalog chunk by chunk, keep a fixed window of
+//! requests in flight, retry nothing (lost chunks are abandoned — matching
+//! an attacker hammering or a client moving on after expiry). Mechanisms
+//! that need richer consumers (TACTIC's tag-handling clients) implement
+//! their own, but the plain requester lives here so baseline planes and
+//! test planes don't each grow a copy.
+
+use std::collections::{HashMap, VecDeque};
+
+use tactic_ndn::name::Name;
+use tactic_ndn::packet::{Data, Interest};
+use tactic_sim::dist::Zipf;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::{SimDuration, SimTime};
+
+/// The per-provider content catalog a requester walks:
+/// `(prefix, objects, chunks per object)`.
+pub type Catalog = Vec<(Name, usize, usize)>;
+
+/// Static configuration for one [`ZipfRequester`].
+#[derive(Debug, Clone)]
+pub struct RequesterConfig {
+    /// The node's principal identity (used in nonces and, when
+    /// `per_session_names` is set, in names).
+    pub principal: u64,
+    /// Whether this requester counts as a legitimate client in reports.
+    pub is_client: bool,
+    /// Requests kept in flight.
+    pub window: usize,
+    /// Request expiry (also stamped as the Interest lifetime).
+    pub timeout: SimDuration,
+    /// Zipf skew over the global object ranking.
+    pub zipf_alpha: f64,
+    /// Append a `/u<principal>` component so every request is
+    /// per-session-unique (defeats caching; provider-auth baselines).
+    pub per_session_names: bool,
+}
+
+/// A window-driven Zipf requester over a chunked content catalog.
+#[derive(Debug)]
+pub struct ZipfRequester {
+    /// The node's principal identity.
+    pub principal: u64,
+    /// Whether this requester counts as a legitimate client in reports.
+    pub is_client: bool,
+    window: usize,
+    timeout: SimDuration,
+    zipf: Zipf,
+    rng: Rng,
+    catalog: Catalog,
+    per_session_names: bool,
+    current: Option<(usize, usize, usize)>,
+    retry: VecDeque<(usize, usize, usize)>,
+    in_flight: HashMap<Name, SimTime>,
+    nonce: u64,
+    /// Chunks requested so far.
+    pub requested: u64,
+    /// Chunks received so far.
+    pub received: u64,
+    /// Payload bytes received so far.
+    pub received_bytes: u64,
+    /// Per-chunk `(receive time, latency seconds)` records.
+    pub latencies: Vec<(SimTime, f64)>,
+}
+
+impl ZipfRequester {
+    /// Creates a requester over `catalog` with its own RNG stream.
+    pub fn new(config: RequesterConfig, catalog: Catalog, rng: Rng) -> Self {
+        let total_objects = catalog.iter().map(|c| c.1).sum::<usize>();
+        ZipfRequester {
+            principal: config.principal,
+            is_client: config.is_client,
+            window: config.window,
+            timeout: config.timeout,
+            zipf: Zipf::new(total_objects, config.zipf_alpha),
+            rng,
+            catalog,
+            per_session_names: config.per_session_names,
+            current: None,
+            retry: VecDeque::new(),
+            in_flight: HashMap::new(),
+            nonce: 0,
+            requested: 0,
+            received: 0,
+            received_bytes: 0,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn chunk_name(&self, prov: usize, obj: usize, chunk: usize) -> Name {
+        let base = self.catalog[prov]
+            .0
+            .child(format!("obj{obj}"))
+            .child(format!("c{chunk}"));
+        if self.per_session_names {
+            base.child(format!("u{}", self.principal))
+        } else {
+            base
+        }
+    }
+
+    fn next_work(&mut self) -> (usize, usize, usize) {
+        if let Some(w) = self.retry.pop_front() {
+            return w;
+        }
+        match self.current {
+            Some((p, o, c)) if c < self.catalog[p].2 => {
+                self.current = Some((p, o, c + 1));
+                (p, o, c)
+            }
+            _ => {
+                let mut rank = self.zipf.sample(&mut self.rng);
+                let mut prov = 0;
+                for (i, c) in self.catalog.iter().enumerate() {
+                    if rank < c.1 {
+                        prov = i;
+                        break;
+                    }
+                    rank -= c.1;
+                }
+                self.current = Some((prov, rank, 1));
+                (prov, rank, 0)
+            }
+        }
+    }
+
+    /// Tops the in-flight window up; returns the Interests to transmit.
+    pub fn fill(&mut self, now: SimTime) -> Vec<Interest> {
+        let mut out = Vec::new();
+        while self.in_flight.len() < self.window {
+            let (p, o, c) = self.next_work();
+            let name = self.chunk_name(p, o, c);
+            if self.in_flight.contains_key(&name) {
+                continue;
+            }
+            self.nonce += 1;
+            let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
+            i.set_lifetime_ms((self.timeout.as_nanos() / 1_000_000) as u32);
+            self.requested += 1;
+            self.in_flight.insert(name, now);
+            out.push(i);
+        }
+        out
+    }
+
+    /// Records a delivered chunk and refills the window.
+    pub fn on_data(&mut self, d: &Data, now: SimTime) -> Vec<Interest> {
+        if let Some(sent) = self.in_flight.remove(d.name()) {
+            self.received += 1;
+            self.received_bytes += d.payload().len() as u64;
+            self.latencies
+                .push((now, now.saturating_since(sent).as_secs_f64()));
+        }
+        self.fill(now)
+    }
+
+    /// Expires a request if it is still the one sent at `sent`, then
+    /// refills; the Zipf walk continues (lost chunks are abandoned).
+    pub fn on_timeout(&mut self, name: &Name, sent: SimTime, now: SimTime) -> Vec<Interest> {
+        if self.in_flight.get(name) != Some(&sent) {
+            return Vec::new();
+        }
+        self.in_flight.remove(name);
+        self.fill(now)
+    }
+
+    /// A handover re-attached this requester: requests in flight across
+    /// the old radio link are written off (their timeouts will fire as
+    /// no-ops) and the window refills from the new location.
+    pub fn on_move(&mut self, now: SimTime) -> Vec<Interest> {
+        self.in_flight.clear();
+        self.fill(now)
+    }
+
+    /// The per-request expiry this requester stamps on its Interests.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requester(per_session: bool) -> ZipfRequester {
+        ZipfRequester::new(
+            RequesterConfig {
+                principal: 7,
+                is_client: true,
+                window: 4,
+                timeout: SimDuration::from_secs(2),
+                zipf_alpha: 0.8,
+                per_session_names: per_session,
+            },
+            vec![("/prov0".parse().unwrap(), 5, 3)],
+            Rng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn fill_keeps_the_window_full() {
+        let mut r = requester(false);
+        let sends = r.fill(SimTime::ZERO);
+        assert_eq!(sends.len(), 4);
+        assert_eq!(r.requested, 4);
+        assert!(r.fill(SimTime::ZERO).is_empty(), "window already full");
+    }
+
+    #[test]
+    fn per_session_names_append_the_principal() {
+        let mut r = requester(true);
+        let sends = r.fill(SimTime::ZERO);
+        for i in &sends {
+            assert!(i.name().to_string().ends_with("/u7"), "{}", i.name());
+        }
+    }
+
+    #[test]
+    fn stale_timeouts_are_ignored() {
+        let mut r = requester(false);
+        let sends = r.fill(SimTime::ZERO);
+        let name = sends[0].name().clone();
+        // A timeout carrying the wrong sent-time is a no-op.
+        assert!(r
+            .on_timeout(&name, SimTime::from_secs(9), SimTime::from_secs(3))
+            .is_empty());
+        // The genuine one frees a slot and refills it.
+        let refill = r.on_timeout(&name, SimTime::ZERO, SimTime::from_secs(3));
+        assert_eq!(refill.len(), 1);
+    }
+
+    #[test]
+    fn data_records_latency() {
+        let mut r = requester(false);
+        let sends = r.fill(SimTime::ZERO);
+        let d = Data::new(
+            sends[0].name().clone(),
+            tactic_ndn::packet::Payload::Synthetic(100),
+        );
+        let refill = r.on_data(&d, SimTime::from_secs_f64(0.25));
+        assert_eq!(r.received, 1);
+        assert_eq!(r.received_bytes, 100);
+        assert_eq!(refill.len(), 1);
+        assert!((r.latencies[0].1 - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! The shared event loop: engine-driven dispatch, FIFO link serialisation
+//! + propagation, and the mobility/handover model.
+//!
+//! [`Net`] owns everything mechanism-independent about a run — the
+//! [`Engine`], the mutable face tables, per-directed-link busy times, the
+//! run's RNG stream, and the cost model — and drives a [`NodePlane`]
+//! through it. The loop reproduces the historical per-plane simulators
+//! schedule-for-schedule: identical engine sequence numbers, identical RNG
+//! draw order, byte-identical reports.
+
+use std::collections::HashMap;
+
+use tactic_ndn::face::FaceId;
+use tactic_ndn::name::Name;
+use tactic_ndn::packet::Packet;
+use tactic_ndn::wire::wire_size;
+use tactic_sim::cost::CostModel;
+use tactic_sim::dist::Exponential;
+use tactic_sim::engine::Engine;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::NodeId;
+use tactic_topology::roles::Topology;
+
+use crate::links::Links;
+use crate::mobility::MobilityConfig;
+use crate::observer::{DropReason, NetObserver, NoopObserver};
+use crate::plane::{Emit, NodePlane, PlaneCtx};
+
+/// Events flowing through the shared engine.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A packet finishes arriving at `node` on `face`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Arrival face.
+        face: FaceId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A consumer begins its request loop.
+    ConsumerStart {
+        /// The consumer node.
+        node: NodeId,
+    },
+    /// A consumer's outstanding request may have expired.
+    Timeout {
+        /// The requesting node.
+        node: NodeId,
+        /// The request name.
+        name: Name,
+        /// When the request was sent.
+        sent: SimTime,
+    },
+    /// Periodic PIT / relay-state expiry sweep.
+    Purge,
+    /// A mobile client hands over to a new access point.
+    Move {
+        /// The mobile node.
+        node: NodeId,
+    },
+}
+
+/// Transport-level configuration distilled from a plane's scenario.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Simulated duration (the engine horizon).
+    pub duration: SimDuration,
+    /// Client mobility (`None` = static evaluation).
+    pub mobility: Option<MobilityConfig>,
+    /// Computation-cost injection model handed to plane callbacks.
+    pub cost: CostModel,
+}
+
+/// What the transport itself measured in one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Engine events processed (all kinds).
+    pub events: u64,
+    /// `Deliver` events handled (each seen by the plane and the observer
+    /// exactly once).
+    pub deliveries: u64,
+    /// Handovers performed by mobile clients.
+    pub moves: u64,
+}
+
+/// The assembled simulation: shared transport state driving a plane.
+pub struct Net<P, O = NoopObserver> {
+    engine: Engine<NetEvent>,
+    links: Links,
+    /// Per directed link: when the transmitter is free again.
+    link_busy: HashMap<(usize, usize), SimTime>,
+    rng: Rng,
+    cost: CostModel,
+    access_points: Vec<NodeId>,
+    mobility: Option<MobilityConfig>,
+    moves: u64,
+    deliveries: u64,
+    plane: P,
+    observer: O,
+    scratch: Vec<Emit>,
+}
+
+impl<P, O> std::fmt::Debug for Net<P, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Net")
+            .field("nodes", &self.links.neighbors.len())
+            .field("now", &self.engine.now())
+            .field("horizon", &self.engine.horizon())
+            .finish()
+    }
+}
+
+impl<P: NodePlane> Net<P, NoopObserver> {
+    /// Assembles a run with the zero-cost no-op observer.
+    pub fn assemble(topo: &Topology, links: Links, plane: P, rng: Rng, config: NetConfig) -> Self {
+        Self::assemble_observed(topo, links, plane, rng, config, NoopObserver)
+    }
+}
+
+impl<P: NodePlane, O: NetObserver> Net<P, O> {
+    /// Assembles a run: schedules the consumer starts (staggered over the
+    /// first second), the periodic purge sweep, and — when mobility is
+    /// configured — the first handover of each mobile client.
+    ///
+    /// The scheduling order (users in `topo.users()` order, then the purge,
+    /// then mobile clients) and the RNG draw order are part of the
+    /// determinism contract: they reproduce the historical planes exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.mobility` has a `mobile_fraction` outside
+    /// `[0, 1]`.
+    pub fn assemble_observed(
+        topo: &Topology,
+        links: Links,
+        plane: P,
+        mut rng: Rng,
+        config: NetConfig,
+        observer: O,
+    ) -> Self {
+        let mut engine = Engine::with_horizon(SimTime::ZERO + config.duration);
+        for unode in topo.users() {
+            let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
+            engine.schedule(
+                SimTime::ZERO + offset,
+                NetEvent::ConsumerStart { node: unode },
+            );
+        }
+        engine.schedule(SimTime::from_secs(1), NetEvent::Purge);
+
+        if let Some(m) = config.mobility {
+            assert!(
+                (0.0..=1.0).contains(&m.mobile_fraction),
+                "mobile_fraction must be within [0, 1]"
+            );
+            let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
+            let mobile_count = (topo.clients.len() as f64 * m.mobile_fraction).round() as usize;
+            for &c in topo.clients.iter().take(mobile_count) {
+                let at = SimTime::from_secs_f64(dwell.sample(&mut rng));
+                engine.schedule(at, NetEvent::Move { node: c });
+            }
+        }
+
+        Net {
+            engine,
+            links,
+            link_busy: HashMap::new(),
+            rng,
+            cost: config.cost,
+            access_points: topo.access_points.clone(),
+            mobility: config.mobility,
+            moves: 0,
+            deliveries: 0,
+            plane,
+            observer,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Runs to the horizon; returns the plane (for report aggregation),
+    /// the observer, and the transport's own totals.
+    pub fn run(mut self) -> (P, O, TransportReport) {
+        while let Some(ev) = self.engine.pop() {
+            self.dispatch(ev);
+        }
+        let report = TransportReport {
+            events: self.engine.processed(),
+            deliveries: self.deliveries,
+            moves: self.moves,
+        };
+        (self.plane, self.observer, report)
+    }
+
+    /// The current face tables (mutated by handovers as the run proceeds).
+    pub fn links(&self) -> &Links {
+        &self.links
+    }
+
+    /// The plane, for inspection between assembly and `run`.
+    pub fn plane(&self) -> &P {
+        &self.plane
+    }
+
+    fn dispatch(&mut self, ev: NetEvent) {
+        let now = self.engine.now();
+        match ev {
+            NetEvent::Deliver { node, face, packet } => {
+                self.deliveries += 1;
+                self.observer.on_deliver(node, face, &packet, now);
+                let mut out = std::mem::take(&mut self.scratch);
+                self.plane.on_packet(
+                    node,
+                    face,
+                    packet,
+                    &mut PlaneCtx {
+                        now,
+                        rng: &mut self.rng,
+                        cost: &self.cost,
+                    },
+                    &mut out,
+                );
+                self.apply(node, now, out);
+            }
+            NetEvent::ConsumerStart { node } => {
+                let mut out = std::mem::take(&mut self.scratch);
+                self.plane.on_start(
+                    node,
+                    &mut PlaneCtx {
+                        now,
+                        rng: &mut self.rng,
+                        cost: &self.cost,
+                    },
+                    &mut out,
+                );
+                self.apply(node, now, out);
+            }
+            NetEvent::Timeout { node, name, sent } => {
+                let mut out = std::mem::take(&mut self.scratch);
+                self.plane.on_timeout(
+                    node,
+                    name,
+                    sent,
+                    &mut PlaneCtx {
+                        now,
+                        rng: &mut self.rng,
+                        cost: &self.cost,
+                    },
+                    &mut out,
+                );
+                self.apply(node, now, out);
+            }
+            NetEvent::Purge => {
+                self.plane.on_purge(now);
+                self.engine
+                    .schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
+            }
+            NetEvent::Move { node } => {
+                self.perform_handover(node);
+                if let Some(m) = self.mobility {
+                    let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
+                    let delay = SimDuration::from_secs_f64(dwell.sample(&mut self.rng));
+                    self.engine.schedule_after(delay, NetEvent::Move { node });
+                }
+            }
+        }
+    }
+
+    /// Applies a callback's emits in push order, recycling the buffer.
+    fn apply(&mut self, node: NodeId, now: SimTime, mut out: Vec<Emit>) {
+        for emit in out.drain(..) {
+            match emit {
+                Emit::Send {
+                    face,
+                    packet,
+                    compute,
+                } => self.transmit(node, face, packet, compute),
+                Emit::Timeout { name, delay } => self.engine.schedule(
+                    now + delay,
+                    NetEvent::Timeout {
+                        node,
+                        name,
+                        sent: now,
+                    },
+                ),
+            }
+        }
+        self.scratch = out;
+    }
+
+    /// Transmits on a link: FIFO serialisation + propagation delay, after
+    /// the sender's computation time.
+    fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
+        let now = self.engine.now();
+        let Some(&(to, spec)) = self.links.neighbors[from.0].get(out_face.index() as usize) else {
+            // Dangling face: drop.
+            self.observer
+                .on_drop(from, out_face, DropReason::DanglingFace, now);
+            return;
+        };
+        let size = wire_size(&packet);
+        let ready = now + compute;
+        let key = (from.0, to.0);
+        let busy = self.link_busy.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let depart = ready.max(busy);
+        let serialize = spec.serialization_delay(size);
+        self.link_busy.insert(key, depart + serialize);
+        let arrival = depart + serialize + spec.latency;
+        // A handover may have torn down the reverse mapping (the receiver
+        // moved away): the in-flight packet is lost with the radio link.
+        let Some(&in_face) = self.links.face_index[to.0].get(&from) else {
+            self.observer
+                .on_drop(from, out_face, DropReason::ReverseFaceGone, now);
+            return;
+        };
+        self.observer
+            .on_schedule(from, to, size, depart, serialize, arrival);
+        self.engine.schedule(
+            arrival,
+            NetEvent::Deliver {
+                node: to,
+                face: in_face,
+                packet,
+            },
+        );
+    }
+
+    /// Re-attaches a mobile client to a uniformly random *other* access
+    /// point: the client's single face now leads to the new AP (same
+    /// wireless link spec), the new AP gains a face back, and the plane is
+    /// notified so the node can refresh credentials and refill its window.
+    fn perform_handover(&mut self, node: NodeId) {
+        if self.access_points.len() < 2 {
+            return;
+        }
+        let Some(&(current_ap, spec)) = self.links.neighbors[node.0].first() else {
+            return;
+        };
+        let new_ap = loop {
+            let candidate = *self.rng.choose(&self.access_points);
+            if candidate != current_ap {
+                break candidate;
+            }
+        };
+        // Client side: face 0 now points at the new AP.
+        self.links.neighbors[node.0][0] = (new_ap, spec);
+        self.links.face_index[node.0].clear();
+        self.links.face_index[node.0].insert(new_ap, FaceId::new(0));
+        // AP side: ensure the new AP has a face toward this client.
+        if !self.links.face_index[new_ap.0].contains_key(&node) {
+            let face = FaceId::new(self.links.neighbors[new_ap.0].len() as u32);
+            self.links.neighbors[new_ap.0].push((node, spec));
+            self.links.face_index[new_ap.0].insert(node, face);
+        }
+        self.moves += 1;
+        let now = self.engine.now();
+        self.observer.on_handover(node, current_ap, new_ap, now);
+        let mut out = std::mem::take(&mut self.scratch);
+        self.plane.on_handover(
+            node,
+            &mut PlaneCtx {
+                now,
+                rng: &mut self.rng,
+                cost: &self.cost,
+            },
+            &mut out,
+        );
+        self.apply(node, now, out);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length bound accepted by [`vec`]: `m..n`, `m..=n`, or an exact size.
+/// A length bound accepted by [`vec()`]: `m..n`, `m..=n`, or an exact size.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -39,7 +39,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -3,7 +3,46 @@
 
 use std::fmt;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+
+/// `num / den` as a float ratio, defined as 0 when the denominator is 0 —
+/// the convention every delivery/hit ratio in the reports uses.
+///
+/// # Examples
+///
+/// ```
+/// use tactic_sim::stats::ratio;
+///
+/// assert_eq!(ratio(999, 1000), 0.999);
+/// assert_eq!(ratio(1, 0), 0.0);
+/// ```
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Mean of integer counts, 0 if empty.
+pub fn mean_u64(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+/// `count` events over `duration`, as a per-second rate (0 for a
+/// zero-length run).
+pub fn rate_per_second(count: usize, duration: SimDuration) -> f64 {
+    let secs = duration.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
 
 /// A numerically-stable running mean/variance (Welford's algorithm).
 ///
@@ -303,6 +342,16 @@ pub fn average_series(series: &[Vec<(u64, f64)>]) -> Vec<(u64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scalar_helpers() {
+        assert_eq!(ratio(3, 4), 0.75);
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(mean_u64(&[10, 20, 30]), 20.0);
+        assert_eq!(mean_u64(&[]), 0.0);
+        assert_eq!(rate_per_second(50, SimDuration::from_secs(10)), 5.0);
+        assert_eq!(rate_per_second(50, SimDuration::ZERO), 0.0);
+    }
 
     #[test]
     fn running_moments() {

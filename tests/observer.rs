@@ -1,0 +1,63 @@
+//! The observer layer must be free: runs built with the no-op observer
+//! produce reports byte-identical to observer-free runs, on both planes,
+//! and the parallel grid runner (any `--threads` value) agrees with
+//! individually built no-op-observed runs seed for seed.
+
+use tactic::net::{run_scenario, Network};
+use tactic::scenario::Scenario;
+use tactic_baselines::net::{run_baseline, BaselineNetwork};
+use tactic_baselines::Mechanism;
+use tactic_experiments::runner::{run_replicas, scenario_id, BASE_SEED};
+use tactic_net::NoopObserver;
+use tactic_sim::rng::derive_seed;
+use tactic_sim::time::SimDuration;
+use tactic_topology::paper::PaperTopology;
+
+fn small(secs: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(secs);
+    s
+}
+
+#[test]
+fn noop_observer_leaves_tactic_reports_byte_identical() {
+    let s = small(5);
+    let plain = run_scenario(&s, 42);
+    let (observed, _) = Network::build_observed(&s, 42, NoopObserver).run_observed();
+    assert_eq!(format!("{plain:#?}"), format!("{observed:#?}"));
+}
+
+#[test]
+fn noop_observer_leaves_baseline_reports_byte_identical() {
+    let s = small(5);
+    for mechanism in Mechanism::ALL {
+        let plain = run_baseline(&s, mechanism, 42);
+        let (observed, _) =
+            BaselineNetwork::build_observed(&s, mechanism, 42, NoopObserver).run_observed();
+        assert_eq!(
+            format!("{plain:#?}"),
+            format!("{observed:#?}"),
+            "{mechanism}"
+        );
+    }
+}
+
+#[test]
+fn grid_thread_counts_and_noop_observed_runs_all_agree() {
+    let s = small(5);
+    let sid = scenario_id("observer-noop", &[]);
+    let serial = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 1);
+    let parallel = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 4);
+    for i in 0..serial.len() {
+        let seed = derive_seed(
+            BASE_SEED,
+            PaperTopology::Topo1.index() as u32,
+            sid,
+            i as u64,
+        );
+        let (observed, _) = Network::build_observed(&s, seed, NoopObserver).run_observed();
+        let want = format!("{observed:#?}");
+        assert_eq!(format!("{:#?}", serial[i]), want, "run {i}, --threads 1");
+        assert_eq!(format!("{:#?}", parallel[i]), want, "run {i}, --threads 4");
+    }
+}

@@ -1,0 +1,87 @@
+//! Golden-report snapshots guarding the shared-transport refactor.
+//!
+//! The files under `tests/snapshots/` were generated from the pre-refactor
+//! simulation planes (`crates/core/src/net.rs` and
+//! `crates/baselines/src/net.rs` before their event loops were unified into
+//! `tactic-net`). These tests re-run the same small scenarios and assert the
+//! aggregated reports are byte-identical, per plane and per `--threads`
+//! count: the transport extraction must not perturb a single RNG draw,
+//! event timestamp, or engine sequence number.
+//!
+//! Regenerate (only when a *deliberate* behaviour change lands) with:
+//!
+//! ```sh
+//! SNAPSHOT_UPDATE=1 cargo test --test report_snapshots
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tactic::metrics::RunReport;
+use tactic::net::run_scenario;
+use tactic::scenario::Scenario;
+use tactic_baselines::mechanism::Mechanism;
+use tactic_baselines::net::run_baseline;
+use tactic_experiments::runner::{run_replicas, scenario_id};
+use tactic_sim::time::SimDuration;
+use tactic_topology::paper::PaperTopology;
+
+fn small(secs: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(secs);
+    s
+}
+
+fn check(name: &str, got: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name);
+    if std::env::var_os("SNAPSHOT_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir");
+        std::fs::write(&path, got).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {name} ({e}); run with SNAPSHOT_UPDATE=1"));
+    assert_eq!(
+        want, got,
+        "report for {name} diverged from the pre-refactor snapshot"
+    );
+}
+
+fn dump_runs(reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        writeln!(out, "=== run {i} ===\n{r:#?}").expect("string write");
+    }
+    out
+}
+
+#[test]
+fn tactic_plane_small_report_is_byte_identical() {
+    let r = run_scenario(&small(5), 42);
+    check("tactic_small_seed42.txt", &format!("{r:#?}\n"));
+}
+
+#[test]
+fn baseline_planes_small_reports_are_byte_identical() {
+    let r = run_baseline(&small(5), Mechanism::ClientSideAc, 42);
+    check("baseline_client_side_seed42.txt", &format!("{r:#?}\n"));
+    let r = run_baseline(&small(5), Mechanism::ProviderAuthAc, 42);
+    check("baseline_provider_auth_seed42.txt", &format!("{r:#?}\n"));
+}
+
+#[test]
+fn grid_reports_are_byte_identical_across_thread_counts() {
+    let s = small(5);
+    let sid = scenario_id("refactor-snapshot", &[]);
+    let serial = run_replicas("snap", PaperTopology::Topo1, sid, &s, 2, 1);
+    let parallel = run_replicas("snap", PaperTopology::Topo1, sid, &s, 2, 4);
+    let serial_dump = dump_runs(&serial);
+    assert_eq!(
+        serial_dump,
+        dump_runs(&parallel),
+        "--threads 1 vs 4 must not change any report byte"
+    );
+    check("grid_small_2seeds.txt", &serial_dump);
+}
