@@ -22,6 +22,7 @@ use tactic_net::{
 use tactic_sim::rng::Rng;
 use tactic_sim::stats::{ratio, TimeSeries};
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
 
@@ -56,6 +57,9 @@ pub struct BaselineReport {
     pub cache_misses: u64,
     /// Engine events processed.
     pub events: u64,
+    /// High-water mark of the engine's pending-event queue (run manifest
+    /// provenance; not a paper metric).
+    pub peak_queue_depth: u64,
 }
 
 impl BaselineReport {
@@ -88,18 +92,31 @@ enum Node {
 }
 
 /// A baseline mechanism as a pluggable [`NodePlane`].
-pub struct BaselinePlane {
+///
+/// Generic over a [`ProtocolObserver`] so telemetry can watch the same
+/// decision points the TACTIC plane exposes. Baseline routers carry no
+/// edge/core distinction in their logic, so all router hops are stamped
+/// [`NodeRole::CoreRouter`].
+pub struct BaselinePlane<PO: ProtocolObserver = NoopProtocolObserver> {
     mechanism: Mechanism,
     nodes: Vec<Node>,
     request_timeout: SimDuration,
+    proto: PO,
 }
 
-impl BaselinePlane {
-    fn push_requester_sends(&self, out: &mut Vec<Emit>, sends: Vec<Interest>) {
+impl<PO: ProtocolObserver> BaselinePlane<PO> {
+    fn push_requester_sends(
+        proto: &mut PO,
+        hop: Hop,
+        timeout: SimDuration,
+        out: &mut Vec<Emit>,
+        sends: Vec<Interest>,
+    ) {
         for i in sends {
+            proto.on_interest_emitted(hop, i.nonce(), i.name());
             out.push(Emit::Timeout {
                 name: i.name().clone(),
-                delay: self.request_timeout,
+                delay: timeout,
             });
             out.push(Emit::Send {
                 face: FaceId::new(0),
@@ -109,10 +126,11 @@ impl BaselinePlane {
         }
     }
 
-    fn into_report(self, transport: TransportReport) -> BaselineReport {
+    fn into_report(self, transport: TransportReport) -> (BaselineReport, PO) {
         let mut report = BaselineReport {
             mechanism_name: self.mechanism.to_string(),
             events: transport.events,
+            peak_queue_depth: transport.peak_queue_depth,
             ..Default::default()
         };
         for node in self.nodes {
@@ -141,11 +159,11 @@ impl BaselinePlane {
                 Node::Ap(_) => {}
             }
         }
-        report
+        (report, self.proto)
     }
 }
 
-impl NodePlane for BaselinePlane {
+impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     fn on_packet(
         &mut self,
         node: NodeId,
@@ -155,12 +173,19 @@ impl NodePlane for BaselinePlane {
         out: &mut Vec<Emit>,
     ) {
         let now = ctx.now;
+        let proto = &mut self.proto;
+        let node_id = node.0 as u64;
         match &mut self.nodes[node.0] {
             Node::Router(tables) => {
+                let hop = Hop::new(node_id, NodeRole::CoreRouter, now);
                 let sends: Vec<(FaceId, Packet)> = match &packet {
                     Packet::Interest(i) => {
+                        proto.on_interest_hop(hop, i.nonce(), i.name());
                         match process_interest(tables, i, face, now, Vec::new()) {
-                            InterestAction::ReplyFromCache(d) => vec![(face, Packet::Data(d))],
+                            InterestAction::ReplyFromCache(d) => {
+                                proto.on_cache_hit(hop, d.name());
+                                vec![(face, Packet::Data(d))]
+                            }
                             InterestAction::Forward(f) => vec![(f, packet.clone())],
                             _ => Vec::new(),
                         }
@@ -185,7 +210,13 @@ impl NodePlane for BaselinePlane {
             }
             Node::Provider(p) => {
                 if let Packet::Interest(i) = &packet {
+                    let hop = Hop::new(node_id, NodeRole::Provider, now);
+                    proto.on_interest_hop(hop, i.nonce(), i.name());
+                    let auth_before = p.auth_ops;
                     let (reply, charge) = p.handle(i, self.mechanism, ctx.rng, ctx.cost);
+                    if p.auth_ops > auth_before {
+                        proto.on_sig_verify(hop, reply.is_some(), false);
+                    }
                     if let Some(d) = reply {
                         out.push(Emit::Send {
                             face,
@@ -197,8 +228,10 @@ impl NodePlane for BaselinePlane {
             }
             Node::Requester(r) => {
                 if let Packet::Data(d) = &packet {
+                    let hop = Hop::new(node_id, NodeRole::Consumer, now);
+                    proto.on_retrieval(hop, d.name(), RetrievalOutcome::Data);
                     let sends = r.on_data(d, now);
-                    self.push_requester_sends(out, sends);
+                    Self::push_requester_sends(proto, hop, self.request_timeout, out, sends);
                 }
             }
             Node::Ap(ap) => match packet {
@@ -234,7 +267,8 @@ impl NodePlane for BaselinePlane {
             return;
         };
         let sends = r.fill(ctx.now);
-        self.push_requester_sends(out, sends);
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
     }
 
     fn on_timeout(
@@ -248,8 +282,10 @@ impl NodePlane for BaselinePlane {
         let Node::Requester(r) = &mut self.nodes[node.0] else {
             return;
         };
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        self.proto.on_timeout_expired(hop, &name, sent);
         let sends = r.on_timeout(&name, sent, ctx.now);
-        self.push_requester_sends(out, sends);
+        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
     }
 
     fn on_purge(&mut self, now: SimTime) {
@@ -269,13 +305,14 @@ impl NodePlane for BaselinePlane {
             return;
         };
         let sends = r.on_move(ctx.now);
-        self.push_requester_sends(out, sends);
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
     }
 }
 
 /// The assembled baseline simulation on the shared transport.
-pub struct BaselineNetwork<O = NoopObserver> {
-    net: Net<BaselinePlane, O>,
+pub struct BaselineNetwork<O = NoopObserver, PO: ProtocolObserver = NoopProtocolObserver> {
+    net: Net<BaselinePlane<PO>, O>,
 }
 
 impl BaselineNetwork {
@@ -299,6 +336,26 @@ impl<O: NetObserver> BaselineNetwork<O> {
         mechanism: Mechanism,
         seed: u64,
         observer: O,
+    ) -> Self {
+        Self::build_traced(scenario, mechanism, seed, observer, NoopProtocolObserver)
+    }
+
+    /// Runs to the horizon; returns the report and the observer.
+    pub fn run_observed(self) -> (BaselineReport, O) {
+        let (report, observer, _) = self.run_traced();
+        (report, observer)
+    }
+}
+
+impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
+    /// Builds a baseline run with both a transport observer and a
+    /// protocol observer.
+    pub fn build_traced(
+        scenario: &Scenario,
+        mechanism: Mechanism,
+        seed: u64,
+        observer: O,
+        proto: PO,
     ) -> Self {
         let rng = Rng::seed_from_u64(seed ^ 0xBA5E_11E5);
         let topo: Topology = match scenario.topology {
@@ -380,6 +437,7 @@ impl<O: NetObserver> BaselineNetwork<O> {
             mechanism,
             nodes,
             request_timeout: scenario.request_timeout,
+            proto,
         };
         let config = NetConfig {
             duration: scenario.duration,
@@ -391,10 +449,12 @@ impl<O: NetObserver> BaselineNetwork<O> {
         }
     }
 
-    /// Runs to the horizon; returns the report and the observer.
-    pub fn run_observed(self) -> (BaselineReport, O) {
+    /// Runs to the horizon; returns the report, the transport observer,
+    /// and the protocol observer.
+    pub fn run_traced(self) -> (BaselineReport, O, PO) {
         let (plane, observer, transport) = self.net.run();
-        (plane.into_report(transport), observer)
+        let (report, proto) = plane.into_report(transport);
+        (report, observer, proto)
     }
 }
 

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use tactic_bench::bench_scenario;
+use tactic_experiments::opts::Verbosity;
 use tactic_experiments::runner::{run_grid, scenario_id, GridJob};
 
 const SIM_SECS: u64 = 2;
@@ -41,7 +42,7 @@ fn bench_sweep_threads(c: &mut Criterion) {
             |b, &threads| {
                 b.iter_batched(
                     || (),
-                    |()| black_box(run_grid(&jobs, threads).len()),
+                    |()| black_box(run_grid(&jobs, threads, Verbosity::Quiet).len()),
                     BatchSize::SmallInput,
                 )
             },

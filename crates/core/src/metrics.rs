@@ -66,6 +66,9 @@ pub struct RunReport {
     pub sightings: Vec<crate::traitor::Sighting>,
     /// Handovers performed by mobile clients (mobility extension).
     pub moves: u64,
+    /// High-water mark of the engine's pending-event queue (run manifest
+    /// provenance; not a paper metric).
+    pub peak_queue_depth: u64,
 }
 
 impl RunReport {

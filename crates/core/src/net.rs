@@ -21,6 +21,7 @@ use tactic_net::{
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
 
@@ -47,22 +48,27 @@ enum NodeState {
 }
 
 /// The TACTIC mechanism as a pluggable [`NodePlane`]: owns every node's
-/// state and reacts to transport callbacks.
-pub struct TacticPlane {
+/// state and reacts to transport callbacks, reporting protocol decisions
+/// to the [`ProtocolObserver`] `PO` (a no-op by default).
+pub struct TacticPlane<PO: ProtocolObserver = NoopProtocolObserver> {
     nodes: Vec<NodeState>,
     edge_router_set: Vec<bool>,
+    proto: PO,
 }
 
-impl TacticPlane {
+impl<PO: ProtocolObserver> TacticPlane<PO> {
     /// Per-interest consumer emit pattern: each request schedules its
     /// expiry check *before* it is transmitted (the historical FIFO
-    /// tie-break order).
+    /// tie-break order). Reports each emission to the observer.
     fn push_consumer_sends(
+        proto: &mut PO,
+        hop: Hop,
         out: &mut Vec<Emit>,
         sends: Vec<tactic_ndn::packet::Interest>,
         timeout: SimDuration,
     ) {
         for i in sends {
+            proto.on_interest_emitted(hop, i.nonce(), i.name());
             out.push(Emit::Timeout {
                 name: i.name().clone(),
                 delay: timeout,
@@ -75,12 +81,14 @@ impl TacticPlane {
         }
     }
 
-    /// Consumes the plane into the aggregated [`RunReport`].
-    fn into_report(self, duration: SimDuration, transport: TransportReport) -> RunReport {
+    /// Consumes the plane into the aggregated [`RunReport`], returning
+    /// the protocol observer alongside it.
+    fn into_report(self, duration: SimDuration, transport: TransportReport) -> (RunReport, PO) {
         let mut report = RunReport {
             duration,
             events: transport.events,
             moves: transport.moves,
+            peak_queue_depth: transport.peak_queue_depth,
             ..Default::default()
         };
         for (idx, state) in self.nodes.into_iter().enumerate() {
@@ -119,11 +127,11 @@ impl TacticPlane {
                 NodeState::Ap(_) => {}
             }
         }
-        report
+        (report, self.proto)
     }
 }
 
-impl NodePlane for TacticPlane {
+impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     fn on_packet(
         &mut self,
         node: NodeId,
@@ -133,14 +141,20 @@ impl NodePlane for TacticPlane {
         out: &mut Vec<Emit>,
     ) {
         let now = ctx.now;
+        let proto = &mut self.proto;
+        let node_id = node.0 as u64;
         match &mut self.nodes[node.0] {
             NodeState::Router(r) => {
                 let res = match packet {
-                    Packet::Interest(i) => r.handle_interest(i, face, now, ctx.rng, ctx.cost),
-                    Packet::Data(d) => r.handle_data(d, face, now, ctx.rng, ctx.cost),
+                    Packet::Interest(i) => {
+                        r.handle_interest_observed(i, face, now, ctx.rng, ctx.cost, node_id, proto)
+                    }
+                    Packet::Data(d) => {
+                        r.handle_data_observed(d, face, now, ctx.rng, ctx.cost, node_id, proto)
+                    }
                     // Standalone NACKs travel downstream: relay toward the
                     // pending requesters, consuming the PIT state.
-                    Packet::Nack(n) => r.handle_nack(&n),
+                    Packet::Nack(n) => r.handle_nack_observed(&n, now, node_id, proto),
                 };
                 for (out_face, pkt) in res.sends {
                     out.push(Emit::Send {
@@ -152,7 +166,9 @@ impl NodePlane for TacticPlane {
             }
             NodeState::Provider(p) => {
                 let (replies, compute) = match &packet {
-                    Packet::Interest(i) => p.handle_interest(i, now, ctx.rng, ctx.cost),
+                    Packet::Interest(i) => {
+                        p.handle_interest_observed(i, now, ctx.rng, ctx.cost, node_id, proto)
+                    }
                     _ => (Vec::new(), SimDuration::ZERO),
                 };
                 for pkt in replies {
@@ -164,13 +180,20 @@ impl NodePlane for TacticPlane {
                 }
             }
             NodeState::Consumer(c) => {
+                let hop = Hop::new(node_id, NodeRole::Consumer, now);
                 let sends = match &packet {
-                    Packet::Data(d) => c.on_data(d, now),
-                    Packet::Nack(n) => c.on_nack(n, now),
+                    Packet::Data(d) => {
+                        proto.on_retrieval(hop, d.name(), RetrievalOutcome::Data);
+                        c.on_data(d, now)
+                    }
+                    Packet::Nack(n) => {
+                        proto.on_retrieval(hop, n.interest().name(), RetrievalOutcome::Nack);
+                        c.on_nack(n, now)
+                    }
                     Packet::Interest(_) => Vec::new(),
                 };
                 let timeout = c.request_timeout();
-                Self::push_consumer_sends(out, sends, timeout);
+                Self::push_consumer_sends(proto, hop, out, sends, timeout);
             }
             NodeState::Ap(ap) => match packet {
                 Packet::Interest(mut i) => {
@@ -216,9 +239,10 @@ impl NodePlane for TacticPlane {
         let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
             return;
         };
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         let sends = c.fill(ctx.now);
         let timeout = c.request_timeout();
-        Self::push_consumer_sends(out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
     }
 
     fn on_timeout(
@@ -232,9 +256,11 @@ impl NodePlane for TacticPlane {
         let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
             return;
         };
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        self.proto.on_timeout_expired(hop, &name, sent);
         let sends = c.on_timeout(&name, sent, ctx.now);
         let timeout = c.request_timeout();
-        Self::push_consumer_sends(out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
     }
 
     fn on_purge(&mut self, now: SimTime) {
@@ -255,21 +281,23 @@ impl NodePlane for TacticPlane {
         let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
             return;
         };
+        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         c.on_move(ctx.now);
         let sends = c.fill(ctx.now);
         let timeout = c.request_timeout();
-        Self::push_consumer_sends(out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
     }
 }
 
 /// The assembled simulation: the TACTIC plane on the shared transport,
-/// optionally instrumented with a [`NetObserver`].
-pub struct Network<O = NoopObserver> {
-    net: Net<TacticPlane, O>,
+/// optionally instrumented with a transport-level [`NetObserver`] `O`
+/// and/or a protocol-level [`ProtocolObserver`] `PO`.
+pub struct Network<O = NoopObserver, PO: ProtocolObserver = NoopProtocolObserver> {
+    net: Net<TacticPlane<PO>, O>,
     duration: SimDuration,
 }
 
-impl<O> std::fmt::Debug for Network<O> {
+impl<O, PO: ProtocolObserver> std::fmt::Debug for Network<O, PO> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("duration", &self.duration)
@@ -294,6 +322,24 @@ impl<O: NetObserver> Network<O> {
     /// link-utilisation counters, drop accounting — see
     /// [`tactic_net::observer`]).
     pub fn build_observed(scenario: &Scenario, seed: u64, observer: O) -> Network<O> {
+        Self::build_traced(scenario, seed, observer, NoopProtocolObserver)
+    }
+
+    /// Runs to the horizon; returns the aggregated [`RunReport`] and the
+    /// observer with whatever it recorded.
+    pub fn run_observed(self) -> (RunReport, O) {
+        let (report, observer, _) = self.run_traced();
+        (report, observer)
+    }
+}
+
+impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
+    /// Builds the network with both a transport observer and a
+    /// protocol-decision observer (see [`tactic_telemetry`]). The
+    /// protocol observer receives every Protocol 1–4 decision hook;
+    /// a [`NoopProtocolObserver`] run is byte-identical to an
+    /// unobserved one.
+    pub fn build_traced(scenario: &Scenario, seed: u64, observer: O, proto: PO) -> Network<O, PO> {
         let rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
         let topo: Topology = match scenario.topology {
             TopologyChoice::Paper(p) => p.build(seed),
@@ -486,6 +532,7 @@ impl<O: NetObserver> Network<O> {
         let plane = TacticPlane {
             nodes,
             edge_router_set,
+            proto,
         };
         let config = NetConfig {
             duration: scenario.duration,
@@ -498,12 +545,13 @@ impl<O: NetObserver> Network<O> {
         }
     }
 
-    /// Runs to the horizon; returns the aggregated [`RunReport`] and the
-    /// observer with whatever it recorded.
-    pub fn run_observed(self) -> (RunReport, O) {
+    /// Runs to the horizon; returns the aggregated [`RunReport`], the
+    /// transport observer, and the protocol observer.
+    pub fn run_traced(self) -> (RunReport, O, PO) {
         let duration = self.duration;
         let (plane, observer, transport) = self.net.run();
-        (plane.into_report(duration, transport), observer)
+        let (report, proto) = plane.into_report(duration, transport);
+        (report, observer, proto)
     }
 }
 

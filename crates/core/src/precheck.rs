@@ -68,6 +68,21 @@ impl std::fmt::Display for PreCheckError {
 
 impl std::error::Error for PreCheckError {}
 
+impl PreCheckError {
+    /// The payload-free telemetry label for this rejection (the hook
+    /// vocabulary lives below `tactic` in the crate graph, so it cannot
+    /// carry the `Name`/`SimTime` details).
+    pub fn telemetry_reason(&self) -> tactic_telemetry::RejectReason {
+        use tactic_telemetry::RejectReason as R;
+        match self {
+            PreCheckError::PrefixMismatch { .. } => R::PrefixMismatch,
+            PreCheckError::Expired { .. } => R::Expired,
+            PreCheckError::InsufficientAccessLevel { .. } => R::InsufficientAccessLevel,
+            PreCheckError::ProviderKeyMismatch => R::ProviderKeyMismatch,
+        }
+    }
+}
+
 /// The edge-router half of Protocol 1: provider-prefix match and expiry.
 ///
 /// # Errors

@@ -18,6 +18,10 @@ use tactic_ndn::packet::{Data, Interest, NackReason, Packet, Payload};
 use tactic_sim::cost::{CostModel, Op};
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{
+    Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict, ProtocolObserver,
+    RejectReason,
+};
 
 use crate::access::AccessLevel;
 use crate::access_path::AccessPath;
@@ -237,10 +241,26 @@ impl Provider {
         rng: &mut Rng,
         cost: &CostModel,
     ) -> (Vec<Packet>, SimDuration) {
+        self.handle_interest_observed(interest, now, rng, cost, 0, &mut NoopProtocolObserver)
+    }
+
+    /// [`Self::handle_interest`] with protocol-decision hooks: `node` is
+    /// the provider's id in the topology, stamped onto every hook.
+    pub fn handle_interest_observed<O: ProtocolObserver>(
+        &mut self,
+        interest: &Interest,
+        now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+        node: u64,
+        obs: &mut O,
+    ) -> (Vec<Packet>, SimDuration) {
         let mut charge = SimDuration::ZERO;
+        let hop = Hop::new(node, NodeRole::Provider, now);
         if ext::is_registration(interest) {
             return self.handle_registration(interest, now, rng, cost);
         }
+        obs.on_interest_hop(hop, interest.nonce(), interest.name());
         // Content request reaching the origin: the provider is the origin
         // content router and validates like one.
         let Some((obj, chunk)) = self.parse_content_name(interest.name()) else {
@@ -254,15 +274,52 @@ impl Provider {
         }
         let tag = ext::interest_tag(interest);
         let valid = match &tag {
-            None => false,
+            None => {
+                obs.on_precheck(
+                    hop,
+                    PrecheckStage::Content,
+                    PrecheckVerdict::Rejected(RejectReason::MissingTag),
+                );
+                false
+            }
             Some(st) => {
                 charge += cost.sample(Op::PreCheck, rng);
-                let pre = crate::precheck::edge_precheck(&st.tag, interest.name(), now).is_ok()
-                    && crate::precheck::content_precheck(&st.tag, level, &self.key_locator).is_ok();
+                let pre = match crate::precheck::edge_precheck(&st.tag, interest.name(), now) {
+                    Err(e) => {
+                        obs.on_precheck(
+                            hop,
+                            PrecheckStage::Edge,
+                            PrecheckVerdict::Rejected(e.telemetry_reason()),
+                        );
+                        false
+                    }
+                    Ok(()) => {
+                        obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
+                        match crate::precheck::content_precheck(&st.tag, level, &self.key_locator) {
+                            Err(e) => {
+                                obs.on_precheck(
+                                    hop,
+                                    PrecheckStage::Content,
+                                    PrecheckVerdict::Rejected(e.telemetry_reason()),
+                                );
+                                false
+                            }
+                            Ok(()) => {
+                                obs.on_precheck(
+                                    hop,
+                                    PrecheckStage::Content,
+                                    PrecheckVerdict::Accepted,
+                                );
+                                true
+                            }
+                        }
+                    }
+                };
                 if pre {
                     self.counters.chunks_served += 1; // optimistic; adjusted below
                     charge += cost.sample(Op::SigVerify, rng);
                     let ok = st.verify(&self.keypair.public());
+                    obs.on_sig_verify(hop, ok, false);
                     if !ok {
                         self.counters.chunks_served -= 1;
                     }
@@ -282,6 +339,7 @@ impl Provider {
             // satisfied while this requester is refused (§5.B).
             ext::set_data_nack(&mut d, NackReason::InvalidTag);
             self.counters.nacks += 1;
+            obs.on_nack(hop, NackReason::InvalidTag);
         }
         (vec![Packet::Data(d)], charge)
     }

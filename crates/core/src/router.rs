@@ -20,6 +20,10 @@ use tactic_ndn::pit::PitInsert;
 use tactic_sim::cost::{CostModel, Op};
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{
+    BfOutcome, Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict,
+    ProtocolObserver, RevalidationOutcome,
+};
 
 use crate::ext;
 use crate::precheck::{content_precheck, edge_precheck};
@@ -82,12 +86,22 @@ impl RouterConfig {
 /// Table V.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounters {
-    /// Bloom-filter lookups (`L`).
+    /// Bloom-filter lookups on the first-validation path (`L`).
     pub bf_lookups: u64,
+    /// Bloom-filter lookups attributable to the probabilistic `F > 0`
+    /// re-validation path at content routers — split out of `L` so
+    /// re-validation work is separately countable; Fig. 7 merges the two
+    /// back into its `L` column.
+    pub bf_lookups_reval: u64,
     /// Bloom-filter insertions (`I`).
     pub bf_insertions: u64,
-    /// Signature verifications (`V`).
+    /// Signature verifications on the first-validation path (`V`).
     pub sig_verifications: u64,
+    /// Signature verifications performed as probabilistic `F > 0`
+    /// re-validations at content routers (Protocol 3 lines 11-12 and the
+    /// aggregated-requester equivalent) — split out of `V`; Fig. 7
+    /// merges them back into its `V` column.
+    pub revalidations: u64,
     /// Bloom-filter resets.
     pub bf_resets: u64,
     /// Interests processed.
@@ -108,8 +122,10 @@ impl OpCounters {
     /// Element-wise sum.
     pub fn merge(&mut self, other: &OpCounters) {
         self.bf_lookups += other.bf_lookups;
+        self.bf_lookups_reval += other.bf_lookups_reval;
         self.bf_insertions += other.bf_insertions;
         self.sig_verifications += other.sig_verifications;
+        self.revalidations += other.revalidations;
         self.bf_resets += other.bf_resets;
         self.interests += other.interests;
         self.data += other.data;
@@ -117,6 +133,18 @@ impl OpCounters {
         self.ap_rejections += other.ap_rejections;
         self.nacks += other.nacks;
         self.cache_hits += other.cache_hits;
+    }
+
+    /// First-validation plus re-validation BF lookups — Fig. 7's merged
+    /// `L` column.
+    pub fn total_bf_lookups(&self) -> u64 {
+        self.bf_lookups + self.bf_lookups_reval
+    }
+
+    /// First-validation plus re-validation signature verifications —
+    /// Fig. 7's merged `V` column.
+    pub fn total_sig_verifications(&self) -> u64 {
+        self.sig_verifications + self.revalidations
     }
 }
 
@@ -256,10 +284,23 @@ impl TacticRouter {
     /// Relays a standalone NACK downstream to every pending requester,
     /// consuming the PIT entry.
     pub fn handle_nack(&mut self, nack: &Nack) -> RouterOutput {
+        self.handle_nack_observed(nack, SimTime::default(), 0, &mut NoopProtocolObserver)
+    }
+
+    /// [`Self::handle_nack`] with protocol-decision hooks.
+    pub fn handle_nack_observed<O: ProtocolObserver>(
+        &mut self,
+        nack: &Nack,
+        now: SimTime,
+        node: u64,
+        obs: &mut O,
+    ) -> RouterOutput {
         let mut out = RouterOutput::default();
+        let hop = Hop::new(node, self.telemetry_role(), now);
         if let Some(entry) = self.tables.pit.take(nack.interest().name()) {
             for rec in entry.into_records() {
                 self.counters.nacks += 1;
+                obs.on_nack(hop, nack.reason());
                 out.sends.push((rec.face, Packet::Nack(nack.clone())));
             }
         }
@@ -270,51 +311,95 @@ impl TacticRouter {
         self.downstream.contains(&face)
     }
 
-    /// BF lookup with cost charging and counting.
-    fn bf_contains(
+    /// This router's role in telemetry vocabulary.
+    fn telemetry_role(&self) -> NodeRole {
+        match self.config.role {
+            RouterRole::Edge => NodeRole::EdgeRouter,
+            RouterRole::Core => NodeRole::CoreRouter,
+        }
+    }
+
+    /// BF lookup with cost charging and counting. `reval` marks lookups
+    /// on the probabilistic `F > 0` re-validation path, which count into
+    /// `bf_lookups_reval` instead of `bf_lookups`.
+    #[allow(clippy::too_many_arguments)]
+    fn bf_contains<O: ProtocolObserver>(
         &mut self,
         key: &[u8],
+        reval: bool,
+        hop: Hop,
+        obs: &mut O,
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
     ) -> bool {
-        self.counters.bf_lookups += 1;
+        if reval {
+            self.counters.bf_lookups_reval += 1;
+        } else {
+            self.counters.bf_lookups += 1;
+        }
         *charge += cost.sample(Op::BfLookup, rng);
-        self.bf.contains(key)
+        let hit = self.bf.contains(key);
+        obs.on_bf_lookup(
+            hop,
+            if hit { BfOutcome::Hit } else { BfOutcome::Miss },
+            reval,
+        );
+        hit
     }
 
     /// BF insert with saturation-reset accounting, cost charging, counting.
     /// The reset decision itself lives in [`BloomFilter::insert_with_reset`]
     /// so `counters.bf_resets` stays in lockstep with `BloomFilter::resets()`.
-    fn bf_insert(&mut self, key: &[u8], rng: &mut Rng, cost: &CostModel, charge: &mut SimDuration) {
+    fn bf_insert<O: ProtocolObserver>(
+        &mut self,
+        key: &[u8],
+        hop: Hop,
+        obs: &mut O,
+        rng: &mut Rng,
+        cost: &CostModel,
+        charge: &mut SimDuration,
+    ) {
         self.counters.bf_insertions += 1;
         *charge += cost.sample(Op::BfInsert, rng);
-        if self.bf.insert_with_reset(key) {
+        let reset = self.bf.insert_with_reset(key);
+        if reset {
             self.counters.bf_resets += 1;
             self.reset_request_counts.push(self.requests_since_reset);
             self.requests_since_reset = 0;
         }
+        obs.on_bf_insert(hop, reset);
     }
 
     /// Full tag validation: BF short-circuit, then signature verification
-    /// against the registered provider key, inserting on success.
-    fn validate_tag(
+    /// against the registered provider key, inserting on success. `reval`
+    /// routes the work into the re-validation counters.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_tag<O: ProtocolObserver>(
         &mut self,
         tag: &SignedTag,
+        reval: bool,
+        hop: Hop,
+        obs: &mut O,
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
     ) -> bool {
         let key = tag.bloom_key();
-        if self.bf_contains(&key, rng, cost, charge) {
+        if self.bf_contains(&key, reval, hop, obs, rng, cost, charge) {
             return true;
         }
-        self.counters.sig_verifications += 1;
+        if reval {
+            self.counters.revalidations += 1;
+        } else {
+            self.counters.sig_verifications += 1;
+        }
         *charge += cost.sample(Op::SigVerify, rng);
         let provider = self.certs.key_for(&tag.tag.provider_prefix().to_string());
         let valid = provider.is_some_and(|pk| tag.verify(&pk));
+        obs.on_sig_verify(hop, valid, reval);
         if valid {
-            self.bf_insert(&key, rng, cost, charge);
+            self.bf_insert(&key, hop, obs, rng, cost, charge);
         }
         valid
     }
@@ -323,15 +408,42 @@ impl TacticRouter {
     /// halves of 3 and 4).
     pub fn handle_interest(
         &mut self,
-        mut interest: Interest,
+        interest: Interest,
         in_face: FaceId,
         now: SimTime,
         rng: &mut Rng,
         cost: &CostModel,
     ) -> RouterOutput {
+        self.handle_interest_observed(
+            interest,
+            in_face,
+            now,
+            rng,
+            cost,
+            0,
+            &mut NoopProtocolObserver,
+        )
+    }
+
+    /// [`Self::handle_interest`] with protocol-decision hooks: `node` is
+    /// this router's id in the topology, stamped onto every hook.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_interest_observed<O: ProtocolObserver>(
+        &mut self,
+        mut interest: Interest,
+        in_face: FaceId,
+        now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+        node: u64,
+        obs: &mut O,
+    ) -> RouterOutput {
         let mut out = RouterOutput::default();
+        let hop = Hop::new(node, self.telemetry_role(), now);
         self.counters.interests += 1;
         self.requests_since_reset += 1;
+        obs.on_interest_hop(hop, interest.nonce(), interest.name());
+        let observed_f = ext::interest_flag_f(&interest);
 
         let from_client = self.config.role == RouterRole::Edge && self.is_downstream(in_face);
         let registration = ext::is_registration(&interest);
@@ -366,6 +478,14 @@ impl TacticRouter {
                         // Lines 1-2: drop and NACK the client.
                         self.counters.ap_rejections += 1;
                         self.counters.nacks += 1;
+                        obs.on_precheck(
+                            hop,
+                            PrecheckStage::Edge,
+                            PrecheckVerdict::Rejected(
+                                tactic_telemetry::RejectReason::AccessPathMismatch,
+                            ),
+                        );
+                        obs.on_nack(hop, NackReason::AccessPathMismatch);
                         out.sends.push((
                             in_face,
                             Packet::Nack(Nack::new(interest, NackReason::AccessPathMismatch)),
@@ -378,13 +498,19 @@ impl TacticRouter {
                 // its 1 s request expiry, which is the paper's
                 // "request-based DoS prevention" (§8.B).
                 out.compute += cost.sample(Op::PreCheck, rng);
-                if edge_precheck(&st.tag, interest.name(), now).is_err() {
+                if let Err(e) = edge_precheck(&st.tag, interest.name(), now) {
                     self.counters.precheck_rejections += 1;
+                    obs.on_precheck(
+                        hop,
+                        PrecheckStage::Edge,
+                        PrecheckVerdict::Rejected(e.telemetry_reason()),
+                    );
                     return out;
                 }
+                obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
                 // Lines 4-8: set F from the BF.
                 let key = st.bloom_key();
-                let f = if self.bf_contains(&key, rng, cost, &mut out.compute) {
+                let f = if self.bf_contains(&key, false, hop, obs, rng, cost, &mut out.compute) {
                     // A hit with a pristine filter still means "validated":
                     // floor the flag so it stays distinguishable from 0.
                     self.bf.estimated_fpp().max(1e-9)
@@ -402,30 +528,34 @@ impl TacticRouter {
         } else {
             0.0
         };
+        obs.on_flag_f(hop, observed_f, flag_f);
 
         // ── Content store: Protocol 3 if we hold the content ──
         if !registration {
             if let Some(cached) = self.tables.cs.get(interest.name()) {
                 let cached = cached.clone();
                 self.counters.cache_hits += 1;
+                obs.on_cache_hit(hop, interest.name());
                 let decision = self.serve_content(
                     &cached,
                     tag.as_ref(),
                     flag_f,
-                    now,
+                    hop,
+                    obs,
                     rng,
                     cost,
                     &mut out.compute,
                 );
                 match decision {
                     ServeDecision::Serve(d) => out.sends.push((in_face, Packet::Data(d))),
-                    ServeDecision::Invalid(d, _reason) => {
+                    ServeDecision::Invalid(d, reason) => {
                         if from_client {
                             // Never hand unauthorized content to a client;
                             // drop silently so the attacker is throttled by
                             // its own request expiry.
                         } else if self.config.content_nack_enabled {
                             self.counters.nacks += 1;
+                            obs.on_nack(hop, reason);
                             out.sends.push((in_face, Packet::Data(d)));
                         }
                     }
@@ -443,12 +573,20 @@ impl TacticRouter {
             .on_interest(interest.name(), in_face, interest.nonce(), expiry, note)
         {
             PitInsert::DuplicateNonce => {}
-            PitInsert::Aggregated => {}
+            PitInsert::Aggregated => {
+                let depth = self
+                    .tables
+                    .pit
+                    .get(interest.name())
+                    .map_or(0, |e| e.records().len());
+                obs.on_pit_aggregated(hop, depth);
+            }
             PitInsert::New => match self.tables.fib.next_hop(interest.name()) {
                 Some(next) => out.sends.push((next, Packet::Interest(interest))),
                 None => {
                     self.tables.pit.take(interest.name());
                     self.counters.nacks += 1;
+                    obs.on_nack(hop, NackReason::NoRoute);
                     out.sends.push((
                         in_face,
                         Packet::Nack(Nack::new(interest, NackReason::NoRoute)),
@@ -461,12 +599,13 @@ impl TacticRouter {
 
     /// Protocol 3: decide how to answer a request for cached content.
     #[allow(clippy::too_many_arguments)]
-    fn serve_content(
+    fn serve_content<O: ProtocolObserver>(
         &mut self,
         cached: &Data,
         tag: Option<&SignedTag>,
         flag_f: f64,
-        _now: SimTime,
+        hop: Hop,
+        obs: &mut O,
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
@@ -479,6 +618,11 @@ impl TacticRouter {
         let Some(st) = tag else {
             // Protected content, no tag: content-NACK so downstream
             // aggregated (valid) requests are still satisfiable.
+            obs.on_precheck(
+                hop,
+                PrecheckStage::Content,
+                PrecheckVerdict::Rejected(tactic_telemetry::RejectReason::MissingTag),
+            );
             let mut d = cached.clone();
             ext::set_data_nack(&mut d, NackReason::InvalidTag);
             return ServeDecision::Invalid(d, NackReason::InvalidTag);
@@ -486,24 +630,41 @@ impl TacticRouter {
         // Protocol 1, content half.
         *charge += cost.sample(Op::PreCheck, rng);
         let key_loc = ext::data_key_locator(cached).unwrap_or_default();
-        if content_precheck(&st.tag, al, &key_loc).is_err() {
+        if let Err(e) = content_precheck(&st.tag, al, &key_loc) {
             self.counters.precheck_rejections += 1;
+            obs.on_precheck(
+                hop,
+                PrecheckStage::Content,
+                PrecheckVerdict::Rejected(e.telemetry_reason()),
+            );
             let mut d = cached.clone();
             ext::set_data_tag(&mut d, st);
             ext::set_data_nack(&mut d, NackReason::InvalidTag);
             return ServeDecision::Invalid(d, NackReason::InvalidTag);
         }
+        obs.on_precheck(hop, PrecheckStage::Content, PrecheckVerdict::Accepted);
         let valid = if flag_f == 0.0 {
             // Lines 1-10: BF lookup; verify + insert on miss.
-            self.validate_tag(st, rng, cost, charge)
+            self.validate_tag(st, false, hop, obs, rng, cost, charge)
         } else if rng.chance(flag_f) {
             // Lines 11-12: probabilistic re-validation guards against the
             // edge filter's false positives.
-            self.counters.sig_verifications += 1;
+            self.counters.revalidations += 1;
             *charge += cost.sample(Op::SigVerify, rng);
             let provider = self.certs.key_for(&st.tag.provider_prefix().to_string());
-            provider.is_some_and(|pk| st.verify(&pk))
+            let valid = provider.is_some_and(|pk| st.verify(&pk));
+            obs.on_sig_verify(hop, valid, true);
+            obs.on_revalidation(
+                hop,
+                if valid {
+                    RevalidationOutcome::Verified
+                } else {
+                    RevalidationOutcome::Rejected
+                },
+            );
+            valid
         } else {
+            obs.on_revalidation(hop, RevalidationOutcome::Trusted);
             true // Trust the edge router's validation.
         };
         let mut d = cached.clone();
@@ -524,12 +685,28 @@ impl TacticRouter {
     pub fn handle_data(
         &mut self,
         data: Data,
-        _in_face: FaceId,
+        in_face: FaceId,
         now: SimTime,
         rng: &mut Rng,
         cost: &CostModel,
     ) -> RouterOutput {
+        self.handle_data_observed(data, in_face, now, rng, cost, 0, &mut NoopProtocolObserver)
+    }
+
+    /// [`Self::handle_data`] with protocol-decision hooks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_data_observed<O: ProtocolObserver>(
+        &mut self,
+        data: Data,
+        _in_face: FaceId,
+        now: SimTime,
+        rng: &mut Rng,
+        cost: &CostModel,
+        node: u64,
+        obs: &mut O,
+    ) -> RouterOutput {
         let mut out = RouterOutput::default();
+        let hop = Hop::new(node, self.telemetry_role(), now);
         self.counters.data += 1;
 
         // Registration responses: edge inserts the fresh tag (Protocol 2
@@ -540,7 +717,7 @@ impl TacticRouter {
             };
             for rec in entry.records() {
                 if self.config.role == RouterRole::Edge && self.is_downstream(rec.face) {
-                    self.bf_insert(&new_tag.bloom_key(), rng, cost, &mut out.compute);
+                    self.bf_insert(&new_tag.bloom_key(), hop, obs, rng, cost, &mut out.compute);
                 }
                 out.sends.push((rec.face, Packet::Data(data.clone())));
             }
@@ -588,7 +765,14 @@ impl TacticRouter {
                         if to_client && f_in_d == 0.0 {
                             // Lines 14-15: upstream vouched; insert.
                             if let Some(rt) = &rec_tag {
-                                self.bf_insert(&rt.bloom_key(), rng, cost, &mut out.compute);
+                                self.bf_insert(
+                                    &rt.bloom_key(),
+                                    hop,
+                                    obs,
+                                    rng,
+                                    cost,
+                                    &mut out.compute,
+                                );
                             }
                         }
                         out.sends.push((rec.face, Packet::Data(data.clone())));
@@ -607,6 +791,7 @@ impl TacticRouter {
                     let mut d = data.clone();
                     ext::set_data_nack(&mut d, NackReason::InvalidTag);
                     self.counters.nacks += 1;
+                    obs.on_nack(hop, NackReason::InvalidTag);
                     out.sends.push((rec.face, Packet::Data(d)));
                 }
                 continue;
@@ -618,19 +803,57 @@ impl TacticRouter {
             };
             if flag_f != 0.0 && !rng.chance(flag_f) {
                 // Trust the edge router's prior validation.
+                obs.on_revalidation(hop, RevalidationOutcome::Trusted);
                 let mut d = data.clone();
                 ext::set_data_tag(&mut d, &rt);
                 ext::set_data_flag_f(&mut d, flag_f);
                 out.sends.push((rec.face, Packet::Data(d)));
                 continue;
             }
+            let reval = flag_f != 0.0;
             // Validate: pre-check (both halves apply here — the tag may
             // have expired while pending), then BF/signature.
             out.compute += cost.sample(Op::PreCheck, rng);
             let key_loc = ext::data_key_locator(&data).unwrap_or_default();
-            let pre_ok = edge_precheck(&rt.tag, data.name(), now).is_ok()
-                && content_precheck(&rt.tag, al, &key_loc).is_ok();
-            let valid = pre_ok && self.validate_tag(&rt, rng, cost, &mut out.compute);
+            let pre_ok = match edge_precheck(&rt.tag, data.name(), now) {
+                Err(e) => {
+                    obs.on_precheck(
+                        hop,
+                        PrecheckStage::Edge,
+                        PrecheckVerdict::Rejected(e.telemetry_reason()),
+                    );
+                    false
+                }
+                Ok(()) => {
+                    obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
+                    match content_precheck(&rt.tag, al, &key_loc) {
+                        Err(e) => {
+                            obs.on_precheck(
+                                hop,
+                                PrecheckStage::Content,
+                                PrecheckVerdict::Rejected(e.telemetry_reason()),
+                            );
+                            false
+                        }
+                        Ok(()) => {
+                            obs.on_precheck(hop, PrecheckStage::Content, PrecheckVerdict::Accepted);
+                            true
+                        }
+                    }
+                }
+            };
+            let valid =
+                pre_ok && self.validate_tag(&rt, reval, hop, obs, rng, cost, &mut out.compute);
+            if reval {
+                obs.on_revalidation(
+                    hop,
+                    if valid {
+                        RevalidationOutcome::Verified
+                    } else {
+                        RevalidationOutcome::Rejected
+                    },
+                );
+            }
             if valid {
                 let mut d = data.clone();
                 ext::set_data_tag(&mut d, &rt);
@@ -646,6 +869,7 @@ impl TacticRouter {
                 ext::set_data_tag(&mut d, &rt);
                 ext::set_data_nack(&mut d, NackReason::InvalidTag);
                 self.counters.nacks += 1;
+                obs.on_nack(hop, NackReason::InvalidTag);
                 out.sends.push((rec.face, Packet::Data(d)));
             }
         }
@@ -725,6 +949,11 @@ mod tests {
         s.parse().unwrap()
     }
 
+    /// A throwaway hook stamp for driving the private helpers directly.
+    fn test_hop() -> Hop {
+        Hop::new(0, NodeRole::EdgeRouter, SimTime::default())
+    }
+
     #[test]
     fn edge_forwards_valid_tag_with_f_zero_on_bf_miss() {
         let mut f = fixture(RouterRole::Edge);
@@ -749,8 +978,14 @@ mod tests {
         let tag = make_tag(&f, 100);
         // Seed the BF as if the tag had been validated before.
         let mut charge = SimDuration::ZERO;
-        f.router
-            .bf_insert(&tag.bloom_key(), &mut f.rng.clone(), &f.cost, &mut charge);
+        f.router.bf_insert(
+            &tag.bloom_key(),
+            test_hop(),
+            &mut NoopProtocolObserver,
+            &mut f.rng.clone(),
+            &f.cost,
+            &mut charge,
+        );
         let i = tagged_interest("/prov/obj/0", 1, &tag);
         let out = f
             .router
@@ -1124,8 +1359,14 @@ mod tests {
         // Pre-insert so the edge sets F != 0 on the interest.
         let mut charge = SimDuration::ZERO;
         let mut rng2 = f.rng.clone();
-        f.router
-            .bf_insert(&tag.bloom_key(), &mut rng2, &f.cost, &mut charge);
+        f.router.bf_insert(
+            &tag.bloom_key(),
+            test_hop(),
+            &mut NoopProtocolObserver,
+            &mut rng2,
+            &f.cost,
+            &mut charge,
+        );
         f.router.handle_interest(
             tagged_interest("/prov/obj/0", 1, &tag),
             CLIENT,
@@ -1238,7 +1479,14 @@ mod tests {
         let mut charge = SimDuration::ZERO;
         for i in 0..500u64 {
             router.requests_since_reset += 1; // simulate request arrivals
-            router.bf_insert(&i.to_le_bytes(), &mut f.rng, &f.cost, &mut charge);
+            router.bf_insert(
+                &i.to_le_bytes(),
+                test_hop(),
+                &mut NoopProtocolObserver,
+                &mut f.rng,
+                &f.cost,
+                &mut charge,
+            );
         }
         assert!(router.counters().bf_resets >= 5);
         assert_eq!(

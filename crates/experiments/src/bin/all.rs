@@ -1,6 +1,6 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
-    use tactic_experiments::{extras, figures, sweep, tables, transport, RunOpts};
+    use tactic_experiments::{extras, figures, sweep, tables, telemetry, transport, RunOpts};
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
         Err(msg) => {
@@ -22,6 +22,7 @@ fn main() {
         ("ablations", extras::ablations),
         ("baselines", extras::baselines),
         ("transport", transport::transport),
+        ("telemetry", telemetry::telemetry),
     ];
     for (name, f) in experiments {
         let started = std::time::Instant::now();

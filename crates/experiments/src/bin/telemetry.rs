@@ -1,0 +1,5 @@
+//! Protocol-decision telemetry: labeled metrics, lifecycle histograms,
+//! and per-run manifests across both planes.
+fn main() {
+    tactic_experiments::binary_main("telemetry", tactic_experiments::telemetry::telemetry);
+}

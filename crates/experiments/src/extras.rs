@@ -56,6 +56,7 @@ pub fn ablations(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            opts.verbosity,
         );
         let n = reports.len() as u64;
         let (edge, core) = merged_ops(&reports);
@@ -214,6 +215,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-extras"),
             threads: Some(2),
+            verbosity: crate::opts::Verbosity::Quiet,
         };
         let r = ablations(&opts).unwrap();
         assert!(r.contains("flag F disabled"));

@@ -6,7 +6,9 @@ use tactic_sim::time::SimDuration;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, TextTable};
-use crate::runner::{mean_of, merged_ops, run_replicas, scenario_id, shaped_scenario};
+use crate::runner::{
+    mean_of, merged_ops, run_replicas, run_replicas_detailed, scenario_id, shaped_scenario,
+};
 
 /// Fig. 5 — per-second average content-retrieval latency for BF capacities
 /// 500 / 2500 / 10000 items, per topology.
@@ -36,6 +38,7 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                opts.verbosity,
             );
             let series: Vec<Vec<(u64, f64)>> = reports
                 .iter()
@@ -132,6 +135,7 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            opts.verbosity,
         );
         let n = reports.len() as u64;
         let (edge, _core) = merged_ops(&reports);
@@ -166,6 +170,7 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            opts.verbosity,
         );
         let q = mean_of(&reports, |r| r.tag_request_rate());
         let r = mean_of(&reports, |r| r.tag_receive_rate());
@@ -188,6 +193,7 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
         &scenario,
         seeds,
         opts.thread_count(),
+        opts.verbosity,
     );
     let q = mean_of(&reports, |r| r.tag_request_rate());
     let r = mean_of(&reports, |r| r.tag_receive_rate());
@@ -212,6 +218,11 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
 /// Fig. 7 — Bloom-filter lookups (L), insertions (I), and signature
 /// verifications (V) at edge vs core routers, per topology.
 ///
+/// The figure's L and V columns merge the first-pass operations with the
+/// probabilistic re-validations of Protocol 3's `F > 0` path (the paper
+/// does not split them); the split is still reported in the extra
+/// `reval_*` columns for drill-down.
+///
 /// Expected shape: L ≫ I, V at the edge (verifications about two orders
 /// below lookups); core totals well below edge totals thanks to request
 /// aggregation and the flag-F cooperation.
@@ -224,6 +235,8 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
         "L (lookups)",
         "I (insertions)",
         "V (verifications)",
+        "reval lookups",
+        "reval verifs",
     ]);
     let mut csv = TextTable::new(vec![
         "topology",
@@ -231,29 +244,38 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
         "lookups",
         "insertions",
         "verifications",
+        "reval_lookups",
+        "reval_verifications",
     ]);
+    let mut manifests = Vec::new();
     for &topo in &opts.topologies {
         let scenario = shaped_scenario(topo, opts, 60);
-        let reports = run_replicas(
+        let (reports, runs) = run_replicas_detailed(
             &format!("fig7 {topo}"),
             topo,
             scenario_id("fig7", &[]),
             &scenario,
             seeds,
             opts.thread_count(),
+            opts.verbosity,
         );
+        manifests.extend(runs);
         let n = reports.len() as u64;
         let (edge, core) = merged_ops(&reports);
         for (tier, ops) in [("edge", edge), ("core", core)] {
-            let l = ops.bf_lookups / n;
+            let l = ops.total_bf_lookups() / n;
             let i = ops.bf_insertions / n;
-            let v = ops.sig_verifications / n;
+            let v = ops.total_sig_verifications() / n;
+            let rl = ops.bf_lookups_reval / n;
+            let rv = ops.revalidations / n;
             table.row(vec![
                 topo.to_string(),
                 tier.into(),
                 l.to_string(),
                 i.to_string(),
                 v.to_string(),
+                rl.to_string(),
+                rv.to_string(),
             ]);
             csv.row(vec![
                 topo.index().to_string(),
@@ -261,10 +283,13 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
                 l.to_string(),
                 i.to_string(),
                 v.to_string(),
+                rl.to_string(),
+                rv.to_string(),
             ]);
         }
     }
     write_file(&opts.out_dir, "fig7_router_ops.csv", &csv.to_csv())?;
+    crate::output::write_manifests(&opts.out_dir, "fig7_router_ops.csv", &manifests)?;
     report.push_str(&table.render());
     report.push_str("\nWritten to fig7_router_ops.csv\n");
     Ok(report)
@@ -319,6 +344,7 @@ pub fn fig8(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                opts.verbosity,
             );
             let edge_rpr = mean_of(&reports, |r| r.edge_requests_per_reset());
             let core_rpr = mean_of(&reports, |r| r.core_requests_per_reset());
@@ -362,6 +388,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test"),
             threads: Some(2),
+            verbosity: crate::opts::Verbosity::Quiet,
         }
     }
 

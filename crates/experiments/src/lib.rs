@@ -21,6 +21,7 @@
 //! | `ablations`| flag-F / access-path / content-NACK ablations |
 //! | `baselines`| TACTIC vs no-AC / client-side / provider-auth |
 //! | `transport`| link load + drop accounting from the transport observer |
+//! | `telemetry`| protocol decision metrics, lifecycle histograms, manifests |
 //! | `all`      | everything above in sequence |
 //!
 //! All binaries run at a reduced scale by default (60–120 simulated
@@ -39,6 +40,7 @@ pub mod runner;
 pub mod scenario_args;
 pub mod sweep;
 pub mod tables;
+pub mod telemetry;
 pub mod transport;
 
 pub use opts::RunOpts;

@@ -8,11 +8,38 @@
 //! * `--topo <list>` — comma-separated topology indices (e.g. `1,2`);
 //! * `--out <dir>` — output directory for CSV files (default `results/`);
 //! * `--threads <n>` — worker threads for the run grid (default: all
-//!   available cores). Results are byte-identical for any value.
+//!   available cores). Results are byte-identical for any value;
+//! * `--quiet` / `--verbose` — silence the per-run stderr progress lines,
+//!   or add per-run detail to them. Stdout and files are unaffected.
 
 use std::path::PathBuf;
 
 use tactic_topology::paper::PaperTopology;
+
+/// How chatty the runner's stderr progress stream is. Never affects
+/// stdout, CSV files, or determinism — progress is stderr-only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Verbosity {
+    /// No per-run progress lines.
+    Quiet,
+    /// One progress line per finished run (the default).
+    #[default]
+    Normal,
+    /// Progress lines plus per-run event/queue detail.
+    Verbose,
+}
+
+impl Verbosity {
+    /// Whether per-run progress lines should be printed at all.
+    pub fn progress(self) -> bool {
+        self != Verbosity::Quiet
+    }
+
+    /// Whether per-run detail (events, peak queue depth) is wanted.
+    pub fn detailed(self) -> bool {
+        self == Verbosity::Verbose
+    }
+}
 
 /// Parsed experiment options.
 #[derive(Debug, Clone)]
@@ -29,6 +56,8 @@ pub struct RunOpts {
     pub out_dir: PathBuf,
     /// Worker threads for the run grid (None = all available cores).
     pub threads: Option<usize>,
+    /// stderr progress verbosity.
+    pub verbosity: Verbosity,
 }
 
 impl Default for RunOpts {
@@ -40,6 +69,7 @@ impl Default for RunOpts {
             topologies: PaperTopology::ALL.to_vec(),
             out_dir: PathBuf::from("results"),
             threads: None,
+            verbosity: Verbosity::Normal,
         }
     }
 }
@@ -92,9 +122,11 @@ impl RunOpts {
                     }
                     opts.threads = Some(n);
                 }
+                "--quiet" | "-q" => opts.verbosity = Verbosity::Quiet,
+                "--verbose" | "-v" => opts.verbosity = Verbosity::Verbose,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N]"
+                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N] [--quiet|--verbose]"
                             .into(),
                     )
                 }
@@ -183,6 +215,19 @@ mod tests {
     fn out_dir() {
         let o = parse(&["--out", "/tmp/x"]).unwrap();
         assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn verbosity_flags() {
+        assert_eq!(parse(&[]).unwrap().verbosity, Verbosity::Normal);
+        assert_eq!(parse(&["--quiet"]).unwrap().verbosity, Verbosity::Quiet);
+        assert_eq!(parse(&["--verbose"]).unwrap().verbosity, Verbosity::Verbose);
+        assert_eq!(parse(&["-q"]).unwrap().verbosity, Verbosity::Quiet);
+        assert_eq!(parse(&["-v"]).unwrap().verbosity, Verbosity::Verbose);
+        assert!(!Verbosity::Quiet.progress());
+        assert!(Verbosity::Normal.progress());
+        assert!(!Verbosity::Normal.detailed());
+        assert!(Verbosity::Verbose.detailed());
     }
 
     #[test]

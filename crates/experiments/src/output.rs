@@ -116,6 +116,27 @@ pub fn write_file(dir: &Path, name: &str, content: &str) -> std::io::Result<()> 
     f.write_all(content.as_bytes())
 }
 
+/// Writes per-run manifests as `<output name minus extension>.manifest.jsonl`
+/// next to the output file it documents, one JSON line per run in job
+/// order.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifests(
+    dir: &Path,
+    output_name: &str,
+    manifests: &[tactic_telemetry::RunManifest],
+) -> std::io::Result<()> {
+    let stem = output_name.rsplit_once('.').map_or(output_name, |(s, _)| s);
+    let mut content = String::new();
+    for m in manifests {
+        content.push_str(&m.to_json_line());
+        content.push('\n');
+    }
+    write_file(dir, &format!("{stem}.manifest.jsonl"), &content)
+}
+
 /// Formats a float compactly (up to 4 significant decimals).
 pub fn fmt_f(v: f64) -> String {
     if v == 0.0 {
@@ -166,6 +187,26 @@ mod tests {
         let dir = std::env::temp_dir().join("tactic-output-test");
         write_file(&dir, "t.csv", "a,b\n").unwrap();
         assert_eq!(std::fs::read_to_string(dir.join("t.csv")).unwrap(), "a,b\n");
+    }
+
+    #[test]
+    fn manifests_written_next_to_csv() {
+        let dir = std::env::temp_dir().join("tactic-output-manifest-test");
+        let m = tactic_telemetry::RunManifest {
+            label: "x".into(),
+            topology: "Topo1".into(),
+            scenario_id: 1,
+            run_idx: 0,
+            seed: 2,
+            scenario: "duration=3s".into(),
+            sim_events: 4,
+            peak_queue_depth: 5,
+            wall_ms: 6,
+        };
+        write_manifests(&dir, "exp.csv", &[m.clone(), m]).unwrap();
+        let body = std::fs::read_to_string(dir.join("exp.manifest.jsonl")).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.starts_with("{\"label\":\"x\""));
     }
 
     #[test]

@@ -18,9 +18,10 @@ use tactic::router::OpCounters;
 use tactic::scenario::Scenario;
 use tactic_sim::rng::{derive_seed, splitmix64};
 use tactic_sim::time::SimDuration;
+use tactic_telemetry::RunManifest;
 use tactic_topology::paper::PaperTopology;
 
-use crate::opts::RunOpts;
+use crate::opts::{RunOpts, Verbosity};
 
 /// Base seed so experiment runs are reproducible but distinct per grid
 /// cell.
@@ -65,16 +66,41 @@ pub fn scenario_id(tag: &str, knobs: &[u64]) -> u64 {
     h
 }
 
+/// One line of reproducibility provenance for a [`GridJob`]'s scenario.
+/// Deterministic for a given scenario (no RNG, no clocks).
+pub fn scenario_summary(s: &Scenario) -> String {
+    format!(
+        "duration={}s bf={}x{} window={} flag_f={} mobility={}",
+        s.duration.as_secs_f64(),
+        s.bf_capacity,
+        s.bf_hashes,
+        s.window,
+        s.flag_f_enabled,
+        s.mobility.is_some(),
+    )
+}
+
 /// Runs every job in the grid, fanned out over `threads` worker threads.
 ///
 /// Workers claim jobs from a shared counter and write each report into
 /// the slot of the job that produced it, so the returned reports are in
 /// job order regardless of which worker finished when. Per-run progress
-/// and timing lines go to stderr only; stdout and files stay
-/// byte-identical across thread counts.
-pub fn run_grid(jobs: &[GridJob<'_>], threads: usize) -> Vec<RunReport> {
+/// and timing lines go to stderr only (and only when `verbosity` allows);
+/// stdout and files stay byte-identical across thread counts.
+pub fn run_grid(jobs: &[GridJob<'_>], threads: usize, verbosity: Verbosity) -> Vec<RunReport> {
+    run_grid_detailed(jobs, threads, verbosity).0
+}
+
+/// [`run_grid`] plus one [`RunManifest`] per job, in job order. The only
+/// nondeterministic manifest field is `wall_ms`.
+pub fn run_grid_detailed(
+    jobs: &[GridJob<'_>],
+    threads: usize,
+    verbosity: Verbosity,
+) -> (Vec<RunReport>, Vec<RunManifest>) {
     let workers = threads.max(1).min(jobs.len().max(1));
-    let results: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    type Slot = Mutex<Option<(RunReport, RunManifest)>>;
+    let results: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -84,16 +110,37 @@ pub fn run_grid(jobs: &[GridJob<'_>], threads: usize) -> Vec<RunReport> {
                 let Some(job) = jobs.get(i) else { break };
                 let started = Instant::now();
                 let report = run_scenario(job.scenario, job.seed());
-                *results[i].lock().expect("result slot") = Some(report);
+                let elapsed = started.elapsed();
+                let manifest = RunManifest {
+                    label: job.label.clone(),
+                    topology: format!("Topo{}", job.topology),
+                    scenario_id: job.scenario_id,
+                    run_idx: job.run_idx,
+                    seed: job.seed(),
+                    scenario: scenario_summary(job.scenario),
+                    sim_events: report.events,
+                    peak_queue_depth: report.peak_queue_depth,
+                    wall_ms: elapsed.as_millis() as u64,
+                };
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{finished}/{total}] {label} run {run} (seed {seed:#018x}) in {t:.1?}",
-                    total = jobs.len(),
-                    label = job.label,
-                    run = job.run_idx,
-                    seed = job.seed(),
-                    t = started.elapsed(),
-                );
+                if verbosity.progress() {
+                    eprintln!(
+                        "[{finished}/{total}] {label} run {run} (seed {seed:#018x}) in {t:.1?}",
+                        total = jobs.len(),
+                        label = job.label,
+                        run = job.run_idx,
+                        seed = job.seed(),
+                        t = elapsed,
+                    );
+                    if verbosity.detailed() {
+                        eprintln!(
+                            "    events={events} peak_queue={peak}",
+                            events = report.events,
+                            peak = report.peak_queue_depth,
+                        );
+                    }
+                }
+                *results[i].lock().expect("result slot") = Some((report, manifest));
             });
         }
     });
@@ -104,7 +151,7 @@ pub fn run_grid(jobs: &[GridJob<'_>], threads: usize) -> Vec<RunReport> {
                 .expect("result slot")
                 .expect("every claimed job produced a report")
         })
-        .collect()
+        .unzip()
 }
 
 /// Runs `seeds` independent replicas of one scenario in parallel — the
@@ -116,7 +163,31 @@ pub fn run_replicas(
     scenario: &Scenario,
     seeds: usize,
     threads: usize,
+    verbosity: Verbosity,
 ) -> Vec<RunReport> {
+    run_replicas_detailed(
+        label,
+        topo,
+        scenario_id,
+        scenario,
+        seeds,
+        threads,
+        verbosity,
+    )
+    .0
+}
+
+/// [`run_replicas`] plus the per-replica manifests.
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicas_detailed(
+    label: &str,
+    topo: PaperTopology,
+    scenario_id: u64,
+    scenario: &Scenario,
+    seeds: usize,
+    threads: usize,
+    verbosity: Verbosity,
+) -> (Vec<RunReport>, Vec<RunManifest>) {
     let jobs: Vec<GridJob<'_>> = (0..seeds)
         .map(|i| GridJob {
             label: label.to_string(),
@@ -126,7 +197,7 @@ pub fn run_replicas(
             scenario,
         })
         .collect();
-    run_grid(&jobs, threads)
+    run_grid_detailed(&jobs, threads, verbosity)
 }
 
 /// The paper-replica scenario for `topo`, shaped by the options (duration
@@ -175,8 +246,8 @@ mod tests {
     #[test]
     fn replicas_are_reproducible_and_distinct() {
         let s = small(5);
-        let a = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1);
-        let b = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1);
+        let a = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1, Verbosity::Quiet);
+        let b = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1, Verbosity::Quiet);
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].events, b[0].events);
         assert_ne!(
@@ -197,8 +268,8 @@ mod tests {
                 scenario: &s,
             })
             .collect();
-        let serial = run_grid(&jobs, 1);
-        let parallel = run_grid(&jobs, 4);
+        let serial = run_grid(&jobs, 1, Verbosity::Quiet);
+        let parallel = run_grid(&jobs, 4, Verbosity::Quiet);
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.events, b.events);
             assert_eq!(a.edge_ops, b.edge_ops);
@@ -223,7 +294,7 @@ mod tests {
     #[test]
     fn aggregations() {
         let s = small(5);
-        let reports = run_replicas("agg", PaperTopology::Topo1, 2, &s, 2, 2);
+        let reports = run_replicas("agg", PaperTopology::Topo1, 2, &s, 2, 2, Verbosity::Quiet);
         let m = mean_of(&reports, |r| r.delivery.client_ratio());
         assert!(m > 0.5);
         let total = sum_of(&reports, |r| r.delivery.client_requested);

@@ -11,8 +11,8 @@
 use tactic_topology::paper::PaperTopology;
 
 use crate::opts::RunOpts;
-use crate::output::{fmt_f, write_file, TextTable};
-use crate::runner::{merged_ops, run_grid, scenario_id, shaped_scenario, GridJob};
+use crate::output::{fmt_f, write_file, write_manifests, TextTable};
+use crate::runner::{merged_ops, run_grid_detailed, scenario_id, shaped_scenario, GridJob};
 
 /// Runs the full (topology × seed) grid in one parallel batch and
 /// renders a per-topology summary of delivery, latency, and the merged
@@ -41,7 +41,7 @@ pub fn sweep(opts: &RunOpts) -> std::io::Result<String> {
             })
         })
         .collect();
-    let reports = run_grid(&jobs, threads);
+    let (reports, manifests) = run_grid_detailed(&jobs, threads, opts.verbosity);
 
     let mut report = format!(
         "Sweep — {topos} topologies × {seeds} seeds = {total} runs\n\n",
@@ -109,6 +109,7 @@ pub fn sweep(opts: &RunOpts) -> std::io::Result<String> {
         ]);
     }
     write_file(&opts.out_dir, "sweep_summary.csv", &csv.to_csv())?;
+    write_manifests(&opts.out_dir, "sweep_summary.csv", &manifests)?;
     report.push_str(&table.render());
     report.push_str("\nWritten to sweep_summary.csv\n");
     Ok(report)
@@ -126,6 +127,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1, PaperTopology::Topo2],
             out_dir: std::env::temp_dir().join(out),
             threads: Some(threads),
+            verbosity: crate::opts::Verbosity::Quiet,
         }
     }
 
@@ -147,5 +149,9 @@ mod tests {
         assert!(serial.contains("Topo. 1"));
         assert!(serial.contains("Topo. 2"));
         assert!(serial.contains("8 runs"));
+        let manifest =
+            std::fs::read_to_string(serial_opts.out_dir.join("sweep_summary.manifest.jsonl"))
+                .unwrap();
+        assert_eq!(manifest.lines().count(), 8, "one manifest line per run");
     }
 }

@@ -125,6 +125,7 @@ pub fn table4(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            opts.verbosity,
         );
         let c_req = sum_of(&reports, |r| r.delivery.client_requested);
         let c_rcv = sum_of(&reports, |r| r.delivery.client_received);
@@ -213,6 +214,7 @@ pub fn table5(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                opts.verbosity,
             );
             let n = reports.len() as u64;
             let (edge, core) = merged_ops(&reports);
@@ -269,6 +271,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-tables"),
             threads: Some(2),
+            verbosity: crate::opts::Verbosity::Quiet,
         }
     }
 

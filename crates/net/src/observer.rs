@@ -197,21 +197,52 @@ pub struct EventTrace {
     pub events: Vec<TraceEvent>,
 }
 
+/// Per-kind record totals for an [`EventTrace`], computed in one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// [`TraceEvent::Scheduled`] records.
+    pub scheduled: usize,
+    /// [`TraceEvent::Delivered`] records.
+    pub delivered: usize,
+    /// [`TraceEvent::Dropped`] records.
+    pub dropped: usize,
+    /// [`TraceEvent::Handover`] records.
+    pub handovers: usize,
+}
+
 impl EventTrace {
+    /// Tallies every record kind in a single pass over the trace.
+    pub fn counts(&self) -> TraceCounts {
+        let mut c = TraceCounts::default();
+        for e in &self.events {
+            match e {
+                TraceEvent::Scheduled { .. } => c.scheduled += 1,
+                TraceEvent::Delivered { .. } => c.delivered += 1,
+                TraceEvent::Dropped { .. } => c.dropped += 1,
+                TraceEvent::Handover { .. } => c.handovers += 1,
+            }
+        }
+        c
+    }
+
     /// Number of [`TraceEvent::Delivered`] records.
     pub fn delivered(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
-            .count()
+        self.counts().delivered
     }
 
     /// Number of [`TraceEvent::Scheduled`] records.
     pub fn scheduled(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Scheduled { .. }))
-            .count()
+        self.counts().scheduled
+    }
+
+    /// Number of [`TraceEvent::Dropped`] records.
+    pub fn dropped(&self) -> usize {
+        self.counts().dropped
+    }
+
+    /// Number of [`TraceEvent::Handover`] records.
+    pub fn handovers(&self) -> usize {
+        self.counts().handovers
     }
 }
 
@@ -256,5 +287,58 @@ impl NetObserver for EventTrace {
             to_ap,
             at: now,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_trace_counts_every_kind_in_one_pass() {
+        let mut trace = EventTrace::default();
+        let n = |i| NodeId(i);
+        trace.on_schedule(
+            n(0),
+            n(1),
+            64,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::from_secs(1),
+        );
+        trace.on_schedule(
+            n(1),
+            n(2),
+            64,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::from_secs(2),
+        );
+        trace.on_deliver(
+            n(1),
+            FaceId::new(0),
+            &Packet::Nack(tactic_ndn::packet::Nack::new(
+                tactic_ndn::packet::Interest::new("/x".parse().unwrap(), 1),
+                tactic_ndn::packet::NackReason::NoRoute,
+            )),
+            SimTime::from_secs(1),
+        );
+        trace.on_drop(
+            n(2),
+            FaceId::new(0),
+            DropReason::DanglingFace,
+            SimTime::from_secs(2),
+        );
+        trace.on_handover(n(3), n(4), n(5), SimTime::from_secs(3));
+
+        let counts = trace.counts();
+        assert_eq!(counts.scheduled, 2);
+        assert_eq!(counts.delivered, 1);
+        assert_eq!(counts.dropped, 1);
+        assert_eq!(counts.handovers, 1);
+        assert_eq!(trace.scheduled(), counts.scheduled);
+        assert_eq!(trace.delivered(), counts.delivered);
+        assert_eq!(trace.dropped(), counts.dropped);
+        assert_eq!(trace.handovers(), counts.handovers);
     }
 }

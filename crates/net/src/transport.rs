@@ -83,6 +83,8 @@ pub struct TransportReport {
     pub deliveries: u64,
     /// Handovers performed by mobile clients.
     pub moves: u64,
+    /// High-water mark of the engine's pending-event queue.
+    pub peak_queue_depth: u64,
 }
 
 /// The assembled simulation: shared transport state driving a plane.
@@ -189,6 +191,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             events: self.engine.processed(),
             deliveries: self.deliveries,
             moves: self.moves,
+            peak_queue_depth: self.engine.peak_pending() as u64,
         };
         (self.plane, self.observer, report)
     }

@@ -70,6 +70,7 @@ pub struct Engine<E> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    peak_pending: usize,
     horizon: SimTime,
 }
 
@@ -87,6 +88,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            peak_pending: 0,
             horizon: SimTime::MAX,
         }
     }
@@ -123,6 +125,11 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending queue over the engine's lifetime.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedules `payload` at absolute time `at`.
     ///
     /// Events scheduled in the past are delivered "now" (the clock never
@@ -132,6 +139,7 @@ impl<E> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, payload });
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `payload` after a relative delay from the current time.
@@ -235,6 +243,19 @@ mod tests {
         });
         assert_eq!(seen, [0, 1, 2, 3, 4]);
         assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.peak_pending(), 0);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(e.peak_pending(), 2);
+        e.pop();
+        e.pop();
+        e.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(e.peak_pending(), 2, "peak survives the queue draining");
     }
 
     #[test]

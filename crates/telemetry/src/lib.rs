@@ -1,0 +1,46 @@
+//! # tactic-telemetry
+//!
+//! Protocol-level observability for the TACTIC reproduction: a zero-cost
+//! [`ProtocolObserver`] hook trait mirrored on `tactic-net`'s transport
+//! observer, plus the recording layers built on top of it:
+//!
+//! - [`observer`] — the hook trait, the decision vocabulary (reject
+//!   reasons, BF outcomes, re-validation verdicts), and the no-op default
+//!   that monomorphises to nothing.
+//! - [`registry`] — labeled [`Counter`]/[`Histogram`] metrics with
+//!   deterministic bucket boundaries and byte-identical merge semantics,
+//!   so per-thread registries fold to the same JSONL regardless of
+//!   `--threads`.
+//! - [`lifecycle`] — the [`InterestLifecycle`] tracer following each
+//!   request from consumer emission through per-hop decisions to
+//!   Data/NACK receipt.
+//! - [`json`] — a hand-rolled JSON/JSONL encoder (the build is offline;
+//!   no serde).
+//! - [`manifest`] — the per-run provenance record the experiment runner
+//!   writes next to each CSV.
+//!
+//! ## Determinism contract
+//!
+//! Observers receive `&mut self` plus references; they never mutate
+//! simulation state and never draw from the simulation RNG, so a
+//! recording run and a [`NoopProtocolObserver`] run of the same
+//! (topology, scenario, seed) produce byte-identical reports. Recorder
+//! state uses `BTreeMap` keys only — export order is label order, never
+//! insertion or hash order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod lifecycle;
+pub mod manifest;
+pub mod observer;
+pub mod registry;
+
+pub use lifecycle::InterestLifecycle;
+pub use manifest::RunManifest;
+pub use observer::{
+    BfOutcome, Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict,
+    ProtocolObserver, ProtocolRecorder, RejectReason, RetrievalOutcome, RevalidationOutcome,
+};
+pub use registry::{Counter, Histogram, ProtocolMetrics, Registry};

@@ -1,0 +1,212 @@
+//! The [`InterestLifecycle`] tracer: follows each request from consumer
+//! emission through per-hop forwarding decisions to Data/NACK receipt
+//! (or timeout), and folds the journeys into hop-count and per-hop
+//! latency histograms.
+//!
+//! Emission registers a flight keyed by `(consumer node, name)` — Data
+//! packets carry no nonce, so completion is matched by name at the
+//! consumer that asked. Hops are attributed to the flight by nonce
+//! (every forwarded copy of the Interest keeps the consumer's nonce).
+//! In-flight entries left at the end of a run are counted as
+//! `incomplete` and excluded from the histograms.
+
+use std::collections::BTreeMap;
+
+use tactic_ndn::name::Name;
+
+use crate::observer::{Hop, RetrievalOutcome};
+use crate::registry::{Histogram, HOP_BOUNDS, LATENCY_BOUNDS};
+use tactic_sim::time::SimTime;
+
+#[derive(Debug, Clone)]
+struct Flight {
+    nonce: u64,
+    emitted: SimTime,
+    hops: u32,
+    last_hop_at: SimTime,
+}
+
+/// Per-nonce Interest journey tracking (see module docs).
+#[derive(Debug, Clone)]
+pub struct InterestLifecycle {
+    /// Active flights keyed by (consumer node, name).
+    in_flight: BTreeMap<(u64, Name), Flight>,
+    /// Router hops per completed journey.
+    pub hop_counts: Histogram,
+    /// Wire+processing latency between consecutive hops (seconds).
+    pub hop_latency: Histogram,
+    /// Emission-to-terminal latency per completed journey (seconds).
+    pub total_latency: Histogram,
+    /// Journeys completed, by terminal outcome.
+    pub completed: [u64; 3],
+    /// Emissions never matched to a terminal event.
+    pub incomplete: u64,
+}
+
+impl Default for InterestLifecycle {
+    fn default() -> Self {
+        InterestLifecycle {
+            in_flight: BTreeMap::new(),
+            hop_counts: Histogram::new(&HOP_BOUNDS),
+            hop_latency: Histogram::new(&LATENCY_BOUNDS),
+            total_latency: Histogram::new(&LATENCY_BOUNDS),
+            completed: [0; 3],
+            incomplete: 0,
+        }
+    }
+}
+
+impl InterestLifecycle {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        InterestLifecycle::default()
+    }
+
+    /// Journeys that ended with the given outcome.
+    pub fn completed_with(&self, outcome: RetrievalOutcome) -> u64 {
+        self.completed[outcome as usize]
+    }
+
+    /// A consumer emitted a fresh Interest. A retry for the same name
+    /// replaces the previous flight (the old one is counted incomplete).
+    pub fn on_interest_emitted(&mut self, hop: Hop, nonce: u64, name: &Name) {
+        let prev = self.in_flight.insert(
+            (hop.node, name.clone()),
+            Flight {
+                nonce,
+                emitted: hop.now,
+                hops: 0,
+                last_hop_at: hop.now,
+            },
+        );
+        if prev.is_some() {
+            self.incomplete += 1;
+        }
+    }
+
+    /// The Interest reached a forwarding node; attributes the hop to the
+    /// flight carrying this nonce.
+    pub fn on_interest_hop(&mut self, hop: Hop, nonce: u64, name: &Name) {
+        // The flight key holds the consumer's node id, which routers
+        // don't know; find by (name, nonce). Names are unique per
+        // consumer in flight, so this scan touches at most a handful of
+        // same-name entries.
+        for ((_, n), f) in self.in_flight.iter_mut() {
+            if n == name && f.nonce == nonce {
+                f.hops += 1;
+                self.hop_latency
+                    .record(hop.now.saturating_since(f.last_hop_at).as_secs_f64());
+                f.last_hop_at = hop.now;
+                return;
+            }
+        }
+    }
+
+    /// The consumer saw a terminal event for `name`.
+    pub fn on_retrieval(&mut self, hop: Hop, name: &Name, outcome: RetrievalOutcome) {
+        if let Some(f) = self.in_flight.remove(&(hop.node, name.clone())) {
+            self.completed[outcome as usize] += 1;
+            self.hop_counts.record(f.hops as f64);
+            self.total_latency
+                .record(hop.now.saturating_since(f.emitted).as_secs_f64());
+        }
+    }
+
+    /// A request timer fired at the consumer. Completes the flight as a
+    /// [`RetrievalOutcome::Timeout`] only when the timer belongs to the
+    /// tracked emission (`sent` matches) — stale timers for requests that
+    /// were answered and re-emitted in the meantime are ignored.
+    pub fn on_timeout_expired(&mut self, hop: Hop, name: &Name, sent: SimTime) {
+        let key = (hop.node, name.clone());
+        if self.in_flight.get(&key).is_some_and(|f| f.emitted == sent) {
+            let f = self.in_flight.remove(&key).expect("checked above");
+            self.completed[RetrievalOutcome::Timeout as usize] += 1;
+            self.hop_counts.record(f.hops as f64);
+            self.total_latency
+                .record(hop.now.saturating_since(f.emitted).as_secs_f64());
+        }
+    }
+
+    /// Flights still pending (call after a run to account for tail loss).
+    pub fn still_in_flight(&self) -> u64 {
+        self.in_flight.len() as u64
+    }
+
+    /// Folds journeys into `registry` under `tactic.lifecycle.*` keys and
+    /// drains nothing — callers may export repeatedly.
+    pub fn export_into(&self, registry: &mut crate::registry::Registry) {
+        registry.add(
+            "tactic.lifecycle.completed.data",
+            self.completed_with(RetrievalOutcome::Data),
+        );
+        registry.add(
+            "tactic.lifecycle.completed.nack",
+            self.completed_with(RetrievalOutcome::Nack),
+        );
+        registry.add(
+            "tactic.lifecycle.completed.timeout",
+            self.completed_with(RetrievalOutcome::Timeout),
+        );
+        registry.add(
+            "tactic.lifecycle.incomplete",
+            self.incomplete + self.still_in_flight(),
+        );
+        for (key, h) in [
+            ("tactic.lifecycle.hops", &self.hop_counts),
+            ("tactic.lifecycle.hop_latency", &self.hop_latency),
+            ("tactic.lifecycle.total_latency", &self.total_latency),
+        ] {
+            registry.merge_histogram(key, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NodeRole;
+
+    fn hop(node: u64, role: NodeRole, at: f64) -> Hop {
+        Hop::new(node, role, SimTime::from_secs_f64(at))
+    }
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn traces_emission_hops_and_completion() {
+        let mut t = InterestLifecycle::new();
+        let n = name("/p/obj0/c0");
+        t.on_interest_emitted(hop(9, NodeRole::Consumer, 1.0), 77, &n);
+        t.on_interest_hop(hop(2, NodeRole::EdgeRouter, 1.01), 77, &n);
+        t.on_interest_hop(hop(3, NodeRole::CoreRouter, 1.02), 77, &n);
+        t.on_retrieval(hop(9, NodeRole::Consumer, 1.05), &n, RetrievalOutcome::Data);
+        assert_eq!(t.completed_with(RetrievalOutcome::Data), 1);
+        assert_eq!(t.hop_counts.count, 1);
+        assert_eq!(t.hop_latency.count, 2);
+        assert_eq!(t.still_in_flight(), 0);
+        assert!((t.total_latency.sum - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_replaces_flight_and_counts_incomplete() {
+        let mut t = InterestLifecycle::new();
+        let n = name("/p/obj0/c1");
+        t.on_interest_emitted(hop(9, NodeRole::Consumer, 1.0), 1, &n);
+        t.on_interest_emitted(hop(9, NodeRole::Consumer, 2.0), 2, &n);
+        assert_eq!(t.incomplete, 1);
+        t.on_retrieval(hop(9, NodeRole::Consumer, 2.5), &n, RetrievalOutcome::Nack);
+        assert_eq!(t.completed_with(RetrievalOutcome::Nack), 1);
+    }
+
+    #[test]
+    fn unknown_retrievals_and_hops_are_ignored() {
+        let mut t = InterestLifecycle::new();
+        let n = name("/p/obj0/c2");
+        t.on_interest_hop(hop(2, NodeRole::EdgeRouter, 1.0), 5, &n);
+        t.on_retrieval(hop(9, NodeRole::Consumer, 1.1), &n, RetrievalOutcome::Data);
+        assert_eq!(t.completed_with(RetrievalOutcome::Data), 0);
+        assert_eq!(t.hop_latency.count, 0);
+    }
+}

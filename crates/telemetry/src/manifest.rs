@@ -1,0 +1,87 @@
+//! Per-run provenance records.
+//!
+//! The experiment runner writes one [`RunManifest`] JSON line per grid
+//! cell next to each CSV it produces (`<experiment>.manifest.jsonl`), so
+//! every figure stays traceable to the exact (seed, topology, scenario)
+//! that produced it.
+
+use crate::json::JsonObject;
+
+/// Everything needed to reproduce (and sanity-check) one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The grid-cell label (experiment-chosen, e.g. `"fig7"`).
+    pub label: String,
+    /// Topology name (e.g. `"Topo1"`).
+    pub topology: String,
+    /// The experiment's scenario-identity hash (seeds derive from it).
+    pub scenario_id: u64,
+    /// Replica index within the grid cell.
+    pub run_idx: u64,
+    /// The derived RNG seed actually used.
+    pub seed: u64,
+    /// One-line scenario summary (duration, population, BF geometry).
+    pub scenario: String,
+    /// Simulated events processed by the engine.
+    pub sim_events: u64,
+    /// High-water mark of the event queue during the run.
+    pub peak_queue_depth: u64,
+    /// Wall-clock duration of the run in milliseconds (provenance only —
+    /// nondeterministic, never compared byte-for-byte).
+    pub wall_ms: u64,
+}
+
+impl RunManifest {
+    /// Keys every manifest line must carry (checked by the CI smoke run).
+    pub const REQUIRED_KEYS: [&'static str; 9] = [
+        "label",
+        "topology",
+        "scenario_id",
+        "run_idx",
+        "seed",
+        "scenario",
+        "sim_events",
+        "peak_queue_depth",
+        "wall_ms",
+    ];
+
+    /// Renders one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("label", &self.label)
+            .field_str("topology", &self.topology)
+            .field_u64("scenario_id", self.scenario_id)
+            .field_u64("run_idx", self.run_idx)
+            .field_u64("seed", self.seed)
+            .field_str("scenario", &self.scenario)
+            .field_u64("sim_events", self.sim_events)
+            .field_u64("peak_queue_depth", self.peak_queue_depth)
+            .field_u64("wall_ms", self.wall_ms);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_carries_every_required_key() {
+        let m = RunManifest {
+            label: "fig7".into(),
+            topology: "Topo1".into(),
+            scenario_id: 42,
+            run_idx: 1,
+            seed: 0xDEAD,
+            scenario: "duration=60s clients=10".into(),
+            sim_events: 1000,
+            peak_queue_depth: 37,
+            wall_ms: 12,
+        };
+        let line = m.to_json_line();
+        for key in RunManifest::REQUIRED_KEYS {
+            assert!(line.contains(&format!("\"{key}\":")), "{key} in {line}");
+        }
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+}

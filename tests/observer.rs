@@ -7,6 +7,7 @@ use tactic::net::{run_scenario, Network};
 use tactic::scenario::Scenario;
 use tactic_baselines::net::{run_baseline, BaselineNetwork};
 use tactic_baselines::Mechanism;
+use tactic_experiments::opts::Verbosity;
 use tactic_experiments::runner::{run_replicas, scenario_id, BASE_SEED};
 use tactic_net::NoopObserver;
 use tactic_sim::rng::derive_seed;
@@ -46,8 +47,8 @@ fn noop_observer_leaves_baseline_reports_byte_identical() {
 fn grid_thread_counts_and_noop_observed_runs_all_agree() {
     let s = small(5);
     let sid = scenario_id("observer-noop", &[]);
-    let serial = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 1);
-    let parallel = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 4);
+    let serial = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 1, Verbosity::Quiet);
+    let parallel = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 4, Verbosity::Quiet);
     for i in 0..serial.len() {
         let seed = derive_seed(
             BASE_SEED,

@@ -22,6 +22,7 @@ use tactic::net::run_scenario;
 use tactic::scenario::Scenario;
 use tactic_baselines::mechanism::Mechanism;
 use tactic_baselines::net::run_baseline;
+use tactic_experiments::opts::Verbosity;
 use tactic_experiments::runner::{run_replicas, scenario_id};
 use tactic_sim::time::SimDuration;
 use tactic_topology::paper::PaperTopology;
@@ -75,8 +76,24 @@ fn baseline_planes_small_reports_are_byte_identical() {
 fn grid_reports_are_byte_identical_across_thread_counts() {
     let s = small(5);
     let sid = scenario_id("refactor-snapshot", &[]);
-    let serial = run_replicas("snap", PaperTopology::Topo1, sid, &s, 2, 1);
-    let parallel = run_replicas("snap", PaperTopology::Topo1, sid, &s, 2, 4);
+    let serial = run_replicas(
+        "snap",
+        PaperTopology::Topo1,
+        sid,
+        &s,
+        2,
+        1,
+        Verbosity::Quiet,
+    );
+    let parallel = run_replicas(
+        "snap",
+        PaperTopology::Topo1,
+        sid,
+        &s,
+        2,
+        4,
+        Verbosity::Quiet,
+    );
     let serial_dump = dump_runs(&serial);
     assert_eq!(
         serial_dump,
