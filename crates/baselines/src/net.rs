@@ -60,6 +60,19 @@ pub struct BaselineReport {
     /// High-water mark of the engine's pending-event queue (run manifest
     /// provenance; not a paper metric).
     pub peak_queue_depth: u64,
+    /// Transport drops split by reason (resilience extension; all zero on
+    /// the paper's ideal links).
+    pub drops: tactic_net::DropTotals,
+    /// High-water mark of PIT records summed over every router, sampled at
+    /// the periodic purge sweeps (resilience extension).
+    pub peak_pit_records: u64,
+    /// Client Interests retransmitted after an expiry (resilience
+    /// extension; zero without a retransmission policy).
+    pub client_retransmitted: u64,
+    /// Client chunks abandoned after exhausting the retransmission budget.
+    pub client_gave_up: u64,
+    /// Client request expiries (stale-timeout-filtered).
+    pub client_timeouts: u64,
 }
 
 impl BaselineReport {
@@ -100,7 +113,7 @@ enum Node {
 pub struct BaselinePlane<PO: ProtocolObserver = NoopProtocolObserver> {
     mechanism: Mechanism,
     nodes: Vec<Node>,
-    request_timeout: SimDuration,
+    peak_pit_records: u64,
     proto: PO,
 }
 
@@ -108,7 +121,7 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
     fn push_requester_sends(
         proto: &mut PO,
         hop: Hop,
-        timeout: SimDuration,
+        r: &ZipfRequester,
         out: &mut Vec<Emit>,
         sends: Vec<Interest>,
     ) {
@@ -116,7 +129,7 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
             proto.on_interest_emitted(hop, i.nonce(), i.name());
             out.push(Emit::Timeout {
                 name: i.name().clone(),
-                delay: timeout,
+                delay: r.timeout_for(i.name()),
             });
             out.push(Emit::Send {
                 face: FaceId::new(0),
@@ -131,6 +144,8 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
             mechanism_name: self.mechanism.to_string(),
             events: transport.events,
             peak_queue_depth: transport.peak_queue_depth,
+            drops: transport.drops,
+            peak_pit_records: self.peak_pit_records,
             ..Default::default()
         };
         for node in self.nodes {
@@ -147,6 +162,9 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
                     if r.is_client {
                         report.client_requested += r.requested;
                         report.client_received += r.received;
+                        report.client_retransmitted += r.retransmitted;
+                        report.client_gave_up += r.gave_up;
+                        report.client_timeouts += r.timeouts;
                         for (at, lat) in r.latencies {
                             report.latency.record(at, lat);
                         }
@@ -231,7 +249,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                     let hop = Hop::new(node_id, NodeRole::Consumer, now);
                     proto.on_retrieval(hop, d.name(), RetrievalOutcome::Data);
                     let sends = r.on_data(d, now);
-                    Self::push_requester_sends(proto, hop, self.request_timeout, out, sends);
+                    Self::push_requester_sends(proto, hop, r, out, sends);
                 }
             }
             Node::Ap(ap) => match packet {
@@ -268,7 +286,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         };
         let sends = r.fill(ctx.now);
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
-        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
+        Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
     }
 
     fn on_timeout(
@@ -285,17 +303,38 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         self.proto.on_timeout_expired(hop, &name, sent);
         let sends = r.on_timeout(&name, sent, ctx.now);
-        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
+        Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
     }
 
     fn on_purge(&mut self, now: SimTime) {
+        // Sample PIT occupancy *before* sweeping so the peak reflects what
+        // loss actually accumulated, then purge expired entries.
+        let mut pit_records = 0u64;
         for node in &mut self.nodes {
             match node {
                 Node::Router(t) => {
+                    pit_records += t.pit.total_records() as u64;
                     t.pit.purge_expired(now);
                 }
                 Node::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
                 _ => {}
+            }
+        }
+        self.peak_pit_records = self.peak_pit_records.max(pit_records);
+    }
+
+    fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
+        // Full replacement: rebuild every router's FIB from the
+        // post-failure routing plane the transport computed.
+        for node in &mut self.nodes {
+            if let Node::Router(t) = node {
+                t.fib.clear();
+            }
+        }
+        for route in routes {
+            if let Node::Router(t) = &mut self.nodes[route.router.0] {
+                t.fib
+                    .add_route(route.prefix.clone(), route.face, route.cost_us);
             }
         }
     }
@@ -306,7 +345,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         };
         let sends = r.on_move(ctx.now);
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
-        Self::push_requester_sends(&mut self.proto, hop, self.request_timeout, out, sends);
+        Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
     }
 }
 
@@ -424,6 +463,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
                         timeout: scenario.request_timeout,
                         zipf_alpha: scenario.zipf_alpha,
                         per_session_names: mechanism.per_request_provider_auth(),
+                        retransmit: scenario.retransmit,
                     },
                     catalog.clone(),
                     rng.fork(0x200 + node.0 as u64),
@@ -436,13 +476,14 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
         let plane = BaselinePlane {
             mechanism,
             nodes,
-            request_timeout: scenario.request_timeout,
+            peak_pit_records: 0,
             proto,
         };
         let config = NetConfig {
             duration: scenario.duration,
             mobility: scenario.mobility,
             cost: scenario.cost_model.clone(),
+            faults: scenario.faults.clone(),
         };
         BaselineNetwork {
             net: Net::assemble_observed(&topo, links, plane, rng, config, observer),

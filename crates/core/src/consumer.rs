@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use tactic_crypto::schnorr::Signature;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::{Data, Interest, Nack};
+use tactic_net::fault::RetransmitPolicy;
 use tactic_sim::dist::Zipf;
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
@@ -93,6 +94,11 @@ pub struct ConsumerStats {
     pub nacks: u64,
     /// Outstanding requests that expired.
     pub timeouts: u64,
+    /// Interests retransmitted after an expiry (resilience extension;
+    /// zero under the paper's no-retry clients).
+    pub retransmissions: u64,
+    /// Chunks abandoned after exhausting their retransmission budget.
+    pub gave_up: u64,
     /// Handovers performed (mobility extension).
     pub moves: u64,
     /// Times at which tag requests were sent (Fig. 6's `Q`).
@@ -118,6 +124,8 @@ enum PendingWork {
 #[derive(Debug, Clone)]
 struct Pending {
     sent: SimTime,
+    /// 0 = original Interest only; bumped per retransmission.
+    attempts: u32,
     work: PendingWork,
 }
 
@@ -138,6 +146,10 @@ pub struct ConsumerConfig {
     /// treated as stale so in-flight requests don't cross the expiry and
     /// get dropped at the edge. Zero reproduces the paper's bare model.
     pub refresh_margin: SimDuration,
+    /// Optional Interest retransmission (`None` = the paper's no-retry
+    /// clients). A retransmission re-presents the consumer's current tag,
+    /// so it re-exercises the edge's Protocol 2/3 validation path.
+    pub retransmit: Option<RetransmitPolicy>,
 }
 
 /// A windowed consumer (client or attacker).
@@ -330,6 +342,7 @@ impl Consumer {
                         i.name().clone(),
                         Pending {
                             sent: now,
+                            attempts: 0,
                             work: PendingWork::Registration { prov },
                         },
                     );
@@ -355,6 +368,7 @@ impl Consumer {
                         name,
                         Pending {
                             sent: now,
+                            attempts: 0,
                             work: PendingWork::Chunk { prov, obj, chunk },
                         },
                     );
@@ -428,23 +442,77 @@ impl Consumer {
     }
 
     /// Timeout check for `name` sent at `sent`; fires only if that exact
-    /// request is still outstanding. Returns follow-up Interests.
+    /// attempt is still outstanding (a stale expiry — the chunk was since
+    /// retransmitted or completed — is a no-op). Under a retransmission
+    /// policy an expired chunk is re-requested in place with a fresh
+    /// nonce, a backed-off lifetime, and the consumer's *current* tag
+    /// re-attached; exhausted chunks are given up. Returns follow-up
+    /// Interests.
     pub fn on_timeout(&mut self, name: &Name, sent: SimTime, now: SimTime) -> Vec<Interest> {
         let still_pending = matches!(self.in_flight.get(name), Some(p) if p.sent == sent);
         if !still_pending {
             return Vec::new();
         }
-        let pending = self.in_flight.remove(name).expect("checked above");
         self.stats.timeouts += 1;
+        let pending = self.in_flight.get(name).cloned().expect("checked above");
         match pending.work {
             PendingWork::Registration { .. } => {
+                self.in_flight.remove(name);
                 self.reg_pending = None;
+                self.fill(now)
             }
             PendingWork::Chunk { prov, obj, chunk } => {
+                if let Some(policy) = self.config.retransmit {
+                    if pending.attempts < policy.max_retries {
+                        match self.tag_for(prov, now) {
+                            TagChoice::NeedRegistration => {
+                                // The tag expired while the chunk was in
+                                // flight: route the chunk through the
+                                // ordinary retry path so the next fill
+                                // re-registers first.
+                                self.in_flight.remove(name);
+                                self.retry.push_back((prov, obj, chunk));
+                                return self.fill(now);
+                            }
+                            choice => {
+                                let p = self.in_flight.get_mut(name).expect("checked above");
+                                p.attempts += 1;
+                                p.sent = now;
+                                let attempts = p.attempts;
+                                self.stats.retransmissions += 1;
+                                let nonce = self.next_nonce();
+                                let mut i = Interest::new(name.clone(), nonce);
+                                let lifetime =
+                                    policy.timeout_for(self.config.request_timeout, attempts);
+                                i.set_lifetime_ms((lifetime.as_nanos() / 1_000_000) as u32);
+                                if let TagChoice::Use(t) = &choice {
+                                    ext::set_interest_tag(&mut i, t);
+                                }
+                                return vec![i];
+                            }
+                        }
+                    }
+                    self.stats.gave_up += 1;
+                    self.in_flight.remove(name);
+                    return self.fill(now);
+                }
+                self.in_flight.remove(name);
                 self.retry.push_back((prov, obj, chunk));
+                self.fill(now)
             }
         }
-        self.fill(now)
+    }
+
+    /// The expiry to schedule for the Interest currently in flight for
+    /// `name`: the base timeout scaled by the retransmission backoff of
+    /// its attempt count. Unknown names, registrations (never
+    /// retransmitted, so never backed off), and policy-free consumers all
+    /// get the base timeout.
+    pub fn timeout_for(&self, name: &Name) -> SimDuration {
+        match (self.config.retransmit, self.in_flight.get(name)) {
+            (Some(policy), Some(p)) => policy.timeout_for(self.config.request_timeout, p.attempts),
+            _ => self.config.request_timeout,
+        }
     }
 }
 
@@ -476,7 +544,7 @@ mod tests {
         ]
     }
 
-    fn client(kind: ConsumerKind) -> Consumer {
+    fn client_with(kind: ConsumerKind, retransmit: Option<RetransmitPolicy>) -> Consumer {
         Consumer::new(
             ConsumerConfig {
                 principal: 7,
@@ -485,10 +553,15 @@ mod tests {
                 request_timeout: SimDuration::from_secs(1),
                 zipf_alpha: 0.7,
                 refresh_margin: SimDuration::ZERO,
+                retransmit,
             },
             catalog(),
             Rng::seed_from_u64(42),
         )
+    }
+
+    fn client(kind: ConsumerKind) -> Consumer {
+        client_with(kind, None)
     }
 
     fn issue_tag(prefix: &str, expiry: SimTime) -> SignedTag {
@@ -582,6 +655,67 @@ mod tests {
         let noop = c.on_timeout(&victim, SimTime::ZERO, SimTime::from_secs(2));
         assert!(noop.is_empty());
         assert_eq!(c.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn retransmission_represents_the_tag_and_backs_off() {
+        let policy = RetransmitPolicy {
+            max_retries: 2,
+            max_backoff_shift: 4,
+        };
+        let mut c = client_with(ConsumerKind::Client, Some(policy));
+        let sends = c.fill(SimTime::ZERO);
+        let reg_name = sends[0].name().clone();
+        let tag = issue_tag(&reg_name.prefix(1).to_string(), SimTime::from_secs(100));
+        let follow = c.on_data(&reg_response(&reg_name, &tag), SimTime::ZERO);
+        let victim = follow[0].name().clone();
+        assert_eq!(c.timeout_for(&victim), SimDuration::from_secs(1));
+
+        // First expiry: the chunk is retransmitted in place with a fresh
+        // nonce and the tag re-attached (Protocol 2/3 re-validation).
+        let resend = c.on_timeout(&victim, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(resend.len(), 1);
+        assert_eq!(resend[0].name(), &victim);
+        assert_ne!(resend[0].nonce(), follow[0].nonce());
+        assert_eq!(
+            ext::interest_tag(&resend[0]).expect("tag re-presented"),
+            tag
+        );
+        assert_eq!(c.timeout_for(&victim), SimDuration::from_secs(2));
+        // The original attempt's expiry is stale now: a no-op.
+        assert!(c
+            .on_timeout(&victim, SimTime::ZERO, SimTime::from_secs(2))
+            .is_empty());
+        assert_eq!(c.stats().retransmissions, 1);
+
+        // Second expiry retransmits again; the third gives the chunk up
+        // and refills the freed slot with other work.
+        let t1 = SimTime::from_secs(1);
+        let resend2 = c.on_timeout(&victim, t1, SimTime::from_secs(3));
+        assert_eq!(resend2.len(), 1);
+        let t2 = SimTime::from_secs(3);
+        let refill = c.on_timeout(&victim, t2, SimTime::from_secs(7));
+        assert!(refill.iter().all(|i| i.name() != &victim));
+        assert_eq!(c.stats().gave_up, 1);
+        assert_eq!(c.stats().retransmissions, 2);
+        // Retransmissions never inflate the requested-chunk total.
+        assert_eq!(c.stats().requested_chunks, 6);
+    }
+
+    #[test]
+    fn retransmission_after_tag_expiry_reregisters_instead() {
+        let mut c = client_with(ConsumerKind::Client, Some(RetransmitPolicy::default()));
+        let sends = c.fill(SimTime::ZERO);
+        let reg_name = sends[0].name().clone();
+        let tag = issue_tag(&reg_name.prefix(1).to_string(), SimTime::from_secs(2));
+        let follow = c.on_data(&reg_response(&reg_name, &tag), SimTime::ZERO);
+        let victim = follow[0].name().clone();
+        // The expiry fires after the tag itself lapsed: instead of
+        // replaying a dead tag the consumer falls back to registration.
+        let out = c.on_timeout(&victim, SimTime::ZERO, SimTime::from_secs(3));
+        assert!(out.iter().any(ext::is_registration));
+        assert_eq!(c.stats().retransmissions, 0);
+        assert_eq!(c.stats().tag_requests.len(), 2);
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub struct RunReport {
     /// High-water mark of the engine's pending-event queue (run manifest
     /// provenance; not a paper metric).
     pub peak_queue_depth: u64,
+    /// Transport drops split by reason (resilience extension; all zero on
+    /// the paper's ideal links).
+    pub drops: tactic_net::DropTotals,
+    /// High-water mark of PIT records summed over every router, sampled at
+    /// the periodic purge sweeps (resilience extension).
+    pub peak_pit_records: u64,
+    /// Client Interests retransmitted after an expiry (resilience
+    /// extension; zero under the paper's no-retry clients).
+    pub client_retransmissions: u64,
+    /// Client chunks abandoned after exhausting the retransmission budget.
+    pub client_gave_up: u64,
+    /// Client request expiries (stale-timeout-filtered).
+    pub client_timeouts: u64,
 }
 
 impl RunReport {
@@ -77,6 +90,9 @@ impl RunReport {
         if kind.is_client() {
             self.delivery.client_requested += stats.requested_chunks;
             self.delivery.client_received += stats.received_chunks;
+            self.client_retransmissions += stats.retransmissions;
+            self.client_gave_up += stats.gave_up;
+            self.client_timeouts += stats.timeouts;
             for &(at, lat) in &stats.latencies {
                 self.latency.record(at, lat);
             }

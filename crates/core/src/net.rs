@@ -53,25 +53,28 @@ enum NodeState {
 pub struct TacticPlane<PO: ProtocolObserver = NoopProtocolObserver> {
     nodes: Vec<NodeState>,
     edge_router_set: Vec<bool>,
+    peak_pit_records: u64,
     proto: PO,
 }
 
 impl<PO: ProtocolObserver> TacticPlane<PO> {
     /// Per-interest consumer emit pattern: each request schedules its
     /// expiry check *before* it is transmitted (the historical FIFO
-    /// tie-break order). Reports each emission to the observer.
+    /// tie-break order). The expiry delay is per interest — a
+    /// retransmitted chunk carries its backed-off timeout — and each
+    /// emission is reported to the observer.
     fn push_consumer_sends(
         proto: &mut PO,
         hop: Hop,
         out: &mut Vec<Emit>,
         sends: Vec<tactic_ndn::packet::Interest>,
-        timeout: SimDuration,
+        c: &Consumer,
     ) {
         for i in sends {
             proto.on_interest_emitted(hop, i.nonce(), i.name());
             out.push(Emit::Timeout {
                 name: i.name().clone(),
-                delay: timeout,
+                delay: c.timeout_for(i.name()),
             });
             out.push(Emit::Send {
                 face: FaceId::new(0),
@@ -89,6 +92,8 @@ impl<PO: ProtocolObserver> TacticPlane<PO> {
             events: transport.events,
             moves: transport.moves,
             peak_queue_depth: transport.peak_queue_depth,
+            drops: transport.drops,
+            peak_pit_records: self.peak_pit_records,
             ..Default::default()
         };
         for (idx, state) in self.nodes.into_iter().enumerate() {
@@ -192,8 +197,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                     }
                     Packet::Interest(_) => Vec::new(),
                 };
-                let timeout = c.request_timeout();
-                Self::push_consumer_sends(proto, hop, out, sends, timeout);
+                Self::push_consumer_sends(proto, hop, out, sends, c);
             }
             NodeState::Ap(ap) => match packet {
                 Packet::Interest(mut i) => {
@@ -241,8 +245,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         };
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         let sends = c.fill(ctx.now);
-        let timeout = c.request_timeout();
-        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
     }
 
     fn on_timeout(
@@ -259,18 +262,37 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         self.proto.on_timeout_expired(hop, &name, sent);
         let sends = c.on_timeout(&name, sent, ctx.now);
-        let timeout = c.request_timeout();
-        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
     }
 
     fn on_purge(&mut self, now: SimTime) {
+        // Sample PIT occupancy *before* sweeping so the peak reflects what
+        // loss actually accumulated, then purge expired entries.
+        let mut pit_records = 0u64;
         for state in &mut self.nodes {
             match state {
                 NodeState::Router(r) => {
+                    pit_records += r.tables().pit.total_records() as u64;
                     r.purge_pit(now);
                 }
                 NodeState::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
                 _ => {}
+            }
+        }
+        self.peak_pit_records = self.peak_pit_records.max(pit_records);
+    }
+
+    fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
+        // Full replacement: the transport hands us the complete post-failure
+        // routing plane, so every router's FIB is rebuilt from scratch.
+        for state in &mut self.nodes {
+            if let NodeState::Router(r) = state {
+                r.clear_routes();
+            }
+        }
+        for route in routes {
+            if let NodeState::Router(r) = &mut self.nodes[route.router.0] {
+                r.add_route(route.prefix.clone(), route.face, route.cost_us);
             }
         }
     }
@@ -284,8 +306,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
         c.on_move(ctx.now);
         let sends = c.fill(ctx.now);
-        let timeout = c.request_timeout();
-        Self::push_consumer_sends(&mut self.proto, hop, out, sends, timeout);
+        Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
     }
 }
 
@@ -440,6 +461,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 request_timeout: scenario.request_timeout,
                 zipf_alpha: scenario.zipf_alpha,
                 refresh_margin: scenario.tag_refresh_margin,
+                retransmit: scenario.retransmit,
             };
             let mut consumer = Consumer::new(config, catalog.clone(), rng.fork(0x100 + principal));
             let own_ap = topo.access_point_of(unode);
@@ -532,12 +554,14 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
         let plane = TacticPlane {
             nodes,
             edge_router_set,
+            peak_pit_records: 0,
             proto,
         };
         let config = NetConfig {
             duration: scenario.duration,
             mobility: scenario.mobility,
             cost: scenario.cost_model.clone(),
+            faults: scenario.faults.clone(),
         };
         Network {
             net: Net::assemble_observed(&topo, links, plane, rng, config, observer),

@@ -249,6 +249,12 @@ impl TacticRouter {
         self.tables.fib.add_route(prefix, face, cost);
     }
 
+    /// Drops every FIB route. The fault layer calls this at failure
+    /// instants before re-installing the recomputed routing plane.
+    pub fn clear_routes(&mut self) {
+        self.tables.fib.clear();
+    }
+
     /// The operation counters.
     pub fn counters(&self) -> &OpCounters {
         &self.counters
@@ -1666,5 +1672,46 @@ mod tests {
         let again = f.router.handle_nack(&nack);
         assert!(again.sends.is_empty());
         assert_eq!(f.router.counters().nacks - before, 2);
+    }
+
+    #[test]
+    fn pit_sweep_expires_aggregated_records_instead_of_leaking() {
+        // Lossy-link scenario: the forwarded Interest's Data never comes
+        // back. The periodic purge must reclaim the aggregated
+        // `<tag, F, in-face>` records, and a Data that straggles in after
+        // the sweep is unsolicited — dropped without panic or caching.
+        let mut f = fixture(RouterRole::Edge);
+        let tag = make_tag(&f, 100);
+        let out1 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 1, &tag),
+            CLIENT,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert_eq!(out1.sends.len(), 1, "first request forwards upstream");
+        let out2 = f.router.handle_interest(
+            tagged_interest("/prov/obj/0", 2, &tag),
+            CLIENT2,
+            SimTime::ZERO,
+            &mut f.rng,
+            &f.cost,
+        );
+        assert!(out2.sends.is_empty(), "second request aggregates");
+        assert_eq!(f.router.tables().pit.total_records(), 2);
+
+        // Both records expire at t0 + Interest lifetime; sweep well past it.
+        let later = SimTime::from_secs(60);
+        assert_eq!(f.router.purge_pit(later), 2);
+        assert_eq!(f.router.tables().pit.total_records(), 0);
+
+        // The straggler Data finds no PIT entry: no sends, no cache entry.
+        let d = content("/prov/obj/0", AccessLevel::Level(1));
+        let out = f.router.handle_data(d, UP, later, &mut f.rng, &f.cost);
+        assert!(out.sends.is_empty(), "unsolicited Data goes nowhere");
+        assert!(
+            f.router.tables().cs.peek(&name("/prov/obj/0")).is_none(),
+            "unsolicited Data is not cached (NFD policy)"
+        );
     }
 }

@@ -8,9 +8,10 @@ use tactic_topology::roles::TopologySpec;
 use crate::access::AccessLevel;
 use crate::consumer::AttackerStrategy;
 
-// Mobility lives in the shared transport plane now; re-exported here so
-// scenario construction keeps reading naturally.
+// Mobility and the fault model live in the shared transport plane now;
+// re-exported here so scenario construction keeps reading naturally.
 pub use tactic_net::MobilityConfig;
+pub use tactic_net::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
 
 /// Which network to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,12 @@ pub struct Scenario {
     pub attacker_mix: Vec<AttackerStrategy>,
     /// Computation-cost injection model.
     pub cost_model: CostModel,
+    /// Transport-level fault injection: packet loss and scheduled
+    /// link/node failures ([`FaultPlan::none`] = the paper's ideal links).
+    pub faults: FaultPlan,
+    /// Consumer Interest retransmission with exponential backoff
+    /// (`None` = the paper's no-retry clients).
+    pub retransmit: Option<RetransmitPolicy>,
 }
 
 impl Scenario {
@@ -125,6 +132,8 @@ impl Scenario {
             mobility: None,
             attacker_mix: AttackerStrategy::PAPER_MIX.to_vec(),
             cost_model: CostModel::paper(),
+            faults: FaultPlan::none(),
+            retransmit: None,
         }
     }
 

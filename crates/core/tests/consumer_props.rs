@@ -44,6 +44,7 @@ fn consumer(kind: ConsumerKind, window: usize) -> Consumer {
             request_timeout: SimDuration::from_secs(1),
             zipf_alpha: 0.7,
             refresh_margin: SimDuration::ZERO,
+            retransmit: None,
         },
         vec![CatalogEntry {
             prefix: "/prov0".parse().unwrap(),

@@ -1,6 +1,8 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
-    use tactic_experiments::{extras, figures, sweep, tables, telemetry, transport, RunOpts};
+    use tactic_experiments::{
+        extras, figures, resilience, sweep, tables, telemetry, transport, RunOpts,
+    };
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
         Err(msg) => {
@@ -23,6 +25,7 @@ fn main() {
         ("baselines", extras::baselines),
         ("transport", transport::transport),
         ("telemetry", telemetry::telemetry),
+        ("resilience", resilience::resilience),
     ];
     for (name, f) in experiments {
         let started = std::time::Instant::now();

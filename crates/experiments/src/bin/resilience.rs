@@ -1,0 +1,5 @@
+//! Graceful-degradation sweep: loss rate × failure intensity ×
+//! retransmission across all four planes.
+fn main() {
+    tactic_experiments::binary_main("resilience", tactic_experiments::resilience::resilience);
+}

@@ -22,6 +22,7 @@
 //! | `baselines`| TACTIC vs no-AC / client-side / provider-auth |
 //! | `transport`| link load + drop accounting from the transport observer |
 //! | `telemetry`| protocol decision metrics, lifecycle histograms, manifests |
+//! | `resilience`| graceful degradation under loss, failures, retransmission |
 //! | `all`      | everything above in sequence |
 //!
 //! All binaries run at a reduced scale by default (60–120 simulated
@@ -36,6 +37,7 @@ pub mod extras;
 pub mod figures;
 pub mod opts;
 pub mod output;
+pub mod resilience;
 pub mod runner;
 pub mod scenario_args;
 pub mod sweep;

@@ -202,6 +202,11 @@ mod tests {
             sim_events: 4,
             peak_queue_depth: 5,
             wall_ms: 6,
+            drops_dangling_face: 0,
+            drops_reverse_face: 0,
+            drops_lossy: 0,
+            drops_link_down: 0,
+            drops_node_down: 0,
         };
         write_manifests(&dir, "exp.csv", &[m.clone(), m]).unwrap();
         let body = std::fs::read_to_string(dir.join("exp.manifest.jsonl")).unwrap();

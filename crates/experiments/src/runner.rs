@@ -70,13 +70,15 @@ pub fn scenario_id(tag: &str, knobs: &[u64]) -> u64 {
 /// Deterministic for a given scenario (no RNG, no clocks).
 pub fn scenario_summary(s: &Scenario) -> String {
     format!(
-        "duration={}s bf={}x{} window={} flag_f={} mobility={}",
+        "duration={}s bf={}x{} window={} flag_f={} mobility={} faults=[{}] retransmit={}",
         s.duration.as_secs_f64(),
         s.bf_capacity,
         s.bf_hashes,
         s.window,
         s.flag_f_enabled,
         s.mobility.is_some(),
+        s.faults.summary(),
+        s.retransmit.is_some(),
     )
 }
 
@@ -121,6 +123,11 @@ pub fn run_grid_detailed(
                     sim_events: report.events,
                     peak_queue_depth: report.peak_queue_depth,
                     wall_ms: elapsed.as_millis() as u64,
+                    drops_dangling_face: report.drops.dangling_face,
+                    drops_reverse_face: report.drops.reverse_face,
+                    drops_lossy: report.drops.lossy,
+                    drops_link_down: report.drops.link_down,
+                    drops_node_down: report.drops.node_down,
                 };
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if verbosity.progress() {

@@ -17,7 +17,7 @@ use tactic::net::Network;
 use tactic::scenario::Scenario;
 use tactic_baselines::mechanism::Mechanism;
 use tactic_baselines::net::BaselineNetwork;
-use tactic_net::NoopObserver;
+use tactic_net::{DropTotals, NoopObserver};
 use tactic_sim::rng::derive_seed;
 use tactic_telemetry::{ProtocolRecorder, Registry, RunManifest};
 
@@ -32,19 +32,33 @@ const PLANES: [&str; 4] = [
     "provider-auth-ac",
 ];
 
+/// Folds the transport's per-reason drop totals into the decision-metric
+/// registry so the exported JSONL carries them alongside Protocol 1–4
+/// counters (all zero on lossless runs, but the keys are always present).
+fn inject_drop_metrics(registry: &mut Registry, drops: DropTotals) {
+    registry.add("net.drop.dangling_face", drops.dangling_face);
+    registry.add("net.drop.reverse_face", drops.reverse_face);
+    registry.add("net.drop.lossy", drops.lossy);
+    registry.add("net.drop.link_down", drops.link_down);
+    registry.add("net.drop.node_down", drops.node_down);
+}
+
 /// Runs one plane once with a recording observer; returns the folded
-/// registry (decision metrics + lifecycle) and the run's engine totals
-/// `(events, peak_queue_depth)`.
-fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, u64) {
+/// registry (decision metrics + lifecycle + drop totals) and the run's
+/// engine totals `(events, peak_queue_depth, drops)`.
+fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, u64, DropTotals) {
     match plane {
         "tactic" => {
             let (report, _, recorder) =
                 Network::build_traced(scenario, seed, NoopObserver, ProtocolRecorder::default())
                     .run_traced();
+            let mut registry = recorder.export_registry();
+            inject_drop_metrics(&mut registry, report.drops);
             (
-                recorder.export_registry(),
+                registry,
                 report.events,
                 report.peak_queue_depth,
+                report.drops,
             )
         }
         name => {
@@ -60,10 +74,13 @@ fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, 
                 ProtocolRecorder::default(),
             )
             .run_traced();
+            let mut registry = recorder.export_registry();
+            inject_drop_metrics(&mut registry, report.drops);
             (
-                recorder.export_registry(),
+                registry,
                 report.events,
                 report.peak_queue_depth,
+                report.drops,
             )
         }
     }
@@ -96,7 +113,7 @@ pub fn folded_plane_registry(
                 }
                 let seed = derive_seed(BASE_SEED, topology, sid, i as u64);
                 let started = Instant::now();
-                let (registry, events, peak) = record_plane(plane, scenario, seed);
+                let (registry, events, peak, drops) = record_plane(plane, scenario, seed);
                 let manifest = RunManifest {
                     label: format!("telemetry {plane}"),
                     topology: format!("Topo{topology}"),
@@ -107,6 +124,11 @@ pub fn folded_plane_registry(
                     sim_events: events,
                     peak_queue_depth: peak,
                     wall_ms: started.elapsed().as_millis() as u64,
+                    drops_dangling_face: drops.dangling_face,
+                    drops_reverse_face: drops.reverse_face,
+                    drops_lossy: drops.lossy,
+                    drops_link_down: drops.link_down,
+                    drops_node_down: drops.node_down,
                 };
                 if verbosity.progress() {
                     eprintln!(

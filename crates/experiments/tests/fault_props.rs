@@ -1,0 +1,95 @@
+//! Property tests for the fault layer's determinism contract: zero-loss
+//! fault plans are invisible (byte-identical reports to no plan at all),
+//! and faulted grids are invariant to the worker-thread count.
+
+use proptest::prelude::*;
+
+use tactic::net::run_scenario;
+use tactic::scenario::{FaultEvent, FaultKind, FaultPlan, LossModel, Scenario};
+use tactic_experiments::opts::Verbosity;
+use tactic_experiments::runner::{run_grid, GridJob};
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::NodeId;
+
+fn short_small() -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(4);
+    s
+}
+
+/// Loss models that can never eat a packet, however their other knobs are
+/// set. Gilbert–Elliott state transitions still draw from the fault RNG,
+/// which must not perturb the main stream.
+fn arb_zero_loss() -> impl Strategy<Value = LossModel> {
+    prop_oneof![
+        Just(LossModel::None),
+        Just(LossModel::Uniform { p: 0.0 }),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(gb, bg)| LossModel::GilbertElliott {
+            p_good_to_bad: gb,
+            p_bad_to_good: bg,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn zero_loss_plans_reproduce_the_lossless_report(
+        loss in arb_zero_loss(),
+        seed in 0u64..1_000,
+    ) {
+        let mut lossless = short_small();
+        lossless.faults = FaultPlan::none();
+        let baseline = run_scenario(&lossless, seed);
+
+        let mut faulted = short_small();
+        faulted.faults = FaultPlan { loss, schedule: Vec::new() };
+        let report = run_scenario(&faulted, seed);
+
+        prop_assert_eq!(format!("{baseline:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn faulted_grids_are_thread_count_invariant(
+        p in 0.0f64..0.5,
+        crash in any::<bool>(),
+    ) {
+        let mut s = short_small();
+        let schedule = if crash {
+            vec![
+                FaultEvent {
+                    at: SimTime::from_secs(1),
+                    kind: FaultKind::NodeDown { node: NodeId(0) },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(3),
+                    kind: FaultKind::NodeUp { node: NodeId(0) },
+                },
+            ]
+        } else {
+            Vec::new()
+        };
+        s.faults = FaultPlan {
+            loss: LossModel::Uniform { p },
+            schedule,
+        };
+        let jobs: Vec<GridJob<'_>> = (0..3)
+            .map(|i| GridJob {
+                label: format!("fault{i}"),
+                topology: 1,
+                scenario_id: 0xFA17,
+                run_idx: i,
+                scenario: &s,
+            })
+            .collect();
+        let serial = run_grid(&jobs, 1, Verbosity::Quiet);
+        let parallel = run_grid(&jobs, 8, Verbosity::Quiet);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}

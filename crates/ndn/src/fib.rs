@@ -100,6 +100,12 @@ impl Fib {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Drops every route. Used when scheduled failures force a full
+    /// recomputation of the routing plane.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +161,16 @@ mod tests {
         fib.add_route(name("/a"), FaceId::new(1), 1);
         assert!(fib.remove_route(&name("/a"), FaceId::new(1)));
         assert!(!fib.remove_route(&name("/a"), FaceId::new(1)));
+        assert!(fib.is_empty());
+        assert_eq!(fib.next_hop(&name("/a")), None);
+    }
+
+    #[test]
+    fn clear_empties_the_fib() {
+        let mut fib = Fib::new();
+        fib.add_route(name("/a"), FaceId::new(1), 1);
+        fib.add_route(name("/b"), FaceId::new(2), 1);
+        fib.clear();
         assert!(fib.is_empty());
         assert_eq!(fib.next_hop(&name("/a")), None);
     }

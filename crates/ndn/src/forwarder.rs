@@ -215,6 +215,51 @@ mod tests {
     }
 
     #[test]
+    fn purge_sweep_expires_aggregated_records_then_late_data_is_unsolicited() {
+        // Lossy-link scenario: the upstream Data is lost, so the periodic
+        // purge must reclaim both aggregated records instead of leaking
+        // them, and the straggler Data that arrives after the sweep is
+        // treated as unsolicited.
+        let mut t = setup();
+        let n = name("/prov/obj/0");
+        let a1 = process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 1),
+            FaceId::new(1),
+            SimTime::ZERO,
+            vec![],
+        );
+        assert_eq!(a1, InterestAction::Forward(FaceId::new(9)));
+        let a2 = process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 2),
+            FaceId::new(2),
+            SimTime::ZERO,
+            vec![],
+        );
+        assert_eq!(a2, InterestAction::Aggregate);
+        assert_eq!(t.pit.total_records(), 2);
+
+        // Both records expire at t0 + Interest lifetime; sweep well past it.
+        assert_eq!(t.pit.purge_expired(SimTime::from_secs(60)), 2);
+        assert!(t.pit.is_empty());
+
+        let d = Data::new(n.clone(), Payload::Synthetic(10));
+        let action = process_data(&mut t, &d);
+        assert!(action.downstream.is_empty(), "no requesters remain");
+        assert!(!action.cached, "unsolicited Data is not cached");
+        // A fresh request after the sweep re-resolves cleanly.
+        let a3 = process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 3),
+            FaceId::new(1),
+            SimTime::from_secs(61),
+            vec![],
+        );
+        assert_eq!(a3, InterestAction::Forward(FaceId::new(9)));
+    }
+
+    #[test]
     fn unsolicited_data_dropped() {
         let mut t = setup();
         let d = Data::new(name("/prov/obj/9"), Payload::Synthetic(10));

@@ -22,7 +22,10 @@
 //!   accounting, implemented once for every experiment;
 //! * [`requester`] — the shared Zipf-window workload driver;
 //! * [`relay`] — the access-point pending/demultiplex relay;
-//! * [`mobility`] — the handover model's configuration.
+//! * [`mobility`] — the handover model's configuration;
+//! * [`fault`] — deterministic fault injection: per-link loss models,
+//!   scheduled link/node failures, and the consumer retransmission
+//!   policy.
 //!
 //! Determinism is the crate's contract: given the same topology, plane,
 //! and RNG, the transport performs the identical sequence of engine
@@ -91,6 +94,7 @@
 //!     duration: SimDuration::from_secs(2),
 //!     mobility: None,
 //!     cost: CostModel::free(),
+//!     faults: tactic_net::fault::FaultPlan::none(),
 //! };
 //! let net = Net::assemble(&topo, links, Echo, Rng::seed_from_u64(1), config);
 //! let (_plane, _observer, report) = net.run();
@@ -100,6 +104,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod links;
 pub mod mobility;
 pub mod observer;
@@ -108,9 +113,10 @@ pub mod relay;
 pub mod requester;
 pub mod transport;
 
-pub use links::{populate_fib, provider_prefix, Links};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
+pub use links::{fib_routes_filtered, populate_fib, provider_prefix, FibRoute, Links};
 pub use mobility::MobilityConfig;
-pub use observer::{DropReason, EventTrace, NetCounters, NetObserver, NoopObserver};
+pub use observer::{DropReason, DropTotals, EventTrace, NetCounters, NetObserver, NoopObserver};
 pub use plane::{Emit, NodePlane, PlaneCtx};
 pub use relay::ApRelay;
 pub use requester::{Catalog, RequesterConfig, ZipfRequester};

@@ -7,7 +7,7 @@ use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_topology::graph::{LinkSpec, NodeId};
 use tactic_topology::roles::Topology;
-use tactic_topology::routing::routes_toward;
+use tactic_topology::routing::routes_toward_filtered;
 
 /// Per-node face tables derived from a topology's adjacency order.
 ///
@@ -70,17 +70,62 @@ pub fn populate_fib<F>(topo: &Topology, links: &Links, mut add: F)
 where
     F: FnMut(NodeId, usize, Name, FaceId, u32),
 {
+    for route in fib_routes_filtered(topo, links, |_, _| true) {
+        add(
+            route.router,
+            route.provider,
+            route.prefix,
+            route.face,
+            route.cost_us,
+        );
+    }
+}
+
+/// One FIB entry produced by [`fib_routes_filtered`]: `router` reaches
+/// `prefix` (provider index `provider`) through `face` at `cost_us`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibRoute {
+    /// The router owning the entry.
+    pub router: NodeId,
+    /// Provider index (into `topo.providers`).
+    pub provider: usize,
+    /// The provider's content prefix.
+    pub prefix: Name,
+    /// Out face toward the provider.
+    pub face: FaceId,
+    /// Path cost in microseconds of latency.
+    pub cost_us: u32,
+}
+
+/// [`populate_fib`] restricted to links for which `usable(a, b)` holds —
+/// the routing recomputation the transport performs at scheduled failure
+/// instants. Routers cut off from a provider simply get no entry for it.
+///
+/// Same deterministic iteration order as [`populate_fib`]
+/// (providers-outer, routers-inner).
+pub fn fib_routes_filtered<F>(topo: &Topology, links: &Links, mut usable: F) -> Vec<FibRoute>
+where
+    F: FnMut(NodeId, NodeId) -> bool,
+{
+    let mut out = Vec::new();
     for (i, &pnode) in topo.providers.iter().enumerate() {
         let prefix = provider_prefix(i);
-        let routes = routes_toward(&topo.graph, pnode);
+        let routes = routes_toward_filtered(&topo.graph, pnode, &mut usable);
         for rnode in topo.routers() {
             if let Some(entry) = routes[rnode.0] {
                 let face = links.face_index[rnode.0][&entry.next_hop];
                 let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
-                add(rnode, i, prefix.clone(), face, cost_us);
+                out.push(FibRoute {
+                    router: rnode,
+                    provider: i,
+                    prefix: prefix.clone(),
+                    face,
+                    cost_us,
+                });
             }
         }
     }
+    out
 }
 
 #[cfg(test)]
@@ -138,5 +183,26 @@ mod tests {
     fn build_is_deterministic() {
         let t = topo();
         assert_eq!(Links::build(&t), Links::build(&t));
+    }
+
+    #[test]
+    fn filtered_routes_avoid_unusable_links() {
+        let t = topo();
+        let links = Links::build(&t);
+        let full = fib_routes_filtered(&t, &links, |_, _| true);
+        assert_eq!(full.len(), 13 * 2, "unfiltered = populate_fib coverage");
+
+        // Cut every link touching provider 0's attachment: routers lose
+        // their `/prov0` entries but keep `/prov1` (graph stays connected
+        // enough for the other provider in this topology or drops some
+        // routers — either way no entry may use a cut link).
+        let p0 = t.providers[0];
+        let cut = fib_routes_filtered(&t, &links, |a, b| a != p0 && b != p0);
+        assert!(cut.len() < full.len());
+        for route in &cut {
+            assert_ne!(route.provider, 0, "provider 0 is unreachable");
+            let (peer, _) = links.peer_of(route.router, route.face).expect("wired");
+            assert_ne!(peer, p0, "no route may traverse a cut link");
+        }
     }
 }

@@ -16,6 +16,8 @@ use tactic_ndn::packet::Packet;
 use tactic_sim::time::{SimDuration, SimTime};
 use tactic_topology::graph::NodeId;
 
+use crate::fault::FaultKind;
+
 /// Why the transport dropped a packet instead of scheduling its arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropReason {
@@ -24,6 +26,48 @@ pub enum DropReason {
     /// The receiver no longer has a face back to the sender — a handover
     /// tore down the radio link while the packet was in flight.
     ReverseFaceGone,
+    /// The loss model of the active [`FaultPlan`](crate::fault::FaultPlan)
+    /// ate the packet in flight.
+    Lossy,
+    /// The link was administratively down (a scheduled
+    /// [`FaultKind::LinkDown`](crate::fault::FaultKind)).
+    LinkDown,
+    /// The destination node was crashed when the packet arrived.
+    NodeDown,
+}
+
+/// Per-reason drop totals counted by the transport itself (independent of
+/// any observer), so every plane's report can expose them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropTotals {
+    /// [`DropReason::DanglingFace`] drops.
+    pub dangling_face: u64,
+    /// [`DropReason::ReverseFaceGone`] drops.
+    pub reverse_face: u64,
+    /// [`DropReason::Lossy`] drops.
+    pub lossy: u64,
+    /// [`DropReason::LinkDown`] drops.
+    pub link_down: u64,
+    /// [`DropReason::NodeDown`] drops.
+    pub node_down: u64,
+}
+
+impl DropTotals {
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.dangling_face + self.reverse_face + self.lossy + self.link_down + self.node_down
+    }
+
+    /// Bumps the counter for `reason`.
+    pub fn count(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::DanglingFace => self.dangling_face += 1,
+            DropReason::ReverseFaceGone => self.reverse_face += 1,
+            DropReason::Lossy => self.lossy += 1,
+            DropReason::LinkDown => self.link_down += 1,
+            DropReason::NodeDown => self.node_down += 1,
+        }
+    }
 }
 
 /// Hooks the shared transport calls at every transport-level event.
@@ -50,11 +94,16 @@ pub trait NetObserver {
     /// A scheduled delivery is being handled at `node` on `face`.
     fn on_deliver(&mut self, node: NodeId, face: FaceId, packet: &Packet, now: SimTime) {}
 
-    /// The transport dropped a packet emitted by `node`.
+    /// The transport dropped a packet at `node` — the emitting node for
+    /// send-side reasons, or the crashed receiver for
+    /// [`DropReason::NodeDown`].
     fn on_drop(&mut self, node: NodeId, face: FaceId, reason: DropReason, now: SimTime) {}
 
     /// A mobile node re-attached from `from_ap` to `to_ap`.
     fn on_handover(&mut self, node: NodeId, from_ap: NodeId, to_ap: NodeId, now: SimTime) {}
+
+    /// A scheduled fault event took effect.
+    fn on_fault(&mut self, kind: FaultKind, now: SimTime) {}
 }
 
 /// The zero-cost default observer: every hook is a no-op.
@@ -86,6 +135,12 @@ pub struct NetCounters {
     pub dropped_dangling_face: u64,
     /// Packets lost to a handover tearing down the reverse mapping.
     pub dropped_reverse_face: u64,
+    /// Packets eaten by the fault plan's loss model.
+    pub dropped_lossy: u64,
+    /// Packets dropped on administratively-down links.
+    pub dropped_link_down: u64,
+    /// Packets addressed to crashed nodes.
+    pub dropped_node_down: u64,
     /// Handovers performed.
     pub handovers: u64,
     /// Total wire bytes scheduled.
@@ -97,7 +152,11 @@ pub struct NetCounters {
 impl NetCounters {
     /// Total drops across all reasons.
     pub fn dropped(&self) -> u64 {
-        self.dropped_dangling_face + self.dropped_reverse_face
+        self.dropped_dangling_face
+            + self.dropped_reverse_face
+            + self.dropped_lossy
+            + self.dropped_link_down
+            + self.dropped_node_down
     }
 
     /// The `n` busiest directed links by serialisation time, descending
@@ -136,6 +195,9 @@ impl NetObserver for NetCounters {
         match reason {
             DropReason::DanglingFace => self.dropped_dangling_face += 1,
             DropReason::ReverseFaceGone => self.dropped_reverse_face += 1,
+            DropReason::Lossy => self.dropped_lossy += 1,
+            DropReason::LinkDown => self.dropped_link_down += 1,
+            DropReason::NodeDown => self.dropped_node_down += 1,
         }
     }
 
@@ -187,6 +249,13 @@ pub enum TraceEvent {
         /// Handover time.
         at: SimTime,
     },
+    /// A scheduled fault event took effect.
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+        /// When it fired.
+        at: SimTime,
+    },
 }
 
 /// A full per-event trace. Unbounded — meant for tests and small audit
@@ -208,6 +277,8 @@ pub struct TraceCounts {
     pub dropped: usize,
     /// [`TraceEvent::Handover`] records.
     pub handovers: usize,
+    /// [`TraceEvent::Fault`] records.
+    pub faults: usize,
 }
 
 impl EventTrace {
@@ -220,6 +291,7 @@ impl EventTrace {
                 TraceEvent::Delivered { .. } => c.delivered += 1,
                 TraceEvent::Dropped { .. } => c.dropped += 1,
                 TraceEvent::Handover { .. } => c.handovers += 1,
+                TraceEvent::Fault { .. } => c.faults += 1,
             }
         }
         c
@@ -288,6 +360,10 @@ impl NetObserver for EventTrace {
             at: now,
         });
     }
+
+    fn on_fault(&mut self, kind: FaultKind, now: SimTime) {
+        self.events.push(TraceEvent::Fault { kind, at: now });
+    }
 }
 
 #[cfg(test)]
@@ -330,15 +406,44 @@ mod tests {
             SimTime::from_secs(2),
         );
         trace.on_handover(n(3), n(4), n(5), SimTime::from_secs(3));
+        trace.on_fault(FaultKind::NodeDown { node: n(6) }, SimTime::from_secs(4));
 
         let counts = trace.counts();
         assert_eq!(counts.scheduled, 2);
         assert_eq!(counts.delivered, 1);
         assert_eq!(counts.dropped, 1);
         assert_eq!(counts.handovers, 1);
+        assert_eq!(counts.faults, 1);
         assert_eq!(trace.scheduled(), counts.scheduled);
         assert_eq!(trace.delivered(), counts.delivered);
         assert_eq!(trace.dropped(), counts.dropped);
         assert_eq!(trace.handovers(), counts.handovers);
+    }
+
+    #[test]
+    fn drop_totals_stay_the_sum_of_all_reasons() {
+        let mut totals = DropTotals::default();
+        let reasons = [
+            DropReason::DanglingFace,
+            DropReason::ReverseFaceGone,
+            DropReason::Lossy,
+            DropReason::LinkDown,
+            DropReason::NodeDown,
+        ];
+        for (i, &r) in reasons.iter().enumerate() {
+            for _ in 0..=i {
+                totals.count(r);
+            }
+        }
+        assert_eq!(totals.total(), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(totals.lossy, 3);
+        assert_eq!(totals.node_down, 5);
+
+        // NetCounters::dropped() mirrors the same invariant.
+        let mut counters = NetCounters::default();
+        for &r in &reasons {
+            counters.on_drop(NodeId(0), FaceId::new(0), r, SimTime::ZERO);
+        }
+        assert_eq!(counters.dropped(), reasons.len() as u64);
     }
 }

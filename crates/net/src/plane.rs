@@ -95,4 +95,9 @@ pub trait NodePlane {
     /// `node` was just re-attached to a new access point by the mobility
     /// model; the plane may refresh credentials and refill its window.
     fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {}
+
+    /// A scheduled fault changed the usable topology; `routes` is the
+    /// complete recomputed FIB (full-replacement semantics: the plane
+    /// should clear every router's FIB and install exactly these entries).
+    fn on_reroute(&mut self, routes: &[crate::links::FibRoute]) {}
 }

@@ -7,6 +7,11 @@
 //! that need richer consumers (TACTIC's tag-handling clients) implement
 //! their own, but the plain requester lives here so baseline planes and
 //! test planes don't each grow a copy.
+//!
+//! Resilience experiments can opt into Interest retransmission via
+//! [`RetransmitPolicy`]: expired chunks are re-requested with a fresh
+//! nonce under capped binary exponential backoff, and chunks that exhaust
+//! their retries are counted as given up instead of silently abandoned.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -15,6 +20,8 @@ use tactic_ndn::packet::{Data, Interest};
 use tactic_sim::dist::Zipf;
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+
+use crate::fault::RetransmitPolicy;
 
 /// The per-provider content catalog a requester walks:
 /// `(prefix, objects, chunks per object)`.
@@ -37,6 +44,17 @@ pub struct RequesterConfig {
     /// Append a `/u<principal>` component so every request is
     /// per-session-unique (defeats caching; provider-auth baselines).
     pub per_session_names: bool,
+    /// Optional Interest retransmission (`None` = the paper's no-retry
+    /// clients: expired chunks are abandoned).
+    pub retransmit: Option<RetransmitPolicy>,
+}
+
+/// One in-flight request: when its latest Interest went out and how many
+/// attempts (0 = original only) have been made.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    sent: SimTime,
+    attempts: u32,
 }
 
 /// A window-driven Zipf requester over a chunked content catalog.
@@ -52,16 +70,23 @@ pub struct ZipfRequester {
     rng: Rng,
     catalog: Catalog,
     per_session_names: bool,
+    retransmit: Option<RetransmitPolicy>,
     current: Option<(usize, usize, usize)>,
     retry: VecDeque<(usize, usize, usize)>,
-    in_flight: HashMap<Name, SimTime>,
+    in_flight: HashMap<Name, Flight>,
     nonce: u64,
-    /// Chunks requested so far.
+    /// Chunks requested so far (original requests only, not retries).
     pub requested: u64,
     /// Chunks received so far.
     pub received: u64,
     /// Payload bytes received so far.
     pub received_bytes: u64,
+    /// Request expiries that fired on a still-current attempt.
+    pub timeouts: u64,
+    /// Interests retransmitted after an expiry.
+    pub retransmitted: u64,
+    /// Chunks abandoned after exhausting their retransmission budget.
+    pub gave_up: u64,
     /// Per-chunk `(receive time, latency seconds)` records.
     pub latencies: Vec<(SimTime, f64)>,
 }
@@ -79,6 +104,7 @@ impl ZipfRequester {
             rng,
             catalog,
             per_session_names: config.per_session_names,
+            retransmit: config.retransmit,
             current: None,
             retry: VecDeque::new(),
             in_flight: HashMap::new(),
@@ -86,6 +112,9 @@ impl ZipfRequester {
             requested: 0,
             received: 0,
             received_bytes: 0,
+            timeouts: 0,
+            retransmitted: 0,
+            gave_up: 0,
             latencies: Vec::new(),
         }
     }
@@ -140,7 +169,13 @@ impl ZipfRequester {
             let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
             i.set_lifetime_ms((self.timeout.as_nanos() / 1_000_000) as u32);
             self.requested += 1;
-            self.in_flight.insert(name, now);
+            self.in_flight.insert(
+                name,
+                Flight {
+                    sent: now,
+                    attempts: 0,
+                },
+            );
             out.push(i);
         }
         out
@@ -148,20 +183,39 @@ impl ZipfRequester {
 
     /// Records a delivered chunk and refills the window.
     pub fn on_data(&mut self, d: &Data, now: SimTime) -> Vec<Interest> {
-        if let Some(sent) = self.in_flight.remove(d.name()) {
+        if let Some(flight) = self.in_flight.remove(d.name()) {
             self.received += 1;
             self.received_bytes += d.payload().len() as u64;
             self.latencies
-                .push((now, now.saturating_since(sent).as_secs_f64()));
+                .push((now, now.saturating_since(flight.sent).as_secs_f64()));
         }
         self.fill(now)
     }
 
-    /// Expires a request if it is still the one sent at `sent`, then
-    /// refills; the Zipf walk continues (lost chunks are abandoned).
+    /// Expires a request if its *latest* attempt is the one sent at
+    /// `sent`: a stale expiry (the chunk was since retransmitted or
+    /// completed) is a no-op and counts nothing. A current expiry either
+    /// retransmits under the configured policy (fresh nonce, backed-off
+    /// lifetime) or abandons the chunk and refills the window.
     pub fn on_timeout(&mut self, name: &Name, sent: SimTime, now: SimTime) -> Vec<Interest> {
-        if self.in_flight.get(name) != Some(&sent) {
+        if !matches!(self.in_flight.get(name), Some(f) if f.sent == sent) {
             return Vec::new();
+        }
+        self.timeouts += 1;
+        if let Some(policy) = self.retransmit {
+            let flight = self.in_flight.get_mut(name).expect("checked above");
+            if flight.attempts < policy.max_retries {
+                flight.attempts += 1;
+                flight.sent = now;
+                let attempts = flight.attempts;
+                self.nonce += 1;
+                self.retransmitted += 1;
+                let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
+                let lifetime = policy.timeout_for(self.timeout, attempts);
+                i.set_lifetime_ms((lifetime.as_nanos() / 1_000_000) as u32);
+                return vec![i];
+            }
+            self.gave_up += 1;
         }
         self.in_flight.remove(name);
         self.fill(now)
@@ -179,13 +233,24 @@ impl ZipfRequester {
     pub fn timeout(&self) -> SimDuration {
         self.timeout
     }
+
+    /// The expiry to schedule for the Interest currently in flight for
+    /// `name`: the base timeout scaled by the retransmission backoff of
+    /// its attempt count (the base timeout for unknown names or when
+    /// retransmission is off).
+    pub fn timeout_for(&self, name: &Name) -> SimDuration {
+        match (self.retransmit, self.in_flight.get(name)) {
+            (Some(policy), Some(f)) => policy.timeout_for(self.timeout, f.attempts),
+            _ => self.timeout,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn requester(per_session: bool) -> ZipfRequester {
+    fn requester_with(per_session: bool, retransmit: Option<RetransmitPolicy>) -> ZipfRequester {
         ZipfRequester::new(
             RequesterConfig {
                 principal: 7,
@@ -194,10 +259,15 @@ mod tests {
                 timeout: SimDuration::from_secs(2),
                 zipf_alpha: 0.8,
                 per_session_names: per_session,
+                retransmit,
             },
             vec![("/prov0".parse().unwrap(), 5, 3)],
             Rng::seed_from_u64(1),
         )
+    }
+
+    fn requester(per_session: bool) -> ZipfRequester {
+        requester_with(per_session, None)
     }
 
     #[test]
@@ -227,9 +297,71 @@ mod tests {
         assert!(r
             .on_timeout(&name, SimTime::from_secs(9), SimTime::from_secs(3))
             .is_empty());
+        assert_eq!(r.timeouts, 0, "stale expiries count nothing");
         // The genuine one frees a slot and refills it.
         let refill = r.on_timeout(&name, SimTime::ZERO, SimTime::from_secs(3));
         assert_eq!(refill.len(), 1);
+        assert_eq!(r.timeouts, 1);
+
+        // A retransmitted chunk's *original* expiry is stale too: the
+        // flight's sent-time moved to the retransmission instant, so the
+        // old expiry must not double-count the chunk as lost.
+        let mut r = requester_with(false, Some(RetransmitPolicy::default()));
+        let sends = r.fill(SimTime::ZERO);
+        let name = sends[0].name().clone();
+        let t1 = SimTime::from_secs(2);
+        let resend = r.on_timeout(&name, SimTime::ZERO, t1);
+        assert_eq!(resend.len(), 1, "expiry retransmits the same chunk");
+        assert_eq!(resend[0].name(), &name);
+        assert!(r
+            .on_timeout(&name, SimTime::ZERO, SimTime::from_secs(3))
+            .is_empty());
+        assert_eq!(
+            (r.timeouts, r.retransmitted, r.gave_up),
+            (1, 1, 0),
+            "the original expiry after a retransmission is a no-op"
+        );
+        // The retransmission's own expiry is the current one.
+        assert_eq!(r.on_timeout(&name, t1, SimTime::from_secs(6)).len(), 1);
+        assert_eq!(r.timeouts, 2);
+    }
+
+    #[test]
+    fn retransmission_backs_off_and_gives_up() {
+        let policy = RetransmitPolicy {
+            max_retries: 2,
+            max_backoff_shift: 4,
+        };
+        let mut r = requester_with(false, Some(policy));
+        let sends = r.fill(SimTime::ZERO);
+        let name = sends[0].name().clone();
+        let nonce0 = sends[0].nonce();
+        assert_eq!(r.timeout_for(&name), SimDuration::from_secs(2));
+
+        let resend = r.on_timeout(&name, SimTime::ZERO, SimTime::from_secs(2));
+        assert_eq!(resend.len(), 1);
+        assert_ne!(resend[0].nonce(), nonce0, "retries carry fresh nonces");
+        assert_eq!(r.timeout_for(&name), SimDuration::from_secs(4));
+
+        let t1 = SimTime::from_secs(2);
+        let resend2 = r.on_timeout(&name, t1, SimTime::from_secs(6));
+        assert_eq!(resend2.len(), 1);
+        assert_eq!(r.timeout_for(&name), SimDuration::from_secs(8));
+
+        // Retries exhausted: the chunk is given up and the slot refills
+        // with different work.
+        let t2 = SimTime::from_secs(6);
+        let refill = r.on_timeout(&name, t2, SimTime::from_secs(14));
+        assert_eq!(refill.len(), 1);
+        assert_ne!(refill[0].name(), &name, "given-up chunks are not retried");
+        assert_eq!((r.retransmitted, r.gave_up), (2, 1));
+        assert_eq!(
+            r.timeout_for(&name),
+            SimDuration::from_secs(2),
+            "an unknown name falls back to the base timeout"
+        );
+        // `requested` counts original chunks only, never retries.
+        assert_eq!(r.requested, 5);
     }
 
     #[test]

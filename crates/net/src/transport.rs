@@ -22,10 +22,16 @@ use tactic_sim::time::{SimDuration, SimTime};
 use tactic_topology::graph::NodeId;
 use tactic_topology::roles::Topology;
 
-use crate::links::Links;
+use crate::fault::{FaultPlan, FaultState};
+use crate::links::{fib_routes_filtered, Links};
 use crate::mobility::MobilityConfig;
-use crate::observer::{DropReason, NetObserver, NoopObserver};
+use crate::observer::{DropReason, DropTotals, NetObserver, NoopObserver};
 use crate::plane::{Emit, NodePlane, PlaneCtx};
+
+/// RNG stream id for the fault layer's dedicated loss stream: forked off
+/// the run RNG before any main-stream draw, so loss draws never perturb
+/// the simulation's own sequence.
+const FAULT_STREAM: u64 = 0xFA17_0001;
 
 /// Events flowing through the shared engine.
 #[derive(Debug)]
@@ -60,6 +66,11 @@ pub enum NetEvent {
         /// The mobile node.
         node: NodeId,
     },
+    /// A scheduled fault takes effect.
+    Fault {
+        /// Index into the [`FaultPlan`]'s schedule.
+        index: usize,
+    },
 }
 
 /// Transport-level configuration distilled from a plane's scenario.
@@ -71,6 +82,8 @@ pub struct NetConfig {
     pub mobility: Option<MobilityConfig>,
     /// Computation-cost injection model handed to plane callbacks.
     pub cost: CostModel,
+    /// Fault-injection plan ([`FaultPlan::none()`] = fault-free run).
+    pub faults: FaultPlan,
 }
 
 /// What the transport itself measured in one run.
@@ -85,6 +98,8 @@ pub struct TransportReport {
     pub moves: u64,
     /// High-water mark of the engine's pending-event queue.
     pub peak_queue_depth: u64,
+    /// Per-reason drop totals counted by the transport itself.
+    pub drops: DropTotals,
 }
 
 /// The assembled simulation: shared transport state driving a plane.
@@ -99,6 +114,11 @@ pub struct Net<P, O = NoopObserver> {
     mobility: Option<MobilityConfig>,
     moves: u64,
     deliveries: u64,
+    faults: FaultState,
+    /// Retained topology for route recomputation at failure instants
+    /// (only kept when the plan schedules topology changes).
+    fault_topo: Option<Topology>,
+    drops: DropTotals,
     plane: P,
     observer: O,
     scratch: Vec<Emit>,
@@ -142,6 +162,10 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         config: NetConfig,
         observer: O,
     ) -> Self {
+        // Forked before any main-stream draw (forking never consumes the
+        // stream): the loss stream is a pure function of the run seed, so
+        // fault draws cannot perturb the simulation's own draw sequence.
+        let fault_rng = rng.fork(FAULT_STREAM);
         let mut engine = Engine::with_horizon(SimTime::ZERO + config.duration);
         for unode in topo.users() {
             let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
@@ -165,6 +189,16 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             }
         }
 
+        for (index, event) in config.faults.schedule.iter().enumerate() {
+            engine.schedule(event.at, NetEvent::Fault { index });
+        }
+        let fault_topo = if config.faults.schedule.is_empty() {
+            None
+        } else {
+            Some(topo.clone())
+        };
+        let faults = FaultState::new(config.faults, fault_rng, topo.graph.node_count());
+
         Net {
             engine,
             links,
@@ -175,6 +209,9 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             mobility: config.mobility,
             moves: 0,
             deliveries: 0,
+            faults,
+            fault_topo,
+            drops: DropTotals::default(),
             plane,
             observer,
             scratch: Vec::new(),
@@ -192,6 +229,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             deliveries: self.deliveries,
             moves: self.moves,
             peak_queue_depth: self.engine.peak_pending() as u64,
+            drops: self.drops,
         };
         (self.plane, self.observer, report)
     }
@@ -210,6 +248,12 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         let now = self.engine.now();
         match ev {
             NetEvent::Deliver { node, face, packet } => {
+                if self.faults.node_is_down(node) {
+                    // A crashed node services nothing: the packet dies at
+                    // its door and is never seen by the plane.
+                    self.drop_packet(node, face, DropReason::NodeDown, now);
+                    return;
+                }
                 self.deliveries += 1;
                 self.observer.on_deliver(node, face, &packet, now);
                 let mut out = std::mem::take(&mut self.scratch);
@@ -227,6 +271,9 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 self.apply(node, now, out);
             }
             NetEvent::ConsumerStart { node } => {
+                if self.faults.node_is_down(node) {
+                    return;
+                }
                 let mut out = std::mem::take(&mut self.scratch);
                 self.plane.on_start(
                     node,
@@ -240,6 +287,9 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 self.apply(node, now, out);
             }
             NetEvent::Timeout { node, name, sent } => {
+                if self.faults.node_is_down(node) {
+                    return;
+                }
                 let mut out = std::mem::take(&mut self.scratch);
                 self.plane.on_timeout(
                     node,
@@ -260,14 +310,44 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     .schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
             }
             NetEvent::Move { node } => {
-                self.perform_handover(node);
+                // A crashed client skips the handover itself but keeps
+                // its dwell clock running, so mobility (and its RNG
+                // draws) resume seamlessly after a NodeUp.
+                if !self.faults.node_is_down(node) {
+                    self.perform_handover(node);
+                }
                 if let Some(m) = self.mobility {
                     let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
                     let delay = SimDuration::from_secs_f64(dwell.sample(&mut self.rng));
                     self.engine.schedule_after(delay, NetEvent::Move { node });
                 }
             }
+            NetEvent::Fault { index } => {
+                let kind = self.faults.apply(index);
+                self.observer.on_fault(kind, now);
+                self.reroute();
+            }
         }
+    }
+
+    /// Recomputes every router's FIB over the currently-usable subgraph
+    /// (live links between live nodes) and hands the full replacement set
+    /// to the plane. Only reachable when the plan schedules faults.
+    fn reroute(&mut self) {
+        let Some(topo) = self.fault_topo.as_ref() else {
+            return;
+        };
+        let faults = &self.faults;
+        let routes = fib_routes_filtered(topo, &self.links, |a, b| {
+            !faults.node_is_down(a) && !faults.node_is_down(b) && !faults.link_is_down(a, b)
+        });
+        self.plane.on_reroute(&routes);
+    }
+
+    /// Counts and reports a transport-level drop.
+    fn drop_packet(&mut self, node: NodeId, face: FaceId, reason: DropReason, now: SimTime) {
+        self.drops.count(reason);
+        self.observer.on_drop(node, face, reason, now);
     }
 
     /// Applies a callback's emits in push order, recycling the buffer.
@@ -298,10 +378,21 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         let now = self.engine.now();
         let Some(&(to, spec)) = self.links.neighbors[from.0].get(out_face.index() as usize) else {
             // Dangling face: drop.
-            self.observer
-                .on_drop(from, out_face, DropReason::DanglingFace, now);
+            self.drop_packet(from, out_face, DropReason::DanglingFace, now);
             return;
         };
+        // Administratively-down links carry nothing; checked before the
+        // loss model so a downed link makes no loss draw.
+        if self.faults.link_is_down(from, to) {
+            self.drop_packet(from, out_face, DropReason::LinkDown, now);
+            return;
+        }
+        // The loss model eats the packet before it reserves the link:
+        // lost transmissions never appear in `on_schedule`/link load.
+        if self.faults.loses(from, to) {
+            self.drop_packet(from, out_face, DropReason::Lossy, now);
+            return;
+        }
         let size = wire_size(&packet);
         let ready = now + compute;
         let key = (from.0, to.0);
@@ -313,8 +404,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         // A handover may have torn down the reverse mapping (the receiver
         // moved away): the in-flight packet is lost with the radio link.
         let Some(&in_face) = self.links.face_index[to.0].get(&from) else {
-            self.observer
-                .on_drop(from, out_face, DropReason::ReverseFaceGone, now);
+            self.drop_packet(from, out_face, DropReason::ReverseFaceGone, now);
             return;
         };
         self.observer

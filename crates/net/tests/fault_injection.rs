@@ -1,0 +1,242 @@
+//! Transport-level fault injection: the loss model, scheduled link/node
+//! failures, drop accounting, and route recomputation at failure instants.
+
+use tactic_ndn::face::FaceId;
+use tactic_ndn::name::Name;
+use tactic_ndn::packet::{Data, Interest, Packet, Payload};
+use tactic_net::fault::{FaultEvent, FaultKind, FaultPlan, LossModel};
+use tactic_net::{
+    Emit, EventTrace, FibRoute, Links, Net, NetConfig, NodePlane, PlaneCtx, TransportReport,
+};
+use tactic_sim::cost::CostModel;
+use tactic_sim::rng::Rng;
+use tactic_sim::time::{SimDuration, SimTime};
+use tactic_topology::graph::{Graph, LinkSpec, NodeId, Role};
+use tactic_topology::roles::Topology;
+
+const REQUESTS: usize = 8;
+
+/// client(0) — edge router(1) — provider(2).
+fn chain() -> Topology {
+    let mut graph = Graph::new();
+    let client = graph.add_node(Role::Client);
+    let router = graph.add_node(Role::EdgeRouter);
+    let provider = graph.add_node(Role::Provider);
+    graph.add_link(client, router, LinkSpec::edge());
+    graph.add_link(router, provider, LinkSpec::edge());
+    Topology {
+        graph,
+        core_routers: vec![],
+        edge_routers: vec![router],
+        access_points: vec![],
+        providers: vec![provider],
+        clients: vec![client],
+        attackers: vec![],
+    }
+}
+
+fn config(faults: FaultPlan) -> NetConfig {
+    NetConfig {
+        duration: SimDuration::from_secs(2),
+        mobility: None,
+        cost: CostModel::free(),
+        faults,
+    }
+}
+
+fn request_name(i: usize) -> Name {
+    format!("/prov0/obj{i}/c0").parse().expect("static name")
+}
+
+/// Echo plane from the equivalence tests: the client fires `REQUESTS`
+/// Interests at start, the router flips faces, the provider answers.
+/// Records every reroute callback's route count.
+#[derive(Default)]
+struct FlipPlane {
+    reroutes: Vec<usize>,
+}
+
+impl NodePlane for FlipPlane {
+    fn on_start(&mut self, _node: NodeId, _ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        for i in 0..REQUESTS {
+            out.push(Emit::Send {
+                face: FaceId::new(0),
+                packet: Packet::Interest(Interest::new(request_name(i), i as u64 + 1)),
+                compute: SimDuration::ZERO,
+            });
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        node: NodeId,
+        face: FaceId,
+        packet: Packet,
+        _ctx: &mut PlaneCtx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        match node.0 {
+            1 => out.push(Emit::Send {
+                face: FaceId::new(1 - face.index()),
+                packet,
+                compute: SimDuration::ZERO,
+            }),
+            2 => {
+                if let Packet::Interest(i) = packet {
+                    out.push(Emit::Send {
+                        face,
+                        packet: Packet::Data(Data::new(i.name().clone(), Payload::Synthetic(256))),
+                        compute: SimDuration::ZERO,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_reroute(&mut self, routes: &[FibRoute]) {
+        self.reroutes.push(routes.len());
+    }
+}
+
+fn run_faulted(faults: FaultPlan, seed: u64) -> (FlipPlane, EventTrace, TransportReport) {
+    let topo = chain();
+    let links = Links::build(&topo);
+    let net = Net::assemble_observed(
+        &topo,
+        links,
+        FlipPlane::default(),
+        Rng::seed_from_u64(seed),
+        config(faults),
+        EventTrace::default(),
+    );
+    net.run()
+}
+
+#[test]
+fn total_loss_delivers_nothing_and_counts_every_drop() {
+    let (_, trace, report) = run_faulted(FaultPlan::uniform_loss(1.0), 11);
+    assert_eq!(report.deliveries, 0);
+    assert_eq!(report.drops.lossy, REQUESTS as u64, "every Interest eaten");
+    assert_eq!(report.drops.total(), report.drops.lossy);
+    assert_eq!(trace.counts().dropped, REQUESTS);
+    assert_eq!(trace.scheduled(), 0, "lost packets never reserve the link");
+}
+
+#[test]
+fn zero_loss_plan_is_byte_identical_to_no_plan() {
+    let baseline = run_faulted(FaultPlan::none(), 7);
+    for plan in [
+        FaultPlan::uniform_loss(0.0),
+        FaultPlan {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.5,
+                p_bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.0,
+            },
+            schedule: Vec::new(),
+        },
+    ] {
+        let got = run_faulted(plan.clone(), 7);
+        assert_eq!(baseline.2, got.2, "{plan:?} must not change the report");
+        assert_eq!(baseline.1.events, got.1.events, "{plan:?} changed a trace");
+    }
+    assert!(baseline.2.deliveries > 0);
+}
+
+#[test]
+fn downed_link_drops_in_flight_traffic() {
+    // The client-router link is down for the whole run: every Interest
+    // dies on the spot with LinkDown and nothing else happens.
+    let plan = FaultPlan {
+        loss: LossModel::None,
+        schedule: vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        }],
+    };
+    let (plane, trace, report) = run_faulted(plan, 3);
+    assert_eq!(report.deliveries, 0);
+    assert_eq!(report.drops.link_down, REQUESTS as u64);
+    assert_eq!(trace.counts().faults, 1);
+    // The failure instant recomputed routes: router(1) still reaches the
+    // provider over the intact router-provider link.
+    assert_eq!(plane.reroutes, vec![1]);
+}
+
+#[test]
+fn link_recovery_restores_forwarding_and_routes() {
+    // Cut router-provider before the run, restore it at 1 s: Interests
+    // sent in the first second die at the router, and the recovery
+    // reroute reports the provider reachable again.
+    let plan = FaultPlan {
+        loss: LossModel::None,
+        schedule: vec![
+            FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::LinkDown {
+                    a: NodeId(1),
+                    b: NodeId(2),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::LinkUp {
+                    a: NodeId(1),
+                    b: NodeId(2),
+                },
+            },
+        ],
+    };
+    let (plane, trace, report) = run_faulted(plan, 3);
+    // The Interests reach the router (one delivery each), then die on the
+    // downed router-provider link.
+    assert_eq!(report.deliveries, REQUESTS as u64);
+    assert_eq!(report.drops.link_down, REQUESTS as u64);
+    assert_eq!(trace.counts().faults, 2);
+    assert_eq!(
+        plane.reroutes,
+        vec![0, 1],
+        "provider unreachable while cut, reachable after recovery"
+    );
+}
+
+#[test]
+fn crashed_node_services_nothing_until_recovery() {
+    // Crash the router for the whole run: Interests transmit fine but die
+    // at the crashed router's door.
+    let plan = FaultPlan {
+        loss: LossModel::None,
+        schedule: vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::NodeDown { node: NodeId(1) },
+        }],
+    };
+    let (_, trace, report) = run_faulted(plan, 5);
+    assert_eq!(report.deliveries, 0);
+    assert_eq!(report.drops.node_down, REQUESTS as u64);
+    assert_eq!(
+        trace.scheduled(),
+        REQUESTS,
+        "the wire still carries packets to a crashed node"
+    );
+}
+
+#[test]
+fn faulted_runs_are_deterministic_per_seed() {
+    let plan = FaultPlan {
+        loss: LossModel::Uniform { p: 0.4 },
+        schedule: vec![FaultEvent {
+            at: SimTime::from_secs_f64(0.5),
+            kind: FaultKind::NodeDown { node: NodeId(2) },
+        }],
+    };
+    let a = run_faulted(plan.clone(), 9);
+    let b = run_faulted(plan, 9);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.1.events, b.1.events);
+}

@@ -40,6 +40,7 @@ fn config() -> NetConfig {
         duration: SimDuration::from_secs(2),
         mobility: None,
         cost: CostModel::free(),
+        faults: tactic_net::FaultPlan::none(),
     }
 }
 

@@ -29,11 +29,22 @@ pub struct RunManifest {
     /// Wall-clock duration of the run in milliseconds (provenance only —
     /// nondeterministic, never compared byte-for-byte).
     pub wall_ms: u64,
+    /// Packets dropped because the forwarding state pointed at a face the
+    /// topology no longer backs.
+    pub drops_dangling_face: u64,
+    /// Replies dropped because the reverse face disappeared mid-flight.
+    pub drops_reverse_face: u64,
+    /// Packets eaten by the fault plan's loss model.
+    pub drops_lossy: u64,
+    /// Packets dropped on links scheduled down by the fault plan.
+    pub drops_link_down: u64,
+    /// Packets dropped at nodes crashed by the fault plan.
+    pub drops_node_down: u64,
 }
 
 impl RunManifest {
     /// Keys every manifest line must carry (checked by the CI smoke run).
-    pub const REQUIRED_KEYS: [&'static str; 9] = [
+    pub const REQUIRED_KEYS: [&'static str; 14] = [
         "label",
         "topology",
         "scenario_id",
@@ -43,6 +54,11 @@ impl RunManifest {
         "sim_events",
         "peak_queue_depth",
         "wall_ms",
+        "drops_dangling_face",
+        "drops_reverse_face",
+        "drops_lossy",
+        "drops_link_down",
+        "drops_node_down",
     ];
 
     /// Renders one JSONL line (no trailing newline).
@@ -56,7 +72,12 @@ impl RunManifest {
             .field_str("scenario", &self.scenario)
             .field_u64("sim_events", self.sim_events)
             .field_u64("peak_queue_depth", self.peak_queue_depth)
-            .field_u64("wall_ms", self.wall_ms);
+            .field_u64("wall_ms", self.wall_ms)
+            .field_u64("drops_dangling_face", self.drops_dangling_face)
+            .field_u64("drops_reverse_face", self.drops_reverse_face)
+            .field_u64("drops_lossy", self.drops_lossy)
+            .field_u64("drops_link_down", self.drops_link_down)
+            .field_u64("drops_node_down", self.drops_node_down);
         o.finish()
     }
 }
@@ -77,6 +98,11 @@ mod tests {
             sim_events: 1000,
             peak_queue_depth: 37,
             wall_ms: 12,
+            drops_dangling_face: 0,
+            drops_reverse_face: 0,
+            drops_lossy: 3,
+            drops_link_down: 2,
+            drops_node_down: 1,
         };
         let line = m.to_json_line();
         for key in RunManifest::REQUIRED_KEYS {

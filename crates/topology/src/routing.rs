@@ -24,6 +24,25 @@ pub struct RouteEntry {
 /// Edge weight is the link's propagation latency; ties resolve toward the
 /// lower node id, so routing is deterministic.
 pub fn routes_toward(graph: &Graph, target: NodeId) -> Vec<Option<RouteEntry>> {
+    routes_toward_filtered(graph, target, |_, _| true)
+}
+
+/// [`routes_toward`] over the subgraph of links for which `usable(a, b)`
+/// returns `true` — the fault-injection layer recomputes routes around
+/// scheduled link/node failures with this.
+///
+/// The predicate sees each link once per direction as `(from, to)` while
+/// relaxing `from`'s neighbours; a symmetric predicate yields symmetric
+/// routing. Nodes cut off by the filter get `None`, exactly like
+/// physically unreachable nodes.
+pub fn routes_toward_filtered<F>(
+    graph: &Graph,
+    target: NodeId,
+    mut usable: F,
+) -> Vec<Option<RouteEntry>>
+where
+    F: FnMut(NodeId, NodeId) -> bool,
+{
     let n = graph.node_count();
     let mut dist: Vec<Option<SimDuration>> = vec![None; n];
     let mut next: Vec<Option<NodeId>> = vec![None; n];
@@ -37,6 +56,9 @@ pub fn routes_toward(graph: &Graph, target: NodeId) -> Vec<Option<RouteEntry>> {
             continue; // Stale entry.
         }
         for (v, link_id) in graph.incident(u) {
+            if !usable(u, v) {
+                continue;
+            }
             let w = graph.link(link_id).spec.latency;
             let cand = d + w;
             let better = match dist[v.0] {
@@ -149,6 +171,31 @@ mod tests {
                 "lowest-id branch wins ties"
             );
         }
+    }
+
+    #[test]
+    fn filtered_routes_detour_or_disconnect() {
+        let (g, [a, b, c]) = line_graph();
+        // Cutting b-c severs the only path: everything loses its route.
+        let cut_bc =
+            routes_toward_filtered(&g, c, |x, y| !(x == b && y == c || x == c && y == b));
+        assert!(cut_bc[a.0].is_none());
+        assert!(cut_bc[b.0].is_none());
+
+        // A diamond detours instead: cut a-b and a routes via c.
+        let mut g = Graph::new();
+        let a = g.add_node(Role::CoreRouter);
+        let b = g.add_node(Role::CoreRouter);
+        let c = g.add_node(Role::CoreRouter);
+        let d = g.add_node(Role::CoreRouter);
+        g.add_link(a, b, LinkSpec::core());
+        g.add_link(a, c, LinkSpec::core());
+        g.add_link(b, d, LinkSpec::core());
+        g.add_link(c, d, LinkSpec::core());
+        let routes =
+            routes_toward_filtered(&g, d, |x, y| !(x == a && y == b || x == b && y == a));
+        assert_eq!(routes[a.0].unwrap().next_hop, c, "detours around the cut");
+        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
     }
 
     #[test]
