@@ -196,24 +196,36 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         match &mut self.nodes[node.0] {
             Node::Router(tables) => {
                 let hop = Hop::new(node_id, NodeRole::CoreRouter, now);
-                let sends: Vec<(FaceId, Packet)> = match &packet {
+                let sends: Vec<(FaceId, Packet)> = match packet {
                     Packet::Interest(i) => {
                         proto.on_interest_hop(hop, i.nonce(), i.name());
-                        match process_interest(tables, i, face, now, Vec::new()) {
+                        match process_interest(tables, &i, face, now, Vec::new()) {
                             InterestAction::ReplyFromCache(d) => {
                                 proto.on_cache_hit(hop, d.name());
                                 vec![(face, Packet::Data(d))]
                             }
-                            InterestAction::Forward(f) => vec![(f, packet.clone())],
+                            // Relay the Interest by move: no copy made.
+                            InterestAction::Forward(f) => vec![(f, Packet::Interest(i))],
                             _ => Vec::new(),
                         }
                     }
                     Packet::Data(d) => {
-                        let action = process_data(tables, d);
-                        action
-                            .downstream
-                            .into_iter()
-                            .map(|rec| (rec.face, Packet::Data(d.clone())))
+                        let action = process_data(tables, &d);
+                        // Clone only on genuine fan-out: the last pending
+                        // requester takes the Data by move.
+                        let recs = action.downstream;
+                        let last = recs.len().saturating_sub(1);
+                        let mut d = Some(d);
+                        recs.iter()
+                            .enumerate()
+                            .map(|(idx, rec)| {
+                                let pkt = if idx == last {
+                                    d.take().expect("consumed only at the last record")
+                                } else {
+                                    d.as_ref().expect("present before the last record").clone()
+                                };
+                                (rec.face, Packet::Data(pkt))
+                            })
                             .collect()
                     }
                     Packet::Nack(_) => Vec::new(),
@@ -267,10 +279,22 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                     });
                 }
                 Packet::Data(d) => {
-                    for f in ap.claim(d.name(), None) {
+                    let faces = ap.claim(d.name(), None);
+                    // Clone only on genuine fan-out: the last claimant
+                    // takes the packet by move.
+                    let last = faces.len().saturating_sub(1);
+                    let mut d = Some(d);
+                    for (idx, f) in faces.iter().enumerate() {
+                        let pkt = if idx == last {
+                            d.take().expect("consumed only at the last claimant")
+                        } else {
+                            d.as_ref()
+                                .expect("present before the last claimant")
+                                .clone()
+                        };
                         out.push(Emit::Send {
-                            face: f,
-                            packet: Packet::Data(d.clone()),
+                            face: *f,
+                            packet: Packet::Data(pkt),
                             compute: SimDuration::ZERO,
                         });
                     }

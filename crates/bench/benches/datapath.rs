@@ -1,0 +1,292 @@
+//! Data-path benchmark: transport-loop throughput and heap-allocation
+//! counts for the zero-copy ownership refactor (interned `Name`s,
+//! shared payloads, move-based packet flow).
+//!
+//! Two modes:
+//!
+//! * `cargo bench -p tactic-bench --bench datapath` — criterion timing of
+//!   whole-network runs on both planes plus the `Name` hot operations.
+//! * With `BENCH_DATAPATH_JSON=<path>` set (any mode, including the
+//!   one-shot smoke under `cargo test` / `-- --test`), the binary also
+//!   runs one deterministic allocation-counted simulation per plane and a
+//!   short timed throughput probe, then writes `BENCH_datapath.json`
+//!   comparing against the pre-refactor baseline recorded below.
+//!
+//! The allocation counts are exact and deterministic (the simulation is
+//! seeded and single-threaded here); events/sec is wall-clock and only
+//! meaningful relative to the `BEFORE` numbers measured on the same
+//! machine in the same PR.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use tactic::net::run_scenario;
+use tactic_baselines::mechanism::Mechanism;
+use tactic_baselines::net::run_baseline;
+use tactic_bench::bench_scenario;
+use tactic_ndn::name::Name;
+
+/// Counts every heap allocation (alloc/alloc_zeroed/realloc) made by the
+/// process. Frees are not interesting here: the refactor's claim is about
+/// how many times the data path asks the allocator for memory.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SIM_SECS: u64 = 3;
+
+/// Pre-refactor baseline, measured at the seed commit of this PR with this
+/// same binary (`BENCH_DATAPATH_JSON=/dev/null cargo bench -p tactic-bench
+/// --bench datapath -- --test`). Allocation counts are exact; events/sec
+/// was measured on the PR machine.
+mod before {
+    pub const TACTIC_ALLOCS_PER_INTEREST: f64 = 220.76;
+    pub const TACTIC_EVENTS_PER_SEC: f64 = 542_954.0;
+    pub const BASELINE_ALLOCS_PER_INTEREST: f64 = 68.48;
+    pub const BASELINE_EVENTS_PER_SEC: f64 = 1_480_409.0;
+}
+
+fn bench_transport_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath/transport");
+    g.sample_size(10);
+    let s = bench_scenario(SIM_SECS);
+    g.bench_function("tactic_plane", |b| {
+        b.iter(|| black_box(run_scenario(&s, 1).events))
+    });
+    g.bench_function("baseline_plane", |b| {
+        b.iter(|| black_box(run_baseline(&s, Mechanism::NoAccessControl, 1).events))
+    });
+    g.finish();
+}
+
+fn bench_name_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath/name");
+    let name: Name = "/provider0/obj12/chunk3".parse().unwrap();
+    g.bench_function("clone", |b| b.iter(|| black_box(name.clone())));
+    g.bench_function("prefix", |b| b.iter(|| black_box(name.prefix(1))));
+    g.bench_function("hash_as_key", |b| {
+        let mut map = std::collections::HashMap::new();
+        map.insert(name.clone(), 1u32);
+        b.iter(|| black_box(map.get(&name)))
+    });
+    g.finish();
+}
+
+struct Measured {
+    allocs_per_interest: f64,
+    events_per_sec: f64,
+    interests: u64,
+    allocs: u64,
+    events: u64,
+}
+
+fn measure_tactic() -> Measured {
+    let s = bench_scenario(SIM_SECS);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    let report = run_scenario(&s, 1);
+    let secs = t.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let interests = (report.delivery.client_requested + report.delivery.attacker_requested).max(1);
+    Measured {
+        allocs_per_interest: allocs as f64 / interests as f64,
+        events_per_sec: report.events as f64 / secs,
+        interests,
+        allocs,
+        events: report.events,
+    }
+}
+
+fn measure_baseline() -> Measured {
+    let s = bench_scenario(SIM_SECS);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    let report = run_baseline(&s, Mechanism::NoAccessControl, 1);
+    let secs = t.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let interests = (report.client_requested + report.attacker_requested).max(1);
+    Measured {
+        allocs_per_interest: allocs as f64 / interests as f64,
+        events_per_sec: report.events as f64 / secs,
+        interests,
+        allocs,
+        events: report.events,
+    }
+}
+
+fn plane_json(label: &str, m: &Measured, before_allocs: f64, before_eps: f64) -> String {
+    let alloc_reduction = if before_allocs > 0.0 {
+        1.0 - m.allocs_per_interest / before_allocs
+    } else {
+        0.0
+    };
+    let throughput_x = if before_eps > 0.0 {
+        m.events_per_sec / before_eps
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"before\": {{\"allocs_per_interest\": {:.2}, \"events_per_sec\": {:.0}}},\n",
+            "    \"after\": {{\"allocs_per_interest\": {:.2}, \"events_per_sec\": {:.0}, ",
+            "\"interests\": {}, \"allocs\": {}, \"sim_events\": {}}},\n",
+            "    \"alloc_reduction\": {:.4},\n",
+            "    \"throughput_x\": {:.3}\n",
+            "  }}"
+        ),
+        label,
+        before_allocs,
+        before_eps,
+        m.allocs_per_interest,
+        m.events_per_sec,
+        m.interests,
+        m.allocs,
+        m.events,
+        alloc_reduction,
+        throughput_x,
+    )
+}
+
+fn emit_json(path: &str) {
+    // Warm once so lazy initialisation (thread-locals, the first run's
+    // one-time setup) does not pollute the counted run, then measure.
+    let _ = measure_tactic();
+    let tactic = measure_tactic();
+    let _ = measure_baseline();
+    let baseline = measure_baseline();
+    let json = format!(
+        "{{\n  \"bench\": \"datapath\",\n  \"sim_secs\": {},\n{},\n{}\n}}\n",
+        SIM_SECS,
+        plane_json(
+            "tactic",
+            &tactic,
+            before::TACTIC_ALLOCS_PER_INTEREST,
+            before::TACTIC_EVENTS_PER_SEC,
+        ),
+        plane_json(
+            "baseline",
+            &baseline,
+            before::BASELINE_ALLOCS_PER_INTEREST,
+            before::BASELINE_EVENTS_PER_SEC,
+        ),
+    );
+    std::fs::write(path, &json).expect("write BENCH_datapath.json");
+    println!("wrote {path}");
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_transport_loop, bench_name_ops
+}
+
+fn main() {
+    if std::env::var_os("BENCH_DATAPATH_PROBE").is_some() {
+        probe();
+        return;
+    }
+    benches();
+    if let Ok(path) = std::env::var("BENCH_DATAPATH_JSON") {
+        emit_json(&path);
+    }
+}
+
+/// Ad-hoc allocation probe for single operations (dev aid, not CI).
+fn probe() {
+    use tactic::access::AccessLevel;
+    use tactic::access_path::AccessPath;
+    use tactic::tag::Tag;
+    use tactic_crypto::schnorr::KeyPair;
+    use tactic_ndn::packet::{Data, Interest, Payload};
+    use tactic_sim::time::SimTime;
+
+    let kp = KeyPair::derive(b"/prov", 0);
+    let tag = Tag {
+        provider_key_locator: "/prov/KEY/1".parse().unwrap(),
+        access_level: AccessLevel::Level(3),
+        client_key_locator: "/client/7/KEY/1".parse().unwrap(),
+        access_path: AccessPath::from_u64(0x1234),
+        expiry: SimTime::from_secs(3600),
+    };
+    let st = tag.sign(&kp);
+    let enc = st.encode();
+    let count = |label: &str, f: &mut dyn FnMut()| {
+        f(); // warm
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            f();
+        }
+        let per = (ALLOCS.load(Ordering::Relaxed) - a0) as f64 / 100.0;
+        println!("{label}: {per:.1} allocs");
+    };
+    count("SignedTag::decode", &mut || {
+        black_box(tactic::tag::SignedTag::decode(black_box(&enc)).unwrap());
+    });
+    count("SignedTag::encode", &mut || {
+        black_box(black_box(&st).encode());
+    });
+    count("bloom_key", &mut || {
+        black_box(black_box(&st).bloom_key());
+    });
+    count("verify", &mut || {
+        black_box(black_box(&st).verify(&kp.public()));
+    });
+    let name: tactic_ndn::name::Name = "/prov/obj3/c7".parse().unwrap();
+    let mut d = Data::new(name.clone(), Payload::Synthetic(8192));
+    tactic::ext::set_data_tag(&mut d, &st);
+    count("Data::clone (tagged)", &mut || {
+        black_box(black_box(&d).clone());
+    });
+    count("ext::data_tag decode", &mut || {
+        black_box(tactic::ext::data_tag(black_box(&d)));
+    });
+    count("set_data_tag", &mut || {
+        let mut d2 = d.clone();
+        tactic::ext::set_data_tag(&mut d2, black_box(&st));
+    });
+    let mut i = Interest::new(name.clone(), 7);
+    tactic::ext::set_interest_tag(&mut i, &st);
+    count("Interest::clone (tagged)", &mut || {
+        black_box(black_box(&i).clone());
+    });
+    count("ext::interest_tag decode", &mut || {
+        black_box(tactic::ext::interest_tag(black_box(&i)));
+    });
+    count("Name::clone", &mut || {
+        black_box(black_box(&name).clone());
+    });
+}

@@ -149,7 +149,7 @@ fn bench_ndn(c: &mut Criterion) {
     g.bench_function("pit_aggregate_cycle", |b| {
         let name: Name = "/prov0/obj3/c7".parse().unwrap();
         b.iter_batched(
-            Pit::new,
+            Pit::<Vec<u8>>::new,
             |mut pit| {
                 pit.on_interest(&name, FaceId::new(1), 1, SimTime::from_secs(4), vec![]);
                 pit.on_interest(&name, FaceId::new(2), 2, SimTime::from_secs(4), vec![]);

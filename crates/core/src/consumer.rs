@@ -12,6 +12,7 @@
 //! request-based DoS prevention", §8.B).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use tactic_crypto::schnorr::Signature;
 use tactic_ndn::name::Name;
@@ -158,8 +159,8 @@ pub struct Consumer {
     catalog: Vec<CatalogEntry>,
     zipf: Zipf,
     rng: Rng,
-    tags: HashMap<usize, SignedTag>,
-    preset_tags: HashMap<usize, SignedTag>,
+    tags: HashMap<usize, Arc<SignedTag>>,
+    preset_tags: HashMap<usize, Arc<SignedTag>>,
     reg_pending: Option<usize>,
     reg_seq: u64,
     nonce_seq: u64,
@@ -225,7 +226,7 @@ impl Consumer {
     /// Seeds a fixed tag for `provider_index` (expired-tag / shared-tag
     /// attacker setups).
     pub fn preset_tag(&mut self, provider_index: usize, tag: SignedTag) {
-        self.preset_tags.insert(provider_index, tag);
+        self.preset_tags.insert(provider_index, Arc::new(tag));
     }
 
     /// Outstanding request count.
@@ -289,8 +290,8 @@ impl Consumer {
                 }
                 // Fabricate: correct public naming, forged signature.
                 let prefix = self.catalog[prov].prefix.clone();
-                let fake = SignedTag {
-                    tag: Tag {
+                let fake = Arc::new(SignedTag::new(
+                    Tag {
                         provider_key_locator: prefix.child("KEY").child("1"),
                         access_level: AccessLevel::Level(200),
                         client_key_locator: prefix
@@ -300,8 +301,8 @@ impl Consumer {
                         access_path: AccessPath::EMPTY,
                         expiry: SimTime::MAX,
                     },
-                    signature: Signature::forged(self.rng.next_u64()),
-                };
+                    Signature::forged(self.rng.next_u64()),
+                ));
                 self.tags.insert(prov, fake.clone());
                 TagChoice::Use(fake)
             }
@@ -389,7 +390,7 @@ impl Consumer {
                 self.reg_pending = None;
                 if let Some(tag) = ext::data_new_tag(data) {
                     self.stats.tags_received.push(now);
-                    self.tags.insert(prov, tag);
+                    self.tags.insert(prov, Arc::new(tag));
                 }
             }
             PendingWork::Chunk { .. } => {
@@ -518,7 +519,7 @@ impl Consumer {
 
 #[derive(Debug, Clone)]
 enum TagChoice {
-    Use(SignedTag),
+    Use(Arc<SignedTag>),
     None,
     NeedRegistration,
 }
@@ -678,7 +679,7 @@ mod tests {
         assert_eq!(resend[0].name(), &victim);
         assert_ne!(resend[0].nonce(), follow[0].nonce());
         assert_eq!(
-            ext::interest_tag(&resend[0]).expect("tag re-presented"),
+            *ext::interest_tag(&resend[0]).expect("tag re-presented"),
             tag
         );
         assert_eq!(c.timeout_for(&victim), SimDuration::from_secs(2));
@@ -772,7 +773,7 @@ mod tests {
         assert_eq!(sends.len(), 5);
         let t = ext::interest_tag(&sends[0]).unwrap();
         assert!(t.tag.is_expired(SimTime::from_secs(5)));
-        assert!(t == stale0 || t == stale1);
+        assert!(*t == stale0 || *t == stale1);
     }
 
     #[test]

@@ -11,10 +11,45 @@
 //! Extension type codes live in the application range (`0x8000..`) of
 //! `tactic_ndn::packet`.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use tactic_ndn::packet::{Data, Interest, NackReason};
 
 use crate::access::AccessLevel;
 use crate::tag::SignedTag;
+
+/// Capacity bound of the per-thread tag intern cache; reached, the cache
+/// is cleared wholesale (deterministic, no eviction order).
+const TAG_INTERN_CAP: usize = 4096;
+
+thread_local! {
+    /// Decoded-tag intern cache: serialized bytes → shared decoded tag
+    /// (`None` caches decode *failures*, so a replayed malformed tag is
+    /// rejected without re-parsing). The same client tag rides hundreds of
+    /// Interests through the same router threads; decoding each sighting
+    /// once turns the per-hop tag cost into a map probe. Purely a
+    /// memoization of the deterministic `SignedTag::decode` — sharing,
+    /// capacity resets, and thread placement cannot affect behaviour.
+    static TAG_INTERN: RefCell<HashMap<Vec<u8>, Option<Arc<SignedTag>>>> =
+        RefCell::new(HashMap::new());
+}
+
+fn decode_tag_interned(bytes: &[u8]) -> Option<Arc<SignedTag>> {
+    TAG_INTERN.with(|cache| {
+        let mut map = cache.borrow_mut();
+        if let Some(hit) = map.get(bytes) {
+            return hit.clone();
+        }
+        let decoded = SignedTag::decode(bytes).ok().map(Arc::new);
+        if map.len() >= TAG_INTERN_CAP {
+            map.clear();
+        }
+        map.insert(bytes.to_vec(), decoded.clone());
+        decoded
+    })
+}
 
 /// Interest/Data extension: the serialized [`SignedTag`].
 pub const EXT_TAG: u16 = 0x8001;
@@ -33,14 +68,15 @@ pub const EXT_ACCESS_LEVEL: u16 = 0x8010;
 /// Data extension: the provider's key locator `Pub_p^D` (name bytes, signed).
 pub const EXT_KEY_LOCATOR: u16 = 0x8011;
 
-/// Read/write the TACTIC tag on an Interest.
-pub fn interest_tag(i: &Interest) -> Option<SignedTag> {
-    i.extension(EXT_TAG).and_then(|b| SignedTag::decode(b).ok())
+/// Read the TACTIC tag on an Interest (interned: repeated sightings of
+/// the same serialized tag share one decoded instance per thread).
+pub fn interest_tag(i: &Interest) -> Option<Arc<SignedTag>> {
+    i.extension(EXT_TAG).and_then(decode_tag_interned)
 }
 
-/// Attaches a tag to an Interest.
+/// Attaches a tag to an Interest (shares the tag's cached encoding).
 pub fn set_interest_tag(i: &mut Interest, tag: &SignedTag) {
-    i.set_extension(EXT_TAG, tag.encode());
+    i.set_extension(EXT_TAG, tag.encoded());
 }
 
 /// The flag `F` on an Interest (absent ⇒ treat as 0).
@@ -53,7 +89,7 @@ pub fn interest_flag_f(i: &Interest) -> f64 {
 
 /// Sets the flag `F` on an Interest.
 pub fn set_interest_flag_f(i: &mut Interest, f: f64) {
-    i.set_extension(EXT_FLAG_F, f.to_bits().to_le_bytes().to_vec());
+    i.set_extension(EXT_FLAG_F, f.to_bits().to_le_bytes());
 }
 
 /// The access path accumulated in the request so far.
@@ -68,7 +104,7 @@ pub fn interest_access_path(i: &Interest) -> crate::access_path::AccessPath {
 /// Stores the accumulated access path (each entity between the user and
 /// the edge router calls this with its extended value).
 pub fn set_interest_access_path(i: &mut Interest, ap: crate::access_path::AccessPath) {
-    i.set_extension(EXT_ACCESS_PATH, ap.as_u64().to_le_bytes().to_vec());
+    i.set_extension(EXT_ACCESS_PATH, ap.as_u64().to_le_bytes());
 }
 
 /// True if the Interest is a registration (tag) request.
@@ -76,14 +112,14 @@ pub fn is_registration(i: &Interest) -> bool {
     i.extension(EXT_REGISTRATION).is_some()
 }
 
-/// The tag echoed on a Data packet (the tag this delivery answers).
-pub fn data_tag(d: &Data) -> Option<SignedTag> {
-    d.extension(EXT_TAG).and_then(|b| SignedTag::decode(b).ok())
+/// The tag echoed on a Data packet (interned like [`interest_tag`]).
+pub fn data_tag(d: &Data) -> Option<Arc<SignedTag>> {
+    d.extension(EXT_TAG).and_then(decode_tag_interned)
 }
 
-/// Echoes a tag on a Data packet.
+/// Echoes a tag on a Data packet (shares the tag's cached encoding).
 pub fn set_data_tag(d: &mut Data, tag: &SignedTag) {
-    d.set_extension(EXT_TAG, tag.encode());
+    d.set_extension(EXT_TAG, tag.encoded());
 }
 
 /// The flag `F` on a Data packet (absent ⇒ 0; sanitized like
@@ -94,7 +130,7 @@ pub fn data_flag_f(d: &Data) -> f64 {
 
 /// Sets the flag `F` on a Data packet.
 pub fn set_data_flag_f(d: &mut Data, f: f64) {
-    d.set_extension(EXT_FLAG_F, f.to_bits().to_le_bytes().to_vec());
+    d.set_extension(EXT_FLAG_F, f.to_bits().to_le_bytes());
 }
 
 /// The NACK marker attached to content, if any.
@@ -211,7 +247,7 @@ mod tests {
         assert!(interest_tag(&i).is_none());
         let t = tag();
         set_interest_tag(&mut i, &t);
-        assert_eq!(interest_tag(&i), Some(t));
+        assert_eq!(interest_tag(&i).as_deref(), Some(&t));
     }
 
     #[test]
@@ -243,7 +279,7 @@ mod tests {
         set_data_nack(&mut d, NackReason::InvalidTag);
         set_data_access_level(&mut d, AccessLevel::Level(3));
         set_data_key_locator(&mut d, &"/p/KEY/1".parse().unwrap());
-        assert_eq!(data_tag(&d), Some(t.clone()));
+        assert_eq!(data_tag(&d).as_deref(), Some(&t));
         assert_eq!(data_nack(&d), Some(NackReason::InvalidTag));
         assert_eq!(data_access_level(&d), AccessLevel::Level(3));
         assert_eq!(data_key_locator(&d), Some("/p/KEY/1".parse().unwrap()));

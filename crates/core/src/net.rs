@@ -159,7 +159,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                     }
                     // Standalone NACKs travel downstream: relay toward the
                     // pending requesters, consuming the PIT state.
-                    Packet::Nack(n) => r.handle_nack_observed(&n, now, node_id, proto),
+                    Packet::Nack(n) => r.handle_nack_observed(n, now, node_id, proto),
                 };
                 for (out_face, pkt) in res.sends {
                     out.push(Emit::Send {
@@ -207,7 +207,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                     // Accumulate the access path with the AP's identity.
                     let path = ext::interest_access_path(&i).extended(ap.id.0 as u64);
                     ext::set_interest_access_path(&mut i, path);
-                    let identity = ext::interest_tag(&i).as_ref().map(tag_identity);
+                    let identity = ext::interest_tag(&i).as_deref().map(tag_identity);
                     ap.note(i.name().clone(), face, now, identity);
                     out.push(Emit::Send {
                         face: ap.upstream,
@@ -216,21 +216,45 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                     });
                 }
                 Packet::Data(d) => {
-                    let identity = ext::data_tag(&d).as_ref().map(tag_identity);
-                    for f in ap.claim(d.name(), identity) {
+                    let identity = ext::data_tag(&d).as_deref().map(tag_identity);
+                    let faces = ap.claim(d.name(), identity);
+                    // Clone only on genuine fan-out: the last claimant
+                    // takes the packet by move.
+                    let last = faces.len().saturating_sub(1);
+                    let mut d = Some(d);
+                    for (idx, f) in faces.iter().enumerate() {
+                        let pkt = if idx == last {
+                            d.take().expect("consumed only at the last claimant")
+                        } else {
+                            d.as_ref()
+                                .expect("present before the last claimant")
+                                .clone()
+                        };
                         out.push(Emit::Send {
-                            face: f,
-                            packet: Packet::Data(d.clone()),
+                            face: *f,
+                            packet: Packet::Data(pkt),
                             compute: SimDuration::ZERO,
                         });
                     }
                 }
                 Packet::Nack(nk) => {
-                    let identity = ext::interest_tag(nk.interest()).as_ref().map(tag_identity);
-                    for f in ap.claim(nk.interest().name(), identity) {
+                    let identity = ext::interest_tag(nk.interest())
+                        .as_deref()
+                        .map(tag_identity);
+                    let faces = ap.claim(nk.interest().name(), identity);
+                    let last = faces.len().saturating_sub(1);
+                    let mut nk = Some(nk);
+                    for (idx, f) in faces.iter().enumerate() {
+                        let pkt = if idx == last {
+                            nk.take().expect("consumed only at the last claimant")
+                        } else {
+                            nk.as_ref()
+                                .expect("present before the last claimant")
+                                .clone()
+                        };
                         out.push(Emit::Send {
-                            face: f,
-                            packet: Packet::Nack(nk.clone()),
+                            face: *f,
+                            packet: Packet::Nack(pkt),
                             compute: SimDuration::ZERO,
                         });
                     }

@@ -10,6 +10,7 @@
 //! without the event engine.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use tactic_bloom::{BloomFilter, BloomParams};
 use tactic_crypto::cert::CertStore;
@@ -160,7 +161,7 @@ pub struct RouterOutput {
 /// A TACTIC router.
 pub struct TacticRouter {
     config: RouterConfig,
-    tables: Tables,
+    tables: Tables<TagNote>,
     bf: BloomFilter,
     certs: CertStore,
     counters: OpCounters,
@@ -179,36 +180,26 @@ impl std::fmt::Debug for TacticRouter {
     }
 }
 
-/// The PIT note: `(flag F, optional tag)` serialized.
-fn encode_note(f: f64, tag: Option<&SignedTag>) -> Vec<u8> {
-    let mut out = f.to_bits().to_le_bytes().to_vec();
-    if let Some(t) = tag {
-        out.extend_from_slice(&t.encode());
-    }
-    out
-}
-
-fn decode_note(note: &[u8]) -> (f64, Option<SignedTag>) {
-    if note.len() < 8 {
-        return (0.0, None);
-    }
-    // The note round-trips through opaque bytes, so re-sanitize on the way
-    // out: a non-finite or out-of-range F must never reach a trust decision.
-    let f = ext::sanitize_flag_f(f64::from_bits(u64::from_le_bytes(
-        note[..8].try_into().expect("8 bytes"),
-    )));
-    let tag = if note.len() > 8 {
-        SignedTag::decode(&note[8..]).ok()
-    } else {
-        None
-    };
-    (f, tag)
+/// The PIT in-record note: Protocol 4's `<tag, F>` pair.
+///
+/// Stored typed — the tag as a shared [`Arc`] handle — so aggregating a
+/// request costs one refcount bump and replaying it on the Data path reads
+/// the fields directly, with no serialization round-trip. `f` is always
+/// written from an already-sanitized flag (see [`ext::sanitize_flag_f`]),
+/// and the note never leaves the process, so no re-sanitization is needed
+/// on the way out.
+#[derive(Debug, Clone, Default)]
+pub struct TagNote {
+    /// The cooperation flag `F` recorded with the request.
+    pub f: f64,
+    /// The request's signed tag, if it carried one.
+    pub tag: Option<Arc<SignedTag>>,
 }
 
 /// Outcome of the Protocol 3 content-serving decision.
 #[derive(Debug)]
 enum ServeDecision {
-    /// Deliver the content (annotated clone).
+    /// Deliver the content (annotated in place).
     Serve(Data),
     /// The tag is invalid: routers downstream get content + NACK so their
     /// aggregated valid requests are still satisfied; *clients* get
@@ -278,7 +269,7 @@ impl TacticRouter {
     }
 
     /// The NDN tables (inspection / tests).
-    pub fn tables(&self) -> &Tables {
+    pub fn tables(&self) -> &Tables<TagNote> {
         &self.tables
     }
 
@@ -289,14 +280,14 @@ impl TacticRouter {
 
     /// Relays a standalone NACK downstream to every pending requester,
     /// consuming the PIT entry.
-    pub fn handle_nack(&mut self, nack: &Nack) -> RouterOutput {
+    pub fn handle_nack(&mut self, nack: Nack) -> RouterOutput {
         self.handle_nack_observed(nack, SimTime::default(), 0, &mut NoopProtocolObserver)
     }
 
     /// [`Self::handle_nack`] with protocol-decision hooks.
     pub fn handle_nack_observed<O: ProtocolObserver>(
         &mut self,
-        nack: &Nack,
+        nack: Nack,
         now: SimTime,
         node: u64,
         obs: &mut O,
@@ -304,10 +295,23 @@ impl TacticRouter {
         let mut out = RouterOutput::default();
         let hop = Hop::new(node, self.telemetry_role(), now);
         if let Some(entry) = self.tables.pit.take(nack.interest().name()) {
-            for rec in entry.into_records() {
+            let recs = entry.into_records();
+            let last = recs.len().saturating_sub(1);
+            let reason = nack.reason();
+            let mut nack = Some(nack);
+            for (idx, rec) in recs.iter().enumerate() {
                 self.counters.nacks += 1;
-                obs.on_nack(hop, nack.reason());
-                out.sends.push((rec.face, Packet::Nack(nack.clone())));
+                obs.on_nack(hop, reason);
+                // Clone only on genuine fan-out: the last pending
+                // requester takes the original by move.
+                let pkt = if idx == last {
+                    nack.take().expect("consumed only at the last record")
+                } else {
+                    nack.as_ref()
+                        .expect("present before the last record")
+                        .clone()
+                };
+                out.sends.push((rec.face, Packet::Nack(pkt)));
             }
         }
         out
@@ -453,6 +457,8 @@ impl TacticRouter {
 
         let from_client = self.config.role == RouterRole::Edge && self.is_downstream(in_face);
         let registration = ext::is_registration(&interest);
+        // Decode the tag once per hop and share it from there: the PIT
+        // note, sightings, and the serve path all borrow the same `Arc`.
         let tag = if registration {
             None
         } else {
@@ -543,8 +549,8 @@ impl TacticRouter {
                 self.counters.cache_hits += 1;
                 obs.on_cache_hit(hop, interest.name());
                 let decision = self.serve_content(
-                    &cached,
-                    tag.as_ref(),
+                    cached,
+                    tag.as_deref(),
                     flag_f,
                     hop,
                     obs,
@@ -571,7 +577,7 @@ impl TacticRouter {
         }
 
         // ── Protocol 4, Interest side: PIT aggregation, FIB forward ──
-        let note = encode_note(flag_f, tag.as_ref());
+        let note = TagNote { f: flag_f, tag };
         let expiry = now + SimDuration::from_millis(interest.lifetime_ms() as u64);
         match self
             .tables
@@ -604,10 +610,14 @@ impl TacticRouter {
     }
 
     /// Protocol 3: decide how to answer a request for cached content.
+    ///
+    /// Takes the content by value — the caller's single clone out of the
+    /// CS is the only copy the serve path makes; annotations are written
+    /// onto it in place.
     #[allow(clippy::too_many_arguments)]
     fn serve_content<O: ProtocolObserver>(
         &mut self,
-        cached: &Data,
+        mut cached: Data,
         tag: Option<&SignedTag>,
         flag_f: f64,
         hop: Hop,
@@ -616,10 +626,10 @@ impl TacticRouter {
         cost: &CostModel,
         charge: &mut SimDuration,
     ) -> ServeDecision {
-        let al = ext::data_access_level(cached);
+        let al = ext::data_access_level(&cached);
         // Public (NULL) content needs no tag verification at all.
         if al.is_public() {
-            return ServeDecision::Serve(cached.clone());
+            return ServeDecision::Serve(cached);
         }
         let Some(st) = tag else {
             // Protected content, no tag: content-NACK so downstream
@@ -629,13 +639,12 @@ impl TacticRouter {
                 PrecheckStage::Content,
                 PrecheckVerdict::Rejected(tactic_telemetry::RejectReason::MissingTag),
             );
-            let mut d = cached.clone();
-            ext::set_data_nack(&mut d, NackReason::InvalidTag);
-            return ServeDecision::Invalid(d, NackReason::InvalidTag);
+            ext::set_data_nack(&mut cached, NackReason::InvalidTag);
+            return ServeDecision::Invalid(cached, NackReason::InvalidTag);
         };
         // Protocol 1, content half.
         *charge += cost.sample(Op::PreCheck, rng);
-        let key_loc = ext::data_key_locator(cached).unwrap_or_default();
+        let key_loc = ext::data_key_locator(&cached).unwrap_or_default();
         if let Err(e) = content_precheck(&st.tag, al, &key_loc) {
             self.counters.precheck_rejections += 1;
             obs.on_precheck(
@@ -643,10 +652,9 @@ impl TacticRouter {
                 PrecheckStage::Content,
                 PrecheckVerdict::Rejected(e.telemetry_reason()),
             );
-            let mut d = cached.clone();
-            ext::set_data_tag(&mut d, st);
-            ext::set_data_nack(&mut d, NackReason::InvalidTag);
-            return ServeDecision::Invalid(d, NackReason::InvalidTag);
+            ext::set_data_tag(&mut cached, st);
+            ext::set_data_nack(&mut cached, NackReason::InvalidTag);
+            return ServeDecision::Invalid(cached, NackReason::InvalidTag);
         }
         obs.on_precheck(hop, PrecheckStage::Content, PrecheckVerdict::Accepted);
         let valid = if flag_f == 0.0 {
@@ -673,16 +681,15 @@ impl TacticRouter {
             obs.on_revalidation(hop, RevalidationOutcome::Trusted);
             true // Trust the edge router's validation.
         };
-        let mut d = cached.clone();
-        ext::set_data_tag(&mut d, st);
+        ext::set_data_tag(&mut cached, st);
         // Mirror the request's F into D (lines 2, 8, 13) so the edge
         // router knows whether to insert the tag into its own filter.
-        ext::set_data_flag_f(&mut d, flag_f);
+        ext::set_data_flag_f(&mut cached, flag_f);
         if valid {
-            ServeDecision::Serve(d)
+            ServeDecision::Serve(cached)
         } else {
-            ext::set_data_nack(&mut d, NackReason::InvalidTag);
-            ServeDecision::Invalid(d, NackReason::InvalidTag)
+            ext::set_data_nack(&mut cached, NackReason::InvalidTag);
+            ServeDecision::Invalid(cached, NackReason::InvalidTag)
         }
     }
 
@@ -721,11 +728,23 @@ impl TacticRouter {
             let Some(entry) = self.tables.pit.take(data.name()) else {
                 return out;
             };
-            for rec in entry.records() {
+            let recs = entry.into_records();
+            let last = recs.len().saturating_sub(1);
+            let mut data = Some(data);
+            for (idx, rec) in recs.iter().enumerate() {
                 if self.config.role == RouterRole::Edge && self.is_downstream(rec.face) {
                     self.bf_insert(&new_tag.bloom_key(), hop, obs, rng, cost, &mut out.compute);
                 }
-                out.sends.push((rec.face, Packet::Data(data.clone())));
+                // Clone only on genuine fan-out: the last pending
+                // requester takes the response by move.
+                let d = if idx == last {
+                    data.take().expect("consumed only at the last record")
+                } else {
+                    data.as_ref()
+                        .expect("present before the last record")
+                        .clone()
+                };
+                out.sends.push((rec.face, Packet::Data(d)));
             }
             return out;
         }
@@ -743,11 +762,26 @@ impl TacticRouter {
         // itself is genuine even when a NACK rides along.
         let mut canonical = data.clone();
         ext::strip_delivery_annotations(&mut canonical);
-        self.tables.cs.insert_at(canonical.clone(), now);
+        self.tables.cs.insert_at(canonical, now);
 
-        let echoed_key = echoed.as_ref().map(SignedTag::bloom_key);
+        // Replies are *decided* in PIT-record order (RNG draws, counters,
+        // and observer calls all happen in the decision loop) and
+        // *materialised* afterwards, so the last unannotated reply can take
+        // `data` by move — clones happen only on genuine fan-out.
+        enum Reply {
+            /// Forward the incoming Data as-is.
+            Plain(FaceId),
+            /// Forward a re-annotated copy.
+            Annotated(FaceId, Data),
+        }
+        let mut plan: Vec<Reply> = Vec::new();
+
+        let echoed_key = echoed.as_deref().map(SignedTag::bloom_key);
         for rec in entry.into_records() {
-            let (rec_f, rec_tag) = decode_note(&rec.note);
+            let TagNote {
+                f: rec_f,
+                tag: rec_tag,
+            } = rec.note;
             let to_client = self.is_downstream(rec.face);
             let is_echo = match (&rec_tag, &echoed_key) {
                 (Some(rt), Some(ek)) => &rt.bloom_key() == ek,
@@ -764,7 +798,7 @@ impl TacticRouter {
                             // the client's window frees via timeout.
                             let _ = reason;
                         } else {
-                            out.sends.push((rec.face, Packet::Data(data.clone())));
+                            plan.push(Reply::Plain(rec.face));
                         }
                     }
                     None => {
@@ -781,7 +815,7 @@ impl TacticRouter {
                                 );
                             }
                         }
-                        out.sends.push((rec.face, Packet::Data(data.clone())));
+                        plan.push(Reply::Plain(rec.face));
                     }
                 }
                 continue;
@@ -792,13 +826,13 @@ impl TacticRouter {
             let Some(rt) = rec_tag else {
                 // Untagged aggregated request: only public content flows.
                 if al.is_public() {
-                    out.sends.push((rec.face, Packet::Data(data.clone())));
+                    plan.push(Reply::Plain(rec.face));
                 } else if !to_client && self.config.content_nack_enabled {
                     let mut d = data.clone();
                     ext::set_data_nack(&mut d, NackReason::InvalidTag);
                     self.counters.nacks += 1;
                     obs.on_nack(hop, NackReason::InvalidTag);
-                    out.sends.push((rec.face, Packet::Data(d)));
+                    plan.push(Reply::Annotated(rec.face, d));
                 }
                 continue;
             };
@@ -813,7 +847,7 @@ impl TacticRouter {
                 let mut d = data.clone();
                 ext::set_data_tag(&mut d, &rt);
                 ext::set_data_flag_f(&mut d, flag_f);
-                out.sends.push((rec.face, Packet::Data(d)));
+                plan.push(Reply::Annotated(rec.face, d));
                 continue;
             }
             let reval = flag_f != 0.0;
@@ -864,7 +898,7 @@ impl TacticRouter {
                 let mut d = data.clone();
                 ext::set_data_tag(&mut d, &rt);
                 ext::set_data_flag_f(&mut d, 0.0);
-                out.sends.push((rec.face, Packet::Data(d)));
+                plan.push(Reply::Annotated(rec.face, d));
             } else if to_client {
                 // Edge: "forward D to w if valid and drop otherwise".
                 if !pre_ok {
@@ -876,8 +910,29 @@ impl TacticRouter {
                 ext::set_data_nack(&mut d, NackReason::InvalidTag);
                 self.counters.nacks += 1;
                 obs.on_nack(hop, NackReason::InvalidTag);
-                out.sends.push((rec.face, Packet::Data(d)));
+                plan.push(Reply::Annotated(rec.face, d));
             }
+        }
+
+        // Materialise the plan: the last plain reply takes `data` by move;
+        // earlier plain replies (true fan-out) clone.
+        let last_plain = plan.iter().rposition(|r| matches!(r, Reply::Plain(_)));
+        let mut data = Some(data);
+        for (idx, reply) in plan.into_iter().enumerate() {
+            let (face, d) = match reply {
+                Reply::Annotated(face, d) => (face, d),
+                Reply::Plain(face) => {
+                    let d = if Some(idx) == last_plain {
+                        data.take().expect("moved only at the last plain reply")
+                    } else {
+                        data.as_ref()
+                            .expect("present until the last plain reply")
+                            .clone()
+                    };
+                    (face, d)
+                }
+            };
+            out.sends.push((face, Packet::Data(d)));
         }
         out
     }
@@ -1086,7 +1141,7 @@ mod tests {
             panic!("expected Data")
         };
         assert!(ext::data_nack(d).is_none());
-        assert_eq!(ext::data_tag(d), Some(tag));
+        assert_eq!(ext::data_tag(d).as_deref(), Some(&tag));
         assert_eq!(ext::data_flag_f(d), 0.0);
         assert_eq!(f.router.counters().sig_verifications, 1);
         assert_eq!(f.router.counters().bf_insertions, 1);
@@ -1661,7 +1716,7 @@ mod tests {
         assert!(out2.sends.is_empty(), "second request aggregates");
         let before = f.router.counters().nacks;
         let nack = Nack::new(Interest::new(name("/prov/obj/0"), 3), NackReason::NoRoute);
-        let out = f.router.handle_nack(&nack);
+        let out = f.router.handle_nack(nack.clone());
         assert_eq!(out.sends.len(), 2, "both requesters get the NACK");
         assert_eq!(
             f.router.counters().nacks - before,
@@ -1669,7 +1724,7 @@ mod tests {
             "one count per relayed NACK"
         );
         // The PIT entry is consumed: a repeat NACK relays (and counts) nothing.
-        let again = f.router.handle_nack(&nack);
+        let again = f.router.handle_nack(nack);
         assert!(again.sends.is_empty());
         assert_eq!(f.router.counters().nacks - before, 2);
     }

@@ -62,23 +62,56 @@ impl Tag {
     /// Signs the tag, producing a [`SignedTag`].
     pub fn sign(self, provider: &KeyPair) -> SignedTag {
         let signature = provider.sign(&self.to_bytes());
-        SignedTag {
-            tag: self,
-            signature,
-        }
+        SignedTag::new(self, signature)
     }
 }
 
 /// A provider-signed tag as carried in Interests.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries lazily-computed caches of its Bloom key and serialized form,
+/// so a shared (`Arc`ed, interned) tag pays for each derivation once. The
+/// caches are dropped by `clone()` and invisible to `==`/`Debug`. Mutating
+/// `tag`/`signature` *after* calling [`bloom_key`](Self::bloom_key) or
+/// [`encoded`](Self::encoded) on the same instance is unsupported — tests
+/// that forge tags must mutate a fresh clone before first use (all do).
+#[derive(Debug)]
 pub struct SignedTag {
     /// The tag body.
     pub tag: Tag,
     /// The provider's signature over [`Tag::to_bytes`].
     pub signature: Signature,
+    bloom_key: std::sync::OnceLock<[u8; 32]>,
+    encoded: std::sync::OnceLock<std::sync::Arc<[u8]>>,
 }
 
+impl Clone for SignedTag {
+    fn clone(&self) -> Self {
+        // Deliberately start the clone with cold caches: the clone-then-
+        // forge pattern mutates the copy's fields, and a carried cache
+        // would silently describe the pre-mutation tag.
+        SignedTag::new(self.tag.clone(), self.signature)
+    }
+}
+
+impl PartialEq for SignedTag {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && self.signature == other.signature
+    }
+}
+
+impl Eq for SignedTag {}
+
 impl SignedTag {
+    /// Assembles a signed tag from its body and signature.
+    pub fn new(tag: Tag, signature: Signature) -> Self {
+        SignedTag {
+            tag,
+            signature,
+            bloom_key: std::sync::OnceLock::new(),
+            encoded: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Verifies the provider signature.
     pub fn verify(&self, provider_key: &PublicKey) -> bool {
         provider_key.verify(&self.tag.to_bytes(), &self.signature)
@@ -86,10 +119,12 @@ impl SignedTag {
 
     /// The Bloom-filter key identifying this exact signed tag: a digest
     /// over body *and* signature, so forged signatures on a copied body
-    /// map to different filter bits.
+    /// map to different filter bits. Computed once per instance.
     pub fn bloom_key(&self) -> [u8; 32] {
-        let body = self.tag.to_bytes();
-        Digest256::of_parts(&[&body, &self.signature.to_bytes()]).to_bytes()
+        *self.bloom_key.get_or_init(|| {
+            let body = self.tag.to_bytes();
+            Digest256::of_parts(&[&body, &self.signature.to_bytes()]).to_bytes()
+        })
     }
 
     /// The stable client identity of this tag: a digest of the client key
@@ -105,6 +140,13 @@ impl SignedTag {
         let mut out = self.tag.to_bytes();
         out.extend_from_slice(&self.signature.to_bytes());
         out
+    }
+
+    /// The [`encode`](Self::encode) form as a shared buffer, serialized
+    /// once per instance — attaching an interned tag to a packet is a
+    /// refcount bump.
+    pub fn encoded(&self) -> std::sync::Arc<[u8]> {
+        self.encoded.get_or_init(|| self.encode().into()).clone()
     }
 
     /// Parses the [`encode`](Self::encode) form.
@@ -136,16 +178,16 @@ impl SignedTag {
         if pos != bytes.len() {
             return Err(TagDecodeError);
         }
-        Ok(SignedTag {
-            tag: Tag {
+        Ok(SignedTag::new(
+            Tag {
                 provider_key_locator,
                 access_level: al,
                 client_key_locator,
                 access_path: ap,
                 expiry,
             },
-            signature: sig,
-        })
+            sig,
+        ))
     }
 }
 
@@ -251,10 +293,7 @@ mod tests {
     fn bloom_key_distinguishes_signatures_on_same_body() {
         let kp = KeyPair::derive(b"/prov3", 0);
         let genuine = sample_tag().sign(&kp);
-        let forged = SignedTag {
-            tag: sample_tag(),
-            signature: Signature::forged(1),
-        };
+        let forged = SignedTag::new(sample_tag(), Signature::forged(1));
         assert_ne!(genuine.bloom_key(), forged.bloom_key());
     }
 

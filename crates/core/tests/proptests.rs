@@ -115,7 +115,8 @@ proptest! {
         let st = tag.sign(&kp);
         let mut i = Interest::new(name, nonce);
         ext::set_interest_tag(&mut i, &st);
-        prop_assert_eq!(ext::interest_tag(&i), Some(st));
+        let got = ext::interest_tag(&i);
+        prop_assert_eq!(got.as_deref(), Some(&st));
     }
 
     #[test]
@@ -126,7 +127,8 @@ proptest! {
         ext::set_data_access_level(&mut d, level);
         ext::set_data_tag(&mut d, &st);
         ext::set_data_flag_f(&mut d, f);
-        prop_assert_eq!(ext::data_tag(&d), Some(st));
+        let got = ext::data_tag(&d);
+        prop_assert_eq!(got.as_deref(), Some(&st));
         prop_assert_eq!(ext::data_flag_f(&d), f);
         ext::strip_delivery_annotations(&mut d);
         prop_assert_eq!(ext::data_tag(&d), None);

@@ -79,16 +79,16 @@ fn arb_hostile_tag() -> impl Strategy<Value = SignedTag> {
             } else {
                 "/mallory/KEY/1"
             };
-            SignedTag {
-                tag: Tag {
+            SignedTag::new(
+                Tag {
                     provider_key_locator: locator.parse().unwrap(),
                     access_level: AccessLevel::from_byte(al),
                     client_key_locator: "/prov/users/evil/KEY".parse().unwrap(),
                     access_path: AccessPath::from_u64(ap),
                     expiry: SimTime::from_secs(exp),
                 },
-                signature: Signature::forged(sig_seed),
-            }
+                Signature::forged(sig_seed),
+            )
         })
 }
 

@@ -18,17 +18,20 @@ use crate::packet::{Data, Interest};
 use crate::pit::{InRecord, Pit, PitInsert};
 
 /// A node's three NDN tables.
+///
+/// `N` is the PIT in-record note type (default: opaque bytes); see
+/// [`crate::pit`].
 #[derive(Debug, Clone)]
-pub struct Tables {
+pub struct Tables<N = Vec<u8>> {
     /// The content store (cache).
     pub cs: ContentStore,
     /// The pending-Interest table.
-    pub pit: Pit,
+    pub pit: Pit<N>,
     /// The forwarding information base.
     pub fib: Fib,
 }
 
-impl Tables {
+impl<N> Tables<N> {
     /// Creates tables with the given cache capacity.
     pub fn new(cs_capacity: usize) -> Self {
         Tables {
@@ -58,12 +61,12 @@ pub enum InterestAction {
 ///
 /// `note` is the opaque annotation stored in the PIT in-record (TACTIC puts
 /// its `<tag, F>` there; vanilla callers pass an empty vec).
-pub fn process_interest(
-    tables: &mut Tables,
+pub fn process_interest<N>(
+    tables: &mut Tables<N>,
     interest: &Interest,
     in_face: FaceId,
     now: SimTime,
-    note: Vec<u8>,
+    note: N,
 ) -> InterestAction {
     // 1. Content store.
     if let Some(data) = tables.cs.get(interest.name()) {
@@ -94,9 +97,9 @@ pub fn process_interest(
 /// Outcome of the vanilla Data pipeline: the consumed downstream records
 /// (empty if the Data was unsolicited) and whether it was cached.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DataAction {
+pub struct DataAction<N = Vec<u8>> {
     /// Downstream in-records the Data should be sent to.
-    pub downstream: Vec<InRecord>,
+    pub downstream: Vec<InRecord<N>>,
     /// Whether the Data entered the content store.
     pub cached: bool,
 }
@@ -105,7 +108,7 @@ pub struct DataAction {
 ///
 /// Unsolicited Data (no PIT entry) is dropped without caching, matching
 /// NFD's default policy.
-pub fn process_data(tables: &mut Tables, data: &Data) -> DataAction {
+pub fn process_data<N>(tables: &mut Tables<N>, data: &Data) -> DataAction<N> {
     match tables.pit.take(data.name()) {
         None => DataAction {
             downstream: Vec::new(),

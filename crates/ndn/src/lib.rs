@@ -23,7 +23,7 @@
 //! use tactic_ndn::packet::Interest;
 //! use tactic_sim::time::SimTime;
 //!
-//! let mut tables = Tables::new(100);
+//! let mut tables: Tables = Tables::new(100);
 //! tables.fib.add_route("/news".parse()?, FaceId::new(2), 1);
 //!
 //! let interest = Interest::new("/news/today/0".parse()?, 1);

@@ -6,17 +6,44 @@
 //! locators). TACTIC's Protocol 1 compares the provider prefix extracted
 //! from a tag's key locator — `N(Pub_p)` — against the requested content
 //! prefix `N(D)`.
+//!
+//! # Representation
+//!
+//! [`Name`] is a *shared handle*: the component list lives in one
+//! reference-counted buffer (`Arc<[Component]>`) and the name itself is a
+//! `(buffer, length, hash)` triple. This makes the forwarding-plane
+//! operations the PIT/CS/FIB hammer on every Interest effectively free:
+//!
+//! * `clone()` is an `Arc` refcount bump — no heap traffic;
+//! * [`Name::prefix`] shares the buffer and shrinks the visible length —
+//!   no heap traffic (the FIB probes every prefix length on lookup);
+//! * hashing writes one precomputed 64-bit value — table probes never
+//!   re-walk the component bytes.
+//!
+//! [`Component`] shares its bytes the same way (`Arc<[u8]>`), so the
+//! construction paths (`child`, `push`, `from_components`) that *do*
+//! rebuild the component list only bump refcounts per component.
+//!
+//! Equality, ordering, and the Display/parse round-trip are over the
+//! visible components only and are oblivious to sharing: a prefix view
+//! compares equal to an independently-parsed equivalent name, and their
+//! hashes agree (property-tested in `tests/proptests.rs`).
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use tactic_crypto::hash::Hasher64;
 
 /// One name component (opaque bytes; printable ASCII in our scenarios).
+///
+/// Cheap to clone: the bytes are shared, not copied.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Component(Vec<u8>);
+pub struct Component(Arc<[u8]>);
 
 impl Component {
     /// Creates a component from raw bytes.
     pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
-        Component(bytes.into())
+        Component(bytes.into().into())
     }
 
     /// The raw bytes.
@@ -37,19 +64,19 @@ impl Component {
 
 impl From<&str> for Component {
     fn from(s: &str) -> Self {
-        Component(s.as_bytes().to_vec())
+        Component(Arc::from(s.as_bytes()))
     }
 }
 
 impl From<String> for Component {
     fn from(s: String) -> Self {
-        Component(s.into_bytes())
+        Component(s.into_bytes().into())
     }
 }
 
 impl fmt::Display for Component {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for &b in &self.0 {
+        for &b in self.0.iter() {
             if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
                 write!(f, "{}", b as char)?;
             } else {
@@ -60,7 +87,8 @@ impl fmt::Display for Component {
     }
 }
 
-/// A hierarchical name: an ordered list of [`Component`]s.
+/// A hierarchical name: an ordered list of [`Component`]s behind a shared,
+/// cheaply-clonable handle (see the module docs for the representation).
 ///
 /// # Examples
 ///
@@ -73,9 +101,16 @@ impl fmt::Display for Component {
 /// assert_eq!(name.to_string(), "/provider0/obj12/chunk3");
 /// # Ok::<(), tactic_ndn::name::ParseNameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(Clone)]
 pub struct Name {
-    components: Vec<Component>,
+    /// Shared component buffer; may be longer than the visible name when
+    /// this handle is a prefix view of another name.
+    components: Arc<[Component]>,
+    /// Number of visible components (`components[..len]`).
+    len: usize,
+    /// Precomputed hash over the visible components (same byte layout as
+    /// [`Name::to_bytes`], folded through [`Hasher64`]).
+    hash: u64,
 }
 
 /// Error parsing a name from its URI form.
@@ -98,83 +133,151 @@ impl fmt::Display for ParseNameError {
 
 impl std::error::Error for ParseNameError {}
 
+/// Folds the length-prefixed component bytes (the [`Name::to_bytes`]
+/// layout) into a 64-bit hash.
+fn fold_hash(components: &[Component]) -> u64 {
+    let mut h = Hasher64::new();
+    for c in components {
+        h.update(&(c.len() as u32).to_le_bytes());
+        h.update(c.as_bytes());
+    }
+    h.finish()
+}
+
+/// The shared zero-length backing buffer used by root names.
+fn empty_backing() -> Arc<[Component]> {
+    static EMPTY: OnceLock<Arc<[Component]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::root()
+    }
+}
+
 impl Name {
     /// The root (empty) name, printed as `/`.
     pub fn root() -> Self {
-        Name::default()
+        Name {
+            components: empty_backing(),
+            len: 0,
+            hash: fold_hash(&[]),
+        }
     }
 
     /// Builds a name from components.
     pub fn from_components(components: Vec<Component>) -> Self {
-        Name { components }
+        let hash = fold_hash(&components);
+        Name {
+            len: components.len(),
+            components: components.into(),
+            hash,
+        }
     }
 
     /// Number of components.
     pub fn len(&self) -> usize {
-        self.components.len()
+        self.len
     }
 
     /// True for the root name.
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len == 0
     }
 
     /// The component at `index`, if present.
     pub fn get(&self, index: usize) -> Option<&Component> {
-        self.components.get(index)
+        self.components().get(index)
     }
 
-    /// All components.
+    /// All (visible) components.
     pub fn components(&self) -> &[Component] {
-        &self.components
+        &self.components[..self.len]
     }
 
     /// Returns a new name with `component` appended.
+    ///
+    /// This rebuilds the component list (refcount bumps per component) —
+    /// construction is the cold path; forwarding clones the result.
     pub fn child(&self, component: impl Into<Component>) -> Name {
-        let mut components = self.components.clone();
+        let mut components = Vec::with_capacity(self.len + 1);
+        components.extend_from_slice(self.components());
         components.push(component.into());
-        Name { components }
+        Name::from_components(components)
     }
 
     /// Appends a component in place.
     pub fn push(&mut self, component: impl Into<Component>) {
-        self.components.push(component.into());
+        *self = self.child(component);
     }
 
     /// The first `n` components as a new name (clamped to the full name).
+    ///
+    /// O(1) in allocations: the returned name shares this name's buffer.
     pub fn prefix(&self, n: usize) -> Name {
+        let len = n.min(self.len);
         Name {
-            components: self.components[..n.min(self.components.len())].to_vec(),
+            components: Arc::clone(&self.components),
+            len,
+            hash: fold_hash(&self.components[..len]),
         }
     }
 
     /// The name without its last component; the root maps to itself.
     pub fn parent(&self) -> Name {
-        if self.components.is_empty() {
+        if self.len == 0 {
             Name::root()
         } else {
-            self.prefix(self.components.len() - 1)
+            self.prefix(self.len - 1)
         }
     }
 
     /// True if `self` is a (non-strict) prefix of `other`.
     pub fn is_prefix_of(&self, other: &Name) -> bool {
-        self.components.len() <= other.components.len()
-            && self
-                .components
-                .iter()
-                .zip(&other.components)
-                .all(|(a, b)| a == b)
+        self.len <= other.len && self.components() == &other.components()[..self.len]
     }
 
     /// Flat byte serialisation (length-prefixed components), for hashing.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        for c in &self.components {
+        for c in self.components() {
             out.extend_from_slice(&(c.len() as u32).to_le_bytes());
             out.extend_from_slice(c.as_bytes());
         }
         out
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.components() == other.components()
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.components().cmp(other.components())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
     }
 }
 
@@ -195,7 +298,7 @@ impl std::str::FromStr for Name {
             }
             components.push(Component::new(unescape(piece)?));
         }
-        Ok(Name { components })
+        Ok(Name::from_components(components))
     }
 }
 
@@ -224,10 +327,10 @@ fn unescape(piece: &str) -> Result<Vec<u8>, ParseNameError> {
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.components.is_empty() {
+        if self.is_empty() {
             return write!(f, "/");
         }
-        for c in &self.components {
+        for c in self.components() {
             write!(f, "/{c}")?;
         }
         Ok(())
@@ -329,5 +432,43 @@ mod tests {
         let b: Name = "/b".parse().unwrap();
         assert!(a < ab);
         assert!(ab < b);
+    }
+
+    #[test]
+    fn prefix_view_is_indistinguishable_from_owned() {
+        // A prefix view shares its parent's buffer; equality, ordering,
+        // hashing, and serialisation must not be able to tell.
+        let long: Name = "/p/o/c".parse().unwrap();
+        let view = long.prefix(2);
+        let owned: Name = "/p/o".parse().unwrap();
+        assert_eq!(view, owned);
+        assert_eq!(view.cmp(&owned), std::cmp::Ordering::Equal);
+        assert_eq!(view.to_bytes(), owned.to_bytes());
+        assert_eq!(view.to_string(), owned.to_string());
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&view), s.hash_one(&owned));
+        // And it must work as a map key interchangeably.
+        let mut map = std::collections::HashMap::new();
+        map.insert(owned, 7u32);
+        assert_eq!(map.get(&view), Some(&7));
+    }
+
+    #[test]
+    fn clone_and_prefix_share_the_buffer() {
+        let n: Name = "/p/o/c".parse().unwrap();
+        let c = n.clone();
+        let p = n.prefix(1);
+        assert!(Arc::ptr_eq(&n.components, &c.components));
+        assert!(Arc::ptr_eq(&n.components, &p.components));
+    }
+
+    #[test]
+    fn push_after_prefix_does_not_leak_hidden_components() {
+        let n: Name = "/a/b/c".parse().unwrap();
+        let mut p = n.prefix(1);
+        p.push("z");
+        assert_eq!(p.to_string(), "/a/z");
+        assert_eq!(n.to_string(), "/a/b/c");
     }
 }

@@ -6,22 +6,24 @@
 //! extensions (see `tactic::ext`). Extension types `0x8000..` are reserved
 //! for applications.
 
+use std::sync::Arc;
+
 use tactic_crypto::schnorr::Signature;
 
 use crate::name::Name;
 
-/// An extension TLV carried by a packet.
-pub type Extension = (u16, Vec<u8>);
+/// An extension TLV carried by a packet. The value bytes are shared:
+/// cloning a packet (fan-out, caching) bumps refcounts instead of copying
+/// every extension payload.
+pub type Extension = (u16, Arc<[u8]>);
 
 /// Looks up the first extension with the given type.
 fn find_ext(exts: &[Extension], ty: u16) -> Option<&[u8]> {
-    exts.iter()
-        .find(|(t, _)| *t == ty)
-        .map(|(_, v)| v.as_slice())
+    exts.iter().find(|(t, _)| *t == ty).map(|(_, v)| &v[..])
 }
 
 /// Replaces (or inserts) the extension with the given type.
-fn set_ext(exts: &mut Vec<Extension>, ty: u16, value: Vec<u8>) {
+fn set_ext(exts: &mut Vec<Extension>, ty: u16, value: Arc<[u8]>) {
     if let Some(slot) = exts.iter_mut().find(|(t, _)| *t == ty) {
         slot.1 = value;
     } else {
@@ -96,8 +98,8 @@ impl Interest {
     }
 
     /// Sets an extension, replacing any previous value of the same type.
-    pub fn set_extension(&mut self, ty: u16, value: Vec<u8>) {
-        set_ext(&mut self.extensions, ty, value);
+    pub fn set_extension(&mut self, ty: u16, value: impl Into<Arc<[u8]>>) {
+        set_ext(&mut self.extensions, ty, value.into());
     }
 
     /// Removes an extension; returns whether it was present.
@@ -112,13 +114,14 @@ impl Interest {
 ///
 /// Simulated contents are usually `Synthetic(len)` — the bytes never exist,
 /// only their length (which the link model charges). Tests and examples may
-/// carry real `Bytes`.
+/// carry real `Bytes`; those are shared (`Arc`), so cloning a Data packet
+/// never copies content bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
     /// A payload of the given length whose bytes are never materialised.
     Synthetic(usize),
-    /// Actual bytes.
-    Bytes(Vec<u8>),
+    /// Actual bytes, shared between all clones of the packet.
+    Bytes(std::sync::Arc<[u8]>),
 }
 
 impl Payload {
@@ -205,8 +208,8 @@ impl Data {
     }
 
     /// Sets an extension, replacing any previous value of the same type.
-    pub fn set_extension(&mut self, ty: u16, value: Vec<u8>) {
-        set_ext(&mut self.extensions, ty, value);
+    pub fn set_extension(&mut self, ty: u16, value: impl Into<Arc<[u8]>>) {
+        set_ext(&mut self.extensions, ty, value.into());
     }
 
     /// Removes an extension; returns whether it was present.
@@ -347,7 +350,7 @@ mod tests {
     #[test]
     fn payload_lengths() {
         assert_eq!(Payload::Synthetic(1024).len(), 1024);
-        assert_eq!(Payload::Bytes(vec![0; 7]).len(), 7);
+        assert_eq!(Payload::Bytes(vec![0; 7].into()).len(), 7);
         assert!(Payload::default().is_empty());
     }
 

@@ -2,10 +2,16 @@
 //!
 //! The PIT aggregates in-flight Interests for the same name and routes
 //! returning Data along the reverse paths. TACTIC extends each in-record
-//! with an opaque `note` — the `<tag, F>` pair of Protocol 4 — which the
+//! with a `note` — the `<tag, F>` pair of Protocol 4 — which the
 //! aggregating router replays when the content arrives, validating each
 //! aggregated tag individually. The paper observes this "adds an overhead
 //! to the PIT entry but it is of the order of a couple hundred bytes".
+//!
+//! The note type is a table-wide generic parameter `N` (default
+//! `Vec<u8>`, the opaque-bytes form vanilla callers use). TACTIC
+//! instantiates it with its own typed note holding a shared
+//! `Arc<SignedTag>` handle, so an aggregated tag is *referenced* by the
+//! in-record — never re-serialized or re-parsed on replay.
 
 use std::collections::HashMap;
 
@@ -16,33 +22,33 @@ use crate::name::Name;
 
 /// One downstream requester recorded in a PIT entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InRecord {
+pub struct InRecord<N = Vec<u8>> {
     /// The face the Interest arrived on.
     pub face: FaceId,
     /// The Interest's nonce (loop detection).
     pub nonce: u64,
     /// When this record expires.
     pub expiry: SimTime,
-    /// Opaque application annotation (TACTIC: the serialized `<tag, F>`).
-    pub note: Vec<u8>,
+    /// Application annotation (TACTIC: the `<tag, F>` pair).
+    pub note: N,
 }
 
 /// A pending-Interest entry: one name, many downstream records.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PitEntry {
+pub struct PitEntry<N = Vec<u8>> {
     name: Name,
-    records: Vec<InRecord>,
+    records: Vec<InRecord<N>>,
     forwarded: bool,
 }
 
-impl PitEntry {
+impl<N> PitEntry<N> {
     /// The pending name.
     pub fn name(&self) -> &Name {
         &self.name
     }
 
     /// The downstream records, oldest first.
-    pub fn records(&self) -> &[InRecord] {
+    pub fn records(&self) -> &[InRecord<N>] {
         &self.records
     }
 
@@ -52,7 +58,7 @@ impl PitEntry {
     }
 
     /// Consumes the entry into its records.
-    pub fn into_records(self) -> Vec<InRecord> {
+    pub fn into_records(self) -> Vec<InRecord<N>> {
         self.records
     }
 }
@@ -77,7 +83,7 @@ pub enum PitInsert {
 /// use tactic_ndn::pit::{Pit, PitInsert};
 /// use tactic_sim::time::SimTime;
 ///
-/// let mut pit = Pit::new();
+/// let mut pit: Pit = Pit::new();
 /// let name = "/prov/obj/0".parse()?;
 /// let t = SimTime::from_secs(4);
 /// assert_eq!(pit.on_interest(&name, FaceId::new(1), 11, t, vec![]), PitInsert::New);
@@ -87,12 +93,20 @@ pub enum PitInsert {
 /// assert_eq!(entry.records().len(), 2);
 /// # Ok::<(), tactic_ndn::name::ParseNameError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct Pit {
-    entries: HashMap<Name, PitEntry>,
+#[derive(Debug, Clone)]
+pub struct Pit<N = Vec<u8>> {
+    entries: HashMap<Name, PitEntry<N>>,
 }
 
-impl Pit {
+impl<N> Default for Pit<N> {
+    fn default() -> Self {
+        Pit {
+            entries: HashMap::new(),
+        }
+    }
+}
+
+impl<N> Pit<N> {
     /// Creates an empty PIT.
     pub fn new() -> Self {
         Pit::default()
@@ -108,7 +122,7 @@ impl Pit {
         face: FaceId,
         nonce: u64,
         expiry: SimTime,
-        note: Vec<u8>,
+        note: N,
     ) -> PitInsert {
         match self.entries.get_mut(name) {
             None => {
@@ -143,12 +157,12 @@ impl Pit {
     }
 
     /// Looks at the pending entry for `name` without consuming it.
-    pub fn get(&self, name: &Name) -> Option<&PitEntry> {
+    pub fn get(&self, name: &Name) -> Option<&PitEntry<N>> {
         self.entries.get(name)
     }
 
     /// Consumes and returns the entry for `name` (Data arrival).
-    pub fn take(&mut self, name: &Name) -> Option<PitEntry> {
+    pub fn take(&mut self, name: &Name) -> Option<PitEntry<N>> {
         self.entries.remove(name)
     }
 
@@ -156,9 +170,10 @@ impl Pit {
     /// for `name`, dropping the entry if it empties. Returns the removed
     /// records. (TACTIC edge routers use this to drop a nacked tag's
     /// request while keeping other aggregated requesters pending.)
-    pub fn remove_records<F>(&mut self, name: &Name, mut predicate: F) -> Vec<InRecord>
+    pub fn remove_records<F>(&mut self, name: &Name, mut predicate: F) -> Vec<InRecord<N>>
     where
-        F: FnMut(&InRecord) -> bool,
+        N: Clone,
+        F: FnMut(&InRecord<N>) -> bool,
     {
         let Some(entry) = self.entries.get_mut(name) else {
             return Vec::new();
@@ -221,7 +236,7 @@ mod tests {
 
     #[test]
     fn first_interest_is_new_then_aggregates() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         let n = name("/a/b");
         assert_eq!(
             pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![1]),
@@ -244,7 +259,7 @@ mod tests {
 
     #[test]
     fn duplicate_nonce_detected() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         let n = name("/a");
         pit.on_interest(&n, FaceId::new(1), 42, t(5), vec![]);
         assert_eq!(
@@ -256,7 +271,7 @@ mod tests {
 
     #[test]
     fn take_consumes() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         let n = name("/a");
         pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![]);
         assert!(pit.take(&n).is_some());
@@ -265,7 +280,7 @@ mod tests {
 
     #[test]
     fn remove_records_by_predicate() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         let n = name("/a");
         pit.on_interest(&n, FaceId::new(1), 1, t(5), vec![10]);
         pit.on_interest(&n, FaceId::new(2), 2, t(5), vec![20]);
@@ -281,7 +296,7 @@ mod tests {
 
     #[test]
     fn purge_expired_removes_stale_records() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         let n = name("/a");
         pit.on_interest(&n, FaceId::new(1), 1, t(1), vec![]);
         pit.on_interest(&n, FaceId::new(2), 2, t(10), vec![]);
@@ -295,7 +310,7 @@ mod tests {
 
     #[test]
     fn distinct_names_do_not_aggregate() {
-        let mut pit = Pit::new();
+        let mut pit: Pit = Pit::new();
         assert_eq!(
             pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]),
             PitInsert::New

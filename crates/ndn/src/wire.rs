@@ -329,7 +329,7 @@ fn decode_data(bytes: &[u8]) -> Result<Data, WireError> {
     let (pty, pval) = r.read()?;
     let payload = match pty {
         TLV_PAYLOAD_SYNTH => Payload::Synthetic(u64_field(pval)? as usize),
-        TLV_PAYLOAD => Payload::Bytes(pval.to_vec()),
+        TLV_PAYLOAD => Payload::Bytes(pval.into()),
         found => return Err(WireError::UnexpectedType { found }),
     };
     let mut data = Data::new(name, payload);
@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn data_roundtrip_with_real_bytes() {
-        let d = Data::new(name("/x"), Payload::Bytes(vec![9; 33]));
+        let d = Data::new(name("/x"), Payload::Bytes(vec![9; 33].into()));
         let wire = encode(&Packet::from(d.clone()));
         assert_eq!(decode(&wire).unwrap(), Packet::Data(d));
     }
@@ -409,7 +409,7 @@ mod tests {
         let big = Packet::from(Data::new(name("/x"), Payload::Synthetic(1024)));
         assert_eq!(wire_size(&big) - wire_size(&small), 1024 - 8);
         // For byte payloads the size matches the encoding exactly.
-        let real = Packet::from(Data::new(name("/x"), Payload::Bytes(vec![0; 100])));
+        let real = Packet::from(Data::new(name("/x"), Payload::Bytes(vec![0; 100].into())));
         assert_eq!(wire_size(&real), encode(&real).len());
     }
 

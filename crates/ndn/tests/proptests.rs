@@ -45,7 +45,8 @@ fn arb_data() -> impl Strategy<Value = Data> {
         arb_name(),
         prop_oneof![
             (0usize..100_000).prop_map(Payload::Synthetic),
-            proptest::collection::vec(any::<u8>(), 0..256).prop_map(Payload::Bytes),
+            proptest::collection::vec(any::<u8>(), 0..256)
+                .prop_map(|v: Vec<u8>| Payload::Bytes(v.into())),
         ],
         any::<u32>(),
         proptest::collection::vec(
@@ -80,6 +81,42 @@ proptest! {
         let p = name.prefix(take);
         prop_assert!(p.is_prefix_of(&name));
         prop_assert!(p.len() <= name.len());
+    }
+
+    #[test]
+    fn name_prefix_view_equals_owned_rebuild(name in arb_name(), take in 0usize..6) {
+        // A prefix is a view sharing the parent's interned buffer; it must
+        // be indistinguishable from a name built from scratch out of the
+        // same components — equality, ordering, and hashing included.
+        let take = take.min(name.len());
+        let view = name.prefix(take);
+        let owned = Name::from_components(name.components()[..take].to_vec());
+        prop_assert_eq!(&view, &owned);
+        prop_assert_eq!(view.cmp(&owned), std::cmp::Ordering::Equal);
+        let mut map = std::collections::HashMap::new();
+        map.insert(owned, 7u32);
+        prop_assert_eq!(map.get(&view), Some(&7));
+    }
+
+    #[test]
+    fn name_hash_is_repr_independent(name in arb_name()) {
+        // The precomputed hash must depend only on the component bytes,
+        // never on how the name was produced (parsed, rebuilt, cloned).
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        let reparsed: Name = name.to_string().parse().unwrap();
+        let rebuilt = Name::from_components(name.components().to_vec());
+        prop_assert_eq!(s.hash_one(&name), s.hash_one(&reparsed));
+        prop_assert_eq!(s.hash_one(&name), s.hash_one(&rebuilt));
+        #[allow(clippy::redundant_clone)]
+        let cloned = name.clone();
+        prop_assert_eq!(s.hash_one(&name), s.hash_one(&cloned));
+    }
+
+    #[test]
+    fn prefix_compare_matches_structural_definition(a in arb_name(), b in arb_name()) {
+        let structural = a.len() <= b.len() && a.components() == &b.components()[..a.len()];
+        prop_assert_eq!(a.is_prefix_of(&b), structural);
     }
 
     #[test]

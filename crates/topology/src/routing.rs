@@ -177,8 +177,7 @@ mod tests {
     fn filtered_routes_detour_or_disconnect() {
         let (g, [a, b, c]) = line_graph();
         // Cutting b-c severs the only path: everything loses its route.
-        let cut_bc =
-            routes_toward_filtered(&g, c, |x, y| !(x == b && y == c || x == c && y == b));
+        let cut_bc = routes_toward_filtered(&g, c, |x, y| !(x == b && y == c || x == c && y == b));
         assert!(cut_bc[a.0].is_none());
         assert!(cut_bc[b.0].is_none());
 
@@ -192,8 +191,7 @@ mod tests {
         g.add_link(a, c, LinkSpec::core());
         g.add_link(b, d, LinkSpec::core());
         g.add_link(c, d, LinkSpec::core());
-        let routes =
-            routes_toward_filtered(&g, d, |x, y| !(x == a && y == b || x == b && y == a));
+        let routes = routes_toward_filtered(&g, d, |x, y| !(x == a && y == b || x == b && y == a));
         assert_eq!(routes[a.0].unwrap().next_hop, c, "detours around the cut");
         assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
     }

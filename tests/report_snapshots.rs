@@ -85,20 +85,54 @@ fn grid_reports_are_byte_identical_across_thread_counts() {
         1,
         Verbosity::Quiet,
     );
-    let parallel = run_replicas(
-        "snap",
-        PaperTopology::Topo1,
-        sid,
-        &s,
-        2,
-        4,
-        Verbosity::Quiet,
-    );
     let serial_dump = dump_runs(&serial);
-    assert_eq!(
-        serial_dump,
-        dump_runs(&parallel),
-        "--threads 1 vs 4 must not change any report byte"
-    );
+    for threads in [4, 8] {
+        let parallel = run_replicas(
+            "snap",
+            PaperTopology::Topo1,
+            sid,
+            &s,
+            2,
+            threads,
+            Verbosity::Quiet,
+        );
+        assert_eq!(
+            serial_dump,
+            dump_runs(&parallel),
+            "--threads 1 vs {threads} must not change any report byte"
+        );
+    }
     check("grid_small_2seeds.txt", &serial_dump);
+}
+
+/// Guards the snapshot *files themselves* against churn: the zero-copy
+/// ownership refactor must leave every golden byte exactly as the
+/// pre-refactor planes wrote it, so the checked-in digest is pinned here.
+/// An accidental `SNAPSHOT_UPDATE=1` regeneration that changes anything
+/// fails this test even though the behavioural tests above would then
+/// trivially pass.
+#[test]
+fn checked_in_snapshots_are_unchanged_from_seed() {
+    use tactic_crypto::hash::Hasher64;
+    let pinned: &[(&str, u64, usize)] =
+        &[("tactic_small_seed42.txt", 0xBAA7_92DD_1C71_0D6A, 850_777)];
+    for &(name, digest, len) in pinned {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/snapshots")
+            .join(name);
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("missing snapshot {name} ({e})"));
+        let mut h = Hasher64::new();
+        h.update(&bytes);
+        assert_eq!(
+            bytes.len(),
+            len,
+            "{name} changed size since the seed commit"
+        );
+        assert_eq!(
+            h.finish(),
+            digest,
+            "{name} diverged from the seed commit's bytes"
+        );
+    }
 }
