@@ -192,8 +192,8 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     ) {
         let now = ctx.now;
         let proto = &mut self.proto;
-        let node_id = node.0 as u64;
-        match &mut self.nodes[node.0] {
+        let node_id = node.index() as u64;
+        match &mut self.nodes[node.index()] {
             Node::Router(tables) => {
                 let hop = Hop::new(node_id, NodeRole::CoreRouter, now);
                 let sends: Vec<(FaceId, Packet)> = match packet {
@@ -210,7 +210,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                         }
                     }
                     Packet::Data(d) => {
-                        let action = process_data(tables, &d);
+                        let action = process_data(tables, &d, now);
                         // Clone only on genuine fan-out: the last pending
                         // requester takes the Data by move.
                         let recs = action.downstream;
@@ -305,11 +305,11 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     }
 
     fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
-        let Node::Requester(r) = &mut self.nodes[node.0] else {
+        let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
         let sends = r.fill(ctx.now);
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
     }
 
@@ -321,10 +321,10 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         ctx: &mut PlaneCtx<'_>,
         out: &mut Vec<Emit>,
     ) {
-        let Node::Requester(r) = &mut self.nodes[node.0] else {
+        let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         self.proto.on_timeout_expired(hop, &name, sent);
         let sends = r.on_timeout(&name, sent, ctx.now);
         Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
@@ -356,7 +356,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
             }
         }
         for route in routes {
-            if let Node::Router(t) = &mut self.nodes[route.router.0] {
+            if let Node::Router(t) = &mut self.nodes[route.router.index()] {
                 t.fib
                     .add_route(route.prefix.clone(), route.face, route.cost_us);
             }
@@ -364,11 +364,11 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     }
 
     fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
-        let Node::Requester(r) = &mut self.nodes[node.0] else {
+        let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
         let sends = r.on_move(ctx.now);
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         Self::push_requester_sends(&mut self.proto, hop, r, out, sends);
     }
 }
@@ -439,7 +439,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             .collect();
 
         let clients: std::collections::HashSet<u64> =
-            topo.clients.iter().map(|c| c.0 as u64).collect();
+            topo.clients.iter().map(|c| c.index() as u64).collect();
 
         // Routers: disable caching entirely for provider-auth (protected
         // content must reach the provider).
@@ -451,11 +451,11 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
 
         let mut tables_map: HashMap<usize, Tables> = HashMap::new();
         for r in topo.routers() {
-            tables_map.insert(r.0, Tables::new(cs_capacity));
+            tables_map.insert(r.index(), Tables::new(cs_capacity));
         }
         populate_fib(&topo, &links, |rnode, _i, prefix, face, cost_us| {
             tables_map
-                .get_mut(&rnode.0)
+                .get_mut(&rnode.index())
                 .expect("router")
                 .fib
                 .add_route(prefix, face, cost_us);
@@ -466,7 +466,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
         for node in topo.graph.nodes() {
             let state = match topo.graph.role(node) {
                 Role::CoreRouter | Role::EdgeRouter => {
-                    Node::Router(tables_map.remove(&node.0).expect("router"))
+                    Node::Router(tables_map.remove(&node.index()).expect("router"))
                 }
                 Role::Provider => {
                     let (prefix, objects, chunks) = catalog[provider_idx].clone();
@@ -481,7 +481,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
                 }
                 Role::Client | Role::Attacker => Node::Requester(Box::new(ZipfRequester::new(
                     RequesterConfig {
-                        principal: node.0 as u64,
+                        principal: node.index() as u64,
                         is_client: topo.graph.role(node) == Role::Client,
                         window: scenario.window,
                         timeout: scenario.request_timeout,
@@ -490,9 +490,12 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
                         retransmit: scenario.retransmit,
                     },
                     catalog.clone(),
-                    rng.fork(0x200 + node.0 as u64),
+                    rng.fork(0x200 + node.index() as u64),
                 ))),
-                Role::AccessPoint => Node::Ap(ApRelay::new(&topo, &links, node)),
+                Role::AccessPoint => Node::Ap(
+                    ApRelay::new(&topo, &links, node)
+                        .expect("validated topology: AP wired to an edge router"),
+                ),
             };
             nodes.push(state);
         }

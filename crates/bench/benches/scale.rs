@@ -1,0 +1,249 @@
+//! Scale benchmark: event-engine throughput and peak memory as the
+//! topology grows from 10³ to 10⁵ nodes.
+//!
+//! The paper's Table III presets top out at a few hundred nodes; this
+//! bench drives the calendar-queue engine and the flat `Vec` plane
+//! storage across fleet-scale networks built by
+//! [`tactic_topology::fleet::build_fleet`]-shaped specs and reports, per
+//! node count:
+//!
+//! * `events_per_sec` — engine throughput over the simulated run
+//!   (wall-clock, machine-relative);
+//! * `peak_rss_kb` — the process high-water mark (`VmHWM` from
+//!   `/proc/self/status`), measured in a *child process per point* so one
+//!   point's allocations cannot inflate the next point's number.
+//!
+//! Modes:
+//!
+//! * `cargo bench -p tactic-bench --bench scale` — run every point in
+//!   `BENCH_SCALE_POINTS` (default `1000,10000,100000`) and print a
+//!   summary table.
+//! * With `BENCH_SCALE_JSON=<path>` also write `BENCH_scale.json`,
+//!   including a paper-preset throughput check against the
+//!   `BENCH_datapath.json` baseline recorded below — the scale refactor
+//!   must not cost the small runs anything.
+//! * `BENCH_SCALE_CHILD=<nodes>:<sim_ms>` (internal) — run one point and
+//!   print its JSON on stdout; the parent sets this when re-executing
+//!   itself.
+
+use std::process::Command;
+use std::time::Instant;
+
+use tactic::net::Network;
+use tactic::scenario::{Scenario, TopologyChoice};
+use tactic_bench::bench_scenario;
+use tactic_sim::time::SimDuration;
+use tactic_topology::fleet::FleetSpec;
+
+/// Post-refactor paper-preset throughput recorded in `BENCH_datapath.json`
+/// (`tactic.after.events_per_sec`); the scale engine must stay at or above
+/// this on the same machine.
+const DATAPATH_TACTIC_EVENTS_PER_SEC: f64 = 824_987.0;
+
+const DEFAULT_POINTS: &str = "1000,10000,100000";
+
+/// Simulated horizon per point, shrinking with size so the largest run
+/// stays minutes-not-hours: 10³ → 5 s, 10⁴ → 1 s, 10⁵ → 300 ms.
+fn sim_ms_for(nodes: usize) -> u64 {
+    (10_000_000 / nodes as u64).clamp(300, 5_000)
+}
+
+/// A fleet-shaped scenario: shares from [`FleetSpec::sized`], small
+/// catalogue, short horizon. Deterministic per (nodes, sim_ms).
+fn fleet_scenario(nodes: usize, sim_ms: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.topology = TopologyChoice::Custom(FleetSpec::sized(nodes).to_table_spec());
+    s.duration = SimDuration::from_millis(sim_ms);
+    s.objects_per_provider = 10;
+    s.chunks_per_object = 10;
+    s
+}
+
+/// `VmHWM` (peak resident set) of this process, in kB. Linux-only; other
+/// platforms report 0 rather than lying.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+struct Point {
+    nodes: usize,
+    clients: usize,
+    sim_ms: u64,
+    build_secs: f64,
+    run_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_rss_kb: u64,
+}
+
+impl Point {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"nodes\": {}, \"clients\": {}, \"sim_ms\": {}, ",
+                "\"build_secs\": {:.2}, \"run_secs\": {:.2}, \"sim_events\": {}, ",
+                "\"events_per_sec\": {:.0}, \"peak_rss_kb\": {}}}"
+            ),
+            self.nodes,
+            self.clients,
+            self.sim_ms,
+            self.build_secs,
+            self.run_secs,
+            self.events,
+            self.events_per_sec,
+            self.peak_rss_kb,
+        )
+    }
+}
+
+/// Runs one scale point in-process. Called in the child re-exec so the
+/// RSS high-water mark belongs to this point alone.
+fn measure_point(nodes: usize, sim_ms: u64) -> Point {
+    let s = fleet_scenario(nodes, sim_ms);
+    let spec = s.topology.spec();
+    let t = Instant::now();
+    let net = Network::build(&s, 1);
+    let build_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let report = net.run();
+    let run_secs = t.elapsed().as_secs_f64();
+    Point {
+        nodes,
+        clients: spec.clients + spec.attackers,
+        sim_ms,
+        build_secs,
+        run_secs,
+        events: report.events,
+        events_per_sec: report.events as f64 / run_secs.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Re-executes this binary for one point and parses the marker line the
+/// child prints. Falls back to in-process measurement if the spawn fails
+/// (the RSS number then covers the whole run so far).
+fn measure_point_isolated(nodes: usize, sim_ms: u64) -> Point {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(_) => return measure_point(nodes, sim_ms),
+    };
+    let out = Command::new(exe)
+        .env("BENCH_SCALE_CHILD", format!("{nodes}:{sim_ms}"))
+        .env_remove("BENCH_SCALE_JSON")
+        .output();
+    let Ok(out) = out else {
+        return measure_point(nodes, sim_ms);
+    };
+    assert!(
+        out.status.success(),
+        "scale child ({nodes} nodes) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("SCALE_POINT "))
+        .expect("child printed no SCALE_POINT line");
+    parse_point(line)
+}
+
+/// Parses the child's `SCALE_POINT` payload: the eight fields of
+/// [`Point::json`] in order. Hand-rolled to keep the bench free of a JSON
+/// dependency, like the rest of the harness.
+fn parse_point(line: &str) -> Point {
+    let field = |key: &str| -> f64 {
+        let pat = format!("\"{key}\": ");
+        let rest = &line[line.find(&pat).expect("missing field") + pat.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().expect("bad number")
+    };
+    Point {
+        nodes: field("nodes") as usize,
+        clients: field("clients") as usize,
+        sim_ms: field("sim_ms") as u64,
+        build_secs: field("build_secs"),
+        run_secs: field("run_secs"),
+        events: field("sim_events") as u64,
+        events_per_sec: field("events_per_sec"),
+        peak_rss_kb: field("peak_rss_kb") as u64,
+    }
+}
+
+/// Paper-preset throughput probe: the same small scenario the datapath
+/// bench measures, so the number is directly comparable to the
+/// `BENCH_datapath.json` baseline.
+fn measure_paper_preset() -> f64 {
+    let s = bench_scenario(3);
+    let _ = tactic::net::run_scenario(&s, 1); // warm
+    let t = Instant::now();
+    let report = tactic::net::run_scenario(&s, 1);
+    report.events as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Child mode: one point, one marker line, exit.
+    if let Ok(spec) = std::env::var("BENCH_SCALE_CHILD") {
+        let (nodes, sim_ms) = spec.split_once(':').expect("BENCH_SCALE_CHILD=nodes:ms");
+        let p = measure_point(
+            nodes.parse().expect("nodes"),
+            sim_ms.parse().expect("sim_ms"),
+        );
+        println!("SCALE_POINT {}", p.json().trim_start());
+        return;
+    }
+
+    let points_env =
+        std::env::var("BENCH_SCALE_POINTS").unwrap_or_else(|_| DEFAULT_POINTS.to_string());
+    let sizes: Vec<usize> = points_env
+        .split(',')
+        .map(|p| p.trim().parse().expect("BENCH_SCALE_POINTS: bad size"))
+        .collect();
+
+    let mut points = Vec::new();
+    for &nodes in &sizes {
+        let sim_ms = sim_ms_for(nodes);
+        eprintln!("scale: {nodes} nodes, {sim_ms} ms horizon...");
+        let p = measure_point_isolated(nodes, sim_ms);
+        eprintln!(
+            "scale: {} nodes -> {:.0} events/s, peak RSS {} kB (build {:.2} s, run {:.2} s, {} events)",
+            p.nodes, p.events_per_sec, p.peak_rss_kb, p.build_secs, p.run_secs, p.events
+        );
+        points.push(p);
+    }
+
+    let preset_eps = measure_paper_preset();
+    let throughput_x = preset_eps / DATAPATH_TACTIC_EVENTS_PER_SEC;
+    eprintln!(
+        "scale: paper preset {preset_eps:.0} events/s ({throughput_x:.3}x the datapath baseline)"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_SCALE_JSON") {
+        let body: Vec<String> = points.iter().map(Point::json).collect();
+        let json = format!(
+            concat!(
+                "{{\n  \"bench\": \"scale\",\n",
+                "  \"engine\": \"calendar_queue\",\n",
+                "  \"storage\": \"flat_vec\",\n",
+                "  \"points\": [\n{}\n  ],\n",
+                "  \"paper_preset\": {{\"baseline_events_per_sec\": {:.0}, ",
+                "\"events_per_sec\": {:.0}, \"throughput_x\": {:.3}}}\n}}\n"
+            ),
+            body.join(",\n"),
+            DATAPATH_TACTIC_EVENTS_PER_SEC,
+            preset_eps,
+            throughput_x,
+        );
+        std::fs::write(&path, &json).expect("write BENCH_scale.json");
+        println!("wrote {path}");
+        print!("{json}");
+    }
+}

@@ -147,8 +147,8 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     ) {
         let now = ctx.now;
         let proto = &mut self.proto;
-        let node_id = node.0 as u64;
-        match &mut self.nodes[node.0] {
+        let node_id = node.index() as u64;
+        match &mut self.nodes[node.index()] {
             NodeState::Router(r) => {
                 let res = match packet {
                     Packet::Interest(i) => {
@@ -264,10 +264,10 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     }
 
     fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
-        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+        let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         let sends = c.fill(ctx.now);
         Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
     }
@@ -280,10 +280,10 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         ctx: &mut PlaneCtx<'_>,
         out: &mut Vec<Emit>,
     ) {
-        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+        let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         self.proto.on_timeout_expired(hop, &name, sent);
         let sends = c.on_timeout(&name, sent, ctx.now);
         Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
@@ -315,7 +315,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
             }
         }
         for route in routes {
-            if let NodeState::Router(r) = &mut self.nodes[route.router.0] {
+            if let NodeState::Router(r) = &mut self.nodes[route.router.index()] {
                 r.add_route(route.prefix.clone(), route.face, route.cost_us);
             }
         }
@@ -324,10 +324,10 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
         // The consumer drops its tags so the next request re-registers
         // from the new location, then refills its window immediately.
-        let NodeState::Consumer(c) = &mut self.nodes[node.0] else {
+        let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
-        let hop = Hop::new(node.0 as u64, NodeRole::Consumer, ctx.now);
+        let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
         c.on_move(ctx.now);
         let sends = c.fill(ctx.now);
         Self::push_consumer_sends(&mut self.proto, hop, out, sends, c);
@@ -424,17 +424,17 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 objects: scenario.objects_per_provider,
                 chunks: scenario.chunks_per_object,
             });
-            providers.insert(pnode.0, provider);
+            providers.insert(pnode.index(), provider);
         }
 
         // Routers.
         let mut edge_router_set = vec![false; n];
         for &e in &topo.edge_routers {
-            edge_router_set[e.0] = true;
+            edge_router_set[e.index()] = true;
         }
         let mut routers: HashMap<usize, TacticRouter> = HashMap::new();
         for rnode in topo.routers() {
-            let role = if edge_router_set[rnode.0] {
+            let role = if edge_router_set[rnode.index()] {
                 RouterRole::Edge
             } else {
                 RouterRole::Core
@@ -449,18 +449,18 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 record_sightings: scenario.record_sightings,
             };
             let mut router = TacticRouter::new(config, certs.clone());
-            for (face_idx, &(peer, _)) in links.neighbors[rnode.0].iter().enumerate() {
+            for (face_idx, &(peer, _)) in links.neighbors[rnode.index()].iter().enumerate() {
                 if topo.graph.role(peer) == Role::AccessPoint {
                     router.mark_downstream(FaceId::new(face_idx as u32));
                 }
             }
-            routers.insert(rnode.0, router);
+            routers.insert(rnode.index(), router);
         }
 
         // Routing: one Dijkstra per provider, FIB entries at every router.
         populate_fib(&topo, &links, |rnode, _i, prefix, face, cost_us| {
             routers
-                .get_mut(&rnode.0)
+                .get_mut(&rnode.index())
                 .expect("router")
                 .add_route(prefix, face, cost_us);
         });
@@ -477,7 +477,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             }))
             .collect();
         for &(unode, kind) in &user_list {
-            let principal = unode.0 as u64;
+            let principal = unode.index() as u64;
             let config = ConsumerConfig {
                 principal,
                 kind,
@@ -505,7 +505,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 ConsumerKind::Attacker(AttackerStrategy::ExpiredTag) => {
                     // A revoked client clinging to a once-genuine tag.
                     for (idx, &pnode) in topo.providers.iter().enumerate() {
-                        let p = providers.get_mut(&pnode.0).expect("provider");
+                        let p = providers.get_mut(&pnode.index()).expect("provider");
                         let tag = p.issue_tag(
                             principal,
                             scenario.client_level,
@@ -542,7 +542,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                         None => (principal ^ 0xDEAD, AccessPath::EMPTY),
                     };
                     for (idx, &pnode) in topo.providers.iter().enumerate() {
-                        let p = providers.get_mut(&pnode.0).expect("provider");
+                        let p = providers.get_mut(&pnode.index()).expect("provider");
                         let tag = p.issue_tag(
                             victim_principal,
                             scenario.client_level,
@@ -554,23 +554,26 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 }
                 ConsumerKind::Attacker(_) => {}
             }
-            consumers.insert(unode.0, consumer);
+            consumers.insert(unode.index(), consumer);
         }
 
         // Assemble node states.
         let mut nodes: Vec<NodeState> = Vec::with_capacity(n);
         for node in topo.graph.nodes() {
             let state = match topo.graph.role(node) {
-                Role::CoreRouter | Role::EdgeRouter => {
-                    NodeState::Router(Box::new(routers.remove(&node.0).expect("router built")))
-                }
+                Role::CoreRouter | Role::EdgeRouter => NodeState::Router(Box::new(
+                    routers.remove(&node.index()).expect("router built"),
+                )),
                 Role::Provider => NodeState::Provider(Box::new(
-                    providers.remove(&node.0).expect("provider built"),
+                    providers.remove(&node.index()).expect("provider built"),
                 )),
                 Role::Client | Role::Attacker => NodeState::Consumer(Box::new(
-                    consumers.remove(&node.0).expect("consumer built"),
+                    consumers.remove(&node.index()).expect("consumer built"),
                 )),
-                Role::AccessPoint => NodeState::Ap(ApRelay::new(&topo, &links, node)),
+                Role::AccessPoint => NodeState::Ap(
+                    ApRelay::new(&topo, &links, node)
+                        .expect("validated topology: AP wired to an edge router"),
+                ),
             };
             nodes.push(state);
         }

@@ -58,7 +58,9 @@ pub fn table3(opts: &RunOpts) -> std::io::Result<String> {
         // Count only the router-to-router fabric for the degree stat story.
         let router_links = (0..built.graph.link_count())
             .filter(|&i| {
-                let l = built.graph.link(tactic_topology::graph::LinkId(i));
+                let l = built
+                    .graph
+                    .link(tactic_topology::graph::LinkId::from_index(i));
                 matches!(built.graph.role(l.a), Role::CoreRouter | Role::EdgeRouter)
                     && matches!(built.graph.role(l.b), Role::CoreRouter | Role::EdgeRouter)
             })

@@ -68,8 +68,10 @@ pub fn process_interest<N>(
     now: SimTime,
     note: N,
 ) -> InterestAction {
-    // 1. Content store.
-    if let Some(data) = tables.cs.get(interest.name()) {
+    // 1. Content store — freshness-aware: a Data whose freshness window
+    // has lapsed by `now` is a miss, not a hit, so stale content is
+    // re-fetched instead of served forever.
+    if let Some(data) = tables.cs.get_fresh(interest.name(), now) {
         return InterestAction::ReplyFromCache(data.clone());
     }
     // 2. PIT.
@@ -107,15 +109,18 @@ pub struct DataAction<N = Vec<u8>> {
 /// Runs the vanilla Data pipeline: consume the PIT entry and cache.
 ///
 /// Unsolicited Data (no PIT entry) is dropped without caching, matching
-/// NFD's default policy.
-pub fn process_data<N>(tables: &mut Tables<N>, data: &Data) -> DataAction<N> {
+/// NFD's default policy. Caching is stamped at `now` so the Data's
+/// freshness window starts at its arrival — the historical pipeline
+/// inserted at time zero and looked up freshness-agnostically, so
+/// freshness-stamped content was served from cache forever.
+pub fn process_data<N>(tables: &mut Tables<N>, data: &Data, now: SimTime) -> DataAction<N> {
     match tables.pit.take(data.name()) {
         None => DataAction {
             downstream: Vec::new(),
             cached: false,
         },
         Some(entry) => {
-            tables.cs.insert(data.clone());
+            tables.cs.insert_at(data.clone(), now);
             DataAction {
                 downstream: entry.into_records(),
                 cached: true,
@@ -209,7 +214,7 @@ mod tests {
             vec![22],
         );
         let d = Data::new(n.clone(), Payload::Synthetic(10));
-        let action = process_data(&mut t, &d);
+        let action = process_data(&mut t, &d, SimTime::ZERO);
         assert!(action.cached);
         assert_eq!(action.downstream.len(), 2);
         assert_eq!(action.downstream[0].note, vec![11]);
@@ -248,7 +253,7 @@ mod tests {
         assert!(t.pit.is_empty());
 
         let d = Data::new(n.clone(), Payload::Synthetic(10));
-        let action = process_data(&mut t, &d);
+        let action = process_data(&mut t, &d, SimTime::ZERO);
         assert!(action.downstream.is_empty(), "no requesters remain");
         assert!(!action.cached, "unsolicited Data is not cached");
         // A fresh request after the sweep re-resolves cleanly.
@@ -263,10 +268,59 @@ mod tests {
     }
 
     #[test]
+    fn stale_cached_data_is_a_miss_not_a_hit() {
+        use tactic_sim::time::SimDuration;
+
+        let mut t = setup();
+        let n = name("/prov/obj/0");
+        // A requester pulls the chunk through: PIT entry, then Data with a
+        // 500 ms freshness window cached at its arrival time (t = 1 s).
+        let arrive = SimTime::from_secs(1);
+        process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 1),
+            FaceId::new(1),
+            arrive,
+            vec![],
+        );
+        let mut d = Data::new(n.clone(), Payload::Synthetic(10));
+        d.set_freshness_ms(500);
+        assert!(process_data(&mut t, &d, arrive).cached);
+
+        // Within the window: served from cache.
+        let within = arrive + SimDuration::from_millis(400);
+        match process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 2),
+            FaceId::new(1),
+            within,
+            vec![],
+        ) {
+            InterestAction::ReplyFromCache(hit) => assert_eq!(hit.name(), &n),
+            other => panic!("fresh entry must hit, got {other:?}"),
+        }
+
+        // Past the window: the entry is stale — the Interest must go back
+        // upstream, not be answered with expired content. (The historical
+        // pipeline inserted at time zero and ignored freshness, so this
+        // lookup served the stale Data forever.)
+        let past = arrive + SimDuration::from_millis(600);
+        let action = process_interest(
+            &mut t,
+            &Interest::new(n.clone(), 3),
+            FaceId::new(1),
+            past,
+            vec![],
+        );
+        assert_eq!(action, InterestAction::Forward(FaceId::new(9)));
+        assert!(t.cs.peek(&n).is_none(), "stale entry is evicted");
+    }
+
+    #[test]
     fn unsolicited_data_dropped() {
         let mut t = setup();
         let d = Data::new(name("/prov/obj/9"), Payload::Synthetic(10));
-        let action = process_data(&mut t, &d);
+        let action = process_data(&mut t, &d, SimTime::ZERO);
         assert!(!action.cached);
         assert!(action.downstream.is_empty());
         assert!(t.cs.is_empty());

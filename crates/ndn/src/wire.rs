@@ -117,12 +117,13 @@ impl<'a> Reader<'a> {
             .get(self.pos + 2..self.pos + 6)
             .ok_or(WireError::Truncated)?;
         let len = u32::from_le_bytes(lenb.try_into().expect("4 bytes")) as usize;
+        // `len` is attacker-controlled: `start + len` must not wrap (on
+        // 32-bit targets a length near u32::MAX would, turning the range
+        // check below into a successful empty-slice read).
         let start = self.pos + HEADER_LEN;
-        let value = self
-            .buf
-            .get(start..start + len)
-            .ok_or(WireError::Truncated)?;
-        self.pos = start + len;
+        let end = start.checked_add(len).ok_or(WireError::Truncated)?;
+        let value = self.buf.get(start..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok((ty, value))
     }
 

@@ -143,6 +143,32 @@ proptest! {
     }
 
     #[test]
+    fn mutated_wire_never_panics(
+        data in arb_data(),
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        // Corrupt arbitrary bytes of a valid encoding — including TLV
+        // length fields, whose forged values feed the reader's offset
+        // arithmetic — and require a clean Ok/Err, never a panic.
+        let mut encoded = wire::encode(&Packet::from(data));
+        for (pos, byte) in flips {
+            let idx = pos % encoded.len();
+            encoded[idx] = byte;
+        }
+        let _ = wire::decode(&encoded);
+    }
+
+    #[test]
+    fn forged_max_length_tlv_is_rejected_not_panicking(data in arb_data()) {
+        // Overwrite the outermost TLV length with u32::MAX: the reader's
+        // `start + len` must fail closed as Truncated (an unchecked add
+        // would wrap on 32-bit targets and mis-slice).
+        let mut encoded = wire::encode(&Packet::from(data));
+        encoded[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        prop_assert_eq!(wire::decode(&encoded), Err(wire::WireError::Truncated));
+    }
+
+    #[test]
     fn truncated_wire_never_panics(data in arb_data(), cut_frac in 0.0f64..1.0) {
         let encoded = wire::encode(&Packet::from(data));
         let cut = ((encoded.len() as f64) * cut_frac) as usize;

@@ -200,8 +200,8 @@ pub(crate) struct FaultState {
     plan: FaultPlan,
     rng: Rng,
     node_down: Vec<bool>,
-    link_down: HashSet<(usize, usize)>,
-    ge_bad: HashMap<(usize, usize), bool>,
+    link_down: HashSet<(u32, u32)>,
+    ge_bad: HashMap<(u32, u32), bool>,
 }
 
 impl FaultState {
@@ -215,12 +215,12 @@ impl FaultState {
         }
     }
 
-    fn key(a: NodeId, b: NodeId) -> (usize, usize) {
+    fn key(a: NodeId, b: NodeId) -> (u32, u32) {
         (a.0.min(b.0), a.0.max(b.0))
     }
 
     pub(crate) fn node_is_down(&self, node: NodeId) -> bool {
-        self.node_down.get(node.0).copied().unwrap_or(false)
+        self.node_down.get(node.index()).copied().unwrap_or(false)
     }
 
     pub(crate) fn link_is_down(&self, a: NodeId, b: NodeId) -> bool {
@@ -269,12 +269,12 @@ impl FaultState {
                 self.link_down.remove(&Self::key(a, b));
             }
             FaultKind::NodeDown { node } => {
-                if let Some(slot) = self.node_down.get_mut(node.0) {
+                if let Some(slot) = self.node_down.get_mut(node.index()) {
                     *slot = true;
                 }
             }
             FaultKind::NodeUp { node } => {
-                if let Some(slot) = self.node_down.get_mut(node.0) {
+                if let Some(slot) = self.node_down.get_mut(node.index()) {
                     *slot = false;
                 }
             }
@@ -287,7 +287,7 @@ impl FaultState {
 mod tests {
     use super::*;
 
-    fn n(i: usize) -> NodeId {
+    fn n(i: u32) -> NodeId {
         NodeId(i)
     }
 

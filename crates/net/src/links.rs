@@ -1,8 +1,6 @@
 //! Face tables and FIB population — the wiring every simulation plane
 //! derives from a [`Topology`] in exactly the same way.
 
-use std::collections::HashMap;
-
 use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_topology::graph::{LinkSpec, NodeId};
@@ -12,16 +10,22 @@ use tactic_topology::routing::routes_toward_filtered;
 /// Per-node face tables derived from a topology's adjacency order.
 ///
 /// Node `n`'s `k`-th incident link becomes its face `k`; the reverse map
-/// (`face_index`) answers "which local face leads to peer `p`?". The
-/// transport mutates these tables during handovers, so a face that existed
-/// at build time may later dangle (its reverse mapping removed) — exactly
-/// how a radio link disappears under a mobile client.
+/// answers "which local face leads to peer `p`?". The transport mutates
+/// these tables during handovers, so a face that existed at build time may
+/// later dangle (its reverse mapping removed) — exactly how a radio link
+/// disappears under a mobile client.
+///
+/// The reverse map is stored flat — per node, a `Vec<(peer, face)>` kept
+/// sorted by peer id and probed by binary search — instead of a per-node
+/// `HashMap`. It sits on the transmit path of every packet, and at 10⁵–10⁶
+/// nodes the hashing plus pointer-chasing of a million small maps is the
+/// dominant per-event cost; a two-entry sorted slice is one cache line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Links {
     /// Per node, per face index: `(neighbour, link spec)`.
     pub neighbors: Vec<Vec<(NodeId, LinkSpec)>>,
-    /// Per node: neighbour → local face.
-    pub face_index: Vec<HashMap<NodeId, FaceId>>,
+    /// Per node: `(neighbour, local face)` sorted by neighbour id.
+    face_index: Vec<Vec<(NodeId, FaceId)>>,
 }
 
 impl Links {
@@ -29,14 +33,15 @@ impl Links {
     pub fn build(topo: &Topology) -> Links {
         let n = topo.graph.node_count();
         let mut neighbors: Vec<Vec<(NodeId, LinkSpec)>> = vec![Vec::new(); n];
-        let mut face_index: Vec<HashMap<NodeId, FaceId>> = vec![HashMap::new(); n];
+        let mut face_index: Vec<Vec<(NodeId, FaceId)>> = vec![Vec::new(); n];
         for node in topo.graph.nodes() {
             for (peer, link_id) in topo.graph.incident(node) {
                 let spec = topo.graph.link(link_id).spec;
-                let face = FaceId::new(neighbors[node.0].len() as u32);
-                neighbors[node.0].push((peer, spec));
-                face_index[node.0].insert(peer, face);
+                let face = FaceId::new(neighbors[node.index()].len() as u32);
+                neighbors[node.index()].push((peer, spec));
+                face_index[node.index()].push((peer, face));
             }
+            face_index[node.index()].sort_unstable_by_key(|&(peer, _)| peer);
         }
         Links {
             neighbors,
@@ -46,12 +51,34 @@ impl Links {
 
     /// The local face of `node` that currently leads to `peer`.
     pub fn face_toward(&self, node: NodeId, peer: NodeId) -> Option<FaceId> {
-        self.face_index[node.0].get(&peer).copied()
+        let table = &self.face_index[node.index()];
+        table
+            .binary_search_by_key(&peer, |&(p, _)| p)
+            .ok()
+            .map(|i| table[i].1)
+    }
+
+    /// Points `node`'s reverse map at `face` for `peer`, replacing any
+    /// previous mapping for that peer.
+    pub fn set_face_toward(&mut self, node: NodeId, peer: NodeId, face: FaceId) {
+        let table = &mut self.face_index[node.index()];
+        match table.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => table[i].1 = face,
+            Err(i) => table.insert(i, (peer, face)),
+        }
+    }
+
+    /// Drops every reverse mapping of `node` (a handover tears down the
+    /// old radio link before wiring the new one).
+    pub fn clear_faces(&mut self, node: NodeId) {
+        self.face_index[node.index()].clear();
     }
 
     /// The `(neighbour, link spec)` a face of `node` points at, if wired.
     pub fn peer_of(&self, node: NodeId, face: FaceId) -> Option<(NodeId, LinkSpec)> {
-        self.neighbors[node.0].get(face.index() as usize).copied()
+        self.neighbors[node.index()]
+            .get(face.index() as usize)
+            .copied()
     }
 }
 
@@ -112,8 +139,10 @@ where
         let prefix = provider_prefix(i);
         let routes = routes_toward_filtered(&topo.graph, pnode, &mut usable);
         for rnode in topo.routers() {
-            if let Some(entry) = routes[rnode.0] {
-                let face = links.face_index[rnode.0][&entry.next_hop];
+            if let Some(entry) = routes[rnode.index()] {
+                let face = links
+                    .face_toward(rnode, entry.next_hop)
+                    .expect("route next hop is a wired neighbour");
                 let cost_us = (entry.cost.as_nanos() / 1_000).min(u32::MAX as u64) as u32;
                 out.push(FibRoute {
                     router: rnode,
@@ -152,8 +181,8 @@ mod tests {
         let t = topo();
         let links = Links::build(&t);
         for node in t.graph.nodes() {
-            assert_eq!(links.neighbors[node.0].len(), t.graph.degree(node));
-            for (idx, &(peer, _)) in links.neighbors[node.0].iter().enumerate() {
+            assert_eq!(links.neighbors[node.index()].len(), t.graph.degree(node));
+            for (idx, &(peer, _)) in links.neighbors[node.index()].iter().enumerate() {
                 assert_eq!(
                     links.face_toward(node, peer),
                     Some(FaceId::new(idx as u32)),

@@ -146,7 +146,7 @@ pub struct NetCounters {
     /// Total wire bytes scheduled.
     pub bytes_on_wire: u64,
     /// Per directed link `(from, to)`: packets, bytes, busy time.
-    pub link_load: HashMap<(usize, usize), LinkLoad>,
+    pub link_load: HashMap<(u32, u32), LinkLoad>,
 }
 
 impl NetCounters {
@@ -161,7 +161,7 @@ impl NetCounters {
 
     /// The `n` busiest directed links by serialisation time, descending
     /// (ties broken by link id for determinism).
-    pub fn busiest_links(&self, n: usize) -> Vec<((usize, usize), LinkLoad)> {
+    pub fn busiest_links(&self, n: usize) -> Vec<((u32, u32), LinkLoad)> {
         let mut all: Vec<_> = self.link_load.iter().map(|(&k, &v)| (k, v)).collect();
         all.sort_by_key(|&((from, to), load)| (std::cmp::Reverse(load.busy), from, to));
         all.truncate(n);

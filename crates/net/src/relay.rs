@@ -30,23 +30,41 @@ pub struct ApRelay {
     pending: HashMap<Name, Vec<(FaceId, SimTime, Option<u64>)>>,
 }
 
+/// An access point with no face toward an edge router — scale-free
+/// generation (or a mid-run rewiring bug) left it unusable. Carried as a
+/// checked error so assembly can report *which* AP is broken instead of
+/// panicking deep inside plane construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnwiredAp(pub NodeId);
+
+impl std::fmt::Display for UnwiredAp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "access point {} has no edge-router neighbour", self.0)
+    }
+}
+
+impl std::error::Error for UnwiredAp {}
+
 impl ApRelay {
     /// Creates the relay for access point `node`, wired via `links`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` has no edge-router neighbour.
-    pub fn new(topo: &Topology, links: &Links, node: NodeId) -> Self {
-        let upstream = links.neighbors[node.0]
+    /// Returns [`UnwiredAp`] if `node` has no edge-router neighbour
+    /// (topologies from the role builders never do — see
+    /// `Topology::validate_wiring` — but hand-built or mutated graphs
+    /// can).
+    pub fn new(topo: &Topology, links: &Links, node: NodeId) -> Result<Self, UnwiredAp> {
+        let upstream = links.neighbors[node.index()]
             .iter()
             .position(|&(peer, _)| topo.graph.role(peer) == Role::EdgeRouter)
             .map(|i| FaceId::new(i as u32))
-            .expect("AP wired to an edge router");
-        ApRelay {
+            .ok_or(UnwiredAp(node))?;
+        Ok(ApRelay {
             id: node,
             upstream,
             pending: HashMap::new(),
-        }
+        })
     }
 
     /// Records a user Interest awaiting a reply: `face` asked for `name`
@@ -114,6 +132,39 @@ mod tests {
             upstream: FaceId::new(0),
             pending: HashMap::new(),
         }
+    }
+
+    #[test]
+    fn unwired_ap_is_a_checked_error_not_a_panic() {
+        use tactic_sim::rng::Rng;
+        use tactic_topology::roles::{build_topology, TopologySpec};
+
+        let mut topo = build_topology(
+            &TopologySpec {
+                core_routers: 8,
+                edge_routers: 2,
+                providers: 1,
+                clients: 2,
+                attackers: 0,
+            },
+            &mut Rng::seed_from_u64(5),
+        );
+        let ap = topo.access_points[0];
+        // Demote the AP's edge router: the AP now has no edge-router
+        // neighbour, the defect a scale-free generator can produce.
+        let er = topo
+            .graph
+            .neighbors(ap)
+            .find(|&n| topo.graph.role(n) == Role::EdgeRouter)
+            .unwrap();
+        topo.graph.set_role(er, Role::CoreRouter);
+        let links = Links::build(&topo);
+        assert_eq!(ApRelay::new(&topo, &links, ap).unwrap_err(), UnwiredAp(ap));
+
+        // A healthy AP still wires up.
+        let other = topo.access_points[1];
+        let relay = ApRelay::new(&topo, &links, other).unwrap();
+        assert_eq!(relay.id, other);
     }
 
     #[test]

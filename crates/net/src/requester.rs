@@ -57,6 +57,21 @@ struct Flight {
     attempts: u32,
 }
 
+/// Builds a globally-unique Interest nonce: the principal in the top 24
+/// bits, the requester's send counter in the low 40.
+///
+/// The fields are disjoint, so nonces from different principals can never
+/// collide — unlike the historical `(principal << 24) ^ counter`, whose
+/// counter bled into the principal bits once a requester passed 2²⁴
+/// sends, aliasing principals in million-Interest runs. A requester would
+/// need 2⁴⁰ (≈10¹²) sends to overflow its field; debug builds assert
+/// both fields stay in range.
+fn compose_nonce(principal: u64, counter: u64) -> u64 {
+    debug_assert!(principal < 1 << 24, "principal exceeds its 24-bit field");
+    debug_assert!(counter < 1 << 40, "send counter exceeds its 40-bit field");
+    (principal << 40) | counter
+}
+
 /// A window-driven Zipf requester over a chunked content catalog.
 #[derive(Debug)]
 pub struct ZipfRequester {
@@ -166,7 +181,7 @@ impl ZipfRequester {
                 continue;
             }
             self.nonce += 1;
-            let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
+            let mut i = Interest::new(name.clone(), compose_nonce(self.principal, self.nonce));
             i.set_lifetime_ms((self.timeout.as_nanos() / 1_000_000) as u32);
             self.requested += 1;
             self.in_flight.insert(
@@ -210,7 +225,7 @@ impl ZipfRequester {
                 let attempts = flight.attempts;
                 self.nonce += 1;
                 self.retransmitted += 1;
-                let mut i = Interest::new(name.clone(), (self.principal << 24) ^ self.nonce);
+                let mut i = Interest::new(name.clone(), compose_nonce(self.principal, self.nonce));
                 let lifetime = policy.timeout_for(self.timeout, attempts);
                 i.set_lifetime_ms((lifetime.as_nanos() / 1_000_000) as u32);
                 return vec![i];
@@ -268,6 +283,34 @@ mod tests {
 
     fn requester(per_session: bool) -> ZipfRequester {
         requester_with(per_session, None)
+    }
+
+    #[test]
+    fn nonces_never_collide_across_principals_past_2_24_sends() {
+        // The historical `(principal << 24) ^ counter` aliased principals
+        // once a counter crossed 2²⁴: principal 0's send 2²⁴+c produced
+        // principal 1's send c. Walk both counters through dense windows
+        // around every 2²⁴ boundary up to 2²⁶ — the exact collision
+        // pattern — and require global uniqueness.
+        let mut seen = std::collections::HashSet::new();
+        let windows = (0u64..=4).map(|k| {
+            let base = k << 24;
+            base.saturating_sub(512)..base + 512
+        });
+        for counters in windows {
+            for c in counters {
+                for principal in [0u64, 1, 2, (1 << 24) - 1] {
+                    assert!(
+                        seen.insert(compose_nonce(principal, c)),
+                        "nonce collision at principal {principal}, counter {c}"
+                    );
+                }
+            }
+        }
+        // And the disjoint-field argument holds structurally: the
+        // principal occupies bits the counter can never reach.
+        assert_eq!(compose_nonce(3, 0) >> 40, 3);
+        assert_eq!(compose_nonce(0, (1 << 40) - 1) >> 40, 0);
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! schedule-for-schedule: identical engine sequence numbers, identical RNG
 //! draw order, byte-identical reports.
 
-use std::collections::HashMap;
-
 use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::Packet;
@@ -106,8 +104,12 @@ pub struct TransportReport {
 pub struct Net<P, O = NoopObserver> {
     engine: Engine<NetEvent>,
     links: Links,
-    /// Per directed link: when the transmitter is free again.
-    link_busy: HashMap<(usize, usize), SimTime>,
+    /// Per directed link: when the transmitter is free again. Flat
+    /// storage: indexed by source node, sorted by destination node id —
+    /// keyed by node pair (not face) because a handover re-points face 0
+    /// at a new AP while the old link's busy horizon must stay with the
+    /// old destination.
+    link_busy: Vec<Vec<(NodeId, SimTime)>>,
     rng: Rng,
     cost: CostModel,
     access_points: Vec<NodeId>,
@@ -202,7 +204,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         Net {
             engine,
             links,
-            link_busy: HashMap::new(),
+            link_busy: vec![Vec::new(); topo.graph.node_count()],
             rng,
             cost: config.cost,
             access_points: topo.access_points.clone(),
@@ -376,7 +378,8 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
     /// the sender's computation time.
     fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
         let now = self.engine.now();
-        let Some(&(to, spec)) = self.links.neighbors[from.0].get(out_face.index() as usize) else {
+        let Some(&(to, spec)) = self.links.neighbors[from.index()].get(out_face.index() as usize)
+        else {
             // Dangling face: drop.
             self.drop_packet(from, out_face, DropReason::DanglingFace, now);
             return;
@@ -395,15 +398,21 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         }
         let size = wire_size(&packet);
         let ready = now + compute;
-        let key = (from.0, to.0);
-        let busy = self.link_busy.get(&key).copied().unwrap_or(SimTime::ZERO);
-        let depart = ready.max(busy);
+        let lane = &mut self.link_busy[from.index()];
+        let slot = match lane.binary_search_by_key(&to, |&(peer, _)| peer) {
+            Ok(i) => &mut lane[i].1,
+            Err(i) => {
+                lane.insert(i, (to, SimTime::ZERO));
+                &mut lane[i].1
+            }
+        };
+        let depart = ready.max(*slot);
         let serialize = spec.serialization_delay(size);
-        self.link_busy.insert(key, depart + serialize);
+        *slot = depart + serialize;
         let arrival = depart + serialize + spec.latency;
         // A handover may have torn down the reverse mapping (the receiver
         // moved away): the in-flight packet is lost with the radio link.
-        let Some(&in_face) = self.links.face_index[to.0].get(&from) else {
+        let Some(in_face) = self.links.face_toward(to, from) else {
             self.drop_packet(from, out_face, DropReason::ReverseFaceGone, now);
             return;
         };
@@ -427,7 +436,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         if self.access_points.len() < 2 {
             return;
         }
-        let Some(&(current_ap, spec)) = self.links.neighbors[node.0].first() else {
+        let Some(&(current_ap, spec)) = self.links.neighbors[node.index()].first() else {
             return;
         };
         let new_ap = loop {
@@ -437,14 +446,14 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             }
         };
         // Client side: face 0 now points at the new AP.
-        self.links.neighbors[node.0][0] = (new_ap, spec);
-        self.links.face_index[node.0].clear();
-        self.links.face_index[node.0].insert(new_ap, FaceId::new(0));
+        self.links.neighbors[node.index()][0] = (new_ap, spec);
+        self.links.clear_faces(node);
+        self.links.set_face_toward(node, new_ap, FaceId::new(0));
         // AP side: ensure the new AP has a face toward this client.
-        if !self.links.face_index[new_ap.0].contains_key(&node) {
-            let face = FaceId::new(self.links.neighbors[new_ap.0].len() as u32);
-            self.links.neighbors[new_ap.0].push((node, spec));
-            self.links.face_index[new_ap.0].insert(node, face);
+        if self.links.face_toward(new_ap, node).is_none() {
+            let face = FaceId::new(self.links.neighbors[new_ap.index()].len() as u32);
+            self.links.neighbors[new_ap.index()].push((node, spec));
+            self.links.set_face_toward(new_ap, node, face);
         }
         self.moves += 1;
         let now = self.engine.now();

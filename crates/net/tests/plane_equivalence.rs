@@ -105,7 +105,7 @@ impl TablePlane {
         // Per in-face, the out-face on the 2-degree router path.
         for node in topo.graph.nodes() {
             let degree = topo.graph.degree(node);
-            forward[node.0] = (0..degree as u32)
+            forward[node.index()] = (0..degree as u32)
                 .map(|f| FaceId::new(if degree == 2 { 1 - f } else { f }))
                 .collect();
         }
@@ -138,9 +138,9 @@ impl NodePlane for TablePlane {
         _ctx: &mut PlaneCtx<'_>,
         out: &mut Vec<Emit>,
     ) {
-        match self.roles[node.0] {
+        match self.roles[node.index()] {
             Role::EdgeRouter => {
-                let out_face = self.forward[node.0][face.index() as usize];
+                let out_face = self.forward[node.index()][face.index() as usize];
                 out.push(Emit::Send {
                     face: out_face,
                     packet,

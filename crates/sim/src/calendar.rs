@@ -1,0 +1,379 @@
+//! A dynamic calendar queue: the flat-storage priority queue behind
+//! [`crate::engine::Engine`].
+//!
+//! A calendar queue (Brown, CACM 1988) hashes events by time into an array
+//! of buckets ("days"), each spanning a fixed `width` of simulated time;
+//! the array as a whole covers one "year" and wraps. Dequeueing walks the
+//! current day forward, which makes both enqueue and dequeue amortised
+//! O(1) — against the O(log n) and pointer-chasing cache misses of a
+//! binary heap — provided the bucket count and width track the number and
+//! spacing of pending events. This implementation resizes itself (doubling
+//! or halving the bucket count and re-estimating the width from the live
+//! event population) exactly so that property holds from a handful of
+//! events up to the millions a 10⁶-node topology generates.
+//!
+//! Ordering is **total and deterministic**: events are keyed by
+//! `(timestamp, sequence number)`, with the sequence assigned by the
+//! caller in schedule order. Every dequeue returns the exact minimum under
+//! that key, so replacing a binary heap keyed the same way changes
+//! *nothing* about delivery order — same-timestamp events still come out
+//! FIFO. That invariant is what keeps golden run snapshots byte-identical
+//! across the engine swap.
+
+use crate::time::SimTime;
+
+/// One queued event: its absolute time, tie-break sequence, and payload.
+#[derive(Debug)]
+pub(crate) struct Slot<E> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub payload: E,
+}
+
+impl<E> Slot<E> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at.as_nanos(), self.seq)
+    }
+}
+
+/// Smallest number of buckets the calendar shrinks down to.
+const MIN_BUCKETS: usize = 4;
+/// Hard cap on the bucket count (2²² buckets ≈ 8M pending events before
+/// buckets start averaging more than two events).
+const MAX_BUCKETS: usize = 1 << 22;
+
+/// A deterministic dynamic calendar queue ordered by `(time, seq)`.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue<E> {
+    /// Bucket array; `buckets.len()` is always a power of two. Each bucket
+    /// is kept sorted *descending* by `(at, seq)` so the minimum pops off
+    /// the end in O(1).
+    buckets: Vec<Vec<Slot<E>>>,
+    /// `buckets.len() - 1`, for masking day numbers into bucket indices.
+    mask: usize,
+    /// Nanoseconds of simulated time per bucket (never zero).
+    width: u64,
+    /// The bucket the dequeue scan is currently standing on.
+    cursor: usize,
+    /// Absolute end (exclusive, in ns) of the cursor bucket's current day.
+    /// `u128` so `day * width` arithmetic cannot overflow near
+    /// [`SimTime::MAX`].
+    cursor_day_end: u128,
+    /// Total queued events.
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    pub fn new() -> Self {
+        let mut q = CalendarQueue {
+            buckets: Vec::new(),
+            mask: 0,
+            width: 1,
+            cursor: 0,
+            cursor_day_end: 0,
+            len: 0,
+        };
+        q.rebuild(MIN_BUCKETS, 1_000_000, Vec::new());
+        q
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn bucket_of(&self, at_ns: u64) -> usize {
+        ((at_ns / self.width) as usize) & self.mask
+    }
+
+    /// Inserts an event. `seq` values must be unique (the engine's monotone
+    /// counter guarantees it); equal-time events dequeue in `seq` order.
+    pub fn push(&mut self, at: SimTime, seq: u64, payload: E) {
+        // Dequeue correctness rests on the invariant that no pending event
+        // lives in a day *before* the cursor's. A peek at a far-future
+        // event legitimately jumps the cursor ahead (e.g. the engine
+        // peeking past its horizon), so an event scheduled earlier
+        // afterwards must pull the cursor back to its own day.
+        let at_ns = at.as_nanos() as u128;
+        if at_ns < self.cursor_day_end.saturating_sub(self.width as u128) {
+            self.cursor = self.bucket_of(at.as_nanos());
+            self.cursor_day_end =
+                (at.as_nanos() as u128 / self.width as u128 + 1) * self.width as u128;
+        }
+        let slot = Slot { at, seq, payload };
+        let idx = self.bucket_of(at.as_nanos());
+        let bucket = &mut self.buckets[idx];
+        // Descending order: find the first element strictly below the new
+        // key and insert in front of it. Most traffic schedules near the
+        // tail of its bucket, so the shifted suffix is short.
+        let key = slot.key();
+        let pos = bucket.partition_point(|s| s.key() > key);
+        bucket.insert(pos, slot);
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// The `(time, seq)` of the next event without removing it, advancing
+    /// the day cursor to its bucket as a side effect.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.locate_min().map(|idx| {
+            let s = self.buckets[idx].last().expect("located bucket non-empty");
+            (s.at, s.seq)
+        })
+    }
+
+    /// Removes and returns the minimum event under `(time, seq)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let idx = self.locate_min()?;
+        let slot = self.buckets[idx].pop().expect("located bucket non-empty");
+        self.len -= 1;
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((slot.at, slot.payload))
+    }
+
+    /// Walks the calendar from the cursor to the bucket holding the global
+    /// minimum event and returns its index. A full lap without a hit in
+    /// the current year (events all far in the future) falls back to a
+    /// direct scan — the standard calendar-queue escape hatch for sparse
+    /// tails like a lone keep-alive scheduled seconds ahead.
+    fn locate_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len();
+        for _ in 0..nbuckets {
+            if let Some(head) = self.buckets[self.cursor].last() {
+                if (head.at.as_nanos() as u128) < self.cursor_day_end {
+                    return Some(self.cursor);
+                }
+            }
+            self.cursor = (self.cursor + 1) & self.mask;
+            self.cursor_day_end += self.width as u128;
+        }
+        Some(self.direct_min())
+    }
+
+    /// Finds the bucket holding the global minimum by scanning bucket
+    /// heads, and jumps the cursor to that event's day.
+    fn direct_min(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            if let Some(head) = b.last() {
+                let key = (head.at.as_nanos(), head.seq, idx);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (at_ns, _, idx) = best.expect("non-empty queue has a minimum");
+        self.cursor = idx;
+        self.cursor_day_end = (at_ns as u128 / self.width as u128 + 1) * self.width as u128;
+        idx
+    }
+
+    /// Rebuilds the calendar with `nbuckets` buckets, re-estimating the
+    /// bucket width from the live events.
+    fn resize(&mut self, nbuckets: usize) {
+        let events: Vec<Slot<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let width = estimate_width(&events);
+        self.rebuild(nbuckets, width, events);
+    }
+
+    fn rebuild(&mut self, nbuckets: usize, width: u64, events: Vec<Slot<E>>) {
+        debug_assert!(nbuckets.is_power_of_two());
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.mask = nbuckets - 1;
+        self.width = width.max(1);
+        self.len = 0;
+        let min_ns = events.iter().map(|s| s.at.as_nanos()).min().unwrap_or(0);
+        self.cursor = self.bucket_of(min_ns);
+        self.cursor_day_end = (min_ns as u128 / self.width as u128 + 1) * self.width as u128;
+        for slot in events {
+            let idx = self.bucket_of(slot.at.as_nanos());
+            let bucket = &mut self.buckets[idx];
+            let key = slot.key();
+            let pos = bucket.partition_point(|s| s.key() > key);
+            bucket.insert(pos, slot);
+            self.len += 1;
+        }
+    }
+}
+
+/// Brown's width rule, simplified: spread the live events' time span so a
+/// year of buckets covers it, i.e. width ≈ 2 × the mean inter-event gap.
+/// Degenerate populations (empty, or all at one instant) keep a sane
+/// default so the queue never divides by zero.
+fn estimate_width<E>(events: &[Slot<E>]) -> u64 {
+    if events.len() < 2 {
+        return 1_000_000; // 1 ms: matches a fresh queue.
+    }
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for s in events {
+        let ns = s.at.as_nanos();
+        min = min.min(ns);
+        max = max.max(ns);
+    }
+    let span = max - min;
+    if span == 0 {
+        return 1_000_000;
+    }
+    ((span / events.len() as u64) * 2).clamp(1, u64::MAX / 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(SimTime::from_secs(3), 0, 3);
+        q.push(SimTime::from_secs(1), 1, 1);
+        q.push(SimTime::from_secs(2), 2, 2);
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_seq_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_secs(5), i, i as u32);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_reference_heap_under_random_interleaving() {
+        use crate::rng::Rng;
+        use std::collections::BinaryHeap;
+
+        let mut rng = Rng::seed_from_u64(0xCA1E);
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut reference: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut floor = 0u64; // Like the engine: never schedule in the past.
+        for _ in 0..20_000 {
+            if rng.chance(0.55) || q.is_empty() {
+                // Mixed spacing: dense ns-scale traffic plus sparse
+                // far-future events to force both calendar regimes.
+                let at = floor
+                    + if rng.chance(0.05) {
+                        rng.below(5_000_000_000)
+                    } else {
+                        rng.below(50_000)
+                    };
+                q.push(SimTime::from_nanos(at), seq, seq);
+                reference.push(std::cmp::Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let (at, got) = q.pop().expect("non-empty");
+                let std::cmp::Reverse((eat, eseq)) = reference.pop().expect("non-empty");
+                assert_eq!((at.as_nanos(), got), (eat, eseq));
+                floor = at.as_nanos();
+            }
+        }
+        while let Some((at, got)) = q.pop() {
+            let std::cmp::Reverse((eat, eseq)) = reference.pop().expect("same length");
+            assert_eq!((at.as_nanos(), got), (eat, eseq));
+        }
+        assert!(reference.is_empty());
+    }
+
+    #[test]
+    fn resizes_across_growth_and_drain() {
+        let mut q: CalendarQueue<usize> = CalendarQueue::new();
+        for i in 0..50_000usize {
+            q.push(
+                SimTime::from_nanos((i as u64 * 37) % 1_000_000),
+                i as u64,
+                i,
+            );
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "queue grew its calendar");
+        let mut last = (0u64, 0u64);
+        let mut n = 0;
+        let mut seen_keys: Vec<(u64, u64)> = Vec::new();
+        // Drain interleaved with re-pushes to exercise shrink too.
+        while let Some((at, i)) = q.pop() {
+            let key = (at.as_nanos(), i as u64);
+            assert!(key > last || n == 0, "out of order: {key:?} after {last:?}");
+            last = key;
+            seen_keys.push(key);
+            n += 1;
+        }
+        assert_eq!(n, 50_000);
+        assert!(q.buckets.len() <= MIN_BUCKETS * 2, "queue shrank back");
+        assert!(seen_keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sparse_far_future_events_found_by_fallback() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::new();
+        // Dense cluster now, one event far outside the current year.
+        for i in 0..32 {
+            q.push(SimTime::from_nanos(i), i, "near");
+        }
+        q.push(SimTime::from_secs(3600), 99, "far");
+        for _ in 0..32 {
+            assert_eq!(q.pop().unwrap().1, "near");
+        }
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q: CalendarQueue<u8> = CalendarQueue::new();
+        q.push(SimTime::from_secs(1), 0, 7);
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(1), 0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, 7);
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn earlier_push_after_far_peek_pulls_cursor_back() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::new();
+        q.push(SimTime::from_secs(3600), 0, "far");
+        // Peeking jumps the cursor to the far event's day...
+        assert_eq!(q.peek_key(), Some((SimTime::from_secs(3600), 0)));
+        // ...but a subsequently scheduled earlier event must still win.
+        q.push(SimTime::from_secs(1), 1, "near");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q: CalendarQueue<u8> = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_nanos(i), i, 0);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(SimTime::from_secs(9), 0, 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+}

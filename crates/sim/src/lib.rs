@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod calendar;
 pub mod cost;
 pub mod dist;
 pub mod engine;

@@ -206,6 +206,11 @@ impl Samples {
 
     /// Exact quantile by nearest-rank (`q` in `[0, 1]`); `None` if empty.
     ///
+    /// Sorts with [`f64::total_cmp`], so a NaN observation (one corrupt
+    /// latency in a million-node report) cannot abort the run — NaNs
+    /// order after every number under IEEE 754 total ordering, leaving
+    /// all sub-1.0 quantiles of real data untouched.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -215,8 +220,7 @@ impl Samples {
             return None;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let idx = ((self.values.len() as f64 - 1.0) * q).round() as usize;
@@ -420,6 +424,22 @@ mod tests {
         assert_eq!(s.quantile(0.5), Some(3.0));
         assert_eq!(s.quantile(1.0), Some(5.0));
         assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn nan_sample_does_not_abort_quantiles() {
+        // One corrupt observation among many must not panic the report;
+        // NaN sorts last under total ordering, so real quantiles survive.
+        let mut s = Samples::new();
+        for x in [5.0, 1.0, f64::NAN, 3.0, 2.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        // Six entries, NaN last: idx = round(5 * 0.5) = 3 → the fourth
+        // real value. The NaN still occupies a rank, it just cannot win
+        // any sub-1.0 quantile.
+        assert_eq!(s.quantile(0.5), Some(4.0));
+        assert!(s.quantile(1.0).unwrap().is_nan(), "NaN ranks last");
     }
 
     #[test]

@@ -2,9 +2,30 @@
 
 use tactic_sim::time::SimDuration;
 
-/// A node identifier (index into the graph's node table).
+/// A node identifier: a dense `u32` index into the graph's node table.
+///
+/// `u32` (not `usize`) is deliberate: at 10⁵–10⁶ nodes the id appears in
+/// every adjacency entry, face table, FIB route, and pending event, and
+/// halving it keeps those flat arrays cache-resident. Four billion nodes
+/// is far beyond any simulated topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct NodeId(pub usize);
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates an id from a table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits u32"))
+    }
+
+    /// The id as a table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -12,9 +33,25 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// A link identifier (index into the graph's link table).
+/// A link identifier: a dense `u32` index into the graph's link table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct LinkId(pub usize);
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Creates an id from a table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u32`.
+    pub fn from_index(index: usize) -> Self {
+        LinkId(u32::try_from(index).expect("link index fits u32"))
+    }
+
+    /// The id as a table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// What a node is (paper §3.A's hierarchy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,7 +177,7 @@ impl Graph {
     pub fn add_node(&mut self, role: Role) -> NodeId {
         self.roles.push(role);
         self.adjacency.push(Vec::new());
-        NodeId(self.roles.len() - 1)
+        NodeId::from_index(self.roles.len() - 1)
     }
 
     /// Adds an undirected link; returns its id.
@@ -151,14 +188,14 @@ impl Graph {
     /// equal (self-loops are meaningless here).
     pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
         assert!(
-            a.0 < self.roles.len() && b.0 < self.roles.len(),
+            a.index() < self.roles.len() && b.index() < self.roles.len(),
             "endpoint out of range"
         );
         assert_ne!(a, b, "self-loop");
-        let id = LinkId(self.links.len());
+        let id = LinkId::from_index(self.links.len());
         self.links.push(Link { a, b, spec });
-        self.adjacency[a.0].push((b, id));
-        self.adjacency[b.0].push((a, id));
+        self.adjacency[a.index()].push((b, id));
+        self.adjacency[b.index()].push((a, id));
         id
     }
 
@@ -178,7 +215,7 @@ impl Graph {
     ///
     /// Panics if `node` is out of range.
     pub fn role(&self, node: NodeId) -> Role {
-        self.roles[node.0]
+        self.roles[node.index()]
     }
 
     /// Re-tags a node's role (role refinement after generation).
@@ -187,32 +224,32 @@ impl Graph {
     ///
     /// Panics if `node` is out of range.
     pub fn set_role(&mut self, node: NodeId, role: Role) {
-        self.roles[node.0] = role;
+        self.roles[node.index()] = role;
     }
 
     /// A link by id.
     pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.0]
+        &self.links[id.index()]
     }
 
     /// Iterates over a node's neighbours.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adjacency[node.0].iter().map(|&(n, _)| n)
+        self.adjacency[node.index()].iter().map(|&(n, _)| n)
     }
 
     /// Iterates over `(neighbor, link)` pairs for a node.
     pub fn incident(&self, node: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
-        self.adjacency[node.0].iter().copied()
+        self.adjacency[node.index()].iter().copied()
     }
 
     /// A node's degree.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.0].len()
+        self.adjacency[node.index()].len()
     }
 
     /// All node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.roles.len()).map(NodeId)
+        (0..self.roles.len() as u32).map(NodeId)
     }
 
     /// All node ids with the given role.
@@ -231,8 +268,8 @@ impl Graph {
         let mut count = 1;
         while let Some(n) = stack.pop() {
             for (next, _) in self.incident(n) {
-                if !seen[next.0] {
-                    seen[next.0] = true;
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
                     count += 1;
                     stack.push(next);
                 }

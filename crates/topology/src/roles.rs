@@ -105,6 +105,124 @@ impl Topology {
             .next()
             .expect("provider must be attached")
     }
+
+    /// Checks the structural invariants every plane assembly relies on:
+    /// each access point reaches an edge router, each user hangs off an
+    /// access point, each provider is attached. Returns every defect
+    /// found (empty `Err` is never produced).
+    pub fn validate_wiring(&self) -> Result<(), Vec<WiringDefect>> {
+        let mut defects = Vec::new();
+        for &ap in &self.access_points {
+            let wired = self
+                .graph
+                .neighbors(ap)
+                .any(|n| self.graph.role(n) == Role::EdgeRouter);
+            if !wired {
+                defects.push(WiringDefect::UnwiredAp(ap));
+            }
+        }
+        for u in self.users().collect::<Vec<_>>() {
+            let attached = self
+                .graph
+                .neighbors(u)
+                .any(|n| self.graph.role(n) == Role::AccessPoint);
+            if !attached {
+                defects.push(WiringDefect::DetachedUser(u));
+            }
+        }
+        for &p in &self.providers {
+            if self.graph.neighbors(p).next().is_none() {
+                defects.push(WiringDefect::DetachedProvider(p));
+            }
+        }
+        if defects.is_empty() {
+            Ok(())
+        } else {
+            Err(defects)
+        }
+    }
+
+    /// Repairs every defect [`validate_wiring`](Self::validate_wiring)
+    /// finds, deterministically, and returns what was fixed:
+    ///
+    /// * an unwired access point gets its first router neighbour promoted
+    ///   to edge router, or — if it touches no router — an edge link to
+    ///   the lowest-id edge router (promoting `core_routers[0]` first if
+    ///   no edge router exists);
+    /// * a detached user gets an edge link to the lowest-id access point;
+    /// * a detached provider gets a core link to the highest-degree core
+    ///   router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a repair is impossible (no routers to promote, no access
+    /// points to attach users to) — a topology that empty cannot host a
+    /// simulation at all.
+    pub fn repair_wiring(&mut self) -> Vec<WiringDefect> {
+        let defects = match self.validate_wiring() {
+            Ok(()) => return Vec::new(),
+            Err(d) => d,
+        };
+        for defect in &defects {
+            match *defect {
+                WiringDefect::UnwiredAp(ap) => {
+                    let router_neighbor = self
+                        .graph
+                        .neighbors(ap)
+                        .find(|&n| self.graph.role(n) == Role::CoreRouter);
+                    if let Some(r) = router_neighbor {
+                        self.promote_to_edge(r);
+                    } else {
+                        if self.edge_routers.is_empty() {
+                            let r = *self.core_routers.first().expect("a router to promote");
+                            self.promote_to_edge(r);
+                        }
+                        let e = *self.edge_routers.iter().min().expect("edge router");
+                        self.graph.add_link(ap, e, LinkSpec::edge());
+                    }
+                }
+                WiringDefect::DetachedUser(u) => {
+                    let ap = *self
+                        .access_points
+                        .iter()
+                        .min()
+                        .expect("an access point to attach to");
+                    self.graph.add_link(u, ap, LinkSpec::edge());
+                }
+                WiringDefect::DetachedProvider(p) => {
+                    let host = *self
+                        .core_routers
+                        .iter()
+                        .max_by_key(|&&n| (self.graph.degree(n), std::cmp::Reverse(n)))
+                        .expect("a core router to host the provider");
+                    self.graph.add_link(p, host, LinkSpec::core());
+                }
+            }
+        }
+        debug_assert!(self.validate_wiring().is_ok(), "repair must converge");
+        defects
+    }
+
+    /// Re-tags a core router as an edge router, keeping the role lists
+    /// and the graph consistent.
+    fn promote_to_edge(&mut self, router: NodeId) {
+        debug_assert_eq!(self.graph.role(router), Role::CoreRouter);
+        self.graph.set_role(router, Role::EdgeRouter);
+        self.core_routers.retain(|&n| n != router);
+        self.edge_routers.push(router);
+    }
+}
+
+/// A structural inconsistency found by [`Topology::validate_wiring`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WiringDefect {
+    /// An access point with no edge-router neighbour (an AP relay's
+    /// upstream lookup would fail on it).
+    UnwiredAp(NodeId),
+    /// A user node not attached to any access point.
+    DetachedUser(NodeId),
+    /// A provider with no attachment at all.
+    DetachedProvider(NodeId),
 }
 
 /// Builds a complete topology from a spec:
@@ -280,6 +398,60 @@ mod tests {
         assert_eq!(a.graph.link_count(), b.graph.link_count());
         assert_eq!(a.edge_routers, b.edge_routers);
         assert_eq!(a.clients, b.clients);
+    }
+
+    #[test]
+    fn generated_topologies_validate_clean() {
+        let t = build_topology(&spec(), &mut Rng::seed_from_u64(11));
+        assert_eq!(t.validate_wiring(), Ok(()));
+    }
+
+    #[test]
+    fn unwired_ap_is_detected_and_repaired() {
+        let mut t = build_topology(&spec(), &mut Rng::seed_from_u64(12));
+        // Sever an AP from the edge tier by demoting its edge router: the
+        // AP now only touches a core router, exactly the defect a
+        // scale-free generator can produce.
+        let ap = t.access_points[0];
+        let er = t
+            .graph
+            .neighbors(ap)
+            .find(|&n| t.graph.role(n) == Role::EdgeRouter)
+            .unwrap();
+        t.graph.set_role(er, Role::CoreRouter);
+        t.edge_routers.retain(|&n| n != er);
+        t.core_routers.push(er);
+
+        let defects = t.validate_wiring().unwrap_err();
+        assert!(defects.contains(&super::WiringDefect::UnwiredAp(ap)));
+
+        let repaired = t.repair_wiring();
+        assert_eq!(repaired, defects);
+        assert_eq!(t.validate_wiring(), Ok(()));
+        // The repair promoted the AP's router neighbour back to edge.
+        assert!(t
+            .graph
+            .neighbors(ap)
+            .any(|n| t.graph.role(n) == Role::EdgeRouter));
+    }
+
+    #[test]
+    fn detached_provider_is_reattached_to_core() {
+        let mut t = build_topology(&spec(), &mut Rng::seed_from_u64(13));
+        let p = t.graph.add_node(Role::Provider);
+        t.providers.push(p);
+        let defects = t.validate_wiring().unwrap_err();
+        assert_eq!(defects, vec![super::WiringDefect::DetachedProvider(p)]);
+        t.repair_wiring();
+        assert_eq!(t.graph.role(t.gateway_of(p)), Role::CoreRouter);
+    }
+
+    #[test]
+    fn repair_on_clean_topology_is_a_noop() {
+        let mut t = build_topology(&spec(), &mut Rng::seed_from_u64(14));
+        let before = t.graph.link_count();
+        assert!(t.repair_wiring().is_empty());
+        assert_eq!(t.graph.link_count(), before);
     }
 
     #[test]

@@ -49,10 +49,10 @@ where
     // Dijkstra from the target; `next[v]` is v's neighbour on the shortest
     // path toward the target (the node we relaxed v from).
     let mut heap = std::collections::BinaryHeap::new();
-    dist[target.0] = Some(SimDuration::ZERO);
+    dist[target.index()] = Some(SimDuration::ZERO);
     heap.push(std::cmp::Reverse((SimDuration::ZERO, target)));
     while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-        if dist[u.0] != Some(d) {
+        if dist[u.index()] != Some(d) {
             continue; // Stale entry.
         }
         for (v, link_id) in graph.incident(u) {
@@ -61,20 +61,20 @@ where
             }
             let w = graph.link(link_id).spec.latency;
             let cand = d + w;
-            let better = match dist[v.0] {
+            let better = match dist[v.index()] {
                 None => true,
-                Some(cur) => cand < cur || (cand == cur && Some(u) < next[v.0]),
+                Some(cur) => cand < cur || (cand == cur && Some(u) < next[v.index()]),
             };
             if better {
-                dist[v.0] = Some(cand);
-                next[v.0] = Some(u);
+                dist[v.index()] = Some(cand);
+                next[v.index()] = Some(u);
                 heap.push(std::cmp::Reverse((cand, v)));
             }
         }
     }
     (0..n)
         .map(|i| {
-            if i == target.0 {
+            if i == target.index() {
                 None
             } else {
                 match (next[i], dist[i]) {
@@ -110,10 +110,10 @@ mod tests {
     fn line_routes() {
         let (g, [a, b, c]) = line_graph();
         let routes = routes_toward(&g, c);
-        assert_eq!(routes[a.0].unwrap().next_hop, b);
-        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
-        assert_eq!(routes[b.0].unwrap().next_hop, c);
-        assert!(routes[c.0].is_none(), "target has no route to itself");
+        assert_eq!(routes[a.index()].unwrap().next_hop, b);
+        assert_eq!(routes[a.index()].unwrap().cost, SimDuration::from_millis(2));
+        assert_eq!(routes[b.index()].unwrap().next_hop, c);
+        assert!(routes[c.index()].is_none(), "target has no route to itself");
     }
 
     #[test]
@@ -134,8 +134,12 @@ mod tests {
         g.add_link(a, b, LinkSpec::core());
         g.add_link(b, c, LinkSpec::core());
         let routes = routes_toward(&g, c);
-        assert_eq!(routes[a.0].unwrap().next_hop, b, "must avoid the 5 ms link");
-        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
+        assert_eq!(
+            routes[a.index()].unwrap().next_hop,
+            b,
+            "must avoid the 5 ms link"
+        );
+        assert_eq!(routes[a.index()].unwrap().cost, SimDuration::from_millis(2));
     }
 
     #[test]
@@ -146,8 +150,8 @@ mod tests {
         let island = g.add_node(Role::CoreRouter);
         g.add_link(a, b, LinkSpec::core());
         let routes = routes_toward(&g, a);
-        assert!(routes[b.0].is_some());
-        assert!(routes[island.0].is_none());
+        assert!(routes[b.index()].is_some());
+        assert!(routes[island.index()].is_none());
     }
 
     #[test]
@@ -166,7 +170,7 @@ mod tests {
         for _ in 0..5 {
             let routes = routes_toward(&g, d);
             assert_eq!(
-                routes[a.0].unwrap().next_hop,
+                routes[a.index()].unwrap().next_hop,
                 b,
                 "lowest-id branch wins ties"
             );
@@ -178,8 +182,8 @@ mod tests {
         let (g, [a, b, c]) = line_graph();
         // Cutting b-c severs the only path: everything loses its route.
         let cut_bc = routes_toward_filtered(&g, c, |x, y| !(x == b && y == c || x == c && y == b));
-        assert!(cut_bc[a.0].is_none());
-        assert!(cut_bc[b.0].is_none());
+        assert!(cut_bc[a.index()].is_none());
+        assert!(cut_bc[b.index()].is_none());
 
         // A diamond detours instead: cut a-b and a routes via c.
         let mut g = Graph::new();
@@ -192,8 +196,12 @@ mod tests {
         g.add_link(b, d, LinkSpec::core());
         g.add_link(c, d, LinkSpec::core());
         let routes = routes_toward_filtered(&g, d, |x, y| !(x == a && y == b || x == b && y == a));
-        assert_eq!(routes[a.0].unwrap().next_hop, c, "detours around the cut");
-        assert_eq!(routes[a.0].unwrap().cost, SimDuration::from_millis(2));
+        assert_eq!(
+            routes[a.index()].unwrap().next_hop,
+            c,
+            "detours around the cut"
+        );
+        assert_eq!(routes[a.index()].unwrap().cost, SimDuration::from_millis(2));
     }
 
     #[test]
@@ -203,7 +211,7 @@ mod tests {
         // Following next hops from any node must terminate at the target.
         let mut cur = a;
         let mut hops = 0;
-        while let Some(entry) = routes[cur.0] {
+        while let Some(entry) = routes[cur.index()] {
             cur = entry.next_hop;
             hops += 1;
             assert!(hops < 10, "routing loop");
