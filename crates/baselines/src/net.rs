@@ -16,8 +16,9 @@ use tactic_ndn::forwarder::{process_data, process_interest, InterestAction, Tabl
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::{Interest, Packet};
 use tactic_net::{
-    populate_fib, provider_prefix, ApRelay, Catalog, Emit, Links, Net, NetConfig, NetObserver,
-    NodePlane, NoopObserver, PlaneCtx, RequesterConfig, TransportReport, ZipfRequester,
+    populate_fib, provider_prefix, run_sharded, ApRelay, Catalog, Emit, Links, Net, NetConfig,
+    NetObserver, NodePlane, NoopObserver, PlaneCtx, RequesterConfig, ShardSpec, ShardedStats,
+    TransportReport, ZipfRequester,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::stats::{ratio, TimeSeries};
@@ -25,12 +26,13 @@ use tactic_sim::time::{SimDuration, SimTime};
 use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
+use tactic_topology::shard::{ShardError, ShardMap};
 
 use crate::mechanism::Mechanism;
 use crate::provider::BaselineProvider;
 
 /// What one baseline run measured.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct BaselineReport {
     /// The mechanism simulated.
     pub mechanism_name: String,
@@ -75,6 +77,34 @@ pub struct BaselineReport {
     pub client_timeouts: u64,
 }
 
+/// Manual `Debug`: every field except `peak_queue_depth`, which is a
+/// per-engine quantity that depends on the shard partition — excluding
+/// it keeps formatted reports (golden snapshots, equivalence diffs)
+/// byte-identical across shard counts.
+impl std::fmt::Debug for BaselineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineReport")
+            .field("mechanism_name", &self.mechanism_name)
+            .field("client_requested", &self.client_requested)
+            .field("client_received", &self.client_received)
+            .field("attacker_requested", &self.attacker_requested)
+            .field("attacker_received", &self.attacker_received)
+            .field("attacker_bytes", &self.attacker_bytes)
+            .field("provider_handled", &self.provider_handled)
+            .field("provider_auth_ops", &self.provider_auth_ops)
+            .field("latency", &self.latency)
+            .field("cache_hits", &self.cache_hits)
+            .field("cache_misses", &self.cache_misses)
+            .field("events", &self.events)
+            .field("drops", &self.drops)
+            .field("peak_pit_records", &self.peak_pit_records)
+            .field("client_retransmitted", &self.client_retransmitted)
+            .field("client_gave_up", &self.client_gave_up)
+            .field("client_timeouts", &self.client_timeouts)
+            .finish()
+    }
+}
+
 impl BaselineReport {
     /// Clients' delivery ratio.
     pub fn client_ratio(&self) -> f64 {
@@ -113,7 +143,9 @@ enum Node {
 pub struct BaselinePlane<PO: ProtocolObserver = NoopProtocolObserver> {
     mechanism: Mechanism,
     nodes: Vec<Node>,
-    peak_pit_records: u64,
+    /// PIT records summed over this instance's live routers, one entry
+    /// per purge sweep (see `TacticPlane` for the shard-merge rationale).
+    pit_sweep_sums: Vec<u64>,
     proto: PO,
 }
 
@@ -145,7 +177,7 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
             events: transport.events,
             peak_queue_depth: transport.peak_queue_depth,
             drops: transport.drops,
-            peak_pit_records: self.peak_pit_records,
+            peak_pit_records: self.pit_sweep_sums.iter().copied().max().unwrap_or(0),
             ..Default::default()
         };
         for node in self.nodes {
@@ -344,7 +376,7 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                 _ => {}
             }
         }
-        self.peak_pit_records = self.peak_pit_records.max(pit_records);
+        self.pit_sweep_sums.push(pit_records);
     }
 
     fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
@@ -419,6 +451,20 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
         seed: u64,
         observer: O,
         proto: PO,
+    ) -> Self {
+        Self::build_inner(scenario, mechanism, seed, observer, proto, None)
+    }
+
+    /// Shared construction path: a sequential run (`shard == None`) or
+    /// one replica of a sharded run (see `tactic::net` for the
+    /// replicated-state protocol).
+    fn build_inner(
+        scenario: &Scenario,
+        mechanism: Mechanism,
+        seed: u64,
+        observer: O,
+        proto: PO,
+        shard: Option<ShardSpec>,
     ) -> Self {
         let rng = Rng::seed_from_u64(seed ^ 0xBA5E_11E5);
         let topo: Topology = match scenario.topology {
@@ -503,7 +549,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
         let plane = BaselinePlane {
             mechanism,
             nodes,
-            peak_pit_records: 0,
+            pit_sweep_sums: Vec::new(),
             proto,
         };
         let config = NetConfig {
@@ -513,7 +559,10 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             faults: scenario.faults.clone(),
         };
         BaselineNetwork {
-            net: Net::assemble_observed(&topo, links, plane, rng, config, observer),
+            net: match shard {
+                None => Net::assemble_observed(&topo, links, plane, rng, config, observer),
+                Some(s) => Net::assemble_sharded(&topo, links, plane, rng, config, observer, s),
+            },
         }
     }
 
@@ -529,4 +578,119 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
 /// Builds and runs one baseline.
 pub fn run_baseline(scenario: &Scenario, mechanism: Mechanism, seed: u64) -> BaselineReport {
     BaselineNetwork::build(scenario, mechanism, seed).run()
+}
+
+/// Runs one baseline space-partitioned across `shards` worker threads,
+/// with per-shard transport and protocol observers. The merged
+/// [`BaselineReport`] is byte-identical to [`run_baseline`]'s for every
+/// shard count (see `tactic::net::run_traced_sharded` for the
+/// protocol; this is the same machinery on the baseline plane).
+pub fn run_baseline_traced_sharded<O, PO, MO, MP>(
+    scenario: &Scenario,
+    mechanism: Mechanism,
+    seed: u64,
+    shards: usize,
+    make_observer: MO,
+    make_proto: MP,
+) -> Result<(BaselineReport, Vec<O>, Vec<PO>, ShardedStats), ShardError>
+where
+    O: NetObserver + Send,
+    PO: ProtocolObserver + Send,
+    MO: Fn(u32) -> O + Sync,
+    MP: Fn(u32) -> PO + Sync,
+{
+    let rng = Rng::seed_from_u64(seed ^ 0xBA5E_11E5);
+    let topo: Topology = match scenario.topology {
+        TopologyChoice::Paper(p) => p.build(seed),
+        TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
+    };
+    let shard_map = ShardMap::partition(&topo, shards)?;
+    let lookahead = shard_map.lookahead(scenario.mobility.is_some());
+    let horizon = SimTime::ZERO + scenario.duration;
+    let shard_of = shard_map.shard_of.clone();
+    drop(topo);
+
+    let (results, mut stats) = run_sharded(shards, lookahead, horizon, |s| {
+        BaselineNetwork::build_inner(
+            scenario,
+            mechanism,
+            seed,
+            make_observer(s),
+            make_proto(s),
+            Some(ShardSpec {
+                k: shards,
+                my_shard: s,
+                shard_of: shard_map.shard_of.clone(),
+            }),
+        )
+        .net
+    });
+    stats.edge_cut = shard_map.edge_cut;
+
+    let mut planes = Vec::with_capacity(shards);
+    let mut observers = Vec::with_capacity(shards);
+    let mut transports = Vec::with_capacity(shards);
+    for (plane, obs, transport) in results {
+        planes.push(plane);
+        observers.push(obs);
+        transports.push(transport);
+    }
+    let merged = TransportReport::merge_shards(&transports);
+
+    // Stitch the owned node states back into one plane, in node-id
+    // order, folding the mirrored per-sweep PIT sums element-wise.
+    let mut protos = Vec::with_capacity(shards);
+    let mut pit_sweep_sums: Vec<u64> = Vec::new();
+    let mut per_shard_nodes: Vec<Vec<Option<Node>>> = Vec::with_capacity(shards);
+    for plane in planes {
+        let BaselinePlane {
+            mechanism: _,
+            nodes,
+            pit_sweep_sums: sums,
+            proto,
+        } = plane;
+        if pit_sweep_sums.len() < sums.len() {
+            pit_sweep_sums.resize(sums.len(), 0);
+        }
+        for (i, v) in sums.iter().enumerate() {
+            pit_sweep_sums[i] += v;
+        }
+        protos.push(proto);
+        per_shard_nodes.push(nodes.into_iter().map(Some).collect());
+    }
+    let nodes: Vec<Node> = shard_of
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            per_shard_nodes[s as usize][i]
+                .take()
+                .expect("every node owned by exactly one shard")
+        })
+        .collect();
+    let stitched = BaselinePlane {
+        mechanism,
+        nodes,
+        pit_sweep_sums,
+        proto: NoopProtocolObserver,
+    };
+    let (report, _) = stitched.into_report(merged);
+    Ok((report, observers, protos, stats))
+}
+
+/// Convenience: [`run_baseline_traced_sharded`] with no observers.
+pub fn run_baseline_sharded(
+    scenario: &Scenario,
+    mechanism: Mechanism,
+    seed: u64,
+    shards: usize,
+) -> Result<(BaselineReport, ShardedStats), ShardError> {
+    let (report, _, _, stats) = run_baseline_traced_sharded(
+        scenario,
+        mechanism,
+        seed,
+        shards,
+        |_| NoopObserver,
+        |_| NoopProtocolObserver,
+    )?;
+    Ok((report, stats))
 }

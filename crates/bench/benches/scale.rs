@@ -29,11 +29,13 @@
 use std::process::Command;
 use std::time::Instant;
 
-use tactic::net::Network;
+use tactic::net::{run_scenario_sharded, Network};
 use tactic::scenario::{Scenario, TopologyChoice};
 use tactic_bench::bench_scenario;
 use tactic_sim::time::SimDuration;
 use tactic_topology::fleet::FleetSpec;
+
+const DEFAULT_SHARD_COUNTS: &str = "1,2,4,8";
 
 /// Post-refactor paper-preset throughput recorded in `BENCH_datapath.json`
 /// (`tactic.after.events_per_sec`); the scale engine must stay at or above
@@ -178,6 +180,64 @@ fn parse_point(line: &str) -> Point {
     }
 }
 
+/// One events/s-vs-K measurement of the sharded conservative PDES.
+struct ShardPoint {
+    nodes: usize,
+    k: usize,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_x: f64,
+    epochs: u64,
+    edge_cut: u64,
+}
+
+impl ShardPoint {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"nodes\": {}, \"shards\": {}, \"wall_secs\": {:.2}, ",
+                "\"sim_events\": {}, \"events_per_sec\": {:.0}, ",
+                "\"speedup_x\": {:.2}, \"epochs\": {}, \"edge_cut\": {}}}"
+            ),
+            self.nodes,
+            self.k,
+            self.wall_secs,
+            self.events,
+            self.events_per_sec,
+            self.speedup_x,
+            self.epochs,
+            self.edge_cut,
+        )
+    }
+}
+
+/// Runs the fleet scenario space-partitioned across `k` shards and
+/// measures end-to-end wall time (the K replicated builds run in
+/// parallel inside, so build cost weighs on every K equally). `K = 1`
+/// anchors `speedup_x` for its node count.
+fn measure_shard_point(nodes: usize, sim_ms: u64, k: usize, base_eps: f64) -> ShardPoint {
+    let s = fleet_scenario(nodes, sim_ms);
+    let t = Instant::now();
+    let (report, stats) = run_scenario_sharded(&s, 1, k).expect("fleet outnumbers shards");
+    let wall_secs = t.elapsed().as_secs_f64();
+    let events_per_sec = report.events as f64 / wall_secs.max(1e-9);
+    ShardPoint {
+        nodes,
+        k,
+        wall_secs,
+        events: report.events,
+        events_per_sec,
+        speedup_x: if base_eps > 0.0 {
+            events_per_sec / base_eps
+        } else {
+            1.0
+        },
+        epochs: stats.epochs,
+        edge_cut: stats.edge_cut,
+    }
+}
+
 /// Paper-preset throughput probe: the same small scenario the datapath
 /// bench measures, so the number is directly comparable to the
 /// `BENCH_datapath.json` baseline.
@@ -220,6 +280,32 @@ fn main() {
         points.push(p);
     }
 
+    // Events/s vs shard count on the 10⁴-and-up fleets: the intra-run
+    // parallelism story, anchored to K = 1 of the same node count.
+    let shard_env =
+        std::env::var("BENCH_SCALE_SHARDS").unwrap_or_else(|_| DEFAULT_SHARD_COUNTS.to_string());
+    let shard_counts: Vec<usize> = shard_env
+        .split(',')
+        .map(|p| p.trim().parse().expect("BENCH_SCALE_SHARDS: bad count"))
+        .collect();
+    let mut shard_points = Vec::new();
+    for &nodes in sizes.iter().filter(|&&n| n >= 10_000) {
+        let sim_ms = sim_ms_for(nodes);
+        let mut base_eps = 0.0;
+        for &k in &shard_counts {
+            eprintln!("scale: {nodes} nodes, K={k} shards...");
+            let p = measure_shard_point(nodes, sim_ms, k, base_eps);
+            if k == 1 {
+                base_eps = p.events_per_sec;
+            }
+            eprintln!(
+                "scale: {} nodes K={} -> {:.0} events/s (x{:.2} vs K=1, {} epochs, edge cut {})",
+                p.nodes, p.k, p.events_per_sec, p.speedup_x, p.epochs, p.edge_cut
+            );
+            shard_points.push(p);
+        }
+    }
+
     let preset_eps = measure_paper_preset();
     let throughput_x = preset_eps / DATAPATH_TACTIC_EVENTS_PER_SEC;
     eprintln!(
@@ -228,16 +314,20 @@ fn main() {
 
     if let Ok(path) = std::env::var("BENCH_SCALE_JSON") {
         let body: Vec<String> = points.iter().map(Point::json).collect();
+        let shard_body: Vec<String> = shard_points.iter().map(ShardPoint::json).collect();
         let json = format!(
             concat!(
                 "{{\n  \"bench\": \"scale\",\n",
                 "  \"engine\": \"calendar_queue\",\n",
                 "  \"storage\": \"flat_vec\",\n",
+                "  \"sync\": \"conservative_epochs\",\n",
                 "  \"points\": [\n{}\n  ],\n",
+                "  \"shards\": [\n{}\n  ],\n",
                 "  \"paper_preset\": {{\"baseline_events_per_sec\": {:.0}, ",
                 "\"events_per_sec\": {:.0}, \"throughput_x\": {:.3}}}\n}}\n"
             ),
             body.join(",\n"),
+            shard_body.join(",\n"),
             DATAPATH_TACTIC_EVENTS_PER_SEC,
             preset_eps,
             throughput_x,

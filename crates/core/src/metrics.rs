@@ -34,7 +34,7 @@ impl DeliveryStats {
 }
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RunReport {
     /// Simulated duration.
     pub duration: SimDuration,
@@ -82,6 +82,38 @@ pub struct RunReport {
     pub client_gave_up: u64,
     /// Client request expiries (stale-timeout-filtered).
     pub client_timeouts: u64,
+}
+
+/// Manual `Debug`: every field except `peak_queue_depth`, which is a
+/// per-engine quantity — a K-sharded run has K queues whose individual
+/// high-water marks depend on the partition, and the formatted report
+/// (golden snapshots, equivalence diffs) must stay byte-identical
+/// across shard counts. The field itself remains readable for
+/// manifests.
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("duration", &self.duration)
+            .field("events", &self.events)
+            .field("delivery", &self.delivery)
+            .field("latency", &self.latency)
+            .field("tag_requests", &self.tag_requests)
+            .field("tags_received", &self.tags_received)
+            .field("edge_ops", &self.edge_ops)
+            .field("core_ops", &self.core_ops)
+            .field("edge_reset_requests", &self.edge_reset_requests)
+            .field("core_reset_requests", &self.core_reset_requests)
+            .field("providers", &self.providers)
+            .field("consumers", &self.consumers)
+            .field("sightings", &self.sightings)
+            .field("moves", &self.moves)
+            .field("drops", &self.drops)
+            .field("peak_pit_records", &self.peak_pit_records)
+            .field("client_retransmissions", &self.client_retransmissions)
+            .field("client_gave_up", &self.client_gave_up)
+            .field("client_timeouts", &self.client_timeouts)
+            .finish()
+    }
 }
 
 impl RunReport {

@@ -16,14 +16,15 @@ use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::Packet;
 use tactic_net::{
-    populate_fib, provider_prefix, ApRelay, Emit, Links, Net, NetConfig, NetObserver, NodePlane,
-    NoopObserver, PlaneCtx, TransportReport,
+    populate_fib, provider_prefix, run_sharded, ApRelay, Emit, Links, Net, NetConfig, NetObserver,
+    NodePlane, NoopObserver, PlaneCtx, ShardSpec, ShardedStats, TransportReport,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
 use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
+use tactic_topology::shard::{ShardError, ShardMap};
 
 use crate::access::AccessLevel;
 use crate::access_path::AccessPath;
@@ -53,7 +54,11 @@ enum NodeState {
 pub struct TacticPlane<PO: ProtocolObserver = NoopProtocolObserver> {
     nodes: Vec<NodeState>,
     edge_router_set: Vec<bool>,
-    peak_pit_records: u64,
+    /// PIT records summed over this instance's live routers, one entry
+    /// per purge sweep. Purge sweeps are mirrored in every shard at the
+    /// same instants, so per-shard vectors add element-wise and the
+    /// final max equals the sequential high-water mark.
+    pit_sweep_sums: Vec<u64>,
     proto: PO,
 }
 
@@ -93,7 +98,7 @@ impl<PO: ProtocolObserver> TacticPlane<PO> {
             moves: transport.moves,
             peak_queue_depth: transport.peak_queue_depth,
             drops: transport.drops,
-            peak_pit_records: self.peak_pit_records,
+            peak_pit_records: self.pit_sweep_sums.iter().copied().max().unwrap_or(0),
             ..Default::default()
         };
         for (idx, state) in self.nodes.into_iter().enumerate() {
@@ -303,7 +308,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                 _ => {}
             }
         }
-        self.peak_pit_records = self.peak_pit_records.max(pit_records);
+        self.pit_sweep_sums.push(pit_records);
     }
 
     fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
@@ -385,6 +390,20 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
     /// a [`NoopProtocolObserver`] run is byte-identical to an
     /// unobserved one.
     pub fn build_traced(scenario: &Scenario, seed: u64, observer: O, proto: PO) -> Network<O, PO> {
+        Self::build_inner(scenario, seed, observer, proto, None)
+    }
+
+    /// Shared construction path: a sequential run (`shard == None`) or
+    /// one replica of a sharded run. Every shard builds the identical
+    /// network from the identical seed; the [`ShardSpec`] only filters
+    /// which bootstrap events enter this instance's calendar.
+    fn build_inner(
+        scenario: &Scenario,
+        seed: u64,
+        observer: O,
+        proto: PO,
+        shard: Option<ShardSpec>,
+    ) -> Network<O, PO> {
         let rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
         let topo: Topology = match scenario.topology {
             TopologyChoice::Paper(p) => p.build(seed),
@@ -581,7 +600,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
         let plane = TacticPlane {
             nodes,
             edge_router_set,
-            peak_pit_records: 0,
+            pit_sweep_sums: Vec::new(),
             proto,
         };
         let config = NetConfig {
@@ -591,7 +610,10 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             faults: scenario.faults.clone(),
         };
         Network {
-            net: Net::assemble_observed(&topo, links, plane, rng, config, observer),
+            net: match shard {
+                None => Net::assemble_observed(&topo, links, plane, rng, config, observer),
+                Some(s) => Net::assemble_sharded(&topo, links, plane, rng, config, observer, s),
+            },
             duration: scenario.duration,
         }
     }
@@ -609,4 +631,131 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
 /// Convenience: build and run a scenario with one seed.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> RunReport {
     Network::build(scenario, seed).run()
+}
+
+/// Runs `scenario` space-partitioned across `shards` worker threads,
+/// with per-shard transport and protocol observers.
+///
+/// Each worker builds the full replicated network from `(scenario,
+/// seed)` and processes only events homed at its owned nodes; the
+/// conservative epoch coordinator (see [`tactic_net::sharded`])
+/// exchanges cross-shard packets at lookahead barriers. The merged
+/// [`RunReport`] is byte-identical to [`run_scenario`]'s for every
+/// shard count (the engine-queue high-water mark, which is
+/// partition-dependent, is excluded from the report's `Debug` output).
+///
+/// Per-shard observers are returned unmerged, in shard order — fold
+/// them with their own merge operations
+/// ([`NetCounters::merge`](tactic_net::NetCounters::merge),
+/// `ProtocolRecorder::merge`) as needed.
+pub fn run_traced_sharded<O, PO, MO, MP>(
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+    make_observer: MO,
+    make_proto: MP,
+) -> Result<(RunReport, Vec<O>, Vec<PO>, ShardedStats), ShardError>
+where
+    O: NetObserver + Send,
+    PO: ProtocolObserver + Send,
+    MO: Fn(u32) -> O + Sync,
+    MP: Fn(u32) -> PO + Sync,
+{
+    // Partition on the caller's thread; workers rebuild the identical
+    // topology from the identical seed, so the map transfers.
+    let rng = Rng::seed_from_u64(seed ^ 0x7AC7_1C00);
+    let topo: Topology = match scenario.topology {
+        TopologyChoice::Paper(p) => p.build(seed),
+        TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
+    };
+    let shard_map = ShardMap::partition(&topo, shards)?;
+    let lookahead = shard_map.lookahead(scenario.mobility.is_some());
+    let horizon = SimTime::ZERO + scenario.duration;
+    let shard_of = shard_map.shard_of.clone();
+    drop(topo);
+
+    let (results, mut stats) = run_sharded(shards, lookahead, horizon, |s| {
+        Network::build_inner(
+            scenario,
+            seed,
+            make_observer(s),
+            make_proto(s),
+            Some(ShardSpec {
+                k: shards,
+                my_shard: s,
+                shard_of: shard_map.shard_of.clone(),
+            }),
+        )
+        .net
+    });
+    stats.edge_cut = shard_map.edge_cut;
+
+    let mut planes = Vec::with_capacity(shards);
+    let mut observers = Vec::with_capacity(shards);
+    let mut transports = Vec::with_capacity(shards);
+    for (plane, obs, transport) in results {
+        planes.push(plane);
+        observers.push(obs);
+        transports.push(transport);
+    }
+    let merged = TransportReport::merge_shards(&transports);
+
+    // Stitch the owned node states back into one plane, in node-id
+    // order, and fold the mirrored per-sweep PIT sums element-wise.
+    let mut protos = Vec::with_capacity(shards);
+    let mut edge_router_set: Vec<bool> = Vec::new();
+    let mut pit_sweep_sums: Vec<u64> = Vec::new();
+    let mut per_shard_nodes: Vec<Vec<Option<NodeState>>> = Vec::with_capacity(shards);
+    for plane in planes {
+        let TacticPlane {
+            nodes,
+            edge_router_set: ers,
+            pit_sweep_sums: sums,
+            proto,
+        } = plane;
+        if edge_router_set.is_empty() {
+            edge_router_set = ers;
+        }
+        if pit_sweep_sums.len() < sums.len() {
+            pit_sweep_sums.resize(sums.len(), 0);
+        }
+        for (i, v) in sums.iter().enumerate() {
+            pit_sweep_sums[i] += v;
+        }
+        protos.push(proto);
+        per_shard_nodes.push(nodes.into_iter().map(Some).collect());
+    }
+    let nodes: Vec<NodeState> = shard_of
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            per_shard_nodes[s as usize][i]
+                .take()
+                .expect("every node owned by exactly one shard")
+        })
+        .collect();
+    let stitched = TacticPlane {
+        nodes,
+        edge_router_set,
+        pit_sweep_sums,
+        proto: NoopProtocolObserver,
+    };
+    let (report, _) = stitched.into_report(scenario.duration, merged);
+    Ok((report, observers, protos, stats))
+}
+
+/// Convenience: [`run_traced_sharded`] with no observers.
+pub fn run_scenario_sharded(
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+) -> Result<(RunReport, ShardedStats), ShardError> {
+    let (report, _, _, stats) = run_traced_sharded(
+        scenario,
+        seed,
+        shards,
+        |_| NoopObserver,
+        |_| NoopProtocolObserver,
+    )?;
+    Ok((report, stats))
 }

@@ -1,0 +1,62 @@
+//! Sharded-determinism smoke: run each selected topology's paper preset
+//! sequentially and at every `--shards` count, and byte-diff the
+//! reports. Exits nonzero on any divergence or shard-partition error —
+//! the CI gate for the conservative-PDES equivalence guarantee.
+
+use tactic::net::{run_scenario, run_scenario_sharded};
+use tactic_experiments::runner::shaped_scenario;
+use tactic_experiments::RunOpts;
+
+fn main() {
+    let opts = match RunOpts::from_env() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("shard_smoke: {msg}");
+            std::process::exit(if msg.starts_with("usage") { 0 } else { 2 });
+        }
+    };
+    let mut failed = false;
+    for &topo in &opts.topologies {
+        let scenario = shaped_scenario(topo, &opts, 30);
+        let seed = 42; // fixed seed: this is a determinism check, not a sweep
+        let sequential = format!("{:#?}", run_scenario(&scenario, seed));
+        println!(
+            "{topo:?}: sequential report rendered ({} bytes)",
+            sequential.len()
+        );
+        for &k in &opts.shards {
+            if k <= 1 {
+                continue;
+            }
+            match run_scenario_sharded(&scenario, seed, k) {
+                Ok((report, stats)) => {
+                    let dump = format!("{report:#?}");
+                    if dump == sequential {
+                        println!(
+                            "{topo:?}: K={k} byte-identical \
+                             ({} epochs, edge cut {}, {} cross-shard events)",
+                            stats.epochs, stats.edge_cut, stats.cross_events
+                        );
+                    } else {
+                        failed = true;
+                        eprintln!("{topo:?}: K={k} report DIVERGED from sequential");
+                        for (a, b) in sequential.lines().zip(dump.lines()) {
+                            if a != b {
+                                eprintln!("  sequential: {a}");
+                                eprintln!("  sharded   : {b}");
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    eprintln!("{topo:?}: K={k}: {e}");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

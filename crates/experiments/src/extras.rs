@@ -56,6 +56,7 @@ pub fn ablations(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            &opts.shards,
             opts.verbosity,
         );
         let n = reports.len() as u64;
@@ -215,6 +216,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-extras"),
             threads: Some(2),
+            shards: vec![1],
             verbosity: crate::opts::Verbosity::Quiet,
         };
         let r = ablations(&opts).unwrap();

@@ -38,6 +38,7 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                &opts.shards,
                 opts.verbosity,
             );
             let series: Vec<Vec<(u64, f64)>> = reports
@@ -135,6 +136,7 @@ pub fn fig5(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            &opts.shards,
             opts.verbosity,
         );
         let n = reports.len() as u64;
@@ -170,6 +172,7 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            &opts.shards,
             opts.verbosity,
         );
         let q = mean_of(&reports, |r| r.tag_request_rate());
@@ -193,6 +196,7 @@ pub fn fig6(opts: &RunOpts) -> std::io::Result<String> {
         &scenario,
         seeds,
         opts.thread_count(),
+        &opts.shards,
         opts.verbosity,
     );
     let q = mean_of(&reports, |r| r.tag_request_rate());
@@ -257,6 +261,7 @@ pub fn fig7(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            &opts.shards,
             opts.verbosity,
         );
         manifests.extend(runs);
@@ -344,6 +349,7 @@ pub fn fig8(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                &opts.shards,
                 opts.verbosity,
             );
             let edge_rpr = mean_of(&reports, |r| r.edge_requests_per_reset());
@@ -388,6 +394,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test"),
             threads: Some(2),
+            shards: vec![1],
             verbosity: crate::opts::Verbosity::Quiet,
         }
     }

@@ -9,6 +9,11 @@
 //! * `--out <dir>` — output directory for CSV files (default `results/`);
 //! * `--threads <n>` — worker threads for the run grid (default: all
 //!   available cores). Results are byte-identical for any value;
+//! * `--shards <list>` — intra-run shard counts (default `1`). Each run
+//!   is space-partitioned across that many conservatively-synchronized
+//!   engine threads; results are byte-identical for any count, so a
+//!   multi-entry list (`--shards 1,4`) is a live determinism check
+//!   whose last entry's provenance lands in the manifests;
 //! * `--quiet` / `--verbose` — silence the per-run stderr progress lines,
 //!   or add per-run detail to them. Stdout and files are unaffected.
 
@@ -56,6 +61,11 @@ pub struct RunOpts {
     pub out_dir: PathBuf,
     /// Worker threads for the run grid (None = all available cores).
     pub threads: Option<usize>,
+    /// Shard (intra-run worker) counts to run, in order. Each run is
+    /// space-partitioned across this many threads; results are
+    /// byte-identical for every entry, so a multi-entry list is a
+    /// determinism check, not a sweep.
+    pub shards: Vec<usize>,
     /// stderr progress verbosity.
     pub verbosity: Verbosity,
 }
@@ -69,6 +79,7 @@ impl Default for RunOpts {
             topologies: PaperTopology::ALL.to_vec(),
             out_dir: PathBuf::from("results"),
             threads: None,
+            shards: vec![1],
             verbosity: Verbosity::Normal,
         }
     }
@@ -122,11 +133,29 @@ impl RunOpts {
                     }
                     opts.threads = Some(n);
                 }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a value")?;
+                    let mut shards = Vec::new();
+                    for part in v.split(',') {
+                        let k: usize = part
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad shard count `{part}`"))?;
+                        if k == 0 {
+                            return Err("--shards entries must be at least 1".into());
+                        }
+                        shards.push(k);
+                    }
+                    if shards.is_empty() {
+                        return Err("--shards needs at least one count".into());
+                    }
+                    opts.shards = shards;
+                }
                 "--quiet" | "-q" => opts.verbosity = Verbosity::Quiet,
                 "--verbose" | "-v" => opts.verbosity = Verbosity::Verbose,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N] [--quiet|--verbose]"
+                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N] [--shards K1,K2] [--quiet|--verbose]"
                             .into(),
                     )
                 }
@@ -159,6 +188,15 @@ impl RunOpts {
     pub fn thread_count(&self) -> usize {
         self.threads
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The effective per-run shard count for binaries that execute each
+    /// run once: the **last** `--shards` entry, so `--shards 1,4` ends
+    /// up recording the sharded execution. Grid binaries additionally
+    /// run every listed count and assert byte-identity (see
+    /// [`run_grid_cli`](crate::runner::run_grid_cli)).
+    pub fn shard_count(&self) -> usize {
+        *self.shards.last().expect("--shards has at least one entry")
     }
 }
 
@@ -228,6 +266,18 @@ mod tests {
         assert!(Verbosity::Normal.progress());
         assert!(!Verbosity::Normal.detailed());
         assert!(Verbosity::Verbose.detailed());
+    }
+
+    #[test]
+    fn shards_flag() {
+        assert_eq!(parse(&[]).unwrap().shards, vec![1]);
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, vec![4]);
+        assert_eq!(parse(&["--shards", "1,4"]).unwrap().shards, vec![1, 4]);
+        assert_eq!(parse(&[]).unwrap().shard_count(), 1);
+        assert_eq!(parse(&["--shards", "1,4"]).unwrap().shard_count(), 4);
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "x"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
     }
 
     #[test]

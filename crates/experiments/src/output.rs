@@ -207,6 +207,11 @@ mod tests {
             drops_lossy: 0,
             drops_link_down: 0,
             drops_node_down: 0,
+            shards: 1,
+            edge_cut: 0,
+            epochs: 0,
+            per_shard_events: vec![4],
+            per_shard_peak_queue: vec![5],
         };
         write_manifests(&dir, "exp.csv", &[m.clone(), m]).unwrap();
         let body = std::fs::read_to_string(dir.join("exp.manifest.jsonl")).unwrap();

@@ -17,11 +17,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tactic::net::Network;
+use tactic::net::{run_scenario_sharded, Network};
 use tactic::scenario::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy, Scenario};
 use tactic_baselines::mechanism::Mechanism;
-use tactic_baselines::net::BaselineNetwork;
-use tactic_net::DropTotals;
+use tactic_baselines::net::{run_baseline_sharded, BaselineNetwork};
+use tactic_net::{DropTotals, ShardedStats};
 use tactic_sim::rng::derive_seed;
 use tactic_sim::stats::ratio;
 use tactic_sim::time::{SimDuration, SimTime};
@@ -175,10 +175,30 @@ fn cell_plan(
     }
 }
 
-fn run_plane(plane: &str, scenario: &Scenario, seed: u64) -> RunTotals {
+/// One cell run, sequential or space-partitioned across `shards`
+/// intra-run workers. The totals are byte-identical for any shard count;
+/// only the returned [`ShardedStats`] (provenance for the manifest)
+/// depends on it. Exits with status 2 when the shard count does not fit
+/// the topology, like any other bad CLI argument.
+fn run_plane(
+    plane: &str,
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+) -> (RunTotals, Option<ShardedStats>) {
+    let bail = |e: tactic_topology::ShardError| -> ! {
+        eprintln!("--shards {shards}: {e}");
+        std::process::exit(2);
+    };
     if plane == "tactic" {
-        let r = Network::build(scenario, seed).run();
-        RunTotals {
+        let (r, stats) = if shards <= 1 {
+            (Network::build(scenario, seed).run(), None)
+        } else {
+            let (r, stats) =
+                run_scenario_sharded(scenario, seed, shards).unwrap_or_else(|e| bail(e));
+            (r, Some(stats))
+        };
+        let totals = RunTotals {
             requested: r.delivery.client_requested,
             received: r.delivery.client_received,
             retransmitted: r.client_retransmissions,
@@ -188,14 +208,24 @@ fn run_plane(plane: &str, scenario: &Scenario, seed: u64) -> RunTotals {
             peak_pit_records: r.peak_pit_records,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
-        }
+        };
+        (totals, stats)
     } else {
         let mechanism = Mechanism::ALL
             .into_iter()
             .find(|m| m.to_string() == plane)
             .expect("known mechanism");
-        let r = BaselineNetwork::build(scenario, mechanism, seed).run();
-        RunTotals {
+        let (r, stats) = if shards <= 1 {
+            (
+                BaselineNetwork::build(scenario, mechanism, seed).run(),
+                None,
+            )
+        } else {
+            let (r, stats) =
+                run_baseline_sharded(scenario, mechanism, seed, shards).unwrap_or_else(|e| bail(e));
+            (r, Some(stats))
+        };
+        let totals = RunTotals {
             requested: r.client_requested,
             received: r.client_received,
             retransmitted: r.client_retransmitted,
@@ -205,7 +235,8 @@ fn run_plane(plane: &str, scenario: &Scenario, seed: u64) -> RunTotals {
             peak_pit_records: r.peak_pit_records,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
-        }
+        };
+        (totals, stats)
     }
 }
 
@@ -222,6 +253,7 @@ pub fn sweep_cells(
     retransmits: &[bool],
     seeds: usize,
     threads: usize,
+    shards: usize,
     verbosity: Verbosity,
 ) -> (Vec<CellRow>, Vec<RunManifest>) {
     struct Job {
@@ -270,7 +302,7 @@ pub fn sweep_cells(
                 scenario.faults = cell_plan(topo, seed, job.loss, job.heavy, base.duration);
                 scenario.retransmit = job.retransmit.then(RetransmitPolicy::default);
                 let started = Instant::now();
-                let totals = run_plane(job.plane, &scenario, seed);
+                let (totals, stats) = run_plane(job.plane, &scenario, seed, shards);
                 let manifest = RunManifest {
                     label: format!(
                         "resilience {} loss={} failures={} retransmit={}",
@@ -292,6 +324,16 @@ pub fn sweep_cells(
                     drops_lossy: totals.drops.lossy,
                     drops_link_down: totals.drops.link_down,
                     drops_node_down: totals.drops.node_down,
+                    shards: stats.as_ref().map_or(1, |s| s.k as u64),
+                    edge_cut: stats.as_ref().map_or(0, |s| s.edge_cut),
+                    epochs: stats.as_ref().map_or(0, |s| s.epochs),
+                    per_shard_events: stats
+                        .as_ref()
+                        .map_or_else(|| vec![totals.events], |s| s.per_shard_events.clone()),
+                    per_shard_peak_queue: stats.as_ref().map_or_else(
+                        || vec![totals.peak_queue_depth],
+                        |s| s.per_shard_peak_queue.clone(),
+                    ),
                 };
                 if verbosity.progress() {
                     eprintln!(
@@ -408,6 +450,7 @@ pub fn resilience(opts: &RunOpts) -> std::io::Result<String> {
         &[false, true],
         seeds,
         threads,
+        opts.shard_count(),
         opts.verbosity,
     );
 
@@ -496,6 +539,7 @@ mod tests {
             &[false, true],
             1,
             4,
+            1,
             Verbosity::Quiet,
         );
         assert_eq!(rows.len(), PLANES.len() * LOSS_RATES.len() * 2);
@@ -541,6 +585,7 @@ mod tests {
                 &[true],
                 2,
                 threads,
+                1,
                 Verbosity::Quiet,
             )
         };

@@ -13,13 +13,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use tactic::metrics::RunReport;
-use tactic::net::run_scenario;
+use tactic::net::{run_scenario, run_scenario_sharded};
 use tactic::router::OpCounters;
 use tactic::scenario::Scenario;
 use tactic_sim::rng::{derive_seed, splitmix64};
 use tactic_sim::time::SimDuration;
 use tactic_telemetry::RunManifest;
 use tactic_topology::paper::PaperTopology;
+use tactic_topology::ShardError;
 
 use crate::opts::{RunOpts, Verbosity};
 
@@ -100,8 +101,27 @@ pub fn run_grid_detailed(
     threads: usize,
     verbosity: Verbosity,
 ) -> (Vec<RunReport>, Vec<RunManifest>) {
+    run_grid_sharded(jobs, threads, 1, verbosity).expect("a sequential grid cannot fail to shard")
+}
+
+/// [`run_grid_detailed`] with every run space-partitioned across
+/// `shards` worker threads (see [`tactic::net::run_scenario_sharded`]).
+/// `shards <= 1` runs sequentially. Reports and every manifest field
+/// except `wall_ms`, `epochs`, and the per-shard vectors are
+/// byte-identical for any shard count.
+///
+/// # Errors
+///
+/// Returns the first [`ShardError`] (in job order) when the requested
+/// shard count does not fit the topology.
+pub fn run_grid_sharded(
+    jobs: &[GridJob<'_>],
+    threads: usize,
+    shards: usize,
+    verbosity: Verbosity,
+) -> Result<(Vec<RunReport>, Vec<RunManifest>), ShardError> {
     let workers = threads.max(1).min(jobs.len().max(1));
-    type Slot = Mutex<Option<(RunReport, RunManifest)>>;
+    type Slot = Mutex<Option<Result<(RunReport, RunManifest), ShardError>>>;
     let results: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -111,23 +131,11 @@ pub fn run_grid_detailed(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
                 let started = Instant::now();
-                let report = run_scenario(job.scenario, job.seed());
+                let outcome = run_one(job, shards);
                 let elapsed = started.elapsed();
-                let manifest = RunManifest {
-                    label: job.label.clone(),
-                    topology: format!("Topo{}", job.topology),
-                    scenario_id: job.scenario_id,
-                    run_idx: job.run_idx,
-                    seed: job.seed(),
-                    scenario: scenario_summary(job.scenario),
-                    sim_events: report.events,
-                    peak_queue_depth: report.peak_queue_depth,
-                    wall_ms: elapsed.as_millis() as u64,
-                    drops_dangling_face: report.drops.dangling_face,
-                    drops_reverse_face: report.drops.reverse_face,
-                    drops_lossy: report.drops.lossy,
-                    drops_link_down: report.drops.link_down,
-                    drops_node_down: report.drops.node_down,
+                let Ok((report, _manifest)) = &outcome else {
+                    *results[i].lock().expect("result slot") = Some(outcome);
+                    continue;
                 };
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if verbosity.progress() {
@@ -147,22 +155,112 @@ pub fn run_grid_detailed(
                         );
                     }
                 }
-                *results[i].lock().expect("result slot") = Some((report, manifest));
+                *results[i].lock().expect("result slot") = Some(outcome);
             });
         }
     });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every claimed job produced a report")
-        })
-        .unzip()
+    let mut reports = Vec::with_capacity(jobs.len());
+    let mut manifests = Vec::with_capacity(jobs.len());
+    for slot in results {
+        let (report, manifest) = slot
+            .into_inner()
+            .expect("result slot")
+            .expect("every claimed job produced a result")?;
+        reports.push(report);
+        manifests.push(manifest);
+    }
+    Ok((reports, manifests))
+}
+
+/// The CLI front door for `--shards`: runs the grid once per entry of
+/// `shards` (in order), asserts the reports are byte-identical across
+/// entries — the live determinism check the flag's multi-entry form
+/// promises — and returns the **last** entry's results, so
+/// `--shards 1,4` leaves manifests that record the sharded execution.
+///
+/// Exits the process with status 2 when a shard count does not fit the
+/// topology, like any other bad CLI argument.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty (the option parser guarantees at least
+/// one entry), or if two shard counts produce different reports — a
+/// determinism bug, not an input error.
+pub fn run_grid_cli(
+    jobs: &[GridJob<'_>],
+    threads: usize,
+    shards: &[usize],
+    verbosity: Verbosity,
+) -> (Vec<RunReport>, Vec<RunManifest>) {
+    let mut prev: Option<(usize, Vec<RunReport>, Vec<RunManifest>)> = None;
+    for &k in shards {
+        let (reports, manifests) = match run_grid_sharded(jobs, threads, k, verbosity) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("--shards {k}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some((k0, prev_reports, _)) = &prev {
+            for ((a, b), job) in prev_reports.iter().zip(&reports).zip(jobs) {
+                assert_eq!(
+                    format!("{a:#?}"),
+                    format!("{b:#?}"),
+                    "--shards {k} diverged from --shards {k0} on {label} run {run}",
+                    label = job.label,
+                    run = job.run_idx,
+                );
+            }
+        }
+        prev = Some((k, reports, manifests));
+    }
+    let (_, reports, manifests) = prev.expect("--shards has at least one entry");
+    (reports, manifests)
+}
+
+/// One grid cell, sequential or sharded, with its provenance manifest.
+fn run_one(job: &GridJob<'_>, shards: usize) -> Result<(RunReport, RunManifest), ShardError> {
+    let started = Instant::now();
+    let (report, stats) = if shards <= 1 {
+        (run_scenario(job.scenario, job.seed()), None)
+    } else {
+        let (report, stats) = run_scenario_sharded(job.scenario, job.seed(), shards)?;
+        (report, Some(stats))
+    };
+    let manifest = RunManifest {
+        label: job.label.clone(),
+        topology: format!("Topo{}", job.topology),
+        scenario_id: job.scenario_id,
+        run_idx: job.run_idx,
+        seed: job.seed(),
+        scenario: scenario_summary(job.scenario),
+        sim_events: report.events,
+        peak_queue_depth: report.peak_queue_depth,
+        wall_ms: started.elapsed().as_millis() as u64,
+        drops_dangling_face: report.drops.dangling_face,
+        drops_reverse_face: report.drops.reverse_face,
+        drops_lossy: report.drops.lossy,
+        drops_link_down: report.drops.link_down,
+        drops_node_down: report.drops.node_down,
+        shards: stats.as_ref().map_or(1, |s| s.k as u64),
+        edge_cut: stats.as_ref().map_or(0, |s| s.edge_cut),
+        epochs: stats.as_ref().map_or(0, |s| s.epochs),
+        per_shard_events: stats
+            .as_ref()
+            .map_or_else(|| vec![report.events], |s| s.per_shard_events.clone()),
+        per_shard_peak_queue: stats.as_ref().map_or_else(
+            || vec![report.peak_queue_depth],
+            |s| s.per_shard_peak_queue.clone(),
+        ),
+    };
+    Ok((report, manifest))
 }
 
 /// Runs `seeds` independent replicas of one scenario in parallel — the
 /// common case of a figure/table averaging one knob setting over seeds.
+/// `shards` follows [`run_grid_cli`] semantics (every listed count runs,
+/// byte-identity asserted, last entry's results returned).
+#[allow(clippy::too_many_arguments)]
 pub fn run_replicas(
     label: &str,
     topo: PaperTopology,
@@ -170,6 +268,7 @@ pub fn run_replicas(
     scenario: &Scenario,
     seeds: usize,
     threads: usize,
+    shards: &[usize],
     verbosity: Verbosity,
 ) -> Vec<RunReport> {
     run_replicas_detailed(
@@ -179,6 +278,7 @@ pub fn run_replicas(
         scenario,
         seeds,
         threads,
+        shards,
         verbosity,
     )
     .0
@@ -193,6 +293,7 @@ pub fn run_replicas_detailed(
     scenario: &Scenario,
     seeds: usize,
     threads: usize,
+    shards: &[usize],
     verbosity: Verbosity,
 ) -> (Vec<RunReport>, Vec<RunManifest>) {
     let jobs: Vec<GridJob<'_>> = (0..seeds)
@@ -204,7 +305,7 @@ pub fn run_replicas_detailed(
             scenario,
         })
         .collect();
-    run_grid_detailed(&jobs, threads, verbosity)
+    run_grid_cli(&jobs, threads, shards, verbosity)
 }
 
 /// The paper-replica scenario for `topo`, shaped by the options (duration
@@ -253,8 +354,26 @@ mod tests {
     #[test]
     fn replicas_are_reproducible_and_distinct() {
         let s = small(5);
-        let a = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1, Verbosity::Quiet);
-        let b = run_replicas("t", PaperTopology::Topo1, 1, &s, 2, 1, Verbosity::Quiet);
+        let a = run_replicas(
+            "t",
+            PaperTopology::Topo1,
+            1,
+            &s,
+            2,
+            1,
+            &[1],
+            Verbosity::Quiet,
+        );
+        let b = run_replicas(
+            "t",
+            PaperTopology::Topo1,
+            1,
+            &s,
+            2,
+            1,
+            &[1],
+            Verbosity::Quiet,
+        );
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].events, b[0].events);
         assert_ne!(
@@ -301,7 +420,16 @@ mod tests {
     #[test]
     fn aggregations() {
         let s = small(5);
-        let reports = run_replicas("agg", PaperTopology::Topo1, 2, &s, 2, 2, Verbosity::Quiet);
+        let reports = run_replicas(
+            "agg",
+            PaperTopology::Topo1,
+            2,
+            &s,
+            2,
+            2,
+            &[1],
+            Verbosity::Quiet,
+        );
         let m = mean_of(&reports, |r| r.delivery.client_ratio());
         assert!(m > 0.5);
         let total = sum_of(&reports, |r| r.delivery.client_requested);

@@ -12,7 +12,7 @@ use tactic_topology::paper::PaperTopology;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, write_manifests, TextTable};
-use crate::runner::{merged_ops, run_grid_detailed, scenario_id, shaped_scenario, GridJob};
+use crate::runner::{merged_ops, run_grid_cli, scenario_id, shaped_scenario, GridJob};
 
 /// Runs the full (topology × seed) grid in one parallel batch and
 /// renders a per-topology summary of delivery, latency, and the merged
@@ -41,7 +41,7 @@ pub fn sweep(opts: &RunOpts) -> std::io::Result<String> {
             })
         })
         .collect();
-    let (reports, manifests) = run_grid_detailed(&jobs, threads, opts.verbosity);
+    let (reports, manifests) = run_grid_cli(&jobs, threads, &opts.shards, opts.verbosity);
 
     let mut report = format!(
         "Sweep — {topos} topologies × {seeds} seeds = {total} runs\n\n",
@@ -127,6 +127,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1, PaperTopology::Topo2],
             out_dir: std::env::temp_dir().join(out),
             threads: Some(threads),
+            shards: vec![1],
             verbosity: crate::opts::Verbosity::Quiet,
         }
     }

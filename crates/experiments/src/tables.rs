@@ -127,6 +127,7 @@ pub fn table4(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             opts.thread_count(),
+            &opts.shards,
             opts.verbosity,
         );
         let c_req = sum_of(&reports, |r| r.delivery.client_requested);
@@ -216,6 +217,7 @@ pub fn table5(opts: &RunOpts) -> std::io::Result<String> {
                 &scenario,
                 seeds,
                 opts.thread_count(),
+                &opts.shards,
                 opts.verbosity,
             );
             let n = reports.len() as u64;
@@ -273,6 +275,7 @@ mod tests {
             topologies: vec![PaperTopology::Topo1],
             out_dir: std::env::temp_dir().join("tactic-exp-test-tables"),
             threads: Some(2),
+            shards: vec![1],
             verbosity: crate::opts::Verbosity::Quiet,
         }
     }

@@ -13,11 +13,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tactic::net::Network;
+use tactic::net::{run_traced_sharded, Network};
 use tactic::scenario::Scenario;
 use tactic_baselines::mechanism::Mechanism;
-use tactic_baselines::net::BaselineNetwork;
-use tactic_net::{DropTotals, NoopObserver};
+use tactic_baselines::net::{run_baseline_traced_sharded, BaselineNetwork};
+use tactic_net::{DropTotals, NoopObserver, ShardedStats};
 use tactic_sim::rng::derive_seed;
 use tactic_telemetry::{ProtocolRecorder, Registry, RunManifest};
 
@@ -44,28 +44,62 @@ fn inject_drop_metrics(registry: &mut Registry, drops: DropTotals) {
 }
 
 /// Runs one plane once with a recording observer; returns the folded
-/// registry (decision metrics + lifecycle + drop totals) and the run's
-/// engine totals `(events, peak_queue_depth, drops)`.
-fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, u64, DropTotals) {
-    match plane {
-        "tactic" => {
+/// registry (decision metrics + lifecycle + drop totals), the run's
+/// engine totals `(events, peak_queue_depth, drops)`, and — for
+/// `shards > 1` — the coordinator's [`ShardedStats`]. Sharded runs
+/// merge the per-shard recorders in shard order; the resulting registry
+/// (and therefore the JSONL export) is byte-identical to the sequential
+/// run's. Exits with status 2 when the shard count does not fit the
+/// topology, like any other bad CLI argument.
+fn record_plane(
+    plane: &str,
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+) -> (Registry, u64, u64, DropTotals, Option<ShardedStats>) {
+    let merge_recorders = |recorders: &[ProtocolRecorder]| {
+        let mut merged = ProtocolRecorder::default();
+        for r in recorders {
+            merged.merge(r);
+        }
+        merged
+    };
+    let bail = |e: tactic_topology::ShardError| -> ! {
+        eprintln!("--shards {shards}: {e}");
+        std::process::exit(2);
+    };
+    if plane == "tactic" {
+        let (report, recorder, stats) = if shards <= 1 {
             let (report, _, recorder) =
                 Network::build_traced(scenario, seed, NoopObserver, ProtocolRecorder::default())
                     .run_traced();
-            let mut registry = recorder.export_registry();
-            inject_drop_metrics(&mut registry, report.drops);
-            (
-                registry,
-                report.events,
-                report.peak_queue_depth,
-                report.drops,
+            (report, recorder, None)
+        } else {
+            let (report, _, recorders, stats) = run_traced_sharded(
+                scenario,
+                seed,
+                shards,
+                |_| NoopObserver,
+                |_| ProtocolRecorder::default(),
             )
-        }
-        name => {
-            let mechanism = Mechanism::ALL
-                .into_iter()
-                .find(|m| m.to_string() == name)
-                .expect("known mechanism");
+            .unwrap_or_else(|e| bail(e));
+            (report, merge_recorders(&recorders), Some(stats))
+        };
+        let mut registry = recorder.export_registry();
+        inject_drop_metrics(&mut registry, report.drops);
+        (
+            registry,
+            report.events,
+            report.peak_queue_depth,
+            report.drops,
+            stats,
+        )
+    } else {
+        let mechanism = Mechanism::ALL
+            .into_iter()
+            .find(|m| m.to_string() == plane)
+            .expect("known mechanism");
+        let (report, recorder, stats) = if shards <= 1 {
             let (report, _, recorder) = BaselineNetwork::build_traced(
                 scenario,
                 mechanism,
@@ -74,15 +108,28 @@ fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, 
                 ProtocolRecorder::default(),
             )
             .run_traced();
-            let mut registry = recorder.export_registry();
-            inject_drop_metrics(&mut registry, report.drops);
-            (
-                registry,
-                report.events,
-                report.peak_queue_depth,
-                report.drops,
+            (report, recorder, None)
+        } else {
+            let (report, _, recorders, stats) = run_baseline_traced_sharded(
+                scenario,
+                mechanism,
+                seed,
+                shards,
+                |_| NoopObserver,
+                |_| ProtocolRecorder::default(),
             )
-        }
+            .unwrap_or_else(|e| bail(e));
+            (report, merge_recorders(&recorders), Some(stats))
+        };
+        let mut registry = recorder.export_registry();
+        inject_drop_metrics(&mut registry, report.drops);
+        (
+            registry,
+            report.events,
+            report.peak_queue_depth,
+            report.drops,
+            stats,
+        )
     }
 }
 
@@ -90,6 +137,7 @@ fn record_plane(plane: &str, scenario: &Scenario, seed: u64) -> (Registry, u64, 
 /// workers, then folds the per-run registries **in job order** — the
 /// fold is what makes the exported JSONL byte-identical for any thread
 /// count. Returns the folded registry and one manifest per run.
+#[allow(clippy::too_many_arguments)]
 pub fn folded_plane_registry(
     plane: &str,
     plane_idx: u64,
@@ -97,6 +145,7 @@ pub fn folded_plane_registry(
     scenario: &Scenario,
     seeds: usize,
     threads: usize,
+    shards: usize,
     verbosity: Verbosity,
 ) -> (Registry, Vec<RunManifest>) {
     let sid = scenario_id("telemetry", &[plane_idx]);
@@ -113,7 +162,8 @@ pub fn folded_plane_registry(
                 }
                 let seed = derive_seed(BASE_SEED, topology, sid, i as u64);
                 let started = Instant::now();
-                let (registry, events, peak, drops) = record_plane(plane, scenario, seed);
+                let (registry, events, peak, drops, stats) =
+                    record_plane(plane, scenario, seed, shards);
                 let manifest = RunManifest {
                     label: format!("telemetry {plane}"),
                     topology: format!("Topo{topology}"),
@@ -129,6 +179,15 @@ pub fn folded_plane_registry(
                     drops_lossy: drops.lossy,
                     drops_link_down: drops.link_down,
                     drops_node_down: drops.node_down,
+                    shards: stats.as_ref().map_or(1, |s| s.k as u64),
+                    edge_cut: stats.as_ref().map_or(0, |s| s.edge_cut),
+                    epochs: stats.as_ref().map_or(0, |s| s.epochs),
+                    per_shard_events: stats
+                        .as_ref()
+                        .map_or_else(|| vec![events], |s| s.per_shard_events.clone()),
+                    per_shard_peak_queue: stats
+                        .as_ref()
+                        .map_or_else(|| vec![peak], |s| s.per_shard_peak_queue.clone()),
                 };
                 if verbosity.progress() {
                     eprintln!(
@@ -184,6 +243,7 @@ pub fn telemetry(opts: &RunOpts) -> std::io::Result<String> {
             &scenario,
             seeds,
             threads,
+            opts.shard_count(),
             opts.verbosity,
         );
         table.row(vec![
@@ -259,6 +319,7 @@ mod tests {
             &scenario,
             4,
             1,
+            1,
             Verbosity::Quiet,
         );
         let (parallel, _) = folded_plane_registry(
@@ -268,10 +329,26 @@ mod tests {
             &scenario,
             4,
             8,
+            1,
             Verbosity::Quiet,
         );
         assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
         assert!(!serial.is_empty());
+
+        // The intra-run axis: space-partitioning each replica across 2
+        // shards must not change a byte of the folded export either.
+        let (sharded, manifests) = folded_plane_registry(
+            "tactic",
+            0,
+            topo.index() as u32,
+            &scenario,
+            4,
+            1,
+            2,
+            Verbosity::Quiet,
+        );
+        assert_eq!(serial.to_jsonl(), sharded.to_jsonl());
+        assert!(manifests.iter().all(|m| m.shards == 2));
     }
 
     #[test]

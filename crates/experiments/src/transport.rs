@@ -3,12 +3,13 @@
 //! [`NetCounters`] observer to the shared transport — numbers no plane
 //! report exposes on its own.
 
-use tactic::net::Network;
+use tactic::net::{run_traced_sharded, Network};
 use tactic::scenario::Scenario;
 use tactic_baselines::mechanism::Mechanism;
-use tactic_baselines::net::BaselineNetwork;
+use tactic_baselines::net::{run_baseline_traced_sharded, BaselineNetwork};
 use tactic_net::{MobilityConfig, NetCounters};
 use tactic_sim::time::SimDuration;
+use tactic_telemetry::NoopProtocolObserver;
 
 use crate::opts::RunOpts;
 use crate::output::{fmt_f, write_file, TextTable};
@@ -21,28 +22,75 @@ const PLANES: [&str; 4] = [
     "provider-auth-ac",
 ];
 
-fn counters_for(scenario: &Scenario, plane: &str, seed: u64) -> NetCounters {
+/// One observed run of `plane`, space-partitioned across `shards` when
+/// `shards > 1`; the per-shard counters merge to exactly the sequential
+/// counters, so the rendered tables are byte-identical for any shard
+/// count. Exits with status 2 when the shard count does not fit the
+/// topology, like any other bad CLI argument.
+fn counters_for(scenario: &Scenario, plane: &str, seed: u64, shards: usize) -> NetCounters {
+    let bail = |e: tactic_topology::ShardError| -> ! {
+        eprintln!("--shards {shards}: {e}");
+        std::process::exit(2);
+    };
+    let merge = |counters: Vec<NetCounters>| {
+        let mut merged = NetCounters::default();
+        for c in &counters {
+            merged.merge(c);
+        }
+        merged
+    };
     match plane {
-        "tactic" => {
+        "tactic" if shards <= 1 => {
             Network::build_observed(scenario, seed, NetCounters::default())
                 .run_observed()
                 .1
+        }
+        "tactic" => {
+            let (_, counters, _, _) = run_traced_sharded(
+                scenario,
+                seed,
+                shards,
+                |_| NetCounters::default(),
+                |_| NoopProtocolObserver,
+            )
+            .unwrap_or_else(|e| bail(e));
+            merge(counters)
         }
         name => {
             let mechanism = Mechanism::ALL
                 .into_iter()
                 .find(|m| m.to_string() == name)
                 .expect("known mechanism");
-            BaselineNetwork::build_observed(scenario, mechanism, seed, NetCounters::default())
-                .run_observed()
-                .1
+            if shards <= 1 {
+                BaselineNetwork::build_observed(scenario, mechanism, seed, NetCounters::default())
+                    .run_observed()
+                    .1
+            } else {
+                let (_, counters, _, _) = run_baseline_traced_sharded(
+                    scenario,
+                    mechanism,
+                    seed,
+                    shards,
+                    |_| NetCounters::default(),
+                    |_| NoopProtocolObserver,
+                )
+                .unwrap_or_else(|e| bail(e));
+                merge(counters)
+            }
         }
     }
 }
 
-fn fill(table: &mut TextTable, csv: &mut TextTable, label: &str, scenario: &Scenario, seed: u64) {
+fn fill(
+    table: &mut TextTable,
+    csv: &mut TextTable,
+    label: &str,
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+) {
     for plane in PLANES {
-        let c = counters_for(scenario, plane, seed);
+        let c = counters_for(scenario, plane, seed, shards);
         let busiest = c
             .busiest_links(1)
             .first()
@@ -90,7 +138,14 @@ pub fn transport(opts: &RunOpts) -> std::io::Result<String> {
     let mut report = format!("Transport observability ({topo})\n\n");
 
     let mut static_table = TextTable::new(header.clone());
-    fill(&mut static_table, &mut csv, "static", &scenario, BASE_SEED);
+    fill(
+        &mut static_table,
+        &mut csv,
+        "static",
+        &scenario,
+        BASE_SEED,
+        opts.shard_count(),
+    );
     report.push_str("Static clients:\n");
     report.push_str(&static_table.render());
 
@@ -100,7 +155,14 @@ pub fn transport(opts: &RunOpts) -> std::io::Result<String> {
         mobile_fraction: 0.5,
     });
     let mut mobile_table = TextTable::new(header);
-    fill(&mut mobile_table, &mut csv, "mobile", &mobile, BASE_SEED);
+    fill(
+        &mut mobile_table,
+        &mut csv,
+        "mobile",
+        &mobile,
+        BASE_SEED,
+        opts.shard_count(),
+    );
     report.push_str("\nHalf the clients mobile (5 s mean dwell):\n");
     report.push_str(&mobile_table.render());
     report.push_str(

@@ -194,11 +194,22 @@ impl Default for RetransmitPolicy {
 
 /// Live fault state threaded through the transport: which nodes/links are
 /// currently down, per-directed-link Gilbert–Elliott states, and the
-/// dedicated loss RNG stream.
+/// dedicated loss RNG streams.
+///
+/// Loss draws are made from a **per-directed-link** stream, forked lazily
+/// off the pristine base stream the first time that link draws. The fork
+/// is a pure function of the base state and the `(from, to)` pair, so the
+/// sequence a given link sees is independent of every other link — which
+/// is exactly what sharded execution needs: transmissions on `from → to`
+/// only ever happen in the shard that owns `from`, so each shard's
+/// replica of the link stream advances identically to the sequential run
+/// no matter how cross-shard event processing interleaves.
 #[derive(Debug)]
 pub(crate) struct FaultState {
     plan: FaultPlan,
-    rng: Rng,
+    /// Pristine base stream; never drawn from directly, only forked.
+    base_rng: Rng,
+    link_rngs: HashMap<(u32, u32), Rng>,
     node_down: Vec<bool>,
     link_down: HashSet<(u32, u32)>,
     ge_bad: HashMap<(u32, u32), bool>,
@@ -208,7 +219,8 @@ impl FaultState {
     pub(crate) fn new(plan: FaultPlan, rng: Rng, node_count: usize) -> Self {
         FaultState {
             plan,
-            rng,
+            base_rng: rng,
+            link_rngs: HashMap::new(),
             node_down: vec![false; node_count],
             link_down: HashSet::new(),
             ge_bad: HashMap::new(),
@@ -227,29 +239,45 @@ impl FaultState {
         !self.link_down.is_empty() && self.link_down.contains(&Self::key(a, b))
     }
 
-    /// Draws the loss model for one transmission `from → to`. Only called
-    /// for live links; makes no RNG draw when the model cannot lose.
+    /// Draws the loss model for one transmission `from → to` from that
+    /// directed link's own stream. Only called for live links; makes no
+    /// RNG draw (and forks no stream) when the model cannot lose.
     pub(crate) fn loses(&mut self, from: NodeId, to: NodeId) -> bool {
         match self.plan.loss {
             LossModel::None => false,
-            LossModel::Uniform { p } => self.rng.chance(p),
+            LossModel::Uniform { p } => {
+                if p <= 0.0 {
+                    return false;
+                }
+                let base = &self.base_rng;
+                self.link_rngs
+                    .entry((from.0, to.0))
+                    .or_insert_with(|| base.fork(((from.0 as u64) << 32) | to.0 as u64))
+                    .chance(p)
+            }
             LossModel::GilbertElliott {
                 p_good_to_bad,
                 p_bad_to_good,
                 loss_good,
                 loss_bad,
             } => {
-                let bad = self.ge_bad.entry((from.0, to.0)).or_insert(false);
+                let key = (from.0, to.0);
+                let base = &self.base_rng;
+                let rng = self
+                    .link_rngs
+                    .entry(key)
+                    .or_insert_with(|| base.fork(((from.0 as u64) << 32) | to.0 as u64));
+                let bad = self.ge_bad.entry(key).or_insert(false);
                 let lost = if *bad {
-                    self.rng.chance(loss_bad)
+                    rng.chance(loss_bad)
                 } else {
-                    self.rng.chance(loss_good)
+                    rng.chance(loss_good)
                 };
                 if *bad {
-                    if self.rng.chance(p_bad_to_good) {
+                    if rng.chance(p_bad_to_good) {
                         *bad = false;
                     }
-                } else if self.rng.chance(p_good_to_bad) {
+                } else if rng.chance(p_good_to_bad) {
                     *bad = true;
                 }
                 lost
@@ -330,6 +358,24 @@ mod tests {
         }
         // The stream is untouched: a fresh fork draws the same first value.
         assert_eq!(rng.fork(0).next_u64(), rng.fork(0).next_u64());
+    }
+
+    #[test]
+    fn per_link_streams_are_interleaving_independent() {
+        // The draws one directed link sees must not depend on how draws
+        // on other links interleave with them — the property sharded
+        // execution relies on.
+        let plan = FaultPlan::uniform_loss(0.5);
+        let mut interleaved = FaultState::new(plan.clone(), Rng::seed_from_u64(7), 4);
+        let mut alone = FaultState::new(plan, Rng::seed_from_u64(7), 4);
+        let mut seq_interleaved = Vec::new();
+        for _ in 0..128 {
+            seq_interleaved.push(interleaved.loses(n(0), n(1)));
+            interleaved.loses(n(1), n(0));
+            interleaved.loses(n(2), n(3));
+        }
+        let seq_alone: Vec<bool> = (0..128).map(|_| alone.loses(n(0), n(1))).collect();
+        assert_eq!(seq_interleaved, seq_alone);
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub mod observer;
 pub mod plane;
 pub mod relay;
 pub mod requester;
+pub mod sharded;
 pub mod transport;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
@@ -120,4 +121,5 @@ pub use observer::{DropReason, DropTotals, EventTrace, NetCounters, NetObserver,
 pub use plane::{Emit, NodePlane, PlaneCtx};
 pub use relay::ApRelay;
 pub use requester::{Catalog, RequesterConfig, ZipfRequester};
-pub use transport::{Net, NetConfig, NetEvent, TransportReport};
+pub use sharded::{run_sharded, ShardedStats};
+pub use transport::{KeyedEvent, Net, NetConfig, NetEvent, ShardSpec, TransportReport};

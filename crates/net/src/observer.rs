@@ -68,6 +68,16 @@ impl DropTotals {
             DropReason::NodeDown => self.node_down += 1,
         }
     }
+
+    /// Adds another total into this one (shard merge: every drop happens
+    /// in exactly one shard, so the fields sum).
+    pub fn merge(&mut self, other: &DropTotals) {
+        self.dangling_face += other.dangling_face;
+        self.reverse_face += other.reverse_face;
+        self.lossy += other.lossy;
+        self.link_down += other.link_down;
+        self.node_down += other.node_down;
+    }
 }
 
 /// Hooks the shared transport calls at every transport-level event.
@@ -95,9 +105,9 @@ pub trait NetObserver {
     fn on_deliver(&mut self, node: NodeId, face: FaceId, packet: &Packet, now: SimTime) {}
 
     /// The transport dropped a packet at `node` — the emitting node for
-    /// send-side reasons, or the crashed receiver for
-    /// [`DropReason::NodeDown`].
-    fn on_drop(&mut self, node: NodeId, face: FaceId, reason: DropReason, now: SimTime) {}
+    /// send-side reasons, or the receiver for delivery-side ones
+    /// ([`DropReason::NodeDown`], [`DropReason::ReverseFaceGone`]).
+    fn on_drop(&mut self, node: NodeId, reason: DropReason, now: SimTime) {}
 
     /// A mobile node re-attached from `from_ap` to `to_ap`.
     fn on_handover(&mut self, node: NodeId, from_ap: NodeId, to_ap: NodeId, now: SimTime) {}
@@ -167,6 +177,29 @@ impl NetCounters {
         all.truncate(n);
         all
     }
+
+    /// Folds another shard's counters into this one: scalars add and
+    /// per-link loads add entry-wise. Every schedule/deliver/drop/
+    /// handover happens in exactly one shard and `u64` addition is
+    /// commutative, so any fold order yields the totals a sequential run
+    /// counts.
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.scheduled += other.scheduled;
+        self.delivered += other.delivered;
+        self.dropped_dangling_face += other.dropped_dangling_face;
+        self.dropped_reverse_face += other.dropped_reverse_face;
+        self.dropped_lossy += other.dropped_lossy;
+        self.dropped_link_down += other.dropped_link_down;
+        self.dropped_node_down += other.dropped_node_down;
+        self.handovers += other.handovers;
+        self.bytes_on_wire += other.bytes_on_wire;
+        for (&link, load) in &other.link_load {
+            let mine = self.link_load.entry(link).or_default();
+            mine.packets += load.packets;
+            mine.bytes += load.bytes;
+            mine.busy += load.busy;
+        }
+    }
 }
 
 impl NetObserver for NetCounters {
@@ -191,7 +224,7 @@ impl NetObserver for NetCounters {
         self.delivered += 1;
     }
 
-    fn on_drop(&mut self, _node: NodeId, _face: FaceId, reason: DropReason, _now: SimTime) {
+    fn on_drop(&mut self, _node: NodeId, reason: DropReason, _now: SimTime) {
         match reason {
             DropReason::DanglingFace => self.dropped_dangling_face += 1,
             DropReason::ReverseFaceGone => self.dropped_reverse_face += 1,
@@ -344,7 +377,7 @@ impl NetObserver for EventTrace {
         });
     }
 
-    fn on_drop(&mut self, node: NodeId, _face: FaceId, reason: DropReason, now: SimTime) {
+    fn on_drop(&mut self, node: NodeId, reason: DropReason, now: SimTime) {
         self.events.push(TraceEvent::Dropped {
             node,
             reason,
@@ -399,12 +432,7 @@ mod tests {
             )),
             SimTime::from_secs(1),
         );
-        trace.on_drop(
-            n(2),
-            FaceId::new(0),
-            DropReason::DanglingFace,
-            SimTime::from_secs(2),
-        );
+        trace.on_drop(n(2), DropReason::DanglingFace, SimTime::from_secs(2));
         trace.on_handover(n(3), n(4), n(5), SimTime::from_secs(3));
         trace.on_fault(FaultKind::NodeDown { node: n(6) }, SimTime::from_secs(4));
 
@@ -442,7 +470,7 @@ mod tests {
         // NetCounters::dropped() mirrors the same invariant.
         let mut counters = NetCounters::default();
         for &r in &reasons {
-            counters.on_drop(NodeId(0), FaceId::new(0), r, SimTime::ZERO);
+            counters.on_drop(NodeId(0), r, SimTime::ZERO);
         }
         assert_eq!(counters.dropped(), reasons.len() as u64);
     }

@@ -1,0 +1,227 @@
+//! The conservative epoch coordinator: K shard [`Net`]s on K threads,
+//! synchronized at epoch barriers, byte-identical to a sequential run.
+//!
+//! # Protocol
+//!
+//! Each epoch covers the half-open window `[T, T + lookahead)`, where
+//! `T` is the global minimum over every shard's next pending event and
+//! every undelivered mailbox event (a GVT-style idle jump: quiet
+//! stretches cost one barrier, not `gap / lookahead` of them). Per
+//! round the coordinator hands each worker its inbox (all mailbox events
+//! addressed to it, in ascending source-shard order), the worker injects
+//! them, processes everything strictly before `T + lookahead`, and
+//! returns its outboxes plus its next pending timestamp.
+//!
+//! # Why this is deterministic
+//!
+//! Lookahead is the minimum latency any cross-shard packet can
+//! experience, so an event processed at time `s ∈ [T, T + L)` can only
+//! create foreign work at `s + L ≥ T + L` — strictly after the window.
+//! Every event that belongs in a window is therefore present in the
+//! owning shard's calendar before the window runs, and the calendar
+//! orders events by the same shard-invariant `(time, key)` pairs the
+//! sequential engine uses (see the [`transport`](crate::transport)
+//! module docs). Mailbox drain order cannot matter: injection only
+//! inserts into the calendar, and the keys already fix the total order.
+
+use std::sync::mpsc;
+
+use tactic_sim::time::{SimDuration, SimTime};
+
+use crate::observer::NetObserver;
+use crate::plane::NodePlane;
+use crate::transport::{KeyedEvent, Net, TransportReport};
+
+/// What the coordinator measured about one sharded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Number of shards (worker threads).
+    pub k: usize,
+    /// Synchronization epochs executed.
+    pub epochs: u64,
+    /// Cross-shard events exchanged through mailboxes.
+    pub cross_events: u64,
+    /// Undirected links crossing shard boundaries. The transport layer
+    /// cannot see the partitioner, so [`run_sharded`] reports 0; callers
+    /// that built a `ShardMap` fill it in.
+    pub edge_cut: u64,
+    /// Per shard: engine events processed.
+    pub per_shard_events: Vec<u64>,
+    /// Per shard: engine queue high-water mark.
+    pub per_shard_peak_queue: Vec<u64>,
+}
+
+enum ToWorker {
+    Epoch {
+        end: SimTime,
+        inbox: Vec<KeyedEvent>,
+    },
+    Finish,
+}
+
+struct FromWorker {
+    shard: usize,
+    outboxes: Vec<Vec<KeyedEvent>>,
+    next_at: Option<SimTime>,
+}
+
+/// Runs `k` shard [`Net`]s to completion on `k` threads.
+///
+/// `build(shard)` constructs shard `shard`'s instance (each worker calls
+/// it on its own thread, so replicated-state construction parallelizes
+/// too); every instance must be assembled via
+/// [`Net::assemble_sharded`](crate::transport::Net::assemble_sharded)
+/// from identical inputs. `lookahead` is the epoch window width —
+/// normally [`ShardMap::lookahead`](tactic_topology::shard::ShardMap) —
+/// and `None` means no event can cross shards (each shard runs to its
+/// horizon in a single epoch). `horizon` must equal the nets' engine
+/// horizon: events pending beyond it (the perpetual purge reschedule,
+/// tail deliveries) terminate the loop instead of driving more epochs.
+///
+/// Returns each shard's `(plane, observer, report)` in shard order plus
+/// the coordinator's stats. The caller owns the merge: stitch the owned
+/// node states together, max-merge queue peaks, and subtract the
+/// mirrored purge/fault duplicates from the event total.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, if `build` builds nets with a different shard
+/// count, or if a worker thread panics.
+pub fn run_sharded<P, O, F>(
+    k: usize,
+    lookahead: Option<SimDuration>,
+    horizon: SimTime,
+    build: F,
+) -> (Vec<(P, O, TransportReport)>, ShardedStats)
+where
+    P: NodePlane + Send,
+    O: NetObserver + Send,
+    F: Fn(u32) -> Net<P, O> + Sync,
+{
+    assert!(k > 0, "at least one shard");
+    let mut epochs = 0u64;
+    let mut cross_events = 0u64;
+    let mut results: Vec<Option<(P, O, TransportReport)>> = (0..k).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let (to_main, from_workers) = mpsc::channel::<FromWorker>();
+        let mut to_worker = Vec::with_capacity(k);
+        let mut final_rx = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for shard in 0..k {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<ToWorker>();
+            let (fin_tx, fin_rx) = mpsc::channel::<(P, O, TransportReport)>();
+            to_worker.push(cmd_tx);
+            final_rx.push(fin_rx);
+            let to_main = to_main.clone();
+            let build = &build;
+            handles.push(scope.spawn(move || {
+                let mut net = build(shard as u32);
+                // Report readiness (and the first pending event) before
+                // the first epoch command.
+                to_main
+                    .send(FromWorker {
+                        shard,
+                        outboxes: Vec::new(),
+                        next_at: net.next_event_at(),
+                    })
+                    .expect("coordinator alive");
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        ToWorker::Epoch { end, inbox } => {
+                            net.inject(inbox);
+                            net.run_epoch(end);
+                            let outboxes = net.take_outboxes();
+                            let next_at = net.next_event_at();
+                            to_main
+                                .send(FromWorker {
+                                    shard,
+                                    outboxes,
+                                    next_at,
+                                })
+                                .expect("coordinator alive");
+                        }
+                        ToWorker::Finish => {
+                            fin_tx.send(net.finish()).expect("coordinator alive");
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        drop(to_main);
+
+        // Undelivered mailbox events, per destination shard.
+        let mut pending: Vec<Vec<KeyedEvent>> = (0..k).map(|_| Vec::new()).collect();
+        let mut next_at: Vec<Option<SimTime>> = vec![None; k];
+        // Collect one report per worker per round (the initial round
+        // reports readiness).
+        let collect = |next_at: &mut Vec<Option<SimTime>>,
+                       pending: &mut Vec<Vec<KeyedEvent>>,
+                       cross: &mut u64| {
+            for _ in 0..k {
+                let msg = from_workers.recv().expect("worker alive");
+                next_at[msg.shard] = msg.next_at;
+                for (dst, mut events) in msg.outboxes.into_iter().enumerate() {
+                    *cross += events.len() as u64;
+                    pending[dst].append(&mut events);
+                }
+            }
+        };
+        collect(&mut next_at, &mut pending, &mut cross_events);
+
+        loop {
+            // Global minimum over pending calendars and mailboxes.
+            let mut t = None::<SimTime>;
+            for at in next_at.iter().flatten() {
+                t = Some(t.map_or(*at, |m: SimTime| m.min(*at)));
+            }
+            for mailbox in &pending {
+                for &(at, _, _) in mailbox {
+                    t = Some(t.map_or(at, |m: SimTime| m.min(at)));
+                }
+            }
+            let Some(t) = t else { break };
+            if t > horizon {
+                // Everything left is beyond the simulated duration; the
+                // engines would never pop it anyway.
+                break;
+            }
+            let end = match lookahead {
+                Some(l) => t + l,
+                None => SimTime::MAX,
+            };
+            epochs += 1;
+            // Inboxes travel with the epoch command; source-shard order
+            // was fixed when the outboxes were appended above.
+            for (shard, tx) in to_worker.iter().enumerate() {
+                let inbox = std::mem::take(&mut pending[shard]);
+                tx.send(ToWorker::Epoch { end, inbox })
+                    .expect("worker alive");
+            }
+            collect(&mut next_at, &mut pending, &mut cross_events);
+        }
+
+        for tx in &to_worker {
+            tx.send(ToWorker::Finish).expect("worker alive");
+        }
+        for (shard, rx) in final_rx.iter().enumerate() {
+            results[shard] = Some(rx.recv().expect("worker alive"));
+        }
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    });
+
+    let results: Vec<(P, O, TransportReport)> =
+        results.into_iter().map(|r| r.expect("collected")).collect();
+    let stats = ShardedStats {
+        k,
+        epochs,
+        cross_events,
+        edge_cut: 0,
+        per_shard_events: results.iter().map(|r| r.2.events).collect(),
+        per_shard_peak_queue: results.iter().map(|r| r.2.peak_queue_depth).collect(),
+    };
+    (results, stats)
+}

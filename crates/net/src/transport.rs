@@ -3,10 +3,31 @@
 //!
 //! [`Net`] owns everything mechanism-independent about a run — the
 //! [`Engine`], the mutable face tables, per-directed-link busy times, the
-//! run's RNG stream, and the cost model — and drives a [`NodePlane`]
-//! through it. The loop reproduces the historical per-plane simulators
-//! schedule-for-schedule: identical engine sequence numbers, identical RNG
-//! draw order, byte-identical reports.
+//! per-node RNG streams, and the cost model — and drives a [`NodePlane`]
+//! through it.
+//!
+//! # Shard-invariant determinism
+//!
+//! Every scheduled event carries an explicit **key** instead of a global
+//! sequence number: `(source node) << 40 | per-source counter` (with two
+//! reserved source ids for the purge sweep and the fault schedule). A
+//! node's counter advances only when *its own* events schedule work, so
+//! the key assigned to an event is independent of how other nodes'
+//! events interleave — the property that lets K shards, each processing
+//! only the events homed at its own nodes, reproduce the exact
+//! `(time, key)` total order of the sequential run. For the same reason
+//! all RNG draws are per-node streams (forked, never shared), loss draws
+//! are per-directed-link (see `FaultState` in the fault module), and a
+//! packet's arrival face is resolved at *delivery* time from the
+//! receiver's own face
+//! table rather than at send time from the sender's view of it.
+//!
+//! In sharded mode ([`Net::assemble_sharded`]) a shard schedules events
+//! homed at foreign nodes into per-destination-shard **outboxes** instead
+//! of its own calendar; the coordinator drains them at epoch barriers
+//! ([`Net::run_epoch`] / [`Net::take_outboxes`] / [`Net::inject`]).
+//! Purge and fault events are mirrored in every shard (same keys), so
+//! replicated state they touch stays bit-identical everywhere.
 
 use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
@@ -17,7 +38,7 @@ use tactic_sim::dist::Exponential;
 use tactic_sim::engine::Engine;
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
-use tactic_topology::graph::NodeId;
+use tactic_topology::graph::{LinkSpec, NodeId};
 use tactic_topology::roles::Topology;
 
 use crate::fault::{FaultPlan, FaultState};
@@ -27,19 +48,39 @@ use crate::observer::{DropReason, DropTotals, NetObserver, NoopObserver};
 use crate::plane::{Emit, NodePlane, PlaneCtx};
 
 /// RNG stream id for the fault layer's dedicated loss stream: forked off
-/// the run RNG before any main-stream draw, so loss draws never perturb
-/// the simulation's own sequence.
+/// the run RNG before any other use, so loss draws never perturb the
+/// simulation's own streams.
 const FAULT_STREAM: u64 = 0xFA17_0001;
+
+/// Base stream id for per-node RNG streams (`NODE_STREAM ^ node index`).
+const NODE_STREAM: u64 = 0x4E0D_0000_0000_0000;
+
+/// Event keys pack `source << KEY_SHIFT | counter`.
+const KEY_SHIFT: u32 = 40;
+
+/// Reserved key source for the periodic purge sweep (mirrored in every
+/// shard with identical keys).
+const PURGE_SRC: u64 = 0xFF_FFFF;
+
+/// Reserved key source for scheduled fault events (mirrored in every
+/// shard; the counter is the schedule index, so keys are static).
+const FAULT_SRC: u64 = 0xFF_FFFE;
+
+/// An event with its absolute time and shard-invariant key, as exchanged
+/// through cross-shard mailboxes.
+pub type KeyedEvent = (SimTime, u64, NetEvent);
 
 /// Events flowing through the shared engine.
 #[derive(Debug)]
 pub enum NetEvent {
-    /// A packet finishes arriving at `node` on `face`.
+    /// A packet finishes arriving at `node` from neighbour `from`. The
+    /// arrival *face* is resolved from the receiver's face table when the
+    /// event is handled — the receiver's shard owns that table.
     Deliver {
         /// Receiving node.
         node: NodeId,
-        /// Arrival face.
-        face: FaceId,
+        /// Transmitting neighbour.
+        from: NodeId,
         /// The packet.
         packet: Packet,
     },
@@ -64,11 +105,38 @@ pub enum NetEvent {
         /// The mobile node.
         node: NodeId,
     },
+    /// A handover's attach signal reaches the new access point: the AP
+    /// wires a face back toward the client. Scheduled one radio
+    /// propagation delay after the handover, so it crosses shard
+    /// boundaries like any other packet.
+    Attach {
+        /// The access point gaining the face.
+        ap: NodeId,
+        /// The client that moved in.
+        client: NodeId,
+        /// The radio link spec.
+        spec: LinkSpec,
+    },
     /// A scheduled fault takes effect.
     Fault {
         /// Index into the [`FaultPlan`]'s schedule.
         index: usize,
     },
+}
+
+impl NetEvent {
+    /// The node whose shard must process this event (`None` for events
+    /// mirrored in every shard).
+    pub fn home(&self) -> Option<NodeId> {
+        match *self {
+            NetEvent::Deliver { node, .. }
+            | NetEvent::ConsumerStart { node }
+            | NetEvent::Timeout { node, .. }
+            | NetEvent::Move { node } => Some(node),
+            NetEvent::Attach { ap, .. } => Some(ap),
+            NetEvent::Purge | NetEvent::Fault { .. } => None,
+        }
+    }
 }
 
 /// Transport-level configuration distilled from a plane's scenario.
@@ -84,7 +152,7 @@ pub struct NetConfig {
     pub faults: FaultPlan,
 }
 
-/// What the transport itself measured in one run.
+/// What the transport itself measured in one run (or one shard of one).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportReport {
     /// Engine events processed (all kinds).
@@ -94,10 +162,64 @@ pub struct TransportReport {
     pub deliveries: u64,
     /// Handovers performed by mobile clients.
     pub moves: u64,
+    /// Purge sweeps processed. In a sharded run every shard processes
+    /// every sweep, so the merged event total subtracts the duplicates.
+    pub purges: u64,
+    /// Scheduled fault events applied (mirrored per shard, like purges).
+    pub faults_applied: u64,
     /// High-water mark of the engine's pending-event queue.
     pub peak_queue_depth: u64,
     /// Per-reason drop totals counted by the transport itself.
     pub drops: DropTotals,
+}
+
+impl TransportReport {
+    /// Folds per-shard reports into the sequential-equivalent totals:
+    /// purge sweeps and fault applications are mirrored in every shard,
+    /// so the event total subtracts the `K - 1` duplicate copies;
+    /// everything else happens in exactly one shard and sums; the queue
+    /// peak is a per-engine quantity, so the merged value is the max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn merge_shards(shards: &[TransportReport]) -> TransportReport {
+        let k = shards.len() as u64;
+        let purges = shards[0].purges;
+        let faults_applied = shards[0].faults_applied;
+        debug_assert!(
+            shards
+                .iter()
+                .all(|t| t.purges == purges && t.faults_applied == faults_applied),
+            "mirrored event counts must agree across shards"
+        );
+        let mut drops = DropTotals::default();
+        for t in shards {
+            drops.merge(&t.drops);
+        }
+        TransportReport {
+            events: shards.iter().map(|t| t.events).sum::<u64>()
+                - (k - 1) * (purges + faults_applied),
+            deliveries: shards.iter().map(|t| t.deliveries).sum(),
+            moves: shards.iter().map(|t| t.moves).sum(),
+            purges,
+            faults_applied,
+            peak_queue_depth: shards.iter().map(|t| t.peak_queue_depth).max().unwrap_or(0),
+            drops,
+        }
+    }
+}
+
+/// How one [`Net`] instance participates in a sharded run: which shard it
+/// is, and which shard owns every node.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Total number of shards.
+    pub k: usize,
+    /// This instance's shard id.
+    pub my_shard: u32,
+    /// Per node (by index): the owning shard.
+    pub shard_of: Vec<u32>,
 }
 
 /// The assembled simulation: shared transport state driving a plane.
@@ -110,17 +232,28 @@ pub struct Net<P, O = NoopObserver> {
     /// at a new AP while the old link's busy horizon must stay with the
     /// old destination.
     link_busy: Vec<Vec<(NodeId, SimTime)>>,
-    rng: Rng,
+    /// Per-node RNG streams: every draw a node's events make comes from
+    /// its own stream, so draw sequences are interleaving-independent.
+    rngs: Vec<Rng>,
+    /// Per-node event-key counters (see module docs).
+    key_seq: Vec<u64>,
+    purge_seq: u64,
     cost: CostModel,
     access_points: Vec<NodeId>,
     mobility: Option<MobilityConfig>,
     moves: u64,
     deliveries: u64,
+    purges: u64,
+    faults_applied: u64,
     faults: FaultState,
     /// Retained topology for route recomputation at failure instants
     /// (only kept when the plan schedules topology changes).
     fault_topo: Option<Topology>,
     drops: DropTotals,
+    shard: Option<ShardSpec>,
+    /// Per destination shard: events homed at foreign nodes, awaiting the
+    /// epoch barrier. Always empty in sequential mode.
+    outboxes: Vec<Vec<KeyedEvent>>,
     plane: P,
     observer: O,
     scratch: Vec<Emit>,
@@ -144,13 +277,10 @@ impl<P: NodePlane> Net<P, NoopObserver> {
 }
 
 impl<P: NodePlane, O: NetObserver> Net<P, O> {
-    /// Assembles a run: schedules the consumer starts (staggered over the
-    /// first second), the periodic purge sweep, and — when mobility is
-    /// configured — the first handover of each mobile client.
-    ///
-    /// The scheduling order (users in `topo.users()` order, then the purge,
-    /// then mobile clients) and the RNG draw order are part of the
-    /// determinism contract: they reproduce the historical planes exactly.
+    /// Assembles a sequential run: schedules the consumer starts
+    /// (staggered over the first second), the periodic purge sweep, and —
+    /// when mobility is configured — the first handover of each mobile
+    /// client.
     ///
     /// # Panics
     ///
@@ -160,23 +290,115 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         topo: &Topology,
         links: Links,
         plane: P,
-        mut rng: Rng,
+        rng: Rng,
         config: NetConfig,
         observer: O,
     ) -> Self {
-        // Forked before any main-stream draw (forking never consumes the
+        Self::assemble_inner(topo, links, plane, rng, config, observer, None)
+    }
+
+    /// Assembles one shard of a sharded run: identical to
+    /// [`Net::assemble_observed`] except that only events homed at this
+    /// shard's own nodes enter the calendar (purge and fault events are
+    /// mirrored everywhere), and events for foreign nodes route into
+    /// outboxes instead of the local calendar.
+    ///
+    /// Every shard must be assembled from the same topology, plane state,
+    /// and RNG — the per-node state a shard does not own stays pristine
+    /// and is never read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard.shard_of` does not cover the topology, or on an
+    /// out-of-range `mobile_fraction` (as in the sequential path).
+    pub fn assemble_sharded(
+        topo: &Topology,
+        links: Links,
+        plane: P,
+        rng: Rng,
+        config: NetConfig,
+        observer: O,
+        shard: ShardSpec,
+    ) -> Self {
+        assert_eq!(
+            shard.shard_of.len(),
+            topo.graph.node_count(),
+            "shard map must cover the topology"
+        );
+        Self::assemble_inner(topo, links, plane, rng, config, observer, Some(shard))
+    }
+
+    fn assemble_inner(
+        topo: &Topology,
+        links: Links,
+        plane: P,
+        rng: Rng,
+        config: NetConfig,
+        observer: O,
+        shard: Option<ShardSpec>,
+    ) -> Self {
+        // Forked before any other use (forking never consumes the
         // stream): the loss stream is a pure function of the run seed, so
         // fault draws cannot perturb the simulation's own draw sequence.
         let fault_rng = rng.fork(FAULT_STREAM);
-        let mut engine = Engine::with_horizon(SimTime::ZERO + config.duration);
+        let n = topo.graph.node_count();
+        let rngs: Vec<Rng> = (0..n).map(|i| rng.fork(NODE_STREAM ^ i as u64)).collect();
+
+        let fault_topo = if config.faults.schedule.is_empty() {
+            None
+        } else {
+            Some(topo.clone())
+        };
+        let faults = FaultState::new(config.faults.clone(), fault_rng, n);
+        let k = shard.as_ref().map_or(1, |s| s.k);
+        let cost = config.cost.clone();
+
+        let mut net = Net {
+            engine: Engine::with_horizon(SimTime::ZERO + config.duration),
+            links,
+            link_busy: vec![Vec::new(); n],
+            rngs,
+            key_seq: vec![0; n],
+            purge_seq: 0,
+            cost,
+            access_points: topo.access_points.clone(),
+            mobility: config.mobility,
+            moves: 0,
+            deliveries: 0,
+            purges: 0,
+            faults_applied: 0,
+            faults,
+            fault_topo,
+            drops: DropTotals::default(),
+            shard,
+            outboxes: (0..k).map(|_| Vec::new()).collect(),
+            plane,
+            observer,
+            scratch: Vec::new(),
+        };
+        net.bootstrap(topo, &config);
+        net
+    }
+
+    /// Schedules the initial event population. Keys and RNG draws are all
+    /// per-source, so skipping foreign nodes in sharded mode cannot
+    /// perturb what the owned nodes see.
+    fn bootstrap(&mut self, topo: &Topology, config: &NetConfig) {
         for unode in topo.users() {
-            let offset = SimDuration::from_nanos(rng.below(1_000_000_000));
-            engine.schedule(
+            if !self.owns(unode) {
+                continue;
+            }
+            let offset = SimDuration::from_nanos(self.rngs[unode.index()].below(1_000_000_000));
+            let key = self.next_key(unode);
+            self.engine.schedule_keyed(
                 SimTime::ZERO + offset,
+                key,
                 NetEvent::ConsumerStart { node: unode },
             );
         }
-        engine.schedule(SimTime::from_secs(1), NetEvent::Purge);
+        let key = self.next_purge_key();
+        self.engine
+            .schedule_keyed(SimTime::from_secs(1), key, NetEvent::Purge);
 
         if let Some(m) = config.mobility {
             assert!(
@@ -186,37 +408,22 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
             let mobile_count = (topo.clients.len() as f64 * m.mobile_fraction).round() as usize;
             for &c in topo.clients.iter().take(mobile_count) {
-                let at = SimTime::from_secs_f64(dwell.sample(&mut rng));
-                engine.schedule(at, NetEvent::Move { node: c });
+                if !self.owns(c) {
+                    continue;
+                }
+                let at = SimTime::from_secs_f64(dwell.sample(&mut self.rngs[c.index()]));
+                let key = self.next_key(c);
+                self.engine
+                    .schedule_keyed(at, key, NetEvent::Move { node: c });
             }
         }
 
         for (index, event) in config.faults.schedule.iter().enumerate() {
-            engine.schedule(event.at, NetEvent::Fault { index });
-        }
-        let fault_topo = if config.faults.schedule.is_empty() {
-            None
-        } else {
-            Some(topo.clone())
-        };
-        let faults = FaultState::new(config.faults, fault_rng, topo.graph.node_count());
-
-        Net {
-            engine,
-            links,
-            link_busy: vec![Vec::new(); topo.graph.node_count()],
-            rng,
-            cost: config.cost,
-            access_points: topo.access_points.clone(),
-            mobility: config.mobility,
-            moves: 0,
-            deliveries: 0,
-            faults,
-            fault_topo,
-            drops: DropTotals::default(),
-            plane,
-            observer,
-            scratch: Vec::new(),
+            self.engine.schedule_keyed(
+                event.at,
+                (FAULT_SRC << KEY_SHIFT) | index as u64,
+                NetEvent::Fault { index },
+            );
         }
     }
 
@@ -226,10 +433,53 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         while let Some(ev) = self.engine.pop() {
             self.dispatch(ev);
         }
+        self.finish()
+    }
+
+    /// Processes every pending event strictly before `end` (and within
+    /// the horizon) — one conservative epoch. Cross-shard output lands in
+    /// the outboxes; the caller exchanges them before the next epoch.
+    pub fn run_epoch(&mut self, end: SimTime) {
+        while let Some(ev) = self.engine.pop_before(end) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// The timestamp of the next pending event, if any (drives the
+    /// coordinator's idle-jump past empty epochs).
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.engine.next_at()
+    }
+
+    /// Takes the accumulated per-destination-shard outboxes, leaving
+    /// empty ones in place.
+    pub fn take_outboxes(&mut self) -> Vec<Vec<KeyedEvent>> {
+        let k = self.outboxes.len();
+        std::mem::replace(&mut self.outboxes, (0..k).map(|_| Vec::new()).collect())
+    }
+
+    /// Injects events received from other shards' outboxes into the local
+    /// calendar. The `(time, key)` pairs already fix the total order, so
+    /// injection order is irrelevant to determinism.
+    pub fn inject(&mut self, batch: impl IntoIterator<Item = KeyedEvent>) {
+        for (at, key, ev) in batch {
+            self.engine.schedule_keyed(at, key, ev);
+        }
+    }
+
+    /// The engine horizon (end of simulated time).
+    pub fn horizon(&self) -> SimTime {
+        self.engine.horizon()
+    }
+
+    /// Tears the run down into its results.
+    pub fn finish(self) -> (P, O, TransportReport) {
         let report = TransportReport {
             events: self.engine.processed(),
             deliveries: self.deliveries,
             moves: self.moves,
+            purges: self.purges,
+            faults_applied: self.faults_applied,
             peak_queue_depth: self.engine.peak_pending() as u64,
             drops: self.drops,
         };
@@ -246,16 +496,65 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         &self.plane
     }
 
+    /// True when this instance processes events homed at `node`.
+    fn owns(&self, node: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.shard_of[node.index()] == s.my_shard,
+        }
+    }
+
+    /// Allocates the next shard-invariant event key for `src`.
+    fn next_key(&mut self, src: NodeId) -> u64 {
+        let c = self.key_seq[src.index()];
+        self.key_seq[src.index()] = c + 1;
+        ((src.0 as u64) << KEY_SHIFT) | c
+    }
+
+    fn next_purge_key(&mut self) -> u64 {
+        let c = self.purge_seq;
+        self.purge_seq = c + 1;
+        (PURGE_SRC << KEY_SHIFT) | c
+    }
+
+    /// Schedules `ev` (homed at `dst`) locally, or into the outbox of the
+    /// shard that owns `dst`.
+    fn route_to(&mut self, dst: NodeId, at: SimTime, key: u64, ev: NetEvent) {
+        match &self.shard {
+            Some(s) if s.shard_of[dst.index()] != s.my_shard => {
+                self.outboxes[s.shard_of[dst.index()] as usize].push((at, key, ev));
+            }
+            _ => self.engine.schedule_keyed(at, key, ev),
+        }
+    }
+
+    /// Whether this instance reports mirrored fault events to its
+    /// observer (sequential runs and shard 0 only, to avoid K-fold
+    /// duplicates in merged observations).
+    fn reports_faults(&self) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.my_shard == 0)
+    }
+
     fn dispatch(&mut self, ev: NetEvent) {
         let now = self.engine.now();
         match ev {
-            NetEvent::Deliver { node, face, packet } => {
+            NetEvent::Deliver { node, from, packet } => {
                 if self.faults.node_is_down(node) {
                     // A crashed node services nothing: the packet dies at
                     // its door and is never seen by the plane.
-                    self.drop_packet(node, face, DropReason::NodeDown, now);
+                    self.drop_packet(node, DropReason::NodeDown, now);
                     return;
                 }
+                // Receiver-side face resolution: the face table consulted
+                // here belongs to the shard that owns `node`, so a
+                // cross-shard sender never needs the receiver's state. A
+                // handover may have torn the mapping down while the
+                // packet was in flight — the packet is lost with the
+                // radio link.
+                let Some(face) = self.links.face_toward(node, from) else {
+                    self.drop_packet(node, DropReason::ReverseFaceGone, now);
+                    return;
+                };
                 self.deliveries += 1;
                 self.observer.on_deliver(node, face, &packet, now);
                 let mut out = std::mem::take(&mut self.scratch);
@@ -265,7 +564,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     packet,
                     &mut PlaneCtx {
                         now,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                     },
                     &mut out,
@@ -281,7 +580,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     node,
                     &mut PlaneCtx {
                         now,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                     },
                     &mut out,
@@ -299,7 +598,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     sent,
                     &mut PlaneCtx {
                         now,
-                        rng: &mut self.rng,
+                        rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                     },
                     &mut out,
@@ -308,8 +607,10 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             }
             NetEvent::Purge => {
                 self.plane.on_purge(now);
+                self.purges += 1;
+                let key = self.next_purge_key();
                 self.engine
-                    .schedule_after(SimDuration::from_secs(1), NetEvent::Purge);
+                    .schedule_keyed(now + SimDuration::from_secs(1), key, NetEvent::Purge);
             }
             NetEvent::Move { node } => {
                 // A crashed client skips the handover itself but keeps
@@ -320,13 +621,29 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 }
                 if let Some(m) = self.mobility {
                     let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
-                    let delay = SimDuration::from_secs_f64(dwell.sample(&mut self.rng));
-                    self.engine.schedule_after(delay, NetEvent::Move { node });
+                    let delay =
+                        SimDuration::from_secs_f64(dwell.sample(&mut self.rngs[node.index()]));
+                    let key = self.next_key(node);
+                    self.engine
+                        .schedule_keyed(now + delay, key, NetEvent::Move { node });
+                }
+            }
+            NetEvent::Attach { ap, client, spec } => {
+                // The new AP wires a face back toward the client (unless a
+                // still-newer handover already did). State mutation, not a
+                // service: it happens even while the AP is crashed.
+                if self.links.face_toward(ap, client).is_none() {
+                    let face = FaceId::new(self.links.neighbors[ap.index()].len() as u32);
+                    self.links.neighbors[ap.index()].push((client, spec));
+                    self.links.set_face_toward(ap, client, face);
                 }
             }
             NetEvent::Fault { index } => {
                 let kind = self.faults.apply(index);
-                self.observer.on_fault(kind, now);
+                self.faults_applied += 1;
+                if self.reports_faults() {
+                    self.observer.on_fault(kind, now);
+                }
                 self.reroute();
             }
         }
@@ -346,10 +663,11 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         self.plane.on_reroute(&routes);
     }
 
-    /// Counts and reports a transport-level drop.
-    fn drop_packet(&mut self, node: NodeId, face: FaceId, reason: DropReason, now: SimTime) {
+    /// Counts and reports a transport-level drop at `node` (the emitting
+    /// node for send-side reasons, the receiver for delivery-side ones).
+    fn drop_packet(&mut self, node: NodeId, reason: DropReason, now: SimTime) {
         self.drops.count(reason);
-        self.observer.on_drop(node, face, reason, now);
+        self.observer.on_drop(node, reason, now);
     }
 
     /// Applies a callback's emits in push order, recycling the buffer.
@@ -361,39 +679,46 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     packet,
                     compute,
                 } => self.transmit(node, face, packet, compute),
-                Emit::Timeout { name, delay } => self.engine.schedule(
-                    now + delay,
-                    NetEvent::Timeout {
-                        node,
-                        name,
-                        sent: now,
-                    },
-                ),
+                Emit::Timeout { name, delay } => {
+                    let key = self.next_key(node);
+                    self.engine.schedule_keyed(
+                        now + delay,
+                        key,
+                        NetEvent::Timeout {
+                            node,
+                            name,
+                            sent: now,
+                        },
+                    );
+                }
             }
         }
         self.scratch = out;
     }
 
     /// Transmits on a link: FIFO serialisation + propagation delay, after
-    /// the sender's computation time.
+    /// the sender's computation time. Everything read or written here —
+    /// the sender's neighbour table, its busy lanes, the directed link's
+    /// loss stream — belongs to the sender's shard; the receiver is only
+    /// named, never consulted.
     fn transmit(&mut self, from: NodeId, out_face: FaceId, packet: Packet, compute: SimDuration) {
         let now = self.engine.now();
         let Some(&(to, spec)) = self.links.neighbors[from.index()].get(out_face.index() as usize)
         else {
             // Dangling face: drop.
-            self.drop_packet(from, out_face, DropReason::DanglingFace, now);
+            self.drop_packet(from, DropReason::DanglingFace, now);
             return;
         };
         // Administratively-down links carry nothing; checked before the
         // loss model so a downed link makes no loss draw.
         if self.faults.link_is_down(from, to) {
-            self.drop_packet(from, out_face, DropReason::LinkDown, now);
+            self.drop_packet(from, DropReason::LinkDown, now);
             return;
         }
         // The loss model eats the packet before it reserves the link:
         // lost transmissions never appear in `on_schedule`/link load.
         if self.faults.loses(from, to) {
-            self.drop_packet(from, out_face, DropReason::Lossy, now);
+            self.drop_packet(from, DropReason::Lossy, now);
             return;
         }
         let size = wire_size(&packet);
@@ -410,19 +735,16 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         let serialize = spec.serialization_delay(size);
         *slot = depart + serialize;
         let arrival = depart + serialize + spec.latency;
-        // A handover may have torn down the reverse mapping (the receiver
-        // moved away): the in-flight packet is lost with the radio link.
-        let Some(in_face) = self.links.face_toward(to, from) else {
-            self.drop_packet(from, out_face, DropReason::ReverseFaceGone, now);
-            return;
-        };
         self.observer
             .on_schedule(from, to, size, depart, serialize, arrival);
-        self.engine.schedule(
+        let key = self.next_key(from);
+        self.route_to(
+            to,
             arrival,
+            key,
             NetEvent::Deliver {
                 node: to,
-                face: in_face,
+                from,
                 packet,
             },
         );
@@ -430,8 +752,10 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
 
     /// Re-attaches a mobile client to a uniformly random *other* access
     /// point: the client's single face now leads to the new AP (same
-    /// wireless link spec), the new AP gains a face back, and the plane is
-    /// notified so the node can refresh credentials and refill its window.
+    /// wireless link spec) immediately; the new AP gains a face back when
+    /// the attach signal arrives one propagation delay later (see
+    /// [`NetEvent::Attach`]). The plane is notified so the node can
+    /// refresh credentials and refill its window.
     fn perform_handover(&mut self, node: NodeId) {
         if self.access_points.len() < 2 {
             return;
@@ -440,7 +764,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             return;
         };
         let new_ap = loop {
-            let candidate = *self.rng.choose(&self.access_points);
+            let candidate = *self.rngs[node.index()].choose(&self.access_points);
             if candidate != current_ap {
                 break candidate;
             }
@@ -449,21 +773,29 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         self.links.neighbors[node.index()][0] = (new_ap, spec);
         self.links.clear_faces(node);
         self.links.set_face_toward(node, new_ap, FaceId::new(0));
-        // AP side: ensure the new AP has a face toward this client.
-        if self.links.face_toward(new_ap, node).is_none() {
-            let face = FaceId::new(self.links.neighbors[new_ap.index()].len() as u32);
-            self.links.neighbors[new_ap.index()].push((node, spec));
-            self.links.set_face_toward(new_ap, node, face);
-        }
-        self.moves += 1;
+        // AP side: scheduled before the plane's refill sends, so the
+        // attach is keyed (and therefore ordered) ahead of any packet
+        // the client pushes onto the new radio link.
         let now = self.engine.now();
+        let key = self.next_key(node);
+        self.route_to(
+            new_ap,
+            now + spec.latency,
+            key,
+            NetEvent::Attach {
+                ap: new_ap,
+                client: node,
+                spec,
+            },
+        );
+        self.moves += 1;
         self.observer.on_handover(node, current_ap, new_ap, now);
         let mut out = std::mem::take(&mut self.scratch);
         self.plane.on_handover(
             node,
             &mut PlaneCtx {
                 now,
-                rng: &mut self.rng,
+                rng: &mut self.rngs[node.index()],
                 cost: &self.cost,
             },
             &mut out,

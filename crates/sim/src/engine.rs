@@ -122,12 +122,46 @@ impl<E> Engine<E> {
         self.schedule(self.now + delay, payload);
     }
 
+    /// Schedules `payload` at `at` with an explicit tie-break `key` in
+    /// place of the engine's monotone sequence number.
+    ///
+    /// Explicit keys are the determinism backbone of sharded runs: a key
+    /// computed from the *scheduling entity* (rather than from global
+    /// schedule order) is identical whether the run executes on one engine
+    /// or on several space-partitioned ones, so the merged delivery order
+    /// is too. Callers must not mix keyed and auto-sequenced events at the
+    /// same timestamp unless they accept auto sequences ordering first.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        let at = at.max(self.now);
+        self.queue.push(at, key, payload);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+    }
+
+    /// The timestamp of the next pending event, ignoring the horizon.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        self.queue.peek_key().map(|(at, _)| at)
+    }
+
     /// Delivers the next event, advancing the clock. Returns `None` when the
     /// queue is empty or the next event lies past the horizon (the event is
     /// left queued in that case).
     pub fn pop(&mut self) -> Option<E> {
         match self.queue.peek_key() {
             Some((at, _)) if at <= self.horizon => {}
+            _ => return None,
+        }
+        let (at, payload) = self.queue.pop().expect("peeked above");
+        self.now = at;
+        self.processed += 1;
+        Some(payload)
+    }
+
+    /// Delivers the next event only if it lies strictly before `end` (and
+    /// within the horizon). The conservative-synchronization epoch step:
+    /// an epoch `[T, T + lookahead)` is exactly a sequence of these pops.
+    pub fn pop_before(&mut self, end: SimTime) -> Option<E> {
+        match self.queue.peek_key() {
+            Some((at, _)) if at < end && at <= self.horizon => {}
             _ => return None,
         }
         let (at, payload) = self.queue.pop().expect("peeked above");
@@ -144,6 +178,19 @@ impl<E> Engine<E> {
         F: FnMut(&mut Engine<E>, E),
     {
         while let Some(ev) = self.pop() {
+            handler(self, ev);
+        }
+    }
+
+    /// Runs the event loop over one epoch: every event strictly before
+    /// `end` (and within the horizon) is delivered; later events stay
+    /// queued. Equivalent to [`Engine::run`] when `end` is past every
+    /// pending event.
+    pub fn run_until<F>(&mut self, end: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        while let Some(ev) = self.pop_before(end) {
             handler(self, ev);
         }
     }
@@ -265,6 +312,66 @@ mod tests {
             last = e.now();
         }
         assert_eq!(e.processed(), 100_000);
+    }
+
+    #[test]
+    fn keyed_events_order_by_key_not_schedule_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = SimTime::from_secs(1);
+        e.schedule_keyed(t, 30, 30);
+        e.schedule_keyed(t, 10, 10);
+        e.schedule_keyed(t, 20, 20);
+        let got: Vec<u32> = std::iter::from_fn(|| e.pop()).collect();
+        assert_eq!(got, [10, 20, 30]);
+    }
+
+    #[test]
+    fn run_until_is_an_exclusive_window() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_keyed(SimTime::from_secs(1), 0, 1);
+        e.schedule_keyed(SimTime::from_secs(2), 0, 2);
+        e.schedule_keyed(SimTime::from_secs(3), 0, 3);
+        let mut seen = Vec::new();
+        e.run_until(SimTime::from_secs(2), |_, ev| seen.push(ev));
+        assert_eq!(seen, [1], "the window end is exclusive");
+        assert_eq!(e.next_at(), Some(SimTime::from_secs(2)));
+        e.run_until(SimTime::MAX, |_, ev| seen.push(ev));
+        assert_eq!(seen, [1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon() {
+        let mut e: Engine<u32> = Engine::with_horizon(SimTime::from_secs(10));
+        e.schedule_keyed(SimTime::from_secs(5), 0, 5);
+        e.schedule_keyed(SimTime::from_secs(15), 0, 15);
+        let mut seen = Vec::new();
+        e.run_until(SimTime::MAX, |_, ev| seen.push(ev));
+        assert_eq!(seen, [5]);
+        assert_eq!(e.pending(), 1, "past-horizon event stays queued");
+    }
+
+    #[test]
+    fn epoch_windows_reproduce_a_single_run() {
+        // Chopping a run into fixed windows must deliver the same order as
+        // one uninterrupted run.
+        let mut whole: Engine<u64> = Engine::new();
+        let mut chopped: Engine<u64> = Engine::new();
+        let mut rng = crate::rng::Rng::seed_from_u64(0xE90C);
+        for i in 0..1000u64 {
+            let at = SimTime::from_nanos(rng.below(50_000_000));
+            let key = rng.next_u64();
+            whole.schedule_keyed(at, key, i);
+            chopped.schedule_keyed(at, key, i);
+        }
+        let mut a = Vec::new();
+        whole.run(|_, ev| a.push(ev));
+        let mut b = Vec::new();
+        let mut t = SimTime::ZERO;
+        while chopped.pending() > 0 {
+            t += SimDuration::from_millis(1);
+            chopped.run_until(t, |_, ev| b.push(ev));
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

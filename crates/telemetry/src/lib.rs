@@ -37,7 +37,7 @@ pub mod manifest;
 pub mod observer;
 pub mod registry;
 
-pub use lifecycle::InterestLifecycle;
+pub use lifecycle::{InterestLifecycle, LifecycleLog};
 pub use manifest::RunManifest;
 pub use observer::{
     BfOutcome, Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict,

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 use tactic_ndn::name::Name;
 
-use crate::observer::{Hop, RetrievalOutcome};
+use crate::observer::{Hop, NodeRole, RetrievalOutcome};
 use crate::registry::{Histogram, HOP_BOUNDS, LATENCY_BOUNDS};
 use tactic_sim::time::SimTime;
 
@@ -161,6 +161,131 @@ impl InterestLifecycle {
     }
 }
 
+/// What one raw lifecycle observation was. Variant order is the
+/// canonical same-instant rank (derived `Ord`): a consumer completes a
+/// request (`Retrieval`/`TimeoutExpired`) before re-emitting for the
+/// same name, and emissions precede hops.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum LifeKind {
+    /// Terminal Data/NACK receipt at the consumer.
+    Retrieval(RetrievalOutcome),
+    /// Consumer request timer fired; payload is the emission time the
+    /// timer belongs to.
+    TimeoutExpired(SimTime),
+    /// Fresh emission; payload is the nonce.
+    Emitted(u64),
+    /// Forwarding-node hop; payload is the nonce.
+    Hop(u64),
+}
+
+/// One raw observation. The derived `Ord` over `(at, node, kind, name,
+/// role)` is the canonical replay order — total over the event's entire
+/// content, so sorting is deterministic no matter how the log was
+/// assembled.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct LifeEvent {
+    at: SimTime,
+    node: u64,
+    kind: LifeKind,
+    name: Name,
+    role: NodeRole,
+}
+
+/// An order-invariant log of raw lifecycle observations.
+///
+/// Shards record only what their owned nodes saw, but one Interest's
+/// journey crosses shards — the consumer emits in one shard while
+/// routers hop in others — so running the [`InterestLifecycle`] state
+/// machine per shard would trace torn journeys. The log defers the
+/// state machine instead: hooks append raw events during the run,
+/// per-shard logs concatenate via [`merge`](LifecycleLog::merge), and
+/// [`fold`](LifecycleLog::fold) sorts everything into the canonical
+/// order and replays it into a fresh tracer. The sequential path uses
+/// the *same* fold, so sharded lifecycle output is byte-identical by
+/// construction.
+///
+/// Why the canonical order is safe: link and compute latencies are
+/// strictly positive, so every cross-node causal pair (emit before
+/// first hop, hop before next hop, last hop before retrieval) is
+/// already separated by `at`; ties can only occur at one node, where
+/// the internal event-kind rank resolves them the way the consumer state
+/// machine does (complete, then re-emit).
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleLog {
+    events: Vec<LifeEvent>,
+}
+
+impl LifecycleLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        LifecycleLog::default()
+    }
+
+    /// Number of raw observations recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, hop: Hop, kind: LifeKind, name: &Name) {
+        self.events.push(LifeEvent {
+            at: hop.now,
+            node: hop.node,
+            kind,
+            name: name.clone(),
+            role: hop.role,
+        });
+    }
+
+    /// Records a fresh consumer emission.
+    pub fn on_interest_emitted(&mut self, hop: Hop, nonce: u64, name: &Name) {
+        self.push(hop, LifeKind::Emitted(nonce), name);
+    }
+
+    /// Records a forwarding-node hop.
+    pub fn on_interest_hop(&mut self, hop: Hop, nonce: u64, name: &Name) {
+        self.push(hop, LifeKind::Hop(nonce), name);
+    }
+
+    /// Records a terminal Data/NACK receipt at the consumer.
+    pub fn on_retrieval(&mut self, hop: Hop, name: &Name, outcome: RetrievalOutcome) {
+        self.push(hop, LifeKind::Retrieval(outcome), name);
+    }
+
+    /// Records a consumer request-timer expiry.
+    pub fn on_timeout_expired(&mut self, hop: Hop, name: &Name, sent: SimTime) {
+        self.push(hop, LifeKind::TimeoutExpired(sent), name);
+    }
+
+    /// Appends another log's observations (shard merge). Order does not
+    /// matter — [`fold`](LifecycleLog::fold) canonicalizes it.
+    pub fn merge(&mut self, other: &LifecycleLog) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// Sorts the observations into the canonical order and replays them
+    /// through a fresh [`InterestLifecycle`].
+    pub fn fold(&self) -> InterestLifecycle {
+        let mut events = self.events.clone();
+        events.sort();
+        let mut lc = InterestLifecycle::new();
+        for e in &events {
+            let hop = Hop::new(e.node, e.role, e.at);
+            match &e.kind {
+                LifeKind::Emitted(nonce) => lc.on_interest_emitted(hop, *nonce, &e.name),
+                LifeKind::Hop(nonce) => lc.on_interest_hop(hop, *nonce, &e.name),
+                LifeKind::Retrieval(outcome) => lc.on_retrieval(hop, &e.name, *outcome),
+                LifeKind::TimeoutExpired(sent) => lc.on_timeout_expired(hop, &e.name, *sent),
+            }
+        }
+        lc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +311,7 @@ mod tests {
         assert_eq!(t.hop_counts.count, 1);
         assert_eq!(t.hop_latency.count, 2);
         assert_eq!(t.still_in_flight(), 0);
-        assert!((t.total_latency.sum - 0.05).abs() < 1e-9);
+        assert!((t.total_latency.sum() - 0.05).abs() < 1e-9);
     }
 
     #[test]
@@ -208,5 +333,97 @@ mod tests {
         t.on_retrieval(hop(9, NodeRole::Consumer, 1.1), &n, RetrievalOutcome::Data);
         assert_eq!(t.completed_with(RetrievalOutcome::Data), 0);
         assert_eq!(t.hop_latency.count, 0);
+    }
+
+    #[test]
+    fn log_fold_matches_direct_tracing() {
+        let n = name("/p/obj0/c0");
+        let events = [
+            (hop(9, NodeRole::Consumer, 1.0), LifeKind::Emitted(77)),
+            (hop(2, NodeRole::EdgeRouter, 1.01), LifeKind::Hop(77)),
+            (hop(3, NodeRole::CoreRouter, 1.02), LifeKind::Hop(77)),
+            (
+                hop(9, NodeRole::Consumer, 1.05),
+                LifeKind::Retrieval(RetrievalOutcome::Data),
+            ),
+        ];
+
+        let mut direct = InterestLifecycle::new();
+        let mut log = LifecycleLog::new();
+        for (h, kind) in &events {
+            match kind {
+                LifeKind::Emitted(nonce) => {
+                    direct.on_interest_emitted(*h, *nonce, &n);
+                    log.on_interest_emitted(*h, *nonce, &n);
+                }
+                LifeKind::Hop(nonce) => {
+                    direct.on_interest_hop(*h, *nonce, &n);
+                    log.on_interest_hop(*h, *nonce, &n);
+                }
+                LifeKind::Retrieval(o) => {
+                    direct.on_retrieval(*h, &n, *o);
+                    log.on_retrieval(*h, &n, *o);
+                }
+                LifeKind::TimeoutExpired(sent) => {
+                    direct.on_timeout_expired(*h, &n, *sent);
+                    log.on_timeout_expired(*h, &n, *sent);
+                }
+            }
+        }
+
+        let mut want = crate::registry::Registry::new();
+        direct.export_into(&mut want);
+        let mut got = crate::registry::Registry::new();
+        log.fold().export_into(&mut got);
+        assert_eq!(want.to_jsonl(), got.to_jsonl());
+    }
+
+    #[test]
+    fn fold_is_invariant_to_log_assembly_order() {
+        let n0 = name("/p/obj0/c0");
+        let n1 = name("/p/obj1/c0");
+        // Consumer 9's journey is observed in "shard A", the router hops
+        // in "shard B"; consumer 11 re-emits after a timeout.
+        let mut a = LifecycleLog::new();
+        a.on_interest_emitted(hop(9, NodeRole::Consumer, 1.0), 77, &n0);
+        a.on_retrieval(
+            hop(9, NodeRole::Consumer, 1.05),
+            &n0,
+            RetrievalOutcome::Data,
+        );
+        a.on_interest_emitted(hop(11, NodeRole::Consumer, 1.0), 78, &n1);
+        a.on_timeout_expired(
+            hop(11, NodeRole::Consumer, 3.0),
+            &n1,
+            SimTime::from_secs_f64(1.0),
+        );
+        a.on_interest_emitted(hop(11, NodeRole::Consumer, 3.0), 79, &n1);
+        let mut b = LifecycleLog::new();
+        b.on_interest_hop(hop(2, NodeRole::EdgeRouter, 1.01), 77, &n0);
+        b.on_interest_hop(hop(3, NodeRole::CoreRouter, 1.02), 77, &n0);
+        b.on_interest_hop(hop(2, NodeRole::EdgeRouter, 1.02), 78, &n1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.len(), 8);
+
+        let (mut ab_reg, mut ba_reg) = (
+            crate::registry::Registry::new(),
+            crate::registry::Registry::new(),
+        );
+        ab.fold().export_into(&mut ab_reg);
+        ba.fold().export_into(&mut ba_reg);
+        assert_eq!(ab_reg.to_jsonl(), ba_reg.to_jsonl());
+
+        // The interleaved journeys resolved correctly: one Data
+        // completion with 2 hops, one timeout with 1 hop, one re-emission
+        // still in flight.
+        let folded = ab.fold();
+        assert_eq!(folded.completed_with(RetrievalOutcome::Data), 1);
+        assert_eq!(folded.completed_with(RetrievalOutcome::Timeout), 1);
+        assert_eq!(folded.still_in_flight(), 1);
+        assert_eq!(folded.hop_latency.count, 3);
     }
 }

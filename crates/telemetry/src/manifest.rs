@@ -40,11 +40,21 @@ pub struct RunManifest {
     pub drops_link_down: u64,
     /// Packets dropped at nodes crashed by the fault plan.
     pub drops_node_down: u64,
+    /// Shard (worker-thread) count — 1 for a sequential run.
+    pub shards: u64,
+    /// Links crossing shard boundaries (0 for a sequential run).
+    pub edge_cut: u64,
+    /// Synchronization epochs executed (0 for a sequential run).
+    pub epochs: u64,
+    /// Engine events processed per shard (one entry for sequential).
+    pub per_shard_events: Vec<u64>,
+    /// Engine queue high-water mark per shard (one entry for sequential).
+    pub per_shard_peak_queue: Vec<u64>,
 }
 
 impl RunManifest {
     /// Keys every manifest line must carry (checked by the CI smoke run).
-    pub const REQUIRED_KEYS: [&'static str; 14] = [
+    pub const REQUIRED_KEYS: [&'static str; 19] = [
         "label",
         "topology",
         "scenario_id",
@@ -59,6 +69,11 @@ impl RunManifest {
         "drops_lossy",
         "drops_link_down",
         "drops_node_down",
+        "shards",
+        "edge_cut",
+        "epochs",
+        "per_shard_events",
+        "per_shard_peak_queue",
     ];
 
     /// Renders one JSONL line (no trailing newline).
@@ -77,7 +92,12 @@ impl RunManifest {
             .field_u64("drops_reverse_face", self.drops_reverse_face)
             .field_u64("drops_lossy", self.drops_lossy)
             .field_u64("drops_link_down", self.drops_link_down)
-            .field_u64("drops_node_down", self.drops_node_down);
+            .field_u64("drops_node_down", self.drops_node_down)
+            .field_u64("shards", self.shards)
+            .field_u64("edge_cut", self.edge_cut)
+            .field_u64("epochs", self.epochs)
+            .field_u64_array("per_shard_events", &self.per_shard_events)
+            .field_u64_array("per_shard_peak_queue", &self.per_shard_peak_queue);
         o.finish()
     }
 }
@@ -103,6 +123,11 @@ mod tests {
             drops_lossy: 3,
             drops_link_down: 2,
             drops_node_down: 1,
+            shards: 4,
+            edge_cut: 12,
+            epochs: 900,
+            per_shard_events: vec![250, 250, 250, 250],
+            per_shard_peak_queue: vec![10, 9, 11, 8],
         };
         let line = m.to_json_line();
         for key in RunManifest::REQUIRED_KEYS {

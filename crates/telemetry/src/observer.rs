@@ -247,12 +247,18 @@ impl ProtocolObserver for NoopProtocolObserver {}
 /// The kitchen-sink recorder used by the `telemetry` experiment binary:
 /// labeled metrics plus the per-nonce lifecycle tracer, driven off one
 /// observer slot.
-#[derive(Debug, Default)]
+///
+/// Lifecycle hooks append to a raw [`LifecycleLog`](crate::lifecycle::LifecycleLog)
+/// rather than driving the tracer state machine live: per-shard
+/// recorders each see only a slice of a journey, so the journeys are
+/// reassembled by a canonical sort-and-replay at export time — the same
+/// fold sequential runs use, making sharded output byte-identical.
+#[derive(Debug, Clone, Default)]
 pub struct ProtocolRecorder {
     /// Decision counters and histograms.
     pub metrics: crate::registry::ProtocolMetrics,
-    /// Per-Interest lifecycle tracking.
-    pub lifecycle: crate::lifecycle::InterestLifecycle,
+    /// Raw per-Interest lifecycle observations (folded at export).
+    pub lifecycle: crate::lifecycle::LifecycleLog,
 }
 
 impl ProtocolObserver for ProtocolRecorder {
@@ -312,11 +318,21 @@ impl ProtocolObserver for ProtocolRecorder {
 
 impl ProtocolRecorder {
     /// One registry holding everything this recorder saw: the decision
-    /// metrics plus the lifecycle tracer's `tactic.lifecycle.*` exports.
+    /// metrics plus the folded lifecycle tracer's `tactic.lifecycle.*`
+    /// exports.
     pub fn export_registry(&self) -> crate::registry::Registry {
         let mut reg = self.metrics.registry.clone();
-        self.lifecycle.export_into(&mut reg);
+        self.lifecycle.fold().export_into(&mut reg);
         reg
+    }
+
+    /// Folds another recorder's observations into this one: registries
+    /// add pointwise, lifecycle logs concatenate. Merging per-shard
+    /// recorders in any order yields the same
+    /// [`export_registry`](ProtocolRecorder::export_registry) output.
+    pub fn merge(&mut self, other: &ProtocolRecorder) {
+        self.metrics.registry.merge(&other.metrics.registry);
+        self.lifecycle.merge(&other.lifecycle);
     }
 }
 

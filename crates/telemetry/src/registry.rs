@@ -32,6 +32,13 @@ impl Counter {
     }
 }
 
+/// Fixed-point scale (2³² fractional bits) for the sample-sum
+/// accumulator. Integer addition is associative, so per-shard partial
+/// sums merge to the same value under any grouping — which `f64`
+/// accumulation cannot guarantee, and byte-identical sharded output
+/// requires.
+const SUM_SCALE: f64 = 4_294_967_296.0;
+
 /// A fixed-boundary histogram: `bounds[i]` is the inclusive upper edge of
 /// bucket `i`, with one implicit overflow bucket at the end.
 ///
@@ -43,8 +50,8 @@ pub struct Histogram {
     counts: Vec<u64>,
     /// Number of recorded samples.
     pub count: u64,
-    /// Sum of recorded samples.
-    pub sum: f64,
+    /// Sum of recorded samples, in `SUM_SCALE` fixed point.
+    sum_fp: i128,
 }
 
 impl Histogram {
@@ -57,7 +64,7 @@ impl Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
             count: 0,
-            sum: 0.0,
+            sum_fp: 0,
         }
     }
 
@@ -70,7 +77,7 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.count += 1;
-        self.sum += v;
+        self.sum_fp += (v * SUM_SCALE) as i128;
     }
 
     /// The configured bucket edges.
@@ -94,7 +101,13 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum_fp += other.sum_fp;
+    }
+
+    /// Sum of recorded samples (quantized to the fixed-point grid, so
+    /// exact to ~2⁻³² of the recorded unit).
+    pub fn sum(&self) -> f64 {
+        self.sum_fp as f64 / SUM_SCALE
     }
 
     /// Mean of recorded samples (0.0 when empty).
@@ -102,7 +115,7 @@ impl Histogram {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum() / self.count as f64
         }
     }
 }
@@ -234,7 +247,7 @@ impl Registry {
             o.field_str("kind", "histogram")
                 .field_str("key", k)
                 .field_u64("count", h.count)
-                .field_f64("sum", h.sum)
+                .field_f64("sum", h.sum())
                 .field_f64_array("bounds", &h.bounds)
                 .field_u64_array("buckets", &h.counts);
             out.push_str(&o.finish());

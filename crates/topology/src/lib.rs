@@ -26,7 +26,9 @@ pub mod paper;
 pub mod roles;
 pub mod routing;
 pub mod scale_free;
+pub mod shard;
 
 pub use graph::{Graph, Link, LinkId, LinkSpec, NodeId, Role};
 pub use paper::PaperTopology;
 pub use roles::{build_topology, Topology, TopologySpec};
+pub use shard::{ShardError, ShardMap};

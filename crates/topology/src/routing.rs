@@ -89,6 +89,37 @@ where
         .collect()
 }
 
+/// [`routes_toward`] for many targets at once, fanned out across std
+/// threads with a deterministic merge: the result is *exactly*
+/// `targets.iter().map(|&t| routes_toward(graph, t)).collect()` — each
+/// Dijkstra is independent and internally deterministic, and results are
+/// written back by target index, so the merge order cannot depend on
+/// thread scheduling. This is what makes 10⁵-node FIB population scale
+/// with cores instead of burning 7 s on one.
+pub fn routes_toward_many(graph: &Graph, targets: &[NodeId]) -> Vec<Vec<Option<RouteEntry>>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(targets.len().max(1));
+    if threads <= 1 || targets.len() <= 1 {
+        return targets.iter().map(|&t| routes_toward(graph, t)).collect();
+    }
+    let mut results: Vec<Vec<Option<RouteEntry>>> = vec![Vec::new(); targets.len()];
+    // Chunk targets contiguously; each worker owns a disjoint slice of the
+    // result vector, so no locking and no post-hoc reordering is needed.
+    let chunk = targets.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (targets, results) in targets.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, &target) in results.iter_mut().zip(targets) {
+                    *slot = routes_toward(graph, target);
+                }
+            });
+        }
+    });
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +233,36 @@ mod tests {
             "detours around the cut"
         );
         assert_eq!(routes[a.index()].unwrap().cost, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn many_targets_match_sequential_per_target_runs() {
+        use crate::roles::{build_topology, TopologySpec};
+        use tactic_sim::rng::Rng;
+        let topo = build_topology(
+            &TopologySpec {
+                core_routers: 24,
+                edge_routers: 6,
+                providers: 4,
+                clients: 12,
+                attackers: 3,
+            },
+            &mut Rng::seed_from_u64(11),
+        );
+        let targets: Vec<NodeId> = topo.providers.iter().map(|&p| topo.gateway_of(p)).collect();
+        let parallel = routes_toward_many(&topo.graph, &targets);
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(parallel[i], routes_toward(&topo.graph, t), "target {i}");
+        }
+    }
+
+    #[test]
+    fn many_targets_handles_degenerate_inputs() {
+        let (g, [a, _, c]) = line_graph();
+        assert!(routes_toward_many(&g, &[]).is_empty());
+        assert_eq!(routes_toward_many(&g, &[c]), vec![routes_toward(&g, c)]);
+        let dup = routes_toward_many(&g, &[a, a]);
+        assert_eq!(dup[0], dup[1]);
     }
 
     #[test]

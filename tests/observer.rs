@@ -47,8 +47,26 @@ fn noop_observer_leaves_baseline_reports_byte_identical() {
 fn grid_thread_counts_and_noop_observed_runs_all_agree() {
     let s = small(5);
     let sid = scenario_id("observer-noop", &[]);
-    let serial = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 1, Verbosity::Quiet);
-    let parallel = run_replicas("obs", PaperTopology::Topo1, sid, &s, 3, 4, Verbosity::Quiet);
+    let serial = run_replicas(
+        "obs",
+        PaperTopology::Topo1,
+        sid,
+        &s,
+        3,
+        1,
+        &[1],
+        Verbosity::Quiet,
+    );
+    let parallel = run_replicas(
+        "obs",
+        PaperTopology::Topo1,
+        sid,
+        &s,
+        3,
+        4,
+        &[1],
+        Verbosity::Quiet,
+    );
     for i in 0..serial.len() {
         let seed = derive_seed(
             BASE_SEED,

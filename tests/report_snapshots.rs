@@ -83,6 +83,7 @@ fn grid_reports_are_byte_identical_across_thread_counts() {
         &s,
         2,
         1,
+        &[1],
         Verbosity::Quiet,
     );
     let serial_dump = dump_runs(&serial);
@@ -94,6 +95,7 @@ fn grid_reports_are_byte_identical_across_thread_counts() {
             &s,
             2,
             threads,
+            &[1],
             Verbosity::Quiet,
         );
         assert_eq!(
@@ -105,17 +107,18 @@ fn grid_reports_are_byte_identical_across_thread_counts() {
     check("grid_small_2seeds.txt", &serial_dump);
 }
 
-/// Guards the snapshot *files themselves* against churn: the zero-copy
-/// ownership refactor must leave every golden byte exactly as the
-/// pre-refactor planes wrote it, so the checked-in digest is pinned here.
-/// An accidental `SNAPSHOT_UPDATE=1` regeneration that changes anything
-/// fails this test even though the behavioural tests above would then
-/// trivially pass.
+/// Guards the snapshot *files themselves* against churn: an accidental
+/// `SNAPSHOT_UPDATE=1` regeneration that changes anything fails this
+/// test even though the behavioural tests above would then trivially
+/// pass. Re-pinned for the sharded-PDES refactor: shard-invariant event
+/// keys and per-node RNG streams re-ordered same-instant draws (and
+/// `peak_queue_depth`, a per-engine quantity, left the report dump), so
+/// the sequential trajectory itself legitimately changed.
 #[test]
 fn checked_in_snapshots_are_unchanged_from_seed() {
     use tactic_crypto::hash::Hasher64;
     let pinned: &[(&str, u64, usize)] =
-        &[("tactic_small_seed42.txt", 0xBAA7_92DD_1C71_0D6A, 850_777)];
+        &[("tactic_small_seed42.txt", 0xBED1_760F_680E_BB95, 852_596)];
     for &(name, digest, len) in pinned {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("tests/snapshots")
