@@ -16,14 +16,17 @@ use tactic_ndn::forwarder::{process_data, process_interest, InterestAction, Tabl
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::{Interest, Packet};
 use tactic_net::{
-    populate_fib, provider_prefix, run_sharded, ApRelay, Catalog, Emit, Links, Net, NetConfig,
-    NetObserver, NodePlane, NoopObserver, PlaneCtx, RequesterConfig, ShardSpec, ShardedStats,
-    TransportReport, ZipfRequester,
+    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, Catalog, Emit, Links, Net,
+    NetConfig, NetObserver, NodePlane, NoopObserver, PlaneCtx, RequesterConfig, ShardSpec,
+    ShardedStats, TransportReport, ZipfRequester,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::stats::{ratio, TimeSeries};
 use tactic_sim::time::{SimDuration, SimTime};
-use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
+use tactic_telemetry::{
+    Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome, SampleRow,
+    SpanProfiler,
+};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
 use tactic_topology::shard::{ShardError, ShardMap};
@@ -75,12 +78,22 @@ pub struct BaselineReport {
     pub client_gave_up: u64,
     /// Client request expiries (stale-timeout-filtered).
     pub client_timeouts: u64,
+    /// High-water mark of content-store entries summed over every router,
+    /// sampled at the periodic purge sweeps (observability extension).
+    pub peak_cs_entries: u64,
+    /// Deterministic sim-time samples (observability extension; empty
+    /// unless the scenario sets `sample_every`).
+    pub samples: Vec<SampleRow>,
+    /// Wall-clock span profile (observability extension; `None` unless
+    /// the scenario enables profiling). Nondeterministic — never golden.
+    pub profile: Option<Box<SpanProfiler>>,
 }
 
-/// Manual `Debug`: every field except `peak_queue_depth`, which is a
-/// per-engine quantity that depends on the shard partition — excluding
-/// it keeps formatted reports (golden snapshots, equivalence diffs)
-/// byte-identical across shard counts.
+/// Manual `Debug`: every field except `peak_queue_depth` (a per-engine
+/// quantity that depends on the shard partition) and the observability
+/// extensions (`peak_cs_entries`, `samples`, `profile`) — excluding
+/// them keeps formatted reports (golden snapshots, equivalence diffs)
+/// byte-identical across shard counts and sampler settings.
 impl std::fmt::Debug for BaselineReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BaselineReport")
@@ -146,6 +159,8 @@ pub struct BaselinePlane<PO: ProtocolObserver = NoopProtocolObserver> {
     /// PIT records summed over this instance's live routers, one entry
     /// per purge sweep (see `TacticPlane` for the shard-merge rationale).
     pit_sweep_sums: Vec<u64>,
+    /// Content-store entries summed the same way, one entry per sweep.
+    cs_sweep_sums: Vec<u64>,
     proto: PO,
 }
 
@@ -178,6 +193,9 @@ impl<PO: ProtocolObserver> BaselinePlane<PO> {
             peak_queue_depth: transport.peak_queue_depth,
             drops: transport.drops,
             peak_pit_records: self.pit_sweep_sums.iter().copied().max().unwrap_or(0),
+            peak_cs_entries: self.cs_sweep_sums.iter().copied().max().unwrap_or(0),
+            samples: transport.samples,
+            profile: transport.profile,
             ..Default::default()
         };
         for node in self.nodes {
@@ -363,13 +381,15 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     }
 
     fn on_purge(&mut self, now: SimTime) {
-        // Sample PIT occupancy *before* sweeping so the peak reflects what
-        // loss actually accumulated, then purge expired entries.
+        // Sample PIT/CS occupancy *before* sweeping so the peaks reflect
+        // what loss actually accumulated, then purge expired entries.
         let mut pit_records = 0u64;
+        let mut cs_entries = 0u64;
         for node in &mut self.nodes {
             match node {
                 Node::Router(t) => {
                     pit_records += t.pit.total_records() as u64;
+                    cs_entries += t.cs.len() as u64;
                     t.pit.purge_expired(now);
                 }
                 Node::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
@@ -377,6 +397,22 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
             }
         }
         self.pit_sweep_sums.push(pit_records);
+        self.cs_sweep_sums.push(cs_entries);
+    }
+
+    fn on_sample(&mut self, _now: SimTime, owns: &dyn Fn(NodeId) -> bool, row: &mut SampleRow) {
+        // Baseline routers carry no Bloom filter, so only the table
+        // gauges contribute; every term is an integer sum over owned
+        // nodes, which is what makes per-shard rows merge exactly.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !owns(NodeId(idx as u32)) {
+                continue;
+            }
+            if let Node::Router(t) = node {
+                row.pit_records += t.pit.total_records() as u64;
+                row.cs_entries += t.cs.len() as u64;
+            }
+        }
     }
 
     fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
@@ -550,6 +586,7 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             mechanism,
             nodes,
             pit_sweep_sums: Vec::new(),
+            cs_sweep_sums: Vec::new(),
             proto,
         };
         let config = NetConfig {
@@ -557,6 +594,8 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             mobility: scenario.mobility,
             cost: scenario.cost_model.clone(),
             faults: scenario.faults.clone(),
+            sample_every: scenario.sample_every,
+            profile: scenario.profile,
         };
         BaselineNetwork {
             net: match shard {
@@ -610,21 +649,22 @@ where
     let shard_of = shard_map.shard_of.clone();
     drop(topo);
 
-    let (results, mut stats) = run_sharded(shards, lookahead, horizon, |s| {
-        BaselineNetwork::build_inner(
-            scenario,
-            mechanism,
-            seed,
-            make_observer(s),
-            make_proto(s),
-            Some(ShardSpec {
-                k: shards,
-                my_shard: s,
-                shard_of: shard_map.shard_of.clone(),
-            }),
-        )
-        .net
-    });
+    let (results, mut stats) =
+        run_sharded_profiled(shards, lookahead, horizon, scenario.profile, |s| {
+            BaselineNetwork::build_inner(
+                scenario,
+                mechanism,
+                seed,
+                make_observer(s),
+                make_proto(s),
+                Some(ShardSpec {
+                    k: shards,
+                    my_shard: s,
+                    shard_of: shard_map.shard_of.clone(),
+                }),
+            )
+            .net
+        });
     stats.edge_cut = shard_map.edge_cut;
 
     let mut planes = Vec::with_capacity(shards);
@@ -638,22 +678,37 @@ where
     let merged = TransportReport::merge_shards(&transports);
 
     // Stitch the owned node states back into one plane, in node-id
-    // order, folding the mirrored per-sweep PIT sums element-wise.
+    // order, folding the mirrored per-sweep PIT/CS sums element-wise.
+    // Per-shard sweep maxima feed the stats before the fold erases them.
     let mut protos = Vec::with_capacity(shards);
     let mut pit_sweep_sums: Vec<u64> = Vec::new();
+    let mut cs_sweep_sums: Vec<u64> = Vec::new();
     let mut per_shard_nodes: Vec<Vec<Option<Node>>> = Vec::with_capacity(shards);
     for plane in planes {
         let BaselinePlane {
             mechanism: _,
             nodes,
             pit_sweep_sums: sums,
+            cs_sweep_sums: cs_sums,
             proto,
         } = plane;
+        stats
+            .per_shard_peak_pit
+            .push(sums.iter().copied().max().unwrap_or(0));
+        stats
+            .per_shard_peak_cs
+            .push(cs_sums.iter().copied().max().unwrap_or(0));
         if pit_sweep_sums.len() < sums.len() {
             pit_sweep_sums.resize(sums.len(), 0);
         }
         for (i, v) in sums.iter().enumerate() {
             pit_sweep_sums[i] += v;
+        }
+        if cs_sweep_sums.len() < cs_sums.len() {
+            cs_sweep_sums.resize(cs_sums.len(), 0);
+        }
+        for (i, v) in cs_sums.iter().enumerate() {
+            cs_sweep_sums[i] += v;
         }
         protos.push(proto);
         per_shard_nodes.push(nodes.into_iter().map(Some).collect());
@@ -671,6 +726,7 @@ where
         mechanism,
         nodes,
         pit_sweep_sums,
+        cs_sweep_sums,
         proto: NoopProtocolObserver,
     };
     let (report, _) = stitched.into_report(merged);

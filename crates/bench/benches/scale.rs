@@ -21,7 +21,9 @@
 //! * With `BENCH_SCALE_JSON=<path>` also write `BENCH_scale.json`,
 //!   including a paper-preset throughput check against the
 //!   `BENCH_datapath.json` baseline recorded below — the scale refactor
-//!   must not cost the small runs anything.
+//!   must not cost the small runs anything — and a `"sampler"` point
+//!   measuring the sim-time sampler disabled vs. enabled at the largest
+//!   node count (ISSUE 8 budget: ≤ 5% events/s overhead at 10⁵ nodes).
 //! * `BENCH_SCALE_CHILD=<nodes>:<sim_ms>` (internal) — run one point and
 //!   print its JSON on stdout; the parent sets this when re-executing
 //!   itself.
@@ -238,6 +240,65 @@ fn measure_shard_point(nodes: usize, sim_ms: u64, k: usize, base_eps: f64) -> Sh
     }
 }
 
+/// One disabled-vs-enabled measurement of the sim-time sampler.
+struct SamplerPoint {
+    nodes: usize,
+    sim_ms: u64,
+    samples: u64,
+    base_events_per_sec: f64,
+    sampled_events_per_sec: f64,
+    overhead_pct: f64,
+}
+
+impl SamplerPoint {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\": {}, \"sim_ms\": {}, \"samples\": {}, ",
+                "\"baseline_events_per_sec\": {:.0}, ",
+                "\"sampled_events_per_sec\": {:.0}, \"overhead_pct\": {:.2}}}"
+            ),
+            self.nodes,
+            self.sim_ms,
+            self.samples,
+            self.base_events_per_sec,
+            self.sampled_events_per_sec,
+            self.overhead_pct,
+        )
+    }
+}
+
+/// Sampler-overhead probe at one node count: the same fleet run with the
+/// sim-time sampler off and then on at one tick per tenth of the
+/// horizon. "Off" needs no measurement trick — a disabled sampler is an
+/// `Option` that stays `None`, the identical code path as before the
+/// feature existed — so the disabled run *is* the baseline, and the
+/// enabled run's wall-clock delta is the whole cost (ISSUE 8 budget:
+/// ≤ 5% events/s at 10⁵ nodes).
+fn measure_sampler_point(nodes: usize, sim_ms: u64) -> SamplerPoint {
+    let s = fleet_scenario(nodes, sim_ms);
+    let net = Network::build(&s, 1);
+    let t = Instant::now();
+    let base = net.run();
+    let base_secs = t.elapsed().as_secs_f64();
+
+    let mut sampled_scenario = fleet_scenario(nodes, sim_ms);
+    sampled_scenario.sample_every = Some(SimDuration::from_millis((sim_ms / 10).max(1)));
+    let net = Network::build(&sampled_scenario, 1);
+    let t = Instant::now();
+    let sampled = net.run();
+    let sampled_secs = t.elapsed().as_secs_f64();
+
+    SamplerPoint {
+        nodes,
+        sim_ms,
+        samples: sampled.samples.len() as u64,
+        base_events_per_sec: base.events as f64 / base_secs.max(1e-9),
+        sampled_events_per_sec: sampled.events as f64 / sampled_secs.max(1e-9),
+        overhead_pct: (sampled_secs - base_secs) / base_secs.max(1e-9) * 100.0,
+    }
+}
+
 /// Paper-preset throughput probe: the same small scenario the datapath
 /// bench measures, so the number is directly comparable to the
 /// `BENCH_datapath.json` baseline.
@@ -306,6 +367,19 @@ fn main() {
         }
     }
 
+    // Sampler overhead at the largest point: the enabled run's wall-clock
+    // delta against the (structurally identical) disabled baseline.
+    let sampler = sizes.iter().max().map(|&nodes| {
+        let sim_ms = sim_ms_for(nodes);
+        eprintln!("scale: {nodes} nodes, sampler off vs on...");
+        let p = measure_sampler_point(nodes, sim_ms);
+        eprintln!(
+            "scale: {} nodes sampler -> {:.0} events/s off, {:.0} events/s on ({} samples, {:+.2}% wall)",
+            p.nodes, p.base_events_per_sec, p.sampled_events_per_sec, p.samples, p.overhead_pct
+        );
+        p
+    });
+
     let preset_eps = measure_paper_preset();
     let throughput_x = preset_eps / DATAPATH_TACTIC_EVENTS_PER_SEC;
     eprintln!(
@@ -323,11 +397,15 @@ fn main() {
                 "  \"sync\": \"conservative_epochs\",\n",
                 "  \"points\": [\n{}\n  ],\n",
                 "  \"shards\": [\n{}\n  ],\n",
+                "  \"sampler\": {},\n",
                 "  \"paper_preset\": {{\"baseline_events_per_sec\": {:.0}, ",
                 "\"events_per_sec\": {:.0}, \"throughput_x\": {:.3}}}\n}}\n"
             ),
             body.join(",\n"),
             shard_body.join(",\n"),
+            sampler
+                .as_ref()
+                .map_or_else(|| "null".to_string(), SamplerPoint::json),
             DATAPATH_TACTIC_EVENTS_PER_SEC,
             preset_eps,
             throughput_x,

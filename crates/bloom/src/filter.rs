@@ -101,6 +101,26 @@ impl BloomFilter {
         self.set_bits as f64 / self.params.bits as f64
     }
 
+    /// Occupancy — the set-bit fraction in `[0, 1]`. This is the
+    /// saturation-trajectory signal the in-flight sampler exports per
+    /// tick; identical to [`fill_ratio`](Self::fill_ratio), named for the
+    /// observability vocabulary.
+    pub fn occupancy(&self) -> f64 {
+        self.fill_ratio()
+    }
+
+    /// Number of bits currently set. Raw integer form of
+    /// [`occupancy`](Self::occupancy) for deterministic (non-float)
+    /// aggregation across routers and shards.
+    pub fn set_bits(&self) -> usize {
+        self.set_bits
+    }
+
+    /// Total bits in the filter (`params.bits`), the occupancy denominator.
+    pub fn bit_count(&self) -> usize {
+        self.params.bits
+    }
+
     /// The current false-positive probability, estimated from the actual
     /// fill ratio: `fill^k`. This is the value TACTIC edge routers copy
     /// into the flag `F` of forwarded Interests.
@@ -306,6 +326,54 @@ mod tests {
         for i in 0..100 {
             assert!(!bf.contains(&key(i)));
         }
+    }
+
+    #[test]
+    fn occupancy_tracks_set_bits_and_fpp_matches_params_math() {
+        let params = BloomParams::for_capacity(1_000, 0.01);
+        let mut bf = BloomFilter::new(params);
+        assert_eq!(bf.occupancy(), 0.0);
+        assert_eq!(bf.set_bits(), 0);
+        assert_eq!(bf.bit_count(), params.bits);
+
+        for i in 0..1_000 {
+            bf.insert(&key(i));
+        }
+        assert_eq!(bf.occupancy(), bf.set_bits() as f64 / params.bits as f64);
+        assert!(bf.occupancy() > 0.0 && bf.occupancy() < 1.0);
+        assert!(bf.set_bits() <= params.bits);
+
+        // The design-time prediction `fpp_after(n)` models the expected
+        // fill `1 - e^(-kn/m)`; the observed occupancy must sit near it,
+        // and the fill-based estimate must match `occupancy^k` exactly.
+        let expected_fill = 1.0 - (-(params.hashes as f64) * 1_000.0 / params.bits as f64).exp();
+        let occ = bf.occupancy();
+        assert!(
+            (occ - expected_fill).abs() < 0.02,
+            "occupancy {occ} vs expected fill {expected_fill}"
+        );
+        let est = bf.estimated_fpp();
+        assert!(
+            (est - occ.powi(params.hashes as i32)).abs() < 1e-12,
+            "estimated_fpp must be occupancy^k"
+        );
+        let predicted = params.fpp_after(1_000);
+        assert!(
+            est / predicted < 3.0 && predicted / est < 3.0,
+            "estimate {est} vs params prediction {predicted}"
+        );
+    }
+
+    #[test]
+    fn occupancy_resets_with_the_filter() {
+        let mut bf = BloomFilter::new(BloomParams::paper(100));
+        for i in 0..100 {
+            bf.insert(&key(i));
+        }
+        assert!(bf.set_bits() > 0);
+        bf.reset();
+        assert_eq!(bf.set_bits(), 0);
+        assert_eq!(bf.occupancy(), 0.0);
     }
 
     #[test]

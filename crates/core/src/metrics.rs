@@ -3,6 +3,7 @@
 
 use tactic_sim::stats::{mean_u64, rate_per_second, ratio, TimeSeries};
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{SampleRow, SpanProfiler};
 
 use crate::consumer::{ConsumerKind, ConsumerStats};
 use crate::provider::ProviderCounters;
@@ -82,14 +83,28 @@ pub struct RunReport {
     pub client_gave_up: u64,
     /// Client request expiries (stale-timeout-filtered).
     pub client_timeouts: u64,
+    /// High-water mark of content-store entries summed over every router,
+    /// sampled at the periodic purge sweeps (observability extension).
+    pub peak_cs_entries: u64,
+    /// Deterministic sim-time samples (observability extension; empty
+    /// unless the scenario sets `sample_every`). Exported as
+    /// `*.timeseries.jsonl`, byte-identical across thread/shard counts.
+    pub samples: Vec<SampleRow>,
+    /// Wall-clock span profile (observability extension; `None` unless
+    /// the scenario enables profiling). Nondeterministic — never golden.
+    pub profile: Option<Box<SpanProfiler>>,
 }
 
-/// Manual `Debug`: every field except `peak_queue_depth`, which is a
-/// per-engine quantity — a K-sharded run has K queues whose individual
-/// high-water marks depend on the partition, and the formatted report
-/// (golden snapshots, equivalence diffs) must stay byte-identical
-/// across shard counts. The field itself remains readable for
-/// manifests.
+/// Manual `Debug`: every field except `peak_queue_depth` (a per-engine
+/// quantity — a K-sharded run has K queues whose individual high-water
+/// marks depend on the partition) and the observability extensions
+/// (`peak_cs_entries`, `samples`, `profile` — `profile` is wall-clock
+/// and inherently nondeterministic; the other two are deterministic but
+/// adding them would invalidate the pinned golden snapshots, and the
+/// timeseries has its own byte-identity regression). The formatted
+/// report (golden snapshots, equivalence diffs) must stay byte-identical
+/// across shard counts and sampler settings. All fields remain readable
+/// for manifests and exporters.
 impl std::fmt::Debug for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunReport")

@@ -16,12 +16,14 @@ use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::Packet;
 use tactic_net::{
-    populate_fib, provider_prefix, run_sharded, ApRelay, Emit, Links, Net, NetConfig, NetObserver,
-    NodePlane, NoopObserver, PlaneCtx, ShardSpec, ShardedStats, TransportReport,
+    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, Emit, Links, Net, NetConfig,
+    NetObserver, NodePlane, NoopObserver, PlaneCtx, ShardSpec, ShardedStats, TransportReport,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
-use tactic_telemetry::{Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome};
+use tactic_telemetry::{
+    ratio_to_fp, Hop, NodeRole, NoopProtocolObserver, ProtocolObserver, RetrievalOutcome, SampleRow,
+};
 use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
 use tactic_topology::shard::{ShardError, ShardMap};
@@ -59,6 +61,10 @@ pub struct TacticPlane<PO: ProtocolObserver = NoopProtocolObserver> {
     /// same instants, so per-shard vectors add element-wise and the
     /// final max equals the sequential high-water mark.
     pit_sweep_sums: Vec<u64>,
+    /// Content-store entries summed over this instance's live routers,
+    /// one entry per purge sweep (same mirroring argument as
+    /// `pit_sweep_sums`).
+    cs_sweep_sums: Vec<u64>,
     proto: PO,
 }
 
@@ -99,6 +105,9 @@ impl<PO: ProtocolObserver> TacticPlane<PO> {
             peak_queue_depth: transport.peak_queue_depth,
             drops: transport.drops,
             peak_pit_records: self.pit_sweep_sums.iter().copied().max().unwrap_or(0),
+            peak_cs_entries: self.cs_sweep_sums.iter().copied().max().unwrap_or(0),
+            samples: transport.samples,
+            profile: transport.profile,
             ..Default::default()
         };
         for (idx, state) in self.nodes.into_iter().enumerate() {
@@ -155,13 +164,14 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         let node_id = node.index() as u64;
         match &mut self.nodes[node.index()] {
             NodeState::Router(r) => {
+                let mut prof = ctx.profiler.as_deref_mut();
                 let res = match packet {
-                    Packet::Interest(i) => {
-                        r.handle_interest_observed(i, face, now, ctx.rng, ctx.cost, node_id, proto)
-                    }
-                    Packet::Data(d) => {
-                        r.handle_data_observed(d, face, now, ctx.rng, ctx.cost, node_id, proto)
-                    }
+                    Packet::Interest(i) => r.handle_interest_observed(
+                        i, face, now, ctx.rng, ctx.cost, node_id, proto, &mut prof,
+                    ),
+                    Packet::Data(d) => r.handle_data_observed(
+                        d, face, now, ctx.rng, ctx.cost, node_id, proto, &mut prof,
+                    ),
                     // Standalone NACKs travel downstream: relay toward the
                     // pending requesters, consuming the PIT state.
                     Packet::Nack(n) => r.handle_nack_observed(n, now, node_id, proto),
@@ -295,13 +305,15 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     }
 
     fn on_purge(&mut self, now: SimTime) {
-        // Sample PIT occupancy *before* sweeping so the peak reflects what
-        // loss actually accumulated, then purge expired entries.
+        // Sample PIT/CS occupancy *before* sweeping so the peaks reflect
+        // what loss actually accumulated, then purge expired entries.
         let mut pit_records = 0u64;
+        let mut cs_entries = 0u64;
         for state in &mut self.nodes {
             match state {
                 NodeState::Router(r) => {
                     pit_records += r.tables().pit.total_records() as u64;
+                    cs_entries += r.tables().cs.len() as u64;
                     r.purge_pit(now);
                 }
                 NodeState::Ap(ap) => ap.purge(now, SimDuration::from_secs(4)),
@@ -309,6 +321,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
             }
         }
         self.pit_sweep_sums.push(pit_records);
+        self.cs_sweep_sums.push(cs_entries);
     }
 
     fn on_reroute(&mut self, routes: &[tactic_net::FibRoute]) {
@@ -322,6 +335,29 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         for route in routes {
             if let NodeState::Router(r) = &mut self.nodes[route.router.index()] {
                 r.add_route(route.prefix.clone(), route.face, route.cost_us);
+            }
+        }
+    }
+
+    fn on_sample(&mut self, _now: SimTime, owns: &dyn Fn(NodeId) -> bool, row: &mut SampleRow) {
+        // Every gauge is an integer sum (or a fixed-point max) over the
+        // nodes this instance owns, so K per-shard rows merge to exactly
+        // the sequential row.
+        for (idx, state) in self.nodes.iter().enumerate() {
+            if !owns(NodeId(idx as u32)) {
+                continue;
+            }
+            if let NodeState::Router(r) = state {
+                let tables = r.tables();
+                row.pit_records += tables.pit.total_records() as u64;
+                row.cs_entries += tables.cs.len() as u64;
+                let bf = r.bloom_filter();
+                row.bf_set_bits += bf.set_bits() as u64;
+                row.bf_bits += bf.bit_count() as u64;
+                row.bf_fpp_fp += ratio_to_fp(bf.estimated_fpp());
+                row.bf_occ_max_fp = row.bf_occ_max_fp.max(ratio_to_fp(bf.occupancy()));
+                row.bf_resets += bf.resets();
+                row.bf_routers += 1;
             }
         }
     }
@@ -601,6 +637,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             nodes,
             edge_router_set,
             pit_sweep_sums: Vec::new(),
+            cs_sweep_sums: Vec::new(),
             proto,
         };
         let config = NetConfig {
@@ -608,6 +645,8 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             mobility: scenario.mobility,
             cost: scenario.cost_model.clone(),
             faults: scenario.faults.clone(),
+            sample_every: scenario.sample_every,
+            profile: scenario.profile,
         };
         Network {
             net: match shard {
@@ -674,20 +713,21 @@ where
     let shard_of = shard_map.shard_of.clone();
     drop(topo);
 
-    let (results, mut stats) = run_sharded(shards, lookahead, horizon, |s| {
-        Network::build_inner(
-            scenario,
-            seed,
-            make_observer(s),
-            make_proto(s),
-            Some(ShardSpec {
-                k: shards,
-                my_shard: s,
-                shard_of: shard_map.shard_of.clone(),
-            }),
-        )
-        .net
-    });
+    let (results, mut stats) =
+        run_sharded_profiled(shards, lookahead, horizon, scenario.profile, |s| {
+            Network::build_inner(
+                scenario,
+                seed,
+                make_observer(s),
+                make_proto(s),
+                Some(ShardSpec {
+                    k: shards,
+                    my_shard: s,
+                    shard_of: shard_map.shard_of.clone(),
+                }),
+            )
+            .net
+        });
     stats.edge_cut = shard_map.edge_cut;
 
     let mut planes = Vec::with_capacity(shards);
@@ -701,26 +741,42 @@ where
     let merged = TransportReport::merge_shards(&transports);
 
     // Stitch the owned node states back into one plane, in node-id
-    // order, and fold the mirrored per-sweep PIT sums element-wise.
+    // order, and fold the mirrored per-sweep PIT/CS sums element-wise.
+    // Each shard's own sweep maxima feed the per-shard stats before the
+    // fold erases them.
     let mut protos = Vec::with_capacity(shards);
     let mut edge_router_set: Vec<bool> = Vec::new();
     let mut pit_sweep_sums: Vec<u64> = Vec::new();
+    let mut cs_sweep_sums: Vec<u64> = Vec::new();
     let mut per_shard_nodes: Vec<Vec<Option<NodeState>>> = Vec::with_capacity(shards);
     for plane in planes {
         let TacticPlane {
             nodes,
             edge_router_set: ers,
             pit_sweep_sums: sums,
+            cs_sweep_sums: cs_sums,
             proto,
         } = plane;
         if edge_router_set.is_empty() {
             edge_router_set = ers;
         }
+        stats
+            .per_shard_peak_pit
+            .push(sums.iter().copied().max().unwrap_or(0));
+        stats
+            .per_shard_peak_cs
+            .push(cs_sums.iter().copied().max().unwrap_or(0));
         if pit_sweep_sums.len() < sums.len() {
             pit_sweep_sums.resize(sums.len(), 0);
         }
         for (i, v) in sums.iter().enumerate() {
             pit_sweep_sums[i] += v;
+        }
+        if cs_sweep_sums.len() < cs_sums.len() {
+            cs_sweep_sums.resize(cs_sums.len(), 0);
+        }
+        for (i, v) in cs_sums.iter().enumerate() {
+            cs_sweep_sums[i] += v;
         }
         protos.push(proto);
         per_shard_nodes.push(nodes.into_iter().map(Some).collect());
@@ -738,6 +794,7 @@ where
         nodes,
         edge_router_set,
         pit_sweep_sums,
+        cs_sweep_sums,
         proto: NoopProtocolObserver,
     };
     let (report, _) = stitched.into_report(scenario.duration, merged);

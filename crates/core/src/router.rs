@@ -23,7 +23,7 @@ use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
 use tactic_telemetry::{
     BfOutcome, Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict,
-    ProtocolObserver, RevalidationOutcome,
+    ProtocolObserver, RevalidationOutcome, SpanProfiler,
 };
 
 use crate::ext;
@@ -196,6 +196,18 @@ pub struct TagNote {
     pub tag: Option<Arc<SignedTag>>,
 }
 
+/// Runs `f` under the span `name` when a profiler is attached; the
+/// disabled path (`None`, the default everywhere) costs one branch and
+/// no clock reads. Handlers thread `prof` by mutable reference so one
+/// packet's phases all land in the same profiler.
+#[inline]
+fn timed<T>(prof: &mut Option<&mut SpanProfiler>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    match prof {
+        Some(p) => p.time(name, f),
+        None => f(),
+    }
+}
+
 /// Outcome of the Protocol 3 content-serving decision.
 #[derive(Debug)]
 enum ServeDecision {
@@ -342,6 +354,7 @@ impl TacticRouter {
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
+        prof: &mut Option<&mut SpanProfiler>,
     ) -> bool {
         if reval {
             self.counters.bf_lookups_reval += 1;
@@ -349,7 +362,7 @@ impl TacticRouter {
             self.counters.bf_lookups += 1;
         }
         *charge += cost.sample(Op::BfLookup, rng);
-        let hit = self.bf.contains(key);
+        let hit = timed(prof, "bf_lookup", || self.bf.contains(key));
         obs.on_bf_lookup(
             hop,
             if hit { BfOutcome::Hit } else { BfOutcome::Miss },
@@ -361,6 +374,7 @@ impl TacticRouter {
     /// BF insert with saturation-reset accounting, cost charging, counting.
     /// The reset decision itself lives in [`BloomFilter::insert_with_reset`]
     /// so `counters.bf_resets` stays in lockstep with `BloomFilter::resets()`.
+    #[allow(clippy::too_many_arguments)]
     fn bf_insert<O: ProtocolObserver>(
         &mut self,
         key: &[u8],
@@ -369,10 +383,11 @@ impl TacticRouter {
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
+        prof: &mut Option<&mut SpanProfiler>,
     ) {
         self.counters.bf_insertions += 1;
         *charge += cost.sample(Op::BfInsert, rng);
-        let reset = self.bf.insert_with_reset(key);
+        let reset = timed(prof, "bf_insert", || self.bf.insert_with_reset(key));
         if reset {
             self.counters.bf_resets += 1;
             self.reset_request_counts.push(self.requests_since_reset);
@@ -394,9 +409,10 @@ impl TacticRouter {
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
+        prof: &mut Option<&mut SpanProfiler>,
     ) -> bool {
         let key = tag.bloom_key();
-        if self.bf_contains(&key, reval, hop, obs, rng, cost, charge) {
+        if self.bf_contains(&key, reval, hop, obs, rng, cost, charge, prof) {
             return true;
         }
         if reval {
@@ -405,11 +421,13 @@ impl TacticRouter {
             self.counters.sig_verifications += 1;
         }
         *charge += cost.sample(Op::SigVerify, rng);
-        let provider = self.certs.key_for(&tag.tag.provider_prefix().to_string());
-        let valid = provider.is_some_and(|pk| tag.verify(&pk));
+        let valid = timed(prof, "sig_verify", || {
+            let provider = self.certs.key_for(&tag.tag.provider_prefix().to_string());
+            provider.is_some_and(|pk| tag.verify(&pk))
+        });
         obs.on_sig_verify(hop, valid, reval);
         if valid {
-            self.bf_insert(&key, hop, obs, rng, cost, charge);
+            self.bf_insert(&key, hop, obs, rng, cost, charge, prof);
         }
         valid
     }
@@ -432,11 +450,13 @@ impl TacticRouter {
             cost,
             0,
             &mut NoopProtocolObserver,
+            &mut None,
         )
     }
 
     /// [`Self::handle_interest`] with protocol-decision hooks: `node` is
-    /// this router's id in the topology, stamped onto every hook.
+    /// this router's id in the topology, stamped onto every hook. `prof`
+    /// receives wall-clock spans for the hot phases when profiling.
     #[allow(clippy::too_many_arguments)]
     pub fn handle_interest_observed<O: ProtocolObserver>(
         &mut self,
@@ -447,6 +467,7 @@ impl TacticRouter {
         cost: &CostModel,
         node: u64,
         obs: &mut O,
+        prof: &mut Option<&mut SpanProfiler>,
     ) -> RouterOutput {
         let mut out = RouterOutput::default();
         let hop = Hop::new(node, self.telemetry_role(), now);
@@ -510,7 +531,9 @@ impl TacticRouter {
                 // its 1 s request expiry, which is the paper's
                 // "request-based DoS prevention" (§8.B).
                 out.compute += cost.sample(Op::PreCheck, rng);
-                if let Err(e) = edge_precheck(&st.tag, interest.name(), now) {
+                if let Err(e) = timed(prof, "precheck", || {
+                    edge_precheck(&st.tag, interest.name(), now)
+                }) {
                     self.counters.precheck_rejections += 1;
                     obs.on_precheck(
                         hop,
@@ -522,13 +545,14 @@ impl TacticRouter {
                 obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
                 // Lines 4-8: set F from the BF.
                 let key = st.bloom_key();
-                let f = if self.bf_contains(&key, false, hop, obs, rng, cost, &mut out.compute) {
-                    // A hit with a pristine filter still means "validated":
-                    // floor the flag so it stays distinguishable from 0.
-                    self.bf.estimated_fpp().max(1e-9)
-                } else {
-                    0.0
-                };
+                let f =
+                    if self.bf_contains(&key, false, hop, obs, rng, cost, &mut out.compute, prof) {
+                        // A hit with a pristine filter still means "validated":
+                        // floor the flag so it stays distinguishable from 0.
+                        self.bf.estimated_fpp().max(1e-9)
+                    } else {
+                        0.0
+                    };
                 ext::set_interest_flag_f(&mut interest, f);
             } else {
                 ext::set_interest_flag_f(&mut interest, 0.0);
@@ -557,6 +581,7 @@ impl TacticRouter {
                     rng,
                     cost,
                     &mut out.compute,
+                    prof,
                 );
                 match decision {
                     ServeDecision::Serve(d) => out.sends.push((in_face, Packet::Data(d))),
@@ -579,11 +604,11 @@ impl TacticRouter {
         // ── Protocol 4, Interest side: PIT aggregation, FIB forward ──
         let note = TagNote { f: flag_f, tag };
         let expiry = now + SimDuration::from_millis(interest.lifetime_ms() as u64);
-        match self
-            .tables
-            .pit
-            .on_interest(interest.name(), in_face, interest.nonce(), expiry, note)
-        {
+        match timed(prof, "pit_ops", || {
+            self.tables
+                .pit
+                .on_interest(interest.name(), in_face, interest.nonce(), expiry, note)
+        }) {
             PitInsert::DuplicateNonce => {}
             PitInsert::Aggregated => {
                 let depth = self
@@ -625,6 +650,7 @@ impl TacticRouter {
         rng: &mut Rng,
         cost: &CostModel,
         charge: &mut SimDuration,
+        prof: &mut Option<&mut SpanProfiler>,
     ) -> ServeDecision {
         let al = ext::data_access_level(&cached);
         // Public (NULL) content needs no tag verification at all.
@@ -645,7 +671,7 @@ impl TacticRouter {
         // Protocol 1, content half.
         *charge += cost.sample(Op::PreCheck, rng);
         let key_loc = ext::data_key_locator(&cached).unwrap_or_default();
-        if let Err(e) = content_precheck(&st.tag, al, &key_loc) {
+        if let Err(e) = timed(prof, "precheck", || content_precheck(&st.tag, al, &key_loc)) {
             self.counters.precheck_rejections += 1;
             obs.on_precheck(
                 hop,
@@ -659,14 +685,16 @@ impl TacticRouter {
         obs.on_precheck(hop, PrecheckStage::Content, PrecheckVerdict::Accepted);
         let valid = if flag_f == 0.0 {
             // Lines 1-10: BF lookup; verify + insert on miss.
-            self.validate_tag(st, false, hop, obs, rng, cost, charge)
+            self.validate_tag(st, false, hop, obs, rng, cost, charge, prof)
         } else if rng.chance(flag_f) {
             // Lines 11-12: probabilistic re-validation guards against the
             // edge filter's false positives.
             self.counters.revalidations += 1;
             *charge += cost.sample(Op::SigVerify, rng);
-            let provider = self.certs.key_for(&st.tag.provider_prefix().to_string());
-            let valid = provider.is_some_and(|pk| st.verify(&pk));
+            let valid = timed(prof, "sig_verify", || {
+                let provider = self.certs.key_for(&st.tag.provider_prefix().to_string());
+                provider.is_some_and(|pk| st.verify(&pk))
+            });
             obs.on_sig_verify(hop, valid, true);
             obs.on_revalidation(
                 hop,
@@ -703,7 +731,16 @@ impl TacticRouter {
         rng: &mut Rng,
         cost: &CostModel,
     ) -> RouterOutput {
-        self.handle_data_observed(data, in_face, now, rng, cost, 0, &mut NoopProtocolObserver)
+        self.handle_data_observed(
+            data,
+            in_face,
+            now,
+            rng,
+            cost,
+            0,
+            &mut NoopProtocolObserver,
+            &mut None,
+        )
     }
 
     /// [`Self::handle_data`] with protocol-decision hooks.
@@ -717,6 +754,7 @@ impl TacticRouter {
         cost: &CostModel,
         node: u64,
         obs: &mut O,
+        prof: &mut Option<&mut SpanProfiler>,
     ) -> RouterOutput {
         let mut out = RouterOutput::default();
         let hop = Hop::new(node, self.telemetry_role(), now);
@@ -725,7 +763,7 @@ impl TacticRouter {
         // Registration responses: edge inserts the fresh tag (Protocol 2
         // lines 11-12) and everyone forwards without caching.
         if let Some(new_tag) = ext::data_new_tag(&data) {
-            let Some(entry) = self.tables.pit.take(data.name()) else {
+            let Some(entry) = timed(prof, "pit_ops", || self.tables.pit.take(data.name())) else {
                 return out;
             };
             let recs = entry.into_records();
@@ -733,7 +771,15 @@ impl TacticRouter {
             let mut data = Some(data);
             for (idx, rec) in recs.iter().enumerate() {
                 if self.config.role == RouterRole::Edge && self.is_downstream(rec.face) {
-                    self.bf_insert(&new_tag.bloom_key(), hop, obs, rng, cost, &mut out.compute);
+                    self.bf_insert(
+                        &new_tag.bloom_key(),
+                        hop,
+                        obs,
+                        rng,
+                        cost,
+                        &mut out.compute,
+                        prof,
+                    );
                 }
                 // Clone only on genuine fan-out: the last pending
                 // requester takes the response by move.
@@ -754,7 +800,7 @@ impl TacticRouter {
         let f_in_d = ext::data_flag_f(&data);
         let al = ext::data_access_level(&data);
 
-        let Some(entry) = self.tables.pit.take(data.name()) else {
+        let Some(entry) = timed(prof, "pit_ops", || self.tables.pit.take(data.name())) else {
             return out; // Unsolicited: drop, don't cache (NFD policy).
         };
 
@@ -812,6 +858,7 @@ impl TacticRouter {
                                     rng,
                                     cost,
                                     &mut out.compute,
+                                    prof,
                                 );
                             }
                         }
@@ -855,7 +902,9 @@ impl TacticRouter {
             // have expired while pending), then BF/signature.
             out.compute += cost.sample(Op::PreCheck, rng);
             let key_loc = ext::data_key_locator(&data).unwrap_or_default();
-            let pre_ok = match edge_precheck(&rt.tag, data.name(), now) {
+            let pre_ok = match timed(prof, "precheck", || {
+                edge_precheck(&rt.tag, data.name(), now)
+            }) {
                 Err(e) => {
                     obs.on_precheck(
                         hop,
@@ -866,7 +915,7 @@ impl TacticRouter {
                 }
                 Ok(()) => {
                     obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
-                    match content_precheck(&rt.tag, al, &key_loc) {
+                    match timed(prof, "precheck", || content_precheck(&rt.tag, al, &key_loc)) {
                         Err(e) => {
                             obs.on_precheck(
                                 hop,
@@ -882,8 +931,8 @@ impl TacticRouter {
                     }
                 }
             };
-            let valid =
-                pre_ok && self.validate_tag(&rt, reval, hop, obs, rng, cost, &mut out.compute);
+            let valid = pre_ok
+                && self.validate_tag(&rt, reval, hop, obs, rng, cost, &mut out.compute, prof);
             if reval {
                 obs.on_revalidation(
                     hop,
@@ -1046,6 +1095,7 @@ mod tests {
             &mut f.rng.clone(),
             &f.cost,
             &mut charge,
+            &mut None,
         );
         let i = tagged_interest("/prov/obj/0", 1, &tag);
         let out = f
@@ -1427,6 +1477,7 @@ mod tests {
             &mut rng2,
             &f.cost,
             &mut charge,
+            &mut None,
         );
         f.router.handle_interest(
             tagged_interest("/prov/obj/0", 1, &tag),
@@ -1547,6 +1598,7 @@ mod tests {
                 &mut f.rng,
                 &f.cost,
                 &mut charge,
+                &mut None,
             );
         }
         assert!(router.counters().bf_resets >= 5);

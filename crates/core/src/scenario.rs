@@ -102,6 +102,16 @@ pub struct Scenario {
     /// Consumer Interest retransmission with exponential backoff
     /// (`None` = the paper's no-retry clients).
     pub retransmit: Option<RetransmitPolicy>,
+    /// Deterministic sim-time sampling period: every `sample_every` of
+    /// simulated time the transport snapshots queue depth, PIT/CS sizes,
+    /// Bloom-filter occupancy, and drop counters into one
+    /// [`SampleRow`](tactic_telemetry::SampleRow). `None` (the default)
+    /// disables sampling at zero cost.
+    pub sample_every: Option<SimDuration>,
+    /// Collect the wall-clock span profile (hot-path handler classes,
+    /// per-shard epoch spans). Nondeterministic metadata only — the
+    /// simulation itself is bit-identical either way.
+    pub profile: bool,
 }
 
 impl Scenario {
@@ -134,6 +144,8 @@ impl Scenario {
             cost_model: CostModel::paper(),
             faults: FaultPlan::none(),
             retransmit: None,
+            sample_every: None,
+            profile: false,
         }
     }
 

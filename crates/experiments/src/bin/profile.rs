@@ -1,0 +1,5 @@
+//! In-flight observability: deterministic time-series sampling, span
+//! profiling, and a Perfetto trace of the sharded run.
+fn main() {
+    tactic_experiments::binary_main("profile", tactic_experiments::profile::profile);
+}

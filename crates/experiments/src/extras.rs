@@ -217,6 +217,8 @@ mod tests {
             out_dir: std::env::temp_dir().join("tactic-exp-test-extras"),
             threads: Some(2),
             shards: vec![1],
+            sample_every_secs: None,
+            profile: false,
             verbosity: crate::opts::Verbosity::Quiet,
         };
         let r = ablations(&opts).unwrap();

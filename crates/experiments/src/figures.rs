@@ -395,6 +395,8 @@ mod tests {
             out_dir: std::env::temp_dir().join("tactic-exp-test"),
             threads: Some(2),
             shards: vec![1],
+            sample_every_secs: None,
+            profile: false,
             verbosity: crate::opts::Verbosity::Quiet,
         }
     }

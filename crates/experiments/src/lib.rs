@@ -23,6 +23,7 @@
 //! | `transport`| link load + drop accounting from the transport observer |
 //! | `telemetry`| protocol decision metrics, lifecycle histograms, manifests |
 //! | `resilience`| graceful degradation under loss, failures, retransmission |
+//! | `profile`  | in-flight sampler + span profiler + Perfetto trace |
 //! | `all`      | everything above in sequence |
 //!
 //! All binaries run at a reduced scale by default (60–120 simulated
@@ -37,6 +38,7 @@ pub mod extras;
 pub mod figures;
 pub mod opts;
 pub mod output;
+pub mod profile;
 pub mod resilience;
 pub mod runner;
 pub mod scenario_args;

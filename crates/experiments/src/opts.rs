@@ -66,6 +66,12 @@ pub struct RunOpts {
     /// byte-identical for every entry, so a multi-entry list is a
     /// determinism check, not a sweep.
     pub shards: Vec<usize>,
+    /// Deterministic sim-time sampling period in seconds (`--sample-every`;
+    /// `None` = sampler off, zero cost).
+    pub sample_every_secs: Option<f64>,
+    /// Collect wall-clock span profiles (`--profile`). Never changes
+    /// results — profile artifacts are non-golden.
+    pub profile: bool,
     /// stderr progress verbosity.
     pub verbosity: Verbosity,
 }
@@ -80,6 +86,8 @@ impl Default for RunOpts {
             out_dir: PathBuf::from("results"),
             threads: None,
             shards: vec![1],
+            sample_every_secs: None,
+            profile: false,
             verbosity: Verbosity::Normal,
         }
     }
@@ -151,11 +159,22 @@ impl RunOpts {
                     }
                     opts.shards = shards;
                 }
+                "--sample-every" => {
+                    let v = it.next().ok_or("--sample-every needs a value")?;
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad sample period `{v}`"))?;
+                    if secs.is_nan() || secs <= 0.0 {
+                        return Err("--sample-every must be positive".into());
+                    }
+                    opts.sample_every_secs = Some(secs);
+                }
+                "--profile" => opts.profile = true,
                 "--quiet" | "-q" => opts.verbosity = Verbosity::Quiet,
                 "--verbose" | "-v" => opts.verbosity = Verbosity::Verbose,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N] [--shards K1,K2] [--quiet|--verbose]"
+                        "usage: [--paper] [--duration SECS] [--seeds N] [--topo 1,2,3,4] [--out DIR] [--threads N] [--shards K1,K2] [--sample-every SECS] [--profile] [--quiet|--verbose]"
                             .into(),
                     )
                 }
@@ -278,6 +297,20 @@ mod tests {
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
         assert!(parse(&["--shards"]).is_err());
+    }
+
+    #[test]
+    fn sampler_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.sample_every_secs, None);
+        assert!(!o.profile);
+        let o = parse(&["--sample-every", "0.5", "--profile"]).unwrap();
+        assert_eq!(o.sample_every_secs, Some(0.5));
+        assert!(o.profile);
+        assert!(parse(&["--sample-every", "0"]).is_err());
+        assert!(parse(&["--sample-every", "-1"]).is_err());
+        assert!(parse(&["--sample-every", "x"]).is_err());
+        assert!(parse(&["--sample-every"]).is_err());
     }
 
     #[test]

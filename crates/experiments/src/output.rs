@@ -212,6 +212,8 @@ mod tests {
             epochs: 0,
             per_shard_events: vec![4],
             per_shard_peak_queue: vec![5],
+            per_shard_peak_pit: vec![3],
+            per_shard_peak_cs: vec![2],
         };
         write_manifests(&dir, "exp.csv", &[m.clone(), m]).unwrap();
         let body = std::fs::read_to_string(dir.join("exp.manifest.jsonl")).unwrap();

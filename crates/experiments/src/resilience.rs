@@ -54,6 +54,7 @@ struct RunTotals {
     timeouts: u64,
     drops: DropTotals,
     peak_pit_records: u64,
+    peak_cs_entries: u64,
     events: u64,
     peak_queue_depth: u64,
 }
@@ -206,6 +207,7 @@ fn run_plane(
             timeouts: r.client_timeouts,
             drops: r.drops,
             peak_pit_records: r.peak_pit_records,
+            peak_cs_entries: r.peak_cs_entries,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
         };
@@ -233,6 +235,7 @@ fn run_plane(
             timeouts: r.client_timeouts,
             drops: r.drops,
             peak_pit_records: r.peak_pit_records,
+            peak_cs_entries: r.peak_cs_entries,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
         };
@@ -333,6 +336,14 @@ pub fn sweep_cells(
                     per_shard_peak_queue: stats.as_ref().map_or_else(
                         || vec![totals.peak_queue_depth],
                         |s| s.per_shard_peak_queue.clone(),
+                    ),
+                    per_shard_peak_pit: stats.as_ref().map_or_else(
+                        || vec![totals.peak_pit_records],
+                        |s| s.per_shard_peak_pit.clone(),
+                    ),
+                    per_shard_peak_cs: stats.as_ref().map_or_else(
+                        || vec![totals.peak_cs_entries],
+                        |s| s.per_shard_peak_cs.clone(),
                     ),
                 };
                 if verbosity.progress() {

@@ -252,6 +252,14 @@ fn run_one(job: &GridJob<'_>, shards: usize) -> Result<(RunReport, RunManifest),
             || vec![report.peak_queue_depth],
             |s| s.per_shard_peak_queue.clone(),
         ),
+        per_shard_peak_pit: stats.as_ref().map_or_else(
+            || vec![report.peak_pit_records],
+            |s| s.per_shard_peak_pit.clone(),
+        ),
+        per_shard_peak_cs: stats.as_ref().map_or_else(
+            || vec![report.peak_cs_entries],
+            |s| s.per_shard_peak_cs.clone(),
+        ),
     };
     Ok((report, manifest))
 }
@@ -308,11 +316,14 @@ pub fn run_replicas_detailed(
     run_grid_cli(&jobs, threads, shards, verbosity)
 }
 
-/// The paper-replica scenario for `topo`, shaped by the options (duration
-/// override; everything else stays at §8.A defaults).
+/// The paper-replica scenario for `topo`, shaped by the options
+/// (duration override and the observability switches `--sample-every` /
+/// `--profile`; everything else stays at §8.A defaults).
 pub fn shaped_scenario(topo: PaperTopology, opts: &RunOpts, reduced_duration: u64) -> Scenario {
     let mut s = Scenario::paper(topo);
     s.duration = SimDuration::from_secs(opts.duration(reduced_duration));
+    s.sample_every = opts.sample_every_secs.map(SimDuration::from_secs_f64);
+    s.profile = opts.profile;
     s
 }
 

@@ -128,6 +128,8 @@ mod tests {
             out_dir: std::env::temp_dir().join(out),
             threads: Some(threads),
             shards: vec![1],
+            sample_every_secs: None,
+            profile: false,
             verbosity: crate::opts::Verbosity::Quiet,
         }
     }

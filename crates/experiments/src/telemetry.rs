@@ -45,18 +45,28 @@ fn inject_drop_metrics(registry: &mut Registry, drops: DropTotals) {
 
 /// Runs one plane once with a recording observer; returns the folded
 /// registry (decision metrics + lifecycle + drop totals), the run's
-/// engine totals `(events, peak_queue_depth, drops)`, and — for
-/// `shards > 1` — the coordinator's [`ShardedStats`]. Sharded runs
-/// merge the per-shard recorders in shard order; the resulting registry
-/// (and therefore the JSONL export) is byte-identical to the sequential
-/// run's. Exits with status 2 when the shard count does not fit the
-/// topology, like any other bad CLI argument.
+/// engine totals `(events, peak_queue_depth, peak_pit, peak_cs,
+/// drops)`, and — for `shards > 1` — the coordinator's
+/// [`ShardedStats`]. Sharded runs merge the per-shard recorders in
+/// shard order; the resulting registry (and therefore the JSONL
+/// export) is byte-identical to the sequential run's. Exits with
+/// status 2 when the shard count does not fit the topology, like any
+/// other bad CLI argument.
+#[allow(clippy::type_complexity)]
 fn record_plane(
     plane: &str,
     scenario: &Scenario,
     seed: u64,
     shards: usize,
-) -> (Registry, u64, u64, DropTotals, Option<ShardedStats>) {
+) -> (
+    Registry,
+    u64,
+    u64,
+    u64,
+    u64,
+    DropTotals,
+    Option<ShardedStats>,
+) {
     let merge_recorders = |recorders: &[ProtocolRecorder]| {
         let mut merged = ProtocolRecorder::default();
         for r in recorders {
@@ -91,6 +101,8 @@ fn record_plane(
             registry,
             report.events,
             report.peak_queue_depth,
+            report.peak_pit_records,
+            report.peak_cs_entries,
             report.drops,
             stats,
         )
@@ -127,6 +139,8 @@ fn record_plane(
             registry,
             report.events,
             report.peak_queue_depth,
+            report.peak_pit_records,
+            report.peak_cs_entries,
             report.drops,
             stats,
         )
@@ -162,7 +176,7 @@ pub fn folded_plane_registry(
                 }
                 let seed = derive_seed(BASE_SEED, topology, sid, i as u64);
                 let started = Instant::now();
-                let (registry, events, peak, drops, stats) =
+                let (registry, events, peak, peak_pit, peak_cs, drops, stats) =
                     record_plane(plane, scenario, seed, shards);
                 let manifest = RunManifest {
                     label: format!("telemetry {plane}"),
@@ -188,6 +202,12 @@ pub fn folded_plane_registry(
                     per_shard_peak_queue: stats
                         .as_ref()
                         .map_or_else(|| vec![peak], |s| s.per_shard_peak_queue.clone()),
+                    per_shard_peak_pit: stats
+                        .as_ref()
+                        .map_or_else(|| vec![peak_pit], |s| s.per_shard_peak_pit.clone()),
+                    per_shard_peak_cs: stats
+                        .as_ref()
+                        .map_or_else(|| vec![peak_cs], |s| s.per_shard_peak_cs.clone()),
                 };
                 if verbosity.progress() {
                     eprintln!(

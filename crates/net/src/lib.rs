@@ -95,6 +95,8 @@
 //!     mobility: None,
 //!     cost: CostModel::free(),
 //!     faults: tactic_net::fault::FaultPlan::none(),
+//!     sample_every: None,
+//!     profile: false,
 //! };
 //! let net = Net::assemble(&topo, links, Echo, Rng::seed_from_u64(1), config);
 //! let (_plane, _observer, report) = net.run();
@@ -121,5 +123,5 @@ pub use observer::{DropReason, DropTotals, EventTrace, NetCounters, NetObserver,
 pub use plane::{Emit, NodePlane, PlaneCtx};
 pub use relay::ApRelay;
 pub use requester::{Catalog, RequesterConfig, ZipfRequester};
-pub use sharded::{run_sharded, ShardedStats};
+pub use sharded::{run_sharded, run_sharded_profiled, ShardedStats};
 pub use transport::{KeyedEvent, Net, NetConfig, NetEvent, ShardSpec, TransportReport};

@@ -13,6 +13,7 @@ use tactic_ndn::packet::Packet;
 use tactic_sim::cost::CostModel;
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{SampleRow, SpanProfiler};
 use tactic_topology::graph::NodeId;
 
 /// Per-event context handed to plane callbacks.
@@ -25,6 +26,10 @@ pub struct PlaneCtx<'a> {
     pub rng: &'a mut Rng,
     /// The computation-cost injection model.
     pub cost: &'a CostModel,
+    /// The wall-clock span profiler, when enabled. Planes time their
+    /// hot phases (`precheck`, `bf_lookup`, `sig_verify`, PIT ops, ...)
+    /// through it; `None` (the default) must cost nothing.
+    pub profiler: Option<&'a mut SpanProfiler>,
 }
 
 /// A side effect a plane callback asks the transport to perform.
@@ -100,4 +105,11 @@ pub trait NodePlane {
     /// complete recomputed FIB (full-replacement semantics: the plane
     /// should clear every router's FIB and install exactly these entries).
     fn on_reroute(&mut self, routes: &[crate::links::FibRoute]) {}
+
+    /// The periodic sampler tick: add this plane's gauges for the nodes
+    /// it owns (per `owns`, always true sequentially) into `row` —
+    /// PIT records, content-store entries, Bloom-filter state. Every
+    /// contribution must be a cumulative/instantaneous integer so the
+    /// per-shard rows merge to the sequential row exactly.
+    fn on_sample(&mut self, now: SimTime, owns: &dyn Fn(NodeId) -> bool, row: &mut SampleRow) {}
 }

@@ -25,8 +25,10 @@
 //! inserts into the calendar, and the keys already fix the total order.
 
 use std::sync::mpsc;
+use std::time::Instant;
 
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::EpochSpan;
 
 use crate::observer::NetObserver;
 use crate::plane::NodePlane;
@@ -49,6 +51,17 @@ pub struct ShardedStats {
     pub per_shard_events: Vec<u64>,
     /// Per shard: engine queue high-water mark.
     pub per_shard_peak_queue: Vec<u64>,
+    /// Per shard: PIT-record high-water mark. The transport cannot see
+    /// plane state, so [`run_sharded`] reports empty; callers that can
+    /// read their plane's sweep history fill it in (like `edge_cut`).
+    pub per_shard_peak_pit: Vec<u64>,
+    /// Per shard: content-store high-water mark (caller-filled, like
+    /// `per_shard_peak_pit`).
+    pub per_shard_peak_cs: Vec<u64>,
+    /// One wall-clock span per (shard, epoch), ordered by shard then
+    /// epoch. Only populated by [`run_sharded_profiled`] with
+    /// `profile = true` — nondeterministic, never golden.
+    pub epoch_spans: Vec<EpochSpan>,
 }
 
 enum ToWorker {
@@ -98,13 +111,43 @@ where
     O: NetObserver + Send,
     F: Fn(u32) -> Net<P, O> + Sync,
 {
+    run_sharded_profiled(k, lookahead, horizon, false, build)
+}
+
+/// [`run_sharded`] with optional per-epoch wall-clock accounting: when
+/// `profile` is set, every worker records one [`EpochSpan`] per epoch
+/// (work time, barrier-wait time, mailbox drain size) relative to a
+/// shared origin captured before the threads spawn, and the spans come
+/// back in [`ShardedStats::epoch_spans`] ordered by shard then epoch.
+/// The simulation itself is bit-identical either way — only wall-clock
+/// metadata is collected.
+///
+/// # Panics
+///
+/// As [`run_sharded`].
+pub fn run_sharded_profiled<P, O, F>(
+    k: usize,
+    lookahead: Option<SimDuration>,
+    horizon: SimTime,
+    profile: bool,
+    build: F,
+) -> (Vec<(P, O, TransportReport)>, ShardedStats)
+where
+    P: NodePlane + Send,
+    O: NetObserver + Send,
+    F: Fn(u32) -> Net<P, O> + Sync,
+{
     assert!(k > 0, "at least one shard");
     let mut epochs = 0u64;
     let mut cross_events = 0u64;
     let mut results: Vec<Option<(P, O, TransportReport)>> = (0..k).map(|_| None).collect();
+    let mut epoch_spans: Vec<EpochSpan> = Vec::new();
+    // The run-wide wall-clock origin every span is relative to.
+    let t0 = Instant::now();
 
     std::thread::scope(|scope| {
         let (to_main, from_workers) = mpsc::channel::<FromWorker>();
+        let (span_tx, span_rx) = mpsc::channel::<Vec<EpochSpan>>();
         let mut to_worker = Vec::with_capacity(k);
         let mut final_rx = Vec::with_capacity(k);
         let mut handles = Vec::with_capacity(k);
@@ -114,9 +157,12 @@ where
             to_worker.push(cmd_tx);
             final_rx.push(fin_rx);
             let to_main = to_main.clone();
+            let span_tx = span_tx.clone();
             let build = &build;
             handles.push(scope.spawn(move || {
                 let mut net = build(shard as u32);
+                let mut spans: Vec<EpochSpan> = Vec::new();
+                let mut epoch_idx = 0u64;
                 // Report readiness (and the first pending event) before
                 // the first epoch command.
                 to_main
@@ -126,11 +172,31 @@ where
                         next_at: net.next_event_at(),
                     })
                     .expect("coordinator alive");
-                while let Ok(cmd) = cmd_rx.recv() {
+                loop {
+                    let wait_started = profile.then(Instant::now);
+                    let Ok(cmd) = cmd_rx.recv() else { break };
+                    let wait_ns = wait_started.map_or(0, |w| w.elapsed().as_nanos() as u64);
                     match cmd {
                         ToWorker::Epoch { end, inbox } => {
-                            net.inject(inbox);
-                            net.run_epoch(end);
+                            if profile {
+                                let inbox_len = inbox.len() as u64;
+                                let start_ns = t0.elapsed().as_nanos() as u64;
+                                net.inject(inbox);
+                                net.run_epoch(end);
+                                let work_ns = t0.elapsed().as_nanos() as u64 - start_ns;
+                                spans.push(EpochSpan {
+                                    shard: shard as u32,
+                                    epoch: epoch_idx,
+                                    start_ns,
+                                    work_ns,
+                                    wait_ns,
+                                    inbox: inbox_len,
+                                });
+                                epoch_idx += 1;
+                            } else {
+                                net.inject(inbox);
+                                net.run_epoch(end);
+                            }
                             let outboxes = net.take_outboxes();
                             let next_at = net.next_event_at();
                             to_main
@@ -142,6 +208,7 @@ where
                                 .expect("coordinator alive");
                         }
                         ToWorker::Finish => {
+                            span_tx.send(spans).expect("coordinator alive");
                             fin_tx.send(net.finish()).expect("coordinator alive");
                             break;
                         }
@@ -150,6 +217,7 @@ where
             }));
         }
         drop(to_main);
+        drop(span_tx);
 
         // Undelivered mailbox events, per destination shard.
         let mut pending: Vec<Vec<KeyedEvent>> = (0..k).map(|_| Vec::new()).collect();
@@ -208,10 +276,14 @@ where
         for (shard, rx) in final_rx.iter().enumerate() {
             results[shard] = Some(rx.recv().expect("worker alive"));
         }
+        for spans in span_rx {
+            epoch_spans.extend(spans);
+        }
         for handle in handles {
             handle.join().expect("worker thread panicked");
         }
     });
+    epoch_spans.sort_by_key(|s| (s.shard, s.epoch));
 
     let results: Vec<(P, O, TransportReport)> =
         results.into_iter().map(|r| r.expect("collected")).collect();
@@ -222,6 +294,9 @@ where
         edge_cut: 0,
         per_shard_events: results.iter().map(|r| r.2.events).collect(),
         per_shard_peak_queue: results.iter().map(|r| r.2.peak_queue_depth).collect(),
+        per_shard_peak_pit: Vec::new(),
+        per_shard_peak_cs: Vec::new(),
+        epoch_spans,
     };
     (results, stats)
 }

@@ -38,6 +38,7 @@ use tactic_sim::dist::Exponential;
 use tactic_sim::engine::Engine;
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
+use tactic_telemetry::{SampleRow, SpanProfiler};
 use tactic_topology::graph::{LinkSpec, NodeId};
 use tactic_topology::roles::Topology;
 
@@ -65,6 +66,13 @@ const PURGE_SRC: u64 = 0xFF_FFFF;
 /// Reserved key source for scheduled fault events (mirrored in every
 /// shard; the counter is the schedule index, so keys are static).
 const FAULT_SRC: u64 = 0xFF_FFFE;
+
+/// Reserved key source for the periodic sampler tick (mirrored in every
+/// shard with identical keys, like purges). Numerically below `FAULT_SRC`
+/// and `PURGE_SRC` but above every node id, so at equal timestamps the
+/// deterministic order is: node events, then the sample, then faults,
+/// then the purge — identically in the sequential engine and every shard.
+const SAMPLE_SRC: u64 = 0xFF_FFFD;
 
 /// An event with its absolute time and shard-invariant key, as exchanged
 /// through cross-shard mailboxes.
@@ -122,6 +130,11 @@ pub enum NetEvent {
         /// Index into the [`FaultPlan`]'s schedule.
         index: usize,
     },
+    /// The periodic in-flight sampler snapshots transport and plane
+    /// gauges into a [`SampleRow`] (only scheduled when
+    /// [`NetConfig::sample_every`] is set — a disabled sampler costs
+    /// nothing).
+    SampleTick,
 }
 
 impl NetEvent {
@@ -134,7 +147,7 @@ impl NetEvent {
             | NetEvent::Timeout { node, .. }
             | NetEvent::Move { node } => Some(node),
             NetEvent::Attach { ap, .. } => Some(ap),
-            NetEvent::Purge | NetEvent::Fault { .. } => None,
+            NetEvent::Purge | NetEvent::Fault { .. } | NetEvent::SampleTick => None,
         }
     }
 }
@@ -150,10 +163,17 @@ pub struct NetConfig {
     pub cost: CostModel,
     /// Fault-injection plan ([`FaultPlan::none()`] = fault-free run).
     pub faults: FaultPlan,
+    /// Sim-time sampling cadence (`None` = sampler disabled, the
+    /// zero-cost default). When set, a mirrored [`NetEvent::SampleTick`]
+    /// fires every interval and appends one [`SampleRow`].
+    pub sample_every: Option<SimDuration>,
+    /// Enables the wall-clock span profiler (nondeterministic,
+    /// non-golden; off by default and zero-cost when off).
+    pub profile: bool,
 }
 
 /// What the transport itself measured in one run (or one shard of one).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransportReport {
     /// Engine events processed (all kinds).
     pub events: u64,
@@ -167,10 +187,19 @@ pub struct TransportReport {
     pub purges: u64,
     /// Scheduled fault events applied (mirrored per shard, like purges).
     pub faults_applied: u64,
+    /// Sampler ticks processed (mirrored per shard, like purges).
+    pub samples_taken: u64,
     /// High-water mark of the engine's pending-event queue.
     pub peak_queue_depth: u64,
     /// Per-reason drop totals counted by the transport itself.
     pub drops: DropTotals,
+    /// The sampler's time series (empty when disabled). Deterministic
+    /// and golden: a K-sharded merge is byte-identical to sequential.
+    pub samples: Vec<SampleRow>,
+    /// The wall-clock span profiler, when enabled (nondeterministic,
+    /// excluded from every byte-identity comparison — populated runs
+    /// must never be compared with `==`).
+    pub profile: Option<Box<SpanProfiler>>,
 }
 
 impl TransportReport {
@@ -187,25 +216,38 @@ impl TransportReport {
         let k = shards.len() as u64;
         let purges = shards[0].purges;
         let faults_applied = shards[0].faults_applied;
+        let samples_taken = shards[0].samples_taken;
         debug_assert!(
-            shards
-                .iter()
-                .all(|t| t.purges == purges && t.faults_applied == faults_applied),
+            shards.iter().all(|t| t.purges == purges
+                && t.faults_applied == faults_applied
+                && t.samples_taken == samples_taken),
             "mirrored event counts must agree across shards"
         );
         let mut drops = DropTotals::default();
         for t in shards {
             drops.merge(&t.drops);
         }
+        let samples = tactic_telemetry::merge_timeseries(
+            &shards.iter().map(|t| t.samples.clone()).collect::<Vec<_>>(),
+        );
+        let mut profile: Option<Box<SpanProfiler>> = None;
+        for t in shards {
+            if let Some(p) = &t.profile {
+                profile.get_or_insert_with(Default::default).merge(p);
+            }
+        }
         TransportReport {
             events: shards.iter().map(|t| t.events).sum::<u64>()
-                - (k - 1) * (purges + faults_applied),
+                - (k - 1) * (purges + faults_applied + samples_taken),
             deliveries: shards.iter().map(|t| t.deliveries).sum(),
             moves: shards.iter().map(|t| t.moves).sum(),
             purges,
             faults_applied,
+            samples_taken,
             peak_queue_depth: shards.iter().map(|t| t.peak_queue_depth).max().unwrap_or(0),
             drops,
+            samples,
+            profile,
         }
     }
 }
@@ -245,6 +287,22 @@ pub struct Net<P, O = NoopObserver> {
     deliveries: u64,
     purges: u64,
     faults_applied: u64,
+    /// Packets accepted onto a link (counted after the send-side drop
+    /// checks, so `sent - delivered - delivery-side drops` is the
+    /// in-flight population the sampler reports).
+    sent: u64,
+    /// Sampler cadence (copied from [`NetConfig::sample_every`]).
+    sample_every: Option<SimDuration>,
+    sample_seq: u64,
+    samples: Vec<SampleRow>,
+    /// Length of the fault schedule: together with `faults_applied` it
+    /// tells the sampler how many mirrored fault events are still
+    /// pending, which non-zero shards subtract from their queue-depth
+    /// contribution (see [`Net::take_sample`]).
+    fault_sched_len: usize,
+    /// The wall-clock span profiler (`None` unless
+    /// [`NetConfig::profile`] — the disabled path costs one branch).
+    profiler: Option<Box<SpanProfiler>>,
     faults: FaultState,
     /// Retained topology for route recomputation at failure instants
     /// (only kept when the plan schedules topology changes).
@@ -349,6 +407,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         } else {
             Some(topo.clone())
         };
+        let fault_sched_len = config.faults.schedule.len();
         let faults = FaultState::new(config.faults.clone(), fault_rng, n);
         let k = shard.as_ref().map_or(1, |s| s.k);
         let cost = config.cost.clone();
@@ -367,6 +426,12 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             deliveries: 0,
             purges: 0,
             faults_applied: 0,
+            sent: 0,
+            sample_every: config.sample_every,
+            sample_seq: 0,
+            samples: Vec::new(),
+            fault_sched_len,
+            profiler: config.profile.then(Box::default),
             faults,
             fault_topo,
             drops: DropTotals::default(),
@@ -400,6 +465,20 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         self.engine
             .schedule_keyed(SimTime::from_secs(1), key, NetEvent::Purge);
 
+        // Mirrored in every shard, like the purge: the first tick fires
+        // one interval in (tick 0), and each tick reschedules the next.
+        // A tick past the horizon stays queued and is never popped, so
+        // the sampler terminates with the run.
+        if let Some(every) = config.sample_every {
+            assert!(
+                every > SimDuration::from_nanos(0),
+                "sample_every must be positive"
+            );
+            let key = self.next_sample_key();
+            self.engine
+                .schedule_keyed(SimTime::ZERO + every, key, NetEvent::SampleTick);
+        }
+
         if let Some(m) = config.mobility {
             assert!(
                 (0.0..=1.0).contains(&m.mobile_fraction),
@@ -430,8 +509,23 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
     /// Runs to the horizon; returns the plane (for report aggregation),
     /// the observer, and the transport's own totals.
     pub fn run(mut self) -> (P, O, TransportReport) {
-        while let Some(ev) = self.engine.pop() {
-            self.dispatch(ev);
+        if self.profiler.is_some() {
+            loop {
+                let started = std::time::Instant::now();
+                let ev = self.engine.pop();
+                let ns = started.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.record_ns("calendar.pop", ns);
+                }
+                match ev {
+                    Some(ev) => self.dispatch(ev),
+                    None => break,
+                }
+            }
+        } else {
+            while let Some(ev) = self.engine.pop() {
+                self.dispatch(ev);
+            }
         }
         self.finish()
     }
@@ -440,8 +534,23 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
     /// the horizon) — one conservative epoch. Cross-shard output lands in
     /// the outboxes; the caller exchanges them before the next epoch.
     pub fn run_epoch(&mut self, end: SimTime) {
-        while let Some(ev) = self.engine.pop_before(end) {
-            self.dispatch(ev);
+        if self.profiler.is_some() {
+            loop {
+                let started = std::time::Instant::now();
+                let ev = self.engine.pop_before(end);
+                let ns = started.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.record_ns("calendar.pop", ns);
+                }
+                match ev {
+                    Some(ev) => self.dispatch(ev),
+                    None => break,
+                }
+            }
+        } else {
+            while let Some(ev) = self.engine.pop_before(end) {
+                self.dispatch(ev);
+            }
         }
     }
 
@@ -480,8 +589,11 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             moves: self.moves,
             purges: self.purges,
             faults_applied: self.faults_applied,
+            samples_taken: self.samples.len() as u64,
             peak_queue_depth: self.engine.peak_pending() as u64,
             drops: self.drops,
+            samples: self.samples,
+            profile: self.profiler,
         };
         (self.plane, self.observer, report)
     }
@@ -517,6 +629,12 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         (PURGE_SRC << KEY_SHIFT) | c
     }
 
+    fn next_sample_key(&mut self) -> u64 {
+        let c = self.sample_seq;
+        self.sample_seq = c + 1;
+        (SAMPLE_SRC << KEY_SHIFT) | c
+    }
+
     /// Schedules `ev` (homed at `dst`) locally, or into the outbox of the
     /// shard that owns `dst`.
     fn route_to(&mut self, dst: NodeId, at: SimTime, key: u64, ev: NetEvent) {
@@ -535,7 +653,36 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
         self.shard.as_ref().is_none_or(|s| s.my_shard == 0)
     }
 
+    /// Dispatches one event, timing it under its class span when the
+    /// profiler is on (one `is_none` branch when it is off).
     fn dispatch(&mut self, ev: NetEvent) {
+        if self.profiler.is_none() {
+            return self.dispatch_inner(ev);
+        }
+        let name = Self::span_name(&ev);
+        let started = std::time::Instant::now();
+        self.dispatch_inner(ev);
+        let ns = started.elapsed().as_nanos() as u64;
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.record_ns(name, ns);
+        }
+    }
+
+    /// The profiler span class of an event's dispatch.
+    fn span_name(ev: &NetEvent) -> &'static str {
+        match ev {
+            NetEvent::Deliver { .. } => "dispatch.deliver",
+            NetEvent::ConsumerStart { .. } => "dispatch.consumer_start",
+            NetEvent::Timeout { .. } => "dispatch.timeout",
+            NetEvent::Purge => "dispatch.purge",
+            NetEvent::Move { .. } => "dispatch.move",
+            NetEvent::Attach { .. } => "dispatch.attach",
+            NetEvent::Fault { .. } => "dispatch.fault",
+            NetEvent::SampleTick => "dispatch.sample",
+        }
+    }
+
+    fn dispatch_inner(&mut self, ev: NetEvent) {
         let now = self.engine.now();
         match ev {
             NetEvent::Deliver { node, from, packet } => {
@@ -566,6 +713,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         now,
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
+                        profiler: self.profiler.as_deref_mut(),
                     },
                     &mut out,
                 );
@@ -582,6 +730,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         now,
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
+                        profiler: self.profiler.as_deref_mut(),
                     },
                     &mut out,
                 );
@@ -600,6 +749,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         now,
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
+                        profiler: self.profiler.as_deref_mut(),
                     },
                     &mut out,
                 );
@@ -646,7 +796,61 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 }
                 self.reroute();
             }
+            NetEvent::SampleTick => {
+                // Snapshot BEFORE rescheduling: the next tick must not
+                // be pending at snapshot time, or the queue depth would
+                // count it K times across K shards.
+                self.take_sample(now);
+                if let Some(every) = self.sample_every {
+                    let key = self.next_sample_key();
+                    self.engine
+                        .schedule_keyed(now + every, key, NetEvent::SampleTick);
+                }
+            }
         }
+    }
+
+    /// Appends one [`SampleRow`] for the current instant.
+    ///
+    /// The queue-depth contribution is **partition-invariant**: summing
+    /// every shard's value reproduces the sequential engine's pending
+    /// count at the same instant. Each shard counts its calendar plus
+    /// its outboxes (an event created this epoch for a foreign node
+    /// sits in exactly one producer outbox, and lookahead puts its
+    /// arrival past the epoch end, so the sequential run would also
+    /// still have it pending; coordinator mailboxes are empty while an
+    /// epoch runs). Mirrored events — the one pending purge, the
+    /// not-yet-applied fault events, and nothing else (the sample tick
+    /// itself is popped and not yet rescheduled) — exist once per shard
+    /// but once in the sequential calendar, so every shard except
+    /// shard 0 subtracts its copies.
+    fn take_sample(&mut self, now: SimTime) {
+        let mut depth = self.engine.pending() + self.outboxes.iter().map(Vec::len).sum::<usize>();
+        if let Some(s) = &self.shard {
+            if s.my_shard != 0 {
+                depth -= 1 + (self.fault_sched_len - self.faults_applied as usize);
+            }
+        }
+        let mut row = SampleRow {
+            tick: self.samples.len() as u64,
+            t_ns: now.as_nanos(),
+            queue_depth: depth as u64,
+            sent: self.sent,
+            delivered: self.deliveries,
+            drops_dangling_face: self.drops.dangling_face,
+            drops_reverse_face: self.drops.reverse_face,
+            drops_lossy: self.drops.lossy,
+            drops_link_down: self.drops.link_down,
+            drops_node_down: self.drops.node_down,
+            ..SampleRow::default()
+        };
+        let shard = &self.shard;
+        let owns = |node: NodeId| match shard {
+            None => true,
+            Some(s) => s.shard_of[node.index()] == s.my_shard,
+        };
+        self.plane.on_sample(now, &owns, &mut row);
+        self.samples.push(row);
     }
 
     /// Recomputes every router's FIB over the currently-usable subgraph
@@ -678,7 +882,18 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                     face,
                     packet,
                     compute,
-                } => self.transmit(node, face, packet, compute),
+                } => {
+                    if self.profiler.is_some() {
+                        let started = std::time::Instant::now();
+                        self.transmit(node, face, packet, compute);
+                        let ns = started.elapsed().as_nanos() as u64;
+                        if let Some(p) = self.profiler.as_deref_mut() {
+                            p.record_ns("link.transit", ns);
+                        }
+                    } else {
+                        self.transmit(node, face, packet, compute);
+                    }
+                }
                 Emit::Timeout { name, delay } => {
                     let key = self.next_key(node);
                     self.engine.schedule_keyed(
@@ -721,6 +936,9 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             self.drop_packet(from, DropReason::Lossy, now);
             return;
         }
+        // The packet is definitely going onto the link: count it as
+        // in-flight from here until delivery or a delivery-side drop.
+        self.sent += 1;
         let size = wire_size(&packet);
         let ready = now + compute;
         let lane = &mut self.link_busy[from.index()];
@@ -797,6 +1015,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 now,
                 rng: &mut self.rngs[node.index()],
                 cost: &self.cost,
+                profiler: self.profiler.as_deref_mut(),
             },
             &mut out,
         );

@@ -41,6 +41,8 @@ fn config(faults: FaultPlan) -> NetConfig {
         mobility: None,
         cost: CostModel::free(),
         faults,
+        sample_every: None,
+        profile: false,
     }
 }
 

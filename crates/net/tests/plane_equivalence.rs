@@ -41,6 +41,8 @@ fn config() -> NetConfig {
         mobility: None,
         cost: CostModel::free(),
         faults: tactic_net::FaultPlan::none(),
+        sample_every: None,
+        profile: false,
     }
 }
 

@@ -120,6 +120,14 @@ impl JsonObject {
         self
     }
 
+    /// Adds a pre-rendered JSON value verbatim (nested objects/arrays).
+    /// The caller is responsible for `v` being valid JSON.
+    pub fn field_raw(&mut self, k: &str, v: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(v);
+        self
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -136,6 +144,53 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd\te\u{1}");
         assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    /// Edge cases for the workspace's single shared escaping helper:
+    /// quotes, backslashes, and every control character below 0x20 must
+    /// round-trip to valid RFC 8259 text wherever they appear.
+    #[test]
+    fn escaping_edge_cases() {
+        let check = |input: &str, want: &str| {
+            let mut s = String::new();
+            push_json_string(&mut s, input);
+            assert_eq!(s, want, "escaping {input:?}");
+        };
+        check("", r#""""#);
+        check(r#"""#, r#""\"""#);
+        check(r"\", r#""\\""#);
+        check(r"\\", r#""\\\\""#);
+        check(r#"\""#, r#""\\\"""#);
+        check("a\"b\"c", r#""a\"b\"c""#);
+        check("\u{7f}", "\"\u{7f}\""); // DEL is not a JSON control char
+        check("\n\r\t", r#""\n\r\t""#);
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        check("π≈3", "\"π≈3\"");
+        // Every control character renders either a short escape or \uXXXX.
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let mut s = String::new();
+            push_json_string(&mut s, &c.to_string());
+            assert!(
+                s.starts_with("\"\\") && s.ends_with('"'),
+                "control {c:?} must be escaped, got {s}"
+            );
+        }
+        // Spot-check the \uXXXX form for NUL and unit separator.
+        let mut s = String::new();
+        push_json_string(&mut s, "\u{0}");
+        assert_eq!(s, "\"\\u0000\"");
+        let mut s = String::new();
+        push_json_string(&mut s, "\u{1f}");
+        assert_eq!(s, "\"\\u001f\"");
+    }
+
+    #[test]
+    fn field_raw_embeds_nested_json() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("value", 3);
+        let mut o = JsonObject::new();
+        o.field_str("ph", "C").field_raw("args", &inner.finish());
+        assert_eq!(o.finish(), r#"{"ph":"C","args":{"value":3}}"#);
     }
 
     #[test]

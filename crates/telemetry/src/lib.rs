@@ -15,9 +15,17 @@
 //!   request from consumer emission through per-hop decisions to
 //!   Data/NACK receipt.
 //! - [`json`] — a hand-rolled JSON/JSONL encoder (the build is offline;
-//!   no serde).
+//!   no serde). The **only** string-escaping implementation in the
+//!   workspace: every JSON artifact goes through it.
 //! - [`manifest`] — the per-run provenance record the experiment runner
 //!   writes next to each CSV.
+//! - [`timeseries`] — the deterministic sim-time sampler's row type and
+//!   golden `timeseries.jsonl` export (byte-identical across threads
+//!   and shards).
+//! - [`profile`] — the wall-clock span profiler and per-shard epoch
+//!   accounting behind the non-golden `profile.jsonl`.
+//! - [`perfetto`] — the Chrome/Perfetto `trace.json` exporter rendering
+//!   shard lanes and sampled counter tracks.
 //!
 //! ## Determinism contract
 //!
@@ -35,7 +43,10 @@ pub mod json;
 pub mod lifecycle;
 pub mod manifest;
 pub mod observer;
+pub mod perfetto;
+pub mod profile;
 pub mod registry;
+pub mod timeseries;
 
 pub use lifecycle::{InterestLifecycle, LifecycleLog};
 pub use manifest::RunManifest;
@@ -43,4 +54,9 @@ pub use observer::{
     BfOutcome, Hop, NodeRole, NoopProtocolObserver, PrecheckStage, PrecheckVerdict,
     ProtocolObserver, ProtocolRecorder, RejectReason, RetrievalOutcome, RevalidationOutcome,
 };
+pub use perfetto::{run_trace_json, TraceBuilder};
+pub use profile::{profile_to_jsonl, EpochSpan, SpanProfiler, SpanStats};
 pub use registry::{Counter, Histogram, ProtocolMetrics, Registry};
+pub use timeseries::{
+    merge_timeseries, ratio_to_fp, timeseries_to_jsonl, SampleRow, TIMESERIES_KEYS,
+};

@@ -50,11 +50,15 @@ pub struct RunManifest {
     pub per_shard_events: Vec<u64>,
     /// Engine queue high-water mark per shard (one entry for sequential).
     pub per_shard_peak_queue: Vec<u64>,
+    /// PIT-record high-water mark per shard (one entry for sequential).
+    pub per_shard_peak_pit: Vec<u64>,
+    /// Content-store high-water mark per shard (one entry for sequential).
+    pub per_shard_peak_cs: Vec<u64>,
 }
 
 impl RunManifest {
     /// Keys every manifest line must carry (checked by the CI smoke run).
-    pub const REQUIRED_KEYS: [&'static str; 19] = [
+    pub const REQUIRED_KEYS: [&'static str; 21] = [
         "label",
         "topology",
         "scenario_id",
@@ -74,6 +78,8 @@ impl RunManifest {
         "epochs",
         "per_shard_events",
         "per_shard_peak_queue",
+        "per_shard_peak_pit",
+        "per_shard_peak_cs",
     ];
 
     /// Renders one JSONL line (no trailing newline).
@@ -97,7 +103,9 @@ impl RunManifest {
             .field_u64("edge_cut", self.edge_cut)
             .field_u64("epochs", self.epochs)
             .field_u64_array("per_shard_events", &self.per_shard_events)
-            .field_u64_array("per_shard_peak_queue", &self.per_shard_peak_queue);
+            .field_u64_array("per_shard_peak_queue", &self.per_shard_peak_queue)
+            .field_u64_array("per_shard_peak_pit", &self.per_shard_peak_pit)
+            .field_u64_array("per_shard_peak_cs", &self.per_shard_peak_cs);
         o.finish()
     }
 }
@@ -128,6 +136,8 @@ mod tests {
             epochs: 900,
             per_shard_events: vec![250, 250, 250, 250],
             per_shard_peak_queue: vec![10, 9, 11, 8],
+            per_shard_peak_pit: vec![4, 3, 5, 2],
+            per_shard_peak_cs: vec![6, 6, 7, 5],
         };
         let line = m.to_json_line();
         for key in RunManifest::REQUIRED_KEYS {

@@ -1,0 +1,348 @@
+//! Deterministic sim-time sampling: the in-flight counterpart of the
+//! end-of-run [`RunManifest`](crate::manifest::RunManifest).
+//!
+//! A periodic `SampleTick` event in the transport snapshots one
+//! [`SampleRow`] per tick. Every field is either a cumulative `u64`
+//! counter (shard contributions **add**) or a fixed-point maximum
+//! (shard contributions **max**), so the merged time series of a
+//! K-sharded run is byte-identical to the sequential run's — the rows
+//! are a golden artifact, exactly like reports and metric JSONL.
+//! Ratios and per-tick deltas are derived only at export time, after
+//! the merge, from integer fields; the float formatting itself is
+//! Rust's shortest-round-trip `{}`, so equal integers always render
+//! equal bytes.
+
+use crate::json::JsonObject;
+
+/// Fixed-point scale for ratios carried in `u64` fields (`2^32`).
+pub const FP_ONE: u64 = 1 << 32;
+
+/// Converts a ratio in `[0, 1]` to `2^32` fixed point.
+pub fn ratio_to_fp(r: f64) -> u64 {
+    (r * FP_ONE as f64) as u64
+}
+
+/// One sim-time sample. All counter fields are cumulative totals as of
+/// the tick's timestamp; instantaneous gauges (queue depth, PIT/CS/BF
+/// state) are the state *at* the tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleRow {
+    /// Sample index (0-based).
+    pub tick: u64,
+    /// Sim-time of the sample in nanoseconds.
+    pub t_ns: u64,
+    /// Events pending in the engine at the tick (sharded runs sum each
+    /// shard's partition-invariant contribution).
+    pub queue_depth: u64,
+    /// Packets accepted onto links so far (cumulative).
+    pub sent: u64,
+    /// Packet deliveries handled so far (cumulative).
+    pub delivered: u64,
+    /// Cumulative drops: emitting face had no wired neighbour.
+    pub drops_dangling_face: u64,
+    /// Cumulative drops: reverse face torn down mid-flight.
+    pub drops_reverse_face: u64,
+    /// Cumulative drops: eaten by the loss model.
+    pub drops_lossy: u64,
+    /// Cumulative drops: link administratively down.
+    pub drops_link_down: u64,
+    /// Cumulative drops: destination node crashed.
+    pub drops_node_down: u64,
+    /// PIT records across owned routers at the tick.
+    pub pit_records: u64,
+    /// Content-store entries across owned routers at the tick.
+    pub cs_entries: u64,
+    /// Bloom-filter bits set across owned routers at the tick.
+    pub bf_set_bits: u64,
+    /// Total Bloom-filter bits across owned routers (the occupancy
+    /// denominator; constant per run, summed per shard).
+    pub bf_bits: u64,
+    /// Sum over owned routers of estimated FPP in `2^32` fixed point.
+    pub bf_fpp_fp: u64,
+    /// Max over owned routers of BF occupancy in `2^32` fixed point
+    /// (merged with `max`, not `+`).
+    pub bf_occ_max_fp: u64,
+    /// Bloom-filter resets so far across owned routers (cumulative).
+    pub bf_resets: u64,
+    /// Routers contributing BF fields (the `bf_fpp_fp` denominator).
+    pub bf_routers: u64,
+}
+
+impl SampleRow {
+    /// Interests/Data in flight at the tick: accepted onto a link but
+    /// neither handled nor dropped in flight. Send-side drops
+    /// (dangling face, lossy, link down) happen *before* `sent`
+    /// counts, so only the delivery-side reasons subtract.
+    pub fn in_flight(&self) -> u64 {
+        self.sent
+            .saturating_sub(self.delivered)
+            .saturating_sub(self.drops_reverse_face)
+            .saturating_sub(self.drops_node_down)
+    }
+
+    /// Total cumulative drops across all reasons.
+    pub fn drops_total(&self) -> u64 {
+        self.drops_dangling_face
+            + self.drops_reverse_face
+            + self.drops_lossy
+            + self.drops_link_down
+            + self.drops_node_down
+    }
+
+    /// Aggregate BF occupancy (set bits over total bits), 0 when no
+    /// router contributed.
+    pub fn bf_occupancy(&self) -> f64 {
+        if self.bf_bits == 0 {
+            0.0
+        } else {
+            self.bf_set_bits as f64 / self.bf_bits as f64
+        }
+    }
+
+    /// Mean estimated FPP across contributing routers.
+    pub fn bf_fpp_mean(&self) -> f64 {
+        if self.bf_routers == 0 {
+            0.0
+        } else {
+            self.bf_fpp_fp as f64 / self.bf_routers as f64 / FP_ONE as f64
+        }
+    }
+
+    /// Max BF occupancy across contributing routers.
+    pub fn bf_occ_max(&self) -> f64 {
+        self.bf_occ_max_fp as f64 / FP_ONE as f64
+    }
+
+    /// Folds another shard's contribution for the same tick into this
+    /// row: counters add, the occupancy high-water takes the max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows disagree on `tick` or `t_ns` — shards sample
+    /// on the same deterministic cadence, so a mismatch is a
+    /// synchronization bug, not data.
+    pub fn merge_shard(&mut self, other: &SampleRow) {
+        assert_eq!(self.tick, other.tick, "shards sampled different ticks");
+        assert_eq!(self.t_ns, other.t_ns, "shards sampled different times");
+        self.queue_depth += other.queue_depth;
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.drops_dangling_face += other.drops_dangling_face;
+        self.drops_reverse_face += other.drops_reverse_face;
+        self.drops_lossy += other.drops_lossy;
+        self.drops_link_down += other.drops_link_down;
+        self.drops_node_down += other.drops_node_down;
+        self.pit_records += other.pit_records;
+        self.cs_entries += other.cs_entries;
+        self.bf_set_bits += other.bf_set_bits;
+        self.bf_bits += other.bf_bits;
+        self.bf_fpp_fp += other.bf_fpp_fp;
+        self.bf_occ_max_fp = self.bf_occ_max_fp.max(other.bf_occ_max_fp);
+        self.bf_resets += other.bf_resets;
+        self.bf_routers += other.bf_routers;
+    }
+}
+
+/// Merges per-shard time series element-wise (shard 0's rows first,
+/// then each later shard folded in). All series must have the same
+/// length — every shard takes every tick.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn merge_timeseries(series: &[Vec<SampleRow>]) -> Vec<SampleRow> {
+    let Some((first, rest)) = series.split_first() else {
+        return Vec::new();
+    };
+    let mut merged = first.clone();
+    for shard in rest {
+        assert_eq!(
+            merged.len(),
+            shard.len(),
+            "shards took different sample counts"
+        );
+        for (row, other) in merged.iter_mut().zip(shard) {
+            row.merge_shard(other);
+        }
+    }
+    merged
+}
+
+/// Keys every `timeseries.jsonl` line carries, in field order (checked
+/// by the CI smoke run).
+pub const TIMESERIES_KEYS: [&str; 26] = [
+    "label",
+    "tick",
+    "t_ns",
+    "queue_depth",
+    "in_flight",
+    "sent",
+    "delivered",
+    "d_sent",
+    "d_delivered",
+    "drops_dangling_face",
+    "drops_reverse_face",
+    "drops_lossy",
+    "drops_link_down",
+    "drops_node_down",
+    "d_drops_dangling_face",
+    "d_drops_reverse_face",
+    "d_drops_lossy",
+    "d_drops_link_down",
+    "d_drops_node_down",
+    "pit_records",
+    "cs_entries",
+    "bf_set_bits",
+    "bf_occupancy",
+    "bf_fpp_mean",
+    "bf_occ_max",
+    "bf_resets",
+];
+
+/// Renders one labeled time series as JSONL (one line per tick, with a
+/// trailing newline per line). Per-tick deltas are computed against
+/// the previous row (the first row's deltas are its cumulative
+/// values). Deterministic: integer fields and shortest-round-trip
+/// float formatting only.
+pub fn timeseries_to_jsonl(label: &str, rows: &[SampleRow]) -> String {
+    let mut out = String::new();
+    let mut prev: Option<&SampleRow> = None;
+    for row in rows {
+        let d = |cur: u64, sel: fn(&SampleRow) -> u64| cur - prev.map_or(0, sel);
+        let mut o = JsonObject::new();
+        o.field_str("label", label)
+            .field_u64("tick", row.tick)
+            .field_u64("t_ns", row.t_ns)
+            .field_u64("queue_depth", row.queue_depth)
+            .field_u64("in_flight", row.in_flight())
+            .field_u64("sent", row.sent)
+            .field_u64("delivered", row.delivered)
+            .field_u64("d_sent", d(row.sent, |r| r.sent))
+            .field_u64("d_delivered", d(row.delivered, |r| r.delivered))
+            .field_u64("drops_dangling_face", row.drops_dangling_face)
+            .field_u64("drops_reverse_face", row.drops_reverse_face)
+            .field_u64("drops_lossy", row.drops_lossy)
+            .field_u64("drops_link_down", row.drops_link_down)
+            .field_u64("drops_node_down", row.drops_node_down)
+            .field_u64(
+                "d_drops_dangling_face",
+                d(row.drops_dangling_face, |r| r.drops_dangling_face),
+            )
+            .field_u64(
+                "d_drops_reverse_face",
+                d(row.drops_reverse_face, |r| r.drops_reverse_face),
+            )
+            .field_u64("d_drops_lossy", d(row.drops_lossy, |r| r.drops_lossy))
+            .field_u64(
+                "d_drops_link_down",
+                d(row.drops_link_down, |r| r.drops_link_down),
+            )
+            .field_u64(
+                "d_drops_node_down",
+                d(row.drops_node_down, |r| r.drops_node_down),
+            )
+            .field_u64("pit_records", row.pit_records)
+            .field_u64("cs_entries", row.cs_entries)
+            .field_u64("bf_set_bits", row.bf_set_bits)
+            .field_f64("bf_occupancy", row.bf_occupancy())
+            .field_f64("bf_fpp_mean", row.bf_fpp_mean())
+            .field_f64("bf_occ_max", row.bf_occ_max())
+            .field_u64("bf_resets", row.bf_resets);
+        out.push_str(&o.finish());
+        out.push('\n');
+        prev = Some(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tick: u64) -> SampleRow {
+        SampleRow {
+            tick,
+            t_ns: tick * 1_000,
+            queue_depth: 5,
+            sent: 10 * (tick + 1),
+            delivered: 8 * (tick + 1),
+            drops_reverse_face: tick,
+            pit_records: 3,
+            cs_entries: 2,
+            bf_set_bits: 100,
+            bf_bits: 1_000,
+            bf_fpp_fp: ratio_to_fp(0.25),
+            bf_occ_max_fp: ratio_to_fp(0.1),
+            bf_routers: 1,
+            ..SampleRow::default()
+        }
+    }
+
+    #[test]
+    fn in_flight_subtracts_delivery_side_losses_only() {
+        let r = SampleRow {
+            sent: 100,
+            delivered: 80,
+            drops_reverse_face: 5,
+            drops_node_down: 3,
+            drops_lossy: 99, // send-side: already excluded from `sent`
+            ..SampleRow::default()
+        };
+        assert_eq!(r.in_flight(), 12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_occupancy() {
+        let mut a = row(0);
+        let mut b = row(0);
+        b.bf_occ_max_fp = ratio_to_fp(0.9);
+        a.merge_shard(&b);
+        assert_eq!(a.sent, 20);
+        assert_eq!(a.bf_bits, 2_000);
+        assert_eq!(a.bf_routers, 2);
+        assert_eq!(a.bf_occ_max_fp, ratio_to_fp(0.9));
+        assert_eq!(a.bf_occupancy(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different ticks")]
+    fn merge_rejects_tick_mismatch() {
+        row(0).merge_shard(&row(1));
+    }
+
+    #[test]
+    fn merge_timeseries_is_elementwise() {
+        let merged = merge_timeseries(&[vec![row(0), row(1)], vec![row(0), row(1)]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].sent, 20);
+        assert_eq!(merged[1].sent, 40);
+        assert!(merge_timeseries(&[]).is_empty());
+    }
+
+    #[test]
+    fn jsonl_carries_every_key_and_deltas() {
+        let text = timeseries_to_jsonl("tactic", &[row(0), row(1)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for key in TIMESERIES_KEYS {
+            for line in &lines {
+                assert!(line.contains(&format!("\"{key}\":")), "{key} in {line}");
+            }
+        }
+        // First row's delta is its cumulative value; second is the diff.
+        assert!(lines[0].contains("\"d_sent\":10"));
+        assert!(lines[1].contains("\"d_sent\":10"));
+        assert!(lines[0].contains("\"sent\":10"));
+        assert!(lines[1].contains("\"sent\":20"));
+    }
+
+    #[test]
+    fn ratios_derive_from_fixed_point() {
+        let r = row(0);
+        assert_eq!(r.bf_occupancy(), 0.1);
+        assert!((r.bf_fpp_mean() - 0.25).abs() < 1e-9);
+        assert!((r.bf_occ_max() - 0.1).abs() < 1e-9);
+        assert_eq!(SampleRow::default().bf_occupancy(), 0.0);
+        assert_eq!(SampleRow::default().bf_fpp_mean(), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! ISSUE 8's observability guarantees, end to end:
+//!
+//! * the sim-time sampler's `timeseries.jsonl` bytes are identical
+//!   across `--threads {1,8}` × `--shards {1,4}` on both planes — the
+//!   time series is a golden artifact like every report field;
+//! * a *disabled* sampler (the default) leaves the checked-in golden
+//!   report snapshot untouched — the observability layer is zero-cost
+//!   and zero-effect when off;
+//! * an *enabled* sampler never perturbs the simulation trajectory —
+//!   deliveries, drops, and PIT peaks match the unsampled run exactly,
+//!   only `samples` (excluded from the `Debug` dump) is new.
+
+use tactic::net::{run_scenario, run_scenario_sharded};
+use tactic::scenario::Scenario;
+use tactic_baselines::{run_baseline, run_baseline_sharded, Mechanism};
+use tactic_experiments::opts::Verbosity;
+use tactic_experiments::runner::{run_replicas, scenario_id};
+use tactic_sim::time::SimDuration;
+use tactic_telemetry::timeseries_to_jsonl;
+use tactic_topology::paper::PaperTopology;
+
+fn small(secs: u64) -> Scenario {
+    let mut s = Scenario::small();
+    s.duration = SimDuration::from_secs(secs);
+    s
+}
+
+fn sampled(secs: u64) -> Scenario {
+    let mut s = small(secs);
+    s.sample_every = Some(SimDuration::from_secs(1));
+    s
+}
+
+/// The tactic plane across the full `--threads {1,8}` × `--shards
+/// {1,4}` matrix: every cell's per-replica time series must be
+/// byte-identical to the sequential reference.
+#[test]
+fn tactic_timeseries_is_byte_identical_across_threads_and_shards() {
+    let scenario = sampled(8);
+    let sid = scenario_id("observability", &[]);
+    let dump = |threads: usize, shards: usize| -> Vec<String> {
+        run_replicas(
+            "obs",
+            PaperTopology::Topo1,
+            sid,
+            &scenario,
+            2,
+            threads,
+            &[shards],
+            Verbosity::Quiet,
+        )
+        .iter()
+        .map(|r| timeseries_to_jsonl("tactic", &r.samples))
+        .collect()
+    };
+    let reference = dump(1, 1);
+    assert!(
+        reference.iter().all(|t| !t.is_empty()),
+        "sampler produced no rows"
+    );
+    for (threads, shards) in [(8, 1), (1, 4), (8, 4)] {
+        assert_eq!(
+            reference,
+            dump(threads, shards),
+            "--threads {threads} --shards {shards} changed the timeseries bytes"
+        );
+    }
+}
+
+/// The baseline plane across the same matrix: sequential vs. 4-sharded,
+/// each re-run under 8 concurrent worker threads.
+#[test]
+fn baseline_timeseries_is_byte_identical_across_threads_and_shards() {
+    let scenario = sampled(8);
+    let mechanism = Mechanism::NoAccessControl;
+    let reference = timeseries_to_jsonl(
+        "no-access-control",
+        &run_baseline(&scenario, mechanism, 42).samples,
+    );
+    assert!(!reference.is_empty(), "sampler produced no rows");
+    let (sharded, _) =
+        run_baseline_sharded(&scenario, mechanism, 42, 4).expect("small topology fits 4 shards");
+    assert_eq!(
+        reference,
+        timeseries_to_jsonl("no-access-control", &sharded.samples),
+        "--shards 4 changed the baseline timeseries bytes"
+    );
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let scenario = &scenario;
+                scope.spawn(move || {
+                    let samples = if i % 2 == 0 {
+                        run_baseline(scenario, mechanism, 42).samples
+                    } else {
+                        run_baseline_sharded(scenario, mechanism, 42, 4)
+                            .expect("fits")
+                            .0
+                            .samples
+                    };
+                    timeseries_to_jsonl("no-access-control", &samples)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(
+                reference,
+                h.join().expect("worker"),
+                "8 concurrent workers changed the baseline timeseries bytes"
+            );
+        }
+    });
+}
+
+/// The regression ISSUE 8 demands: with the sampler off (the default),
+/// the report still reproduces the *checked-in* golden snapshot byte
+/// for byte — the observability layer added nothing to the dump and
+/// perturbed nothing in the run.
+#[test]
+fn disabled_sampler_leaves_golden_snapshot_untouched() {
+    let golden = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots/tactic_small_seed42.txt");
+    let want = std::fs::read_to_string(&golden).expect("golden snapshot present");
+    let report = run_scenario(&small(5), 42);
+    assert!(
+        report.samples.is_empty() && report.profile.is_none(),
+        "disabled sampler/profiler must collect nothing"
+    );
+    assert_eq!(
+        want,
+        format!("{report:#?}\n"),
+        "a disabled sampler perturbed the golden report snapshot"
+    );
+}
+
+/// An enabled sampler adds `SampleTick` engine events but must not move
+/// a single packet: deliveries, drops, and table peaks are unchanged on
+/// both planes, sequentially and sharded.
+#[test]
+fn enabled_sampler_never_perturbs_the_run() {
+    let plain = run_scenario(&small(8), 42);
+    let watched = run_scenario(&sampled(8), 42);
+    assert!(!watched.samples.is_empty());
+    assert_eq!(
+        format!("{:?}", plain.delivery),
+        format!("{:?}", watched.delivery)
+    );
+    assert_eq!(format!("{:?}", plain.drops), format!("{:?}", watched.drops));
+    assert_eq!(plain.peak_pit_records, watched.peak_pit_records);
+    assert_eq!(plain.peak_cs_entries, watched.peak_cs_entries);
+    assert_eq!(plain.client_timeouts, watched.client_timeouts);
+
+    let (watched_sharded, _) =
+        run_scenario_sharded(&sampled(8), 42, 4).expect("small topology fits 4 shards");
+    assert_eq!(
+        timeseries_to_jsonl("tactic", &watched.samples),
+        timeseries_to_jsonl("tactic", &watched_sharded.samples),
+    );
+
+    let plain = run_baseline(&small(8), Mechanism::ClientSideAc, 42);
+    let watched = run_baseline(&sampled(8), Mechanism::ClientSideAc, 42);
+    assert!(!watched.samples.is_empty());
+    assert_eq!(plain.client_received, watched.client_received);
+    assert_eq!(plain.client_timeouts, watched.client_timeouts);
+    assert_eq!(plain.peak_pit_records, watched.peak_pit_records);
+    assert_eq!(plain.peak_cs_entries, watched.peak_cs_entries);
+}
