@@ -8,6 +8,9 @@
 //!   the same topologies/workloads as TACTIC, quantifying §1's motivation
 //!   (bandwidth wasted on unauthorized users; provider load without cache
 //!   reuse);
+//! * [`adversary`] — the baselines' open-loop attack fleet: the same
+//!   deterministic pacer as `tactic::adversary`, with tagless analogs of
+//!   each attack class;
 //! * [`comparison`] — the Table II qualitative comparison, encoded as data.
 //!
 //! # Examples
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod comparison;
 pub mod mechanism;
 pub mod net;

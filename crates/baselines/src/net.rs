@@ -16,9 +16,10 @@ use tactic_ndn::forwarder::{process_data, process_interest, InterestAction, Tabl
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::{Interest, Packet};
 use tactic_net::{
-    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, Catalog, Emit, Links, Net,
-    NetConfig, NetObserver, NodePlane, NoopObserver, PlaneCtx, RequesterConfig, ShardSpec,
-    ShardedStats, TransportReport, ZipfRequester,
+    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, AttackClass, Catalog,
+    ChurnConfig, EdgeDefense, Emit, Links, Net, NetConfig, NetObserver, NodePlane, NoopObserver,
+    PlaneCtx, RequesterConfig, ShardSpec, ShardedStats, TransportReport, ZipfRequester,
+    ATTACK_STREAM,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::stats::{ratio, TimeSeries};
@@ -31,6 +32,7 @@ use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::roles::{build_topology, Topology};
 use tactic_topology::shard::{ShardError, ShardMap};
 
+use crate::adversary::{self, BaselineAdversary};
 use crate::mechanism::Mechanism;
 use crate::provider::BaselineProvider;
 
@@ -161,6 +163,12 @@ pub struct BaselinePlane<PO: ProtocolObserver = NoopProtocolObserver> {
     pit_sweep_sums: Vec<u64>,
     /// Content-store entries summed the same way, one entry per sweep.
     cs_sweep_sums: Vec<u64>,
+    /// Per-node attack drivers — `Some` only at attacker nodes while an
+    /// attack plan is active. A node with a driver ignores its windowed
+    /// requester entirely (open-loop fleet).
+    adversaries: Vec<Option<BaselineAdversary>>,
+    /// The sentinel timeout name that paces the attack drivers.
+    attack_tick: Name,
     proto: PO,
 }
 
@@ -280,6 +288,11 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                     }
                     Packet::Nack(_) => Vec::new(),
                 };
+                // Bounded-PIT enforcement (no-op when unbounded): evicted
+                // records surface through the shared drop ledger.
+                for evicted in tables.pit.evict_over_capacity() {
+                    ctx.drops.pit_full += evicted.records().len() as u64;
+                }
                 for (f, pkt) in sends {
                     out.push(Emit::Send {
                         face: f,
@@ -307,6 +320,9 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
                 }
             }
             Node::Requester(r) => {
+                if self.adversaries[node.index()].is_some() {
+                    return; // Open-loop fleet: replies are never tracked.
+                }
                 if let Packet::Data(d) = &packet {
                     let hop = Hop::new(node_id, NodeRole::Consumer, now);
                     proto.on_retrieval(hop, d.name(), RetrievalOutcome::Data);
@@ -355,6 +371,14 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     }
 
     fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        if self.adversaries[node.index()].is_some() {
+            // Arm the attack pacer instead of the windowed requester.
+            out.push(Emit::Timeout {
+                name: self.attack_tick.clone(),
+                delay: adversary::TICK,
+            });
+            return;
+        }
         let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -371,6 +395,25 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
         ctx: &mut PlaneCtx<'_>,
         out: &mut Vec<Emit>,
     ) {
+        if name == self.attack_tick {
+            let Some(driver) = self.adversaries[node.index()].as_mut() else {
+                return;
+            };
+            let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
+            for i in driver.on_tick(ctx.now) {
+                self.proto.on_interest_emitted(hop, i.nonce(), i.name());
+                out.push(Emit::Send {
+                    face: FaceId::new(0),
+                    packet: Packet::Interest(i),
+                    compute: SimDuration::ZERO,
+                });
+            }
+            out.push(Emit::Timeout {
+                name,
+                delay: adversary::TICK,
+            });
+            return;
+        }
         let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -432,6 +475,9 @@ impl<PO: ProtocolObserver> NodePlane for BaselinePlane<PO> {
     }
 
     fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        if self.adversaries[node.index()].is_some() {
+            return; // The open-loop fleet keeps its pace across moves.
+        }
         let Node::Requester(r) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -533,7 +579,9 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
 
         let mut tables_map: HashMap<usize, Tables> = HashMap::new();
         for r in topo.routers() {
-            tables_map.insert(r.index(), Tables::new(cs_capacity));
+            let mut tables = Tables::new(cs_capacity);
+            tables.pit.set_capacity(scenario.defense.pit_capacity);
+            tables_map.insert(r.index(), tables);
         }
         populate_fib(&topo, &links, |rnode, _i, prefix, face, cost_us| {
             tables_map
@@ -582,11 +630,64 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             nodes.push(state);
         }
 
+        // Adversarial fleet: an active plan repurposes every attacker
+        // into an open-loop traffic source ([`crate::adversary`]);
+        // Churn instead hands the transport a schedule of aggressive
+        // Move events, exactly as on the TACTIC plane.
+        let mut adversaries: Vec<Option<BaselineAdversary>> = (0..n).map(|_| None).collect();
+        let mut churn: Option<ChurnConfig> = None;
+        if scenario.attack.active() {
+            let class = scenario.attack.class.expect("active plan names a class");
+            if class == AttackClass::Churn {
+                let mut churn_nodes = topo.attackers.clone();
+                churn_nodes.sort_unstable();
+                churn = Some(ChurnConfig {
+                    nodes: churn_nodes,
+                    mean_dwell: SimDuration::from_secs(2),
+                });
+            } else {
+                let lifetime_ms = (scenario.request_timeout.as_nanos() / 1_000_000) as u32;
+                for &anode in &topo.attackers {
+                    let principal = anode.index() as u64;
+                    adversaries[anode.index()] = Some(BaselineAdversary::new(
+                        class,
+                        principal,
+                        scenario.attack.intensity,
+                        lifetime_ms,
+                        rng.fork(ATTACK_STREAM ^ principal),
+                        catalog.clone(),
+                        mechanism.per_request_provider_auth(),
+                    ));
+                }
+            }
+        }
+
+        // Edge defenses enforced by the transport at send time; the
+        // bounded PIT is applied to the router tables above.
+        let defense =
+            if scenario.defense.rate_limit.is_some() || scenario.defense.face_cap.is_some() {
+                Some(EdgeDefense::new(
+                    scenario.defense.rate_limit,
+                    scenario.defense.face_cap,
+                    topo.clients
+                        .iter()
+                        .chain(topo.attackers.iter())
+                        .copied()
+                        .collect(),
+                    topo.access_points.clone(),
+                    topo.edge_routers.clone(),
+                ))
+            } else {
+                None
+            };
+
         let plane = BaselinePlane {
             mechanism,
             nodes,
             pit_sweep_sums: Vec::new(),
             cs_sweep_sums: Vec::new(),
+            adversaries,
+            attack_tick: adversary::tick_name(),
             proto,
         };
         let config = NetConfig {
@@ -596,6 +697,8 @@ impl<O: NetObserver, PO: ProtocolObserver> BaselineNetwork<O, PO> {
             faults: scenario.faults.clone(),
             sample_every: scenario.sample_every,
             profile: scenario.profile,
+            defense,
+            churn,
         };
         BaselineNetwork {
             net: match shard {
@@ -644,7 +747,7 @@ where
         TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
     };
     let shard_map = ShardMap::partition(&topo, shards)?;
-    let lookahead = shard_map.lookahead(scenario.mobility.is_some());
+    let lookahead = shard_map.lookahead(scenario.any_mobility());
     let horizon = SimTime::ZERO + scenario.duration;
     let shard_of = shard_map.shard_of.clone();
     drop(topo);
@@ -690,6 +793,8 @@ where
             nodes,
             pit_sweep_sums: sums,
             cs_sweep_sums: cs_sums,
+            adversaries: _,
+            attack_tick: _,
             proto,
         } = plane;
         stats
@@ -727,6 +832,8 @@ where
         nodes,
         pit_sweep_sums,
         cs_sweep_sums,
+        adversaries: Vec::new(),
+        attack_tick: adversary::tick_name(),
         proto: NoopProtocolObserver,
     };
     let (report, _) = stitched.into_report(merged);

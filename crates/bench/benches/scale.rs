@@ -21,9 +21,12 @@
 //! * With `BENCH_SCALE_JSON=<path>` also write `BENCH_scale.json`,
 //!   including a paper-preset throughput check against the
 //!   `BENCH_datapath.json` baseline recorded below — the scale refactor
-//!   must not cost the small runs anything — and a `"sampler"` point
+//!   must not cost the small runs anything — a `"sampler"` point
 //!   measuring the sim-time sampler disabled vs. enabled at the largest
-//!   node count (ISSUE 8 budget: ≤ 5% events/s overhead at 10⁵ nodes).
+//!   node count (ISSUE 8 budget: ≤ 5% events/s overhead at 10⁵ nodes),
+//!   and a `"defense"` point measuring the edge defenses disabled vs.
+//!   armed-unattacked there too (ISSUE 9 budget: ≤ 5%; disabled builds
+//!   no defense state at all and is the pre-feature code path).
 //! * `BENCH_SCALE_CHILD=<nodes>:<sim_ms>` (internal) — run one point and
 //!   print its JSON on stdout; the parent sets this when re-executing
 //!   itself.
@@ -299,6 +302,75 @@ fn measure_sampler_point(nodes: usize, sim_ms: u64) -> SamplerPoint {
     }
 }
 
+/// One disabled-vs-armed measurement of the edge defenses, unattacked.
+struct DefensePoint {
+    nodes: usize,
+    sim_ms: u64,
+    base_events_per_sec: f64,
+    defended_events_per_sec: f64,
+    overhead_pct: f64,
+    rate_limited: u64,
+}
+
+impl DefensePoint {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\": {}, \"sim_ms\": {}, ",
+                "\"baseline_events_per_sec\": {:.0}, ",
+                "\"defended_events_per_sec\": {:.0}, \"overhead_pct\": {:.2}, ",
+                "\"rate_limited_drops\": {}}}"
+            ),
+            self.nodes,
+            self.sim_ms,
+            self.base_events_per_sec,
+            self.defended_events_per_sec,
+            self.overhead_pct,
+            self.rate_limited,
+        )
+    }
+}
+
+/// Edge-defense overhead probe at one node count: the same unattacked
+/// fleet run with the defenses off and then fully armed (token bucket,
+/// face cap, bounded PIT). "Off" needs no measurement trick — a
+/// disabled [`tactic::scenario::DefenseConfig`] builds no `EdgeDefense`
+/// at all, the identical code path as before the feature existed — so
+/// the disabled run *is* the baseline, and the armed run's wall-clock
+/// delta is the whole admission-check cost (ISSUE 9 budget: ≤ 5%
+/// events/s at 10⁵ nodes when no attack is underway).
+fn measure_defense_point(nodes: usize, sim_ms: u64) -> DefensePoint {
+    use tactic::scenario::{DefenseConfig, RateLimit};
+    let s = fleet_scenario(nodes, sim_ms);
+    let net = Network::build(&s, 1);
+    let t = Instant::now();
+    let base = net.run();
+    let base_secs = t.elapsed().as_secs_f64();
+
+    let mut defended_scenario = fleet_scenario(nodes, sim_ms);
+    defended_scenario.defense = DefenseConfig {
+        rate_limit: Some(RateLimit {
+            per_sec: 150,
+            burst: 50,
+        }),
+        face_cap: Some(400),
+        pit_capacity: Some(512),
+    };
+    let net = Network::build(&defended_scenario, 1);
+    let t = Instant::now();
+    let defended = net.run();
+    let defended_secs = t.elapsed().as_secs_f64();
+
+    DefensePoint {
+        nodes,
+        sim_ms,
+        base_events_per_sec: base.events as f64 / base_secs.max(1e-9),
+        defended_events_per_sec: defended.events as f64 / defended_secs.max(1e-9),
+        overhead_pct: (defended_secs - base_secs) / base_secs.max(1e-9) * 100.0,
+        rate_limited: defended.drops.rate_limited,
+    }
+}
+
 /// Paper-preset throughput probe: the same small scenario the datapath
 /// bench measures, so the number is directly comparable to the
 /// `BENCH_datapath.json` baseline.
@@ -380,6 +452,19 @@ fn main() {
         p
     });
 
+    // Edge-defense overhead at the largest point: the armed-unattacked
+    // run's wall-clock delta against the (defense-free) disabled baseline.
+    let defense = sizes.iter().max().map(|&nodes| {
+        let sim_ms = sim_ms_for(nodes);
+        eprintln!("scale: {nodes} nodes, defenses off vs armed (no attack)...");
+        let p = measure_defense_point(nodes, sim_ms);
+        eprintln!(
+            "scale: {} nodes defense -> {:.0} events/s off, {:.0} events/s armed ({:+.2}% wall, {} rate-limited)",
+            p.nodes, p.base_events_per_sec, p.defended_events_per_sec, p.overhead_pct, p.rate_limited
+        );
+        p
+    });
+
     let preset_eps = measure_paper_preset();
     let throughput_x = preset_eps / DATAPATH_TACTIC_EVENTS_PER_SEC;
     eprintln!(
@@ -398,6 +483,7 @@ fn main() {
                 "  \"points\": [\n{}\n  ],\n",
                 "  \"shards\": [\n{}\n  ],\n",
                 "  \"sampler\": {},\n",
+                "  \"defense\": {},\n",
                 "  \"paper_preset\": {{\"baseline_events_per_sec\": {:.0}, ",
                 "\"events_per_sec\": {:.0}, \"throughput_x\": {:.3}}}\n}}\n"
             ),
@@ -406,6 +492,9 @@ fn main() {
             sampler
                 .as_ref()
                 .map_or_else(|| "null".to_string(), SamplerPoint::json),
+            defense
+                .as_ref()
+                .map_or_else(|| "null".to_string(), DefensePoint::json),
             DATAPATH_TACTIC_EVENTS_PER_SEC,
             preset_eps,
             throughput_x,

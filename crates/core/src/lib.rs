@@ -14,6 +14,9 @@
 //! * [`provider`] — registration, tag issuance, chunked signed content;
 //! * [`consumer`] — the Zipf-window client and the threat-model attackers;
 //! * [`access`], [`access_path`], [`tag`], [`ext`] — the data model;
+//! * [`adversary`] — the deterministic attack-fleet driver for the
+//!   robustness suite (Interest flooding, forgery storms, BF pollution,
+//!   expired-tag replay);
 //! * [`scenario`], [`net`], [`metrics`] — the assembled simulation
 //!   (topology + links + cost injection) and its measurements.
 //!
@@ -38,6 +41,7 @@
 
 pub mod access;
 pub mod access_path;
+pub mod adversary;
 pub mod consumer;
 pub mod ext;
 pub mod metrics;

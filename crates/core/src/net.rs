@@ -9,6 +9,7 @@
 //! TACTIC-specific.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tactic_crypto::cert::{CertStore, Certificate};
 use tactic_crypto::schnorr::KeyPair;
@@ -16,8 +17,9 @@ use tactic_ndn::face::FaceId;
 use tactic_ndn::name::Name;
 use tactic_ndn::packet::Packet;
 use tactic_net::{
-    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, Emit, Links, Net, NetConfig,
-    NetObserver, NodePlane, NoopObserver, PlaneCtx, ShardSpec, ShardedStats, TransportReport,
+    populate_fib, provider_prefix, run_sharded_profiled, ApRelay, AttackClass, ChurnConfig,
+    EdgeDefense, Emit, Links, Net, NetConfig, NetObserver, NodePlane, NoopObserver, PlaneCtx,
+    ShardSpec, ShardedStats, TransportReport, ATTACK_STREAM,
 };
 use tactic_sim::rng::Rng;
 use tactic_sim::time::{SimDuration, SimTime};
@@ -30,6 +32,7 @@ use tactic_topology::shard::{ShardError, ShardMap};
 
 use crate::access::AccessLevel;
 use crate::access_path::AccessPath;
+use crate::adversary::{self, AdversaryDriver};
 use crate::consumer::{AttackerStrategy, CatalogEntry, Consumer, ConsumerConfig, ConsumerKind};
 use crate::ext;
 use crate::metrics::RunReport;
@@ -65,6 +68,12 @@ pub struct TacticPlane<PO: ProtocolObserver = NoopProtocolObserver> {
     /// one entry per purge sweep (same mirroring argument as
     /// `pit_sweep_sums`).
     cs_sweep_sums: Vec<u64>,
+    /// Per-node attack drivers — `Some` only at attacker nodes while an
+    /// [`crate::scenario::AttackPlan`] is active. A node with a driver
+    /// ignores its windowed consumer entirely (open-loop fleet).
+    adversaries: Vec<Option<AdversaryDriver>>,
+    /// The sentinel timeout name that paces the attack drivers.
+    attack_tick: Name,
     proto: PO,
 }
 
@@ -176,6 +185,7 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                     // pending requesters, consuming the PIT state.
                     Packet::Nack(n) => r.handle_nack_observed(n, now, node_id, proto),
                 };
+                ctx.drops.pit_full += res.pit_evictions;
                 for (out_face, pkt) in res.sends {
                     out.push(Emit::Send {
                         face: out_face,
@@ -200,6 +210,9 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                 }
             }
             NodeState::Consumer(c) => {
+                if self.adversaries[node.index()].is_some() {
+                    return; // Open-loop fleet: replies are never tracked.
+                }
                 let hop = Hop::new(node_id, NodeRole::Consumer, now);
                 let sends = match &packet {
                     Packet::Data(d) => {
@@ -279,6 +292,14 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     }
 
     fn on_start(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
+        if self.adversaries[node.index()].is_some() {
+            // Arm the attack pacer instead of the windowed consumer.
+            out.push(Emit::Timeout {
+                name: self.attack_tick.clone(),
+                delay: adversary::TICK,
+            });
+            return;
+        }
         let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -295,6 +316,25 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
         ctx: &mut PlaneCtx<'_>,
         out: &mut Vec<Emit>,
     ) {
+        if name == self.attack_tick {
+            let Some(driver) = self.adversaries[node.index()].as_mut() else {
+                return;
+            };
+            let hop = Hop::new(node.index() as u64, NodeRole::Consumer, ctx.now);
+            for i in driver.on_tick(ctx.now) {
+                self.proto.on_interest_emitted(hop, i.nonce(), i.name());
+                out.push(Emit::Send {
+                    face: FaceId::new(0),
+                    packet: Packet::Interest(i),
+                    compute: SimDuration::ZERO,
+                });
+            }
+            out.push(Emit::Timeout {
+                name,
+                delay: adversary::TICK,
+            });
+            return;
+        }
         let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -365,6 +405,9 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
     fn on_handover(&mut self, node: NodeId, ctx: &mut PlaneCtx<'_>, out: &mut Vec<Emit>) {
         // The consumer drops its tags so the next request re-registers
         // from the new location, then refills its window immediately.
+        if self.adversaries[node.index()].is_some() {
+            return; // The open-loop fleet keeps its credentials and pace.
+        }
         let NodeState::Consumer(c) = &mut self.nodes[node.index()] else {
             return;
         };
@@ -502,6 +545,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 flag_f_enabled: scenario.flag_f_enabled,
                 content_nack_enabled: scenario.content_nack_enabled,
                 record_sightings: scenario.record_sightings,
+                pit_capacity: scenario.defense.pit_capacity,
             };
             let mut router = TacticRouter::new(config, certs.clone());
             for (face_idx, &(peer, _)) in links.neighbors[rnode.index()].iter().enumerate() {
@@ -612,6 +656,88 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             consumers.insert(unode.index(), consumer);
         }
 
+        // Adversarial fleet: an active plan repurposes every attacker
+        // into an open-loop traffic source ([`crate::adversary`]).
+        // Credentials are issued here because only the assembly holds
+        // the providers' signing state; Churn instead hands the
+        // transport a schedule of aggressive Move events.
+        let mut adversaries: Vec<Option<AdversaryDriver>> = (0..n).map(|_| None).collect();
+        let mut churn: Option<ChurnConfig> = None;
+        if scenario.attack.active() {
+            let class = scenario.attack.class.expect("active plan names a class");
+            if class == AttackClass::Churn {
+                let mut nodes = topo.attackers.clone();
+                nodes.sort_unstable();
+                churn = Some(ChurnConfig {
+                    nodes,
+                    mean_dwell: SimDuration::from_secs(2),
+                });
+            } else {
+                let lifetime_ms = (scenario.request_timeout.as_nanos() / 1_000_000) as u32;
+                for &anode in &topo.attackers {
+                    let principal = anode.index() as u64;
+                    let path = if scenario.access_path_enabled {
+                        AccessPath::of([topo.access_point_of(anode).0 as u64])
+                    } else {
+                        AccessPath::EMPTY
+                    };
+                    let mut issue = |prov_idx: usize, who: u64, expiry: SimTime| {
+                        let pnode = topo.providers[prov_idx];
+                        let p = providers.get_mut(&pnode.index()).expect("provider");
+                        Arc::new(p.issue_tag(who, scenario.client_level, path, expiry))
+                    };
+                    let horizon = SimTime::ZERO + scenario.duration;
+                    let issued: Vec<(usize, Arc<crate::tag::SignedTag>)> = match class {
+                        AttackClass::Flood => (0..topo.providers.len())
+                            .map(|idx| (idx, issue(idx, principal, horizon)))
+                            .collect(),
+                        AttackClass::ReplayExpired => (0..topo.providers.len())
+                            .map(|idx| (idx, issue(idx, principal, SimTime::from_nanos(1))))
+                            .collect(),
+                        AttackClass::BfPollution => (0..adversary::POLLUTION_POOL)
+                            .map(|k| {
+                                let idx = k % topo.providers.len();
+                                // Distinct synthetic principals yield
+                                // distinct (still genuinely signed) tags.
+                                let who = principal ^ ((k as u64 + 1) << 32);
+                                (idx, issue(idx, who, horizon))
+                            })
+                            .collect(),
+                        AttackClass::ForgeTags => Vec::new(),
+                        AttackClass::Churn => unreachable!("handled above"),
+                    };
+                    adversaries[anode.index()] = Some(AdversaryDriver::new(
+                        class,
+                        principal,
+                        scenario.attack.intensity,
+                        lifetime_ms,
+                        rng.fork(ATTACK_STREAM ^ principal),
+                        catalog.clone(),
+                        issued,
+                    ));
+                }
+            }
+        }
+
+        // Edge defenses enforced by the transport at send time; the
+        // bounded PIT is a router concern wired via `RouterConfig`.
+        let defense =
+            if scenario.defense.rate_limit.is_some() || scenario.defense.face_cap.is_some() {
+                Some(EdgeDefense::new(
+                    scenario.defense.rate_limit,
+                    scenario.defense.face_cap,
+                    topo.clients
+                        .iter()
+                        .chain(topo.attackers.iter())
+                        .copied()
+                        .collect(),
+                    topo.access_points.clone(),
+                    topo.edge_routers.clone(),
+                ))
+            } else {
+                None
+            };
+
         // Assemble node states.
         let mut nodes: Vec<NodeState> = Vec::with_capacity(n);
         for node in topo.graph.nodes() {
@@ -638,6 +764,8 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             edge_router_set,
             pit_sweep_sums: Vec::new(),
             cs_sweep_sums: Vec::new(),
+            adversaries,
+            attack_tick: adversary::tick_name(),
             proto,
         };
         let config = NetConfig {
@@ -647,6 +775,8 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             faults: scenario.faults.clone(),
             sample_every: scenario.sample_every,
             profile: scenario.profile,
+            defense,
+            churn,
         };
         Network {
             net: match shard {
@@ -708,7 +838,7 @@ where
         TopologyChoice::Custom(spec) => build_topology(&spec, &mut rng.fork(1)),
     };
     let shard_map = ShardMap::partition(&topo, shards)?;
-    let lookahead = shard_map.lookahead(scenario.mobility.is_some());
+    let lookahead = shard_map.lookahead(scenario.any_mobility());
     let horizon = SimTime::ZERO + scenario.duration;
     let shard_of = shard_map.shard_of.clone();
     drop(topo);
@@ -755,6 +885,8 @@ where
             edge_router_set: ers,
             pit_sweep_sums: sums,
             cs_sweep_sums: cs_sums,
+            adversaries: _,
+            attack_tick: _,
             proto,
         } = plane;
         if edge_router_set.is_empty() {
@@ -795,6 +927,10 @@ where
         edge_router_set,
         pit_sweep_sums,
         cs_sweep_sums,
+        // The stitched plane only aggregates reports; it never handles
+        // another event, so the fleet state is not reassembled.
+        adversaries: Vec::new(),
+        attack_tick: adversary::tick_name(),
         proto: NoopProtocolObserver,
     };
     let (report, _) = stitched.into_report(scenario.duration, merged);

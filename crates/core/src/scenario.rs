@@ -8,9 +8,11 @@ use tactic_topology::roles::TopologySpec;
 use crate::access::AccessLevel;
 use crate::consumer::AttackerStrategy;
 
-// Mobility and the fault model live in the shared transport plane now;
-// re-exported here so scenario construction keeps reading naturally.
+// Mobility, the fault model, and the adversarial layer live in the
+// shared transport plane now; re-exported here so scenario construction
+// keeps reading naturally.
 pub use tactic_net::MobilityConfig;
+pub use tactic_net::{AttackClass, AttackPlan, DefenseConfig, RateLimit};
 pub use tactic_net::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
 
 /// Which network to simulate.
@@ -112,6 +114,13 @@ pub struct Scenario {
     /// per-shard epoch spans). Nondeterministic metadata only — the
     /// simulation itself is bit-identical either way.
     pub profile: bool,
+    /// What the attacker fleet does ([`AttackPlan::none`] = the paper's
+    /// historical attacker mix; an active plan repurposes every attacker
+    /// into the named adversarial class).
+    pub attack: AttackPlan,
+    /// The edge's defensive posture ([`DefenseConfig::none`] = all
+    /// defenses off, provably zero-cost).
+    pub defense: DefenseConfig,
 }
 
 impl Scenario {
@@ -146,6 +155,8 @@ impl Scenario {
             retransmit: None,
             sample_every: None,
             profile: false,
+            attack: AttackPlan::none(),
+            defense: DefenseConfig::none(),
         }
     }
 
@@ -164,6 +175,16 @@ impl Scenario {
         s.objects_per_provider = 10;
         s.chunks_per_object = 10;
         s
+    }
+
+    /// Whether any handover machinery is active: client mobility, or an
+    /// attacker-churn plan (which rides the same Move events with its
+    /// own dwell). This — not `mobility.is_some()` alone — is what the
+    /// sharded lookahead must conservatively account for, because
+    /// handovers re-point radio links across shard boundaries at will.
+    pub fn any_mobility(&self) -> bool {
+        self.mobility.is_some()
+            || (self.attack.active() && self.attack.class == Some(AttackClass::Churn))
     }
 
     /// The Bloom-filter parameters for this scenario: the bit array is

@@ -1,34 +1,32 @@
-//! Graceful-degradation experiments: loss rate × failure intensity sweeps
-//! over all four planes, with and without client retransmission.
+//! Adversarial-workload experiments: attack class × intensity × defense
+//! posture across all four planes, producing graceful-degradation curves.
 //!
-//! Each cell runs the same Zipf-window workload through the shared
-//! transport under a [`FaultPlan`]: a uniform per-hop loss probability
-//! plus (optionally) a "heavy" schedule that crashes a core router and
-//! cuts a router-router link mid-run, both recovering later. The output
-//! curves show how each mechanism's satisfaction ratio degrades, what
-//! retransmission buys back, and what the faults cost in PIT occupancy
-//! and per-reason drops.
+//! Each cell drives the same Zipf-window client workload while the
+//! attacker fleet executes one [`AttackClass`] at a fixed per-attacker
+//! intensity — Interest flooding with valid credentials, tag-forgery
+//! storms, Bloom-filter pollution, expired-tag replay, or mobility churn
+//! — with the edge defenses (per-client token bucket, per-face fairness
+//! cap, bounded PIT) either all off or all armed. The output curves show
+//! what each attack costs every mechanism in client goodput, latency,
+//! and authentication work, and what the defenses buy back.
 //!
-//! Restricted to the paper topologies so the fault schedule's node ids
-//! mean the same thing in the TACTIC and baseline planes (both build the
-//! topology from the same seed).
+//! Restricted to the paper topologies so attacker placement means the
+//! same thing in the TACTIC and baseline planes (both build the topology
+//! from the same seed).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use tactic::net::{run_scenario_sharded, Network};
-use tactic::scenario::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy, Scenario};
+use tactic::scenario::{AttackClass, AttackPlan, DefenseConfig, RateLimit, Scenario};
 use tactic_baselines::mechanism::Mechanism;
 use tactic_baselines::net::{run_baseline_sharded, BaselineNetwork};
 use tactic_net::{DropTotals, ShardedStats};
 use tactic_sim::rng::derive_seed;
 use tactic_sim::stats::ratio;
-use tactic_sim::time::{SimDuration, SimTime};
 use tactic_telemetry::RunManifest;
-use tactic_topology::graph::{NodeId, Role};
 use tactic_topology::paper::PaperTopology;
-use tactic_topology::roles::Topology;
 
 use crate::opts::{RunOpts, Verbosity};
 use crate::output::{fmt_f, write_file, write_manifests, TextTable};
@@ -41,146 +39,121 @@ const PLANES: [&str; 4] = [
     "provider-auth-ac",
 ];
 
-/// The loss rates swept by the `resilience` binary.
-pub const LOSS_RATES: [f64; 3] = [0.0, 0.05, 0.2];
+/// Per-attacker intensities (Interests per second) swept for every
+/// attack class except churn, which re-attaches on its own clock and
+/// only needs one active point.
+pub const INTENSITIES: [u32; 2] = [500, 2000];
+
+/// The armed defensive posture every `defense=on` cell uses.
+///
+/// The token bucket is sized above what a legitimate windowed client
+/// ever sustains on the paper topologies (window 5 over millisecond
+/// radio RTTs peaks near 150 Interests/s when the edge cache is hot)
+/// but well below the swept attack intensities, so it clamps the fleet
+/// without touching clients — measured on Topo1, the unattacked armed
+/// run is packet-for-packet identical to the undefended one. The burst
+/// allowance is kept small so the bucket engages within the first
+/// second of a flood rather than lending the fleet seconds of credit;
+/// the face cap and PIT bound are second-line caps that bind only
+/// under concentrated pressure.
+pub fn armed_defense() -> DefenseConfig {
+    DefenseConfig {
+        rate_limit: Some(RateLimit {
+            per_sec: 150,
+            burst: 50,
+        }),
+        face_cap: Some(400),
+        pit_capacity: Some(512),
+    }
+}
+
+/// The swept attack points: the no-attack baseline, every traffic class
+/// at each intensity, and churn once.
+pub fn attack_points() -> Vec<AttackPlan> {
+    let mut points = vec![AttackPlan::none()];
+    for class in AttackClass::ALL {
+        if class == AttackClass::Churn {
+            points.push(AttackPlan {
+                class: Some(class),
+                intensity: INTENSITIES[0],
+            });
+        } else {
+            for &intensity in &INTENSITIES {
+                points.push(AttackPlan {
+                    class: Some(class),
+                    intensity,
+                });
+            }
+        }
+    }
+    points
+}
 
 /// What one run of one plane contributed to its grid cell.
 #[derive(Debug, Clone, Copy, Default)]
 struct RunTotals {
     requested: u64,
     received: u64,
-    retransmitted: u64,
-    gave_up: u64,
-    timeouts: u64,
+    auth_ops: u64,
+    expired_rejections: u64,
     drops: DropTotals,
     peak_pit_records: u64,
     peak_cs_entries: u64,
+    latency_mean: f64,
     events: u64,
     peak_queue_depth: u64,
 }
 
-/// One aggregated grid cell of the degradation sweep (summed over seeds).
+/// One aggregated grid cell of the degradation sweep (summed over
+/// seeds; latency is the mean of per-run means).
 #[derive(Debug, Clone)]
 pub struct CellRow {
     /// Plane name (`tactic` or a baseline mechanism).
     pub plane: String,
-    /// Per-hop uniform loss probability.
-    pub loss: f64,
-    /// Failure-schedule intensity (`none` or `heavy`).
-    pub failures: &'static str,
-    /// Whether clients retransmitted expired Interests.
-    pub retransmit: bool,
-    /// Client chunks requested (retransmissions excluded).
+    /// Attack-plan token (`off`, `flood@200`, ...).
+    pub attack: String,
+    /// Per-attacker intensity (0 for the no-attack baseline).
+    pub intensity: u32,
+    /// Whether the edge defenses were armed.
+    pub defended: bool,
+    /// Client chunks requested (the fleet's open-loop traffic excluded).
     pub requested: u64,
     /// Client chunks received.
     pub received: u64,
-    /// Client Interests retransmitted after expiry.
-    pub retransmitted: u64,
-    /// Client chunks abandoned after the retry budget.
-    pub gave_up: u64,
-    /// Client request expiries.
-    pub timeouts: u64,
-    /// Transport drops by reason, summed over seeds.
+    /// Authentication work: TACTIC router signature verifications, or
+    /// baseline provider per-request authentications.
+    pub auth_ops: u64,
+    /// Expired-tag pre-check rejections (TACTIC planes only).
+    pub expired_rejections: u64,
+    /// Transport + plane drops by reason, summed over seeds.
     pub drops: DropTotals,
     /// Max over seeds of the per-run PIT-occupancy peak.
     pub peak_pit_records: u64,
+    /// Sum over seeds of per-run mean client latency (seconds).
+    latency_mean_sum: f64,
+    /// Runs folded into this cell.
+    runs: u64,
 }
 
 impl CellRow {
-    /// Clients' satisfaction ratio (received / requested).
-    pub fn satisfaction(&self) -> f64 {
+    /// Clients' goodput ratio (received / requested).
+    pub fn goodput(&self) -> f64 {
         ratio(self.received, self.requested)
     }
 
-    /// Retransmission overhead: extra Interests per requested chunk.
-    pub fn retransmit_overhead(&self) -> f64 {
-        if self.requested == 0 {
+    /// Mean over seeds of the per-run mean client latency, in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.runs == 0 {
             0.0
         } else {
-            self.retransmitted as f64 / self.requested as f64
+            self.latency_mean_sum / self.runs as f64
         }
-    }
-}
-
-/// The "heavy" failure schedule for a built topology: crash the first
-/// core router for the middle quarter of the run and cut one
-/// router-router link (not touching the victim) overlapping it. Purely a
-/// function of the topology and duration, so runs stay deterministic.
-fn heavy_schedule(topo: &Topology, duration: SimDuration) -> Vec<FaultEvent> {
-    let at = |frac: f64| SimTime::from_secs_f64(duration.as_secs_f64() * frac);
-    let mut schedule = Vec::new();
-    let Some(&victim) = topo.core_routers.first() else {
-        return schedule;
-    };
-    schedule.push(FaultEvent {
-        at: at(0.25),
-        kind: FaultKind::NodeDown { node: victim },
-    });
-    schedule.push(FaultEvent {
-        at: at(0.5),
-        kind: FaultKind::NodeUp { node: victim },
-    });
-    if let Some((a, b)) = cuttable_link(topo, victim) {
-        schedule.push(FaultEvent {
-            at: at(0.4),
-            kind: FaultKind::LinkDown { a, b },
-        });
-        schedule.push(FaultEvent {
-            at: at(0.7),
-            kind: FaultKind::LinkUp { a, b },
-        });
-    }
-    schedule
-}
-
-/// The first router-router link neither of whose endpoints is `victim`,
-/// in deterministic (node order, adjacency order) scan order.
-fn cuttable_link(topo: &Topology, victim: NodeId) -> Option<(NodeId, NodeId)> {
-    let is_router = |n: NodeId| matches!(topo.graph.role(n), Role::CoreRouter | Role::EdgeRouter);
-    for a in topo.graph.nodes() {
-        if !is_router(a) || a == victim {
-            continue;
-        }
-        for (b, _) in topo.graph.incident(a) {
-            if a < b && is_router(b) && b != victim {
-                return Some((a, b));
-            }
-        }
-    }
-    None
-}
-
-/// The fault plan for one run: uniform loss at `loss` plus the heavy
-/// schedule when requested. The schedule derives from the topology this
-/// seed builds, which is the same one both planes simulate.
-fn cell_plan(
-    topo: PaperTopology,
-    seed: u64,
-    loss: f64,
-    heavy: bool,
-    duration: SimDuration,
-) -> FaultPlan {
-    let loss_model = if loss > 0.0 {
-        LossModel::Uniform { p: loss }
-    } else {
-        LossModel::None
-    };
-    let schedule = if heavy {
-        heavy_schedule(&topo.build(seed), duration)
-    } else {
-        Vec::new()
-    };
-    FaultPlan {
-        loss: loss_model,
-        schedule,
     }
 }
 
 /// One cell run, sequential or space-partitioned across `shards`
-/// intra-run workers. The totals are byte-identical for any shard count;
-/// only the returned [`ShardedStats`] (provenance for the manifest)
-/// depends on it. Exits with status 2 when the shard count does not fit
-/// the topology, like any other bad CLI argument.
+/// intra-run workers. Exits with status 2 when the shard count does not
+/// fit the topology, like any other bad CLI argument.
 fn run_plane(
     plane: &str,
     scenario: &Scenario,
@@ -202,12 +175,12 @@ fn run_plane(
         let totals = RunTotals {
             requested: r.delivery.client_requested,
             received: r.delivery.client_received,
-            retransmitted: r.client_retransmissions,
-            gave_up: r.client_gave_up,
-            timeouts: r.client_timeouts,
+            auth_ops: r.edge_ops.sig_verifications + r.core_ops.sig_verifications,
+            expired_rejections: r.edge_ops.expired_rejections + r.core_ops.expired_rejections,
             drops: r.drops,
             peak_pit_records: r.peak_pit_records,
             peak_cs_entries: r.peak_cs_entries,
+            latency_mean: r.latency.overall_mean(),
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
         };
@@ -230,12 +203,12 @@ fn run_plane(
         let totals = RunTotals {
             requested: r.client_requested,
             received: r.client_received,
-            retransmitted: r.client_retransmitted,
-            gave_up: r.client_gave_up,
-            timeouts: r.client_timeouts,
+            auth_ops: r.provider_auth_ops,
+            expired_rejections: 0,
             drops: r.drops,
             peak_pit_records: r.peak_pit_records,
             peak_cs_entries: r.peak_cs_entries,
+            latency_mean: r.mean_latency(),
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
         };
@@ -243,17 +216,16 @@ fn run_plane(
     }
 }
 
-/// Runs the full (plane × loss × failures × retransmit × seed) sweep
-/// fanned out over `threads` workers and aggregates each cell over its
-/// seeds **in job order**, so rows and manifests are byte-identical for
-/// any thread count.
+/// Runs the full (plane × attack point × defense × seed) sweep fanned
+/// out over `threads` workers and aggregates each cell over its seeds
+/// **in job order**, so rows and manifests are byte-identical for any
+/// thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_cells(
     topo: PaperTopology,
     base: &Scenario,
-    losses: &[f64],
-    failure_levels: &[bool],
-    retransmits: &[bool],
+    points: &[AttackPlan],
+    defenses: &[bool],
     seeds: usize,
     threads: usize,
     shards: usize,
@@ -261,31 +233,30 @@ pub fn sweep_cells(
 ) -> (Vec<CellRow>, Vec<RunManifest>) {
     struct Job {
         plane: &'static str,
-        loss: f64,
-        heavy: bool,
-        retransmit: bool,
+        plan: AttackPlan,
+        defended: bool,
         sid: u64,
         run_idx: u64,
     }
     let mut jobs = Vec::new();
     for (pi, plane) in PLANES.iter().enumerate() {
-        for &loss in losses {
-            for &heavy in failure_levels {
-                for &retransmit in retransmits {
-                    let sid = scenario_id(
-                        "resilience",
-                        &[pi as u64, loss.to_bits(), heavy as u64, retransmit as u64],
-                    );
-                    for run_idx in 0..seeds as u64 {
-                        jobs.push(Job {
-                            plane,
-                            loss,
-                            heavy,
-                            retransmit,
-                            sid,
-                            run_idx,
-                        });
-                    }
+        for plan in points {
+            for &defended in defenses {
+                // The seed depends on the plane alone, NOT on the attack
+                // point or defense posture: every cell in a plane's grid
+                // replays the identical client workload (attack drivers
+                // draw from their own forked streams), so the on/off and
+                // attacked/unattacked comparisons are same-seed and the
+                // degradation curve measures only the adversarial knobs.
+                let sid = scenario_id("attacks", &[pi as u64]);
+                for run_idx in 0..seeds as u64 {
+                    jobs.push(Job {
+                        plane,
+                        plan: *plan,
+                        defended,
+                        sid,
+                        run_idx,
+                    });
                 }
             }
         }
@@ -302,17 +273,20 @@ pub fn sweep_cells(
                 let Some(job) = jobs.get(i) else { break };
                 let seed = derive_seed(BASE_SEED, topo.index() as u32, job.sid, job.run_idx);
                 let mut scenario = base.clone();
-                scenario.faults = cell_plan(topo, seed, job.loss, job.heavy, base.duration);
-                scenario.retransmit = job.retransmit.then(RetransmitPolicy::default);
+                scenario.attack = job.plan;
+                scenario.defense = if job.defended {
+                    armed_defense()
+                } else {
+                    DefenseConfig::none()
+                };
                 let started = Instant::now();
                 let (totals, stats) = run_plane(job.plane, &scenario, seed, shards);
                 let manifest = RunManifest {
                     label: format!(
-                        "resilience {} loss={} failures={} retransmit={}",
+                        "attacks {} attack={} defense={}",
                         job.plane,
-                        job.loss,
-                        if job.heavy { "heavy" } else { "none" },
-                        if job.retransmit { "on" } else { "off" },
+                        job.plan.summary(),
+                        if job.defended { "on" } else { "off" },
                     ),
                     topology: format!("Topo{}", topo.index()),
                     scenario_id: job.sid,
@@ -376,24 +350,24 @@ pub fn sweep_cells(
             }
             cell = Some(CellRow {
                 plane: job.plane.to_string(),
-                loss: job.loss,
-                failures: if job.heavy { "heavy" } else { "none" },
-                retransmit: job.retransmit,
+                attack: job.plan.summary(),
+                intensity: job.plan.intensity,
+                defended: job.defended,
                 requested: 0,
                 received: 0,
-                retransmitted: 0,
-                gave_up: 0,
-                timeouts: 0,
+                auth_ops: 0,
+                expired_rejections: 0,
                 drops: DropTotals::default(),
                 peak_pit_records: 0,
+                latency_mean_sum: 0.0,
+                runs: 0,
             });
         }
         let row = cell.as_mut().expect("cell opened at run 0");
         row.requested += totals.requested;
         row.received += totals.received;
-        row.retransmitted += totals.retransmitted;
-        row.gave_up += totals.gave_up;
-        row.timeouts += totals.timeouts;
+        row.auth_ops += totals.auth_ops;
+        row.expired_rejections += totals.expired_rejections;
         row.drops.dangling_face += totals.drops.dangling_face;
         row.drops.reverse_face += totals.drops.reverse_face;
         row.drops.lossy += totals.drops.lossy;
@@ -403,6 +377,8 @@ pub fn sweep_cells(
         row.drops.face_capped += totals.drops.face_capped;
         row.drops.pit_full += totals.drops.pit_full;
         row.peak_pit_records = row.peak_pit_records.max(totals.peak_pit_records);
+        row.latency_mean_sum += totals.latency_mean;
+        row.runs += 1;
     }
     if let Some(done) = cell.take() {
         rows.push(done);
@@ -414,56 +390,62 @@ pub fn sweep_cells(
 pub fn rows_to_csv(rows: &[CellRow]) -> String {
     let mut csv = TextTable::new(vec![
         "plane",
-        "loss",
-        "failures",
-        "retransmit",
+        "attack",
+        "intensity",
+        "defense",
         "requested",
         "received",
-        "satisfaction",
-        "retransmitted",
-        "gave_up",
-        "timeouts",
-        "drops_lossy",
-        "drops_link_down",
-        "drops_node_down",
+        "goodput",
+        "mean_latency",
+        "auth_ops",
+        "expired_rejections",
+        "drops_rate_limited",
+        "drops_face_capped",
+        "drops_pit_full",
         "drops_other",
         "peak_pit_records",
     ]);
     for r in rows {
         csv.row(vec![
             r.plane.clone(),
-            fmt_f(r.loss),
-            r.failures.to_string(),
-            if r.retransmit { "on" } else { "off" }.to_string(),
+            r.attack.clone(),
+            r.intensity.to_string(),
+            if r.defended { "on" } else { "off" }.to_string(),
             r.requested.to_string(),
             r.received.to_string(),
-            fmt_f(r.satisfaction()),
-            r.retransmitted.to_string(),
-            r.gave_up.to_string(),
-            r.timeouts.to_string(),
-            r.drops.lossy.to_string(),
-            r.drops.link_down.to_string(),
-            r.drops.node_down.to_string(),
-            (r.drops.dangling_face + r.drops.reverse_face).to_string(),
+            fmt_f(r.goodput()),
+            fmt_f(r.mean_latency()),
+            r.auth_ops.to_string(),
+            r.expired_rejections.to_string(),
+            r.drops.rate_limited.to_string(),
+            r.drops.face_capped.to_string(),
+            r.drops.pit_full.to_string(),
+            (r.drops.dangling_face
+                + r.drops.reverse_face
+                + r.drops.lossy
+                + r.drops.link_down
+                + r.drops.node_down)
+                .to_string(),
             r.peak_pit_records.to_string(),
         ]);
     }
     csv.to_csv()
 }
 
-/// The graceful-degradation sweep: loss × failure intensity × retransmit
-/// across all four planes, written as `resilience.csv` (+ manifests).
-pub fn resilience(opts: &RunOpts) -> std::io::Result<String> {
+/// The adversarial-workload sweep: attack class × intensity × defense
+/// posture across all four planes, written as `attacks.csv`
+/// (+ manifests).
+pub fn attacks(opts: &RunOpts) -> std::io::Result<String> {
     let topo = opts.topologies[0];
     let scenario = shaped_scenario(topo, opts, 20);
     let seeds = opts.seed_count(2);
     let threads = opts.thread_count();
 
+    let points = attack_points();
     let (rows, manifests) = sweep_cells(
         topo,
         &scenario,
-        &LOSS_RATES,
-        &[false, true],
+        &points,
         &[false, true],
         seeds,
         threads,
@@ -471,41 +453,41 @@ pub fn resilience(opts: &RunOpts) -> std::io::Result<String> {
         opts.verbosity,
     );
 
-    let mut report = format!("Resilience under faults ({topo}, {seeds} seeds)\n\n");
+    let mut report = format!("Adversarial workloads ({topo}, {seeds} seeds)\n\n");
     let mut table = TextTable::new(vec![
         "plane",
-        "loss",
-        "failures",
-        "retransmit",
-        "satisfaction",
-        "retx/req",
-        "gave up",
-        "peak PIT",
+        "attack",
+        "defense",
+        "goodput",
+        "latency",
+        "auth ops",
+        "rate-limited",
+        "pit-full",
     ]);
     for r in &rows {
         table.row(vec![
             r.plane.clone(),
-            fmt_f(r.loss),
-            r.failures.to_string(),
-            if r.retransmit { "on" } else { "off" }.to_string(),
-            fmt_f(r.satisfaction()),
-            fmt_f(r.retransmit_overhead()),
-            r.gave_up.to_string(),
-            r.peak_pit_records.to_string(),
+            r.attack.clone(),
+            if r.defended { "on" } else { "off" }.to_string(),
+            fmt_f(r.goodput()),
+            fmt_f(r.mean_latency()),
+            r.auth_ops.to_string(),
+            r.drops.rate_limited.to_string(),
+            r.drops.pit_full.to_string(),
         ]);
     }
     report.push_str(&table.render());
     report.push_str(
-        "\nLoss is the per-hop uniform drop probability; `heavy` failures\n\
-         crash a core router for the middle quarter of the run and cut one\n\
-         router-router link overlapping it (both recover). Retransmission\n\
-         is capped exponential backoff at the clients; the paper's own\n\
-         clients never retry, so `off` rows are its model under loss.\n",
+        "\nEach attack row drives every attacker at the named per-attacker\n\
+         intensity (Interests/s) through the shared edge; `defense=on` arms\n\
+         the per-client token bucket, the per-face fairness cap, and the\n\
+         bounded PIT together. `off` rows are the graceful-degradation\n\
+         curve; the on/off gap is what the edge defenses buy back.\n",
     );
 
-    write_file(&opts.out_dir, "resilience.csv", &rows_to_csv(&rows))?;
-    write_manifests(&opts.out_dir, "resilience.csv", &manifests)?;
-    report.push_str("\nWritten to resilience.csv (+ .manifest.jsonl)\n");
+    write_file(&opts.out_dir, "attacks.csv", &rows_to_csv(&rows))?;
+    write_manifests(&opts.out_dir, "attacks.csv", &manifests)?;
+    report.push_str("\nWritten to attacks.csv (+ .manifest.jsonl)\n");
     Ok(report)
 }
 
@@ -523,82 +505,74 @@ mod tests {
         }
     }
 
-    fn cell<'a>(
-        rows: &'a [CellRow],
-        plane: &str,
-        loss: f64,
-        failures: &str,
-        retransmit: bool,
-    ) -> &'a CellRow {
+    fn cell<'a>(rows: &'a [CellRow], plane: &str, attack: &str, defended: bool) -> &'a CellRow {
         rows.iter()
-            .find(|r| {
-                r.plane == plane
-                    && r.loss == loss
-                    && r.failures == failures
-                    && r.retransmit == retransmit
-            })
+            .find(|r| r.plane == plane && r.attack == attack && r.defended == defended)
             .expect("cell present")
     }
 
-    /// The ISSUE's acceptance cases: satisfaction degrades monotonically
-    /// with loss, retransmission strictly improves it at the same loss,
-    /// and the fault machinery visibly fired (lossy drops, PIT pressure).
     #[test]
-    fn degradation_curves_behave() {
-        let opts = tiny_opts("tactic-resilience-curves");
+    fn flood_defenses_clamp_the_fleet_and_protect_goodput() {
+        let opts = tiny_opts("tactic-attacks-flood");
         let topo = PaperTopology::Topo1;
         let scenario = shaped_scenario(topo, &opts, 5);
+        let points = [
+            AttackPlan::none(),
+            AttackPlan {
+                class: Some(AttackClass::Flood),
+                intensity: 500,
+            },
+        ];
         let (rows, manifests) = sweep_cells(
             topo,
             &scenario,
-            &LOSS_RATES,
-            &[false],
+            &points,
             &[false, true],
             1,
             4,
             1,
             Verbosity::Quiet,
         );
-        assert_eq!(rows.len(), PLANES.len() * LOSS_RATES.len() * 2);
+        assert_eq!(rows.len(), PLANES.len() * points.len() * 2);
         assert_eq!(manifests.len(), rows.len());
         for plane in PLANES {
-            let clean = cell(&rows, plane, 0.0, "none", false);
-            let light = cell(&rows, plane, 0.05, "none", false);
-            let harsh = cell(&rows, plane, 0.2, "none", false);
-            assert!(clean.drops.lossy == 0, "{plane}: lossless run dropped");
-            assert!(harsh.drops.lossy > 0, "{plane}: loss model never fired");
+            let off = cell(&rows, plane, "flood@500", false);
+            let on = cell(&rows, plane, "flood@500", true);
             assert!(
-                clean.satisfaction() >= light.satisfaction()
-                    && light.satisfaction() >= harsh.satisfaction(),
-                "{plane}: satisfaction must degrade monotonically \
-                 ({} >= {} >= {} violated)",
-                clean.satisfaction(),
-                light.satisfaction(),
-                harsh.satisfaction(),
+                on.drops.rate_limited > 0,
+                "{plane}: token bucket never fired under flood"
             );
-            let retried = cell(&rows, plane, 0.2, "none", true);
-            assert!(retried.retransmitted > 0, "{plane}: no retransmissions");
             assert!(
-                retried.satisfaction() > harsh.satisfaction(),
-                "{plane}: retransmission must strictly improve satisfaction \
-                 ({} vs {})",
-                retried.satisfaction(),
-                harsh.satisfaction(),
+                on.goodput() >= off.goodput(),
+                "{plane}: defenses must not lose goodput ({} vs {})",
+                on.goodput(),
+                off.goodput(),
             );
+            let base_off = cell(&rows, plane, "off", false);
+            let base_on = cell(&rows, plane, "off", true);
+            assert_eq!(
+                base_on.requested, base_off.requested,
+                "{plane}: unattacked defenses must not touch client traffic"
+            );
+            assert_eq!(base_on.received, base_off.received);
+            assert_eq!(base_on.drops.rate_limited, 0);
         }
     }
 
     #[test]
     fn sweep_is_byte_identical_across_thread_counts() {
-        let opts = tiny_opts("tactic-resilience-threads");
+        let opts = tiny_opts("tactic-attacks-threads");
         let topo = PaperTopology::Topo1;
         let scenario = shaped_scenario(topo, &opts, 4);
+        let points = [AttackPlan {
+            class: Some(AttackClass::ForgeTags),
+            intensity: 500,
+        }];
         let run = |threads| {
             sweep_cells(
                 topo,
                 &scenario,
-                &[0.2],
-                &[true],
+                &points,
                 &[true],
                 2,
                 threads,
@@ -609,7 +583,6 @@ mod tests {
         let (serial, serial_m) = run(1);
         let (parallel, parallel_m) = run(8);
         assert_eq!(rows_to_csv(&serial), rows_to_csv(&parallel));
-        // Manifests too, minus the wall-clock field.
         let strip = |ms: &[RunManifest]| {
             ms.iter()
                 .map(|m| {
@@ -623,25 +596,31 @@ mod tests {
     }
 
     #[test]
-    fn resilience_writes_parseable_outputs() {
-        let opts = tiny_opts("tactic-resilience-outputs");
-        let report = resilience(&opts).expect("runs");
+    fn attacks_writes_parseable_outputs() {
+        let opts = RunOpts {
+            duration_secs: Some(4),
+            seeds: Some(1),
+            out_dir: std::env::temp_dir().join("tactic-attacks-outputs"),
+            verbosity: Verbosity::Quiet,
+            ..RunOpts::default()
+        };
+        let report = attacks(&opts).expect("runs");
         for plane in PLANES {
             assert!(report.contains(plane), "missing {plane}:\n{report}");
         }
-        let csv = std::fs::read_to_string(opts.out_dir.join("resilience.csv")).expect("csv");
+        let csv = std::fs::read_to_string(opts.out_dir.join("attacks.csv")).expect("csv");
         let mut lines = csv.lines();
         let header = lines.next().expect("header");
-        assert!(header.starts_with("plane,loss,failures,retransmit,"));
+        assert!(header.starts_with("plane,attack,intensity,defense,"));
         let columns = header.split(',').count();
         let mut rows = 0;
         for line in lines {
             assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
             rows += 1;
         }
-        assert_eq!(rows, PLANES.len() * LOSS_RATES.len() * 2 * 2);
-        let manifest = std::fs::read_to_string(opts.out_dir.join("resilience.manifest.jsonl"))
-            .expect("manifest");
+        assert_eq!(rows, PLANES.len() * attack_points().len() * 2);
+        let manifest =
+            std::fs::read_to_string(opts.out_dir.join("attacks.manifest.jsonl")).expect("manifest");
         assert_eq!(manifest.lines().count(), rows, "one seed per cell here");
         for key in RunManifest::REQUIRED_KEYS {
             assert!(
@@ -649,5 +628,26 @@ mod tests {
                 "manifest lines must carry {key}"
             );
         }
+        // Every cell's scenario summary names its attack and defense posture.
+        assert!(manifest
+            .lines()
+            .all(|l| l.contains("attack=") && l.contains("defense=")));
+    }
+
+    #[test]
+    fn attack_points_cover_every_class_once() {
+        let points = attack_points();
+        assert_eq!(points[0], AttackPlan::none());
+        for class in AttackClass::ALL {
+            assert!(
+                points.iter().any(|p| p.class == Some(class)),
+                "{class} missing from the sweep"
+            );
+        }
+        // Churn appears once; traffic classes at every intensity.
+        assert_eq!(
+            points.len(),
+            1 + (AttackClass::ALL.len() - 1) * INTENSITIES.len() + 1
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
     use tactic_experiments::{
-        extras, figures, profile, resilience, sweep, tables, telemetry, transport, RunOpts,
+        attacks, extras, figures, profile, resilience, sweep, tables, telemetry, transport, RunOpts,
     };
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
@@ -26,6 +26,7 @@ fn main() {
         ("transport", transport::transport),
         ("telemetry", telemetry::telemetry),
         ("resilience", resilience::resilience),
+        ("attacks", attacks::attacks),
         ("profile", profile::profile),
     ];
     for (name, f) in experiments {

@@ -1,0 +1,5 @@
+//! Adversarial-workload sweep: attack class × intensity × defense
+//! posture across all four planes.
+fn main() {
+    tactic_experiments::binary_main("attacks", tactic_experiments::attacks::attacks);
+}

@@ -23,6 +23,7 @@
 //! | `transport`| link load + drop accounting from the transport observer |
 //! | `telemetry`| protocol decision metrics, lifecycle histograms, manifests |
 //! | `resilience`| graceful degradation under loss, failures, retransmission |
+//! | `attacks`  | adversarial degradation curves: attack × intensity × defense |
 //! | `profile`  | in-flight sampler + span profiler + Perfetto trace |
 //! | `all`      | everything above in sequence |
 //!
@@ -33,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacks;
 pub mod chart;
 pub mod extras;
 pub mod figures;

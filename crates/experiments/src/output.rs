@@ -207,6 +207,9 @@ mod tests {
             drops_lossy: 0,
             drops_link_down: 0,
             drops_node_down: 0,
+            drops_rate_limited: 0,
+            drops_face_capped: 0,
+            drops_pit_full: 0,
             shards: 1,
             edge_cut: 0,
             epochs: 0,

@@ -71,7 +71,8 @@ pub fn scenario_id(tag: &str, knobs: &[u64]) -> u64 {
 /// Deterministic for a given scenario (no RNG, no clocks).
 pub fn scenario_summary(s: &Scenario) -> String {
     format!(
-        "duration={}s bf={}x{} window={} flag_f={} mobility={} faults=[{}] retransmit={}",
+        "duration={}s bf={}x{} window={} flag_f={} mobility={} faults=[{}] retransmit={} \
+         attack={} defense={}",
         s.duration.as_secs_f64(),
         s.bf_capacity,
         s.bf_hashes,
@@ -80,6 +81,8 @@ pub fn scenario_summary(s: &Scenario) -> String {
         s.mobility.is_some(),
         s.faults.summary(),
         s.retransmit.is_some(),
+        s.attack.summary(),
+        s.defense.summary(),
     )
 }
 
@@ -242,6 +245,9 @@ fn run_one(job: &GridJob<'_>, shards: usize) -> Result<(RunReport, RunManifest),
         drops_lossy: report.drops.lossy,
         drops_link_down: report.drops.link_down,
         drops_node_down: report.drops.node_down,
+        drops_rate_limited: report.drops.rate_limited,
+        drops_face_capped: report.drops.face_capped,
+        drops_pit_full: report.drops.pit_full,
         shards: stats.as_ref().map_or(1, |s| s.k as u64),
         edge_cut: stats.as_ref().map_or(0, |s| s.edge_cut),
         epochs: stats.as_ref().map_or(0, |s| s.epochs),

@@ -193,6 +193,9 @@ pub fn folded_plane_registry(
                     drops_lossy: drops.lossy,
                     drops_link_down: drops.link_down,
                     drops_node_down: drops.node_down,
+                    drops_rate_limited: drops.rate_limited,
+                    drops_face_capped: drops.face_capped,
+                    drops_pit_full: drops.pit_full,
                     shards: stats.as_ref().map_or(1, |s| s.k as u64),
                     edge_cut: stats.as_ref().map_or(0, |s| s.edge_cut),
                     epochs: stats.as_ref().map_or(0, |s| s.epochs),

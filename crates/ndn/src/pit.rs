@@ -13,7 +13,7 @@
 //! `Arc<SignedTag>` handle, so an aggregated tag is *referenced* by the
 //! in-record — never re-serialized or re-parsed on replay.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use tactic_sim::time::SimTime;
 
@@ -39,6 +39,8 @@ pub struct PitEntry<N = Vec<u8>> {
     name: Name,
     records: Vec<InRecord<N>>,
     forwarded: bool,
+    /// Monotone insertion sequence, for oldest-first bounded eviction.
+    seq: u64,
 }
 
 impl<N> PitEntry<N> {
@@ -96,12 +98,25 @@ pub enum PitInsert {
 #[derive(Debug, Clone)]
 pub struct Pit<N = Vec<u8>> {
     entries: HashMap<Name, PitEntry<N>>,
+    /// Maximum pending names (`None` = unbounded, the historical
+    /// behaviour; see [`Pit::set_capacity`]).
+    capacity: Option<usize>,
+    /// Next insertion sequence number.
+    seq: u64,
+    /// Insertion order of live entries, oldest first, with lazy deletion:
+    /// an item whose `seq` no longer matches the live entry is stale and
+    /// skipped. Only maintained when a capacity is set, so the unbounded
+    /// path allocates nothing extra.
+    order: VecDeque<(u64, Name)>,
 }
 
 impl<N> Default for Pit<N> {
     fn default() -> Self {
         Pit {
             entries: HashMap::new(),
+            capacity: None,
+            seq: 0,
+            order: VecDeque::new(),
         }
     }
 }
@@ -126,6 +141,11 @@ impl<N> Pit<N> {
     ) -> PitInsert {
         match self.entries.get_mut(name) {
             None => {
+                let seq = self.seq;
+                self.seq += 1;
+                if self.capacity.is_some() {
+                    self.order.push_back((seq, name.clone()));
+                }
                 self.entries.insert(
                     name.clone(),
                     PitEntry {
@@ -137,6 +157,7 @@ impl<N> Pit<N> {
                             note,
                         }],
                         forwarded: true,
+                        seq,
                     },
                 );
                 PitInsert::New
@@ -154,6 +175,57 @@ impl<N> Pit<N> {
                 PitInsert::Aggregated
             }
         }
+    }
+
+    /// Bounds the table at `capacity` pending names (`None` restores the
+    /// unbounded historical behaviour). Callers must then invoke
+    /// [`Pit::evict_over_capacity`] after inserts to enforce the bound —
+    /// split so every caller can count the evicted records it gets back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PIT is not empty: the eviction order of pre-existing
+    /// entries would depend on hash-map iteration order, which is not
+    /// deterministic. Set the capacity at build time.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        assert!(
+            self.entries.is_empty(),
+            "set_capacity must be called on an empty PIT"
+        );
+        self.capacity = capacity;
+    }
+
+    /// The configured bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Evicts the oldest entries until the table fits its capacity;
+    /// returns them oldest first (empty when unbounded or within bounds).
+    /// Deterministic: eviction order is insertion order of the pending
+    /// names, never hash order.
+    pub fn evict_over_capacity(&mut self) -> Vec<PitEntry<N>> {
+        let Some(cap) = self.capacity else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.entries.len() > cap {
+            let Some((seq, name)) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.get(&name).is_some_and(|e| e.seq == seq) {
+                evicted.push(self.entries.remove(&name).expect("live entry"));
+            }
+        }
+        // Lazy deletion keeps take/purge O(1), but a queue full of stale
+        // items would defeat the memory bound — compact when stale items
+        // dominate.
+        if self.order.len() > self.entries.len().saturating_mul(2) + 64 {
+            let entries = &self.entries;
+            self.order
+                .retain(|(seq, name)| entries.get(name).is_some_and(|e| e.seq == *seq));
+        }
+        evicted
     }
 
     /// Looks at the pending entry for `name` without consuming it.
@@ -306,6 +378,85 @@ mod tests {
         assert_eq!(pit.len(), 1);
         assert_eq!(pit.total_records(), 1);
         assert!(pit.get(&m).is_none());
+    }
+
+    #[test]
+    fn bounded_pit_evicts_oldest_first() {
+        let mut pit: Pit = Pit::new();
+        pit.set_capacity(Some(2));
+        pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]);
+        pit.on_interest(&name("/b"), FaceId::new(1), 2, t(5), vec![]);
+        assert!(pit.evict_over_capacity().is_empty(), "within bounds");
+        pit.on_interest(&name("/c"), FaceId::new(1), 3, t(5), vec![]);
+        let evicted = pit.evict_over_capacity();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].name(), &name("/a"), "oldest entry goes first");
+        assert_eq!(pit.len(), 2);
+        assert!(pit.get(&name("/b")).is_some());
+        assert!(pit.get(&name("/c")).is_some());
+    }
+
+    #[test]
+    fn bounded_pit_skips_stale_queue_items() {
+        let mut pit: Pit = Pit::new();
+        pit.set_capacity(Some(1));
+        // `/a` is inserted, satisfied (taken), then re-requested: the
+        // first queue item for `/a` is stale and must not evict the
+        // re-inserted entry.
+        pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]);
+        assert!(pit.take(&name("/a")).is_some());
+        pit.on_interest(&name("/a"), FaceId::new(1), 2, t(5), vec![]);
+        pit.on_interest(&name("/b"), FaceId::new(1), 3, t(5), vec![]);
+        let evicted = pit.evict_over_capacity();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].name(), &name("/a"), "the re-insert, not `/b`");
+        assert_eq!(pit.get(&name("/b")).unwrap().records().len(), 1);
+    }
+
+    #[test]
+    fn bounded_pit_holds_len_under_sustained_flood() {
+        let mut pit: Pit = Pit::new();
+        pit.set_capacity(Some(8));
+        let mut evicted_records = 0;
+        for i in 0..1_000u64 {
+            let n = name(&format!("/flood/{i}"));
+            pit.on_interest(&n, FaceId::new(0), i, t(5), vec![]);
+            evicted_records += pit
+                .evict_over_capacity()
+                .iter()
+                .map(|e| e.records().len())
+                .sum::<usize>();
+            assert!(pit.len() <= 8, "cap breached at interest {i}");
+        }
+        assert_eq!(pit.len(), 8);
+        assert_eq!(evicted_records, 1_000 - 8);
+        // The order queue compacts: it cannot retain anywhere near one
+        // item per historical insert.
+        assert!(
+            pit.order.len() <= 2 * pit.len() + 64,
+            "order queue grew unboundedly: {}",
+            pit.order.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "set_capacity must be called on an empty PIT")]
+    fn set_capacity_rejects_populated_pit() {
+        let mut pit: Pit = Pit::new();
+        pit.on_interest(&name("/a"), FaceId::new(1), 1, t(5), vec![]);
+        pit.set_capacity(Some(4));
+    }
+
+    #[test]
+    fn unbounded_pit_never_evicts() {
+        let mut pit: Pit = Pit::new();
+        assert_eq!(pit.capacity(), None);
+        for i in 0..100u64 {
+            pit.on_interest(&name(&format!("/n/{i}")), FaceId::new(0), i, t(5), vec![]);
+        }
+        assert!(pit.evict_over_capacity().is_empty());
+        assert_eq!(pit.len(), 100);
+        assert!(pit.order.is_empty(), "unbounded path must not track order");
     }
 
     #[test]

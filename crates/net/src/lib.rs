@@ -20,6 +20,9 @@
 //! * [`observer`] — the [`NetObserver`] hook layer:
 //!   per-event tracing, link-utilisation counters, and drop-reason
 //!   accounting, implemented once for every experiment;
+//! * [`attack`] — adversarial workload plans ([`AttackPlan`]) and the
+//!   edge defenses that absorb them ([`DefenseConfig`], the
+//!   transport-enforced [`EdgeDefense`]);
 //! * [`requester`] — the shared Zipf-window workload driver;
 //! * [`relay`] — the access-point pending/demultiplex relay;
 //! * [`mobility`] — the handover model's configuration;
@@ -97,6 +100,8 @@
 //!     faults: tactic_net::fault::FaultPlan::none(),
 //!     sample_every: None,
 //!     profile: false,
+//!     defense: None,
+//!     churn: None,
 //! };
 //! let net = Net::assemble(&topo, links, Echo, Rng::seed_from_u64(1), config);
 //! let (_plane, _observer, report) = net.run();
@@ -106,6 +111,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod fault;
 pub mod links;
 pub mod mobility;
@@ -116,6 +122,9 @@ pub mod requester;
 pub mod sharded;
 pub mod transport;
 
+pub use attack::{
+    AttackClass, AttackPlan, ChurnConfig, DefenseConfig, EdgeDefense, RateLimit, ATTACK_STREAM,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
 pub use links::{fib_routes_filtered, populate_fib, provider_prefix, FibRoute, Links};
 pub use mobility::MobilityConfig;

@@ -34,11 +34,24 @@ pub enum DropReason {
     LinkDown,
     /// The destination node was crashed when the packet arrived.
     NodeDown,
+    /// The receiving edge's per-client token bucket rejected the sender
+    /// (the [`DefenseConfig`](crate::attack::DefenseConfig) rate limit).
+    RateLimited,
+    /// The receiving edge router's per-face fairness cap rejected the
+    /// upstream access point's aggregate this second.
+    FaceCapped,
+    /// A bounded PIT evicted this pending record to stay within its
+    /// configured capacity (deterministic oldest-first eviction).
+    PitFull,
 }
 
 /// Per-reason drop totals counted by the transport itself (independent of
 /// any observer), so every plane's report can expose them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// `Debug` is manual: the three defense counters print only when
+/// non-zero, so runs without attacks or defenses reproduce the historical
+/// golden report snapshots byte for byte.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
 pub struct DropTotals {
     /// [`DropReason::DanglingFace`] drops.
     pub dangling_face: u64,
@@ -50,12 +63,46 @@ pub struct DropTotals {
     pub link_down: u64,
     /// [`DropReason::NodeDown`] drops.
     pub node_down: u64,
+    /// [`DropReason::RateLimited`] drops.
+    pub rate_limited: u64,
+    /// [`DropReason::FaceCapped`] drops.
+    pub face_capped: u64,
+    /// [`DropReason::PitFull`] evictions.
+    pub pit_full: u64,
+}
+
+impl std::fmt::Debug for DropTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("DropTotals");
+        s.field("dangling_face", &self.dangling_face)
+            .field("reverse_face", &self.reverse_face)
+            .field("lossy", &self.lossy)
+            .field("link_down", &self.link_down)
+            .field("node_down", &self.node_down);
+        if self.rate_limited != 0 {
+            s.field("rate_limited", &self.rate_limited);
+        }
+        if self.face_capped != 0 {
+            s.field("face_capped", &self.face_capped);
+        }
+        if self.pit_full != 0 {
+            s.field("pit_full", &self.pit_full);
+        }
+        s.finish()
+    }
 }
 
 impl DropTotals {
     /// Total drops across all reasons.
     pub fn total(&self) -> u64 {
-        self.dangling_face + self.reverse_face + self.lossy + self.link_down + self.node_down
+        self.dangling_face
+            + self.reverse_face
+            + self.lossy
+            + self.link_down
+            + self.node_down
+            + self.rate_limited
+            + self.face_capped
+            + self.pit_full
     }
 
     /// Bumps the counter for `reason`.
@@ -66,6 +113,9 @@ impl DropTotals {
             DropReason::Lossy => self.lossy += 1,
             DropReason::LinkDown => self.link_down += 1,
             DropReason::NodeDown => self.node_down += 1,
+            DropReason::RateLimited => self.rate_limited += 1,
+            DropReason::FaceCapped => self.face_capped += 1,
+            DropReason::PitFull => self.pit_full += 1,
         }
     }
 
@@ -77,6 +127,9 @@ impl DropTotals {
         self.lossy += other.lossy;
         self.link_down += other.link_down;
         self.node_down += other.node_down;
+        self.rate_limited += other.rate_limited;
+        self.face_capped += other.face_capped;
+        self.pit_full += other.pit_full;
     }
 }
 
@@ -151,6 +204,15 @@ pub struct NetCounters {
     pub dropped_link_down: u64,
     /// Packets addressed to crashed nodes.
     pub dropped_node_down: u64,
+    /// Packets rejected by a per-client token-bucket rate limit.
+    pub dropped_rate_limited: u64,
+    /// Packets rejected by a per-face fairness cap.
+    pub dropped_face_capped: u64,
+    /// Pending records evicted by a bounded PIT. Counted by the planes
+    /// into [`DropTotals`] directly (an evicted PIT record is state, not
+    /// a packet in the transport's hands), so this stays zero unless an
+    /// observer is wired to a plane-level hook.
+    pub dropped_pit_full: u64,
     /// Handovers performed.
     pub handovers: u64,
     /// Total wire bytes scheduled.
@@ -167,6 +229,9 @@ impl NetCounters {
             + self.dropped_lossy
             + self.dropped_link_down
             + self.dropped_node_down
+            + self.dropped_rate_limited
+            + self.dropped_face_capped
+            + self.dropped_pit_full
     }
 
     /// The `n` busiest directed links by serialisation time, descending
@@ -191,6 +256,9 @@ impl NetCounters {
         self.dropped_lossy += other.dropped_lossy;
         self.dropped_link_down += other.dropped_link_down;
         self.dropped_node_down += other.dropped_node_down;
+        self.dropped_rate_limited += other.dropped_rate_limited;
+        self.dropped_face_capped += other.dropped_face_capped;
+        self.dropped_pit_full += other.dropped_pit_full;
         self.handovers += other.handovers;
         self.bytes_on_wire += other.bytes_on_wire;
         for (&link, load) in &other.link_load {
@@ -231,6 +299,9 @@ impl NetObserver for NetCounters {
             DropReason::Lossy => self.dropped_lossy += 1,
             DropReason::LinkDown => self.dropped_link_down += 1,
             DropReason::NodeDown => self.dropped_node_down += 1,
+            DropReason::RateLimited => self.dropped_rate_limited += 1,
+            DropReason::FaceCapped => self.dropped_face_capped += 1,
+            DropReason::PitFull => self.dropped_pit_full += 1,
         }
     }
 
@@ -457,15 +528,21 @@ mod tests {
             DropReason::Lossy,
             DropReason::LinkDown,
             DropReason::NodeDown,
+            DropReason::RateLimited,
+            DropReason::FaceCapped,
+            DropReason::PitFull,
         ];
         for (i, &r) in reasons.iter().enumerate() {
             for _ in 0..=i {
                 totals.count(r);
             }
         }
-        assert_eq!(totals.total(), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(totals.total(), (1..=8).sum::<u64>());
         assert_eq!(totals.lossy, 3);
         assert_eq!(totals.node_down, 5);
+        assert_eq!(totals.rate_limited, 6);
+        assert_eq!(totals.face_capped, 7);
+        assert_eq!(totals.pit_full, 8);
 
         // NetCounters::dropped() mirrors the same invariant.
         let mut counters = NetCounters::default();
@@ -473,5 +550,25 @@ mod tests {
             counters.on_drop(NodeId(0), r, SimTime::ZERO);
         }
         assert_eq!(counters.dropped(), reasons.len() as u64);
+    }
+
+    /// The defense counters must be invisible in `Debug` output while
+    /// zero — that is what keeps historical golden report snapshots
+    /// byte-identical for runs without attacks or defenses.
+    #[test]
+    fn drop_totals_debug_hides_zero_defense_counters() {
+        let mut totals = DropTotals::default();
+        let plain = format!("{totals:#?}");
+        assert!(plain.contains("node_down"));
+        assert!(!plain.contains("rate_limited"));
+        assert!(!plain.contains("face_capped"));
+        assert!(!plain.contains("pit_full"));
+
+        totals.count(DropReason::RateLimited);
+        totals.count(DropReason::PitFull);
+        let armed = format!("{totals:#?}");
+        assert!(armed.contains("rate_limited: 1"));
+        assert!(!armed.contains("face_capped"));
+        assert!(armed.contains("pit_full: 1"));
     }
 }

@@ -16,6 +16,8 @@ use tactic_sim::time::{SimDuration, SimTime};
 use tactic_telemetry::{SampleRow, SpanProfiler};
 use tactic_topology::graph::NodeId;
 
+use crate::observer::DropTotals;
+
 /// Per-event context handed to plane callbacks.
 pub struct PlaneCtx<'a> {
     /// The current simulation time (time of the event being handled).
@@ -30,6 +32,11 @@ pub struct PlaneCtx<'a> {
     /// hot phases (`precheck`, `bf_lookup`, `sig_verify`, PIT ops, ...)
     /// through it; `None` (the default) must cost nothing.
     pub profiler: Option<&'a mut SpanProfiler>,
+    /// The transport's drop ledger: planes count drops that happen
+    /// inside their own state here (today: bounded-PIT evictions as
+    /// [`DropTotals::pit_full`]), so they surface through the same
+    /// report/telemetry path as transport-level drops.
+    pub drops: &'a mut DropTotals,
 }
 
 /// A side effect a plane callback asks the transport to perform.

@@ -42,6 +42,7 @@ use tactic_telemetry::{SampleRow, SpanProfiler};
 use tactic_topology::graph::{LinkSpec, NodeId};
 use tactic_topology::roles::Topology;
 
+use crate::attack::{ChurnConfig, EdgeDefense};
 use crate::fault::{FaultPlan, FaultState};
 use crate::links::{fib_routes_filtered, Links};
 use crate::mobility::MobilityConfig;
@@ -170,6 +171,13 @@ pub struct NetConfig {
     /// Enables the wall-clock span profiler (nondeterministic,
     /// non-golden; off by default and zero-cost when off).
     pub profile: bool,
+    /// Edge defenses (token-bucket rate limit, per-face fairness cap)
+    /// the transport enforces at send time. `None` — the default — runs
+    /// zero checks and allocates nothing.
+    pub defense: Option<EdgeDefense>,
+    /// Attacker mobility churn: listed nodes re-attach with their own
+    /// aggressive dwell, alongside (and independent of) client mobility.
+    pub churn: Option<ChurnConfig>,
 }
 
 /// What the transport itself measured in one run (or one shard of one).
@@ -308,6 +316,10 @@ pub struct Net<P, O = NoopObserver> {
     /// (only kept when the plan schedules topology changes).
     fault_topo: Option<Topology>,
     drops: DropTotals,
+    /// Edge defenses with their runtime state (`None` = no checks).
+    defense: Option<EdgeDefense>,
+    /// Churn schedule for adversarial mobility (`None` = none).
+    churn: Option<ChurnConfig>,
     shard: Option<ShardSpec>,
     /// Per destination shard: events homed at foreign nodes, awaiting the
     /// epoch barrier. Always empty in sequential mode.
@@ -435,6 +447,8 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             faults,
             fault_topo,
             drops: DropTotals::default(),
+            defense: config.defense.clone(),
+            churn: config.churn.clone(),
             shard,
             outboxes: (0..k).map(|_| Vec::new()).collect(),
             plane,
@@ -494,6 +508,22 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 let key = self.next_key(c);
                 self.engine
                     .schedule_keyed(at, key, NetEvent::Move { node: c });
+            }
+        }
+
+        // Adversarial churn rides the same Move machinery as client
+        // mobility, but with its own dwell and its own (attacker) nodes —
+        // dwell draws come from each churning node's per-node stream, so
+        // they stay within the owning shard like every other draw.
+        if let Some(c) = &config.churn {
+            let dwell = Exponential::from_mean(c.mean_dwell.as_secs_f64().max(1e-3));
+            for &node in &c.nodes {
+                if !self.owns(node) {
+                    continue;
+                }
+                let at = SimTime::from_secs_f64(dwell.sample(&mut self.rngs[node.index()]));
+                let key = self.next_key(node);
+                self.engine.schedule_keyed(at, key, NetEvent::Move { node });
             }
         }
 
@@ -714,6 +744,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                         profiler: self.profiler.as_deref_mut(),
+                        drops: &mut self.drops,
                     },
                     &mut out,
                 );
@@ -731,6 +762,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                         profiler: self.profiler.as_deref_mut(),
+                        drops: &mut self.drops,
                     },
                     &mut out,
                 );
@@ -750,6 +782,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                         rng: &mut self.rngs[node.index()],
                         cost: &self.cost,
                         profiler: self.profiler.as_deref_mut(),
+                        drops: &mut self.drops,
                     },
                     &mut out,
                 );
@@ -769,8 +802,14 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 if !self.faults.node_is_down(node) {
                     self.perform_handover(node);
                 }
-                if let Some(m) = self.mobility {
-                    let dwell = Exponential::from_mean(m.mean_dwell.as_secs_f64().max(1e-3));
+                // A churning (attacker) node re-arms with the churn
+                // dwell; everyone else follows the mobility model.
+                let mean_dwell = match &self.churn {
+                    Some(c) if c.nodes.binary_search(&node).is_ok() => Some(c.mean_dwell),
+                    _ => self.mobility.map(|m| m.mean_dwell),
+                };
+                if let Some(mean) = mean_dwell {
+                    let dwell = Exponential::from_mean(mean.as_secs_f64().max(1e-3));
                     let delay =
                         SimDuration::from_secs_f64(dwell.sample(&mut self.rngs[node.index()]));
                     let key = self.next_key(node);
@@ -842,6 +881,9 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             drops_lossy: self.drops.lossy,
             drops_link_down: self.drops.link_down,
             drops_node_down: self.drops.node_down,
+            drops_rate_limited: self.drops.rate_limited,
+            drops_face_capped: self.drops.face_capped,
+            drops_pit_full: self.drops.pit_full,
             ..SampleRow::default()
         };
         let shard = &self.shard;
@@ -930,6 +972,16 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
             self.drop_packet(from, DropReason::LinkDown, now);
             return;
         }
+        // Edge defenses (token bucket, per-face cap) police the packet
+        // before it takes the link. Enforced here — in the transmitting
+        // shard — so limiter state never crosses a shard boundary; a
+        // `None` defense costs exactly one branch.
+        if let Some(d) = self.defense.as_mut() {
+            if let Some(reason) = d.admit(from, to, now) {
+                self.drop_packet(from, reason, now);
+                return;
+            }
+        }
         // The loss model eats the packet before it reserves the link:
         // lost transmissions never appear in `on_schedule`/link load.
         if self.faults.loses(from, to) {
@@ -1016,6 +1068,7 @@ impl<P: NodePlane, O: NetObserver> Net<P, O> {
                 rng: &mut self.rngs[node.index()],
                 cost: &self.cost,
                 profiler: self.profiler.as_deref_mut(),
+                drops: &mut self.drops,
             },
             &mut out,
         );

@@ -43,6 +43,8 @@ fn config(faults: FaultPlan) -> NetConfig {
         faults,
         sample_every: None,
         profile: false,
+        defense: None,
+        churn: None,
     }
 }
 

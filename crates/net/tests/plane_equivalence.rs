@@ -43,6 +43,8 @@ fn config() -> NetConfig {
         faults: tactic_net::FaultPlan::none(),
         sample_every: None,
         profile: false,
+        defense: None,
+        churn: None,
     }
 }
 

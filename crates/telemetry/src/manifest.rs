@@ -40,6 +40,12 @@ pub struct RunManifest {
     pub drops_link_down: u64,
     /// Packets dropped at nodes crashed by the fault plan.
     pub drops_node_down: u64,
+    /// Packets rejected by the per-client token-bucket rate limit.
+    pub drops_rate_limited: u64,
+    /// Packets rejected by the per-face fairness cap.
+    pub drops_face_capped: u64,
+    /// Pending records evicted by a bounded PIT.
+    pub drops_pit_full: u64,
     /// Shard (worker-thread) count — 1 for a sequential run.
     pub shards: u64,
     /// Links crossing shard boundaries (0 for a sequential run).
@@ -58,7 +64,7 @@ pub struct RunManifest {
 
 impl RunManifest {
     /// Keys every manifest line must carry (checked by the CI smoke run).
-    pub const REQUIRED_KEYS: [&'static str; 21] = [
+    pub const REQUIRED_KEYS: [&'static str; 24] = [
         "label",
         "topology",
         "scenario_id",
@@ -73,6 +79,9 @@ impl RunManifest {
         "drops_lossy",
         "drops_link_down",
         "drops_node_down",
+        "drops_rate_limited",
+        "drops_face_capped",
+        "drops_pit_full",
         "shards",
         "edge_cut",
         "epochs",
@@ -99,6 +108,9 @@ impl RunManifest {
             .field_u64("drops_lossy", self.drops_lossy)
             .field_u64("drops_link_down", self.drops_link_down)
             .field_u64("drops_node_down", self.drops_node_down)
+            .field_u64("drops_rate_limited", self.drops_rate_limited)
+            .field_u64("drops_face_capped", self.drops_face_capped)
+            .field_u64("drops_pit_full", self.drops_pit_full)
             .field_u64("shards", self.shards)
             .field_u64("edge_cut", self.edge_cut)
             .field_u64("epochs", self.epochs)
@@ -131,6 +143,9 @@ mod tests {
             drops_lossy: 3,
             drops_link_down: 2,
             drops_node_down: 1,
+            drops_rate_limited: 7,
+            drops_face_capped: 6,
+            drops_pit_full: 5,
             shards: 4,
             edge_cut: 12,
             epochs: 900,

@@ -48,6 +48,12 @@ pub struct SampleRow {
     pub drops_link_down: u64,
     /// Cumulative drops: destination node crashed.
     pub drops_node_down: u64,
+    /// Cumulative drops: per-client token-bucket rate limit.
+    pub drops_rate_limited: u64,
+    /// Cumulative drops: per-face fairness cap.
+    pub drops_face_capped: u64,
+    /// Cumulative bounded-PIT evictions.
+    pub drops_pit_full: u64,
     /// PIT records across owned routers at the tick.
     pub pit_records: u64,
     /// Content-store entries across owned routers at the tick.
@@ -71,8 +77,9 @@ pub struct SampleRow {
 impl SampleRow {
     /// Interests/Data in flight at the tick: accepted onto a link but
     /// neither handled nor dropped in flight. Send-side drops
-    /// (dangling face, lossy, link down) happen *before* `sent`
-    /// counts, so only the delivery-side reasons subtract.
+    /// (dangling face, lossy, link down, rate limited, face capped)
+    /// happen *before* `sent` counts, and PIT evictions are state (not
+    /// packets), so only the delivery-side reasons subtract.
     pub fn in_flight(&self) -> u64 {
         self.sent
             .saturating_sub(self.delivered)
@@ -87,6 +94,9 @@ impl SampleRow {
             + self.drops_lossy
             + self.drops_link_down
             + self.drops_node_down
+            + self.drops_rate_limited
+            + self.drops_face_capped
+            + self.drops_pit_full
     }
 
     /// Aggregate BF occupancy (set bits over total bits), 0 when no
@@ -132,6 +142,9 @@ impl SampleRow {
         self.drops_lossy += other.drops_lossy;
         self.drops_link_down += other.drops_link_down;
         self.drops_node_down += other.drops_node_down;
+        self.drops_rate_limited += other.drops_rate_limited;
+        self.drops_face_capped += other.drops_face_capped;
+        self.drops_pit_full += other.drops_pit_full;
         self.pit_records += other.pit_records;
         self.cs_entries += other.cs_entries;
         self.bf_set_bits += other.bf_set_bits;
@@ -170,7 +183,7 @@ pub fn merge_timeseries(series: &[Vec<SampleRow>]) -> Vec<SampleRow> {
 
 /// Keys every `timeseries.jsonl` line carries, in field order (checked
 /// by the CI smoke run).
-pub const TIMESERIES_KEYS: [&str; 26] = [
+pub const TIMESERIES_KEYS: [&str; 32] = [
     "label",
     "tick",
     "t_ns",
@@ -185,11 +198,17 @@ pub const TIMESERIES_KEYS: [&str; 26] = [
     "drops_lossy",
     "drops_link_down",
     "drops_node_down",
+    "drops_rate_limited",
+    "drops_face_capped",
+    "drops_pit_full",
     "d_drops_dangling_face",
     "d_drops_reverse_face",
     "d_drops_lossy",
     "d_drops_link_down",
     "d_drops_node_down",
+    "d_drops_rate_limited",
+    "d_drops_face_capped",
+    "d_drops_pit_full",
     "pit_records",
     "cs_entries",
     "bf_set_bits",
@@ -224,6 +243,9 @@ pub fn timeseries_to_jsonl(label: &str, rows: &[SampleRow]) -> String {
             .field_u64("drops_lossy", row.drops_lossy)
             .field_u64("drops_link_down", row.drops_link_down)
             .field_u64("drops_node_down", row.drops_node_down)
+            .field_u64("drops_rate_limited", row.drops_rate_limited)
+            .field_u64("drops_face_capped", row.drops_face_capped)
+            .field_u64("drops_pit_full", row.drops_pit_full)
             .field_u64(
                 "d_drops_dangling_face",
                 d(row.drops_dangling_face, |r| r.drops_dangling_face),
@@ -240,6 +262,18 @@ pub fn timeseries_to_jsonl(label: &str, rows: &[SampleRow]) -> String {
             .field_u64(
                 "d_drops_node_down",
                 d(row.drops_node_down, |r| r.drops_node_down),
+            )
+            .field_u64(
+                "d_drops_rate_limited",
+                d(row.drops_rate_limited, |r| r.drops_rate_limited),
+            )
+            .field_u64(
+                "d_drops_face_capped",
+                d(row.drops_face_capped, |r| r.drops_face_capped),
+            )
+            .field_u64(
+                "d_drops_pit_full",
+                d(row.drops_pit_full, |r| r.drops_pit_full),
             )
             .field_u64("pit_records", row.pit_records)
             .field_u64("cs_entries", row.cs_entries)

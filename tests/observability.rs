@@ -112,6 +112,55 @@ fn baseline_timeseries_is_byte_identical_across_threads_and_shards() {
     });
 }
 
+/// An attacked-and-defended run's time series carries the defense drop
+/// counters (cumulative and per-interval deltas), reaches a nonzero
+/// rate-limited count by the end of the run, and stays byte-identical
+/// across shard counts.
+#[test]
+fn attacked_timeseries_carries_defense_drops_and_stays_byte_identical() {
+    use tactic::scenario::{AttackClass, AttackPlan};
+    let mut scenario = sampled(8);
+    scenario.attack = AttackPlan {
+        class: Some(AttackClass::Flood),
+        intensity: 500,
+    };
+    scenario.defense = tactic_experiments::attacks::armed_defense();
+    let reference = run_scenario(&scenario, 42);
+    assert!(
+        reference.drops.rate_limited > 0,
+        "flood at 500/s must trip the 150/s token bucket"
+    );
+    let jsonl = timeseries_to_jsonl("tactic", &reference.samples);
+    for key in ["drops_rate_limited", "drops_face_capped", "drops_pit_full"] {
+        assert!(
+            jsonl.lines().all(|l| l.contains(&format!("\"{key}\":"))
+                && l.contains(&format!("\"d_{key}\":"))),
+            "every timeseries row must carry {key} and d_{key}"
+        );
+    }
+    let last = jsonl.lines().last().expect("sampler produced rows");
+    let cumulative: u64 = last
+        .split("\"drops_rate_limited\":")
+        .nth(1)
+        .expect("key present")
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .expect("digits")
+        .parse()
+        .expect("number");
+    assert!(
+        cumulative > 0,
+        "final sample must have accumulated rate-limited drops: {last}"
+    );
+    let (sharded, _) =
+        run_scenario_sharded(&scenario, 42, 4).expect("small topology fits 4 shards");
+    assert_eq!(
+        jsonl,
+        timeseries_to_jsonl("tactic", &sharded.samples),
+        "--shards 4 changed the attacked timeseries bytes"
+    );
+}
+
 /// The regression ISSUE 8 demands: with the sampler off (the default),
 /// the report still reproduces the *checked-in* golden snapshot byte
 /// for byte — the observability layer added nothing to the dump and

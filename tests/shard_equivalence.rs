@@ -33,7 +33,8 @@ fn counters_dump(c: &NetCounters) -> String {
     loads.sort();
     format!(
         "scheduled={} delivered={} dangling={} reverse={} lossy={} \
-         link_down={} node_down={} handovers={} bytes={} loads={loads:?}",
+         link_down={} node_down={} rate_limited={} face_capped={} \
+         handovers={} bytes={} loads={loads:?}",
         c.scheduled,
         c.delivered,
         c.dropped_dangling_face,
@@ -41,6 +42,8 @@ fn counters_dump(c: &NetCounters) -> String {
         c.dropped_lossy,
         c.dropped_link_down,
         c.dropped_node_down,
+        c.dropped_rate_limited,
+        c.dropped_face_capped,
         c.handovers,
         c.bytes_on_wire,
     )
@@ -175,6 +178,54 @@ fn retransmitting_faulty_runs_are_byte_identical_across_shard_counts() {
             sequential,
             format!("{report:#?}"),
             "K={k} sharded faulty run diverged from sequential"
+        );
+    }
+}
+
+/// An attacked-and-defended run: the flood fleet's extra traffic and
+/// the send-time defense drops (counted in the transmitting shard) must
+/// merge to the sequential transport counters byte for byte, and the
+/// token bucket must actually have fired.
+#[test]
+fn attacked_defended_transport_counters_merge_to_sequential() {
+    use tactic::scenario::{AttackClass, AttackPlan};
+    let mut scenario = small(8);
+    scenario.attack = AttackPlan {
+        class: Some(AttackClass::Flood),
+        intensity: 500,
+    };
+    scenario.defense = tactic_experiments::attacks::armed_defense();
+    let (seq_report, seq_counters, _) = tactic::Network::build_traced(
+        &scenario,
+        42,
+        NetCounters::default(),
+        ProtocolRecorder::default(),
+    )
+    .run_traced();
+    assert!(
+        seq_counters.dropped_rate_limited > 0,
+        "flood at 500/s must trip the 150/s token bucket"
+    );
+    let seq_dump = counters_dump(&seq_counters);
+
+    for k in SHARD_COUNTS {
+        let (report, counters, _, _) = run_traced_sharded(
+            &scenario,
+            42,
+            k,
+            |_| NetCounters::default(),
+            |_| ProtocolRecorder::default(),
+        )
+        .expect("small topology fits 8 shards");
+        assert_eq!(format!("{seq_report:#?}"), format!("{report:#?}"));
+        let mut merged = NetCounters::default();
+        for c in &counters {
+            merged.merge(c);
+        }
+        assert_eq!(
+            seq_dump,
+            counters_dump(&merged),
+            "K={k} merged defense-drop counters diverged from sequential"
         );
     }
 }
