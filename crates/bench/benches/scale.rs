@@ -24,9 +24,13 @@
 //!   must not cost the small runs anything — a `"sampler"` point
 //!   measuring the sim-time sampler disabled vs. enabled at the largest
 //!   node count (ISSUE 8 budget: ≤ 5% events/s overhead at 10⁵ nodes),
-//!   and a `"defense"` point measuring the edge defenses disabled vs.
+//!   a `"defense"` point measuring the edge defenses disabled vs.
 //!   armed-unattacked there too (ISSUE 9 budget: ≤ 5%; disabled builds
-//!   no defense state at all and is the pre-feature code path).
+//!   no defense state at all and is the pre-feature code path), and a
+//!   `"tag_churn"` point measuring the default reactive tag lifecycle
+//!   vs. proactive renewal churn on both validation-cache policies
+//!   (the inactive lifecycle layer must leave the default run
+//!   `Debug`-identical, not merely fast).
 //! * `BENCH_SCALE_CHILD=<nodes>:<sim_ms>` (internal) — run one point and
 //!   print its JSON on stdout; the parent sets this when re-executing
 //!   itself.
@@ -371,6 +375,109 @@ fn measure_defense_point(nodes: usize, sim_ms: u64) -> DefensePoint {
     }
 }
 
+/// One baseline-vs-churn measurement of the tag lifecycle layer.
+struct ChurnPoint {
+    nodes: usize,
+    sim_ms: u64,
+    base_events_per_sec: f64,
+    churn_events_per_sec: f64,
+    generational_events_per_sec: f64,
+    overhead_pct: f64,
+    tag_renewals: u64,
+    bf_resets: u64,
+    bf_rotations: u64,
+    default_matches_baseline: bool,
+}
+
+impl ChurnPoint {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\": {}, \"sim_ms\": {}, ",
+                "\"baseline_events_per_sec\": {:.0}, ",
+                "\"churn_events_per_sec\": {:.0}, ",
+                "\"generational_events_per_sec\": {:.0}, ",
+                "\"overhead_pct\": {:.2}, \"tag_renewals\": {}, ",
+                "\"bf_resets\": {}, \"bf_rotations\": {}, ",
+                "\"default_matches_baseline\": {}}}"
+            ),
+            self.nodes,
+            self.sim_ms,
+            self.base_events_per_sec,
+            self.churn_events_per_sec,
+            self.generational_events_per_sec,
+            self.overhead_pct,
+            self.tag_renewals,
+            self.bf_resets,
+            self.bf_rotations,
+            self.default_matches_baseline,
+        )
+    }
+}
+
+/// Tag-churn probe at one node count: the same fleet run under (a) the
+/// default lifecycle (`Fixed` expiry, monolithic-reset cache — the
+/// pre-feature code path, which draws nothing from the lifecycle RNG
+/// stream), (b) proactive renewal churn with a validity of a quarter of
+/// the horizon on the monolithic cache, and (c) the same churn on the
+/// generational cache. The default run is re-executed with every
+/// lifecycle knob set explicitly to its default and the two reports are
+/// compared `Debug`-for-`Debug` — the inactive lifecycle layer must be
+/// invisible, not merely cheap.
+fn measure_churn_point(nodes: usize, sim_ms: u64) -> ChurnPoint {
+    use tactic::scenario::TagLifetimePolicy;
+    use tactic_bloom::CachePolicy;
+
+    let s = fleet_scenario(nodes, sim_ms);
+    let net = Network::build(&s, 1);
+    let t = Instant::now();
+    let base = net.run();
+    let base_secs = t.elapsed().as_secs_f64();
+
+    let mut explicit = fleet_scenario(nodes, sim_ms);
+    explicit.lifetime = TagLifetimePolicy::Fixed;
+    explicit.cache_policy = CachePolicy::MonolithicReset;
+    explicit.track_revalidations = false;
+    let default_report = Network::build(&explicit, 1).run();
+    let default_matches_baseline = format!("{base:#?}") == format!("{default_report:#?}");
+
+    let churn = TagLifetimePolicy::Churn {
+        validity: SimDuration::from_millis((sim_ms / 4).max(4)),
+        lead: SimDuration::from_millis((sim_ms / 16).max(1)),
+        jitter: SimDuration::from_millis((sim_ms / 32).max(1)),
+    };
+    let mut churn_scenario = fleet_scenario(nodes, sim_ms);
+    churn_scenario.lifetime = churn;
+    let net = Network::build(&churn_scenario, 1);
+    let t = Instant::now();
+    let churned = net.run();
+    let churn_secs = t.elapsed().as_secs_f64();
+
+    let mut gen_scenario = fleet_scenario(nodes, sim_ms);
+    gen_scenario.lifetime = churn;
+    gen_scenario.cache_policy = CachePolicy::Generational {
+        generations: 4,
+        partitions: 2,
+    };
+    let net = Network::build(&gen_scenario, 1);
+    let t = Instant::now();
+    let generational = net.run();
+    let gen_secs = t.elapsed().as_secs_f64();
+
+    ChurnPoint {
+        nodes,
+        sim_ms,
+        base_events_per_sec: base.events as f64 / base_secs.max(1e-9),
+        churn_events_per_sec: churned.events as f64 / churn_secs.max(1e-9),
+        generational_events_per_sec: generational.events as f64 / gen_secs.max(1e-9),
+        overhead_pct: (churn_secs - base_secs) / base_secs.max(1e-9) * 100.0,
+        tag_renewals: churned.providers.tags_renewed,
+        bf_resets: churned.edge_ops.bf_resets + churned.core_ops.bf_resets,
+        bf_rotations: generational.edge_ops.bf_rotations + generational.core_ops.bf_rotations,
+        default_matches_baseline,
+    }
+}
+
 /// Paper-preset throughput probe: the same small scenario the datapath
 /// bench measures, so the number is directly comparable to the
 /// `BENCH_datapath.json` baseline.
@@ -465,6 +572,21 @@ fn main() {
         p
     });
 
+    // Tag-churn cost at the largest point: proactive renewal under a
+    // quarter-horizon validity vs the default reactive lifecycle, on both
+    // cache policies, plus the inactive-layer invisibility check.
+    let tag_churn = sizes.iter().max().map(|&nodes| {
+        let sim_ms = sim_ms_for(nodes);
+        eprintln!("scale: {nodes} nodes, tag lifecycle default vs churn...");
+        let p = measure_churn_point(nodes, sim_ms);
+        eprintln!(
+            "scale: {} nodes tag churn -> {:.0} events/s default, {:.0} events/s churn, {:.0} events/s generational ({:+.2}% wall, {} renewals, {} resets, {} rotations, default-identical={})",
+            p.nodes, p.base_events_per_sec, p.churn_events_per_sec, p.generational_events_per_sec,
+            p.overhead_pct, p.tag_renewals, p.bf_resets, p.bf_rotations, p.default_matches_baseline
+        );
+        p
+    });
+
     let preset_eps = measure_paper_preset();
     let throughput_x = preset_eps / DATAPATH_TACTIC_EVENTS_PER_SEC;
     eprintln!(
@@ -484,6 +606,7 @@ fn main() {
                 "  \"shards\": [\n{}\n  ],\n",
                 "  \"sampler\": {},\n",
                 "  \"defense\": {},\n",
+                "  \"tag_churn\": {},\n",
                 "  \"paper_preset\": {{\"baseline_events_per_sec\": {:.0}, ",
                 "\"events_per_sec\": {:.0}, \"throughput_x\": {:.3}}}\n}}\n"
             ),
@@ -495,6 +618,9 @@ fn main() {
             defense
                 .as_ref()
                 .map_or_else(|| "null".to_string(), DefensePoint::json),
+            tag_churn
+                .as_ref()
+                .map_or_else(|| "null".to_string(), ChurnPoint::json),
             DATAPATH_TACTIC_EVENTS_PER_SEC,
             preset_eps,
             throughput_x,

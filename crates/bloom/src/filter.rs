@@ -28,6 +28,10 @@ pub struct BloomFilter {
     params: BloomParams,
     blocks: Vec<u64>,
     set_bits: usize,
+    /// Precomputed integer saturation boundary
+    /// ([`BloomParams::saturation_set_bits`]), so the per-insert
+    /// saturation decision is a deterministic integer compare.
+    saturation_bits: usize,
     inserted_since_reset: u64,
     lifetime_insertions: u64,
     resets: u64,
@@ -38,6 +42,7 @@ impl BloomFilter {
     pub fn new(params: BloomParams) -> Self {
         BloomFilter {
             blocks: vec![0u64; params.bits.div_ceil(64)],
+            saturation_bits: params.saturation_set_bits(),
             params,
             set_bits: 0,
             inserted_since_reset: 0,
@@ -130,8 +135,14 @@ impl BloomFilter {
 
     /// True once the estimated FPP has reached the configured maximum; the
     /// owning router should [`reset`](Self::reset) the filter.
+    ///
+    /// Decided on the deterministic integer set-bit count against the
+    /// precomputed [`BloomParams::saturation_set_bits`] boundary — by
+    /// construction the same decision the historical float rule
+    /// `estimated_fpp() >= max_fpp` makes, without evaluating floats on
+    /// the insert path.
     pub fn is_saturated(&self) -> bool {
-        self.estimated_fpp() >= self.params.max_fpp
+        self.set_bits >= self.saturation_bits
     }
 
     /// Clears all bits and bumps the reset counter.
@@ -309,6 +320,30 @@ mod tests {
         assert_eq!(bf.resets(), resets);
         assert!(resets >= 5, "expected several resets, got {resets}");
         assert_eq!(bf.lifetime_insertions(), 1_000);
+    }
+
+    /// The integer saturation decision must track the historical float
+    /// rule at every step of a realistic insert/reset trajectory — the
+    /// exact sequence the golden runs drive.
+    #[test]
+    fn integer_saturation_matches_float_rule_along_golden_trajectory() {
+        for params in [
+            BloomParams::paper(500),
+            BloomParams::paper(100),
+            BloomParams::for_capacity(1_000, 0.01),
+        ] {
+            let mut bf = BloomFilter::new(params);
+            for i in 0..5_000u64 {
+                let float_rule = bf.estimated_fpp() >= bf.params().max_fpp;
+                assert_eq!(
+                    bf.is_saturated(),
+                    float_rule,
+                    "decision diverged at insert {i} ({} set bits) for {params:?}",
+                    bf.set_bits()
+                );
+                bf.insert_with_reset(&key(i));
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   paper's `k = 5`, max-FPP `1e-4` preset);
 //! * [`BloomFilter`] — the filter with fill-based FPP estimation, reset
 //!   accounting, and no-false-negative guarantees;
+//! * [`ValidationCache`] — the router's validated-tag memory behind a
+//!   policy-agnostic API: the paper's monolithic-reset filter (default)
+//!   or `G` rotating generations with per-prefix partitioning;
 //! * [`CountingBloomFilter`] — a deletable variant for the future-work
 //!   revocation extension.
 //!
@@ -34,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod filter;
 mod params;
 
+pub use cache::{CacheChurn, CachePolicy, ValidationCache};
 pub use filter::{BloomFilter, CountingBloomFilter};
 pub use params::BloomParams;

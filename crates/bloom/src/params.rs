@@ -87,6 +87,35 @@ impl BloomParams {
         }
     }
 
+    /// The smallest set-bit count at which the filter counts as
+    /// saturated — the integer form of the historical float rule
+    /// `fill_ratio^k >= max_fpp`.
+    ///
+    /// Saturation used to be decided per insert by recomputing the
+    /// float estimate; this precomputes the decision boundary once, by
+    /// binary search over set-bit counts of the *identical* float
+    /// expression (which is monotone in the set-bit count), so the
+    /// boundary provably matches the old rule bit for bit while the
+    /// per-insert decision becomes a deterministic integer compare.
+    pub fn saturation_set_bits(&self) -> usize {
+        let saturated =
+            |s: usize| (s as f64 / self.bits as f64).powi(self.hashes as i32) >= self.max_fpp;
+        if !saturated(self.bits) {
+            // max_fpp > 1: the filter can never saturate.
+            return self.bits + 1;
+        }
+        let (mut lo, mut hi) = (0usize, self.bits);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if saturated(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
     /// Theoretical FPP after `inserted` elements: `(1 - e^(-k·i/m))^k`.
     pub fn fpp_after(&self, inserted: usize) -> f64 {
         let k = self.hashes as f64;
@@ -161,6 +190,45 @@ mod tests {
             max_fpp: 0.5,
         };
         assert_eq!(p.bytes(), 2);
+    }
+
+    /// The integer saturation boundary must agree with the historical
+    /// float predicate `(set_bits/bits)^k >= max_fpp` at **every**
+    /// possible set-bit count, for every configuration the goldens and
+    /// the paper sweeps exercise — float drift must never flip a reset.
+    #[test]
+    fn saturation_boundary_matches_float_predicate_exactly() {
+        let configs = [
+            BloomParams::paper(500),
+            BloomParams::paper(100),
+            BloomParams::paper(2_500),
+            BloomParams::for_capacity(1_000, 0.01),
+            BloomParams::for_capacity(50, 1e-6),
+            BloomParams::with_fixed_hashes(500, 5, 1e-2),
+            BloomParams::with_fixed_hashes(500, 1, 0.5),
+        ];
+        for p in configs {
+            let threshold = p.saturation_set_bits();
+            for s in 0..=p.bits {
+                let float_rule = (s as f64 / p.bits as f64).powi(p.hashes as i32) >= p.max_fpp;
+                assert_eq!(
+                    s >= threshold,
+                    float_rule,
+                    "boundary mismatch at set_bits={s} for {p:?} (threshold {threshold})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_threshold_unreachable_when_fpp_cap_exceeds_one() {
+        let p = BloomParams {
+            bits: 64,
+            hashes: 2,
+            capacity: 8,
+            max_fpp: 2.0,
+        };
+        assert_eq!(p.saturation_set_bits(), p.bits + 1);
     }
 
     #[test]

@@ -153,12 +153,22 @@ pub struct ConsumerConfig {
     pub retransmit: Option<RetransmitPolicy>,
 }
 
+/// Proactive-renewal state (the churn tag-lifetime policy): per-tag
+/// deadlines and the dedicated lifecycle RNG the jitter is drawn from.
+struct RenewalState {
+    lead: SimDuration,
+    jitter: SimDuration,
+    rng: Rng,
+    renew_at: HashMap<usize, SimTime>,
+}
+
 /// A windowed consumer (client or attacker).
 pub struct Consumer {
     config: ConsumerConfig,
     catalog: Vec<CatalogEntry>,
     zipf: Zipf,
     rng: Rng,
+    renewal: Option<RenewalState>,
     tags: HashMap<usize, Arc<SignedTag>>,
     preset_tags: HashMap<usize, Arc<SignedTag>>,
     reg_pending: Option<usize>,
@@ -196,6 +206,7 @@ impl Consumer {
             catalog,
             zipf,
             rng,
+            renewal: None,
             tags: HashMap::new(),
             preset_tags: HashMap::new(),
             reg_pending: None,
@@ -221,6 +232,22 @@ impl Consumer {
     /// Measurement record.
     pub fn stats(&self) -> &ConsumerStats {
         &self.stats
+    }
+
+    /// Enables proactive tag renewal (the churn tag-lifetime policy):
+    /// every fresh tag gets a renewal deadline `lead` plus a uniform
+    /// jitter in `[0, jitter)` before its expiry, drawn once per tag from
+    /// `rng`; past the deadline the consumer re-registers even though the
+    /// tag is still valid. Callers must fork `rng` from the dedicated
+    /// lifecycle stream so consumers without renewal draw nothing from it
+    /// and stay byte-identical to pre-lifecycle builds.
+    pub fn enable_renewal(&mut self, lead: SimDuration, jitter: SimDuration, rng: Rng) {
+        self.renewal = Some(RenewalState {
+            lead,
+            jitter,
+            rng,
+            renew_at: HashMap::new(),
+        });
     }
 
     /// Seeds a fixed tag for `provider_index` (expired-tag / shared-tag
@@ -273,11 +300,22 @@ impl Consumer {
         }
     }
 
+    /// True when the renewal deadline for `prov`'s tag has passed (always
+    /// false without the churn policy).
+    fn renewal_due(&self, prov: usize, now: SimTime) -> bool {
+        self.renewal
+            .as_ref()
+            .is_some_and(|r| r.renew_at.get(&prov).is_some_and(|&at| now >= at))
+    }
+
     fn tag_for(&mut self, prov: usize, now: SimTime) -> TagChoice {
         match self.config.kind {
             ConsumerKind::Client | ConsumerKind::Attacker(AttackerStrategy::InsufficientLevel) => {
                 match self.tags.get(&prov) {
-                    Some(t) if !t.tag.is_expired(now + self.config.refresh_margin) => {
+                    Some(t)
+                        if !t.tag.is_expired(now + self.config.refresh_margin)
+                            && !self.renewal_due(prov, now) =>
+                    {
                         TagChoice::Use(t.clone())
                     }
                     _ => TagChoice::NeedRegistration,
@@ -390,6 +428,18 @@ impl Consumer {
                 self.reg_pending = None;
                 if let Some(tag) = ext::data_new_tag(data) {
                     self.stats.tags_received.push(now);
+                    if let Some(r) = &mut self.renewal {
+                        let jitter_ns = match r.jitter.as_nanos() {
+                            0 => 0,
+                            j => r.rng.next_u64() % j,
+                        };
+                        let deadline_ns = tag
+                            .tag
+                            .expiry
+                            .as_nanos()
+                            .saturating_sub(r.lead.as_nanos() + jitter_ns);
+                        r.renew_at.insert(prov, SimTime::from_nanos(deadline_ns));
+                    }
                     self.tags.insert(prov, Arc::new(tag));
                 }
             }
@@ -438,6 +488,9 @@ impl Consumer {
     /// deliberately kept (a replayed tag does not renew itself).
     pub fn on_move(&mut self, _now: SimTime) {
         self.tags.clear();
+        if let Some(r) = &mut self.renewal {
+            r.renew_at.clear();
+        }
         self.reg_pending = None;
         self.stats.moves += 1;
     }
@@ -738,6 +791,38 @@ mod tests {
             }
         }
         assert_eq!(regs, 1, "exactly one re-registration");
+        assert_eq!(c.stats().tag_requests.len(), 2);
+    }
+
+    #[test]
+    fn renewal_churn_reregisters_before_expiry() {
+        let mut c = client(ConsumerKind::Client);
+        c.enable_renewal(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            Rng::seed_from_u64(9),
+        );
+        let sends = c.fill(SimTime::ZERO);
+        let reg_name = sends[0].name().clone();
+        let tag = issue_tag(&reg_name.prefix(1).to_string(), SimTime::from_secs(10));
+        let follow = c.on_data(&reg_response(&reg_name, &tag), SimTime::ZERO);
+        // The deadline lands in [7, 8) s: lead 2 s plus jitter < 1 s
+        // before the 10 s expiry. At 5 s the tag is still used.
+        let victim = follow[0].name().clone();
+        let early = c.on_timeout(&victim, SimTime::ZERO, SimTime::from_secs(5));
+        assert!(early.iter().all(|i| !ext::is_registration(i)));
+        // Past the deadline — but well before expiry — the next fill
+        // re-registers even though the tag is valid until 10 s.
+        let names: Vec<Name> = c.in_flight.keys().cloned().collect();
+        let mut regs = 0;
+        for n in names {
+            for i in c.on_timeout(&n, SimTime::from_secs(5), SimTime::from_secs(8)) {
+                if ext::is_registration(&i) {
+                    regs += 1;
+                }
+            }
+        }
+        assert_eq!(regs, 1, "exactly one proactive renewal request");
         assert_eq!(c.stats().tag_requests.len(), 2);
     }
 

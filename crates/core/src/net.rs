@@ -38,7 +38,14 @@ use crate::ext;
 use crate::metrics::RunReport;
 use crate::provider::{Provider, ProviderConfig};
 use crate::router::{RouterConfig, RouterRole, TacticRouter};
-use crate::scenario::{Scenario, TopologyChoice};
+use crate::scenario::{Scenario, TagLifetimePolicy, TopologyChoice};
+
+/// The dedicated RNG stream for tag-lifecycle jitter (xor'd with the
+/// consumer's principal). Forked only while a churn
+/// [`TagLifetimePolicy`] is active, so [`TagLifetimePolicy::Fixed`] runs
+/// draw nothing from it and stay byte-identical to builds that predate
+/// the lifecycle layer.
+pub const LIFECYCLE_STREAM: u64 = 0x11FE_C7C1_E000_0001;
 
 /// The requester identity carried in a tag (see
 /// [`crate::tag::SignedTag::client_identity`]).
@@ -148,6 +155,7 @@ impl<PO: ProtocolObserver> TacticPlane<PO> {
                     report.providers.registrations_denied += c.registrations_denied;
                     report.providers.chunks_served += c.chunks_served;
                     report.providers.nacks += c.nacks;
+                    report.providers.tags_renewed += c.tags_renewed;
                 }
                 NodeState::Consumer(c) => {
                     report.absorb_consumer(c.kind(), c.stats().clone());
@@ -391,12 +399,13 @@ impl<PO: ProtocolObserver> NodePlane for TacticPlane<PO> {
                 let tables = r.tables();
                 row.pit_records += tables.pit.total_records() as u64;
                 row.cs_entries += tables.cs.len() as u64;
-                let bf = r.bloom_filter();
-                row.bf_set_bits += bf.set_bits() as u64;
-                row.bf_bits += bf.bit_count() as u64;
-                row.bf_fpp_fp += ratio_to_fp(bf.estimated_fpp());
-                row.bf_occ_max_fp = row.bf_occ_max_fp.max(ratio_to_fp(bf.occupancy()));
-                row.bf_resets += bf.resets();
+                let cache = r.validation_cache();
+                row.bf_set_bits += cache.set_bits() as u64;
+                row.bf_bits += cache.bit_count() as u64;
+                row.bf_fpp_fp += ratio_to_fp(cache.estimated_fpp());
+                row.bf_occ_max_fp = row.bf_occ_max_fp.max(ratio_to_fp(cache.occupancy()));
+                row.bf_resets += cache.resets();
+                row.bf_rotations += cache.rotations();
                 row.bf_routers += 1;
             }
         }
@@ -506,7 +515,7 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 objects: scenario.objects_per_provider,
                 chunks_per_object: scenario.chunks_per_object,
                 chunk_size: scenario.chunk_size,
-                tag_validity: scenario.tag_validity,
+                tag_validity: scenario.effective_tag_validity(),
                 access_levels: scenario.content_levels.clone(),
             };
             let provider = Provider::new(config);
@@ -540,6 +549,8 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
             let config = RouterConfig {
                 role,
                 bf_params: scenario.bf_params(),
+                cache_policy: scenario.cache_policy,
+                track_revalidations: scenario.track_revalidations,
                 cs_capacity: scenario.cs_capacity,
                 access_path_enabled: scenario.access_path_enabled,
                 flag_f_enabled: scenario.flag_f_enabled,
@@ -587,6 +598,11 @@ impl<O: NetObserver, PO: ProtocolObserver> Network<O, PO> {
                 retransmit: scenario.retransmit,
             };
             let mut consumer = Consumer::new(config, catalog.clone(), rng.fork(0x100 + principal));
+            if let TagLifetimePolicy::Churn { lead, jitter, .. } = scenario.lifetime {
+                if kind == ConsumerKind::Client {
+                    consumer.enable_renewal(lead, jitter, rng.fork(LIFECYCLE_STREAM ^ principal));
+                }
+            }
             let own_ap = topo.access_point_of(unode);
             let own_path = AccessPath::of([own_ap.0 as u64]);
             match kind {

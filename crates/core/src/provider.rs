@@ -73,7 +73,7 @@ pub struct Grant {
 }
 
 /// Provider-side counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProviderCounters {
     /// Tags issued (registration responses).
     pub tags_issued: u64,
@@ -83,6 +83,26 @@ pub struct ProviderCounters {
     pub chunks_served: u64,
     /// Requests answered with content + NACK (invalid tag at the origin).
     pub nacks: u64,
+    /// Tags issued to a principal whose previously issued tag was still
+    /// unexpired — i.e. renewals rather than first issuances. Nonzero in
+    /// the paper's model too (the refresh margin renews just before
+    /// expiry); renewal churn is where it dominates.
+    pub tags_renewed: u64,
+}
+
+/// Hand-rolled to keep the lifecycle extension's `tags_renewed` out of
+/// the frozen report schema: this struct is embedded in `RunReport`'s
+/// pinned `Debug` snapshots, so the output must stay exactly the derived
+/// form of the original four fields.
+impl std::fmt::Debug for ProviderCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProviderCounters")
+            .field("tags_issued", &self.tags_issued)
+            .field("registrations_denied", &self.registrations_denied)
+            .field("chunks_served", &self.chunks_served)
+            .field("nacks", &self.nacks)
+            .finish()
+    }
 }
 
 /// A content provider.
@@ -91,6 +111,11 @@ pub struct Provider {
     keypair: KeyPair,
     key_locator: Name,
     registry: HashMap<u64, Grant>,
+    /// Expiry of the most recent tag issued per principal via the
+    /// registration procedure — the issuance authority's view of who
+    /// currently holds a valid tag, used to classify re-issuances as
+    /// renewals. Pre-seeded scenario tags bypass this on purpose.
+    issued_until: HashMap<u64, SimTime>,
     counters: ProviderCounters,
 }
 
@@ -114,6 +139,7 @@ impl Provider {
             keypair,
             key_locator,
             registry: HashMap::new(),
+            issued_until: HashMap::new(),
             counters: ProviderCounters::default(),
         }
     }
@@ -359,12 +385,12 @@ impl Provider {
             Some(grant) if !grant.revoked => {
                 let observed_ap = ext::interest_access_path(interest);
                 charge += cost.sample(Op::SigSign, rng);
-                let tag = self.issue_tag(
-                    principal,
-                    grant.level,
-                    observed_ap,
-                    now + self.config.tag_validity,
-                );
+                if self.issued_until.get(&principal).is_some_and(|&u| now < u) {
+                    self.counters.tags_renewed += 1;
+                }
+                let expiry = now + self.config.tag_validity;
+                self.issued_until.insert(principal, expiry);
+                let tag = self.issue_tag(principal, grant.level, observed_ap, expiry);
                 let mut resp = Data::new(
                     interest.name().clone(),
                     Payload::Synthetic(tag.encode().len()),
@@ -454,6 +480,57 @@ mod tests {
         assert_eq!(tag.tag.access_level, AccessLevel::Level(2));
         assert_eq!(tag.tag.expiry, SimTime::ZERO + SimDuration::from_secs(10));
         assert_eq!(p.counters().tags_issued, 1);
+    }
+
+    #[test]
+    fn reissuance_before_expiry_counts_as_renewal() {
+        let mut p = provider();
+        let (mut rng, cost) = free();
+        let prefix: Name = "/prov0".parse().unwrap();
+        // First issuance: not a renewal.
+        p.handle_interest(
+            &registration_interest(&prefix, 7, 0, 1),
+            SimTime::ZERO,
+            &mut rng,
+            &cost,
+        );
+        assert_eq!(p.counters().tags_renewed, 0);
+        // Re-registration at t=4s, old tag valid until 10s: a renewal.
+        p.handle_interest(
+            &registration_interest(&prefix, 7, 1, 2),
+            SimTime::from_secs(4),
+            &mut rng,
+            &cost,
+        );
+        assert_eq!(p.counters().tags_renewed, 1);
+        // Re-registration after the previous tag (valid to 14s) expired:
+        // a fresh issuance again.
+        p.handle_interest(
+            &registration_interest(&prefix, 7, 2, 3),
+            SimTime::from_secs(20),
+            &mut rng,
+            &cost,
+        );
+        assert_eq!(p.counters().tags_renewed, 1);
+        assert_eq!(p.counters().tags_issued, 3);
+    }
+
+    #[test]
+    fn counters_debug_excludes_lifecycle_extension() {
+        // The struct is embedded in pinned report snapshots: its Debug
+        // output must stay the derived form of the original four fields.
+        let c = ProviderCounters {
+            tags_issued: 1,
+            registrations_denied: 2,
+            chunks_served: 3,
+            nacks: 4,
+            tags_renewed: 99,
+        };
+        assert_eq!(
+            format!("{c:?}"),
+            "ProviderCounters { tags_issued: 1, registrations_denied: 2, \
+             chunks_served: 3, nacks: 4 }"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use tactic_bloom::{BloomFilter, BloomParams};
+use tactic_bloom::{BloomParams, CacheChurn, CachePolicy, ValidationCache};
 use tactic_crypto::cert::CertStore;
 use tactic_ndn::face::FaceId;
 use tactic_ndn::forwarder::Tables;
@@ -71,6 +71,18 @@ pub struct RouterConfig {
     /// [`tactic_ndn::pit::Pit::evict_over_capacity`]). `None` (the
     /// default) keeps the historical unbounded PIT at zero cost.
     pub pit_capacity: Option<usize>,
+    /// Validation-cache eviction policy: the paper's monolithic
+    /// full-reset filter (the default, byte-identical to the historical
+    /// bare-filter path) or `G` rotating generations with per-prefix
+    /// partitioning (see [`ValidationCache`]).
+    pub cache_policy: CachePolicy,
+    /// Remember which tags this router has already signature-verified,
+    /// so verifying an *already-seen* tag again — work forced by a
+    /// cache reset or rotation that evicted still-valid state — counts
+    /// into [`OpCounters::evicted_revalidations`]. Off by default: the
+    /// tracking set costs memory per validated tag and only the
+    /// `tagscale` experiment reads the counter.
+    pub track_revalidations: bool,
 }
 
 impl RouterConfig {
@@ -85,6 +97,8 @@ impl RouterConfig {
             content_nack_enabled: true,
             record_sightings: false,
             pit_capacity: None,
+            cache_policy: CachePolicy::MonolithicReset,
+            track_revalidations: false,
         }
     }
 }
@@ -111,6 +125,15 @@ pub struct OpCounters {
     pub revalidations: u64,
     /// Bloom-filter resets.
     pub bf_resets: u64,
+    /// Validation-cache generation rotations — the generational
+    /// policy's partial evictions (always 0 under the default
+    /// monolithic policy).
+    pub bf_rotations: u64,
+    /// Signature verifications of tags this router had *already*
+    /// verified once — re-validation work forced by a reset or rotation
+    /// that evicted still-valid state. Counted only when
+    /// [`RouterConfig::track_revalidations`] is on (0 otherwise).
+    pub evicted_revalidations: u64,
     /// Interests processed.
     pub interests: u64,
     /// Data packets processed.
@@ -140,6 +163,8 @@ impl OpCounters {
         self.sig_verifications += other.sig_verifications;
         self.revalidations += other.revalidations;
         self.bf_resets += other.bf_resets;
+        self.bf_rotations += other.bf_rotations;
+        self.evicted_revalidations += other.evicted_revalidations;
         self.interests += other.interests;
         self.data += other.data;
         self.precheck_rejections += other.precheck_rejections;
@@ -169,6 +194,9 @@ impl OpCounters {
 /// the subclassification stays out of the frozen dump schema — like
 /// `RunReport::samples`, it is surfaced through field access (the
 /// `attacks` experiment CSV and telemetry), not through `Debug`.
+/// `bf_rotations` and `evicted_revalidations` stay out for the same
+/// reason: they are zero on every default-policy run and are surfaced
+/// through the `tagscale` CSV and the run manifests instead.
 impl std::fmt::Debug for OpCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OpCounters")
@@ -205,13 +233,17 @@ pub struct RouterOutput {
 pub struct TacticRouter {
     config: RouterConfig,
     tables: Tables<TagNote>,
-    bf: BloomFilter,
+    cache: ValidationCache,
     certs: CertStore,
     counters: OpCounters,
     downstream: HashSet<FaceId>,
     requests_since_reset: u64,
     reset_request_counts: Vec<u64>,
     sightings: Vec<(u64, crate::access_path::AccessPath, SimTime)>,
+    /// Tag ids this router has signature-verified at least once, for
+    /// eviction-forced re-validation accounting. `None` (the default)
+    /// skips all tracking.
+    seen_tags: Option<HashSet<u64>>,
 }
 
 impl std::fmt::Debug for TacticRouter {
@@ -269,8 +301,9 @@ impl TacticRouter {
         let mut tables = Tables::new(config.cs_capacity);
         tables.pit.set_capacity(config.pit_capacity);
         TacticRouter {
-            bf: BloomFilter::new(config.bf_params),
+            cache: ValidationCache::new(config.bf_params, config.cache_policy),
             tables,
+            seen_tags: config.track_revalidations.then(HashSet::new),
             config,
             certs,
             counters: OpCounters::default(),
@@ -320,9 +353,15 @@ impl TacticRouter {
         &self.sightings
     }
 
-    /// The Bloom filter (inspection / tests).
-    pub fn bloom_filter(&self) -> &BloomFilter {
-        &self.bf
+    /// The validation cache (inspection / tests).
+    pub fn validation_cache(&self) -> &ValidationCache {
+        &self.cache
+    }
+
+    /// The first 8 bytes of a tag's Bloom key (itself a digest): the
+    /// stable id the re-validation tracking set stores.
+    fn tag_id(key: &[u8]) -> u64 {
+        u64::from_le_bytes(key[..8].try_into().expect("bloom keys are 32 bytes"))
     }
 
     /// The NDN tables (inspection / tests).
@@ -386,12 +425,15 @@ impl TacticRouter {
         }
     }
 
-    /// BF lookup with cost charging and counting. `reval` marks lookups
-    /// on the probabilistic `F > 0` re-validation path, which count into
-    /// `bf_lookups_reval` instead of `bf_lookups`.
+    /// Validation-cache lookup with cost charging and counting. `prefix`
+    /// selects the generational partition (ignored by the monolithic
+    /// policy). `reval` marks lookups on the probabilistic `F > 0`
+    /// re-validation path, which count into `bf_lookups_reval` instead
+    /// of `bf_lookups`.
     #[allow(clippy::too_many_arguments)]
     fn bf_contains<O: ProtocolObserver>(
         &mut self,
+        prefix: &[u8],
         key: &[u8],
         reval: bool,
         hop: Hop,
@@ -407,7 +449,7 @@ impl TacticRouter {
             self.counters.bf_lookups += 1;
         }
         *charge += cost.sample(Op::BfLookup, rng);
-        let hit = timed(prof, "bf_lookup", || self.bf.contains(key));
+        let hit = timed(prof, "bf_lookup", || self.cache.contains(prefix, key));
         obs.on_bf_lookup(
             hop,
             if hit { BfOutcome::Hit } else { BfOutcome::Miss },
@@ -416,12 +458,15 @@ impl TacticRouter {
         hit
     }
 
-    /// BF insert with saturation-reset accounting, cost charging, counting.
-    /// The reset decision itself lives in [`BloomFilter::insert_with_reset`]
-    /// so `counters.bf_resets` stays in lockstep with `BloomFilter::resets()`.
+    /// Validation-cache insert with eviction accounting, cost charging,
+    /// counting. The eviction decision itself lives in
+    /// [`ValidationCache::insert`] so `counters.bf_resets` /
+    /// `counters.bf_rotations` stay in lockstep with the cache's own
+    /// `resets()` / `rotations()`.
     #[allow(clippy::too_many_arguments)]
     fn bf_insert<O: ProtocolObserver>(
         &mut self,
+        prefix: &[u8],
         key: &[u8],
         hop: Hop,
         obs: &mut O,
@@ -432,13 +477,20 @@ impl TacticRouter {
     ) {
         self.counters.bf_insertions += 1;
         *charge += cost.sample(Op::BfInsert, rng);
-        let reset = timed(prof, "bf_insert", || self.bf.insert_with_reset(key));
-        if reset {
-            self.counters.bf_resets += 1;
-            self.reset_request_counts.push(self.requests_since_reset);
-            self.requests_since_reset = 0;
+        let churn = timed(prof, "bf_insert", || self.cache.insert(prefix, key));
+        match churn {
+            CacheChurn::Reset => {
+                self.counters.bf_resets += 1;
+                self.reset_request_counts.push(self.requests_since_reset);
+                self.requests_since_reset = 0;
+            }
+            CacheChurn::Rotation => self.counters.bf_rotations += 1,
+            CacheChurn::None => {}
         }
-        obs.on_bf_insert(hop, reset);
+        if let Some(seen) = &mut self.seen_tags {
+            seen.insert(Self::tag_id(key));
+        }
+        obs.on_bf_insert(hop, churn == CacheChurn::Reset);
     }
 
     /// Full tag validation: BF short-circuit, then signature verification
@@ -457,7 +509,8 @@ impl TacticRouter {
         prof: &mut Option<&mut SpanProfiler>,
     ) -> bool {
         let key = tag.bloom_key();
-        if self.bf_contains(&key, reval, hop, obs, rng, cost, charge, prof) {
+        let prefix = tag.partition_key();
+        if self.bf_contains(prefix, &key, reval, hop, obs, rng, cost, charge, prof) {
             return true;
         }
         if reval {
@@ -472,7 +525,14 @@ impl TacticRouter {
         });
         obs.on_sig_verify(hop, valid, reval);
         if valid {
-            self.bf_insert(&key, hop, obs, rng, cost, charge, prof);
+            // A verified tag the cache had already seen means an eviction
+            // (reset or rotation) forced this verification all over again.
+            if let Some(seen) = &self.seen_tags {
+                if seen.contains(&Self::tag_id(&key)) {
+                    self.counters.evicted_revalidations += 1;
+                }
+            }
+            self.bf_insert(prefix, &key, hop, obs, rng, cost, charge, prof);
         }
         valid
     }
@@ -593,14 +653,23 @@ impl TacticRouter {
                 obs.on_precheck(hop, PrecheckStage::Edge, PrecheckVerdict::Accepted);
                 // Lines 4-8: set F from the BF.
                 let key = st.bloom_key();
-                let f =
-                    if self.bf_contains(&key, false, hop, obs, rng, cost, &mut out.compute, prof) {
-                        // A hit with a pristine filter still means "validated":
-                        // floor the flag so it stays distinguishable from 0.
-                        self.bf.estimated_fpp().max(1e-9)
-                    } else {
-                        0.0
-                    };
+                let f = if self.bf_contains(
+                    st.partition_key(),
+                    &key,
+                    false,
+                    hop,
+                    obs,
+                    rng,
+                    cost,
+                    &mut out.compute,
+                    prof,
+                ) {
+                    // A hit with a pristine filter still means "validated":
+                    // floor the flag so it stays distinguishable from 0.
+                    self.cache.estimated_fpp().max(1e-9)
+                } else {
+                    0.0
+                };
                 ext::set_interest_flag_f(&mut interest, f);
             } else {
                 ext::set_interest_flag_f(&mut interest, 0.0);
@@ -823,6 +892,7 @@ impl TacticRouter {
             for (idx, rec) in recs.iter().enumerate() {
                 if self.config.role == RouterRole::Edge && self.is_downstream(rec.face) {
                     self.bf_insert(
+                        new_tag.partition_key(),
                         &new_tag.bloom_key(),
                         hop,
                         obs,
@@ -903,6 +973,7 @@ impl TacticRouter {
                             // Lines 14-15: upstream vouched; insert.
                             if let Some(rt) = &rec_tag {
                                 self.bf_insert(
+                                    rt.partition_key(),
                                     &rt.bloom_key(),
                                     hop,
                                     obs,
@@ -1143,6 +1214,7 @@ mod tests {
         // Seed the BF as if the tag had been validated before.
         let mut charge = SimDuration::ZERO;
         f.router.bf_insert(
+            tag.partition_key(),
             &tag.bloom_key(),
             test_hop(),
             &mut NoopProtocolObserver,
@@ -1514,7 +1586,10 @@ mod tests {
             .handle_data(d, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
         assert_eq!(f.router.counters().bf_insertions, inserts_before + 1);
-        assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
+        assert!(f
+            .router
+            .validation_cache()
+            .contains(tag.partition_key(), &tag.bloom_key()));
     }
 
     #[test]
@@ -1525,6 +1600,7 @@ mod tests {
         let mut charge = SimDuration::ZERO;
         let mut rng2 = f.rng.clone();
         f.router.bf_insert(
+            tag.partition_key(),
             &tag.bloom_key(),
             test_hop(),
             &mut NoopProtocolObserver,
@@ -1621,7 +1697,10 @@ mod tests {
             .handle_data(resp, UP, SimTime::ZERO, &mut f.rng, &f.cost);
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.sends[0].0, CLIENT);
-        assert!(f.router.bloom_filter().contains(&tag.bloom_key()));
+        assert!(f
+            .router
+            .validation_cache()
+            .contains(tag.partition_key(), &tag.bloom_key()));
         // Registration responses are never cached.
         assert!(f.router.tables().cs.is_empty());
     }
@@ -1646,6 +1725,7 @@ mod tests {
         for i in 0..500u64 {
             router.requests_since_reset += 1; // simulate request arrivals
             router.bf_insert(
+                b"/prov",
                 &i.to_le_bytes(),
                 test_hop(),
                 &mut NoopProtocolObserver,

@@ -1,5 +1,6 @@
 //! Scenario configuration: everything §8.A fixes about a simulation run.
 
+use tactic_bloom::CachePolicy;
 use tactic_sim::cost::CostModel;
 use tactic_sim::time::SimDuration;
 use tactic_topology::paper::PaperTopology;
@@ -14,6 +15,60 @@ use crate::consumer::AttackerStrategy;
 pub use tactic_net::MobilityConfig;
 pub use tactic_net::{AttackClass, AttackPlan, DefenseConfig, RateLimit};
 pub use tactic_net::{FaultEvent, FaultKind, FaultPlan, LossModel, RetransmitPolicy};
+
+/// How tag issuance and expiry churn are modelled — §5's expiry knob
+/// ("a shorter expiry time mandates clients to request fresh tags more
+/// frequently") made a first-class workload axis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TagLifetimePolicy {
+    /// The paper's reactive model: tags live for
+    /// [`Scenario::tag_validity`] and a client re-registers only once its
+    /// tag is within the refresh margin of expiry. Draws nothing from the
+    /// lifecycle RNG stream, so runs are byte-identical to builds that
+    /// predate the lifecycle layer.
+    #[default]
+    Fixed,
+    /// Issuance/renewal churn: `validity` overrides
+    /// [`Scenario::tag_validity`], and each client proactively
+    /// re-registers `lead` before expiry plus a per-tag uniform jitter in
+    /// `[0, jitter)` drawn from the dedicated lifecycle RNG stream (the
+    /// jitter desynchronises fleet-wide renewal waves). `validity` must
+    /// comfortably exceed `lead + jitter` or clients spend their whole
+    /// life re-registering.
+    Churn {
+        /// Tag validity period (`T_e - T_issue`).
+        validity: SimDuration,
+        /// How long before expiry the renewal fires.
+        lead: SimDuration,
+        /// Per-tag uniform jitter bound added to the lead.
+        jitter: SimDuration,
+    },
+}
+
+impl TagLifetimePolicy {
+    /// True when proactive renewal churn is active.
+    pub fn is_churn(&self) -> bool {
+        matches!(self, TagLifetimePolicy::Churn { .. })
+    }
+
+    /// A compact token for run labels and manifests (`fixed` or
+    /// `churn<validity>-<lead>-<jitter>` in milliseconds).
+    pub fn summary(&self) -> String {
+        match self {
+            TagLifetimePolicy::Fixed => "fixed".to_string(),
+            TagLifetimePolicy::Churn {
+                validity,
+                lead,
+                jitter,
+            } => format!(
+                "churn{}-{}-{}",
+                validity.as_nanos() / 1_000_000,
+                lead.as_nanos() / 1_000_000,
+                jitter.as_nanos() / 1_000_000
+            ),
+        }
+    }
+}
 
 /// Which network to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +113,19 @@ pub struct Scenario {
     pub bf_max_fpp: f64,
     /// Tag validity period.
     pub tag_validity: SimDuration,
+    /// Tag issuance/renewal model ([`TagLifetimePolicy::Fixed`] = the
+    /// paper's reactive clients; churn adds proactive pre-expiry renewal
+    /// driven by a dedicated RNG stream).
+    pub lifetime: TagLifetimePolicy,
+    /// Validation-cache policy at every router
+    /// ([`CachePolicy::MonolithicReset`] = the paper's saturate-and-reset
+    /// filter; generational policies rotate sub-filters instead).
+    pub cache_policy: CachePolicy,
+    /// Routers remember the ids of tags they have validated and count
+    /// re-validations forced by cache churn (a reset/rotation evicting a
+    /// still-valid registration). Costs one hash-set entry per distinct
+    /// tag per router; off by default.
+    pub track_revalidations: bool,
     /// Objects per provider.
     pub objects_per_provider: usize,
     /// Chunks per object.
@@ -134,6 +202,9 @@ impl Scenario {
             bf_design_fpp: 1e-4,
             bf_max_fpp: 1e-4,
             tag_validity: SimDuration::from_secs(10),
+            lifetime: TagLifetimePolicy::Fixed,
+            cache_policy: CachePolicy::MonolithicReset,
+            track_revalidations: false,
             objects_per_provider: 50,
             chunks_per_object: 50,
             chunk_size: 8 * 1024,
@@ -187,6 +258,16 @@ impl Scenario {
             || (self.attack.active() && self.attack.class == Some(AttackClass::Churn))
     }
 
+    /// The tag validity the providers actually issue under: the churn
+    /// policy's `validity` when active, [`tag_validity`](Self::tag_validity)
+    /// otherwise.
+    pub fn effective_tag_validity(&self) -> SimDuration {
+        match self.lifetime {
+            TagLifetimePolicy::Churn { validity, .. } => validity,
+            TagLifetimePolicy::Fixed => self.tag_validity,
+        }
+    }
+
     /// The Bloom-filter parameters for this scenario: the bit array is
     /// sized for `bf_capacity` tags at `bf_design_fpp` under `bf_hashes`
     /// hash functions, while `bf_max_fpp` acts only as the reset
@@ -232,6 +313,26 @@ mod tests {
         assert_eq!(p.hashes, 5);
         assert_eq!(p.capacity, 500);
         assert_eq!(p.max_fpp, 1e-4);
+    }
+
+    #[test]
+    fn lifecycle_defaults_are_the_paper_model() {
+        let s = Scenario::paper(PaperTopology::Topo1);
+        assert_eq!(s.lifetime, TagLifetimePolicy::Fixed);
+        assert_eq!(s.cache_policy, CachePolicy::MonolithicReset);
+        assert!(!s.track_revalidations);
+        assert_eq!(s.effective_tag_validity(), s.tag_validity);
+        assert_eq!(s.lifetime.summary(), "fixed");
+        let churn = TagLifetimePolicy::Churn {
+            validity: SimDuration::from_secs(2),
+            lead: SimDuration::from_millis(500),
+            jitter: SimDuration::from_millis(250),
+        };
+        assert!(churn.is_churn());
+        assert_eq!(churn.summary(), "churn2000-500-250");
+        let mut s2 = s;
+        s2.lifetime = churn;
+        assert_eq!(s2.effective_tag_validity(), SimDuration::from_secs(2));
     }
 
     #[test]

@@ -127,6 +127,17 @@ impl SignedTag {
         })
     }
 
+    /// The provider-prefix bytes the validation cache partitions on:
+    /// the first component of the provider key locator, borrowed
+    /// without allocation (hot path — called once per cache insert and
+    /// lookup). Empty for a rootless locator.
+    pub fn partition_key(&self) -> &[u8] {
+        self.tag
+            .provider_key_locator
+            .get(0)
+            .map_or(&[], |c| c.as_bytes())
+    }
+
     /// The stable client identity of this tag: a digest of the client key
     /// locator. Stable across tag refreshes, so access points can
     /// demultiplex deliveries per requester and traitor tracing can link

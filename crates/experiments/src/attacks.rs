@@ -102,6 +102,9 @@ struct RunTotals {
     latency_mean: f64,
     events: u64,
     peak_queue_depth: u64,
+    tag_renewals: u64,
+    revalidations: u64,
+    bf_rotations: u64,
 }
 
 /// One aggregated grid cell of the degradation sweep (summed over
@@ -183,6 +186,9 @@ fn run_plane(
             latency_mean: r.latency.overall_mean(),
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
+            tag_renewals: r.providers.tags_renewed,
+            revalidations: r.edge_ops.evicted_revalidations + r.core_ops.evicted_revalidations,
+            bf_rotations: r.edge_ops.bf_rotations + r.core_ops.bf_rotations,
         };
         (totals, stats)
     } else {
@@ -211,6 +217,10 @@ fn run_plane(
             latency_mean: r.mean_latency(),
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
+            // Baseline mechanisms have no tag lifecycle.
+            tag_renewals: 0,
+            revalidations: 0,
+            bf_rotations: 0,
         };
         (totals, stats)
     }
@@ -322,6 +332,9 @@ pub fn sweep_cells(
                         || vec![totals.peak_cs_entries],
                         |s| s.per_shard_peak_cs.clone(),
                     ),
+                    tag_renewals: totals.tag_renewals,
+                    revalidations: totals.revalidations,
+                    bf_rotations: totals.bf_rotations,
                 };
                 if verbosity.progress() {
                     eprintln!(

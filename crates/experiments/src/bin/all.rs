@@ -1,7 +1,8 @@
 //! Runs every experiment in sequence (the full reproduction sweep).
 fn main() {
     use tactic_experiments::{
-        attacks, extras, figures, profile, resilience, sweep, tables, telemetry, transport, RunOpts,
+        attacks, extras, figures, profile, resilience, sweep, tables, tagscale, telemetry,
+        transport, RunOpts,
     };
     let opts = match RunOpts::from_env() {
         Ok(o) => o,
@@ -28,6 +29,7 @@ fn main() {
         ("resilience", resilience::resilience),
         ("attacks", attacks::attacks),
         ("profile", profile::profile),
+        ("tagscale", tagscale::tagscale),
     ];
     for (name, f) in experiments {
         let started = std::time::Instant::now();

@@ -1,0 +1,4 @@
+//! Tag lifecycle at fleet scale: clients ramp × expiry × cache policy.
+fn main() {
+    tactic_experiments::binary_main("tagscale", tactic_experiments::tagscale::tagscale);
+}

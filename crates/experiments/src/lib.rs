@@ -25,6 +25,7 @@
 //! | `resilience`| graceful degradation under loss, failures, retransmission |
 //! | `attacks`  | adversarial degradation curves: attack × intensity × defense |
 //! | `profile`  | in-flight sampler + span profiler + Perfetto trace |
+//! | `tagscale` | tag lifecycle at fleet scale: clients ramp × expiry × cache policy |
 //! | `all`      | everything above in sequence |
 //!
 //! All binaries run at a reduced scale by default (60–120 simulated
@@ -46,6 +47,7 @@ pub mod runner;
 pub mod scenario_args;
 pub mod sweep;
 pub mod tables;
+pub mod tagscale;
 pub mod telemetry;
 pub mod transport;
 

@@ -217,6 +217,9 @@ mod tests {
             per_shard_peak_queue: vec![5],
             per_shard_peak_pit: vec![3],
             per_shard_peak_cs: vec![2],
+            tag_renewals: 0,
+            revalidations: 0,
+            bf_rotations: 0,
         };
         write_manifests(&dir, "exp.csv", &[m.clone(), m]).unwrap();
         let body = std::fs::read_to_string(dir.join("exp.manifest.jsonl")).unwrap();

@@ -57,6 +57,9 @@ struct RunTotals {
     peak_cs_entries: u64,
     events: u64,
     peak_queue_depth: u64,
+    tag_renewals: u64,
+    revalidations: u64,
+    bf_rotations: u64,
 }
 
 /// One aggregated grid cell of the degradation sweep (summed over seeds).
@@ -210,6 +213,9 @@ fn run_plane(
             peak_cs_entries: r.peak_cs_entries,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
+            tag_renewals: r.providers.tags_renewed,
+            revalidations: r.edge_ops.evicted_revalidations + r.core_ops.evicted_revalidations,
+            bf_rotations: r.edge_ops.bf_rotations + r.core_ops.bf_rotations,
         };
         (totals, stats)
     } else {
@@ -238,6 +244,10 @@ fn run_plane(
             peak_cs_entries: r.peak_cs_entries,
             events: r.events,
             peak_queue_depth: r.peak_queue_depth,
+            // Baseline mechanisms have no tag lifecycle.
+            tag_renewals: 0,
+            revalidations: 0,
+            bf_rotations: 0,
         };
         (totals, stats)
     }
@@ -348,6 +358,9 @@ pub fn sweep_cells(
                         || vec![totals.peak_cs_entries],
                         |s| s.per_shard_peak_cs.clone(),
                     ),
+                    tag_renewals: totals.tag_renewals,
+                    revalidations: totals.revalidations,
+                    bf_rotations: totals.bf_rotations,
                 };
                 if verbosity.progress() {
                     eprintln!(

@@ -72,7 +72,7 @@ pub fn scenario_id(tag: &str, knobs: &[u64]) -> u64 {
 pub fn scenario_summary(s: &Scenario) -> String {
     format!(
         "duration={}s bf={}x{} window={} flag_f={} mobility={} faults=[{}] retransmit={} \
-         attack={} defense={}",
+         attack={} defense={} life={} cache={}",
         s.duration.as_secs_f64(),
         s.bf_capacity,
         s.bf_hashes,
@@ -83,6 +83,8 @@ pub fn scenario_summary(s: &Scenario) -> String {
         s.retransmit.is_some(),
         s.attack.summary(),
         s.defense.summary(),
+        s.lifetime.summary(),
+        s.cache_policy.summary(),
     )
 }
 
@@ -266,6 +268,10 @@ fn run_one(job: &GridJob<'_>, shards: usize) -> Result<(RunReport, RunManifest),
             || vec![report.peak_cs_entries],
             |s| s.per_shard_peak_cs.clone(),
         ),
+        tag_renewals: report.providers.tags_renewed,
+        revalidations: report.edge_ops.evicted_revalidations
+            + report.core_ops.evicted_revalidations,
+        bf_rotations: report.edge_ops.bf_rotations + report.core_ops.bf_rotations,
     };
     Ok((report, manifest))
 }

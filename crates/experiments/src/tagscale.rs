@@ -1,0 +1,451 @@
+//! Tag lifecycle at fleet scale: the `tagscale` experiment ramps
+//! clients-per-router against every (expiry policy × validation-cache
+//! policy) combination and measures what issuance/renewal churn costs
+//! each cache design.
+//!
+//! The grid crosses a clients-per-router ramp (10³ → 10⁵ by default,
+//! 10⁶ under `--paper`) with both [`TagLifetimePolicy`] arms (the
+//! paper's reactive `fixed` clients under the default 10 s validity, and
+//! proactive `churn` renewal under a short validity) and both
+//! [`CachePolicy`] arms (the paper's monolithic-reset filter and the
+//! generational rotation it is compared against). Every cell runs on the
+//! same custom fleet topology — the paper topologies fix their client
+//! counts, so the ramp needs its own spec — with the validation cache
+//! deliberately sized (via [`BloomParams::for_capacity`]) for the *base*
+//! ramp point, so higher ramp points overrun it and the two policies'
+//! failure modes separate: monolithic resets dump every validated
+//! registration at once (the re-validation cliff), generational rotation
+//! retires only the oldest generation per partition.
+//!
+//! Each ramp point runs a horizon inversely proportional to its client
+//! count (the scale bench's event-budget rule), so the 10⁵ cells stay
+//! tractable while the base cells still span many churn cycles; an
+//! explicit `--duration` pins every cell to one horizon instead. The
+//! `TAGSCALE_RAMP` environment variable (comma-separated
+//! clients-per-router values) overrides the ramp entirely — CI smoke
+//! uses it to run the full grid shape on a toy fleet.
+//!
+//! Output: `tagscale.csv` with per-cell goodput, re-validation rate,
+//! signature load, the sampled FPP trajectory (final/max), and the
+//! reset/rotation cliff depth — the largest relative single-interval
+//! drop in set bits, which is ~1 for a monolithic reset and ~1/G for a
+//! generational rotation.
+
+use tactic::scenario::{Scenario, TagLifetimePolicy, TopologyChoice};
+use tactic_bloom::{BloomParams, CachePolicy};
+use tactic_sim::time::SimDuration;
+use tactic_telemetry::SampleRow;
+use tactic_topology::paper::PaperTopology;
+use tactic_topology::roles::TopologySpec;
+
+use crate::opts::RunOpts;
+use crate::output::{fmt_f, write_file, write_manifests, TextTable};
+use crate::runner::{mean_of, merged_ops, run_grid_cli, scenario_id, GridJob};
+
+/// Edge routers in the fleet spec — one, so the ramp is literally the
+/// clients-per-router load on the access side.
+pub const EDGE_ROUTERS: usize = 1;
+/// Core routers in the fleet spec — three, so `--shards 4` still has a
+/// router per shard.
+pub const CORE_ROUTERS: usize = 3;
+/// Providers in the fleet spec.
+pub const PROVIDERS: usize = 2;
+
+/// The default clients-per-router ramp (`--paper` appends [`PAPER_CPR`]).
+pub const RAMP: [usize; 3] = [1_000, 10_000, 100_000];
+/// The extra ramp point the full-scale run adds.
+pub const PAPER_CPR: usize = 1_000_000;
+
+/// Generations per partition for the generational cells.
+pub const GENERATIONS: usize = 8;
+/// Prefix partitions for the generational cells.
+pub const PARTITIONS: usize = 2;
+
+/// Design FPP the cache is sized for at the base ramp point.
+const DESIGN_FPP: f64 = 1e-3;
+/// Saturation threshold that triggers a reset / rotation.
+const MAX_FPP: f64 = 2e-2;
+
+/// The validation-cache geometry every cell runs: sized by
+/// [`BloomParams::for_capacity`] for the *base* ramp point's tag
+/// population (`base_cpr` clients × providers per router), so the rest
+/// of the ramp overruns it — the validated-tag flux at the top of the
+/// ramp is an order of magnitude past capacity and the two policies'
+/// eviction behaviour, not filter headroom, decides the re-validation
+/// bill. [`tactic_bloom::ValidationCache`] re-derives per-generation
+/// geometry from this same capacity for the generational cells.
+pub fn cache_params(base_cpr: usize) -> BloomParams {
+    let base_tags = base_cpr * PROVIDERS;
+    let mut p = BloomParams::for_capacity(base_tags, DESIGN_FPP);
+    p.max_fpp = MAX_FPP;
+    p
+}
+
+/// Per-cell horizon: shrinks as the ramp grows (bounding the event
+/// budget) but never below 2 s — the paper topology's request round
+/// trip is ~0.5 s, so shorter horizons would measure warm-up, not
+/// steady state.
+fn horizon_for(cpr: usize) -> SimDuration {
+    SimDuration::from_millis((2_000_000_000 / cpr as u64).clamp(2_000, 5_000))
+}
+
+/// The proactive-renewal policy used by every `churn` cell: a short
+/// validity of half the horizon — long enough that a renewal round trip
+/// completes before the old tag expires even on a congested edge —
+/// renewal lead of a quarter of the validity, and jitter of half the
+/// lead (desynchronising the fleet).
+pub fn churn_policy(duration: SimDuration) -> TagLifetimePolicy {
+    let validity = SimDuration::from_nanos(duration.as_nanos() / 2);
+    TagLifetimePolicy::Churn {
+        validity,
+        lead: SimDuration::from_nanos(validity.as_nanos() / 4),
+        jitter: SimDuration::from_nanos(validity.as_nanos() / 8),
+    }
+}
+
+/// One cell's scenario: the fleet topology at `cpr` clients per edge
+/// router under the given lifecycle and cache policies, with
+/// re-validation tracking and the deterministic sampler on (the FPP
+/// trajectory and cliff depth come from the samples).
+fn cell_scenario(
+    cpr: usize,
+    lifetime: TagLifetimePolicy,
+    cache: CachePolicy,
+    p: &BloomParams,
+    duration: SimDuration,
+    sample_every: SimDuration,
+    profile: bool,
+) -> Scenario {
+    let mut s = Scenario::paper(PaperTopology::Topo1);
+    s.topology = TopologyChoice::Custom(TopologySpec {
+        core_routers: CORE_ROUTERS,
+        edge_routers: EDGE_ROUTERS,
+        providers: PROVIDERS,
+        clients: cpr * EDGE_ROUTERS,
+        attackers: 0,
+    });
+    s.duration = duration;
+    s.objects_per_provider = 10;
+    s.chunks_per_object = 10;
+    s.bf_capacity = p.capacity;
+    s.bf_hashes = p.hashes;
+    s.bf_design_fpp = DESIGN_FPP;
+    s.bf_max_fpp = p.max_fpp;
+    s.lifetime = lifetime;
+    s.cache_policy = cache;
+    s.track_revalidations = true;
+    s.sample_every = Some(sample_every);
+    s.profile = profile;
+    s
+}
+
+/// Mean estimated FPP across the routers a sample covers.
+fn sample_fpp(row: &SampleRow) -> f64 {
+    if row.bf_routers == 0 {
+        return 0.0;
+    }
+    (row.bf_fpp_fp as f64 / row.bf_routers as f64) / (u64::from(u32::MAX) as f64 + 1.0)
+}
+
+/// The cliff depth of a sampled run: the largest relative drop in
+/// aggregate set bits between consecutive samples. A monolithic reset of
+/// the only saturated router approaches the router's full share; a
+/// generational rotation retires only `1/(G·P)` of one router's bits.
+fn cliff_depth(samples: &[SampleRow]) -> f64 {
+    samples
+        .windows(2)
+        .map(|w| {
+            let (prev, cur) = (w[0].bf_set_bits, w[1].bf_set_bits);
+            if prev == 0 || cur >= prev {
+                0.0
+            } else {
+                (prev - cur) as f64 / prev as f64
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Runs the (clients-per-router × lifetime × cache) grid over `ramp` and
+/// renders/writes the per-cell table. Split from [`tagscale`] so tests
+/// can drive a tiny ramp.
+fn run_tagscale(opts: &RunOpts, ramp: &[usize]) -> std::io::Result<String> {
+    let seeds = opts.seed_count(2);
+    let threads = opts.thread_count();
+    let params = cache_params(ramp[0]);
+    let caches = [
+        CachePolicy::MonolithicReset,
+        CachePolicy::Generational {
+            generations: GENERATIONS,
+            partitions: PARTITIONS,
+        },
+    ];
+
+    // Cells in (ramp, lifetime, cache) order, seeds innermost — the same
+    // order the report slices below assume. `--duration` pins every cell
+    // to one horizon; otherwise each ramp point gets its budgeted
+    // horizon, with the churn validity and sample cadence derived from it
+    // so every cell spans the same number of renewal cycles and samples.
+    let mut cells = Vec::new();
+    for &cpr in ramp {
+        let duration = opts
+            .duration_secs
+            .map_or_else(|| horizon_for(cpr), SimDuration::from_secs);
+        let sample_every = opts.sample_every_secs.map_or_else(
+            || SimDuration::from_nanos((duration.as_nanos() / 64).max(1)),
+            SimDuration::from_secs_f64,
+        );
+        let lifetimes = [TagLifetimePolicy::Fixed, churn_policy(duration)];
+        for (li, &lifetime) in lifetimes.iter().enumerate() {
+            for (ci, &cache) in caches.iter().enumerate() {
+                let scenario = cell_scenario(
+                    cpr,
+                    lifetime,
+                    cache,
+                    &params,
+                    duration,
+                    sample_every,
+                    opts.profile,
+                );
+                let sid = scenario_id("tagscale", &[cpr as u64, li as u64, ci as u64]);
+                cells.push((cpr, duration, lifetime, cache, sid, scenario));
+            }
+        }
+    }
+    let jobs: Vec<GridJob<'_>> = cells
+        .iter()
+        .flat_map(|(cpr, _, lifetime, cache, sid, scenario)| {
+            (0..seeds).map(move |i| GridJob {
+                label: format!(
+                    "tagscale cpr={cpr} {life} {cache}",
+                    life = lifetime.summary(),
+                    cache = cache.summary(),
+                ),
+                // The fleet spec is not a paper topology; 0 is the
+                // custom-topology coordinate for seed derivation.
+                topology: 0,
+                scenario_id: *sid,
+                run_idx: i as u64,
+                scenario,
+            })
+        })
+        .collect();
+    let (reports, manifests) = run_grid_cli(&jobs, threads, &opts.shards, opts.verbosity);
+
+    let mut report = format!(
+        "Tag lifecycle at fleet scale — {cells} cells × {seeds} seeds = {total} runs\n\
+         (cache sized for {cap} tags at design FPP {fpp}, reset threshold {max})\n\n",
+        cells = cells.len(),
+        total = jobs.len(),
+        cap = params.capacity,
+        fpp = DESIGN_FPP,
+        max = MAX_FPP,
+    );
+    let header = vec![
+        "clients_per_router",
+        "horizon_s",
+        "lifetime",
+        "cache",
+        "runs",
+        "client_ratio",
+        "goodput_chunks_per_s",
+        "mean_latency_s",
+        "sig_verifications_per_s",
+        "tag_renewals",
+        "revalidations",
+        "revalidation_rate",
+        "bf_resets",
+        "bf_rotations",
+        "fpp_final",
+        "fpp_max",
+        "cliff_depth",
+    ];
+    let mut table = TextTable::new(header.clone());
+    let mut csv = TextTable::new(header);
+    for (c, (cpr, duration, lifetime, cache, _, _)) in cells.iter().enumerate() {
+        let slice = &reports[c * seeds..(c + 1) * seeds];
+        let n = slice.len() as u64;
+        let (edge, core) = merged_ops(slice);
+        let sig_total = edge.sig_verifications + core.sig_verifications;
+        let reval_total = edge.evicted_revalidations + core.evicted_revalidations;
+        let sim_secs: f64 = slice.iter().map(|r| r.duration.as_secs_f64()).sum();
+        let row = vec![
+            cpr.to_string(),
+            fmt_f(duration.as_secs_f64()),
+            lifetime.summary(),
+            cache.summary(),
+            n.to_string(),
+            fmt_f(mean_of(slice, |r| r.delivery.client_ratio())),
+            fmt_f(mean_of(slice, |r| {
+                r.delivery.client_received as f64 / r.duration.as_secs_f64()
+            })),
+            fmt_f(mean_of(slice, tactic::metrics::RunReport::mean_latency)),
+            fmt_f(sig_total as f64 / sim_secs),
+            (slice.iter().map(|r| r.providers.tags_renewed).sum::<u64>() / n).to_string(),
+            (reval_total / n).to_string(),
+            fmt_f(reval_total as f64 / sim_secs),
+            ((edge.bf_resets + core.bf_resets) / n).to_string(),
+            ((edge.bf_rotations + core.bf_rotations) / n).to_string(),
+            fmt_f(mean_of(slice, |r| r.samples.last().map_or(0.0, sample_fpp))),
+            fmt_f(mean_of(slice, |r| {
+                r.samples.iter().map(sample_fpp).fold(0.0, f64::max)
+            })),
+            fmt_f(mean_of(slice, |r| cliff_depth(&r.samples))),
+        ];
+        table.row(row.clone());
+        csv.row(row);
+    }
+    write_file(&opts.out_dir, "tagscale.csv", &csv.to_csv())?;
+    write_manifests(&opts.out_dir, "tagscale.csv", &manifests)?;
+    report.push_str(&table.render());
+    report.push_str("\nWritten to tagscale.csv\n");
+    Ok(report)
+}
+
+/// The `tagscale` experiment entry point: the [`RAMP`] clients-per-router
+/// sweep (plus [`PAPER_CPR`] under `--paper`) × {fixed, churn} lifetime ×
+/// {monolithic, generational} cache grid. A `TAGSCALE_RAMP` environment
+/// variable (comma-separated clients-per-router values) replaces the
+/// ramp — CI smoke runs the full grid shape on a toy fleet through it.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `tagscale.csv`, and rejects a
+/// malformed `TAGSCALE_RAMP` as invalid input.
+pub fn tagscale(opts: &RunOpts) -> std::io::Result<String> {
+    let mut ramp = RAMP.to_vec();
+    if opts.paper {
+        ramp.push(PAPER_CPR);
+    }
+    if let Ok(spec) = std::env::var("TAGSCALE_RAMP") {
+        ramp = spec
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("TAGSCALE_RAMP `{spec}`: {e}"),
+                )
+            })?;
+        if ramp.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "TAGSCALE_RAMP is empty",
+            ));
+        }
+    }
+    run_tagscale(opts, &ramp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Verbosity;
+
+    fn tiny_opts(threads: usize, shards: Vec<usize>, out: &str) -> RunOpts {
+        RunOpts {
+            paper: false,
+            duration_secs: Some(2),
+            seeds: Some(1),
+            topologies: vec![PaperTopology::Topo1],
+            out_dir: std::env::temp_dir().join(out),
+            threads: Some(threads),
+            shards,
+            sample_every_secs: None,
+            profile: false,
+            verbosity: Verbosity::Quiet,
+        }
+    }
+
+    /// The ISSUE's determinism gate: the tagscale cells must be
+    /// byte-identical between `--threads 1 --shards 1` and
+    /// `--threads 8 --shards 1,4` (the latter also exercises
+    /// `run_grid_cli`'s internal report-identity assertion across shard
+    /// counts on the custom fleet topology).
+    #[test]
+    fn tagscale_cells_are_byte_identical_across_threads_and_shards() {
+        let ramp = [4, 12];
+        let serial_opts = tiny_opts(1, vec![1], "tactic-exp-test-tagscale-t1");
+        let sharded_opts = tiny_opts(8, vec![1, 4], "tactic-exp-test-tagscale-t8");
+        let serial = run_tagscale(&serial_opts, &ramp).unwrap();
+        let sharded = run_tagscale(&sharded_opts, &ramp).unwrap();
+        assert_eq!(
+            serial, sharded,
+            "rendered report must not depend on thread or shard count"
+        );
+        let a = std::fs::read(serial_opts.out_dir.join("tagscale.csv")).unwrap();
+        let b = std::fs::read(sharded_opts.out_dir.join("tagscale.csv")).unwrap();
+        assert_eq!(a, b, "CSV bytes must not depend on thread or shard count");
+    }
+
+    /// CSV/manifest shape: one row per (cpr × lifetime × cache) cell, the
+    /// policy tokens present, and the lifecycle provenance keys on every
+    /// manifest line.
+    #[test]
+    fn tagscale_output_shape() {
+        let ramp = [4];
+        let opts = tiny_opts(4, vec![1], "tactic-exp-test-tagscale-shape");
+        run_tagscale(&opts, &ramp).unwrap();
+        let csv = std::fs::read_to_string(opts.out_dir.join("tagscale.csv")).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + ramp.len() * 4, "header + one row per cell");
+        assert_eq!(lines[0].split(',').count(), 17);
+        assert!(csv.contains("fixed"));
+        assert!(csv.contains("churn"));
+        assert!(csv.contains("monolithic"));
+        assert!(csv.contains(&format!("gen{GENERATIONS}x{PARTITIONS}")));
+        let manifest =
+            std::fs::read_to_string(opts.out_dir.join("tagscale.manifest.jsonl")).unwrap();
+        assert_eq!(manifest.lines().count(), ramp.len() * 4, "one line per run");
+        for key in ["tag_renewals", "revalidations", "bf_rotations"] {
+            assert!(
+                manifest.contains(&format!("\"{key}\":")),
+                "{key} in manifests"
+            );
+        }
+    }
+
+    /// The churn cells must actually renew (nonzero provider renewals)
+    /// and the generational cells must rotate rather than reset.
+    #[test]
+    fn churn_renews_and_generational_rotates() {
+        let ramp = [12];
+        let opts = tiny_opts(4, vec![1], "tactic-exp-test-tagscale-churn");
+        run_tagscale(&opts, &ramp).unwrap();
+        let csv = std::fs::read_to_string(opts.out_dir.join("tagscale.csv")).unwrap();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let col = |name: &str| header.iter().position(|h| *h == name).unwrap();
+        let (life_c, cache_c) = (col("lifetime"), col("cache"));
+        let (renew_c, rot_c) = (col("tag_renewals"), col("bf_rotations"));
+        let mut churn_renewals = 0u64;
+        let mut gen_rotations = 0u64;
+        let mut mono_rotations = 0u64;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells[life_c].starts_with("churn") {
+                churn_renewals += cells[renew_c].parse::<u64>().unwrap();
+            }
+            if cells[cache_c].starts_with("gen") {
+                gen_rotations += cells[rot_c].parse::<u64>().unwrap();
+            } else {
+                mono_rotations += cells[rot_c].parse::<u64>().unwrap();
+            }
+        }
+        assert!(churn_renewals > 0, "churn cells renew before expiry");
+        assert!(gen_rotations > 0, "generational cells rotate: {csv}");
+        assert_eq!(mono_rotations, 0, "monolithic cells never rotate");
+    }
+
+    #[test]
+    fn cliff_depth_finds_largest_relative_drop() {
+        let mk = |bits: u64| SampleRow {
+            bf_set_bits: bits,
+            ..SampleRow::default()
+        };
+        let samples = [mk(100), mk(120), mk(30), mk(60), mk(45)];
+        let d = cliff_depth(&samples);
+        assert!((d - 0.75).abs() < 1e-12, "120 -> 30 is the cliff: {d}");
+        assert_eq!(cliff_depth(&[]), 0.0);
+        assert_eq!(cliff_depth(&[mk(0), mk(0)]), 0.0);
+    }
+}

@@ -65,6 +65,9 @@ fn record_plane(
     u64,
     u64,
     DropTotals,
+    // (tag_renewals, revalidations, bf_rotations) — zero for baselines,
+    // which have no tag lifecycle.
+    [u64; 3],
     Option<ShardedStats>,
 ) {
     let merge_recorders = |recorders: &[ProtocolRecorder]| {
@@ -97,6 +100,11 @@ fn record_plane(
         };
         let mut registry = recorder.export_registry();
         inject_drop_metrics(&mut registry, report.drops);
+        let lifecycle = [
+            report.providers.tags_renewed,
+            report.edge_ops.evicted_revalidations + report.core_ops.evicted_revalidations,
+            report.edge_ops.bf_rotations + report.core_ops.bf_rotations,
+        ];
         (
             registry,
             report.events,
@@ -104,6 +112,7 @@ fn record_plane(
             report.peak_pit_records,
             report.peak_cs_entries,
             report.drops,
+            lifecycle,
             stats,
         )
     } else {
@@ -142,6 +151,7 @@ fn record_plane(
             report.peak_pit_records,
             report.peak_cs_entries,
             report.drops,
+            [0, 0, 0],
             stats,
         )
     }
@@ -176,7 +186,7 @@ pub fn folded_plane_registry(
                 }
                 let seed = derive_seed(BASE_SEED, topology, sid, i as u64);
                 let started = Instant::now();
-                let (registry, events, peak, peak_pit, peak_cs, drops, stats) =
+                let (registry, events, peak, peak_pit, peak_cs, drops, lifecycle, stats) =
                     record_plane(plane, scenario, seed, shards);
                 let manifest = RunManifest {
                     label: format!("telemetry {plane}"),
@@ -211,6 +221,9 @@ pub fn folded_plane_registry(
                     per_shard_peak_cs: stats
                         .as_ref()
                         .map_or_else(|| vec![peak_cs], |s| s.per_shard_peak_cs.clone()),
+                    tag_renewals: lifecycle[0],
+                    revalidations: lifecycle[1],
+                    bf_rotations: lifecycle[2],
                 };
                 if verbosity.progress() {
                     eprintln!(

@@ -60,11 +60,21 @@ pub struct RunManifest {
     pub per_shard_peak_pit: Vec<u64>,
     /// Content-store high-water mark per shard (one entry for sequential).
     pub per_shard_peak_cs: Vec<u64>,
+    /// Tags issued to principals that still held an unexpired tag
+    /// (issuance/renewal churn at the providers).
+    pub tag_renewals: u64,
+    /// Full signature re-validations forced by validation-cache churn —
+    /// the router had already validated the tag, but a reset/rotation
+    /// evicted the registration (0 unless the scenario tracks them).
+    pub revalidations: u64,
+    /// Generation rotations across all routers (0 under the
+    /// monolithic-reset cache policy).
+    pub bf_rotations: u64,
 }
 
 impl RunManifest {
     /// Keys every manifest line must carry (checked by the CI smoke run).
-    pub const REQUIRED_KEYS: [&'static str; 24] = [
+    pub const REQUIRED_KEYS: [&'static str; 27] = [
         "label",
         "topology",
         "scenario_id",
@@ -89,6 +99,9 @@ impl RunManifest {
         "per_shard_peak_queue",
         "per_shard_peak_pit",
         "per_shard_peak_cs",
+        "tag_renewals",
+        "revalidations",
+        "bf_rotations",
     ];
 
     /// Renders one JSONL line (no trailing newline).
@@ -117,7 +130,10 @@ impl RunManifest {
             .field_u64_array("per_shard_events", &self.per_shard_events)
             .field_u64_array("per_shard_peak_queue", &self.per_shard_peak_queue)
             .field_u64_array("per_shard_peak_pit", &self.per_shard_peak_pit)
-            .field_u64_array("per_shard_peak_cs", &self.per_shard_peak_cs);
+            .field_u64_array("per_shard_peak_cs", &self.per_shard_peak_cs)
+            .field_u64("tag_renewals", self.tag_renewals)
+            .field_u64("revalidations", self.revalidations)
+            .field_u64("bf_rotations", self.bf_rotations);
         o.finish()
     }
 }
@@ -153,6 +169,9 @@ mod tests {
             per_shard_peak_queue: vec![10, 9, 11, 8],
             per_shard_peak_pit: vec![4, 3, 5, 2],
             per_shard_peak_cs: vec![6, 6, 7, 5],
+            tag_renewals: 13,
+            revalidations: 9,
+            bf_rotations: 21,
         };
         let line = m.to_json_line();
         for key in RunManifest::REQUIRED_KEYS {

@@ -70,6 +70,9 @@ pub struct SampleRow {
     pub bf_occ_max_fp: u64,
     /// Bloom-filter resets so far across owned routers (cumulative).
     pub bf_resets: u64,
+    /// Generation rotations so far across owned routers (cumulative;
+    /// zero under the monolithic-reset validation-cache policy).
+    pub bf_rotations: u64,
     /// Routers contributing BF fields (the `bf_fpp_fp` denominator).
     pub bf_routers: u64,
 }
@@ -152,6 +155,7 @@ impl SampleRow {
         self.bf_fpp_fp += other.bf_fpp_fp;
         self.bf_occ_max_fp = self.bf_occ_max_fp.max(other.bf_occ_max_fp);
         self.bf_resets += other.bf_resets;
+        self.bf_rotations += other.bf_rotations;
         self.bf_routers += other.bf_routers;
     }
 }
@@ -183,7 +187,7 @@ pub fn merge_timeseries(series: &[Vec<SampleRow>]) -> Vec<SampleRow> {
 
 /// Keys every `timeseries.jsonl` line carries, in field order (checked
 /// by the CI smoke run).
-pub const TIMESERIES_KEYS: [&str; 32] = [
+pub const TIMESERIES_KEYS: [&str; 33] = [
     "label",
     "tick",
     "t_ns",
@@ -216,6 +220,7 @@ pub const TIMESERIES_KEYS: [&str; 32] = [
     "bf_fpp_mean",
     "bf_occ_max",
     "bf_resets",
+    "bf_rotations",
 ];
 
 /// Renders one labeled time series as JSONL (one line per tick, with a
@@ -281,7 +286,8 @@ pub fn timeseries_to_jsonl(label: &str, rows: &[SampleRow]) -> String {
             .field_f64("bf_occupancy", row.bf_occupancy())
             .field_f64("bf_fpp_mean", row.bf_fpp_mean())
             .field_f64("bf_occ_max", row.bf_occ_max())
-            .field_u64("bf_resets", row.bf_resets);
+            .field_u64("bf_resets", row.bf_resets)
+            .field_u64("bf_rotations", row.bf_rotations);
         out.push_str(&o.finish());
         out.push('\n');
         prev = Some(row);
